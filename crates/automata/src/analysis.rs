@@ -1,0 +1,262 @@
+//! Structural analyses over homogeneous NFAs.
+//!
+//! The Cache Automaton compiler treats *connected components* (CCs) as
+//! atomic mapping units: real-world NFAs decompose into many CCs (one per
+//! pattern or pattern family) with no transitions between them, so each CC
+//! can be placed independently (paper §3.1).
+
+use crate::homogeneous::{HomNfa, StateId};
+
+/// Union-find over state indices.
+#[derive(Debug, Clone)]
+struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> UnionFind {
+        UnionFind { parent: (0..n as u32).collect(), rank: vec![0; n] }
+    }
+
+    fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // path compression
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        match self.rank[ra as usize].cmp(&self.rank[rb as usize]) {
+            std::cmp::Ordering::Less => self.parent[ra as usize] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb as usize] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb as usize] = ra;
+                self.rank[ra as usize] += 1;
+            }
+        }
+    }
+}
+
+/// The weakly-connected components of an automaton.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Components {
+    /// `membership[s]` = component index of state `s`.
+    pub membership: Vec<u32>,
+    /// States of each component, ascending within a component; components
+    /// are ordered by their smallest state id.
+    pub components: Vec<Vec<StateId>>,
+}
+
+impl Components {
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// `true` when the automaton had no states.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Size of the largest component.
+    pub fn largest(&self) -> usize {
+        self.components.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Component sizes, unordered.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.components.iter().map(Vec::len).collect()
+    }
+}
+
+/// Computes weakly-connected components (edge direction ignored).
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use ca_automata::regex::compile_patterns;
+/// use ca_automata::analysis::connected_components;
+///
+/// let nfa = compile_patterns(&["cat", "dog", "fish"])?;
+/// let cc = connected_components(&nfa);
+/// assert_eq!(cc.len(), 3); // one per pattern
+/// # Ok(())
+/// # }
+/// ```
+pub fn connected_components(nfa: &HomNfa) -> Components {
+    let n = nfa.len();
+    let mut uf = UnionFind::new(n);
+    for (id, _) in nfa.iter() {
+        for &t in nfa.successors(id) {
+            uf.union(id.0, t.0);
+        }
+    }
+    let mut root_to_comp: Vec<Option<u32>> = vec![None; n];
+    let mut components: Vec<Vec<StateId>> = Vec::new();
+    let mut membership = vec![0u32; n];
+    for s in 0..n as u32 {
+        let root = uf.find(s) as usize;
+        let comp = match root_to_comp[root] {
+            Some(c) => c,
+            None => {
+                let c = components.len() as u32;
+                root_to_comp[root] = Some(c);
+                components.push(Vec::new());
+                c
+            }
+        };
+        membership[s as usize] = comp;
+        components[comp as usize].push(StateId(s));
+    }
+    Components { membership, components }
+}
+
+/// Summary statistics used for Table 1 and DESIGN.md accounting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NfaStats {
+    /// Total states.
+    pub states: usize,
+    /// Total transitions.
+    pub edges: usize,
+    /// Number of connected components.
+    pub connected_components: usize,
+    /// Size of the largest component.
+    pub largest_cc: usize,
+    /// Mean out-degree.
+    pub avg_out_degree: f64,
+    /// Maximum in-degree (fan-in).
+    pub max_in_degree: usize,
+    /// Start states.
+    pub start_states: usize,
+    /// Reporting states.
+    pub reporting_states: usize,
+}
+
+/// Computes the summary statistics of an automaton.
+pub fn stats(nfa: &HomNfa) -> NfaStats {
+    let cc = connected_components(nfa);
+    NfaStats {
+        states: nfa.len(),
+        edges: nfa.edge_count(),
+        connected_components: cc.len(),
+        largest_cc: cc.largest(),
+        avg_out_degree: nfa.avg_out_degree(),
+        max_in_degree: nfa.max_in_degree(),
+        start_states: nfa.start_states().len(),
+        reporting_states: nfa.reporting_states().len(),
+    }
+}
+
+/// Extracts a component as a standalone automaton, preserving state order.
+///
+/// # Panics
+///
+/// Panics if `comp` is out of range for `cc`.
+pub fn extract_component(nfa: &HomNfa, cc: &Components, comp: usize) -> HomNfa {
+    let members = &cc.components[comp];
+    let mut map = vec![u32::MAX; nfa.len()];
+    for (new, id) in members.iter().enumerate() {
+        map[id.index()] = new as u32;
+    }
+    let mut out = HomNfa::with_capacity(members.len());
+    for id in members {
+        let st = nfa.state(*id);
+        out.add_state_full(st.label, st.start, st.report);
+    }
+    for id in members {
+        for &t in nfa.successors(*id) {
+            out.add_edge(StateId(map[id.index()]), StateId(map[t.index()]));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::charclass::CharClass;
+    use crate::homogeneous::{ReportCode, StartKind};
+    use crate::regex::compile_patterns;
+
+    #[test]
+    fn single_chain_is_one_component() {
+        let nfa = compile_patterns(&["abcd"]).unwrap();
+        let cc = connected_components(&nfa);
+        assert_eq!(cc.len(), 1);
+        assert_eq!(cc.largest(), 4);
+        assert_eq!(cc.membership, vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn patterns_are_separate_components() {
+        let nfa = compile_patterns(&["ab", "cde", "f"]).unwrap();
+        let cc = connected_components(&nfa);
+        assert_eq!(cc.len(), 3);
+        let mut sizes = cc.sizes();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn direction_is_ignored() {
+        // a -> b and c -> b : all in one weak component.
+        let mut n = HomNfa::new();
+        let a = n.add_state_full(CharClass::byte(b'a'), StartKind::AllInput, None);
+        let b = n.add_state_full(CharClass::byte(b'b'), StartKind::None, Some(ReportCode(0)));
+        let c = n.add_state_full(CharClass::byte(b'c'), StartKind::AllInput, None);
+        n.add_edge(a, b);
+        n.add_edge(c, b);
+        assert_eq!(connected_components(&n).len(), 1);
+    }
+
+    #[test]
+    fn empty_automaton() {
+        let cc = connected_components(&HomNfa::new());
+        assert!(cc.is_empty());
+        assert_eq!(cc.largest(), 0);
+    }
+
+    #[test]
+    fn stats_summary() {
+        let nfa = compile_patterns(&["ab", "cd.*e"]).unwrap();
+        let s = stats(&nfa);
+        assert_eq!(s.states, 6); // a,b + c,d,<dot>,e
+        assert_eq!(s.connected_components, 2);
+        assert_eq!(s.largest_cc, 4);
+        assert_eq!(s.start_states, 2);
+        assert_eq!(s.reporting_states, 2);
+        assert!(s.avg_out_degree > 0.0);
+    }
+
+    #[test]
+    fn extraction_preserves_language() {
+        use crate::engine::{Engine, SparseEngine};
+        let nfa = compile_patterns(&["cat", "dog"]).unwrap();
+        let cc = connected_components(&nfa);
+        // find the component holding "dog" (code 1)
+        let comp = (0..cc.len())
+            .find(|&i| {
+                cc.components[i].iter().any(|&s| nfa.state(s).report == Some(ReportCode(1)))
+            })
+            .unwrap();
+        let sub = extract_component(&nfa, &cc, comp);
+        assert_eq!(sub.len(), 3);
+        let ev = SparseEngine::new(&sub).run(b"hotdog");
+        assert_eq!(ev.len(), 1);
+        assert!(SparseEngine::new(&sub).run(b"cat").is_empty());
+    }
+}

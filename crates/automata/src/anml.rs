@@ -1,0 +1,521 @@
+//! ANML (Automata Network Markup Language) subset: parse and serialize.
+//!
+//! ANML is Micron's XML dialect for homogeneous automata and the input
+//! format of the Cache Automaton compiler ("the compiler takes as input an
+//! NFA described in a compact XML-like format (ANML)", §3). We implement
+//! the subset the benchmark suites use:
+//!
+//! ```xml
+//! <anml-network id="example">
+//!   <state-transition-element id="s0" symbol-set="[bc]" start="all-input">
+//!     <activate-on-match element="s1"/>
+//!   </state-transition-element>
+//!   <state-transition-element id="s1" symbol-set="a">
+//!     <report-on-match reportcode="0"/>
+//!   </state-transition-element>
+//! </anml-network>
+//! ```
+//!
+//! The parser is hand-rolled (no XML dependency): ANML documents produced
+//! by this workspace and by ANMLZoo use only plain tags, double-quoted
+//! attributes and XML comments, all of which are handled.
+
+use crate::error::{Error, Result};
+use crate::homogeneous::{HomNfa, ReportCode, StartKind, StateId};
+use crate::regex::parse_symbol_set;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Serializes an automaton to ANML text.
+///
+/// State ids are written as `s<N>`; the output round-trips through
+/// [`parse_anml`].
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use ca_automata::regex::compile_pattern;
+/// use ca_automata::anml::{to_anml, parse_anml};
+///
+/// let nfa = compile_pattern("ab")?;
+/// let text = to_anml(&nfa, "demo");
+/// let back = parse_anml(&text)?;
+/// assert_eq!(back.len(), nfa.len());
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_anml(nfa: &HomNfa, network_id: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "<anml-network id=\"{network_id}\">");
+    for (id, st) in nfa.iter() {
+        let start_attr = match st.start {
+            StartKind::None => String::new(),
+            StartKind::StartOfData => " start=\"start-of-data\"".into(),
+            StartKind::AllInput => " start=\"all-input\"".into(),
+        };
+        let _ = write!(
+            out,
+            "  <state-transition-element id=\"s{}\" symbol-set=\"{}\"{}",
+            id.0,
+            escape_attr(&st.label.to_string()),
+            start_attr
+        );
+        let succ = nfa.successors(id);
+        if succ.is_empty() && st.report.is_none() {
+            let _ = writeln!(out, "/>");
+            continue;
+        }
+        let _ = writeln!(out, ">");
+        for t in succ {
+            let _ = writeln!(out, "    <activate-on-match element=\"s{}\"/>", t.0);
+        }
+        if let Some(code) = st.report {
+            let _ = writeln!(out, "    <report-on-match reportcode=\"{}\"/>", code.0);
+        }
+        let _ = writeln!(out, "  </state-transition-element>");
+    }
+    out.push_str("</anml-network>\n");
+    out
+}
+
+fn escape_attr(s: &str) -> String {
+    s.replace('&', "&amp;").replace('"', "&quot;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn unescape_attr(s: &str) -> String {
+    s.replace("&quot;", "\"").replace("&lt;", "<").replace("&gt;", ">").replace("&amp;", "&")
+}
+
+/// A scanned tag: name, attributes, and whether it self-closes or closes.
+#[derive(Debug)]
+struct Tag {
+    name: String,
+    attrs: Vec<(String, String)>,
+    closing: bool,
+    self_closing: bool,
+    line: usize,
+}
+
+impl Tag {
+    fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+struct Scanner<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn err(&self, reason: impl Into<String>) -> Error {
+        Error::ParseAnml { line: self.line, reason: reason.into() }
+    }
+
+    fn skip_ws_and_comments(&mut self) -> Result<()> {
+        loop {
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'\n' {
+                    self.line += 1;
+                }
+                if b.is_ascii_whitespace() {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            if self.bytes[self.pos..].starts_with(b"<!--") {
+                match find(self.bytes, self.pos + 4, b"-->") {
+                    Some(end) => {
+                        self.line += count_newlines(&self.bytes[self.pos..end]);
+                        self.pos = end + 3;
+                    }
+                    None => return Err(self.err("unterminated comment")),
+                }
+            } else if self.bytes[self.pos..].starts_with(b"<?") {
+                match find(self.bytes, self.pos + 2, b"?>") {
+                    Some(end) => self.pos = end + 2,
+                    None => return Err(self.err("unterminated processing instruction")),
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn next_tag(&mut self) -> Result<Option<Tag>> {
+        self.skip_ws_and_comments()?;
+        if self.pos >= self.bytes.len() {
+            return Ok(None);
+        }
+        if self.bytes[self.pos] != b'<' {
+            return Err(self.err("expected '<'"));
+        }
+        self.pos += 1;
+        let closing = self.bytes.get(self.pos) == Some(&b'/');
+        if closing {
+            self.pos += 1;
+        }
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'-' || *b == b'_')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected a tag name"));
+        }
+        let name = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        let mut attrs = Vec::new();
+        let line = self.line;
+        loop {
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'\n' {
+                    self.line += 1;
+                }
+                if b.is_ascii_whitespace() {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            match self.bytes.get(self.pos) {
+                Some(b'>') => {
+                    self.pos += 1;
+                    return Ok(Some(Tag { name, attrs, closing, self_closing: false, line }));
+                }
+                Some(b'/') if self.bytes.get(self.pos + 1) == Some(&b'>') => {
+                    self.pos += 2;
+                    return Ok(Some(Tag { name, attrs, closing, self_closing: true, line }));
+                }
+                Some(_) => {
+                    let kstart = self.pos;
+                    while self
+                        .bytes
+                        .get(self.pos)
+                        .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'-' || *b == b'_')
+                    {
+                        self.pos += 1;
+                    }
+                    if kstart == self.pos {
+                        return Err(self.err("expected an attribute name"));
+                    }
+                    let key = String::from_utf8_lossy(&self.bytes[kstart..self.pos]).into_owned();
+                    if self.bytes.get(self.pos) != Some(&b'=') {
+                        return Err(self.err(format!("attribute '{key}' missing '='")));
+                    }
+                    self.pos += 1;
+                    if self.bytes.get(self.pos) != Some(&b'"') {
+                        return Err(self.err(format!("attribute '{key}' value must be quoted")));
+                    }
+                    self.pos += 1;
+                    let vstart = self.pos;
+                    while self.bytes.get(self.pos).is_some_and(|&b| b != b'"') {
+                        if self.bytes[self.pos] == b'\n' {
+                            self.line += 1;
+                        }
+                        self.pos += 1;
+                    }
+                    if self.pos >= self.bytes.len() {
+                        return Err(self.err("unterminated attribute value"));
+                    }
+                    let value =
+                        String::from_utf8_lossy(&self.bytes[vstart..self.pos]).into_owned();
+                    self.pos += 1;
+                    attrs.push((key, unescape_attr(&value)));
+                }
+                None => return Err(self.err("unterminated tag")),
+            }
+        }
+    }
+}
+
+fn find(haystack: &[u8], from: usize, needle: &[u8]) -> Option<usize> {
+    haystack[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| p + from)
+}
+
+fn count_newlines(bytes: &[u8]) -> usize {
+    bytes.iter().filter(|&&b| b == b'\n').count()
+}
+
+/// Parses an ANML document into a homogeneous NFA.
+///
+/// State ids in the document are arbitrary strings; they are mapped to
+/// dense [`StateId`]s in document order.
+///
+/// # Errors
+///
+/// Returns [`Error::ParseAnml`] with a line number for malformed documents,
+/// unknown tags, undefined element references or invalid symbol sets.
+pub fn parse_anml(text: &str) -> Result<HomNfa> {
+    let mut scanner = Scanner { bytes: text.as_bytes(), pos: 0, line: 1 };
+    let root = scanner
+        .next_tag()?
+        .ok_or_else(|| scanner.err("empty document"))?;
+    if root.name != "anml-network" || root.closing {
+        return Err(scanner.err("expected <anml-network> root"));
+    }
+
+    struct PendingState {
+        label: crate::charclass::CharClass,
+        start: StartKind,
+        report: Option<ReportCode>,
+        targets: Vec<String>,
+    }
+    let mut order: Vec<String> = Vec::new();
+    let mut states: HashMap<String, PendingState> = HashMap::new();
+    let mut current: Option<String> = None;
+
+    loop {
+        let Some(tag) = scanner.next_tag()? else {
+            return Err(scanner.err("missing </anml-network>"));
+        };
+        match (tag.name.as_str(), tag.closing) {
+            ("anml-network", true) => break,
+            ("state-transition-element", false) => {
+                if current.is_some() {
+                    return Err(Error::ParseAnml {
+                        line: tag.line,
+                        reason: "nested state-transition-element".into(),
+                    });
+                }
+                let id = tag
+                    .attr("id")
+                    .ok_or(Error::ParseAnml {
+                        line: tag.line,
+                        reason: "state-transition-element missing id".into(),
+                    })?
+                    .to_string();
+                if states.contains_key(&id) {
+                    return Err(Error::ParseAnml {
+                        line: tag.line,
+                        reason: format!("duplicate element id '{id}'"),
+                    });
+                }
+                let set = tag.attr("symbol-set").ok_or(Error::ParseAnml {
+                    line: tag.line,
+                    reason: format!("element '{id}' missing symbol-set"),
+                })?;
+                let label = parse_symbol_set(set).map_err(|e| Error::ParseAnml {
+                    line: tag.line,
+                    reason: format!("bad symbol-set for '{id}': {e}"),
+                })?;
+                let start = match tag.attr("start") {
+                    None => StartKind::None,
+                    Some("all-input") => StartKind::AllInput,
+                    Some("start-of-data") => StartKind::StartOfData,
+                    Some(other) => {
+                        return Err(Error::ParseAnml {
+                            line: tag.line,
+                            reason: format!("unknown start kind '{other}'"),
+                        })
+                    }
+                };
+                order.push(id.clone());
+                states.insert(
+                    id.clone(),
+                    PendingState { label, start, report: None, targets: Vec::new() },
+                );
+                if !tag.self_closing {
+                    current = Some(id);
+                }
+            }
+            ("state-transition-element", true) => {
+                if current.take().is_none() {
+                    return Err(Error::ParseAnml {
+                        line: tag.line,
+                        reason: "unmatched </state-transition-element>".into(),
+                    });
+                }
+            }
+            ("activate-on-match", false) => {
+                let cur = current.as_ref().ok_or(Error::ParseAnml {
+                    line: tag.line,
+                    reason: "activate-on-match outside an element".into(),
+                })?;
+                let target = tag.attr("element").ok_or(Error::ParseAnml {
+                    line: tag.line,
+                    reason: "activate-on-match missing element attribute".into(),
+                })?;
+                states.get_mut(cur).expect("current exists").targets.push(target.to_string());
+                if !tag.self_closing {
+                    return Err(Error::ParseAnml {
+                        line: tag.line,
+                        reason: "activate-on-match must self-close".into(),
+                    });
+                }
+            }
+            ("report-on-match", false) => {
+                let cur = current.as_ref().ok_or(Error::ParseAnml {
+                    line: tag.line,
+                    reason: "report-on-match outside an element".into(),
+                })?;
+                let code = tag
+                    .attr("reportcode")
+                    .unwrap_or("0")
+                    .parse::<u32>()
+                    .map_err(|_| Error::ParseAnml {
+                        line: tag.line,
+                        reason: "reportcode must be an integer".into(),
+                    })?;
+                states.get_mut(cur).expect("current exists").report = Some(ReportCode(code));
+                if !tag.self_closing {
+                    return Err(Error::ParseAnml {
+                        line: tag.line,
+                        reason: "report-on-match must self-close".into(),
+                    });
+                }
+            }
+            (other, _) => {
+                return Err(Error::ParseAnml {
+                    line: tag.line,
+                    reason: format!("unexpected tag '{other}'"),
+                })
+            }
+        }
+    }
+
+    // Materialize in document order.
+    let mut nfa = HomNfa::with_capacity(order.len());
+    let mut ids: HashMap<&str, StateId> = HashMap::new();
+    for name in &order {
+        let p = &states[name];
+        let id = nfa.add_state_full(p.label, p.start, p.report);
+        ids.insert(name.as_str(), id);
+    }
+    for name in &order {
+        let from = ids[name.as_str()];
+        for target in &states[name].targets {
+            let to = *ids.get(target.as_str()).ok_or_else(|| Error::ParseAnml {
+                line: 0,
+                reason: format!("element '{name}' activates undefined element '{target}'"),
+            })?;
+            nfa.add_edge(from, to);
+        }
+    }
+    Ok(nfa)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, SparseEngine};
+    use crate::regex::compile_patterns;
+
+    #[test]
+    fn roundtrip_preserves_automaton() {
+        let nfa = compile_patterns(&["ca[rt]", "a.*b", "^x{2,3}"]).unwrap();
+        let text = to_anml(&nfa, "t");
+        let back = parse_anml(&text).unwrap();
+        assert_eq!(back, nfa);
+    }
+
+    #[test]
+    fn roundtrip_preserves_language() {
+        let nfa = compile_patterns(&["hel+o", "[0-9]+z"]).unwrap();
+        let back = parse_anml(&to_anml(&nfa, "t")).unwrap();
+        for input in [b"hello world".as_slice(), b"123z", b"hzo"] {
+            assert_eq!(
+                SparseEngine::new(&nfa).run(input),
+                SparseEngine::new(&back).run(input)
+            );
+        }
+    }
+
+    #[test]
+    fn parses_handwritten_document() {
+        let text = r#"
+            <?xml version="1.0"?>
+            <!-- tiny example -->
+            <anml-network id="demo">
+              <state-transition-element id="start" symbol-set="[bc]" start="all-input">
+                <activate-on-match element="end"/>
+              </state-transition-element>
+              <state-transition-element id="end" symbol-set="a">
+                <report-on-match reportcode="5"/>
+              </state-transition-element>
+            </anml-network>
+        "#;
+        let nfa = parse_anml(text).unwrap();
+        assert_eq!(nfa.len(), 2);
+        let ev = SparseEngine::new(&nfa).run(b"zzba");
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].code, ReportCode(5));
+    }
+
+    #[test]
+    fn self_closing_element_allowed() {
+        let text = r#"<anml-network id="x">
+            <state-transition-element id="a" symbol-set="q" start="all-input"/>
+            <state-transition-element id="b" symbol-set="r" start="all-input">
+              <report-on-match reportcode="1"/>
+            </state-transition-element>
+        </anml-network>"#;
+        let nfa = parse_anml(text).unwrap();
+        assert_eq!(nfa.len(), 2);
+        assert_eq!(nfa.edge_count(), 0);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let text = "<anml-network id=\"x\">\n<bogus-tag/>\n</anml-network>";
+        let err = parse_anml(text).unwrap_err();
+        match err {
+            Error::ParseAnml { line, reason } => {
+                assert_eq!(line, 2);
+                assert!(reason.contains("bogus-tag"));
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn undefined_target_rejected() {
+        let text = r#"<anml-network id="x">
+            <state-transition-element id="a" symbol-set="q" start="all-input">
+              <activate-on-match element="ghost"/>
+            </state-transition-element>
+        </anml-network>"#;
+        let err = parse_anml(text).unwrap_err();
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let text = r#"<anml-network id="x">
+            <state-transition-element id="a" symbol-set="q"/>
+            <state-transition-element id="a" symbol-set="r"/>
+        </anml-network>"#;
+        assert!(parse_anml(text).unwrap_err().to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn bad_symbol_set_rejected() {
+        let text = r#"<anml-network id="x">
+            <state-transition-element id="a" symbol-set="[z-a]"/>
+        </anml-network>"#;
+        assert!(parse_anml(text).is_err());
+    }
+
+    #[test]
+    fn escaped_attributes_roundtrip() {
+        use crate::charclass::CharClass;
+        use crate::homogeneous::{HomNfa, StartKind};
+        let mut nfa = HomNfa::new();
+        // label containing '<', '>', '&' and '"'
+        nfa.add_state_full(
+            CharClass::of(b"<>&\""),
+            StartKind::AllInput,
+            Some(ReportCode(0)),
+        );
+        let back = parse_anml(&to_anml(&nfa, "esc")).unwrap();
+        assert_eq!(back, nfa);
+    }
+}

@@ -1,0 +1,221 @@
+//! Combinator API for building automata programmatically.
+//!
+//! Workload generators and applications often assemble patterns
+//! structurally rather than via regex strings (the entity-resolution and
+//! edit-distance automata of `ca-workloads` are examples). This module
+//! provides a small expression algebra over [`CharClass`]es that compiles
+//! through the same Glushkov construction as the regex front-end:
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use ca_automata::build::{alt, lit, seq, Expr};
+//! use ca_automata::engine::{Engine, SparseEngine};
+//! use ca_automata::ReportCode;
+//!
+//! // (cat|car) t?  ==  "cat", "car", "catt", "cart"... built structurally
+//! let expr = seq([alt([lit(b"cat"), lit(b"car")]), lit(b"t").opt()]);
+//! let nfa = expr.compile(ReportCode(0))?;
+//! assert_eq!(SparseEngine::new(&nfa).run(b"a cart!").len(), 2); // car, cart
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::charclass::CharClass;
+use crate::error::Result;
+use crate::homogeneous::{HomNfa, ReportCode};
+use crate::regex::{compile_ast, Ast, Pattern};
+
+/// A pattern expression; compile with [`Expr::compile`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Expr(Ast);
+
+/// A literal byte string.
+pub fn lit(bytes: &[u8]) -> Expr {
+    Expr(Ast::Concat(bytes.iter().map(|&b| Ast::Class(CharClass::byte(b))).collect()))
+}
+
+/// A single symbol class.
+pub fn sym(class: CharClass) -> Expr {
+    Expr(Ast::Class(class))
+}
+
+/// Any symbol (`.`).
+pub fn any() -> Expr {
+    Expr(Ast::Class(CharClass::ALL))
+}
+
+/// Sequence of sub-expressions.
+pub fn seq<I: IntoIterator<Item = Expr>>(parts: I) -> Expr {
+    Expr(Ast::Concat(parts.into_iter().map(|e| e.0).collect()))
+}
+
+/// Alternation between sub-expressions.
+///
+/// # Panics
+///
+/// Panics on an empty alternative list (it would match nothing).
+pub fn alt<I: IntoIterator<Item = Expr>>(parts: I) -> Expr {
+    let parts: Vec<Ast> = parts.into_iter().map(|e| e.0).collect();
+    assert!(!parts.is_empty(), "alt of nothing matches nothing");
+    Expr(Ast::Alt(parts))
+}
+
+impl Expr {
+    /// Zero or more repetitions (`*`).
+    pub fn star(self) -> Expr {
+        Expr(Ast::Repeat { node: Box::new(self.0), min: 0, max: None })
+    }
+
+    /// One or more repetitions (`+`).
+    pub fn plus(self) -> Expr {
+        Expr(Ast::Repeat { node: Box::new(self.0), min: 1, max: None })
+    }
+
+    /// Zero or one occurrence (`?`).
+    pub fn opt(self) -> Expr {
+        Expr(Ast::Repeat { node: Box::new(self.0), min: 0, max: Some(1) })
+    }
+
+    /// Between `min` and `max` repetitions (`{min,max}`); `None` = unbounded.
+    pub fn repeat(self, min: u32, max: Option<u32>) -> Expr {
+        Expr(Ast::Repeat { node: Box::new(self.0), min, max })
+    }
+
+    /// Concatenates another expression after this one.
+    #[must_use]
+    pub fn then(self, next: Expr) -> Expr {
+        seq([self, next])
+    }
+
+    /// Alternates with another expression.
+    #[must_use]
+    pub fn or(self, other: Expr) -> Expr {
+        alt([self, other])
+    }
+
+    /// Compiles to a homogeneous NFA with unanchored (all-input) starts.
+    ///
+    /// # Errors
+    ///
+    /// Fails for expressions that match the empty string
+    /// ([`Error::NullableRegex`](crate::Error::NullableRegex)).
+    pub fn compile(&self, code: ReportCode) -> Result<HomNfa> {
+        compile_ast(&Pattern { anchored: false, ast: self.0.clone() }, code)
+    }
+
+    /// Compiles anchored to the start of data (`^...`).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Expr::compile`].
+    pub fn compile_anchored(&self, code: ReportCode) -> Result<HomNfa> {
+        compile_ast(&Pattern { anchored: true, ast: self.0.clone() }, code)
+    }
+
+    /// The regex rendering of this expression (parses back to the same
+    /// automaton via the string front-end).
+    pub fn to_regex(&self) -> String {
+        self.0.to_string()
+    }
+}
+
+/// Compiles many expressions into one multi-pattern automaton; expression
+/// `i` reports with code `i` (one connected component each, like
+/// [`compile_patterns`](crate::regex::compile_patterns)).
+///
+/// # Errors
+///
+/// Fails on the first nullable expression.
+pub fn compile_exprs(exprs: &[Expr]) -> Result<HomNfa> {
+    let mut out = HomNfa::new();
+    for (i, e) in exprs.iter().enumerate() {
+        let one = e.compile(ReportCode(i as u32))?;
+        out.append(&one);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, SparseEngine};
+    use crate::regex::{compile_pattern, parse};
+
+    fn hits(nfa: &HomNfa, input: &[u8]) -> usize {
+        SparseEngine::new(nfa).run(input).len()
+    }
+
+    #[test]
+    fn literal_sequence() {
+        let nfa = lit(b"cat").compile(ReportCode(0)).unwrap();
+        assert_eq!(hits(&nfa, b"a cat sat"), 1);
+        assert_eq!(hits(&nfa, b"dog"), 0);
+    }
+
+    #[test]
+    fn combinators_compose() {
+        // ab(c|d)+e?
+        let expr = lit(b"ab")
+            .then(alt([lit(b"c"), lit(b"d")]).plus())
+            .then(lit(b"e").opt());
+        let nfa = expr.compile(ReportCode(0)).unwrap();
+        assert!(hits(&nfa, b"abc") > 0);
+        assert!(hits(&nfa, b"abdcdce") > 0);
+        assert_eq!(hits(&nfa, b"abe"), 0);
+    }
+
+    #[test]
+    fn builder_equals_regex_front_end() {
+        let expr = seq([
+            lit(b"a"),
+            any().star(),
+            sym(CharClass::range(b'0', b'9')).repeat(2, Some(3)),
+        ]);
+        let via_builder = expr.compile(ReportCode(0)).unwrap();
+        let via_regex = compile_pattern("a.*[0-9]{2,3}").unwrap();
+        for input in [b"a12".as_slice(), b"axx123", b"a1", b"zzz"] {
+            assert_eq!(
+                SparseEngine::new(&via_builder).run(input),
+                SparseEngine::new(&via_regex).run(input),
+                "input {input:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn to_regex_round_trips() {
+        let expr = lit(b"ab").then(alt([lit(b"c"), lit(b"d")]).star());
+        let rendered = expr.to_regex();
+        let reparsed = parse(&rendered).unwrap();
+        let via_string = compile_ast(&reparsed, ReportCode(0)).unwrap();
+        let direct = expr.compile(ReportCode(0)).unwrap();
+        assert_eq!(via_string, direct);
+    }
+
+    #[test]
+    fn anchoring() {
+        let nfa = lit(b"ab").compile_anchored(ReportCode(0)).unwrap();
+        assert_eq!(hits(&nfa, b"abab"), 1);
+    }
+
+    #[test]
+    fn nullable_rejected() {
+        assert!(lit(b"a").star().compile(ReportCode(0)).is_err());
+        assert!(lit(b"a").opt().compile(ReportCode(0)).is_err());
+    }
+
+    #[test]
+    fn multi_expression_codes() {
+        let nfa = compile_exprs(&[lit(b"one"), lit(b"two")]).unwrap();
+        let ev = SparseEngine::new(&nfa).run(b"two one");
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].code, ReportCode(1));
+        assert_eq!(ev[1].code, ReportCode(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "alt of nothing")]
+    fn empty_alt_panics() {
+        alt([]);
+    }
+}

@@ -1,0 +1,461 @@
+//! 256-bit symbol classes.
+//!
+//! A [`CharClass`] is the set of 8-bit input symbols a state-transition
+//! element (STE) matches. In the Cache Automaton architecture each STE is
+//! stored as a 256-bit one-hot column of an SRAM array (one bit per symbol of
+//! the extended-ASCII alphabet); `CharClass` is the software image of that
+//! column.
+
+use std::fmt;
+
+/// A set of 8-bit symbols, stored as a 256-bit bitmap.
+///
+/// This is the label alphabet for homogeneous (ANML-style) automata: each
+/// state matches exactly the symbols contained in its class.
+///
+/// # Examples
+///
+/// ```
+/// use ca_automata::CharClass;
+///
+/// let digits = CharClass::range(b'0', b'9');
+/// assert!(digits.contains(b'7'));
+/// assert!(!digits.contains(b'a'));
+/// assert_eq!(digits.len(), 10);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct CharClass {
+    bits: [u64; 4],
+}
+
+impl CharClass {
+    /// The empty class (matches no symbol).
+    pub const EMPTY: CharClass = CharClass { bits: [0; 4] };
+
+    /// The full class (matches every symbol); the regex `.` when dot-all.
+    pub const ALL: CharClass = CharClass { bits: [u64::MAX; 4] };
+
+    /// Creates an empty class.
+    pub fn new() -> CharClass {
+        CharClass::EMPTY
+    }
+
+    /// Creates a class containing a single symbol.
+    ///
+    /// ```
+    /// use ca_automata::CharClass;
+    /// assert!(CharClass::byte(b'x').contains(b'x'));
+    /// ```
+    pub fn byte(b: u8) -> CharClass {
+        let mut c = CharClass::EMPTY;
+        c.insert(b);
+        c
+    }
+
+    /// Creates a class containing the inclusive range `lo..=hi`.
+    ///
+    /// Bounds are swapped if given in reverse order, so `range(b'9', b'0')`
+    /// equals `range(b'0', b'9')`.
+    pub fn range(lo: u8, hi: u8) -> CharClass {
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        let mut c = CharClass::EMPTY;
+        for b in lo..=hi {
+            c.insert(b);
+        }
+        c
+    }
+
+    /// Creates a class from every byte of `bytes`.
+    pub fn of(bytes: &[u8]) -> CharClass {
+        let mut c = CharClass::EMPTY;
+        for &b in bytes {
+            c.insert(b);
+        }
+        c
+    }
+
+    /// Adds a symbol to the class. Returns `true` if it was newly inserted.
+    pub fn insert(&mut self, b: u8) -> bool {
+        let (w, m) = (b as usize / 64, 1u64 << (b % 64));
+        let fresh = self.bits[w] & m == 0;
+        self.bits[w] |= m;
+        fresh
+    }
+
+    /// Removes a symbol from the class. Returns `true` if it was present.
+    pub fn remove(&mut self, b: u8) -> bool {
+        let (w, m) = (b as usize / 64, 1u64 << (b % 64));
+        let had = self.bits[w] & m != 0;
+        self.bits[w] &= !m;
+        had
+    }
+
+    /// Tests membership of one symbol.
+    pub fn contains(&self, b: u8) -> bool {
+        self.bits[b as usize / 64] >> (b % 64) & 1 == 1
+    }
+
+    /// Number of symbols in the class.
+    pub fn len(&self) -> u32 {
+        self.bits.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// `true` if the class matches no symbol.
+    pub fn is_empty(&self) -> bool {
+        self.bits == [0; 4]
+    }
+
+    /// `true` if the class matches every symbol.
+    pub fn is_all(&self) -> bool {
+        self.bits == [u64::MAX; 4]
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(&self, other: &CharClass) -> CharClass {
+        let mut bits = self.bits;
+        for (a, b) in bits.iter_mut().zip(other.bits.iter()) {
+            *a |= b;
+        }
+        CharClass { bits }
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub fn intersect(&self, other: &CharClass) -> CharClass {
+        let mut bits = self.bits;
+        for (a, b) in bits.iter_mut().zip(other.bits.iter()) {
+            *a &= b;
+        }
+        CharClass { bits }
+    }
+
+    /// Set difference (`self \ other`).
+    #[must_use]
+    pub fn difference(&self, other: &CharClass) -> CharClass {
+        let mut bits = self.bits;
+        for (a, b) in bits.iter_mut().zip(other.bits.iter()) {
+            *a &= !b;
+        }
+        CharClass { bits }
+    }
+
+    /// Set complement.
+    #[must_use]
+    pub fn negate(&self) -> CharClass {
+        let mut bits = self.bits;
+        for a in bits.iter_mut() {
+            *a = !*a;
+        }
+        CharClass { bits }
+    }
+
+    /// `true` if `self` and `other` share at least one symbol.
+    pub fn intersects(&self, other: &CharClass) -> bool {
+        self.bits
+            .iter()
+            .zip(other.bits.iter())
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// `true` if every symbol of `self` is in `other`.
+    pub fn is_subset(&self, other: &CharClass) -> bool {
+        self.bits
+            .iter()
+            .zip(other.bits.iter())
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// The smallest symbol in the class, if any.
+    ///
+    /// Takes `self` by value (the type is `Copy`) so this inherent method
+    /// shadows `Ord::min` rather than colliding with it.
+    pub fn min(self) -> Option<u8> {
+        self.iter().next()
+    }
+
+    /// The largest symbol in the class, if any.
+    pub fn max(self) -> Option<u8> {
+        self.iter().last()
+    }
+
+    /// Iterates over the symbols of the class in ascending order.
+    ///
+    /// ```
+    /// use ca_automata::CharClass;
+    /// let c = CharClass::of(b"cab");
+    /// let v: Vec<u8> = c.iter().collect();
+    /// assert_eq!(v, b"abc");
+    /// ```
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { class: self, next: 0 }
+    }
+
+    /// The raw 256-bit bitmap, low symbols in low bits of low words.
+    ///
+    /// This is exactly the one-hot column image loaded into an SRAM array.
+    pub fn to_bits(&self) -> [u64; 4] {
+        self.bits
+    }
+
+    /// Builds a class from a raw 256-bit bitmap (inverse of [`to_bits`]).
+    ///
+    /// [`to_bits`]: CharClass::to_bits
+    pub fn from_bits(bits: [u64; 4]) -> CharClass {
+        CharClass { bits }
+    }
+
+    /// Returns the inclusive ranges of the class in ascending order.
+    ///
+    /// ```
+    /// use ca_automata::CharClass;
+    /// let c = CharClass::of(b"abcxz");
+    /// assert_eq!(c.ranges(), vec![(b'a', b'c'), (b'x', b'x'), (b'z', b'z')]);
+    /// ```
+    pub fn ranges(&self) -> Vec<(u8, u8)> {
+        let mut out = Vec::new();
+        let mut cur: Option<(u8, u8)> = None;
+        for b in self.iter() {
+            match cur {
+                Some((lo, hi)) if hi as u16 + 1 == b as u16 => cur = Some((lo, b)),
+                Some(r) => {
+                    out.push(r);
+                    cur = Some((b, b));
+                }
+                None => cur = Some((b, b)),
+            }
+        }
+        if let Some(r) = cur {
+            out.push(r);
+        }
+        out
+    }
+}
+
+/// Iterator over the symbols of a [`CharClass`], produced by
+/// [`CharClass::iter`].
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    class: &'a CharClass,
+    next: u16,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = u8;
+
+    fn next(&mut self) -> Option<u8> {
+        while self.next < 256 {
+            let b = self.next as u8;
+            self.next += 1;
+            if self.class.contains(b) {
+                return Some(b);
+            }
+        }
+        None
+    }
+}
+
+impl FromIterator<u8> for CharClass {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> CharClass {
+        let mut c = CharClass::EMPTY;
+        for b in iter {
+            c.insert(b);
+        }
+        c
+    }
+}
+
+impl Extend<u8> for CharClass {
+    fn extend<I: IntoIterator<Item = u8>>(&mut self, iter: I) {
+        for b in iter {
+            self.insert(b);
+        }
+    }
+}
+
+impl From<u8> for CharClass {
+    fn from(b: u8) -> CharClass {
+        CharClass::byte(b)
+    }
+}
+
+fn fmt_symbol(f: &mut fmt::Formatter<'_>, b: u8) -> fmt::Result {
+    match b {
+        b'\n' => write!(f, "\\n"),
+        b'\r' => write!(f, "\\r"),
+        b'\t' => write!(f, "\\t"),
+        b'\\' | b'[' | b']' | b'-' | b'^' => write!(f, "\\{}", b as char),
+        0x20..=0x7e => write!(f, "{}", b as char),
+        _ => write!(f, "\\x{b:02x}"),
+    }
+}
+
+impl fmt::Display for CharClass {
+    /// Formats the class as an ANML/regex-style bracket expression,
+    /// e.g. `[a-c]`, `[\x00-\xff]` is shown as `*` (match-all).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_all() {
+            return write!(f, "*");
+        }
+        write!(f, "[")?;
+        for (lo, hi) in self.ranges() {
+            match hi - lo {
+                0 => fmt_symbol(f, lo)?,
+                1 => {
+                    fmt_symbol(f, lo)?;
+                    fmt_symbol(f, hi)?;
+                }
+                _ => {
+                    fmt_symbol(f, lo)?;
+                    write!(f, "-")?;
+                    fmt_symbol(f, hi)?;
+                }
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Debug for CharClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CharClass({self})")
+    }
+}
+
+impl std::ops::BitOr for CharClass {
+    type Output = CharClass;
+    fn bitor(self, rhs: CharClass) -> CharClass {
+        self.union(&rhs)
+    }
+}
+
+impl std::ops::BitAnd for CharClass {
+    type Output = CharClass;
+    fn bitand(self, rhs: CharClass) -> CharClass {
+        self.intersect(&rhs)
+    }
+}
+
+impl std::ops::Not for CharClass {
+    type Output = CharClass;
+    fn not(self) -> CharClass {
+        self.negate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_all() {
+        assert!(CharClass::EMPTY.is_empty());
+        assert_eq!(CharClass::EMPTY.len(), 0);
+        assert!(CharClass::ALL.is_all());
+        assert_eq!(CharClass::ALL.len(), 256);
+        assert!(CharClass::ALL.contains(0));
+        assert!(CharClass::ALL.contains(255));
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut c = CharClass::new();
+        assert!(c.insert(b'q'));
+        assert!(!c.insert(b'q'));
+        assert!(c.contains(b'q'));
+        assert!(c.remove(b'q'));
+        assert!(!c.remove(b'q'));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn range_swaps_bounds() {
+        assert_eq!(CharClass::range(b'9', b'0'), CharClass::range(b'0', b'9'));
+        assert_eq!(CharClass::range(b'a', b'a'), CharClass::byte(b'a'));
+    }
+
+    #[test]
+    fn range_spans_word_boundaries() {
+        // 63..=65 crosses the first u64 word boundary.
+        let c = CharClass::range(63, 65);
+        assert_eq!(c.len(), 3);
+        assert!(c.contains(63) && c.contains(64) && c.contains(65));
+        assert!(!c.contains(62) && !c.contains(66));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = CharClass::range(b'a', b'm');
+        let b = CharClass::range(b'h', b'z');
+        assert_eq!(a.union(&b), CharClass::range(b'a', b'z'));
+        assert_eq!(a.intersect(&b), CharClass::range(b'h', b'm'));
+        assert_eq!(a.difference(&b), CharClass::range(b'a', b'g'));
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&CharClass::byte(b'z')));
+        assert!(CharClass::range(b'c', b'e').is_subset(&a));
+        assert!(!b.is_subset(&a));
+    }
+
+    #[test]
+    fn negate_roundtrip() {
+        let a = CharClass::of(b"hello");
+        assert_eq!(a.negate().negate(), a);
+        assert_eq!(a.union(&a.negate()), CharClass::ALL);
+        assert!(a.intersect(&a.negate()).is_empty());
+    }
+
+    #[test]
+    fn operators_match_methods() {
+        let a = CharClass::of(b"abc");
+        let b = CharClass::of(b"bcd");
+        assert_eq!(a | b, a.union(&b));
+        assert_eq!(a & b, a.intersect(&b));
+        assert_eq!(!a, a.negate());
+    }
+
+    #[test]
+    fn min_max_iter() {
+        let c = CharClass::of(b"zax");
+        assert_eq!(c.min(), Some(b'a'));
+        assert_eq!(c.max(), Some(b'z'));
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![b'a', b'x', b'z']);
+        assert_eq!(CharClass::EMPTY.min(), None);
+        assert_eq!(CharClass::EMPTY.max(), None);
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        let c = CharClass::of(b"The quick brown fox");
+        assert_eq!(CharClass::from_bits(c.to_bits()), c);
+    }
+
+    #[test]
+    fn ranges_and_display() {
+        let c = CharClass::of(b"abcxz");
+        assert_eq!(c.ranges(), vec![(b'a', b'c'), (b'x', b'x'), (b'z', b'z')]);
+        assert_eq!(c.to_string(), "[a-cxz]");
+        assert_eq!(CharClass::ALL.to_string(), "*");
+        assert_eq!(CharClass::byte(b'\n').to_string(), "[\\n]");
+        assert_eq!(CharClass::byte(0x01).to_string(), "[\\x01]");
+        assert_eq!(CharClass::of(b"ab").to_string(), "[ab]");
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let c: CharClass = (b'0'..=b'9').collect();
+        assert_eq!(c, CharClass::range(b'0', b'9'));
+        let mut d = CharClass::byte(b'a');
+        d.extend(b"bc".iter().copied());
+        assert_eq!(d, CharClass::range(b'a', b'c'));
+    }
+
+    #[test]
+    fn full_byte_space() {
+        let c = CharClass::range(0, 255);
+        assert!(c.is_all());
+        let lo = CharClass::range(0, 127);
+        let hi = CharClass::range(128, 255);
+        assert_eq!(lo.union(&hi), CharClass::ALL);
+        assert!(!lo.intersects(&hi));
+    }
+}

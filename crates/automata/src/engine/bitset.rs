@@ -1,0 +1,233 @@
+//! Dense bit-parallel interpreter.
+
+use super::{Engine, EngineStats, MatchEvent};
+use crate::homogeneous::{HomNfa, ReportCode, StartKind};
+
+/// Dense bit-parallel engine.
+///
+/// For every input symbol it keeps one 256-entry table of *match rows* —
+/// `match_rows[b]` has bit `s` set iff state `s`'s label contains byte `b`.
+/// This table is precisely the transposed SRAM image the Cache Automaton
+/// hardware reads (one row per symbol, one column per STE), which makes this
+/// engine the software twin of the fabric simulator.
+///
+/// Cost per symbol is `O(states/64 + activity)`: a word-wise AND for the
+/// state-match phase and a per-set-bit successor scatter for the
+/// state-transition phase.
+#[derive(Debug, Clone)]
+pub struct BitsetEngine {
+    words: usize,
+    /// `match_rows[b * words ..][..words]`: bitmask of states matching `b`.
+    match_rows: Vec<u64>,
+    report_mask: Vec<u64>,
+    all_input_mask: Vec<u64>,
+    start_of_data_mask: Vec<u64>,
+    report: Vec<Option<ReportCode>>,
+    succ_off: Vec<u32>,
+    succ_flat: Vec<u32>,
+    // scratch
+    enabled: Vec<u64>,
+    matched: Vec<u64>,
+    next: Vec<u64>,
+}
+
+impl BitsetEngine {
+    /// Compiles `nfa` into dense row form.
+    pub fn new(nfa: &HomNfa) -> BitsetEngine {
+        let n = nfa.len();
+        let words = n.div_ceil(64);
+        let mut match_rows = vec![0u64; 256 * words];
+        let mut report_mask = vec![0u64; words];
+        let mut all_input_mask = vec![0u64; words];
+        let mut start_of_data_mask = vec![0u64; words];
+        let mut report = vec![None; n];
+        let mut succ_off = Vec::with_capacity(n + 1);
+        let mut succ_flat = Vec::new();
+        succ_off.push(0u32);
+        for (id, st) in nfa.iter() {
+            let (w, m) = (id.index() / 64, 1u64 << (id.index() % 64));
+            for b in st.label.iter() {
+                match_rows[b as usize * words + w] |= m;
+            }
+            if st.report.is_some() {
+                report_mask[w] |= m;
+                report[id.index()] = st.report;
+            }
+            match st.start {
+                StartKind::AllInput => all_input_mask[w] |= m,
+                StartKind::StartOfData => start_of_data_mask[w] |= m,
+                StartKind::None => {}
+            }
+            succ_flat.extend(nfa.successors(id).iter().map(|s| s.0));
+            succ_off.push(succ_flat.len() as u32);
+        }
+        BitsetEngine {
+            words,
+            match_rows,
+            report_mask,
+            all_input_mask,
+            start_of_data_mask,
+            report,
+            succ_off,
+            succ_flat,
+            enabled: vec![0; words],
+            matched: vec![0; words],
+            next: vec![0; words],
+        }
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.report.len()
+    }
+
+    /// Approximate resident size of the compiled tables in bytes (the
+    /// "cache image" of the automaton).
+    pub fn table_bytes(&self) -> usize {
+        (self.match_rows.len() + self.report_mask.len() * 3) * 8
+            + self.succ_flat.len() * 4
+            + self.succ_off.len() * 4
+    }
+
+    fn scan(&mut self, input: &[u8], mut on_cycle: impl FnMut(u64, usize, usize)) -> Vec<MatchEvent> {
+        let words = self.words;
+        let mut events = Vec::new();
+        if words == 0 {
+            return events;
+        }
+        for (w, dst) in self.enabled.iter_mut().enumerate() {
+            *dst = self.start_of_data_mask[w] | self.all_input_mask[w];
+        }
+        let mut codes_this_pos: Vec<ReportCode> = Vec::new();
+        for (pos, &b) in input.iter().enumerate() {
+            let pos = pos as u64;
+            let row = &self.match_rows[b as usize * words..(b as usize + 1) * words];
+            let mut matched_count = 0usize;
+            let mut enabled_count = 0usize;
+            let mut any_report = 0u64;
+            for w in 0..words {
+                let m = self.enabled[w] & row[w];
+                self.matched[w] = m;
+                matched_count += m.count_ones() as usize;
+                enabled_count += self.enabled[w].count_ones() as usize;
+                any_report |= m & self.report_mask[w];
+                self.next[w] = self.all_input_mask[w];
+            }
+            if any_report != 0 {
+                codes_this_pos.clear();
+                for w in 0..words {
+                    let mut m = self.matched[w] & self.report_mask[w];
+                    while m != 0 {
+                        let bit = m.trailing_zeros() as usize;
+                        m &= m - 1;
+                        let s = w * 64 + bit;
+                        let code = self.report[s].expect("report mask bit without code");
+                        if !codes_this_pos.contains(&code) {
+                            codes_this_pos.push(code);
+                            events.push(MatchEvent::new(pos, code));
+                        }
+                    }
+                }
+            }
+            // state-transition phase
+            for w in 0..words {
+                let mut m = self.matched[w];
+                while m != 0 {
+                    let bit = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let s = w * 64 + bit;
+                    let (lo, hi) = (self.succ_off[s] as usize, self.succ_off[s + 1] as usize);
+                    for i in lo..hi {
+                        let t = self.succ_flat[i] as usize;
+                        self.next[t / 64] |= 1u64 << (t % 64);
+                    }
+                }
+            }
+            on_cycle(pos, matched_count, enabled_count);
+            std::mem::swap(&mut self.enabled, &mut self.next);
+        }
+        events
+    }
+}
+
+impl Engine for BitsetEngine {
+    fn run(&mut self, input: &[u8]) -> Vec<MatchEvent> {
+        self.scan(input, |_, _, _| {})
+    }
+
+    fn run_stats(&mut self, input: &[u8]) -> (Vec<MatchEvent>, EngineStats) {
+        let mut stats = EngineStats::default();
+        let events = self.scan(input, |_, matched, enabled| {
+            stats.cycles += 1;
+            stats.total_matched += matched as u64;
+            stats.max_matched = stats.max_matched.max(matched as u64);
+            stats.total_enabled += enabled as u64;
+        });
+        stats.reports = events.len() as u64;
+        (events, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::SparseEngine;
+    use super::*;
+    use crate::regex::{compile_pattern, compile_patterns};
+
+    fn both(patterns: &[&str], input: &[u8]) -> (Vec<MatchEvent>, Vec<MatchEvent>) {
+        let nfa = compile_patterns(patterns).unwrap();
+        let mut sparse = SparseEngine::new(&nfa);
+        let mut dense = BitsetEngine::new(&nfa);
+        (sparse.run(input), dense.run(input))
+    }
+
+    #[test]
+    fn agrees_with_sparse_engine() {
+        for (patterns, input) in [
+            (vec!["cat", "car"], b"a cat in a cart".as_slice()),
+            (vec!["a.*b"], b"a..b..b"),
+            (vec!["^ab", "b+c"], b"abbbc ab"),
+            (vec!["[0-9]{3}"], b"abc123456xyz"),
+            (vec!["x"], b""),
+        ] {
+            let (s, d) = both(&patterns, input);
+            let (mut s, mut d) = (s, d);
+            s.sort();
+            d.sort();
+            assert_eq!(s, d, "patterns {patterns:?}");
+        }
+    }
+
+    #[test]
+    fn stats_match_sparse_matched_counts() {
+        let nfa = compile_pattern("ab").unwrap();
+        let (_, ss) = SparseEngine::new(&nfa).run_stats(b"ababab");
+        let (_, ds) = BitsetEngine::new(&nfa).run_stats(b"ababab");
+        assert_eq!(ss.cycles, ds.cycles);
+        assert_eq!(ss.total_matched, ds.total_matched);
+        assert_eq!(ss.reports, ds.reports);
+    }
+
+    #[test]
+    fn word_boundary_states() {
+        // Force > 64 states so multiple words are exercised.
+        let patterns: Vec<String> =
+            (0..30).map(|i| format!("x{i:02}y")).collect();
+        let refs: Vec<&str> = patterns.iter().map(String::as_str).collect();
+        let nfa = compile_patterns(&refs).unwrap();
+        assert!(nfa.len() > 64);
+        let mut dense = BitsetEngine::new(&nfa);
+        let ev = dense.run(b"zz x07y zz x29y");
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].code, ReportCode(7));
+        assert_eq!(ev[1].code, ReportCode(29));
+    }
+
+    #[test]
+    fn table_bytes_nonzero() {
+        let nfa = compile_pattern("abc").unwrap();
+        let dense = BitsetEngine::new(&nfa);
+        assert!(dense.table_bytes() > 0);
+        assert_eq!(dense.state_count(), 3);
+    }
+}

@@ -1,0 +1,242 @@
+//! Lazy-DFA oracle engine (subset construction).
+
+use super::{Engine, EngineStats, MatchEvent};
+use crate::homogeneous::{HomNfa, ReportCode, StartKind};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Returned when subset construction exceeds the configured state budget.
+///
+/// NFAs with many `.*`-style self loops can blow up exponentially under
+/// determinization — the very reason the paper targets NFAs in hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DfaLimitExceeded {
+    /// The state budget that was exhausted.
+    pub limit: usize,
+}
+
+impl fmt::Display for DfaLimitExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lazy DFA exceeded the {}-state budget", self.limit)
+    }
+}
+
+impl std::error::Error for DfaLimitExceeded {}
+
+/// Lazily determinized engine.
+///
+/// DFA states are sets of enabled NFA states; transitions are built on
+/// demand and memoized, with report codes recorded per transition (reports
+/// fire on symbol consumption). Used as a third independent oracle in
+/// differential tests; construction is bounded by a state budget.
+#[derive(Debug)]
+pub struct DfaEngine {
+    labels_nfa: HomNfa,
+    limit: usize,
+    /// interned DFA states: sorted enabled-set -> id
+    interned: HashMap<Vec<u32>, u32>,
+    sets: Vec<Vec<u32>>,
+    /// trans[state][byte] -> (next, codes) (built lazily)
+    trans: Vec<HashMap<u8, (u32, Vec<ReportCode>)>>,
+    start: u32,
+    all_input: Vec<u32>,
+    /// transient flag: a run hit the limit
+    overflowed: bool,
+}
+
+impl DfaEngine {
+    /// Default budget on materialized DFA states.
+    pub const DEFAULT_LIMIT: usize = 1 << 16;
+
+    /// Creates an engine over `nfa` with the default state budget.
+    pub fn new(nfa: &HomNfa) -> DfaEngine {
+        DfaEngine::with_limit(nfa, DfaEngine::DEFAULT_LIMIT)
+    }
+
+    /// Creates an engine with an explicit state budget.
+    pub fn with_limit(nfa: &HomNfa, limit: usize) -> DfaEngine {
+        let mut all_input = Vec::new();
+        let mut seed = Vec::new();
+        for (id, st) in nfa.iter() {
+            match st.start {
+                StartKind::AllInput => {
+                    all_input.push(id.0);
+                    seed.push(id.0);
+                }
+                StartKind::StartOfData => seed.push(id.0),
+                StartKind::None => {}
+            }
+        }
+        seed.sort_unstable();
+        seed.dedup();
+        let mut engine = DfaEngine {
+            labels_nfa: nfa.clone(),
+            limit,
+            interned: HashMap::new(),
+            sets: Vec::new(),
+            trans: Vec::new(),
+            start: 0,
+            all_input,
+            overflowed: false,
+        };
+        engine.start = engine.intern(seed).expect("first state is within any limit");
+        engine
+    }
+
+    /// Number of DFA states materialized so far.
+    pub fn materialized_states(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// `true` if any run hit the state budget (results incomplete).
+    pub fn overflowed(&self) -> bool {
+        self.overflowed
+    }
+
+    fn intern(&mut self, set: Vec<u32>) -> Result<u32, DfaLimitExceeded> {
+        if let Some(&id) = self.interned.get(&set) {
+            return Ok(id);
+        }
+        if self.sets.len() >= self.limit {
+            return Err(DfaLimitExceeded { limit: self.limit });
+        }
+        let id = self.sets.len() as u32;
+        self.interned.insert(set.clone(), id);
+        self.sets.push(set);
+        self.trans.push(HashMap::new());
+        Ok(id)
+    }
+
+    fn step(&mut self, state: u32, b: u8) -> Result<(u32, Vec<ReportCode>), DfaLimitExceeded> {
+        if let Some(hit) = self.trans[state as usize].get(&b) {
+            return Ok(hit.clone());
+        }
+        let set = self.sets[state as usize].clone();
+        let mut next: Vec<u32> = self.all_input.clone();
+        let mut codes: Vec<ReportCode> = Vec::new();
+        for &s in &set {
+            let id = crate::homogeneous::StateId(s);
+            let st = self.labels_nfa.state(id);
+            if !st.label.contains(b) {
+                continue;
+            }
+            if let Some(code) = st.report {
+                if !codes.contains(&code) {
+                    codes.push(code);
+                }
+            }
+            next.extend(self.labels_nfa.successors(id).iter().map(|t| t.0));
+        }
+        next.sort_unstable();
+        next.dedup();
+        codes.sort_unstable();
+        let next_id = self.intern(next)?;
+        self.trans[state as usize].insert(b, (next_id, codes.clone()));
+        Ok((next_id, codes))
+    }
+
+    /// Runs and reports whether the budget was respected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfaLimitExceeded`] if determinization outgrew the budget;
+    /// events collected so far are discarded.
+    pub fn try_run(&mut self, input: &[u8]) -> Result<Vec<MatchEvent>, DfaLimitExceeded> {
+        let mut events = Vec::new();
+        let mut state = self.start;
+        for (pos, &b) in input.iter().enumerate() {
+            let (next, codes) = self.step(state, b)?;
+            for code in codes {
+                events.push(MatchEvent::new(pos as u64, code));
+            }
+            state = next;
+        }
+        Ok(events)
+    }
+}
+
+impl Engine for DfaEngine {
+    /// Runs the engine; on budget overflow returns the events gathered so
+    /// far and records the overflow (see [`DfaEngine::overflowed`]).
+    fn run(&mut self, input: &[u8]) -> Vec<MatchEvent> {
+        match self.try_run(input) {
+            Ok(ev) => ev,
+            Err(_) => {
+                self.overflowed = true;
+                Vec::new()
+            }
+        }
+    }
+
+    fn run_stats(&mut self, input: &[u8]) -> (Vec<MatchEvent>, EngineStats) {
+        let events = self.run(input);
+        let stats = EngineStats {
+            cycles: input.len() as u64,
+            reports: events.len() as u64,
+            ..Default::default()
+        };
+        (events, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::SparseEngine;
+    use super::*;
+    use crate::regex::{compile_pattern, compile_patterns};
+
+    #[test]
+    fn agrees_with_sparse() {
+        for (patterns, input) in [
+            (vec!["cat", "car"], b"a cat in a cart".as_slice()),
+            (vec!["a.*b"], b"a..b..b"),
+            (vec!["^ab", "b+c"], b"abbbc ab"),
+            (vec!["[ab]{2,3}x"], b"ababxaax"),
+        ] {
+            let nfa = compile_patterns(&patterns).unwrap();
+            let mut sparse = SparseEngine::new(&nfa);
+            let mut dfa = DfaEngine::new(&nfa);
+            let mut s = sparse.run(input);
+            let mut d = dfa.try_run(input).unwrap();
+            s.sort();
+            d.sort();
+            assert_eq!(s, d, "patterns {patterns:?}");
+        }
+    }
+
+    #[test]
+    fn memoization_reuses_states() {
+        let nfa = compile_pattern("ab").unwrap();
+        let mut dfa = DfaEngine::new(&nfa);
+        dfa.try_run(b"abababab").unwrap();
+        let states_after_first = dfa.materialized_states();
+        dfa.try_run(b"abab").unwrap();
+        assert_eq!(dfa.materialized_states(), states_after_first);
+        assert!(states_after_first <= 4);
+    }
+
+    #[test]
+    fn limit_is_enforced() {
+        // Many dotstar patterns force exponential-ish subset growth.
+        let patterns: Vec<String> = (0..10).map(|i| format!("a.*{i}.*b")).collect();
+        let refs: Vec<&str> = patterns.iter().map(String::as_str).collect();
+        let nfa = compile_patterns(&refs).unwrap();
+        let mut dfa = DfaEngine::with_limit(&nfa, 4);
+        // Each digit switches on another persistent `.*` stage, so every
+        // prefix of this input is a distinct subset: guaranteed blowup.
+        let input = b"a0123456789";
+        assert!(dfa.try_run(input).is_err());
+        assert!(!dfa.overflowed()); // try_run does not set the flag
+        let _ = dfa.run(input);
+        assert!(dfa.overflowed());
+    }
+
+    #[test]
+    fn anchored_pattern_not_reseeded() {
+        let nfa = compile_pattern("^aa").unwrap();
+        let mut dfa = DfaEngine::new(&nfa);
+        let ev = dfa.try_run(b"aaaa").unwrap();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].pos, 1);
+    }
+}

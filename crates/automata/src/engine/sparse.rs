@@ -1,0 +1,259 @@
+//! Sparse active-set interpreter (VASim-style).
+
+use super::{Engine, EngineStats, MatchEvent};
+use crate::charclass::CharClass;
+use crate::homogeneous::{HomNfa, ReportCode, StartKind};
+
+/// Sparse active-set engine: tracks only the enabled states, so cost per
+/// symbol is proportional to automaton *activity*, not size.
+///
+/// This mirrors how VASim (the paper's simulator) executes NFAs and is the
+/// measured CPU baseline of `ca-baselines`.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use ca_automata::regex::compile_patterns;
+/// use ca_automata::engine::{Engine, SparseEngine};
+///
+/// let nfa = compile_patterns(&["cat", "car"])?;
+/// let mut eng = SparseEngine::new(&nfa);
+/// let hits = eng.run(b"a cat in a cart");
+/// assert_eq!(hits.len(), 2); // "cat" at 4, "car" at 13
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SparseEngine {
+    labels: Vec<CharClass>,
+    report: Vec<Option<ReportCode>>,
+    /// CSR adjacency: successors of state `i` are
+    /// `succ_flat[succ_off[i]..succ_off[i+1]]`.
+    succ_off: Vec<u32>,
+    succ_flat: Vec<u32>,
+    all_input: Vec<u32>,
+    start_of_data: Vec<u32>,
+    // scratch (reset on every run)
+    stamp: Vec<u64>,
+    enabled_mark: Vec<u64>,
+    tick: u64,
+    enabled: Vec<u32>,
+    next: Vec<u32>,
+}
+
+impl SparseEngine {
+    /// Compiles `nfa` into CSR form ready for scanning.
+    pub fn new(nfa: &HomNfa) -> SparseEngine {
+        let n = nfa.len();
+        let mut labels = Vec::with_capacity(n);
+        let mut report = Vec::with_capacity(n);
+        let mut succ_off = Vec::with_capacity(n + 1);
+        let mut succ_flat = Vec::new();
+        let mut all_input = Vec::new();
+        let mut start_of_data = Vec::new();
+        succ_off.push(0);
+        for (id, st) in nfa.iter() {
+            labels.push(st.label);
+            report.push(st.report);
+            match st.start {
+                StartKind::AllInput => all_input.push(id.0),
+                StartKind::StartOfData => start_of_data.push(id.0),
+                StartKind::None => {}
+            }
+            succ_flat.extend(nfa.successors(id).iter().map(|s| s.0));
+            succ_off.push(succ_flat.len() as u32);
+        }
+        SparseEngine {
+            labels,
+            report,
+            succ_off,
+            succ_flat,
+            all_input,
+            start_of_data,
+            stamp: vec![0; n],
+            enabled_mark: vec![0; n],
+            tick: 0,
+            enabled: Vec::new(),
+            next: Vec::new(),
+        }
+    }
+
+    /// Number of states in the compiled automaton.
+    pub fn state_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    fn scan(&mut self, input: &[u8], mut on_cycle: impl FnMut(u64, usize, usize)) -> Vec<MatchEvent> {
+        let mut events = Vec::new();
+        self.enabled.clear();
+        self.enabled.extend_from_slice(&self.start_of_data);
+
+        let mut seen_code_pos: Vec<MatchEvent> = Vec::new();
+        for (pos, &b) in input.iter().enumerate() {
+            let pos = pos as u64;
+            self.next.clear();
+            // Monotonic tick: stamps from earlier cycles/runs can never
+            // collide with the current one.
+            self.tick += 1;
+            let tick = self.tick;
+            let mut matched = 0usize;
+            seen_code_pos.clear();
+            let enabled_len = self.enabled.len();
+            // Enabled set plus the always-enabled all-input starts.
+            for idx in 0..enabled_len + self.all_input.len() {
+                let s = if idx < enabled_len {
+                    let s = self.enabled[idx];
+                    // Mark enabled states so the all-input pass skips dups.
+                    self.enabled_mark[s as usize] = tick;
+                    s
+                } else {
+                    let s = self.all_input[idx - enabled_len];
+                    // An all-input start may also be in `enabled` via an
+                    // incoming edge; visit it once.
+                    if self.enabled_mark[s as usize] == tick {
+                        continue;
+                    }
+                    s
+                };
+                if !self.labels[s as usize].contains(b) {
+                    continue;
+                }
+                matched += 1;
+                if let Some(code) = self.report[s as usize] {
+                    let ev = MatchEvent::new(pos, code);
+                    if !seen_code_pos.contains(&ev) {
+                        seen_code_pos.push(ev);
+                        events.push(ev);
+                    }
+                }
+                let (lo, hi) =
+                    (self.succ_off[s as usize] as usize, self.succ_off[s as usize + 1] as usize);
+                for i in lo..hi {
+                    let t = self.succ_flat[i];
+                    if self.stamp[t as usize] != tick {
+                        self.stamp[t as usize] = tick;
+                        self.next.push(t);
+                    }
+                }
+            }
+            on_cycle(pos, matched, enabled_len);
+            std::mem::swap(&mut self.enabled, &mut self.next);
+        }
+        events
+    }
+}
+
+impl Engine for SparseEngine {
+    fn run(&mut self, input: &[u8]) -> Vec<MatchEvent> {
+        self.scan(input, |_, _, _| {})
+    }
+
+    fn run_stats(&mut self, input: &[u8]) -> (Vec<MatchEvent>, EngineStats) {
+        let mut stats = EngineStats::default();
+        let events = self.scan(input, |_, matched, enabled| {
+            stats.cycles += 1;
+            stats.total_matched += matched as u64;
+            stats.max_matched = stats.max_matched.max(matched as u64);
+            stats.total_enabled += enabled as u64;
+        });
+        stats.reports = events.len() as u64;
+        (events, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::{compile_pattern, compile_patterns};
+
+    fn events(pattern: &str, input: &[u8]) -> Vec<MatchEvent> {
+        let nfa = compile_pattern(pattern).unwrap();
+        SparseEngine::new(&nfa).run(input)
+    }
+
+    #[test]
+    fn literal_positions() {
+        let ev = events("cat", b"cat catcat");
+        let positions: Vec<u64> = ev.iter().map(|e| e.pos).collect();
+        assert_eq!(positions, vec![2, 6, 9]);
+    }
+
+    #[test]
+    fn overlapping_matches_all_report() {
+        let ev = events("aa", b"aaaa");
+        assert_eq!(ev.iter().map(|e| e.pos).collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn anchored_only_at_start() {
+        let ev = events("^ab", b"abab");
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].pos, 1);
+    }
+
+    #[test]
+    fn dotstar_gap() {
+        let ev = events("a.*b", b"a..b..b");
+        // reports at both b's
+        assert_eq!(ev.iter().map(|e| e.pos).collect::<Vec<_>>(), vec![3, 6]);
+    }
+
+    #[test]
+    fn multi_pattern_codes() {
+        let nfa = compile_patterns(&["cat", "dog"]).unwrap();
+        let ev = SparseEngine::new(&nfa).run(b"dog cat");
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].code, ReportCode(1));
+        assert_eq!(ev[1].code, ReportCode(0));
+    }
+
+    #[test]
+    fn duplicate_reports_deduped() {
+        // Two alternatives matching the same text with one code.
+        let ev = events("ab|[a-b]b", b"zab");
+        assert_eq!(ev.len(), 1);
+    }
+
+    #[test]
+    fn stats_count_activity() {
+        let nfa = compile_pattern("ab").unwrap();
+        let (ev, stats) = SparseEngine::new(&nfa).run_stats(b"abab");
+        assert_eq!(stats.cycles, 4);
+        assert_eq!(stats.reports, ev.len() as u64);
+        // 'a' matches at 0 and 2; 'b' matches at 1 and 3 -> 4 matched total
+        assert_eq!(stats.total_matched, 4);
+        assert_eq!(stats.max_matched, 1);
+        assert!((stats.avg_active() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn engine_reusable_across_runs() {
+        let nfa = compile_pattern("ab").unwrap();
+        let mut eng = SparseEngine::new(&nfa);
+        let first = eng.run(b"ab");
+        let second = eng.run(b"ab");
+        assert_eq!(first, second);
+        assert_eq!(eng.run(b"zz").len(), 0);
+    }
+
+    #[test]
+    fn empty_input_no_events() {
+        let nfa = compile_pattern("a").unwrap();
+        let (ev, stats) = SparseEngine::new(&nfa).run_stats(b"");
+        assert!(ev.is_empty());
+        assert_eq!(stats.cycles, 0);
+    }
+
+    #[test]
+    fn all_input_start_with_self_edge_not_double_counted() {
+        // a+ : start state has a self-loop back to itself; ensure one match
+        // count per cycle even when enabled both ways.
+        let nfa = compile_pattern("a+").unwrap();
+        let (_, stats) = SparseEngine::new(&nfa).run_stats(b"aaa");
+        // cycle 0: start matches (1). cycles 1-2: start + loop state... the
+        // exact count depends on structure; just assert sanity bounds.
+        assert!(stats.total_matched >= 3);
+        assert!(stats.max_matched <= nfa.len() as u64);
+    }
+}

@@ -1,0 +1,88 @@
+//! Error types for the automata toolchain.
+
+use std::fmt;
+
+/// Errors produced while building, parsing or transforming automata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A regular expression failed to parse.
+    ///
+    /// Carries the byte offset in the pattern and a human-readable reason.
+    ParseRegex {
+        /// Byte offset into the pattern at which parsing failed.
+        offset: usize,
+        /// Reason for the failure.
+        reason: String,
+    },
+    /// A regular expression matches the empty string.
+    ///
+    /// Homogeneous (ANML) automata report on symbol consumption, so a
+    /// pattern that can accept zero symbols has no representation; the
+    /// Cache Automaton benchmark suites contain no such pattern.
+    NullableRegex,
+    /// An ANML document failed to parse.
+    ParseAnml {
+        /// Line number (1-based) at which parsing failed.
+        line: usize,
+        /// Reason for the failure.
+        reason: String,
+    },
+    /// An automaton failed validation (dangling edge, missing start, ...).
+    InvalidAutomaton(String),
+    /// A state id was out of range for the automaton it was used with.
+    StateOutOfRange {
+        /// Offending state id.
+        state: u32,
+        /// Number of states in the automaton.
+        len: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ParseRegex { offset, reason } => {
+                write!(f, "regex parse error at byte {offset}: {reason}")
+            }
+            Error::NullableRegex => {
+                write!(f, "pattern matches the empty string, which homogeneous automata cannot report")
+            }
+            Error::ParseAnml { line, reason } => {
+                write!(f, "ANML parse error at line {line}: {reason}")
+            }
+            Error::InvalidAutomaton(reason) => write!(f, "invalid automaton: {reason}"),
+            Error::StateOutOfRange { state, len } => {
+                write!(f, "state id {state} out of range for automaton with {len} states")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = Error::ParseRegex { offset: 3, reason: "unbalanced )".into() };
+        assert_eq!(e.to_string(), "regex parse error at byte 3: unbalanced )");
+        let e = Error::ParseAnml { line: 7, reason: "unknown tag".into() };
+        assert_eq!(e.to_string(), "ANML parse error at line 7: unknown tag");
+        let e = Error::StateOutOfRange { state: 9, len: 4 };
+        assert!(e.to_string().contains("9"));
+        assert!(e.to_string().contains("4"));
+        assert!(!Error::NullableRegex.to_string().is_empty());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,220 @@
+//! Classical → homogeneous NFA transform.
+//!
+//! An ε-free classical NFA labels *edges*; a homogeneous (ANML) NFA labels
+//! *states*. The transform splits every classical state into one homogeneous
+//! state per distinct incoming symbol class — the standard technique (cf.
+//! Roy et al., "Programming Techniques for the Automata Processor") the
+//! Cache Automaton compiler relies on. The worked example of the paper
+//! (Figure 1) splits state `S1` into `S1_a`, `S1_b`, `S1_c` in exactly this
+//! way.
+
+use crate::charclass::CharClass;
+use crate::error::{Error, Result};
+use crate::homogeneous::{HomNfa, StartKind};
+use crate::nfa::ClassicalNfa;
+use std::collections::HashMap;
+
+/// Converts an ε-free classical NFA into an equivalent homogeneous NFA.
+///
+/// `start_kind` selects how the classical start set is expressed: the
+/// successors of classical start states become homogeneous start states of
+/// this kind ([`StartKind::AllInput`] for unanchored scanning,
+/// [`StartKind::StartOfData`] for anchored patterns).
+///
+/// # Errors
+///
+/// * [`Error::InvalidAutomaton`] if the input still has ε-transitions
+///   (call [`ClassicalNfa::without_epsilon`] first) or if a start state is
+///   accepting (an empty match is unrepresentable in homogeneous form).
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use ca_automata::{ClassicalNfa, CharClass, ReportCode, StartKind};
+/// use ca_automata::homogenize::homogenize;
+///
+/// // S0 --a--> S1 --b--> S2(accept), plus S0 --b--> S1:
+/// // S1 splits into S1_a and S1_b.
+/// let mut c = ClassicalNfa::new();
+/// let s0 = c.add_state();
+/// let s1 = c.add_state();
+/// let s2 = c.add_state();
+/// c.add_start(s0);
+/// c.add_transition(s0, CharClass::byte(b'a'), s1);
+/// c.add_transition(s0, CharClass::byte(b'b'), s1);
+/// c.add_transition(s1, CharClass::byte(b'b'), s2);
+/// c.set_accept(s2, ReportCode(0));
+///
+/// let h = homogenize(&c, StartKind::AllInput)?;
+/// assert_eq!(h.len(), 3); // S1_a, S1_b, S2_b
+/// # Ok(())
+/// # }
+/// ```
+pub fn homogenize(nfa: &ClassicalNfa, start_kind: StartKind) -> Result<HomNfa> {
+    if nfa.eps_count() != 0 {
+        return Err(Error::InvalidAutomaton(
+            "homogenize requires an epsilon-free NFA; call without_epsilon() first".into(),
+        ));
+    }
+    for &s in nfa.starts() {
+        if nfa.accept_code(s).is_some() {
+            return Err(Error::InvalidAutomaton(
+                "a start state is accepting: empty matches are unrepresentable".into(),
+            ));
+        }
+    }
+
+    // Collect the distinct incoming classes of every classical state.
+    let mut incoming: Vec<Vec<CharClass>> = vec![Vec::new(); nfa.len()];
+    for q in 0..nfa.len() as u32 {
+        for &(class, to) in nfa.transitions(q) {
+            let list = &mut incoming[to as usize];
+            if !list.contains(&class) {
+                list.push(class);
+            }
+        }
+    }
+
+    // One homogeneous state per (classical state, incoming class) pair.
+    let mut out = HomNfa::new();
+    let mut index: HashMap<(u32, CharClass), crate::homogeneous::StateId> = HashMap::new();
+    for (q, classes) in incoming.iter().enumerate() {
+        for &class in classes {
+            let id = out.add_state_full(class, StartKind::None, nfa.accept_code(q as u32));
+            index.insert((q as u32, class), id);
+        }
+    }
+
+    // Mark start copies: successors of classical start states self-enable.
+    for &s in nfa.starts() {
+        for &(class, to) in nfa.transitions(s) {
+            let id = index[&(to, class)];
+            out.state_mut(id).start = start_kind;
+        }
+    }
+
+    // Edges: every copy of p inherits p's outgoing transitions; the target
+    // copy is selected by the transition's class.
+    for p in 0..nfa.len() as u32 {
+        for &copy_class in &incoming[p as usize] {
+            let from = index[&(p, copy_class)];
+            for &(class, to) in nfa.transitions(p) {
+                let target = index[&(to, class)];
+                out.add_edge(from, target);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, SparseEngine};
+    use crate::homogeneous::ReportCode;
+
+    /// Figure 1 of the paper: patterns {bat, bar, bart, ar, at, art,
+    /// car, cat, cart} expressed as a classical NFA, homogenized.
+    fn figure1_classical() -> ClassicalNfa {
+        let mut n = ClassicalNfa::new();
+        let s0 = n.add_state(); // virtual start
+        let s1 = n.add_state(); // after b/c or directly a
+        let s2 = n.add_state(); // 'a' seen
+        let s3 = n.add_state(); // 't' accept
+        let s4 = n.add_state(); // 'r' accept
+        let s5 = n.add_state(); // 't' after r, accept
+        n.add_start(s0);
+        n.add_transition(s0, CharClass::byte(b'b'), s1);
+        n.add_transition(s0, CharClass::byte(b'c'), s1);
+        n.add_transition(s0, CharClass::byte(b'a'), s2);
+        n.add_transition(s1, CharClass::byte(b'a'), s2);
+        n.add_transition(s2, CharClass::byte(b't'), s3);
+        n.add_transition(s2, CharClass::byte(b'r'), s4);
+        n.add_transition(s4, CharClass::byte(b't'), s5);
+        n.set_accept(s3, ReportCode(0));
+        n.set_accept(s4, ReportCode(1));
+        n.set_accept(s5, ReportCode(2));
+        n
+    }
+
+    #[test]
+    fn splits_states_per_incoming_class() {
+        let c = figure1_classical();
+        let h = homogenize(&c, StartKind::AllInput).unwrap();
+        // s1 has incoming {b},{c} -> 2 copies; s2 has {a} -> 1; s3,s4,s5 1 each.
+        assert_eq!(h.len(), 6);
+        assert!(h.validate().is_ok());
+    }
+
+    #[test]
+    fn language_is_preserved() {
+        let c = figure1_classical();
+        let h = homogenize(&c, StartKind::AllInput).unwrap();
+        let mut eng = SparseEngine::new(&h);
+        for (input, expect) in [
+            (b"bat".as_slice(), true),
+            (b"bart", true),
+            (b"car", true),
+            (b"cart", true),
+            (b"art", true),
+            (b"xxatxx", true),
+            (b"b", false),
+            (b"ba", false),
+            (b"rt", false),
+        ] {
+            let got = !eng.run(input).is_empty();
+            let want = c.accepts(input);
+            assert_eq!(want, expect, "oracle drifted on {input:?}");
+            assert_eq!(got, want, "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn merged_classes_do_not_split() {
+        // Two edges with the *same* class into one state -> one copy.
+        let mut c = ClassicalNfa::new();
+        let s0 = c.add_state();
+        let s1 = c.add_state();
+        let s2 = c.add_state();
+        c.add_start(s0);
+        c.add_transition(s0, CharClass::byte(b'a'), s2);
+        c.add_transition(s1, CharClass::byte(b'a'), s2);
+        c.add_transition(s0, CharClass::byte(b'x'), s1);
+        c.set_accept(s2, ReportCode(0));
+        let h = homogenize(&c, StartKind::AllInput).unwrap();
+        // copies: s1_x, s2_a -> 2 states
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn rejects_epsilon_input() {
+        let mut c = ClassicalNfa::new();
+        let a = c.add_state();
+        let b = c.add_state();
+        c.add_start(a);
+        c.add_epsilon(a, b);
+        assert!(homogenize(&c, StartKind::AllInput).is_err());
+    }
+
+    #[test]
+    fn rejects_accepting_start() {
+        let mut c = ClassicalNfa::new();
+        let a = c.add_state();
+        c.add_start(a);
+        c.set_accept(a, ReportCode(0));
+        assert!(homogenize(&c, StartKind::AllInput).is_err());
+    }
+
+    #[test]
+    fn anchored_start_kind_applied() {
+        let mut c = ClassicalNfa::new();
+        let s0 = c.add_state();
+        let s1 = c.add_state();
+        c.add_start(s0);
+        c.add_transition(s0, CharClass::byte(b'a'), s1);
+        c.set_accept(s1, ReportCode(0));
+        let h = homogenize(&c, StartKind::StartOfData).unwrap();
+        assert_eq!(h.state(h.start_states()[0]).start, StartKind::StartOfData);
+    }
+}

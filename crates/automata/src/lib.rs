@@ -1,0 +1,61 @@
+//! NFA toolchain for the Cache Automaton reproduction.
+//!
+//! This crate is the software substrate the paper's architecture operates
+//! on: symbol classes, regular-expression and ANML front-ends, homogeneous
+//! (STE-per-state) automata, structural analyses, the prefix-merging
+//! optimizer used by the space-optimized design, and three independent CPU
+//! reference engines.
+//!
+//! # Quick tour
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use ca_automata::regex::compile_patterns;
+//! use ca_automata::engine::{Engine, SparseEngine};
+//! use ca_automata::analysis::connected_components;
+//!
+//! // Compile a small dictionary into one multi-pattern NFA.
+//! let nfa = compile_patterns(&["bat", "bar.?t", "ca[rt]t?"])?;
+//! assert_eq!(connected_components(&nfa).len(), 3);
+//!
+//! // Scan a stream; each event carries the pattern index and end offset.
+//! let events = SparseEngine::new(&nfa).run(b"a bart in a cart");
+//! assert!(!events.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Modules
+//!
+//! * [`charclass`] — 256-bit symbol classes (the STE column image).
+//! * [`regex`] — pattern parser plus Glushkov and Thompson compilers.
+//! * [`homogeneous`] — the central [`HomNfa`] automaton type.
+//! * [`nfa`] / [`homogenize`] — classical ε-NFAs and the homogenization
+//!   transform.
+//! * [`anml`] — ANML parse/serialize.
+//! * [`analysis`] — connected components and summary statistics.
+//! * [`build`] — combinator API for programmatic pattern construction.
+//! * [`optimize`] — prefix merging and dead-state removal (CA_S flow).
+//! * [`engine`] — sparse, bit-parallel and lazy-DFA reference engines.
+//! * [`stride`] — Impala-style 4-bit symbol transform (extension).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+pub mod build;
+pub mod anml;
+pub mod charclass;
+pub mod engine;
+pub mod error;
+pub mod homogeneous;
+pub mod homogenize;
+pub mod nfa;
+pub mod optimize;
+pub mod regex;
+pub mod stride;
+
+pub use charclass::CharClass;
+pub use error::{Error, Result};
+pub use homogeneous::{HomNfa, ReportCode, StartKind, State, StateId};
+pub use nfa::ClassicalNfa;

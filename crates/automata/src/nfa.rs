@@ -1,0 +1,372 @@
+//! Classical (edge-labelled) NFAs with ε-transitions.
+//!
+//! This is the target of the Thompson construction and the source of the
+//! classical → homogeneous transform ([`crate::homogenize`]). States are
+//! unlabelled; transitions carry a [`CharClass`] or are ε.
+
+use crate::charclass::CharClass;
+use crate::error::{Error, Result};
+use crate::homogeneous::ReportCode;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A classical NFA with optional ε-transitions.
+///
+/// # Examples
+///
+/// ```
+/// use ca_automata::{ClassicalNfa, CharClass, ReportCode};
+///
+/// // Accepts "ab"
+/// let mut nfa = ClassicalNfa::new();
+/// let s0 = nfa.add_state();
+/// let s1 = nfa.add_state();
+/// let s2 = nfa.add_state();
+/// nfa.add_start(s0);
+/// nfa.set_accept(s2, ReportCode(0));
+/// nfa.add_transition(s0, CharClass::byte(b'a'), s1);
+/// nfa.add_transition(s1, CharClass::byte(b'b'), s2);
+/// assert!(nfa.accepts(b"ab"));
+/// assert!(!nfa.accepts(b"aa"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClassicalNfa {
+    /// transitions[q] = list of (class, target)
+    trans: Vec<Vec<(CharClass, u32)>>,
+    /// eps[q] = ε-successors of q
+    eps: Vec<Vec<u32>>,
+    accept: Vec<Option<ReportCode>>,
+    starts: Vec<u32>,
+}
+
+impl ClassicalNfa {
+    /// Creates an empty NFA.
+    pub fn new() -> ClassicalNfa {
+        ClassicalNfa::default()
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.trans.len()
+    }
+
+    /// `true` if there are no states.
+    pub fn is_empty(&self) -> bool {
+        self.trans.is_empty()
+    }
+
+    /// Number of non-ε transitions.
+    pub fn edge_count(&self) -> usize {
+        self.trans.iter().map(Vec::len).sum()
+    }
+
+    /// Number of ε-transitions.
+    pub fn eps_count(&self) -> usize {
+        self.eps.iter().map(Vec::len).sum()
+    }
+
+    /// Adds a state; returns its index.
+    pub fn add_state(&mut self) -> u32 {
+        self.trans.push(Vec::new());
+        self.eps.push(Vec::new());
+        self.accept.push(None);
+        (self.trans.len() - 1) as u32
+    }
+
+    /// Marks `q` as a start state.
+    pub fn add_start(&mut self, q: u32) {
+        if !self.starts.contains(&q) {
+            self.starts.push(q);
+        }
+    }
+
+    /// The start states.
+    pub fn starts(&self) -> &[u32] {
+        &self.starts
+    }
+
+    /// Marks `q` accepting with the given report code.
+    pub fn set_accept(&mut self, q: u32, code: ReportCode) {
+        self.accept[q as usize] = Some(code);
+    }
+
+    /// The report code of `q`, if accepting.
+    pub fn accept_code(&self, q: u32) -> Option<ReportCode> {
+        self.accept[q as usize]
+    }
+
+    /// Adds a transition on `class` from `from` to `to`.
+    pub fn add_transition(&mut self, from: u32, class: CharClass, to: u32) {
+        self.trans[from as usize].push((class, to));
+    }
+
+    /// Adds an ε-transition from `from` to `to`.
+    pub fn add_epsilon(&mut self, from: u32, to: u32) {
+        if from != to && !self.eps[from as usize].contains(&to) {
+            self.eps[from as usize].push(to);
+        }
+    }
+
+    /// The labelled transitions out of `q`.
+    pub fn transitions(&self, q: u32) -> &[(CharClass, u32)] {
+        &self.trans[q as usize]
+    }
+
+    /// The ε-successors of `q`.
+    pub fn epsilons(&self, q: u32) -> &[u32] {
+        &self.eps[q as usize]
+    }
+
+    /// ε-closure of a set of states (the set itself plus everything
+    /// reachable through ε edges alone), as a sorted set.
+    pub fn eps_closure(&self, set: impl IntoIterator<Item = u32>) -> BTreeSet<u32> {
+        let mut out: BTreeSet<u32> = BTreeSet::new();
+        let mut stack: Vec<u32> = set.into_iter().collect();
+        while let Some(q) = stack.pop() {
+            if out.insert(q) {
+                for &t in &self.eps[q as usize] {
+                    if !out.contains(&t) {
+                        stack.push(t);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Produces an equivalent NFA with no ε-transitions.
+    ///
+    /// Standard closure construction: each state gains the labelled
+    /// transitions and acceptance of its ε-closure. Start-state closures are
+    /// folded into the start set. Unreachable states are retained (callers
+    /// may prune); ε edges are dropped.
+    #[must_use]
+    pub fn without_epsilon(&self) -> ClassicalNfa {
+        let mut out = ClassicalNfa::new();
+        for _ in 0..self.len() {
+            out.add_state();
+        }
+        for q in 0..self.len() as u32 {
+            let closure = self.eps_closure([q]);
+            for &c in &closure {
+                // inherit acceptance from anything in the closure
+                if out.accept[q as usize].is_none() {
+                    if let Some(code) = self.accept[c as usize] {
+                        out.accept[q as usize] = Some(code);
+                    }
+                }
+                for &(class, to) in &self.trans[c as usize] {
+                    out.add_transition(q, class, to);
+                }
+            }
+        }
+        for &s in &self.starts {
+            out.add_start(s);
+        }
+        debug_assert_eq!(out.eps_count(), 0);
+        out
+    }
+
+    /// Reference executor: runs the NFA over `input` and returns, for each
+    /// position `i`, the set of report codes accepted after consuming
+    /// `input[..=i]`.
+    ///
+    /// Quadratic and allocation-heavy by design — this is the trusted oracle
+    /// the fast engines are tested against, not a production path.
+    pub fn run_reference(&self, input: &[u8]) -> Vec<Vec<ReportCode>> {
+        let mut events: Vec<Vec<ReportCode>> = Vec::with_capacity(input.len());
+        // Unanchored semantics: the start set is re-seeded at every position,
+        // matching homogeneous AllInput starts. Anchoring is expressed
+        // structurally by the front-end before reaching this executor.
+        let seed: BTreeSet<u32> = self.eps_closure(self.starts.iter().copied());
+        let mut current: BTreeSet<u32> = seed.clone();
+        for &b in input {
+            let mut next: BTreeSet<u32> = BTreeSet::new();
+            for &q in &current {
+                for &(class, to) in &self.trans[q as usize] {
+                    if class.contains(b) {
+                        next.insert(to);
+                    }
+                }
+            }
+            let next = self.eps_closure(next);
+            let mut codes: BTreeSet<ReportCode> = BTreeSet::new();
+            for &q in &next {
+                if let Some(code) = self.accept[q as usize] {
+                    codes.insert(code);
+                }
+            }
+            events.push(codes.into_iter().collect());
+            current = next.union(&seed).copied().collect();
+        }
+        events
+    }
+
+    /// `true` if some prefix scan of `input` reaches an accepting state at
+    /// its final position (unanchored containment test).
+    pub fn accepts(&self, input: &[u8]) -> bool {
+        self.run_reference(input).iter().any(|v| !v.is_empty())
+    }
+
+    /// Checks structural invariants (edges in range, starts in range).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::StateOutOfRange`] or [`Error::InvalidAutomaton`].
+    pub fn validate(&self) -> Result<()> {
+        let n = self.len();
+        for q in 0..n {
+            for &(class, to) in &self.trans[q] {
+                if to as usize >= n {
+                    return Err(Error::StateOutOfRange { state: to, len: n });
+                }
+                if class.is_empty() {
+                    return Err(Error::InvalidAutomaton(format!(
+                        "transition out of state {q} has an empty class"
+                    )));
+                }
+            }
+            for &to in &self.eps[q] {
+                if to as usize >= n {
+                    return Err(Error::StateOutOfRange { state: to, len: n });
+                }
+            }
+        }
+        for &s in &self.starts {
+            if s as usize >= n {
+                return Err(Error::StateOutOfRange { state: s, len: n });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ClassicalNfa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "ClassicalNfa({} states, {} edges, {} eps)",
+            self.len(),
+            self.edge_count(),
+            self.eps_count()
+        )?;
+        for q in 0..self.len() as u32 {
+            let start = if self.starts.contains(&q) { ">" } else { " " };
+            let acc = self.accept[q as usize].map(|c| format!(" !{c}")).unwrap_or_default();
+            write!(f, " {start}q{q}{acc}:")?;
+            for &(class, to) in &self.trans[q as usize] {
+                write!(f, " {class}->q{to}")?;
+            }
+            for &to in &self.eps[q as usize] {
+                write!(f, " eps->q{to}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `a(b|c)*d` via explicit ε edges.
+    fn sample() -> ClassicalNfa {
+        let mut n = ClassicalNfa::new();
+        let q: Vec<u32> = (0..5).map(|_| n.add_state()).collect();
+        n.add_start(q[0]);
+        n.add_transition(q[0], CharClass::byte(b'a'), q[1]);
+        n.add_epsilon(q[1], q[2]);
+        n.add_transition(q[2], CharClass::of(b"bc"), q[3]);
+        n.add_epsilon(q[3], q[2]);
+        n.add_epsilon(q[1], q[4]);
+        n.add_epsilon(q[3], q[4]);
+        // q4 --d--> accept (reuse q0 slot? no: add a fresh accept state)
+        let acc = n.add_state();
+        n.add_transition(q[4], CharClass::byte(b'd'), acc);
+        n.set_accept(acc, ReportCode(1));
+        n
+    }
+
+    #[test]
+    fn closure_contains_self_and_transitive() {
+        let n = sample();
+        let c = n.eps_closure([1]);
+        assert!(c.contains(&1) && c.contains(&2) && c.contains(&4));
+        assert!(!c.contains(&3));
+    }
+
+    #[test]
+    fn reference_run_accepts_language() {
+        let n = sample();
+        assert!(n.accepts(b"ad"));
+        assert!(n.accepts(b"abcd"));
+        assert!(n.accepts(b"abbbccd"));
+        assert!(!n.accepts(b"a"));
+        assert!(!n.accepts(b"bd"));
+        // unanchored: embedded occurrence matches
+        assert!(n.accepts(b"xxabdxx"));
+    }
+
+    #[test]
+    fn epsilon_elimination_preserves_language() {
+        let n = sample();
+        let ne = n.without_epsilon();
+        assert_eq!(ne.eps_count(), 0);
+        for input in [
+            b"ad".as_slice(),
+            b"abcd",
+            b"abbbccd",
+            b"a",
+            b"bd",
+            b"xxabdxx",
+            b"",
+            b"dddd",
+        ] {
+            assert_eq!(n.run_reference(input), ne.run_reference(input), "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn report_positions_are_exact() {
+        let n = sample();
+        let ev = n.run_reference(b"xadx");
+        assert!(ev[0].is_empty());
+        assert!(ev[1].is_empty());
+        assert_eq!(ev[2], vec![ReportCode(1)]); // 'd' consumed at index 2
+        assert!(ev[3].is_empty());
+    }
+
+    #[test]
+    fn validation_catches_bad_edges() {
+        let mut n = ClassicalNfa::new();
+        let q = n.add_state();
+        n.add_start(q);
+        n.trans[0].push((CharClass::byte(b'a'), 9));
+        assert!(matches!(n.validate(), Err(Error::StateOutOfRange { state: 9, .. })));
+    }
+
+    #[test]
+    fn empty_class_rejected() {
+        let mut n = ClassicalNfa::new();
+        let a = n.add_state();
+        let b = n.add_state();
+        n.add_transition(a, CharClass::EMPTY, b);
+        assert!(n.validate().is_err());
+    }
+
+    #[test]
+    fn self_epsilon_ignored() {
+        let mut n = ClassicalNfa::new();
+        let a = n.add_state();
+        n.add_epsilon(a, a);
+        assert_eq!(n.eps_count(), 0);
+    }
+
+    #[test]
+    fn display_smoke() {
+        let s = sample().to_string();
+        assert!(s.contains("ClassicalNfa"));
+        assert!(s.contains("eps->"));
+    }
+}

@@ -1,0 +1,448 @@
+//! Automaton optimizations for the space-optimized (CA_S) flow.
+//!
+//! The paper's space-optimized design first runs "state-merging algorithms
+//! ... that merge common prefixes across patterns" (§3.1) before mapping.
+//! Two states can be merged whenever they are *activation-equivalent*: same
+//! label, same start kind and identical predecessor sets imply they are
+//! enabled in exactly the same cycles, so one copy (with the union of the
+//! out-edges) behaves identically. Iterating this to a fixpoint collapses
+//! shared prefixes such as `art`/`artifact` exactly as the paper describes.
+
+use crate::homogeneous::{HomNfa, StateId};
+use std::collections::HashMap;
+
+/// Result of an optimization pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptimizeStats {
+    /// States before the pass.
+    pub states_before: usize,
+    /// States after the pass.
+    pub states_after: usize,
+    /// Fixpoint iterations performed.
+    pub rounds: usize,
+}
+
+impl OptimizeStats {
+    /// Fraction of states removed (0 when nothing merged).
+    pub fn reduction(&self) -> f64 {
+        if self.states_before == 0 {
+            0.0
+        } else {
+            1.0 - self.states_after as f64 / self.states_before as f64
+        }
+    }
+}
+
+/// Merges activation-equivalent states to a fixpoint (common-prefix
+/// merging). Returns the rewritten automaton and pass statistics.
+///
+/// Reporting states are only merged with states carrying the *same* report
+/// code, so the observable match stream is preserved exactly.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use ca_automata::regex::compile_patterns;
+/// use ca_automata::optimize::merge_common_prefixes;
+///
+/// // "art" and "artifact" share the prefix "art".
+/// let nfa = compile_patterns(&["artifact", "article"])?;
+/// let (merged, stats) = merge_common_prefixes(&nfa);
+/// assert!(merged.len() < nfa.len());
+/// assert!(stats.reduction() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn merge_common_prefixes(nfa: &HomNfa) -> (HomNfa, OptimizeStats) {
+    let mut current = nfa.clone();
+    let before = nfa.len();
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        let (next, merged_any) = merge_round(&current);
+        current = next;
+        if !merged_any || rounds > 64 {
+            break;
+        }
+    }
+    let stats =
+        OptimizeStats { states_before: before, states_after: current.len(), rounds };
+    (current, stats)
+}
+
+/// One merge round: groups states by activation signature and rebuilds.
+fn merge_round(nfa: &HomNfa) -> (HomNfa, bool) {
+    let pred = nfa.predecessors();
+    // signature: (label bits, start kind, report, sorted predecessor ids)
+    let mut groups: HashMap<([u64; 4], u8, Option<u32>, Vec<u32>), Vec<StateId>> = HashMap::new();
+    for (id, st) in nfa.iter() {
+        // Self-loops are replaced by a sentinel so two states that differ
+        // only in *which* state they self-loop on (their own) can merge:
+        // with equal labels, starts and non-self predecessors, their
+        // activation recurrences are identical by induction.
+        let mut p: Vec<u32> =
+            pred[id.index()].iter().map(|s| if *s == id { u32::MAX } else { s.0 }).collect();
+        p.sort_unstable();
+        p.dedup();
+        let key = (
+            st.label.to_bits(),
+            match st.start {
+                crate::homogeneous::StartKind::None => 0u8,
+                crate::homogeneous::StartKind::StartOfData => 1,
+                crate::homogeneous::StartKind::AllInput => 2,
+            },
+            st.report.map(|r| r.0),
+            p,
+        );
+        groups.entry(key).or_default().push(id);
+    }
+    let mut merged_any = false;
+    // representative map: every state -> the smallest id in its group,
+    // but only for groups whose predecessor sets contain no group members
+    // (self-referential groups are handled conservatively: merging states
+    // whose predecessor lists differ only by intra-group ids is deferred to
+    // later rounds once their predecessors have merged).
+    let mut repr: Vec<StateId> = (0..nfa.len() as u32).map(StateId).collect();
+    for members in groups.values() {
+        if members.len() > 1 {
+            merged_any = true;
+            let keep = members[0];
+            for &m in &members[1..] {
+                repr[m.index()] = keep;
+            }
+        }
+    }
+    if !merged_any {
+        return (nfa.clone(), false);
+    }
+    // Rebuild with representatives only.
+    let mut new_id: Vec<Option<StateId>> = vec![None; nfa.len()];
+    let mut out = HomNfa::new();
+    for (id, st) in nfa.iter() {
+        if repr[id.index()] == id {
+            new_id[id.index()] = Some(out.add_state_full(st.label, st.start, st.report));
+        }
+    }
+    for (id, _) in nfa.iter() {
+        let from = new_id[repr[id.index()].index()].expect("representative exists");
+        for &t in nfa.successors(id) {
+            let to = new_id[repr[t.index()].index()].expect("representative exists");
+            out.add_edge(from, to);
+        }
+    }
+    (out, true)
+}
+
+/// Merges *observation-equivalent* states to a fixpoint (common-suffix
+/// merging): two states with the same label, the same report code and
+/// identical successor sets behave identically downstream, so their
+/// in-edges can be pooled onto one copy.
+///
+/// This is the dual of [`merge_common_prefixes`] and goes beyond the
+/// paper's CA_S flow (which cites prefix merging only); it is offered as
+/// an extension and exercised by the `experiments ablation` harness.
+/// Start kinds must also match: an all-input start is re-enabled every
+/// cycle, so merging it with a non-start would change activations.
+pub fn merge_common_suffixes(nfa: &HomNfa) -> (HomNfa, OptimizeStats) {
+    let mut current = nfa.clone();
+    let before = nfa.len();
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        let (next, merged_any) = suffix_round(&current);
+        current = next;
+        if !merged_any || rounds > 64 {
+            break;
+        }
+    }
+    let stats = OptimizeStats { states_before: before, states_after: current.len(), rounds };
+    (current, stats)
+}
+
+fn suffix_round(nfa: &HomNfa) -> (HomNfa, bool) {
+    // signature: (label, start, report, sorted successors with self-loops
+    // mapped to a sentinel — the same soundness argument as prefix merging,
+    // run over the reversed automaton)
+    let mut groups: HashMap<([u64; 4], u8, Option<u32>, Vec<u32>), Vec<StateId>> = HashMap::new();
+    for (id, st) in nfa.iter() {
+        let mut succ: Vec<u32> = nfa
+            .successors(id)
+            .iter()
+            .map(|t| if *t == id { u32::MAX } else { t.0 })
+            .collect();
+        succ.sort_unstable();
+        succ.dedup();
+        let key = (
+            st.label.to_bits(),
+            match st.start {
+                crate::homogeneous::StartKind::None => 0u8,
+                crate::homogeneous::StartKind::StartOfData => 1,
+                crate::homogeneous::StartKind::AllInput => 2,
+            },
+            st.report.map(|r| r.0),
+            succ,
+        );
+        groups.entry(key).or_default().push(id);
+    }
+    let mut merged_any = false;
+    let mut repr: Vec<StateId> = (0..nfa.len() as u32).map(StateId).collect();
+    for members in groups.values() {
+        if members.len() > 1 {
+            merged_any = true;
+            let keep = members[0];
+            for &m in &members[1..] {
+                repr[m.index()] = keep;
+            }
+        }
+    }
+    if !merged_any {
+        return (nfa.clone(), false);
+    }
+    let mut new_id: Vec<Option<StateId>> = vec![None; nfa.len()];
+    let mut out = HomNfa::new();
+    for (id, st) in nfa.iter() {
+        if repr[id.index()] == id {
+            new_id[id.index()] = Some(out.add_state_full(st.label, st.start, st.report));
+        }
+    }
+    for (id, _) in nfa.iter() {
+        let from = new_id[repr[id.index()].index()].expect("representative exists");
+        for &t in nfa.successors(id) {
+            let to = new_id[repr[t.index()].index()].expect("representative exists");
+            out.add_edge(from, to);
+        }
+    }
+    (out, true)
+}
+
+/// Both merges iterated jointly to a fixpoint (prefix merging can expose
+/// new suffix merges and vice versa). An extension beyond the paper's CA_S
+/// flow; see [`merge_common_suffixes`].
+pub fn merge_bidirectional(nfa: &HomNfa) -> (HomNfa, OptimizeStats) {
+    let before = nfa.len();
+    let mut current = nfa.clone();
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        let len_before = current.len();
+        current = merge_common_prefixes(&current).0;
+        current = merge_common_suffixes(&current).0;
+        if current.len() == len_before || rounds > 16 {
+            break;
+        }
+    }
+    let stats = OptimizeStats { states_before: before, states_after: current.len(), rounds };
+    (current, stats)
+}
+
+/// Removes states that are unreachable from a start state or cannot reach a
+/// reporting state. Returns the pruned automaton and pass statistics.
+pub fn remove_dead_states(nfa: &HomNfa) -> (HomNfa, OptimizeStats) {
+    let n = nfa.len();
+    // forward reachability from starts
+    let mut fwd = vec![false; n];
+    let mut stack: Vec<StateId> = nfa.start_states();
+    for s in &stack {
+        fwd[s.index()] = true;
+    }
+    while let Some(s) = stack.pop() {
+        for &t in nfa.successors(s) {
+            if !fwd[t.index()] {
+                fwd[t.index()] = true;
+                stack.push(t);
+            }
+        }
+    }
+    // backward reachability from reports
+    let pred = nfa.predecessors();
+    let mut bwd = vec![false; n];
+    let mut stack: Vec<StateId> = nfa.reporting_states();
+    for s in &stack {
+        bwd[s.index()] = true;
+    }
+    while let Some(s) = stack.pop() {
+        for &t in &pred[s.index()] {
+            if !bwd[t.index()] {
+                bwd[t.index()] = true;
+                stack.push(t);
+            }
+        }
+    }
+    let keep: Vec<bool> = (0..n).map(|i| fwd[i] && bwd[i]).collect();
+    let mut out = nfa.clone();
+    out.retain_states(&keep);
+    let stats = OptimizeStats { states_before: n, states_after: out.len(), rounds: 1 };
+    (out, stats)
+}
+
+/// The full space-optimization pipeline used for CA_S automata:
+/// dead-state removal followed by prefix merging to fixpoint.
+pub fn space_optimize(nfa: &HomNfa) -> (HomNfa, OptimizeStats) {
+    let before = nfa.len();
+    let (pruned, _) = remove_dead_states(nfa);
+    let (merged, m) = merge_common_prefixes(&pruned);
+    let stats =
+        OptimizeStats { states_before: before, states_after: merged.len(), rounds: m.rounds };
+    (merged, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, SparseEngine};
+    use crate::regex::compile_patterns;
+
+    fn assert_same_language(a: &HomNfa, b: &HomNfa, inputs: &[&[u8]]) {
+        for input in inputs {
+            let mut ea = SparseEngine::new(a).run(input);
+            let mut eb = SparseEngine::new(b).run(input);
+            ea.sort();
+            eb.sort();
+            assert_eq!(ea, eb, "diverged on {input:?}");
+        }
+    }
+
+    #[test]
+    fn shared_prefixes_merge() {
+        let nfa = compile_patterns(&["artifact", "article", "artisan"]).unwrap();
+        let (merged, stats) = merge_common_prefixes(&nfa);
+        // "arti" x3 -> one copy saves 2*4=8 states... minus diverging tails.
+        assert!(merged.len() < nfa.len());
+        assert!(stats.reduction() > 0.2, "reduction {}", stats.reduction());
+        assert_same_language(
+            &nfa,
+            &merged,
+            &[b"artifact!", b"an article", b"artisan", b"artist", b"art"],
+        );
+    }
+
+    #[test]
+    fn distinct_reports_do_not_merge() {
+        // Identical patterns with different codes must both report.
+        let nfa = compile_patterns(&["abc", "abc"]).unwrap();
+        let (merged, _) = merge_common_prefixes(&nfa);
+        let ev = SparseEngine::new(&merged).run(b"abc");
+        assert_eq!(ev.len(), 2, "both report codes must fire");
+        // prefixes a,b merge; the two reporting c's stay apart
+        assert_eq!(merged.len(), 4);
+    }
+
+    #[test]
+    fn no_merge_when_nothing_shared() {
+        let nfa = compile_patterns(&["ab", "cd"]).unwrap();
+        let (merged, stats) = merge_common_prefixes(&nfa);
+        assert_eq!(merged.len(), nfa.len());
+        assert_eq!(stats.reduction(), 0.0);
+    }
+
+    #[test]
+    fn merge_reduces_component_count() {
+        use crate::analysis::connected_components;
+        let nfa = compile_patterns(&["share1", "share2", "share3"]).unwrap();
+        assert_eq!(connected_components(&nfa).len(), 3);
+        let (merged, _) = merge_common_prefixes(&nfa);
+        // merged "share" prefix joins all three patterns into one CC
+        assert_eq!(connected_components(&merged).len(), 1);
+        assert_same_language(&nfa, &merged, &[b"share1 share3", b"share", b"share2"]);
+    }
+
+    #[test]
+    fn dead_state_removal() {
+        use crate::charclass::CharClass;
+        use crate::homogeneous::{ReportCode, StartKind};
+        let mut n = HomNfa::new();
+        let a = n.add_state_full(CharClass::byte(b'a'), StartKind::AllInput, None);
+        let b = n.add_state_full(CharClass::byte(b'b'), StartKind::None, Some(ReportCode(0)));
+        let dead1 = n.add_state(CharClass::byte(b'x')); // unreachable
+        let dead2 = n.add_state(CharClass::byte(b'y')); // reachable, no report path
+        n.add_edge(a, b);
+        n.add_edge(a, dead2);
+        n.add_edge(dead1, b);
+        let (pruned, stats) = remove_dead_states(&n);
+        assert_eq!(pruned.len(), 2);
+        assert_eq!(stats.states_before, 4);
+        assert_same_language(&n, &pruned, &[b"ab", b"ay", b"xb"]);
+    }
+
+    #[test]
+    fn space_optimize_pipeline_preserves_language() {
+        let patterns: Vec<String> = (0..20).map(|i| format!("prefix{}", i % 5)).collect();
+        let refs: Vec<&str> = patterns.iter().map(String::as_str).collect();
+        let nfa = compile_patterns(&refs).unwrap();
+        let (opt, stats) = space_optimize(&nfa);
+        assert!(stats.reduction() > 0.5);
+        assert_same_language(&nfa, &opt, &[b"prefix0", b"prefix4", b"prefix9", b"prefix"]);
+    }
+
+    #[test]
+    fn shared_suffixes_merge() {
+        // "xing", "ying", "zing": the "ing" tails merge backward from the
+        // reporting state (same code required, so use duplicate patterns'
+        // renumber=false style via identical codes).
+        use crate::homogeneous::{ReportCode, StartKind};
+        let mut nfa = HomNfa::new();
+        for head in [b'x', b'y', b'z'] {
+            let mut prev = nfa.add_state_full(
+                crate::charclass::CharClass::byte(head),
+                StartKind::AllInput,
+                None,
+            );
+            for (i, &c) in b"ing".iter().enumerate() {
+                let report = if i == 2 { Some(ReportCode(0)) } else { None };
+                let id = nfa.add_state_full(
+                    crate::charclass::CharClass::byte(c),
+                    StartKind::None,
+                    report,
+                );
+                nfa.add_edge(prev, id);
+                prev = id;
+            }
+        }
+        assert_eq!(nfa.len(), 12);
+        let (merged, stats) = merge_common_suffixes(&nfa);
+        // the three "g"(report) merge, then "n", then "i": 12 -> 6
+        assert_eq!(merged.len(), 6, "suffix cascade");
+        assert!(stats.reduction() > 0.4);
+        assert_same_language(&nfa, &merged, &[b"xing", b"zing!", b"ing", b"xyzing"]);
+    }
+
+    #[test]
+    fn suffix_merge_respects_reports_and_starts() {
+        // different report codes must not merge
+        let nfa = compile_patterns(&["ab", "cb"]).unwrap();
+        let (merged, _) = merge_common_suffixes(&nfa);
+        assert_eq!(merged.len(), nfa.len(), "distinct codes stay apart");
+        assert_same_language(&nfa, &merged, &[b"ab cb", b"bb"]);
+    }
+
+    #[test]
+    fn bidirectional_merging_beats_either_alone() {
+        // diamond dictionary: shared prefix "pre", shared suffix "post"
+        let patterns: Vec<String> =
+            (0..6).map(|i| format!("pre{}post", (b'a' + i) as char)).collect();
+        let refs: Vec<&str> = patterns.iter().map(String::as_str).collect();
+        // same report code everywhere so suffixes may merge
+        let one_code: HomNfa = {
+            let mut nfa = compile_patterns(&refs).unwrap();
+            for s in nfa.reporting_states() {
+                nfa.state_mut(s).report = Some(crate::homogeneous::ReportCode(0));
+            }
+            nfa
+        };
+        let (p, _) = merge_common_prefixes(&one_code);
+        let (s, _) = merge_common_suffixes(&one_code);
+        let (b, stats) = merge_bidirectional(&one_code);
+        assert!(b.len() < p.len(), "bidirectional {} !< prefix {}", b.len(), p.len());
+        assert!(b.len() < s.len(), "bidirectional {} !< suffix {}", b.len(), s.len());
+        assert!(stats.rounds >= 1);
+        assert_same_language(&one_code, &b, &[b"preapost", b"prefpost", b"prepost"]);
+    }
+
+    #[test]
+    fn self_loops_survive_merging() {
+        let nfa = compile_patterns(&["a.*z", "a.*z"]).unwrap();
+        let (merged, _) = merge_common_prefixes(&nfa);
+        assert_same_language(&nfa, &merged, &[b"a--z", b"az", b"a..z..z"]);
+    }
+}

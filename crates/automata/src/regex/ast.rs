@@ -1,0 +1,167 @@
+//! Regex abstract syntax tree.
+
+use crate::charclass::CharClass;
+use std::fmt;
+
+/// A parsed regular expression node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ast {
+    /// A single-symbol class (literal, `.`, `[...]`, `\d`, ...).
+    Class(CharClass),
+    /// Concatenation of sub-expressions (empty = ε).
+    Concat(Vec<Ast>),
+    /// Alternation between sub-expressions (never empty).
+    Alt(Vec<Ast>),
+    /// Bounded or unbounded repetition of a sub-expression.
+    Repeat {
+        /// Repeated node.
+        node: Box<Ast>,
+        /// Minimum repetitions.
+        min: u32,
+        /// Maximum repetitions; `None` = unbounded.
+        max: Option<u32>,
+    },
+}
+
+impl Ast {
+    /// `true` if this node can match the empty string.
+    pub fn is_nullable(&self) -> bool {
+        match self {
+            Ast::Class(_) => false,
+            Ast::Concat(parts) => parts.iter().all(Ast::is_nullable),
+            Ast::Alt(parts) => parts.iter().any(Ast::is_nullable),
+            Ast::Repeat { node, min, .. } => *min == 0 || node.is_nullable(),
+        }
+    }
+
+    /// Number of symbol positions (Glushkov states) after expansion of
+    /// bounded repeats. Unbounded tails count their body once.
+    pub fn position_count(&self) -> usize {
+        match self {
+            Ast::Class(_) => 1,
+            Ast::Concat(parts) => parts.iter().map(Ast::position_count).sum(),
+            Ast::Alt(parts) => parts.iter().map(Ast::position_count).sum(),
+            Ast::Repeat { node, min, max } => {
+                let copies = max.unwrap_or((*min).max(1)) as usize;
+                node.position_count() * copies.max(1)
+            }
+        }
+    }
+}
+
+/// A full parsed pattern: AST plus anchoring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pattern {
+    /// `true` when the pattern began with `^` (start-of-data anchor).
+    pub anchored: bool,
+    /// Root of the syntax tree.
+    pub ast: Ast,
+}
+
+impl fmt::Display for Ast {
+    /// Re-renders the node in regex syntax (canonical, not source-identical).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ast::Class(c) => {
+                if c.is_all() {
+                    // regex syntax: match-all is `.`, not the ANML `*`
+                    return write!(f, ".");
+                }
+                if c.len() == 1 {
+                    let b = (*c).min().unwrap();
+                    if b.is_ascii_alphanumeric() {
+                        return write!(f, "{}", b as char);
+                    }
+                }
+                write!(f, "{c}")
+            }
+            Ast::Concat(parts) => {
+                for p in parts {
+                    match p {
+                        Ast::Alt(_) => write!(f, "({p})")?,
+                        _ => write!(f, "{p}")?,
+                    }
+                }
+                Ok(())
+            }
+            Ast::Alt(parts) => {
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "|")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                Ok(())
+            }
+            Ast::Repeat { node, min, max } => {
+                match &**node {
+                    Ast::Class(_) => write!(f, "{node}")?,
+                    _ => write!(f, "({node})")?,
+                }
+                match (min, max) {
+                    (0, None) => write!(f, "*"),
+                    (1, None) => write!(f, "+"),
+                    (0, Some(1)) => write!(f, "?"),
+                    (m, None) => write!(f, "{{{m},}}"),
+                    (m, Some(n)) if m == n => write!(f, "{{{m}}}"),
+                    (m, Some(n)) => write!(f, "{{{m},{n}}}"),
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.anchored {
+            write!(f, "^")?;
+        }
+        write!(f, "{}", self.ast)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn class(b: u8) -> Ast {
+        Ast::Class(CharClass::byte(b))
+    }
+
+    #[test]
+    fn nullability() {
+        assert!(!class(b'a').is_nullable());
+        assert!(Ast::Concat(vec![]).is_nullable());
+        assert!(!Ast::Concat(vec![class(b'a')]).is_nullable());
+        assert!(Ast::Repeat { node: Box::new(class(b'a')), min: 0, max: None }.is_nullable());
+        assert!(!Ast::Repeat { node: Box::new(class(b'a')), min: 2, max: Some(3) }.is_nullable());
+        assert!(Ast::Alt(vec![class(b'a'), Ast::Concat(vec![])]).is_nullable());
+    }
+
+    #[test]
+    fn position_counts() {
+        assert_eq!(class(b'a').position_count(), 1);
+        let ab = Ast::Concat(vec![class(b'a'), class(b'b')]);
+        assert_eq!(ab.position_count(), 2);
+        let rep = Ast::Repeat { node: Box::new(ab.clone()), min: 2, max: Some(5) };
+        assert_eq!(rep.position_count(), 10);
+        let star = Ast::Repeat { node: Box::new(ab), min: 0, max: None };
+        assert_eq!(star.position_count(), 2);
+    }
+
+    #[test]
+    fn display_roundtrips_shape() {
+        let p = Ast::Concat(vec![
+            class(b'a'),
+            Ast::Repeat {
+                node: Box::new(Ast::Alt(vec![class(b'b'), class(b'c')])),
+                min: 0,
+                max: None,
+            },
+            class(b'd'),
+        ]);
+        assert_eq!(p.to_string(), "a(b|c)*d");
+        let pat = Pattern { anchored: true, ast: class(b'x') };
+        assert_eq!(pat.to_string(), "^x");
+    }
+}

@@ -1,0 +1,259 @@
+//! Glushkov (position) construction: `Pattern` → homogeneous NFA.
+//!
+//! Every symbol position of the (repeat-expanded) pattern becomes one
+//! homogeneous state labelled with that position's class — the textbook
+//! position automaton, which is homogeneous by construction and therefore
+//! maps 1:1 onto STEs.
+
+use super::ast::{Ast, Pattern};
+use crate::charclass::CharClass;
+use crate::error::{Error, Result};
+use crate::homogeneous::{HomNfa, ReportCode, StartKind};
+use std::collections::BTreeSet;
+
+/// Upper bound on expanded positions per pattern (repeat blowup guard).
+pub const MAX_POSITIONS: usize = 1_000_000;
+
+/// Desugared core syntax over registered positions.
+enum Core {
+    Empty,
+    Pos(usize),
+    Cat(Box<Core>, Box<Core>),
+    Alt(Box<Core>, Box<Core>),
+    Star(Box<Core>),
+}
+
+fn cat(a: Core, b: Core) -> Core {
+    match (a, b) {
+        (Core::Empty, b) => b,
+        (a, Core::Empty) => a,
+        (a, b) => Core::Cat(Box::new(a), Box::new(b)),
+    }
+}
+
+/// Expands an AST into core syntax, registering a fresh position (with its
+/// label) for every expanded `Class` leaf.
+fn desugar(ast: &Ast, positions: &mut Vec<CharClass>) -> Result<Core> {
+    if positions.len() > MAX_POSITIONS {
+        return Err(Error::ParseRegex {
+            offset: 0,
+            reason: format!("pattern expands to more than {MAX_POSITIONS} positions"),
+        });
+    }
+    Ok(match ast {
+        Ast::Class(c) => {
+            positions.push(*c);
+            Core::Pos(positions.len() - 1)
+        }
+        Ast::Concat(parts) => {
+            let mut acc = Core::Empty;
+            for p in parts {
+                let rhs = desugar(p, positions)?;
+                acc = cat(acc, rhs);
+            }
+            acc
+        }
+        Ast::Alt(parts) => {
+            let mut iter = parts.iter();
+            let first = iter.next().expect("Alt is never empty");
+            let mut acc = desugar(first, positions)?;
+            for p in iter {
+                let rhs = desugar(p, positions)?;
+                acc = Core::Alt(Box::new(acc), Box::new(rhs));
+            }
+            acc
+        }
+        Ast::Repeat { node, min, max } => {
+            let mut acc = Core::Empty;
+            for _ in 0..*min {
+                let copy = desugar(node, positions)?;
+                acc = cat(acc, copy);
+            }
+            match max {
+                None => {
+                    let body = desugar(node, positions)?;
+                    acc = cat(acc, Core::Star(Box::new(body)));
+                }
+                Some(n) => {
+                    for _ in *min..*n {
+                        let copy = desugar(node, positions)?;
+                        acc = cat(acc, Core::Alt(Box::new(copy), Box::new(Core::Empty)));
+                    }
+                }
+            }
+            acc
+        }
+    })
+}
+
+struct Info {
+    nullable: bool,
+    first: BTreeSet<usize>,
+    last: BTreeSet<usize>,
+}
+
+fn analyze(core: &Core, follow: &mut [BTreeSet<usize>]) -> Info {
+    match core {
+        Core::Empty => Info { nullable: true, first: BTreeSet::new(), last: BTreeSet::new() },
+        Core::Pos(p) => Info {
+            nullable: false,
+            first: BTreeSet::from([*p]),
+            last: BTreeSet::from([*p]),
+        },
+        Core::Cat(a, b) => {
+            let ia = analyze(a, follow);
+            let ib = analyze(b, follow);
+            for &p in &ia.last {
+                follow[p].extend(ib.first.iter().copied());
+            }
+            let mut first = ia.first;
+            if ia.nullable {
+                first.extend(ib.first.iter().copied());
+            }
+            let mut last = ib.last;
+            if ib.nullable {
+                last.extend(ia.last.iter().copied());
+            }
+            Info { nullable: ia.nullable && ib.nullable, first, last }
+        }
+        Core::Alt(a, b) => {
+            let ia = analyze(a, follow);
+            let ib = analyze(b, follow);
+            let mut first = ia.first;
+            first.extend(ib.first.iter().copied());
+            let mut last = ia.last;
+            last.extend(ib.last.iter().copied());
+            Info { nullable: ia.nullable || ib.nullable, first, last }
+        }
+        Core::Star(a) => {
+            let ia = analyze(a, follow);
+            for &p in &ia.last {
+                follow[p].extend(ia.first.iter().copied());
+            }
+            Info { nullable: true, first: ia.first, last: ia.last }
+        }
+    }
+}
+
+/// Compiles a parsed [`Pattern`] into a homogeneous NFA whose accepting
+/// states report `code`.
+///
+/// # Errors
+///
+/// Returns [`Error::NullableRegex`] if the pattern matches the empty string
+/// and [`Error::ParseRegex`] if repeat expansion exceeds [`MAX_POSITIONS`].
+pub fn compile_ast(pattern: &Pattern, code: ReportCode) -> Result<HomNfa> {
+    let mut positions: Vec<CharClass> = Vec::new();
+    let core = desugar(&pattern.ast, &mut positions)?;
+    let mut follow = vec![BTreeSet::new(); positions.len()];
+    let info = analyze(&core, &mut follow);
+    if info.nullable {
+        return Err(Error::NullableRegex);
+    }
+    let start_kind = if pattern.anchored { StartKind::StartOfData } else { StartKind::AllInput };
+    let mut nfa = HomNfa::with_capacity(positions.len());
+    for (p, label) in positions.iter().enumerate() {
+        let start = if info.first.contains(&p) { start_kind } else { StartKind::None };
+        let report = if info.last.contains(&p) { Some(code) } else { None };
+        nfa.add_state_full(*label, start, report);
+    }
+    for (p, next) in follow.iter().enumerate() {
+        for &q in next {
+            nfa.add_edge(crate::homogeneous::StateId(p as u32), crate::homogeneous::StateId(q as u32));
+        }
+    }
+    debug_assert!(nfa.validate().is_ok());
+    Ok(nfa)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::parser::parse;
+    use super::*;
+    use crate::homogeneous::StateId;
+
+    fn build(p: &str) -> HomNfa {
+        compile_ast(&parse(p).unwrap(), ReportCode(0)).unwrap()
+    }
+
+    #[test]
+    fn literal_chain() {
+        let n = build("cat");
+        assert_eq!(n.len(), 3);
+        assert_eq!(n.start_states(), vec![StateId(0)]);
+        assert_eq!(n.reporting_states(), vec![StateId(2)]);
+        assert_eq!(n.successors(StateId(0)), &[StateId(1)]);
+        assert_eq!(n.successors(StateId(1)), &[StateId(2)]);
+        assert!(n.successors(StateId(2)).is_empty());
+    }
+
+    #[test]
+    fn alternation_has_two_starts() {
+        let n = build("ab|cd");
+        assert_eq!(n.len(), 4);
+        assert_eq!(n.start_states().len(), 2);
+        assert_eq!(n.reporting_states().len(), 2);
+    }
+
+    #[test]
+    fn star_creates_cycle() {
+        // a(b)*c : b follows itself
+        let n = build("ab*c");
+        assert_eq!(n.len(), 3);
+        let b = StateId(1);
+        assert!(n.successors(b).contains(&b));
+        // a reaches both b and c (b is skippable)
+        assert_eq!(n.successors(StateId(0)).len(), 2);
+    }
+
+    #[test]
+    fn bounded_repeat_expands() {
+        let n = build("a{3}");
+        assert_eq!(n.len(), 3);
+        let n = build("a{2,4}");
+        assert_eq!(n.len(), 4);
+        // positions 2 and 3 are optional: reports at 1,2,3
+        assert_eq!(n.reporting_states().len(), 3);
+    }
+
+    #[test]
+    fn nullable_rejected() {
+        for p in ["a*", "a?", "(a|b)*", "a{0,3}", ""] {
+            let e = compile_ast(&parse(p).unwrap(), ReportCode(0)).unwrap_err();
+            assert_eq!(e, Error::NullableRegex, "pattern {p:?}");
+        }
+    }
+
+    #[test]
+    fn anchoring_selects_start_kind() {
+        let n = build("ab");
+        assert_eq!(n.state(StateId(0)).start, StartKind::AllInput);
+        let n = compile_ast(&parse("^ab").unwrap(), ReportCode(0)).unwrap();
+        assert_eq!(n.state(StateId(0)).start, StartKind::StartOfData);
+    }
+
+    #[test]
+    fn dotstar_bridge() {
+        // a.*b : the `.` position loops and bridges a -> b
+        let n = build("a.*b");
+        assert_eq!(n.len(), 3);
+        let dot = StateId(1);
+        assert!(n.state(dot).label.is_all());
+        assert!(n.successors(dot).contains(&dot));
+        assert!(n.successors(StateId(0)).contains(&StateId(2)));
+    }
+
+    #[test]
+    fn report_code_propagates() {
+        let n = compile_ast(&parse("xy").unwrap(), ReportCode(42)).unwrap();
+        assert_eq!(n.state(StateId(1)).report, Some(ReportCode(42)));
+    }
+
+    #[test]
+    fn plus_requires_one() {
+        let n = build("a+");
+        assert_eq!(n.len(), 2); // a · a*
+        assert_eq!(n.start_states(), vec![StateId(0)]);
+        assert_eq!(n.reporting_states().len(), 2);
+    }
+}

@@ -1,0 +1,89 @@
+//! Regular-expression front-end.
+//!
+//! Patterns are parsed into an [`Ast`], then compiled to automata two ways:
+//!
+//! * [`compile_pattern`] — Glushkov (position) construction, which produces a
+//!   homogeneous NFA *directly*: one state per symbol position, exactly the
+//!   STE-per-position mapping ANML uses. This is the production path.
+//! * [`compile_pattern_thompson`] — Thompson construction to a classical
+//!   ε-NFA, followed by ε-elimination and homogenization. Kept as an
+//!   independent implementation for differential testing.
+//!
+//! Supported syntax: literals, `.`, escapes (`\n`, `\t`, `\xHH`, `\d\D\w\W\s\S`),
+//! bracket classes with ranges and negation, grouping `(...)` (also `(?:...)`),
+//! alternation `|`, and the quantifiers `*`, `+`, `?`, `{m}`, `{m,}`, `{m,n}`.
+//! A leading `^` anchors the pattern to the start of data; everything else is
+//! unanchored (ANML `all-input` start), matching the semantics of the
+//! ANMLZoo/Regex benchmark suites. A leading `(?i)` (before or after the
+//! anchor) makes the whole pattern ASCII-case-insensitive, as Snort rules
+//! commonly are.
+
+mod ast;
+mod glushkov;
+mod parser;
+mod thompson;
+
+pub use ast::{Ast, Pattern};
+pub use glushkov::{compile_ast, MAX_POSITIONS};
+pub use parser::{parse, parse_symbol_set};
+pub use thompson::{compile_ast_thompson, thompson_classical};
+
+use crate::error::Result;
+use crate::homogeneous::{HomNfa, ReportCode};
+
+/// Compiles one pattern to a homogeneous NFA (Glushkov construction) with
+/// report code 0.
+///
+/// # Errors
+///
+/// Returns a parse error for malformed syntax and
+/// [`Error::NullableRegex`](crate::Error::NullableRegex) if the pattern
+/// matches the empty string.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use ca_automata::regex::compile_pattern;
+/// use ca_automata::engine::{Engine, SparseEngine};
+///
+/// let nfa = compile_pattern("ca[rt]")?;
+/// let hits = SparseEngine::new(&nfa).run(b"a cat and a car");
+/// assert_eq!(hits.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn compile_pattern(pattern: &str) -> Result<HomNfa> {
+    let parsed = parse(pattern)?;
+    compile_ast(&parsed, ReportCode(0))
+}
+
+/// Compiles many patterns into one multi-component homogeneous NFA; pattern
+/// `i` reports with code `i`.
+///
+/// Each pattern becomes one connected component, which is exactly the
+/// granularity the Cache Automaton compiler packs into SRAM partitions.
+///
+/// # Errors
+///
+/// Fails on the first malformed or nullable pattern.
+pub fn compile_patterns<S: AsRef<str>>(patterns: &[S]) -> Result<HomNfa> {
+    let mut out = HomNfa::new();
+    for (i, p) in patterns.iter().enumerate() {
+        let parsed = parse(p.as_ref())?;
+        let one = compile_ast(&parsed, ReportCode(i as u32))?;
+        out.append(&one);
+    }
+    Ok(out)
+}
+
+/// Compiles one pattern through the Thompson + ε-elimination +
+/// homogenization path (differential-testing reference).
+///
+/// # Errors
+///
+/// Same failure modes as [`compile_pattern`].
+pub fn compile_pattern_thompson(pattern: &str) -> Result<HomNfa> {
+    let parsed = parse(pattern)?;
+    compile_ast_thompson(&parsed, ReportCode(0))
+}

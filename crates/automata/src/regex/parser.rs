@@ -1,0 +1,578 @@
+//! Recursive-descent regex parser.
+
+use super::ast::{Ast, Pattern};
+use crate::charclass::CharClass;
+use crate::error::{Error, Result};
+
+/// Hard cap on the positions a bounded repeat may expand to, guarding
+/// against pathological `{1,100000}`-style blowup.
+pub const MAX_REPEAT: u32 = 4096;
+
+/// Parses a pattern into a [`Pattern`].
+///
+/// # Errors
+///
+/// Returns [`Error::ParseRegex`] with the byte offset of the first problem.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use ca_automata::regex::parse;
+/// let p = parse("^ab|cd")?;
+/// assert!(p.anchored);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(pattern: &str) -> Result<Pattern> {
+    let bytes = pattern.as_bytes();
+    let mut start = 0usize;
+    let mut anchored = false;
+    let mut fold_case = false;
+    // leading flags/anchor in either order: `(?i)^...` or `^(?i)...`
+    loop {
+        if !fold_case && bytes[start..].starts_with(b"(?i)") {
+            fold_case = true;
+            start += 4;
+        } else if !anchored && bytes.get(start) == Some(&b'^') {
+            anchored = true;
+            start += 1;
+        } else {
+            break;
+        }
+    }
+    let mut p = Parser { bytes, pos: start, fold_case };
+    let ast = p.alternation()?;
+    if p.pos != p.bytes.len() {
+        return Err(p.err("unexpected trailing input (unbalanced ')'?)"));
+    }
+    Ok(Pattern { anchored, ast })
+}
+
+/// Parses an ANML-style symbol set: a bracket expression (`[a-c]`,
+/// `[^\x00]`), a single (possibly escaped) symbol, or `*` for match-all.
+///
+/// # Errors
+///
+/// Returns [`Error::ParseRegex`] for malformed sets or trailing input.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use ca_automata::regex::parse_symbol_set;
+/// use ca_automata::CharClass;
+///
+/// assert_eq!(parse_symbol_set("[0-9]")?, CharClass::range(b'0', b'9'));
+/// assert_eq!(parse_symbol_set("*")?, CharClass::ALL);
+/// assert_eq!(parse_symbol_set("\\n")?, CharClass::byte(b'\n'));
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_symbol_set(set: &str) -> Result<CharClass> {
+    let bytes = set.as_bytes();
+    let mut p = Parser { bytes, pos: 0, fold_case: false };
+    let class = match p.peek() {
+        Some(b'[') => {
+            p.pos += 1;
+            p.bracket_class()?
+        }
+        Some(b'*') => {
+            p.pos += 1;
+            CharClass::ALL
+        }
+        Some(b'\\') => {
+            p.pos += 1;
+            p.escape()?
+        }
+        Some(b) => {
+            p.pos += 1;
+            CharClass::byte(b)
+        }
+        None => return Err(p.err("empty symbol set")),
+    };
+    if p.pos != bytes.len() {
+        return Err(p.err("trailing input after symbol set"));
+    }
+    Ok(class)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    /// `(?i)`: case-insensitive matching — every class is case-folded.
+    fold_case: bool,
+}
+
+/// Adds the opposite-case counterpart of every ASCII letter in the class.
+fn fold_ascii_case(class: CharClass) -> CharClass {
+    let mut out = class;
+    for b in class.iter() {
+        if b.is_ascii_alphabetic() {
+            out.insert(b ^ 0x20);
+        }
+    }
+    out
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, reason: impl Into<String>) -> Error {
+        Error::ParseRegex { offset: self.pos, reason: reason.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn alternation(&mut self) -> Result<Ast> {
+        let mut parts = Vec::new();
+        loop {
+            // Flatten nested alternations (from groups) for a canonical AST.
+            match self.concat()? {
+                Ast::Alt(inner) => parts.extend(inner),
+                other => parts.push(other),
+            }
+            if !self.eat(b'|') {
+                break;
+            }
+        }
+        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { Ast::Alt(parts) })
+    }
+
+    fn concat(&mut self) -> Result<Ast> {
+        let mut parts = Vec::new();
+        while let Some(b) = self.peek() {
+            if b == b'|' || b == b')' {
+                break;
+            }
+            // Flatten nested concatenations (from groups) for a canonical AST.
+            match self.repeat()? {
+                Ast::Concat(inner) => parts.extend(inner),
+                other => parts.push(other),
+            }
+        }
+        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { Ast::Concat(parts) })
+    }
+
+    fn repeat(&mut self) -> Result<Ast> {
+        let mut node = self.atom()?;
+        loop {
+            let (min, max) = match self.peek() {
+                Some(b'*') => {
+                    self.pos += 1;
+                    (0, None)
+                }
+                Some(b'+') => {
+                    self.pos += 1;
+                    (1, None)
+                }
+                Some(b'?') => {
+                    self.pos += 1;
+                    (0, Some(1))
+                }
+                Some(b'{') => {
+                    self.pos += 1;
+                    let bounds = self.bounds()?;
+                    (bounds.0, bounds.1)
+                }
+                _ => break,
+            };
+            if let Some(n) = max {
+                if n < min {
+                    return Err(self.err(format!("repeat bound {{{min},{n}}} has max < min")));
+                }
+                if n > MAX_REPEAT {
+                    return Err(self.err(format!("repeat bound {n} exceeds limit {MAX_REPEAT}")));
+                }
+            } else if min > MAX_REPEAT {
+                return Err(self.err(format!("repeat bound {min} exceeds limit {MAX_REPEAT}")));
+            }
+            node = Ast::Repeat { node: Box::new(node), min, max };
+        }
+        Ok(node)
+    }
+
+    fn bounds(&mut self) -> Result<(u32, Option<u32>)> {
+        let min = self.number()?;
+        if self.eat(b'}') {
+            return Ok((min, Some(min)));
+        }
+        if !self.eat(b',') {
+            return Err(self.err("expected ',' or '}' in repeat bounds"));
+        }
+        if self.eat(b'}') {
+            return Ok((min, None));
+        }
+        let max = self.number()?;
+        if !self.eat(b'}') {
+            return Err(self.err("expected '}' after repeat bounds"));
+        }
+        Ok((min, Some(max)))
+    }
+
+    fn number(&mut self) -> Result<u32> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected a number"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are utf-8")
+            .parse::<u32>()
+            .map_err(|_| self.err("repeat bound too large"))
+    }
+
+    fn atom(&mut self) -> Result<Ast> {
+        match self.peek() {
+            None => Err(self.err("expected an atom, found end of pattern")),
+            Some(b'(') => {
+                self.pos += 1;
+                // tolerate non-capturing group syntax
+                if self.peek() == Some(b'?') {
+                    self.pos += 1;
+                    if !self.eat(b':') {
+                        return Err(self.err("only (?: ) groups are supported"));
+                    }
+                }
+                let inner = self.alternation()?;
+                if !self.eat(b')') {
+                    return Err(self.err("expected ')'"));
+                }
+                Ok(inner)
+            }
+            Some(b')') => Err(self.err("unexpected ')'")),
+            Some(b'.') => {
+                self.pos += 1;
+                Ok(Ast::Class(CharClass::ALL))
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                let class = self.bracket_class()?;
+                Ok(Ast::Class(self.fold(class)))
+            }
+            Some(b'*') | Some(b'+') | Some(b'?') => {
+                Err(self.err("quantifier with nothing to repeat"))
+            }
+            Some(b'^') => Err(self.err("'^' is only supported at the start of the pattern")),
+            Some(b'$') => Err(self.err("'$' anchors are not supported")),
+            Some(b'\\') => {
+                self.pos += 1;
+                let class = self.escape()?;
+                Ok(Ast::Class(self.fold(class)))
+            }
+            Some(b) => {
+                self.pos += 1;
+                Ok(Ast::Class(self.fold(CharClass::byte(b))))
+            }
+        }
+    }
+
+    fn fold(&self, class: CharClass) -> CharClass {
+        if self.fold_case {
+            fold_ascii_case(class)
+        } else {
+            class
+        }
+    }
+
+    /// An escape sequence after a `\` has been consumed.
+    fn escape(&mut self) -> Result<CharClass> {
+        let Some(b) = self.bump() else {
+            return Err(self.err("dangling '\\' at end of pattern"));
+        };
+        Ok(match b {
+            b'n' => CharClass::byte(b'\n'),
+            b'r' => CharClass::byte(b'\r'),
+            b't' => CharClass::byte(b'\t'),
+            b'f' => CharClass::byte(0x0c),
+            b'v' => CharClass::byte(0x0b),
+            b'0' => CharClass::byte(0),
+            b'a' => CharClass::byte(0x07),
+            b'e' => CharClass::byte(0x1b),
+            b'd' => CharClass::range(b'0', b'9'),
+            b'D' => CharClass::range(b'0', b'9').negate(),
+            b'w' => word_class(),
+            b'W' => word_class().negate(),
+            b's' => space_class(),
+            b'S' => space_class().negate(),
+            b'x' => {
+                let hi = self.hex_digit()?;
+                let lo = self.hex_digit()?;
+                CharClass::byte(hi * 16 + lo)
+            }
+            // any punctuation escapes itself: \\ \. \* \[ ...
+            b if !b.is_ascii_alphanumeric() => CharClass::byte(b),
+            _ => return Err(self.err(format!("unknown escape '\\{}'", b as char))),
+        })
+    }
+
+    fn hex_digit(&mut self) -> Result<u8> {
+        match self.bump() {
+            Some(b @ b'0'..=b'9') => Ok(b - b'0'),
+            Some(b @ b'a'..=b'f') => Ok(b - b'a' + 10),
+            Some(b @ b'A'..=b'F') => Ok(b - b'A' + 10),
+            _ => Err(self.err("expected a hex digit after \\x")),
+        }
+    }
+
+    /// Contents of a bracket class after `[` has been consumed.
+    fn bracket_class(&mut self) -> Result<CharClass> {
+        let negated = self.eat(b'^');
+        let mut class = CharClass::new();
+        let mut first = true;
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated '[' class"));
+            };
+            if b == b']' && !first {
+                self.pos += 1;
+                break;
+            }
+            first = false;
+            let lo = self.class_item()?;
+            // range?
+            if self.peek() == Some(b'-')
+                && self.bytes.get(self.pos + 1).is_some_and(|&n| n != b']')
+            {
+                self.pos += 1; // consume '-'
+                let lo_b = single_symbol(&lo)
+                    .ok_or_else(|| self.err("class escape cannot start a range"))?;
+                let hi = self.class_item()?;
+                let hi_b =
+                    single_symbol(&hi).ok_or_else(|| self.err("class escape cannot end a range"))?;
+                if hi_b < lo_b {
+                    return Err(self.err(format!(
+                        "reversed range {}-{} in class",
+                        lo_b as char, hi_b as char
+                    )));
+                }
+                class = class.union(&CharClass::range(lo_b, hi_b));
+            } else {
+                class = class.union(&lo);
+            }
+        }
+        if negated {
+            class = class.negate();
+        }
+        if class.is_empty() {
+            return Err(self.err("class matches no symbol"));
+        }
+        Ok(class)
+    }
+
+    /// One item inside a bracket class: a literal byte or an escape.
+    fn class_item(&mut self) -> Result<CharClass> {
+        match self.bump() {
+            Some(b'\\') => self.escape(),
+            Some(b) => Ok(CharClass::byte(b)),
+            None => Err(self.err("unterminated '[' class")),
+        }
+    }
+}
+
+fn single_symbol(c: &CharClass) -> Option<u8> {
+    if c.len() == 1 {
+        (*c).min()
+    } else {
+        None
+    }
+}
+
+/// `\w`: `[0-9A-Za-z_]`.
+fn word_class() -> CharClass {
+    CharClass::range(b'0', b'9')
+        .union(&CharClass::range(b'A', b'Z'))
+        .union(&CharClass::range(b'a', b'z'))
+        .union(&CharClass::byte(b'_'))
+}
+
+/// `\s`: `[ \t\n\r\f\v]`.
+fn space_class() -> CharClass {
+    CharClass::of(&[b' ', b'\t', b'\n', b'\r', 0x0c, 0x0b])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok(p: &str) -> Pattern {
+        parse(p).unwrap_or_else(|e| panic!("pattern {p:?} failed: {e}"))
+    }
+
+    fn fails(p: &str) -> Error {
+        parse(p).expect_err(&format!("pattern {p:?} unexpectedly parsed"))
+    }
+
+    #[test]
+    fn literals_and_anchors() {
+        let p = ok("abc");
+        assert!(!p.anchored);
+        assert_eq!(p.ast.to_string(), "abc");
+        assert!(ok("^abc").anchored);
+    }
+
+    #[test]
+    fn alternation_precedence() {
+        assert_eq!(ok("ab|cd|e").ast.to_string(), "ab|cd|e");
+        assert_eq!(ok("a(b|c)d").ast.to_string(), "a(b|c)d");
+    }
+
+    #[test]
+    fn quantifiers() {
+        assert_eq!(ok("ab*").ast.to_string(), "ab*");
+        assert_eq!(ok("a+").ast.to_string(), "a+");
+        assert_eq!(ok("a?").ast.to_string(), "a?");
+        assert_eq!(ok("a{3}").ast.to_string(), "a{3}");
+        assert_eq!(ok("a{3,}").ast.to_string(), "a{3,}");
+        assert_eq!(ok("a{3,5}").ast.to_string(), "a{3,5}");
+        // stacked quantifiers parse (rare but legal here)
+        assert!(parse("(a+)?").is_ok());
+    }
+
+    #[test]
+    fn quantifier_errors() {
+        fails("*a");
+        fails("a{5,3}");
+        fails(&format!("a{{{}}}", MAX_REPEAT + 1));
+        fails("a{3");
+        fails("a{,3}");
+    }
+
+    #[test]
+    fn dot_and_classes() {
+        let p = ok(".");
+        assert_eq!(p.ast, Ast::Class(CharClass::ALL));
+        let p = ok("[a-c]");
+        assert_eq!(p.ast, Ast::Class(CharClass::range(b'a', b'c')));
+        let p = ok("[^a]");
+        assert_eq!(p.ast, Ast::Class(CharClass::byte(b'a').negate()));
+        let p = ok("[abc0-9]");
+        assert_eq!(
+            p.ast,
+            Ast::Class(CharClass::of(b"abc").union(&CharClass::range(b'0', b'9')))
+        );
+        // ']' first is a literal
+        let p = ok("[]a]");
+        assert_eq!(p.ast, Ast::Class(CharClass::of(b"]a")));
+        // trailing '-' is a literal
+        let p = ok("[a-]");
+        assert_eq!(p.ast, Ast::Class(CharClass::of(b"a-")));
+    }
+
+    #[test]
+    fn class_errors() {
+        fails("[a");
+        fails("[z-a]");
+        fails("[^\\x00-\\xff]"); // empty after negation
+    }
+
+    #[test]
+    fn escapes() {
+        assert_eq!(ok("\\n").ast, Ast::Class(CharClass::byte(b'\n')));
+        assert_eq!(ok("\\x41").ast, Ast::Class(CharClass::byte(b'A')));
+        assert_eq!(ok("\\d").ast, Ast::Class(CharClass::range(b'0', b'9')));
+        assert_eq!(ok("\\.").ast, Ast::Class(CharClass::byte(b'.')));
+        assert_eq!(ok("\\\\").ast, Ast::Class(CharClass::byte(b'\\')));
+        let w = ok("\\w").ast;
+        if let Ast::Class(c) = w {
+            assert!(c.contains(b'_') && c.contains(b'Z') && !c.contains(b'-'));
+        } else {
+            panic!("\\w not a class");
+        }
+        fails("\\q");
+        fails("\\x4");
+        fails("\\");
+    }
+
+    #[test]
+    fn classes_in_brackets() {
+        let p = ok("[\\d_]");
+        assert_eq!(
+            p.ast,
+            Ast::Class(CharClass::range(b'0', b'9').union(&CharClass::byte(b'_')))
+        );
+        fails("[\\d-z]"); // multi-symbol escape cannot open a range
+    }
+
+    #[test]
+    fn groups() {
+        assert_eq!(ok("(?:ab)+").ast.to_string(), "(ab)+");
+        fails("(ab");
+        fails("ab)");
+        fails("(?=a)"); // lookahead unsupported
+    }
+
+    #[test]
+    fn anchors_inside_rejected() {
+        fails("a^b");
+        fails("ab$");
+    }
+
+    #[test]
+    fn case_insensitive_flag() {
+        use crate::engine::{Engine, SparseEngine};
+        use crate::regex::compile_pattern;
+        let nfa = compile_pattern("(?i)AbC[x-z]").unwrap();
+        let mut eng = SparseEngine::new(&nfa);
+        assert_eq!(eng.run(b"abcx").len(), 1);
+        assert_eq!(eng.run(b"ABCZ").len(), 1);
+        assert_eq!(eng.run(b"aBcY").len(), 1);
+        assert_eq!(eng.run(b"abd").len(), 0);
+        // digits unaffected
+        let nfa = compile_pattern("(?i)a1").unwrap();
+        assert_eq!(SparseEngine::new(&nfa).run(b"A1").len(), 1);
+        assert_eq!(SparseEngine::new(&nfa).run(b"A2").len(), 0);
+    }
+
+    #[test]
+    fn case_flag_with_anchor_in_either_order() {
+        let a = ok("(?i)^ab");
+        let b = ok("^(?i)ab");
+        assert!(a.anchored && b.anchored);
+        assert_eq!(a.ast, b.ast);
+        // folded class contains both cases
+        if let Ast::Class(c) = &a.ast {
+            panic!("unexpected single class {c}");
+        }
+        if let Ast::Concat(parts) = &a.ast {
+            assert_eq!(parts[0], Ast::Class(CharClass::of(b"aA")));
+        } else {
+            panic!("expected concat");
+        }
+    }
+
+    #[test]
+    fn fold_helper_covers_letters_only() {
+        let folded = fold_ascii_case(CharClass::of(b"aZ09_"));
+        assert_eq!(folded, CharClass::of(b"aAzZ09_"));
+    }
+
+    #[test]
+    fn error_offsets_point_at_problem() {
+        let e = fails("ab[q");
+        if let Error::ParseRegex { offset, .. } = e {
+            assert_eq!(offset, 4);
+        } else {
+            panic!("wrong error kind: {e:?}")
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Thompson construction: `Pattern` → classical ε-NFA → homogeneous NFA.
+//!
+//! This is the *differential-testing* pipeline: a completely independent
+//! compilation route (ε-NFA construction, ε-elimination, homogenization)
+//! whose output must accept exactly the same language as the Glushkov path.
+
+use super::ast::{Ast, Pattern};
+use crate::error::{Error, Result};
+use crate::homogeneous::{HomNfa, ReportCode, StartKind};
+use crate::homogenize::homogenize;
+use crate::nfa::ClassicalNfa;
+
+/// Builds the Thompson ε-NFA for a pattern; the accepting state reports
+/// `code`.
+///
+/// # Errors
+///
+/// Returns [`Error::NullableRegex`] for patterns that match the empty string.
+pub fn thompson_classical(pattern: &Pattern, code: ReportCode) -> Result<ClassicalNfa> {
+    if pattern.ast.is_nullable() {
+        return Err(Error::NullableRegex);
+    }
+    let mut nfa = ClassicalNfa::new();
+    let (s, e) = fragment(&pattern.ast, &mut nfa);
+    nfa.add_start(s);
+    nfa.set_accept(e, code);
+    Ok(nfa)
+}
+
+/// Recursively builds a fragment, returning its (entry, exit) states.
+fn fragment(ast: &Ast, nfa: &mut ClassicalNfa) -> (u32, u32) {
+    match ast {
+        Ast::Class(c) => {
+            let s = nfa.add_state();
+            let e = nfa.add_state();
+            nfa.add_transition(s, *c, e);
+            (s, e)
+        }
+        Ast::Concat(parts) => {
+            if parts.is_empty() {
+                let s = nfa.add_state();
+                return (s, s);
+            }
+            let (s, mut prev_e) = fragment(&parts[0], nfa);
+            for p in &parts[1..] {
+                let (ps, pe) = fragment(p, nfa);
+                nfa.add_epsilon(prev_e, ps);
+                prev_e = pe;
+            }
+            (s, prev_e)
+        }
+        Ast::Alt(parts) => {
+            let s = nfa.add_state();
+            let e = nfa.add_state();
+            for p in parts {
+                let (ps, pe) = fragment(p, nfa);
+                nfa.add_epsilon(s, ps);
+                nfa.add_epsilon(pe, e);
+            }
+            (s, e)
+        }
+        Ast::Repeat { node, min, max } => {
+            // Desugar exactly as the Glushkov path does, so both routes
+            // accept the same language by construction.
+            let s = nfa.add_state();
+            let mut prev = s;
+            for _ in 0..*min {
+                let (ps, pe) = fragment(node, nfa);
+                nfa.add_epsilon(prev, ps);
+                prev = pe;
+            }
+            match max {
+                None => {
+                    // prev -> star(node) -> e
+                    let e = nfa.add_state();
+                    let (ps, pe) = fragment(node, nfa);
+                    nfa.add_epsilon(prev, e);
+                    nfa.add_epsilon(prev, ps);
+                    nfa.add_epsilon(pe, ps);
+                    nfa.add_epsilon(pe, e);
+                    (s, e)
+                }
+                Some(n) => {
+                    for _ in *min..*n {
+                        let (ps, pe) = fragment(node, nfa);
+                        let skip = nfa.add_state();
+                        nfa.add_epsilon(prev, ps);
+                        nfa.add_epsilon(prev, skip);
+                        nfa.add_epsilon(pe, skip);
+                        prev = skip;
+                    }
+                    (s, prev)
+                }
+            }
+        }
+    }
+}
+
+/// Compiles a pattern via Thompson + ε-elimination + homogenization.
+///
+/// # Errors
+///
+/// Same failure modes as [`thompson_classical`].
+pub fn compile_ast_thompson(pattern: &Pattern, code: ReportCode) -> Result<HomNfa> {
+    let classical = thompson_classical(pattern, code)?;
+    let no_eps = classical.without_epsilon();
+    let start_kind =
+        if pattern.anchored { StartKind::StartOfData } else { StartKind::AllInput };
+    homogenize(&no_eps, start_kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::parser::parse;
+    use super::*;
+
+    fn classical(p: &str) -> ClassicalNfa {
+        thompson_classical(&parse(p).unwrap(), ReportCode(0)).unwrap()
+    }
+
+    #[test]
+    fn literal_language() {
+        let n = classical("cat");
+        assert!(n.accepts(b"cat"));
+        assert!(n.accepts(b"a cat!"));
+        assert!(!n.accepts(b"ca"));
+        assert!(!n.accepts(b"dog"));
+    }
+
+    #[test]
+    fn alternation_language() {
+        let n = classical("ab|cd");
+        assert!(n.accepts(b"ab"));
+        assert!(n.accepts(b"cd"));
+        assert!(!n.accepts(b"ad"));
+    }
+
+    #[test]
+    fn star_and_plus() {
+        let n = classical("ab*c");
+        assert!(n.accepts(b"ac"));
+        assert!(n.accepts(b"abbbbc"));
+        assert!(!n.accepts(b"bc"));
+        let n = classical("ab+c");
+        assert!(!n.accepts(b"ac"));
+        assert!(n.accepts(b"abc"));
+    }
+
+    #[test]
+    fn bounded_repeats() {
+        let n = classical("a{2,3}b");
+        assert!(!n.accepts(b"ab"));
+        assert!(n.accepts(b"aab"));
+        assert!(n.accepts(b"aaab"));
+        // aaaab contains aaab as a substring -> unanchored accept
+        assert!(n.accepts(b"aaaab"));
+        let n = classical("a{2}b");
+        assert!(n.accepts(b"aab"));
+        assert!(!n.accepts(b"ab"));
+    }
+
+    #[test]
+    fn nullable_rejected() {
+        assert_eq!(
+            thompson_classical(&parse("a*").unwrap(), ReportCode(0)).unwrap_err(),
+            Error::NullableRegex
+        );
+    }
+
+    #[test]
+    fn homogeneous_route_builds() {
+        let h = compile_ast_thompson(&parse("a(b|c)d").unwrap(), ReportCode(3)).unwrap();
+        assert!(h.validate().is_ok());
+        assert!(!h.reporting_states().is_empty());
+    }
+}

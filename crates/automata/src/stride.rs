@@ -1,0 +1,279 @@
+//! Nibble (4-bit) symbol transformation — the Impala-style extension.
+//!
+//! Cache Automaton's follow-on work (eAP, Impala) squeezes the 256-row STE
+//! columns to 16 rows by processing 4-bit symbols: each 8-bit input symbol
+//! becomes two nibbles and every state splits into a high-nibble/low-nibble
+//! pair. Shorter columns mean shallower SRAM reads and a faster state-match
+//! stage — at the cost of state inflation when a state's symbol class is
+//! not a "rectangle" (high-set × low-set).
+//!
+//! This module implements the transform as a pure automaton rewrite:
+//!
+//! * [`to_nibble_nfa`] splits every state into rectangle pairs;
+//! * [`to_nibble_stream`] expands a byte stream into the nibble stream;
+//! * positions map back via [`byte_position`].
+//!
+//! Phase discipline: high-nibble symbols are encoded as `0..16` and
+//! low-nibble symbols as `16..32`, so a state can never fire in the wrong
+//! phase (the hardware gets this for free from its double-rate clock; the
+//! encoding makes it explicit for software execution).
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use ca_automata::regex::compile_pattern;
+//! use ca_automata::stride::{to_nibble_nfa, to_nibble_stream, byte_position};
+//! use ca_automata::engine::{Engine, SparseEngine};
+//!
+//! let nfa = compile_pattern("ca[rt]")?;
+//! let nibble = to_nibble_nfa(&nfa);
+//! let hits = SparseEngine::new(&nibble).run(&to_nibble_stream(b"a cat"));
+//! assert_eq!(byte_position(hits[0].pos), 4); // 't' at byte 4
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::charclass::CharClass;
+use crate::homogeneous::{HomNfa, StartKind, StateId};
+
+/// Offset of low-nibble symbols in the transformed alphabet.
+pub const LO_PHASE: u8 = 16;
+
+/// Expands a byte stream into the phase-encoded nibble stream
+/// (`hi, 16 + lo` per byte).
+pub fn to_nibble_stream(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() * 2);
+    for &b in input {
+        out.push(b >> 4);
+        out.push(LO_PHASE + (b & 0x0f));
+    }
+    out
+}
+
+/// Maps a match position in the nibble stream back to the byte offset
+/// (matches complete on low nibbles, at odd positions).
+pub fn byte_position(nibble_pos: u64) -> u64 {
+    nibble_pos / 2
+}
+
+/// A state's symbol class decomposed into rectangles: pairs of
+/// (high-nibble set, low-nibble set) whose cross products partition the
+/// class.
+fn rectangles(class: &CharClass) -> Vec<(CharClass, CharClass)> {
+    // group high nibbles by their low-nibble set
+    let mut groups: Vec<(u16, CharClass)> = Vec::new(); // (lo bitmap, hi set)
+    for hi in 0u8..16 {
+        let mut lo_bits = 0u16;
+        for lo in 0u8..16 {
+            if class.contains(hi << 4 | lo) {
+                lo_bits |= 1 << lo;
+            }
+        }
+        if lo_bits == 0 {
+            continue;
+        }
+        match groups.iter_mut().find(|(bits, _)| *bits == lo_bits) {
+            Some((_, his)) => {
+                his.insert(hi);
+            }
+            None => groups.push((lo_bits, CharClass::byte(hi))),
+        }
+    }
+    groups
+        .into_iter()
+        .map(|(lo_bits, his)| {
+            let mut los = CharClass::new();
+            for lo in 0u8..16 {
+                if lo_bits >> lo & 1 == 1 {
+                    los.insert(LO_PHASE + lo);
+                }
+            }
+            (his, los)
+        })
+        .collect()
+}
+
+/// Statistics of a nibble transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StrideStats {
+    /// States before.
+    pub states_before: usize,
+    /// States after (2 per rectangle).
+    pub states_after: usize,
+    /// Worst rectangles needed by any single state (1 = pure rectangle).
+    pub max_rectangles: usize,
+}
+
+impl StrideStats {
+    /// State inflation factor.
+    pub fn inflation(&self) -> f64 {
+        if self.states_before == 0 {
+            1.0
+        } else {
+            self.states_after as f64 / self.states_before as f64
+        }
+    }
+}
+
+/// Transforms an 8-bit-symbol automaton into the equivalent 4-bit-symbol
+/// automaton (two nibble states per rectangle of each original state).
+///
+/// Run it on [`to_nibble_stream`] output; reports fire at low-nibble
+/// positions (map back with [`byte_position`]).
+pub fn to_nibble_nfa(nfa: &HomNfa) -> HomNfa {
+    to_nibble_nfa_with_stats(nfa).0
+}
+
+/// [`to_nibble_nfa`] plus inflation statistics.
+pub fn to_nibble_nfa_with_stats(nfa: &HomNfa) -> (HomNfa, StrideStats) {
+    let mut out = HomNfa::new();
+    // per original state: (entry hi-states, exit lo-states)
+    let mut entries: Vec<Vec<StateId>> = Vec::with_capacity(nfa.len());
+    let mut exits: Vec<Vec<StateId>> = Vec::with_capacity(nfa.len());
+    let mut max_rectangles = 0usize;
+    for (_, st) in nfa.iter() {
+        let rects = rectangles(&st.label);
+        max_rectangles = max_rectangles.max(rects.len());
+        let mut his = Vec::with_capacity(rects.len());
+        let mut los = Vec::with_capacity(rects.len());
+        for (hi_set, lo_set) in rects {
+            // The hi state inherits the start kind: an all-input start is
+            // enabled before every *byte*, i.e. before every hi nibble —
+            // and phase encoding keeps it from matching lo nibbles.
+            let hi = out.add_state_full(hi_set, st.start, None);
+            let lo = out.add_state_full(lo_set, StartKind::None, st.report);
+            out.add_edge(hi, lo);
+            his.push(hi);
+            los.push(lo);
+        }
+        entries.push(his);
+        exits.push(los);
+    }
+    for (id, _) in nfa.iter() {
+        for &t in nfa.successors(id) {
+            for &lo in &exits[id.index()] {
+                for &hi in &entries[t.index()] {
+                    out.add_edge(lo, hi);
+                }
+            }
+        }
+    }
+    let stats = StrideStats {
+        states_before: nfa.len(),
+        states_after: out.len(),
+        max_rectangles,
+    };
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, MatchEvent, SparseEngine};
+    use crate::regex::{compile_pattern, compile_patterns};
+
+    fn nibble_events(nfa: &HomNfa, input: &[u8]) -> Vec<MatchEvent> {
+        let nibble = to_nibble_nfa(nfa);
+        let mut ev = SparseEngine::new(&nibble).run(&to_nibble_stream(input));
+        for e in ev.iter_mut() {
+            e.pos = byte_position(e.pos);
+        }
+        ev.sort();
+        ev
+    }
+
+    fn byte_events(nfa: &HomNfa, input: &[u8]) -> Vec<MatchEvent> {
+        let mut ev = SparseEngine::new(nfa).run(input);
+        ev.sort();
+        ev
+    }
+
+    #[test]
+    fn stream_expansion() {
+        assert_eq!(to_nibble_stream(&[0xAB, 0x05]), vec![0x0A, 16 + 0x0B, 0x00, 16 + 0x05]);
+        assert_eq!(byte_position(1), 0);
+        assert_eq!(byte_position(7), 3);
+    }
+
+    #[test]
+    fn rectangle_decomposition() {
+        // a contiguous byte range is few rectangles; single byte is one
+        assert_eq!(rectangles(&CharClass::byte(b'x')).len(), 1);
+        // [a-z]: 0x61-0x7a spans hi nibbles 6 (lo 1..f) and 7 (lo 0..a)
+        let r = rectangles(&CharClass::range(b'a', b'z'));
+        assert_eq!(r.len(), 2);
+        // match-all is one rectangle (16 x 16)
+        let r = rectangles(&CharClass::ALL);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].0.len(), 16);
+        assert_eq!(r[0].1.len(), 16);
+    }
+
+    #[test]
+    fn equivalence_on_patterns() {
+        for pattern in ["cat", "ca[rt]", "a.*b", "[a-z]{2}[0-9]", "^head", "x|yy|zzz"] {
+            let nfa = compile_pattern(pattern).unwrap();
+            for input in [
+                b"the cat sat on a9 mat".as_slice(),
+                b"a--b zz0 head",
+                b"x yy zzz head cat",
+                b"",
+            ] {
+                assert_eq!(
+                    byte_events(&nfa, input),
+                    nibble_events(&nfa, input),
+                    "pattern {pattern:?} input {input:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn phase_encoding_prevents_cross_phase_matches() {
+        // 0x11: hi nibble 1, lo nibble 1 — without phase encoding a start
+        // state could fire on the lo nibble too and double-match 0x11 0x11.
+        let nfa = compile_pattern("\\x11\\x11").unwrap();
+        let ev = nibble_events(&nfa, &[0x11, 0x11, 0x11]);
+        assert_eq!(byte_events(&nfa, &[0x11, 0x11, 0x11]), ev);
+        assert_eq!(ev.len(), 2); // positions 1 and 2
+    }
+
+    #[test]
+    fn inflation_statistics() {
+        let nfa = compile_patterns(&["abc", "[a-z]+z"]).unwrap();
+        let (nibble, stats) = to_nibble_nfa_with_stats(&nfa);
+        assert_eq!(stats.states_before, nfa.len());
+        assert_eq!(stats.states_after, nibble.len());
+        // literals are single rectangles: exactly 2x
+        let lit = compile_pattern("hello").unwrap();
+        let (_, s) = to_nibble_nfa_with_stats(&lit);
+        assert_eq!(s.states_after, 10);
+        assert_eq!(s.max_rectangles, 1);
+        assert!((s.inflation() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_case_class_stays_bounded() {
+        // a "diagonal" class hi==lo needs 16 rectangles, never more
+        let mut diag = CharClass::new();
+        for n in 0u8..16 {
+            diag.insert(n << 4 | n);
+        }
+        assert_eq!(rectangles(&diag).len(), 16);
+        let mut nfa = HomNfa::new();
+        nfa.add_state_full(diag, StartKind::AllInput, Some(crate::ReportCode(0)));
+        let (nibble, stats) = to_nibble_nfa_with_stats(&nfa);
+        assert_eq!(stats.max_rectangles, 16);
+        assert_eq!(nibble.len(), 32);
+        // and it still matches exactly the diagonal bytes
+        let ev = nibble_events(&nfa, &[0x11, 0x12, 0x22]);
+        assert_eq!(ev.len(), 2);
+    }
+
+    #[test]
+    fn anchored_patterns_survive() {
+        let nfa = compile_pattern("^ab").unwrap();
+        for input in [b"abab".as_slice(), b"zab"] {
+            assert_eq!(byte_events(&nfa, input), nibble_events(&nfa, input));
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! Property-based tests for the automata toolchain.
+//!
+//! The heart of the suite is *differential testing*: the Glushkov and
+//! Thompson compilation routes, and the sparse / bit-parallel / lazy-DFA
+//! engines, are all independent implementations that must agree exactly on
+//! randomly generated patterns, automata and inputs.
+
+use ca_automata::analysis::connected_components;
+use ca_automata::anml::{parse_anml, to_anml};
+use ca_automata::charclass::CharClass;
+use ca_automata::engine::{BitsetEngine, DfaEngine, Engine, MatchEvent, SparseEngine};
+use ca_automata::homogeneous::{HomNfa, ReportCode, StartKind};
+use ca_automata::optimize::{merge_common_prefixes, space_optimize};
+use ca_automata::regex::{compile_pattern, compile_pattern_thompson, parse};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------- strategies
+
+/// A random pattern string over a tiny alphabet, biased toward collisions.
+fn pattern_strategy() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        4 => prop::sample::select(vec!["a", "b", "c", "d"]).prop_map(str::to_string),
+        1 => Just(".".to_string()),
+        1 => Just("[ab]".to_string()),
+        1 => Just("[^a]".to_string()),
+        1 => Just("[b-d]".to_string()),
+    ];
+    let unit = leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            // concatenation
+            prop::collection::vec(inner.clone(), 1..4).prop_map(|v| v.concat()),
+            // alternation
+            prop::collection::vec(inner.clone(), 2..4)
+                .prop_map(|v| format!("({})", v.join("|"))),
+            // quantifiers applied to a parenthesized body
+            (inner.clone(), prop::sample::select(vec!["*", "+", "?", "{2}", "{1,3}", "{2,}"]))
+                .prop_map(|(body, q)| format!("({body}){q}")),
+        ]
+    });
+    // Prefix with a mandatory literal so the pattern is never nullable.
+    (prop::sample::select(vec!["a", "b", "c"]), unit)
+        .prop_map(|(head, tail)| format!("{head}{tail}"))
+}
+
+/// Random input over a alphabet that overlaps the pattern alphabet.
+fn input_strategy() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(prop::sample::select(b"abcde".to_vec()), 0..60)
+}
+
+/// A random well-formed homogeneous NFA.
+fn nfa_strategy() -> impl Strategy<Value = HomNfa> {
+    let state = (
+        prop::collection::vec(prop::sample::select(b"abcd".to_vec()), 1..4),
+        0..3u8,  // start kind selector
+        prop::bool::weighted(0.25), // reporting?
+    );
+    prop::collection::vec(state, 1..24).prop_flat_map(|specs| {
+        let n = specs.len();
+        let edges = prop::collection::vec((0..n, 0..n), 0..n * 3);
+        (Just(specs), edges).prop_map(|(specs, edges)| {
+            let mut nfa = HomNfa::new();
+            for (i, (bytes, start_sel, report)) in specs.iter().enumerate() {
+                let start = match start_sel {
+                    0 => StartKind::AllInput,
+                    1 => StartKind::StartOfData,
+                    _ => StartKind::None,
+                };
+                let report = if *report { Some(ReportCode(i as u32)) } else { None };
+                nfa.add_state_full(CharClass::of(bytes), start, report);
+            }
+            for (a, b) in edges {
+                nfa.add_edge(
+                    ca_automata::StateId(a as u32),
+                    ca_automata::StateId(b as u32),
+                );
+            }
+            // Guarantee at least one start and one report so runs are
+            // meaningful.
+            let s0 = ca_automata::StateId(0);
+            if nfa.start_states().is_empty() {
+                nfa.state_mut(s0).start = StartKind::AllInput;
+            }
+            if nfa.reporting_states().is_empty() {
+                nfa.state_mut(s0).report = Some(ReportCode(999));
+            }
+            nfa
+        })
+    })
+}
+
+fn sorted(mut ev: Vec<MatchEvent>) -> Vec<MatchEvent> {
+    ev.sort();
+    ev
+}
+
+// ------------------------------------------------------------------ charclass
+
+proptest! {
+    #[test]
+    fn charclass_union_commutes(a in prop::collection::vec(any::<u8>(), 0..12),
+                                b in prop::collection::vec(any::<u8>(), 0..12)) {
+        let (ca, cb) = (CharClass::of(&a), CharClass::of(&b));
+        prop_assert_eq!(ca.union(&cb), cb.union(&ca));
+        prop_assert_eq!(ca.intersect(&cb), cb.intersect(&ca));
+    }
+
+    #[test]
+    fn charclass_demorgan(a in prop::collection::vec(any::<u8>(), 0..12),
+                          b in prop::collection::vec(any::<u8>(), 0..12)) {
+        let (ca, cb) = (CharClass::of(&a), CharClass::of(&b));
+        prop_assert_eq!(ca.union(&cb).negate(), ca.negate().intersect(&cb.negate()));
+        prop_assert_eq!(ca.intersect(&cb).negate(), ca.negate().union(&cb.negate()));
+    }
+
+    #[test]
+    fn charclass_difference_consistent(a in prop::collection::vec(any::<u8>(), 0..12),
+                                       b in prop::collection::vec(any::<u8>(), 0..12)) {
+        let (ca, cb) = (CharClass::of(&a), CharClass::of(&b));
+        prop_assert_eq!(ca.difference(&cb), ca.intersect(&cb.negate()));
+        prop_assert!(ca.difference(&cb).is_subset(&ca));
+    }
+
+    #[test]
+    fn charclass_iter_matches_contains(a in prop::collection::vec(any::<u8>(), 0..20)) {
+        let c = CharClass::of(&a);
+        let via_iter: Vec<u8> = c.iter().collect();
+        prop_assert_eq!(via_iter.len() as u32, c.len());
+        for b in &via_iter {
+            prop_assert!(c.contains(*b));
+        }
+        // ranges() covers exactly the members
+        let mut from_ranges = CharClass::new();
+        for (lo, hi) in c.ranges() {
+            from_ranges = from_ranges.union(&CharClass::range(lo, hi));
+        }
+        prop_assert_eq!(from_ranges, c);
+    }
+}
+
+// ----------------------------------------------------------------- compilers
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Glushkov and Thompson+homogenize accept identical languages.
+    #[test]
+    fn glushkov_equals_thompson(pattern in pattern_strategy(), input in input_strategy()) {
+        let g = compile_pattern(&pattern).unwrap();
+        let t = compile_pattern_thompson(&pattern).unwrap();
+        let eg = sorted(SparseEngine::new(&g).run(&input));
+        let et = sorted(SparseEngine::new(&t).run(&input));
+        prop_assert_eq!(eg, et, "pattern {} diverged", pattern);
+    }
+
+    /// The canonical Display of a parsed pattern re-parses to the same AST.
+    #[test]
+    fn display_reparses(pattern in pattern_strategy()) {
+        let first = parse(&pattern).unwrap();
+        let rendered = first.to_string();
+        let second = parse(&rendered).unwrap();
+        prop_assert_eq!(first.ast, second.ast, "via {}", rendered);
+    }
+}
+
+// ------------------------------------------------------------------- engines
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Sparse, bitset and lazy-DFA engines agree on random automata.
+    #[test]
+    fn engines_agree(nfa in nfa_strategy(), input in input_strategy()) {
+        let es = sorted(SparseEngine::new(&nfa).run(&input));
+        let eb = sorted(BitsetEngine::new(&nfa).run(&input));
+        prop_assert_eq!(&es, &eb, "sparse vs bitset");
+        let mut dfa = DfaEngine::new(&nfa);
+        if let Ok(ed) = dfa.try_run(&input) {
+            prop_assert_eq!(&es, &sorted(ed), "sparse vs dfa");
+        }
+    }
+
+    /// Engine activity statistics are consistent between implementations.
+    #[test]
+    fn engine_stats_agree(nfa in nfa_strategy(), input in input_strategy()) {
+        let (_, ss) = SparseEngine::new(&nfa).run_stats(&input);
+        let (_, bs) = BitsetEngine::new(&nfa).run_stats(&input);
+        prop_assert_eq!(ss.cycles, bs.cycles);
+        prop_assert_eq!(ss.total_matched, bs.total_matched);
+        prop_assert_eq!(ss.max_matched, bs.max_matched);
+        prop_assert_eq!(ss.reports, bs.reports);
+    }
+}
+
+// ------------------------------------------------------------- optimizations
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Prefix merging never changes the match stream.
+    #[test]
+    fn prefix_merge_preserves_language(nfa in nfa_strategy(), input in input_strategy()) {
+        let (merged, stats) = merge_common_prefixes(&nfa);
+        prop_assert!(merged.len() <= nfa.len());
+        prop_assert_eq!(stats.states_after, merged.len());
+        let before = sorted(SparseEngine::new(&nfa).run(&input));
+        let after = sorted(SparseEngine::new(&merged).run(&input));
+        prop_assert_eq!(before, after);
+    }
+
+    /// Suffix merging never changes the match stream.
+    #[test]
+    fn suffix_merge_preserves_language(nfa in nfa_strategy(), input in input_strategy()) {
+        let (merged, stats) = ca_automata::optimize::merge_common_suffixes(&nfa);
+        prop_assert!(merged.len() <= nfa.len());
+        prop_assert_eq!(stats.states_after, merged.len());
+        let before = sorted(SparseEngine::new(&nfa).run(&input));
+        let after = sorted(SparseEngine::new(&merged).run(&input));
+        prop_assert_eq!(before, after);
+    }
+
+    /// Bidirectional merging never changes the match stream and never does
+    /// worse than prefix merging alone.
+    #[test]
+    fn bidirectional_merge_preserves_language(nfa in nfa_strategy(), input in input_strategy()) {
+        let (both, _) = ca_automata::optimize::merge_bidirectional(&nfa);
+        let (prefix_only, _) = merge_common_prefixes(&nfa);
+        prop_assert!(both.len() <= prefix_only.len());
+        let before = sorted(SparseEngine::new(&nfa).run(&input));
+        let after = sorted(SparseEngine::new(&both).run(&input));
+        prop_assert_eq!(before, after);
+    }
+
+    /// The full space-optimization pipeline preserves the match stream.
+    #[test]
+    fn space_optimize_preserves_language(nfa in nfa_strategy(), input in input_strategy()) {
+        let (opt, _) = space_optimize(&nfa);
+        let before = sorted(SparseEngine::new(&nfa).run(&input));
+        let after = sorted(SparseEngine::new(&opt).run(&input));
+        prop_assert_eq!(before, after);
+    }
+
+    /// Merging cannot *increase* the number of connected components.
+    #[test]
+    fn merge_does_not_fragment(nfa in nfa_strategy()) {
+        let (merged, _) = merge_common_prefixes(&nfa);
+        let before = connected_components(&nfa).len();
+        let after = connected_components(&merged).len();
+        prop_assert!(after <= before);
+    }
+}
+
+// -------------------------------------------------------------------- stride
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The 4-bit stride transform preserves the match stream exactly
+    /// (positions mapped back to byte offsets).
+    #[test]
+    fn nibble_transform_preserves_language(nfa in nfa_strategy(), input in input_strategy()) {
+        use ca_automata::stride::{byte_position, to_nibble_nfa, to_nibble_stream};
+        let nibble = to_nibble_nfa(&nfa);
+        prop_assert!(nibble.validate().is_ok() || nibble.is_empty());
+        let mut transformed = SparseEngine::new(&nibble).run(&to_nibble_stream(&input));
+        for e in transformed.iter_mut() {
+            e.pos = byte_position(e.pos);
+        }
+        let expect = sorted(SparseEngine::new(&nfa).run(&input));
+        prop_assert_eq!(expect, sorted(transformed));
+    }
+
+    /// Inflation is bounded by 32x (two states per rectangle, <= 16
+    /// rectangles per state).
+    #[test]
+    fn nibble_inflation_bounded(nfa in nfa_strategy()) {
+        use ca_automata::stride::to_nibble_nfa_with_stats;
+        let (_, stats) = to_nibble_nfa_with_stats(&nfa);
+        prop_assert!(stats.states_after <= 32 * stats.states_before);
+        prop_assert!(stats.max_rectangles <= 16);
+        prop_assert!(stats.inflation() >= 2.0 || stats.states_before == 0);
+    }
+}
+
+// --------------------------------------------------------------------- anml
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// ANML serialization round-trips structurally.
+    #[test]
+    fn anml_roundtrip(nfa in nfa_strategy()) {
+        let text = to_anml(&nfa, "prop");
+        let back = parse_anml(&text).unwrap();
+        prop_assert_eq!(back, nfa);
+    }
+}
+
+// ------------------------------------------------------------------ patterns
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// compile_pattern output is always a valid automaton whose reported
+    /// matches dedupe per (pos, code).
+    #[test]
+    fn compiled_patterns_validate(pattern in pattern_strategy(), input in input_strategy()) {
+        let nfa = compile_pattern(&pattern).unwrap();
+        prop_assert!(nfa.validate().is_ok());
+        let ev = SparseEngine::new(&nfa).run(&input);
+        let mut dedup = ev.clone();
+        dedup.sort();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), ev.len(), "duplicate events for {}", pattern);
+    }
+}

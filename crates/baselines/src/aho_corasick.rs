@@ -1,0 +1,201 @@
+//! Aho–Corasick multi-pattern matcher — the classic compute-centric
+//! baseline (the paper's reference \[1\]) for literal rule sets.
+//!
+//! Builds the goto/fail/output automaton over byte literals and scans one
+//! byte at a time. Included both as a measured CPU baseline for the
+//! exact-match benchmarks and as yet another independent oracle: on
+//! literal patterns its match stream must equal the NFA engines'.
+
+use ca_automata::engine::MatchEvent;
+use ca_automata::ReportCode;
+use std::collections::VecDeque;
+
+/// A compiled Aho–Corasick automaton.
+#[derive(Debug, Clone)]
+pub struct AhoCorasick {
+    /// goto function: `goto[state][byte]` = next state (dense).
+    goto: Vec<[u32; 256]>,
+    /// fail links.
+    fail: Vec<u32>,
+    /// output: pattern indices ending at this state.
+    output: Vec<Vec<u32>>,
+    pattern_count: usize,
+}
+
+impl AhoCorasick {
+    /// Builds the automaton from byte-literal patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pattern is empty.
+    pub fn new<P: AsRef<[u8]>>(patterns: &[P]) -> AhoCorasick {
+        assert!(
+            patterns.iter().all(|p| !p.as_ref().is_empty()),
+            "empty patterns are not matchable"
+        );
+        // trie construction
+        let mut goto: Vec<[u32; 256]> = vec![[u32::MAX; 256]];
+        let mut output: Vec<Vec<u32>> = vec![Vec::new()];
+        for (idx, pattern) in patterns.iter().enumerate() {
+            let mut state = 0usize;
+            for &b in pattern.as_ref() {
+                let next = goto[state][b as usize];
+                state = if next == u32::MAX {
+                    goto.push([u32::MAX; 256]);
+                    output.push(Vec::new());
+                    let new_state = (goto.len() - 1) as u32;
+                    goto[state][b as usize] = new_state;
+                    new_state as usize
+                } else {
+                    next as usize
+                };
+            }
+            output[state].push(idx as u32);
+        }
+        // BFS failure links; convert goto into a total transition function.
+        let mut fail = vec![0u32; goto.len()];
+        let mut queue = VecDeque::new();
+        for b in 0..256 {
+            match goto[0][b] {
+                u32::MAX => goto[0][b] = 0,
+                s => {
+                    fail[s as usize] = 0;
+                    queue.push_back(s);
+                }
+            }
+        }
+        while let Some(state) = queue.pop_front() {
+            let f = fail[state as usize];
+            // merge outputs from the fail target
+            let inherited = output[f as usize].clone();
+            output[state as usize].extend(inherited);
+            for b in 0..256 {
+                let next = goto[state as usize][b];
+                if next == u32::MAX {
+                    goto[state as usize][b] = goto[f as usize][b];
+                } else {
+                    fail[next as usize] = goto[f as usize][b];
+                    queue.push_back(next);
+                }
+            }
+        }
+        AhoCorasick { goto, fail, output, pattern_count: patterns.len() }
+    }
+
+    /// Number of automaton states (trie nodes).
+    pub fn state_count(&self) -> usize {
+        self.goto.len()
+    }
+
+    /// Number of patterns compiled in.
+    pub fn pattern_count(&self) -> usize {
+        self.pattern_count
+    }
+
+    /// Bytes of the dense transition table (the working set a CPU scan
+    /// streams through — compare with the NFA's 32 B/state cache image).
+    pub fn table_bytes(&self) -> usize {
+        self.goto.len() * 256 * 4
+    }
+
+    /// Scans `input`, reporting every pattern occurrence as a
+    /// [`MatchEvent`] with `pos` = offset of the final byte and `code` =
+    /// pattern index — the same convention as the NFA engines.
+    pub fn scan(&self, input: &[u8]) -> Vec<MatchEvent> {
+        let mut events = Vec::new();
+        let mut state = 0u32;
+        for (pos, &b) in input.iter().enumerate() {
+            state = self.goto[state as usize][b as usize];
+            for &idx in &self.output[state as usize] {
+                events.push(MatchEvent::new(pos as u64, ReportCode(idx)));
+            }
+        }
+        events
+    }
+
+    /// Scan with only a match count (the hot path a real IDS uses).
+    pub fn count_matches(&self, input: &[u8]) -> u64 {
+        let mut count = 0u64;
+        let mut state = 0u32;
+        for &b in input {
+            state = self.goto[state as usize][b as usize];
+            count += self.output[state as usize].len() as u64;
+        }
+        count
+    }
+
+    #[allow(dead_code)]
+    fn fail_link(&self, state: u32) -> u32 {
+        self.fail[state as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_automata::engine::{Engine, SparseEngine};
+    use ca_automata::regex::compile_patterns;
+
+    #[test]
+    fn textbook_example() {
+        // the classic {he, she, his, hers} example
+        let ac = AhoCorasick::new(&[b"he".as_slice(), b"she", b"his", b"hers"]);
+        let mut hits = ac.scan(b"ushers");
+        hits.sort();
+        let got: Vec<(u64, u32)> = hits.iter().map(|e| (e.pos, e.code.0)).collect();
+        // "she" ends at 3, "he" ends at 3, "hers" ends at 5
+        assert_eq!(got, vec![(3, 0), (3, 1), (5, 3)]);
+    }
+
+    #[test]
+    fn agrees_with_nfa_engine_on_literals() {
+        let patterns = ["cat", "att", "cart", "t", "tta"];
+        let ac = AhoCorasick::new(&patterns.map(str::as_bytes));
+        let nfa = compile_patterns(&patterns).unwrap();
+        let mut sparse = SparseEngine::new(&nfa);
+        for input in [
+            b"a cat in a cart".as_slice(),
+            b"attta",
+            b"",
+            b"ttttt",
+            b"catcartatt",
+        ] {
+            let mut a = ac.scan(input);
+            let mut b = sparse.run(input);
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn overlapping_and_nested_patterns() {
+        let ac = AhoCorasick::new(&[b"aa".as_slice(), b"aaa"]);
+        let hits = ac.scan(b"aaaa");
+        // aa at 1,2,3; aaa at 2,3
+        assert_eq!(hits.len(), 5);
+        assert_eq!(ac.count_matches(b"aaaa"), 5);
+    }
+
+    #[test]
+    fn state_and_table_accounting() {
+        let ac = AhoCorasick::new(&[b"abc".as_slice(), b"abd"]);
+        // root + a + ab + abc + abd
+        assert_eq!(ac.state_count(), 5);
+        assert_eq!(ac.pattern_count(), 2);
+        assert_eq!(ac.table_bytes(), 5 * 1024);
+    }
+
+    #[test]
+    fn binary_patterns() {
+        let ac = AhoCorasick::new(&[[0u8, 255, 0].as_slice(), &[255, 255]]);
+        let hits = ac.scan(&[0, 255, 0, 255, 255, 0]);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty patterns")]
+    fn empty_pattern_panics() {
+        AhoCorasick::new(&[b"".as_slice()]);
+    }
+}

@@ -1,0 +1,105 @@
+//! Micron Automata Processor model.
+//!
+//! Constants from the paper (§1, §5) and the AP literature [Dlugosch et
+//! al. 2014]: 133 MHz symbol clock at one symbol per cycle, 48 K STEs per
+//! chip (384 K per 8-die rank), average fan-out reachability 230.5, fan-in
+//! 16, reconfiguration in the tens of milliseconds.
+
+use ca_sim::{EnergyParams, ExecStats};
+
+/// Analytic model of one AP rank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApModel {
+    /// Symbol clock in MHz.
+    pub freq_mhz: f64,
+    /// STEs per chip.
+    pub stes_per_chip: usize,
+    /// Chips per rank.
+    pub chips_per_rank: usize,
+    /// Average one-hop reachability (fan-out).
+    pub reachability: f64,
+    /// Maximum incoming transitions per state.
+    pub max_fan_in: usize,
+    /// Typical configuration time for a full rank, milliseconds.
+    pub config_time_ms: f64,
+}
+
+impl Default for ApModel {
+    fn default() -> ApModel {
+        ApModel {
+            freq_mhz: 133.0,
+            stes_per_chip: 48 * 1024,
+            chips_per_rank: 8,
+            reachability: 230.5,
+            max_fan_in: 16,
+            config_time_ms: 45.0,
+        }
+    }
+}
+
+impl ApModel {
+    /// Deterministic throughput: one 8-bit symbol per cycle.
+    pub fn throughput_gbps(&self) -> f64 {
+        self.freq_mhz / 1000.0 * 8.0
+    }
+
+    /// STE capacity of a rank.
+    pub fn rank_stes(&self) -> usize {
+        self.stes_per_chip * self.chips_per_rank
+    }
+
+    /// Time to scan `bytes` of input, in milliseconds.
+    pub fn scan_time_ms(&self, bytes: u64) -> f64 {
+        bytes as f64 / (self.freq_mhz * 1e6) * 1e3
+    }
+
+    /// *Ideal AP* energy per symbol under a Cache Automaton mapping's
+    /// activity (1 pJ/bit DRAM access, zero interconnect) — §5.3's
+    /// comparison model.
+    pub fn ideal_energy_per_symbol_nj(&self, stats: &ExecStats) -> f64 {
+        ca_sim::ideal_ap_per_symbol_nj(stats, &EnergyParams::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_is_1_064_gbps() {
+        let ap = ApModel::default();
+        assert!((ap.throughput_gbps() - 1.064).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_speedups_follow() {
+        let ap = ApModel::default();
+        // CA_P 16 Gb/s and CA_S 9.6 Gb/s vs AP
+        assert!((16.0 / ap.throughput_gbps() - 15.0).abs() < 0.1);
+        assert!((9.6 / ap.throughput_gbps() - 9.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn rank_capacity() {
+        assert_eq!(ApModel::default().rank_stes(), 384 * 1024);
+    }
+
+    #[test]
+    fn scan_time_10mb() {
+        // 10 MB at 133 MHz -> ~75 ms
+        let ms = ApModel::default().scan_time_ms(10 * 1024 * 1024);
+        assert!((ms - 78.8).abs() < 1.0, "{ms}");
+    }
+
+    #[test]
+    fn ideal_energy_uses_activity() {
+        let stats = ExecStats {
+            symbols: 10,
+            active_partition_cycles: 20,
+            ..Default::default()
+        };
+        let nj = ApModel::default().ideal_energy_per_symbol_nj(&stats);
+        // 2 active partitions/symbol x 256 pJ = 0.512 nJ
+        assert!((nj - 0.512).abs() < 1e-9);
+    }
+}

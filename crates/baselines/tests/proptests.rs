@@ -1,0 +1,51 @@
+//! Differential property tests: Aho–Corasick vs the NFA engines on random
+//! literal dictionaries.
+
+use ca_automata::engine::{Engine, SparseEngine};
+use ca_automata::regex::compile_patterns;
+use ca_baselines::AhoCorasick;
+use proptest::prelude::*;
+
+fn literal_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(prop::sample::select(b"abc".to_vec()), 1..6)
+        .prop_map(|v| String::from_utf8(v).expect("ascii"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// On literal patterns, Aho–Corasick and the NFA engine report the
+    /// same (position, pattern) stream after per-(pos, code) dedup (the
+    /// NFA engine reports each code at most once per position; AC reports
+    /// per occurrence, which for distinct literals is the same thing —
+    /// duplicate patterns are filtered out below).
+    #[test]
+    fn aho_corasick_equals_nfa(
+        mut patterns in prop::collection::vec(literal_strategy(), 1..8),
+        input in prop::collection::vec(prop::sample::select(b"abcd".to_vec()), 0..80),
+    ) {
+        patterns.sort();
+        patterns.dedup();
+        let ac = AhoCorasick::new(&patterns.iter().map(String::as_bytes).collect::<Vec<_>>());
+        let refs: Vec<&str> = patterns.iter().map(String::as_str).collect();
+        let nfa = compile_patterns(&refs).unwrap();
+        // AC codes are indices into the sorted/deduped list, same as the
+        // NFA's pattern indices.
+        let mut a = ac.scan(&input);
+        let mut b = SparseEngine::new(&nfa).run(&input);
+        a.sort();
+        a.dedup();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    /// count_matches agrees with scan length.
+    #[test]
+    fn count_equals_scan(
+        patterns in prop::collection::vec(literal_strategy(), 1..6),
+        input in prop::collection::vec(prop::sample::select(b"abc".to_vec()), 0..60),
+    ) {
+        let ac = AhoCorasick::new(&patterns.iter().map(String::as_bytes).collect::<Vec<_>>());
+        prop_assert_eq!(ac.count_matches(&input), ac.scan(&input).len() as u64);
+    }
+}

@@ -1,0 +1,42 @@
+//! Compiler micro-benchmarks: pattern compilation, space optimization and
+//! the mapping pipeline (plan/place/emit) at two workload sizes.
+
+use ca_compiler::{compile, CompilerOptions};
+use ca_sim::DesignKind;
+use ca_workloads::{Benchmark, Scale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_compiler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compiler");
+    group.sample_size(10);
+
+    for (label, scale) in [("tiny", Scale::tiny()), ("10%", Scale(0.10))] {
+        let workload = Benchmark::Snort.build(scale, 7);
+        group.bench_function(BenchmarkId::new("map_CA_P", label), |b| {
+            b.iter(|| {
+                compile(&workload.nfa, &CompilerOptions::for_design(DesignKind::Performance))
+                    .expect("fits")
+                    .stats
+                    .partitions_used
+            })
+        });
+        group.bench_function(BenchmarkId::new("space_optimize", label), |b| {
+            b.iter(|| ca_automata::optimize::space_optimize(&workload.nfa).0.len())
+        });
+    }
+
+    // regex front-end on a synthetic rulebook
+    let patterns = {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        ca_workloads::patterns::snort_patterns(&mut rng, 250)
+    };
+    let refs: Vec<&str> = patterns.iter().map(String::as_str).collect();
+    group.bench_function("regex_compile_250_rules", |b| {
+        b.iter(|| ca_automata::regex::compile_patterns(&refs).unwrap().len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compiler);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Engine micro-benchmarks: symbols/second of the CPU reference engines
+//! and the hardware fabric simulator on a representative ruleset.
+
+use ca_automata::engine::{BitsetEngine, Engine, SparseEngine};
+use ca_compiler::{compile, CompilerOptions};
+use ca_sim::{DesignKind, Fabric};
+use ca_workloads::{Benchmark, Scale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_engines(c: &mut Criterion) {
+    let workload = Benchmark::Snort.build(Scale(0.02), 7);
+    let input = workload.input(64 * 1024, 3);
+
+    let mut group = c.benchmark_group("engines");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(input.len() as u64));
+
+    group.bench_function(BenchmarkId::new("sparse_cpu", "snort2%"), |b| {
+        let mut engine = SparseEngine::new(&workload.nfa);
+        b.iter(|| engine.run(&input).len())
+    });
+
+    group.bench_function(BenchmarkId::new("bitset_cpu", "snort2%"), |b| {
+        let mut engine = BitsetEngine::new(&workload.nfa);
+        b.iter(|| engine.run(&input).len())
+    });
+
+    // literal-only baseline: Aho-Corasick over an ExactMatch dictionary
+    let literal_wl = Benchmark::ExactMatch.build(Scale(0.1), 7);
+    let literal_input = literal_wl.input(64 * 1024, 3);
+    let patterns = {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        ca_workloads::patterns::exact_match_patterns(&mut rng, 300)
+    };
+    let ac = ca_baselines::AhoCorasick::new(
+        &patterns.iter().map(String::as_bytes).collect::<Vec<_>>(),
+    );
+    group.bench_function(BenchmarkId::new("aho_corasick_cpu", "300 literals"), |b| {
+        b.iter(|| ac.count_matches(&literal_input))
+    });
+
+    for design in [DesignKind::Performance, DesignKind::Space] {
+        let compiled =
+            compile(&workload.nfa, &CompilerOptions::for_design(design)).expect("fits");
+        group.bench_function(BenchmarkId::new("fabric", design.abbrev()), |b| {
+            let mut fabric = Fabric::new(&compiled.bitstream).expect("valid");
+            b.iter(|| fabric.run(&input).events.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

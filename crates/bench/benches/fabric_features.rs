@@ -1,0 +1,52 @@
+//! Micro-benchmarks for the fabric's auxiliary paths: configuration page
+//! emission/reload and snapshot-resume chunked scanning.
+
+use ca_compiler::{compile, CompilerOptions};
+use ca_sim::{emit_pages, load_pages, ConfigImage, DesignKind, Fabric, RunOptions};
+use ca_workloads::{Benchmark, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fabric_features(c: &mut Criterion) {
+    let workload = Benchmark::Bro217.build(Scale(0.5), 7);
+    let compiled =
+        compile(&workload.nfa, &CompilerOptions::for_design(DesignKind::Performance))
+            .expect("fits");
+    let input = workload.input(64 * 1024, 3);
+
+    let mut group = c.benchmark_group("fabric_features");
+    group.sample_size(10);
+
+    group.bench_function("emit_pages", |b| {
+        b.iter(|| emit_pages(&compiled.bitstream).total_bytes())
+    });
+
+    let image = emit_pages(&compiled.bitstream);
+    group.bench_function("capg_roundtrip", |b| {
+        b.iter(|| {
+            let bytes = image.to_capg_bytes();
+            ConfigImage::from_capg_bytes(&bytes).expect("roundtrip").total_bytes()
+        })
+    });
+
+    group.bench_function("load_pages", |b| {
+        b.iter(|| load_pages(&image).expect("valid").ste_count())
+    });
+
+    group.bench_function("chunked_scan_resume", |b| {
+        b.iter(|| {
+            let mut fabric = Fabric::new(&compiled.bitstream).expect("valid");
+            let mut resume = None;
+            let mut events = 0usize;
+            for chunk in input.chunks(4096) {
+                let r = fabric.run_with(chunk, &RunOptions { resume, ..Default::default() });
+                events += r.events.len();
+                resume = r.snapshot;
+            }
+            events
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fabric_features);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Partitioner micro-benchmarks: multilevel k-way on grids and on a real
+//! oversized NFA component.
+
+use ca_partition::{partition_kway, Graph, PartitionOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn grid(w: usize, h: usize) -> Graph {
+    let mut edges = Vec::new();
+    let id = |x: usize, y: usize| (y * w + x) as u32;
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                edges.push((id(x, y), id(x + 1, y), 1));
+            }
+            if y + 1 < h {
+                edges.push((id(x, y), id(x, y + 1), 1));
+            }
+        }
+    }
+    Graph::from_edges(w * h, &edges)
+}
+
+fn bench_partitioner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partitioner");
+    group.sample_size(10);
+
+    for (label, g, k) in [
+        ("grid_32x32_k8", grid(32, 32), 8),
+        ("grid_64x64_k16", grid(64, 64), 16),
+    ] {
+        group.bench_function(BenchmarkId::new("kway", label), |b| {
+            b.iter(|| partition_kway(&g, k, &PartitionOptions::default()).edgecut)
+        });
+    }
+
+    // an actual oversized component: the SPM space-merged automaton
+    let workload = ca_workloads::Benchmark::Spm.build(ca_workloads::Scale(0.05), 3);
+    let merged = workload.space_optimized();
+    let cc = ca_automata::analysis::connected_components(&merged);
+    let biggest = (0..cc.len()).max_by_key(|&i| cc.components[i].len()).unwrap();
+    let sub = ca_automata::analysis::extract_component(&merged, &cc, biggest);
+    let mut edges = Vec::new();
+    for (id, _) in sub.iter() {
+        for t in sub.successors(id) {
+            edges.push((id.0, t.0, 1));
+        }
+    }
+    let g = Graph::from_edges(sub.len(), &edges);
+    let k = sub.len().div_ceil(256).max(2);
+    group.bench_function(
+        BenchmarkId::new("kway_nfa_component", format!("{}states_k{k}", sub.len())),
+        |b| b.iter(|| partition_kway(&g, k, &PartitionOptions::default()).edgecut),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioner);
+criterion_main!(benches);

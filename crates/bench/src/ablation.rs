@@ -1,0 +1,300 @@
+//! Ablation studies for the design choices DESIGN.md calls out, plus the
+//! DFA-blowup study motivating NFA-in-hardware (paper §1, §6).
+
+use crate::markdown::{fnum, Table};
+use crate::suite::RunConfig;
+use ca_automata::analysis::connected_components;
+use ca_automata::engine::DfaEngine;
+use ca_compiler::{compile, CompilerOptions};
+use ca_sim::{DesignKind, STES_PER_PARTITION};
+use ca_workloads::Benchmark;
+
+/// Packing ablation: the compiler's first-fit-decreasing packing with
+/// split-residual reuse, against the paper's literal description
+/// ("starting from the smallest connected component, greedily pack" =
+/// next-fit ascending), and the raw lower bound.
+pub fn ablation_packing(config: &RunConfig) -> String {
+    let mut t = Table::new([
+        "Benchmark", "States", "Lower bound", "Next-fit asc (paper text)", "FFD+residual (ours)",
+        "Fill %",
+    ]);
+    for benchmark in [
+        Benchmark::Snort,
+        Benchmark::Dotstar,
+        Benchmark::Bro217,
+        Benchmark::Spm,
+        Benchmark::ClamAv,
+    ] {
+        let w = benchmark.build(config.scale, config.seed);
+        let cc = connected_components(&w.nfa);
+        // next-fit ascending over whole components; oversized components
+        // charged their balanced-split partition count.
+        let mut sizes: Vec<usize> = cc.sizes();
+        sizes.sort_unstable();
+        let mut naive = 0usize;
+        let mut open = 0usize;
+        for s in sizes {
+            if s > STES_PER_PARTITION {
+                naive += s.div_ceil(STES_PER_PARTITION);
+            } else if open >= s {
+                open -= s;
+            } else {
+                naive += 1;
+                open = STES_PER_PARTITION - s;
+            }
+        }
+        let compiled = compile(&w.nfa, &CompilerOptions::for_design(DesignKind::Performance))
+            .expect("fits the prototype");
+        let ours = compiled.stats.partitions_used;
+        let lower = w.nfa.len().div_ceil(STES_PER_PARTITION);
+        t.row([
+            benchmark.name().to_string(),
+            w.nfa.len().to_string(),
+            lower.to_string(),
+            naive.to_string(),
+            ours.to_string(),
+            fnum(w.nfa.len() as f64 / (ours * STES_PER_PARTITION) as f64 * 100.0, 1),
+        ]);
+    }
+    format!(
+        "## Ablation: partition packing policy\n\n{}\nPartition counts; \
+         lower bound = ceil(states/256) ignoring component atomicity.\n",
+        t.render()
+    )
+}
+
+/// Prefix-merging ablation: CA_S with and without the optimizer.
+pub fn ablation_merging(config: &RunConfig) -> String {
+    let mut t = Table::new([
+        "Benchmark", "States (raw)", "Prefix-merged (paper)", "Bidir, unified codes (ext)",
+        "Partitions (raw)", "Partitions (merged)", "Reduction %",
+    ]);
+    for benchmark in [Benchmark::Spm, Benchmark::Snort, Benchmark::Brill, Benchmark::Tcp] {
+        let w = benchmark.build(config.scale, config.seed);
+        let merged = w.space_optimized();
+        // extension beyond the paper: suffix merging iterated with prefix
+        // merging. Suffix merges require equal report codes, so this is
+        // evaluated in the "any rule fired" deployment mode (all codes
+        // unified) where tails across patterns are mergeable.
+        let bidir = {
+            let mut unified = w.nfa.clone();
+            for s in unified.reporting_states() {
+                unified.state_mut(s).report = Some(ca_automata::ReportCode(0));
+            }
+            ca_automata::optimize::merge_bidirectional(&unified).0
+        };
+        let opts = CompilerOptions::for_design(DesignKind::Space);
+        let raw = compile(&w.nfa, &opts).expect("raw fits");
+        let opt = compile(&merged, &opts).expect("merged fits");
+        t.row([
+            benchmark.name().to_string(),
+            w.nfa.len().to_string(),
+            merged.len().to_string(),
+            bidir.len().to_string(),
+            raw.stats.partitions_used.to_string(),
+            opt.stats.partitions_used.to_string(),
+            fnum((1.0 - merged.len() as f64 / w.nfa.len() as f64) * 100.0, 1),
+        ]);
+    }
+    format!(
+        "## Ablation: state merging (the CA_S flow, plus the bidirectional extension)\n\n{}",
+        t.render()
+    )
+}
+
+/// Floorplan ablation: mapping-aware wire delay. The paper derates every
+/// design to the worst-case 1.5 mm wire; with the explicit slice floorplan,
+/// compact mappings (few, central ways) see shorter routes and could clock
+/// higher — quantified here.
+pub fn ablation_floorplan() -> String {
+    use ca_sim::{CacheGeometry, Floorplan, PartitionLocation, TimingParams};
+    let mut t = Table::new([
+        "Ways occupied", "Worst wire (mm)", "G-stage (ps)", "Max freq (GHz)", "Bottleneck",
+    ]);
+    let fp = Floorplan::default();
+    let geom = CacheGeometry::for_design(DesignKind::Performance, 1);
+    let params = TimingParams::default();
+    for ways in [1usize, 2, 4, 8] {
+        let occupied: Vec<PartitionLocation> = (0..ways * geom.partitions_per_way())
+            .map(|i| PartitionLocation::from_index(&geom, i))
+            .collect();
+        let timing = fp.mapping_timing(DesignKind::Performance, &params, &occupied);
+        let wire = fp.worst_distance_mm(&geom, &occupied);
+        let bottleneck = if timing.state_match_ps >= timing.gswitch_ps.max(timing.lswitch_ps) {
+            "state-match"
+        } else {
+            "interconnect"
+        };
+        t.row([
+            ways.to_string(),
+            fnum(wire, 2),
+            fnum(timing.gswitch_ps, 0),
+            fnum(timing.max_freq_ghz(), 2),
+            bottleneck.to_string(),
+        ]);
+    }
+    format!(
+        "## Ablation: floorplan-aware wire delay (CA_P, center-out way allocation)\n\n{}\
+         \nState-match (438 ps) dominates until the mapping spans most of the slice,\n\
+         confirming the paper's fixed 1.5 mm derating is conservative but not limiting.\n",
+        t.render()
+    )
+}
+
+/// Stride study (extension): the Impala-style 4-bit symbol transform
+/// shrinks STE columns from 256 to 32 rows (one column-mux chunk instead
+/// of four → shallower state-match), at the cost of state inflation.
+pub fn ablation_stride(config: &RunConfig) -> String {
+    use ca_automata::stride::to_nibble_nfa_with_stats;
+    let mut t = Table::new([
+        "Benchmark (5%)", "States (8-bit)", "States (4-bit)", "Inflation x",
+        "Max rectangles", "Net capacity cost x",
+    ]);
+    for benchmark in [
+        Benchmark::ExactMatch,
+        Benchmark::Ranges1,
+        Benchmark::Snort,
+        Benchmark::ClamAv,
+        Benchmark::Protomata,
+    ] {
+        let w = benchmark.build(ca_workloads::Scale(0.05), config.seed);
+        let (_, stats) = to_nibble_nfa_with_stats(&w.nfa);
+        // columns are 8x shorter (32 rows vs 256), so the net SRAM cost is
+        // inflation / 8.
+        t.row([
+            benchmark.name().to_string(),
+            stats.states_before.to_string(),
+            stats.states_after.to_string(),
+            fnum(stats.inflation(), 2),
+            stats.max_rectangles.to_string(),
+            fnum(stats.inflation() / 8.0, 2),
+        ]);
+    }
+    format!(
+        "## Study: 4-bit stride transform (Impala-style extension)\n\n{}\
+         \nInflation of ~2x against 8x-shorter columns nets a 3-4x denser SRAM image;\n\
+         the state-match stage would read one column-mux chunk instead of four.\n",
+        t.render()
+    )
+}
+
+/// DFA-blowup study: lazy determinization of the benchmark NFAs against a
+/// state budget — the reason compute-centric engines restrict themselves
+/// to DFAs *or* pay NFA interpretation costs, and the motivation for
+/// hardware NFA execution (§1, §6).
+pub fn dfa_blowup(config: &RunConfig) -> String {
+    let mut t = Table::new([
+        "Workload", "NFA states", "NFA cache (KB)", "DFA states (lazy)", "DFA table (MB)",
+        "Budget hit?",
+    ]);
+    let budget = 1 << 15;
+    // DFA transition-table bytes: 256 entries x 4 B per materialized state.
+    let dfa_mb = |states: usize| states as f64 * 256.0 * 4.0 / 1048576.0;
+    // NFA cache bytes: 256-bit STE columns (what the Cache Automaton loads).
+    let nfa_kb = |states: usize| states as f64 * 32.0 / 1024.0;
+
+    for benchmark in [
+        Benchmark::ExactMatch,
+        Benchmark::Dotstar06,
+        Benchmark::Dotstar09,
+        Benchmark::Snort,
+    ] {
+        // Lazy determinization over an adversarial (wall-to-wall fragments)
+        // trace; the visited-subset count is a *lower bound* on the real
+        // DFA size.
+        let w = benchmark.build(ca_workloads::Scale(0.05), config.seed);
+        let input = w.adversarial_input(96 * 1024, config.seed + 1);
+        let mut dfa = DfaEngine::with_limit(&w.nfa, budget);
+        let overflowed = dfa.try_run(&input).is_err();
+        let dfa_states = dfa.materialized_states();
+        t.row([
+            format!("{} (5%)", benchmark.name()),
+            w.nfa.len().to_string(),
+            fnum(nfa_kb(w.nfa.len()), 1),
+            format!("{dfa_states}{}", if overflowed { "+" } else { "" }),
+            fnum(dfa_mb(dfa_states), 2),
+            if overflowed { "YES".to_string() } else { "no".to_string() },
+        ]);
+    }
+    // The classic exponential case: bounded wildcard windows, as in ClamAV
+    // signatures (`a.{14}b`) — every combination of in-flight windows is a
+    // distinct subset.
+    let patterns: Vec<String> = (0..20).map(|i| format!("{}.{{14}}b", (b'a' + i % 3) as char)).collect();
+    let refs: Vec<&str> = patterns.iter().map(String::as_str).collect();
+    let nfa = ca_automata::regex::compile_patterns(&refs).expect("compiles");
+    let mut rng = {
+        use rand::SeedableRng;
+        rand::rngs::StdRng::seed_from_u64(config.seed)
+    };
+    let input: Vec<u8> = (0..96 * 1024)
+        .map(|_| {
+            use rand::Rng;
+            *[b'a', b'b', b'c', b'x'].get(rng.gen_range(0..4)).expect("in range")
+        })
+        .collect();
+    let mut dfa = DfaEngine::with_limit(&nfa, budget);
+    let overflowed = dfa.try_run(&input).is_err();
+    t.row([
+        "counting windows (ClamAV-style)".to_string(),
+        nfa.len().to_string(),
+        fnum(nfa_kb(nfa.len()), 1),
+        format!("{}{}", dfa.materialized_states(), if overflowed { "+" } else { "" }),
+        fnum(dfa_mb(dfa.materialized_states()), 2),
+        if overflowed { "YES".to_string() } else { "no".to_string() },
+    ]);
+    format!(
+        "## Study: DFA determinization cost (adversarial 96 KiB traces, {budget}-state budget)\n\n{}\
+         \nEven where subsets stay near-linear, the DFA transition table dwarfs the NFA's\n\
+         cache image; counting windows (ClamAV-style gaps) blow up outright — the paper's\n\
+         premise for executing NFAs directly in hardware.\n",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_workloads::Scale;
+
+    fn tiny() -> RunConfig {
+        RunConfig { scale: Scale::tiny(), input_kib: 4, seed: 3 }
+    }
+
+    #[test]
+    fn packing_ablation_renders() {
+        let s = ablation_packing(&tiny());
+        assert!(s.contains("Snort"));
+        assert!(s.contains("FFD"));
+    }
+
+    #[test]
+    fn merging_ablation_renders() {
+        let s = ablation_merging(&tiny());
+        assert!(s.contains("SPM"));
+        assert!(s.contains("Reduction"));
+    }
+
+    #[test]
+    fn floorplan_ablation_renders() {
+        let s = ablation_floorplan();
+        assert!(s.contains("Worst wire"));
+        assert!(s.contains("state-match"));
+    }
+
+    #[test]
+    fn stride_study_renders() {
+        let s = ablation_stride(&tiny());
+        assert!(s.contains("Inflation"));
+        assert!(s.contains("Snort"));
+    }
+
+    #[test]
+    fn dfa_study_renders() {
+        let s = dfa_blowup(&tiny());
+        assert!(s.contains("DFA table"));
+        assert!(s.contains("Dotstar09"));
+        // the counting-window workload must actually blow up
+        assert!(s.contains("counting windows"));
+        assert!(s.contains("YES"));
+    }
+}

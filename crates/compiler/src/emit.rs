@@ -1,0 +1,240 @@
+//! Bitstream emission: configured partition images, switch cross-points and
+//! global routes.
+
+use crate::error::CompileError;
+use crate::plan::LogicalPlan;
+use ca_automata::{HomNfa, StartKind};
+use ca_sim::{
+    Bitstream, CacheGeometry, DesignKind, Mask256, PartitionImage, PartitionLocation, Route,
+    RouteVia,
+};
+use std::collections::BTreeMap;
+
+/// Emits the bitstream and the state → (partition, column) map.
+///
+/// # Errors
+///
+/// [`CompileError::RoutingInfeasible`] when a partition's global-switch
+/// export or import port budget is exceeded (the compile driver retries
+/// with a finer split), [`CompileError::Internal`] if placement produced
+/// unroutable pairs or the final image fails validation.
+pub fn emit(
+    nfa: &HomNfa,
+    plan: &LogicalPlan,
+    locations: &[PartitionLocation],
+    geom: &CacheGeometry,
+    design: DesignKind,
+) -> Result<(Bitstream, Vec<(u32, u8)>), CompileError> {
+    let per_partition = plan.partition_states();
+    // state -> (partition, column)
+    let mut state_map: Vec<(u32, u8)> = vec![(0, 0); nfa.len()];
+    for (pid, states) in per_partition.iter().enumerate() {
+        for (col, &s) in states.iter().enumerate() {
+            state_map[s as usize] = (pid as u32, col as u8);
+        }
+    }
+
+    // partition images
+    let mut images: Vec<PartitionImage> = Vec::with_capacity(plan.partitions);
+    for (pid, states) in per_partition.iter().enumerate() {
+        let mut img = PartitionImage::new(locations[pid]);
+        for &s in states {
+            let st = nfa.state(ca_automata::StateId(s));
+            let col = img.labels.len() as u8;
+            img.labels.push(st.label);
+            img.local.push(Mask256::ZERO);
+            match st.start {
+                StartKind::AllInput => img.start_all.set(col),
+                StartKind::StartOfData => img.start_sod.set(col),
+                StartKind::None => {}
+            }
+            if let Some(code) = st.report {
+                img.reports.push((col, code));
+            }
+        }
+        images.push(img);
+    }
+
+    // edges: local cross-points and cross-partition signal aggregation
+    // key: (src_pid, src_col, via, dst_pid) -> destination mask
+    let mut cross: BTreeMap<(u32, u8, u8, u32), Mask256> = BTreeMap::new();
+    for (sid, _) in nfa.iter() {
+        let (sp, sc) = state_map[sid.index()];
+        for &t in nfa.successors(sid) {
+            let (dp, dc) = state_map[t.index()];
+            if sp == dp {
+                images[sp as usize].local[sc as usize].set(dc);
+                continue;
+            }
+            let (sloc, dloc) = (locations[sp as usize], locations[dp as usize]);
+            let via = if sloc.same_way(&dloc) {
+                0u8 // G1
+            } else if sloc.same_g4_group(&dloc, geom) {
+                1u8 // G4
+            } else {
+                return Err(CompileError::Internal(format!(
+                    "placement left unroutable pair {sloc} -> {dloc}"
+                )));
+            };
+            cross.entry((sp, sc, via, dp)).or_insert(Mask256::ZERO).set(dc);
+        }
+    }
+
+    // import-port allocation: signals with the same destination mask and
+    // switch tier share a port (the G-switch ORs them).
+    // per dst partition: Vec<(via, mask_words)> in port order
+    let mut ports: Vec<Vec<(u8, [u64; 4])>> = vec![Vec::new(); plan.partitions];
+    let mut routes: Vec<Route> = Vec::new();
+    for (&(sp, sc, via, dp), mask) in &cross {
+        let words = mask.to_words();
+        let plist = &mut ports[dp as usize];
+        let port = match plist.iter().position(|&(v, w)| v == via && w == words) {
+            Some(i) => i as u8,
+            None => {
+                plist.push((via, words));
+                (plist.len() - 1) as u8
+            }
+        };
+        routes.push(Route {
+            src_partition: sp,
+            src_ste: sc,
+            via: if via == 0 { RouteVia::G1 } else { RouteVia::G4 },
+            dst_partition: dp,
+            dst_port: port,
+        });
+    }
+
+    // budget checks: imports per via, exports per via
+    for (pid, plist) in ports.iter().enumerate() {
+        let g1 = plist.iter().filter(|(v, _)| *v == 0).count();
+        let g4 = plist.iter().filter(|(v, _)| *v == 1).count();
+        if g1 > geom.g1_ports || g4 > geom.g4_ports {
+            return Err(CompileError::RoutingInfeasible {
+                component: plan.cluster[pid] as usize,
+                states: per_partition[pid].len(),
+                reason: format!(
+                    "partition {pid} needs {g1} G1 / {g4} G4 import ports \
+                     (budget {}/{})",
+                    geom.g1_ports, geom.g4_ports
+                ),
+            });
+        }
+        images[pid].import_dest = plist.iter().map(|&(_, w)| Mask256::from_words(w)).collect();
+    }
+    let mut exports: BTreeMap<(u32, u8), std::collections::BTreeSet<u8>> = BTreeMap::new();
+    for r in &routes {
+        let via = if r.via == RouteVia::G1 { 0u8 } else { 1 };
+        exports.entry((r.src_partition, via)).or_default().insert(r.src_ste);
+    }
+    for (&(pid, via), stes) in &exports {
+        let budget = if via == 0 { geom.g1_ports } else { geom.g4_ports };
+        if stes.len() > budget {
+            return Err(CompileError::RoutingInfeasible {
+                component: plan.cluster[pid as usize] as usize,
+                states: per_partition[pid as usize].len(),
+                reason: format!(
+                    "partition {pid} exports {} STEs via {} (budget {budget})",
+                    stes.len(),
+                    if via == 0 { "G1" } else { "G4" },
+                ),
+            });
+        }
+    }
+
+    let bitstream =
+        Bitstream { design, geometry: *geom, partitions: images, routes };
+    bitstream
+        .validate()
+        .map_err(|e| CompileError::Internal(format!("emitted bitstream invalid: {e}")))?;
+    Ok((bitstream, state_map))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::plan;
+    use ca_automata::analysis::connected_components;
+    use ca_automata::regex::compile_patterns;
+
+    fn trivial_place(n: usize, geom: &CacheGeometry) -> Vec<PartitionLocation> {
+        (0..n).map(|i| PartitionLocation::from_index(geom, i)).collect()
+    }
+
+    #[test]
+    fn single_partition_emission() {
+        let nfa = compile_patterns(&["cat", "dog"]).unwrap();
+        let cc = connected_components(&nfa);
+        let p = plan(&nfa, &cc, 0, &crate::plan::PortBudget { same_way: 16, cross_way: 8, way_states: 2048 }, 1).unwrap();
+        let geom = CacheGeometry::for_design(DesignKind::Performance, 1);
+        let locs = trivial_place(p.partitions, &geom);
+        let (bs, map) = emit(&nfa, &p, &locs, &geom, DesignKind::Performance).unwrap();
+        assert_eq!(bs.partitions.len(), 1);
+        assert!(bs.routes.is_empty());
+        assert_eq!(bs.ste_count(), 6);
+        assert_eq!(map.len(), 6);
+        // every state mapped to a unique column
+        let set: std::collections::HashSet<_> = map.iter().collect();
+        assert_eq!(set.len(), 6);
+    }
+
+    #[test]
+    fn cross_partition_routes_share_import_ports_by_mask() {
+        use ca_automata::{CharClass, HomNfa, ReportCode, StartKind};
+        use crate::plan::LogicalPlan;
+        // Two source states in partition 0 target the SAME state in
+        // partition 1 -> identical dest masks -> one shared import port.
+        // A third source targets a different state -> second port.
+        let mut nfa = HomNfa::new();
+        let a = nfa.add_state_full(CharClass::byte(b'a'), StartKind::AllInput, None);
+        let b = nfa.add_state_full(CharClass::byte(b'b'), StartKind::AllInput, None);
+        let c = nfa.add_state_full(CharClass::byte(b'c'), StartKind::AllInput, None);
+        let x = nfa.add_state_full(CharClass::byte(b'x'), StartKind::None, Some(ReportCode(0)));
+        let y = nfa.add_state_full(CharClass::byte(b'y'), StartKind::None, Some(ReportCode(1)));
+        nfa.add_edge(a, x);
+        nfa.add_edge(b, x);
+        nfa.add_edge(c, y);
+        // force a split: {a,b,c} and {x,y} in different partitions
+        let plan = LogicalPlan {
+            assignment: vec![0, 0, 0, 1, 1],
+            partitions: 2,
+            cluster: vec![0, 0],
+            kway_invocations: 0,
+        };
+        let geom = CacheGeometry::for_design(DesignKind::Performance, 1);
+        let locs = trivial_place(2, &geom); // same way -> G1
+        let (bs, _) = emit(&nfa, &plan, &locs, &geom, DesignKind::Performance).unwrap();
+        assert_eq!(bs.routes.len(), 3, "one route per (src ste, dst)");
+        assert!(bs.routes.iter().all(|r| r.via == RouteVia::G1));
+        // ports: {x} shared by a,b; {y} for c -> 2 ports at partition 1
+        assert_eq!(bs.partitions[1].import_dest.len(), 2);
+        // behaviour check through the fabric
+        use ca_automata::engine::{Engine, SparseEngine};
+        let mut fabric = ca_sim::Fabric::new(&bs).unwrap();
+        for input in [b"ax".as_slice(), b"bx", b"cy", b"cx", b"ay"] {
+            let mut expect = SparseEngine::new(&nfa).run(input);
+            let mut got = fabric.run(input).events;
+            expect.sort();
+            got.sort();
+            assert_eq!(expect, got, "{input:?}");
+        }
+    }
+
+    #[test]
+    fn start_and_report_bits_land() {
+        let nfa = compile_patterns(&["ab"]).unwrap();
+        let cc = connected_components(&nfa);
+        let p = plan(&nfa, &cc, 0, &crate::plan::PortBudget { same_way: 16, cross_way: 8, way_states: 2048 }, 1).unwrap();
+        let geom = CacheGeometry::for_design(DesignKind::Performance, 1);
+        let locs = trivial_place(p.partitions, &geom);
+        let (bs, map) = emit(&nfa, &p, &locs, &geom, DesignKind::Performance).unwrap();
+        let img = &bs.partitions[0];
+        let (_, col_a) = map[0];
+        let (_, col_b) = map[1];
+        assert!(img.start_all.get(col_a));
+        assert!(!img.start_all.get(col_b));
+        assert_eq!(img.reports.len(), 1);
+        assert_eq!(img.reports[0].0, col_b);
+        // edge a -> b present in the local switch
+        assert!(img.local[col_a as usize].get(col_b));
+    }
+}

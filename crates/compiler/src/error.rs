@@ -1,0 +1,76 @@
+//! Compiler errors.
+
+use std::fmt;
+
+/// Failures of the mapping compiler.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CompileError {
+    /// The automaton needs more partitions than the configured cache
+    /// geometry provides.
+    CapacityExceeded {
+        /// Partitions the mapping would need.
+        needed: usize,
+        /// Partitions available in the geometry.
+        available: usize,
+    },
+    /// A connected component cannot be routed under the switch topology
+    /// (e.g. larger than one way on the performance design, or its
+    /// cross-partition edges exceed the G-switch port budget even after
+    /// re-partitioning).
+    RoutingInfeasible {
+        /// Index of the offending connected component.
+        component: usize,
+        /// States in the component.
+        states: usize,
+        /// Human-readable constraint description.
+        reason: String,
+    },
+    /// The input automaton failed validation.
+    InvalidAutomaton(String),
+    /// The produced bitstream failed validation (compiler bug guard).
+    Internal(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::CapacityExceeded { needed, available } => write!(
+                f,
+                "automaton needs {needed} partitions but the geometry provides {available}"
+            ),
+            CompileError::RoutingInfeasible { component, states, reason } => write!(
+                f,
+                "connected component {component} ({states} states) cannot be routed: {reason}"
+            ),
+            CompileError::InvalidAutomaton(msg) => write!(f, "invalid automaton: {msg}"),
+            CompileError::Internal(msg) => write!(f, "internal compiler error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<ca_automata::Error> for CompileError {
+    fn from(e: ca_automata::Error) -> CompileError {
+        CompileError::InvalidAutomaton(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = CompileError::CapacityExceeded { needed: 100, available: 64 };
+        assert!(e.to_string().contains("100"));
+        let e = CompileError::RoutingInfeasible {
+            component: 3,
+            states: 999,
+            reason: "too many exports".into(),
+        };
+        assert!(e.to_string().contains("999"));
+        assert!(!CompileError::Internal("x".into()).to_string().is_empty());
+    }
+}

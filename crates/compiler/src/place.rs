@@ -1,0 +1,382 @@
+//! Physical placement: logical partitions → cache locations.
+//!
+//! Routing constraints (paper §2.4): partitions joined by transitions must
+//! share a way (G-switch-1) or — on the space design — a slice's chained
+//! G-switch-4 domain. Placement therefore keeps each split component's
+//! parts within one way when they fit, otherwise groups them into ways with
+//! a second level of graph partitioning (minimizing cross-way G4 traffic)
+//! inside a single slice.
+
+use crate::error::CompileError;
+use crate::plan::LogicalPlan;
+use ca_partition::{partition_kway, Graph, PartitionOptions};
+use ca_sim::{CacheGeometry, PartitionLocation};
+
+/// Free-slot tracker over the ways of the geometry.
+struct SlotTable<'a> {
+    geom: &'a CacheGeometry,
+    /// used[global_way] = slots consumed
+    used: Vec<usize>,
+}
+
+impl<'a> SlotTable<'a> {
+    fn new(geom: &'a CacheGeometry) -> SlotTable<'a> {
+        SlotTable { geom, used: vec![0; geom.slices * geom.automata_ways] }
+    }
+
+    fn way_capacity(&self) -> usize {
+        self.geom.partitions_per_way()
+    }
+
+    fn free(&self, global_way: usize) -> usize {
+        self.way_capacity() - self.used[global_way]
+    }
+
+    fn slice_free(&self, slice: usize) -> usize {
+        (0..self.geom.automata_ways)
+            .map(|w| self.free(slice * self.geom.automata_ways + w))
+            .sum()
+    }
+
+    /// Takes `n` slots from `global_way`, returning their locations.
+    fn take(&mut self, global_way: usize, n: usize) -> Vec<PartitionLocation> {
+        assert!(self.free(global_way) >= n, "way overflow");
+        let slice = global_way / self.geom.automata_ways;
+        let way = global_way % self.geom.automata_ways;
+        let base = slice * self.geom.partitions_per_slice() + way * self.way_capacity();
+        let start = self.used[global_way];
+        self.used[global_way] += n;
+        (start..start + n)
+            .map(|slot| PartitionLocation::from_index(self.geom, base + slot))
+            .collect()
+    }
+
+    fn find_way_with(&self, n: usize) -> Option<usize> {
+        (0..self.used.len()).find(|&w| self.free(w) >= n)
+    }
+}
+
+/// Places every logical partition, honoring cluster routability.
+///
+/// `quotient` lists weighted edges between logical partitions (the
+/// cross-partition transition counts from the plan).
+///
+/// # Errors
+///
+/// * [`CompileError::CapacityExceeded`] when the geometry runs out of
+///   partitions;
+/// * [`CompileError::RoutingInfeasible`] when a cluster spans more than a
+///   way on a design without G-switch-4, or more than a slice.
+pub fn place(
+    plan: &LogicalPlan,
+    quotient: &[(u32, u32, u32)],
+    geom: &CacheGeometry,
+    seed: u64,
+) -> Result<Vec<PartitionLocation>, CompileError> {
+    if plan.partitions > geom.total_partitions() {
+        return Err(CompileError::CapacityExceeded {
+            needed: plan.partitions,
+            available: geom.total_partitions(),
+        });
+    }
+    let mut slots = SlotTable::new(geom);
+    let mut locations: Vec<Option<PartitionLocation>> = vec![None; plan.partitions];
+
+    // group partitions by cluster
+    let cluster_count = plan.cluster.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+    let mut clusters: Vec<Vec<u32>> = vec![Vec::new(); cluster_count];
+    for (p, &c) in plan.cluster.iter().enumerate() {
+        clusters[c as usize].push(p as u32);
+    }
+    let mut order: Vec<usize> = (0..cluster_count).collect();
+    order.sort_by_key(|&c| std::cmp::Reverse(clusters[c].len()));
+
+    let mut singles: Vec<u32> = Vec::new();
+    for &ci in &order {
+        let parts = &clusters[ci];
+        match parts.len() {
+            0 => {}
+            1 => singles.push(parts[0]),
+            n if n <= slots.way_capacity() => {
+                let way = slots.find_way_with(n).ok_or(CompileError::CapacityExceeded {
+                    needed: plan.partitions,
+                    available: geom.total_partitions(),
+                })?;
+                for (part, loc) in parts.iter().zip(slots.take(way, n)) {
+                    locations[*part as usize] = Some(loc);
+                }
+            }
+            n => {
+                if geom.gswitch4_ways == 0 {
+                    return Err(CompileError::RoutingInfeasible {
+                        component: ci,
+                        states: n * ca_sim::STES_PER_PARTITION,
+                        reason: format!(
+                            "cluster needs {n} partitions but the performance design \
+                             routes only within a way ({} partitions)",
+                            slots.way_capacity()
+                        ),
+                    });
+                }
+                place_slice_spanning(quotient, parts, &mut slots, &mut locations, ci, seed)?;
+            }
+        }
+    }
+    // singles anywhere, first fit
+    for part in singles {
+        let way = slots.find_way_with(1).ok_or(CompileError::CapacityExceeded {
+            needed: plan.partitions,
+            available: geom.total_partitions(),
+        })?;
+        locations[part as usize] = Some(slots.take(way, 1)[0]);
+    }
+    Ok(locations.into_iter().map(|l| l.expect("every partition placed")).collect())
+}
+
+/// Chunks a BFS order of the graph into groups of at most `chunk` vertices
+/// — the always-feasible fallback grouping. Neighbors tend to land in the
+/// same chunk, keeping cross-way traffic moderate.
+fn bfs_chunks(graph: &Graph, chunk: usize) -> Vec<u32> {
+    let n = graph.len();
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    for root in 0..n as u32 {
+        if seen[root as usize] {
+            continue;
+        }
+        seen[root as usize] = true;
+        queue.push_back(root);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for (u, _) in graph.neighbors(v) {
+                if !seen[u as usize] {
+                    seen[u as usize] = true;
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+    let mut assign = vec![0u32; n];
+    for (i, &v) in order.iter().enumerate() {
+        assign[v as usize] = (i / chunk) as u32;
+    }
+    assign
+}
+
+/// Places a cluster larger than a way: group its parts into way-sized
+/// chunks (minimizing cross-way edges) and put all chunks in one slice.
+fn place_slice_spanning(
+    quotient: &[(u32, u32, u32)],
+    parts: &[u32],
+    slots: &mut SlotTable<'_>,
+    locations: &mut [Option<PartitionLocation>],
+    cluster_idx: usize,
+    seed: u64,
+) -> Result<(), CompileError> {
+    let geom = slots.geom;
+    let n = parts.len();
+    let ppw = slots.way_capacity();
+    if n > geom.partitions_per_slice() {
+        return Err(CompileError::RoutingInfeasible {
+            component: cluster_idx,
+            states: n * ca_sim::STES_PER_PARTITION,
+            reason: format!(
+                "cluster needs {n} partitions but a slice's G4 domain holds {}",
+                geom.partitions_per_slice()
+            ),
+        });
+    }
+    // quotient subgraph over this cluster's parts
+    let mut local = std::collections::HashMap::new();
+    for (i, &p) in parts.iter().enumerate() {
+        local.insert(p, i as u32);
+    }
+    let edges: Vec<(u32, u32, u32)> = quotient
+        .iter()
+        .filter_map(|&(a, b, w)| {
+            match (local.get(&a), local.get(&b)) {
+                (Some(&la), Some(&lb)) if la != lb => Some((la, lb, w)),
+                _ => None,
+            }
+        })
+        .collect();
+    let graph = Graph::from_edges(n, &edges);
+    // Group parts into exactly ceil(n/ppw) way-sized groups: more groups
+    // than that cannot bin-pack into the slice's ways once the group sizes
+    // exceed half a way. Try a few partitioner seeds for a balanced cut;
+    // if none lands within the way capacity, fall back to chunking a BFS
+    // order of the quotient graph (always feasible, decent locality).
+    let n_groups = n.div_ceil(ppw);
+    let mut groups_assign: Option<Vec<u32>> = None;
+    if n_groups < n {
+        for attempt in 0..6u64 {
+            let p = partition_kway(
+                &graph,
+                n_groups,
+                &PartitionOptions {
+                    seed: seed.wrapping_add(attempt * 6151 + 1),
+                    epsilon: 0.02,
+                    ..Default::default()
+                },
+            );
+            let max = p.part_weights(&graph).into_iter().max().unwrap_or(0) as usize;
+            if max <= ppw {
+                groups_assign = Some(p.assignment);
+                break;
+            }
+        }
+    }
+    let groups_assign = groups_assign.unwrap_or_else(|| bfs_chunks(&graph, ppw));
+    let group_count = groups_assign.iter().map(|&g| g as usize + 1).max().unwrap_or(1);
+    let mut groups: Vec<Vec<u32>> = vec![Vec::new(); group_count];
+    for (i, &g) in groups_assign.iter().enumerate() {
+        groups[g as usize].push(parts[i]);
+    }
+    groups.retain(|g| !g.is_empty());
+    groups.sort_by_key(|g| std::cmp::Reverse(g.len()));
+    debug_assert!(groups.iter().all(|g| g.len() <= ppw));
+
+    // find a slice where each group fits a way
+    'slices: for slice in 0..geom.slices {
+        if slots.slice_free(slice) < n {
+            continue;
+        }
+        let base_way = slice * geom.automata_ways;
+        let snapshot = slots.used.clone();
+        let mut placed: Vec<(u32, PartitionLocation)> = Vec::new();
+        for group in &groups {
+            let way = (0..geom.automata_ways)
+                .map(|w| base_way + w)
+                .find(|&w| slots.free(w) >= group.len());
+            let Some(way) = way else {
+                slots.used = snapshot; // rollback and try the next slice
+                continue 'slices;
+            };
+            for (part, loc) in group.iter().zip(slots.take(way, group.len())) {
+                placed.push((*part, loc));
+            }
+        }
+        for (part, loc) in placed {
+            locations[part as usize] = Some(loc);
+        }
+        return Ok(());
+    }
+    Err(CompileError::RoutingInfeasible {
+        component: cluster_idx,
+        states: n * ca_sim::STES_PER_PARTITION,
+        reason: "no slice has room for the cluster's way groups".into(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_sim::DesignKind;
+
+    fn plan_of(partitions: usize, cluster: Vec<u32>) -> LogicalPlan {
+        LogicalPlan { assignment: Vec::new(), partitions, cluster, kway_invocations: 0 }
+    }
+
+    #[test]
+    fn singles_fill_first_fit() {
+        let geom = CacheGeometry::for_design(DesignKind::Performance, 1);
+        let plan = plan_of(3, vec![0, 1, 2]);
+        let locs = place(&plan, &[], &geom, 1).unwrap();
+        assert_eq!(locs.len(), 3);
+        // all distinct
+        let set: std::collections::HashSet<_> = locs.iter().collect();
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn cluster_stays_in_one_way() {
+        let geom = CacheGeometry::for_design(DesignKind::Performance, 1);
+        // 5 parts in one cluster (way capacity is 8)
+        let plan = plan_of(5, vec![0; 5]);
+        let locs = place(&plan, &[], &geom, 1).unwrap();
+        assert!(locs.iter().all(|l| l.same_way(&locs[0])), "{locs:?}");
+    }
+
+    #[test]
+    fn performance_design_rejects_way_overflow() {
+        let geom = CacheGeometry::for_design(DesignKind::Performance, 1);
+        // 9 parts > 8 per way, no G4 on CA_P
+        let plan = plan_of(9, vec![0; 9]);
+        let err = place(&plan, &[], &geom, 1).unwrap_err();
+        assert!(matches!(err, CompileError::RoutingInfeasible { .. }), "{err}");
+    }
+
+    #[test]
+    fn space_design_spans_ways_within_slice() {
+        let geom = CacheGeometry::for_design(DesignKind::Space, 1);
+        // 20 parts > 16 per way: needs 2 ways, fine on CA_S
+        // quotient: a chain 0-1-2-...-19
+        let quotient: Vec<(u32, u32, u32)> =
+            (0..19u32).map(|i| (i, i + 1, 4)).collect();
+        let plan = plan_of(20, vec![0; 20]);
+        let locs = place(&plan, &quotient, &geom, 1).unwrap();
+        // all in one slice
+        assert!(locs.iter().all(|l| l.slice == locs[0].slice));
+        // at most 16 per way
+        let mut per_way = std::collections::HashMap::new();
+        for l in &locs {
+            *per_way.entry(l.way).or_insert(0usize) += 1;
+        }
+        assert!(per_way.values().all(|&n| n <= 16));
+        assert_eq!(per_way.len(), 2);
+    }
+
+    #[test]
+    fn capacity_exceeded() {
+        let geom = CacheGeometry::for_design(DesignKind::Performance, 1); // 64 partitions
+        let plan = plan_of(65, (0..65).collect());
+        let err = place(&plan, &[], &geom, 1).unwrap_err();
+        assert!(matches!(err, CompileError::CapacityExceeded { needed: 65, available: 64 }));
+    }
+
+    #[test]
+    fn slice_domain_overflow_rejected() {
+        let geom = CacheGeometry::for_design(DesignKind::Space, 2);
+        // one cluster bigger than a slice (128 partitions)
+        let plan = plan_of(129, vec![0; 129]);
+        let err = place(&plan, &[], &geom, 1).unwrap_err();
+        assert!(matches!(err, CompileError::RoutingInfeasible { .. }), "{err}");
+    }
+
+    #[test]
+    fn bfs_chunks_is_total_and_bounded() {
+        // a 7-vertex path chunked by 3: groups {0,1,2},{3,4,5},{6}
+        let edges: Vec<(u32, u32, u32)> = (0..6u32).map(|i| (i, i + 1, 1)).collect();
+        let g = Graph::from_edges(7, &edges);
+        let assign = bfs_chunks(&g, 3);
+        assert_eq!(assign.len(), 7);
+        let mut counts = std::collections::HashMap::new();
+        for &a in &assign {
+            *counts.entry(a).or_insert(0usize) += 1;
+        }
+        assert!(counts.values().all(|&c| c <= 3));
+        assert_eq!(counts.len(), 3);
+        // BFS locality: path neighbors mostly share chunks
+        assert_eq!(assign[0], assign[1]);
+        // disconnected graph still covered
+        let g = Graph::from_edges(5, &[]);
+        let assign = bfs_chunks(&g, 2);
+        assert_eq!(assign.iter().map(|&a| a as usize + 1).max(), Some(3));
+    }
+
+    #[test]
+    fn mixed_clusters_and_singles() {
+        let geom = CacheGeometry::for_design(DesignKind::Performance, 1);
+        // cluster of 6 + cluster of 4 + 3 singles = 13 partitions
+        let mut cluster = vec![0; 6];
+        cluster.extend([1; 4]);
+        cluster.extend([2, 3, 4]);
+        let plan = plan_of(13, cluster);
+        let locs = place(&plan, &[], &geom, 1).unwrap();
+        assert!(locs[0..6].iter().all(|l| l.same_way(&locs[0])));
+        assert!(locs[6..10].iter().all(|l| l.same_way(&locs[6])));
+        let set: std::collections::HashSet<_> = locs.iter().collect();
+        assert_eq!(set.len(), 13);
+    }
+}

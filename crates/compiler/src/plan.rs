@@ -1,0 +1,515 @@
+//! Logical planning: connected components → 256-STE logical partitions.
+//!
+//! Implements §3.2 of the paper: connected components are atomic mapping
+//! units; components that fit a partition are bin-packed (several per
+//! partition when possible); oversized components are split k ways with the
+//! multilevel partitioner so that cross-partition transitions are minimized.
+//!
+//! Beyond raw edge cut, the hardware constrains *ports*: at most 16 STEs of
+//! a partition may export through the per-way G-switch and only 16 import
+//! wires exist (8 more via G-switch-4). The planner therefore scores each
+//! candidate split by its port pressure and searches a few partitioner
+//! seeds and split factors for one that fits — mirroring the paper's
+//! observation that METIS keeps inter-partition transitions under 16.
+
+use crate::error::CompileError;
+use ca_automata::analysis::Components;
+use ca_automata::HomNfa;
+use ca_partition::{partition_kway, Graph, PartitionOptions};
+use ca_sim::STES_PER_PARTITION;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The state → logical-partition mapping plus cluster structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogicalPlan {
+    /// `assignment[state]` = logical partition index.
+    pub assignment: Vec<u32>,
+    /// Number of logical partitions.
+    pub partitions: usize,
+    /// `cluster[p]` = cluster id of logical partition `p`; the parts of one
+    /// split component share a cluster and must be placed routably.
+    pub cluster: Vec<u32>,
+    /// How many k-way partitioner invocations planning needed.
+    pub kway_invocations: usize,
+}
+
+impl LogicalPlan {
+    /// States assigned to each logical partition, ascending state ids.
+    pub fn partition_states(&self) -> Vec<Vec<u32>> {
+        let mut out = vec![Vec::new(); self.partitions];
+        for (s, &p) in self.assignment.iter().enumerate() {
+            out[p as usize].push(s as u32);
+        }
+        out
+    }
+}
+
+/// Worst-case port pressure of a candidate split of one component:
+/// `(max exporting STEs per part, max import wire groups per part)`.
+fn port_pressure(
+    edges: &[(u32, u32)],
+    assignment: &[u32],
+    parts: usize,
+) -> (usize, usize) {
+    let mut exports: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); parts];
+    // per destination part: the set of distinct destination groups; two
+    // sources can share an import wire iff they activate the same set.
+    let mut dest_sets: BTreeMap<(u32, u32), BTreeSet<u32>> = BTreeMap::new();
+    for &(s, t) in edges {
+        let (a, b) = (assignment[s as usize], assignment[t as usize]);
+        if a == b {
+            continue;
+        }
+        exports[a as usize].insert(s);
+        dest_sets.entry((b, s)).or_default().insert(t);
+    }
+    let mut imports: Vec<BTreeSet<Vec<u32>>> = vec![BTreeSet::new(); parts];
+    for ((b, _src), dests) in dest_sets {
+        imports[b as usize].insert(dests.into_iter().collect());
+    }
+    (
+        exports.iter().map(BTreeSet::len).max().unwrap_or(0),
+        imports.iter().map(BTreeSet::len).max().unwrap_or(0),
+    )
+}
+
+/// Per-part port usage: `(exports[p], imports[p])`.
+fn port_usage(
+    edges: &[(u32, u32)],
+    assignment: &[u32],
+    parts: usize,
+) -> (Vec<BTreeSet<u32>>, Vec<BTreeSet<Vec<u32>>>) {
+    let mut exports: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); parts];
+    let mut dest_sets: BTreeMap<(u32, u32), BTreeSet<u32>> = BTreeMap::new();
+    for &(s, t) in edges {
+        let (a, b) = (assignment[s as usize], assignment[t as usize]);
+        if a == b {
+            continue;
+        }
+        exports[a as usize].insert(s);
+        dest_sets.entry((b, s)).or_default().insert(t);
+    }
+    let mut imports: Vec<BTreeSet<Vec<u32>>> = vec![BTreeSet::new(); parts];
+    for ((b, _src), dests) in dest_sets {
+        imports[b as usize].insert(dests.into_iter().collect());
+    }
+    (exports, imports)
+}
+
+/// Total port-budget violation of an assignment.
+fn port_violation(edges: &[(u32, u32)], assignment: &[u32], parts: usize, budget: usize) -> usize {
+    let (exports, imports) = port_usage(edges, assignment, parts);
+    exports
+        .iter()
+        .map(|e| e.len().saturating_sub(budget))
+        .chain(imports.iter().map(|i| i.len().saturating_sub(budget)))
+        .sum()
+}
+
+/// Greedy local repair: move boundary states between parts to bring port
+/// usage under budget without overflowing the part capacity. Returns `true`
+/// when the violation reaches zero.
+fn repair_ports(
+    edges: &[(u32, u32)],
+    assignment: &mut [u32],
+    parts: usize,
+    capacity: usize,
+    budget: usize,
+) -> bool {
+    let n = assignment.len();
+    // adjacency (undirected view) for candidate targets
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for &(s, t) in edges {
+        adj[s as usize].push(t);
+        adj[t as usize].push(s);
+    }
+    let mut sizes = vec![0usize; parts];
+    for &a in assignment.iter() {
+        sizes[a as usize] += 1;
+    }
+    let mut current = port_violation(edges, assignment, parts, budget);
+    for _round in 0..48 {
+        if current == 0 {
+            return true;
+        }
+        let (exports, imports) = port_usage(edges, assignment, parts);
+        // candidate movers: exporters of over-budget parts plus states
+        // inside over-budget importers' source sets (approximated by all
+        // boundary states touching those parts).
+        let mut candidates: BTreeSet<u32> = BTreeSet::new();
+        for p in 0..parts {
+            if exports[p].len() > budget {
+                candidates.extend(exports[p].iter().copied());
+            }
+            if imports[p].len() > budget {
+                for &(s, t) in edges {
+                    if assignment[t as usize] == p as u32 && assignment[s as usize] != p as u32 {
+                        candidates.insert(s);
+                        candidates.insert(t);
+                    }
+                }
+            }
+        }
+        let mut best: Option<(usize, u32, u32)> = None; // (violation, state, target)
+        for &s in &candidates {
+            let from = assignment[s as usize];
+            let mut targets: BTreeSet<u32> = adj[s as usize]
+                .iter()
+                .map(|&u| assignment[u as usize])
+                .filter(|&p| p != from)
+                .collect();
+            targets.remove(&from);
+            for &to in &targets {
+                if sizes[to as usize] + 1 > capacity {
+                    continue;
+                }
+                assignment[s as usize] = to;
+                let v = port_violation(edges, assignment, parts, budget);
+                assignment[s as usize] = from;
+                if v < current && best.as_ref().is_none_or(|(bv, _, _)| v < *bv) {
+                    best = Some((v, s, to));
+                }
+            }
+        }
+        match best {
+            Some((v, s, to)) => {
+                let from = assignment[s as usize];
+                sizes[from as usize] -= 1;
+                sizes[to as usize] += 1;
+                assignment[s as usize] = to;
+                current = v;
+            }
+            None => break,
+        }
+    }
+    current == 0
+}
+
+/// Splits one oversized component, searching split factors and seeds for a
+/// balanced, port-feasible partitioning. Returns the local assignment.
+fn split_component(
+    graph: &Graph,
+    edges: &[(u32, u32)],
+    size: usize,
+    extra_parts: usize,
+    budget: &PortBudget,
+    seed: u64,
+    kway_invocations: &mut usize,
+) -> Option<Vec<u32>> {
+    // A component bigger than a way must route some pairs through the
+    // cross-way switch, whose import budget is tighter (8 wires vs 16);
+    // score candidates against the stricter bound in that case. The
+    // emitter re-checks the real per-tier budgets either way.
+    let port_budget = if size > budget.way_states && budget.cross_way > 0 {
+        budget.cross_way
+    } else {
+        budget.same_way
+    };
+    let capacity = STES_PER_PARTITION;
+    let base_k = size.div_ceil(capacity) + extra_parts;
+    let max_k = (base_k * 2).max(base_k + 4);
+    // best candidate so far: (port score, assignment)
+    let mut best: Option<(usize, Vec<u32>)> = None;
+    for k in base_k..=max_k {
+        for attempt in 0..4u64 {
+            *kway_invocations += 1;
+            let opts = PartitionOptions {
+                seed: seed.wrapping_add(k as u64 * 131).wrapping_add(attempt * 7919),
+                epsilon: 0.03,
+                ..Default::default()
+            };
+            let p = partition_kway(graph, k, &opts);
+            let max_part = p.part_weights(graph).into_iter().max().unwrap_or(0);
+            if max_part as usize > capacity {
+                continue;
+            }
+            let (exp, imp) = port_pressure(edges, &p.assignment, k);
+            let score = exp.max(imp);
+            if score <= port_budget {
+                return Some(p.assignment);
+            }
+            // near misses are usually repairable in a few moves
+            if score <= port_budget + 6 {
+                let mut repaired = p.assignment.clone();
+                if repair_ports(edges, &mut repaired, k, capacity, port_budget) {
+                    return Some(repaired);
+                }
+            }
+            if best.as_ref().is_none_or(|(s, _)| score < *s) {
+                best = Some((score, p.assignment));
+            }
+        }
+    }
+    // No candidate met the budget outright; try greedy port repair on the
+    // least-pressured candidate, then hand it back either way and let the
+    // emitter's budget check (and the compile retry loop) decide.
+    best.map(|(_, mut a)| {
+        let parts = a.iter().map(|&x| x as usize + 1).max().unwrap_or(1);
+        repair_ports(edges, &mut a, parts, capacity, port_budget);
+        a
+    })
+}
+
+/// Per-partition G-switch port budgets used to score candidate splits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortBudget {
+    /// Import/export wires through the per-way G-switch (16).
+    pub same_way: usize,
+    /// Import/export wires through the cross-way G-switch (8; 0 on CA_P).
+    pub cross_way: usize,
+    /// States one way holds (decides when a component must span ways).
+    pub way_states: usize,
+}
+
+/// Builds the logical plan.
+///
+/// `extra_parts` adds slack to every oversized component's initial `k`
+/// (used by the compile retry loop when routing constraints bite);
+/// `budget` carries the per-partition G-switch port budgets used to score
+/// candidate splits.
+///
+/// # Errors
+///
+/// [`CompileError::RoutingInfeasible`] if a component cannot be balanced
+/// into ≤256-state parts even with generous k.
+pub fn plan(
+    nfa: &HomNfa,
+    cc: &Components,
+    extra_parts: usize,
+    budget: &PortBudget,
+    seed: u64,
+) -> Result<LogicalPlan, CompileError> {
+    let capacity = STES_PER_PARTITION;
+    let mut assignment = vec![u32::MAX; nfa.len()];
+    let mut cluster: Vec<u32> = Vec::new();
+    let mut next_partition = 0u32;
+    let mut next_cluster = 0u32;
+    let mut kway_invocations = 0usize;
+    // open bins for small-component packing: (partition id, free slots);
+    // seeded with the residual space of split-component partitions so a
+    // split that leaves partitions 80% full costs nothing overall.
+    let mut bins: Vec<(u32, usize)> = Vec::new();
+
+    // --- large components first: balanced k-way splits -------------------
+    for ci in 0..cc.len() {
+        let members = &cc.components[ci];
+        if members.len() <= capacity {
+            continue;
+        }
+        let mut local = std::collections::HashMap::with_capacity(members.len());
+        for (li, s) in members.iter().enumerate() {
+            local.insert(s.0, li as u32);
+        }
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for s in members {
+            let ls = local[&s.0];
+            for t in nfa.successors(*s) {
+                let lt = local[&t.0];
+                if ls != lt {
+                    edges.push((ls, lt));
+                }
+            }
+        }
+        let weighted: Vec<(u32, u32, u32)> =
+            edges.iter().map(|&(a, b)| (a, b, 1)).collect();
+        let graph = Graph::from_edges(members.len(), &weighted);
+
+        let Some(local_assignment) = split_component(
+            &graph,
+            &edges,
+            members.len(),
+            extra_parts,
+            budget,
+            seed,
+            &mut kway_invocations,
+        ) else {
+            return Err(CompileError::RoutingInfeasible {
+                component: ci,
+                states: members.len(),
+                reason: format!("could not balance into {capacity}-state parts"),
+            });
+        };
+        // renumber non-empty parts densely; record residual capacity
+        let max_part = local_assignment.iter().map(|&a| a as usize + 1).max().unwrap_or(1);
+        let mut part_map: Vec<Option<u32>> = vec![None; max_part];
+        let mut part_fill: BTreeMap<u32, usize> = BTreeMap::new();
+        for (li, s) in members.iter().enumerate() {
+            let part = local_assignment[li] as usize;
+            let pid = match part_map[part] {
+                Some(pid) => pid,
+                None => {
+                    let pid = next_partition;
+                    next_partition += 1;
+                    cluster.push(next_cluster);
+                    part_map[part] = Some(pid);
+                    pid
+                }
+            };
+            *part_fill.entry(pid).or_insert(0) += 1;
+            assignment[s.index()] = pid;
+        }
+        for (pid, fill) in part_fill {
+            if capacity > fill {
+                bins.push((pid, capacity - fill));
+            }
+        }
+        next_cluster += 1;
+    }
+
+    // --- small components: first-fit-decreasing into residuals + new bins
+    let mut small: Vec<usize> = (0..cc.len())
+        .filter(|&i| cc.components[i].len() <= capacity)
+        .collect();
+    small.sort_by_key(|&i| std::cmp::Reverse(cc.components[i].len()));
+    for &ci in &small {
+        let size = cc.components[ci].len();
+        let slot = bins.iter_mut().find(|(_, free)| *free >= size);
+        let pid = match slot {
+            Some((pid, free)) => {
+                *free -= size;
+                *pid
+            }
+            None => {
+                let pid = next_partition;
+                next_partition += 1;
+                cluster.push(next_cluster);
+                next_cluster += 1;
+                bins.push((pid, capacity - size));
+                pid
+            }
+        };
+        for s in &cc.components[ci] {
+            assignment[s.index()] = pid;
+        }
+    }
+
+    debug_assert!(assignment.iter().all(|&a| a != u32::MAX));
+    Ok(LogicalPlan {
+        assignment,
+        partitions: next_partition as usize,
+        cluster,
+        kway_invocations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_automata::analysis::connected_components;
+    use ca_automata::regex::compile_patterns;
+    use ca_automata::{CharClass, ReportCode, StartKind};
+
+    fn plan16(nfa: &HomNfa, cc: &Components, extra: usize, seed: u64) -> LogicalPlan {
+        let budget = PortBudget { same_way: 16, cross_way: 8, way_states: 2048 };
+        plan(nfa, cc, extra, &budget, seed).unwrap()
+    }
+
+    #[test]
+    fn small_components_pack_together() {
+        // 10 patterns of 10 states each = 100 states -> 1 partition.
+        let patterns: Vec<String> = (0..10).map(|i| format!("pat{i:06}")).collect();
+        let refs: Vec<&str> = patterns.iter().map(String::as_str).collect();
+        let nfa = compile_patterns(&refs).unwrap();
+        let cc = connected_components(&nfa);
+        let plan = plan16(&nfa, &cc, 0, 1);
+        assert_eq!(plan.partitions, 1);
+        assert!(plan.assignment.iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn packing_respects_capacity() {
+        // 30 components x 30 states = 900 states -> 4 partitions (256 cap).
+        let patterns: Vec<String> =
+            (0..30).map(|i| format!("{:a>28}{i:02}", "")).collect();
+        let refs: Vec<&str> = patterns.iter().map(String::as_str).collect();
+        let nfa = compile_patterns(&refs).unwrap();
+        let cc = connected_components(&nfa);
+        let plan = plan16(&nfa, &cc, 0, 1);
+        assert_eq!(plan.partitions, 4);
+        for states in plan.partition_states() {
+            assert!(states.len() <= STES_PER_PARTITION);
+        }
+        // components stay whole
+        for comp in &cc.components {
+            let p0 = plan.assignment[comp[0].index()];
+            assert!(comp.iter().all(|s| plan.assignment[s.index()] == p0));
+        }
+    }
+
+    fn chain(n: u32) -> HomNfa {
+        let mut nfa = HomNfa::new();
+        let mut prev = None;
+        for i in 0..n {
+            let start = if i == 0 { StartKind::AllInput } else { StartKind::None };
+            let report = if i == n - 1 { Some(ReportCode(0)) } else { None };
+            let id = nfa.add_state_full(CharClass::byte(b'a'), start, report);
+            if let Some(p) = prev {
+                nfa.add_edge(p, id);
+            }
+            prev = Some(id);
+        }
+        nfa
+    }
+
+    #[test]
+    fn large_component_splits_balanced() {
+        let nfa = chain(1000);
+        let cc = connected_components(&nfa);
+        let p = plan16(&nfa, &cc, 0, 1);
+        assert!(p.partitions >= 4);
+        for states in p.partition_states() {
+            assert!(states.len() <= STES_PER_PARTITION);
+            assert!(!states.is_empty());
+        }
+        // all parts share one cluster
+        assert!(p.cluster.iter().all(|&c| c == p.cluster[0]));
+        // chain cuts are near-optimal: k-1 edges for k parts; a chain's port
+        // pressure is 1-2, far below budget
+        let mut cross = 0;
+        for (id, _) in nfa.iter() {
+            for t in nfa.successors(id) {
+                if p.assignment[id.index()] != p.assignment[t.index()] {
+                    cross += 1;
+                }
+            }
+        }
+        assert!(cross <= 3 * p.partitions, "cross {cross} for {} parts", p.partitions);
+    }
+
+    #[test]
+    fn small_components_reuse_split_residuals() {
+        // a 300-state chain (2 partitions, ~150 each) + 20 small 5-state
+        // components: the smalls fit in the split partitions' residual
+        // space, so the total stays at 2 partitions.
+        let mut nfa = chain(300);
+        let patterns: Vec<String> = (0..20).map(|i| format!("zz{i:03}")).collect();
+        let refs: Vec<&str> = patterns.iter().map(String::as_str).collect();
+        nfa.append(&compile_patterns(&refs).unwrap());
+        let cc = connected_components(&nfa);
+        let p = plan16(&nfa, &cc, 0, 1);
+        assert_eq!(p.partitions, 2, "smalls should pack into residuals");
+    }
+
+    #[test]
+    fn extra_parts_increases_partitions() {
+        let nfa = chain(500);
+        let cc = connected_components(&nfa);
+        let base = plan16(&nfa, &cc, 0, 1);
+        let boosted = plan16(&nfa, &cc, 2, 1);
+        assert!(boosted.partitions > base.partitions);
+    }
+
+    #[test]
+    fn port_pressure_counts_sharable_wires() {
+        // two sources in part 0 with identical dest sets in part 1 share a
+        // wire; a third source with a different set needs its own.
+        let edges = vec![(0u32, 10u32), (1, 10), (2, 10), (2, 11)];
+        let mut assignment = vec![0u32; 12];
+        for a in assignment.iter_mut().skip(10) {
+            *a = 1;
+        }
+        let (exp, imp) = port_pressure(&edges, &assignment, 2);
+        assert_eq!(exp, 3); // sources 0,1,2 all export
+        assert_eq!(imp, 2); // {10} shared by 0,1; {10,11} for 2
+    }
+}

@@ -1,0 +1,129 @@
+//! End-to-end differential property tests: for any well-formed automaton,
+//! the compiled fabric must produce exactly the CPU engines' match stream.
+
+use ca_automata::engine::{Engine, SparseEngine};
+use ca_automata::{CharClass, HomNfa, ReportCode, StartKind, StateId};
+use ca_compiler::{compile, CompilerOptions};
+use ca_sim::DesignKind;
+use proptest::prelude::*;
+
+/// Random automata sized to span multiple partitions now and then.
+fn nfa_strategy(max_states: usize) -> impl Strategy<Value = HomNfa> {
+    let state = (
+        prop::collection::vec(prop::sample::select(b"abcd".to_vec()), 1..4),
+        0..3u8,
+        prop::bool::weighted(0.2),
+    );
+    prop::collection::vec(state, 1..max_states).prop_flat_map(|specs| {
+        let n = specs.len();
+        let edges = prop::collection::vec((0..n, 0..n), 0..n * 2);
+        (Just(specs), edges).prop_map(|(specs, edges)| {
+            let mut nfa = HomNfa::new();
+            for (i, (bytes, start_sel, report)) in specs.iter().enumerate() {
+                let start = match start_sel {
+                    0 => StartKind::AllInput,
+                    1 => StartKind::StartOfData,
+                    _ => StartKind::None,
+                };
+                let report = if *report { Some(ReportCode(i as u32)) } else { None };
+                nfa.add_state_full(CharClass::of(bytes), start, report);
+            }
+            for (a, b) in edges {
+                nfa.add_edge(StateId(a as u32), StateId(b as u32));
+            }
+            if nfa.start_states().is_empty() {
+                nfa.state_mut(StateId(0)).start = StartKind::AllInput;
+            }
+            if nfa.reporting_states().is_empty() {
+                nfa.state_mut(StateId(0)).report = Some(ReportCode(500));
+            }
+            nfa
+        })
+    })
+}
+
+fn input_strategy() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(prop::sample::select(b"abcde".to_vec()), 0..80)
+}
+
+fn check_equivalence(nfa: &HomNfa, design: DesignKind, input: &[u8]) -> Result<(), TestCaseError> {
+    let compiled = compile(nfa, &CompilerOptions::for_design(design))
+        .map_err(|e| TestCaseError::fail(format!("compile failed: {e}")))?;
+    let mut cpu = SparseEngine::new(nfa);
+    let mut fabric = compiled.fabric().expect("compiled bitstream is valid");
+    let mut expect = cpu.run(input);
+    let mut got = fabric.run(input).events;
+    expect.sort();
+    got.sort();
+    prop_assert_eq!(expect, got);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Fabric == CPU on the performance design (small automata, packed).
+    #[test]
+    fn fabric_matches_cpu_performance(nfa in nfa_strategy(48), input in input_strategy()) {
+        check_equivalence(&nfa, DesignKind::Performance, &input)?;
+    }
+
+    /// Fabric == CPU on the space design.
+    #[test]
+    fn fabric_matches_cpu_space(nfa in nfa_strategy(48), input in input_strategy()) {
+        check_equivalence(&nfa, DesignKind::Space, &input)?;
+    }
+
+    /// Compiled mapping is a bijection onto occupied columns and the stats
+    /// are mutually consistent.
+    #[test]
+    fn mapping_is_consistent(nfa in nfa_strategy(64)) {
+        let compiled = compile(&nfa, &CompilerOptions::default())
+            .map_err(|e| TestCaseError::fail(format!("compile failed: {e}")))?;
+        prop_assert_eq!(compiled.state_map.len(), nfa.len());
+        let mut seen = std::collections::HashSet::new();
+        for &(pid, col) in &compiled.state_map {
+            prop_assert!((pid as usize) < compiled.bitstream.partitions.len());
+            let img = &compiled.bitstream.partitions[pid as usize];
+            prop_assert!((col as usize) < img.labels.len());
+            prop_assert!(seen.insert((pid, col)), "column double-booked");
+        }
+        prop_assert_eq!(compiled.bitstream.ste_count(), nfa.len());
+        prop_assert_eq!(
+            compiled.stats.g1_routes + compiled.stats.g4_routes,
+            compiled.bitstream.routes.len()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Larger multi-partition automata (chains with random shortcuts) stay
+    /// equivalent across the partition boundary routing.
+    #[test]
+    fn fabric_matches_cpu_multi_partition(
+        shortcuts in prop::collection::vec((0usize..600, 0usize..600), 0..40),
+        input in prop::collection::vec(prop::sample::select(b"ab".to_vec()), 0..120),
+    ) {
+        let mut nfa = HomNfa::new();
+        let n = 600;
+        let mut prev: Option<StateId> = None;
+        for i in 0..n {
+            let start = if i % 97 == 0 { StartKind::AllInput } else { StartKind::None };
+            let report = if i % 101 == 100 { Some(ReportCode(i as u32)) } else { None };
+            let label = if i % 2 == 0 { b'a' } else { b'b' };
+            let id = nfa.add_state_full(CharClass::byte(label), start, report);
+            if let Some(p) = prev {
+                nfa.add_edge(p, id);
+            }
+            prev = Some(id);
+        }
+        nfa.state_mut(StateId(n - 1)).report = Some(ReportCode(9999));
+        for (a, b) in shortcuts {
+            nfa.add_edge(StateId(a as u32), StateId(b as u32));
+        }
+        check_equivalence(&nfa, DesignKind::Performance, &input)?;
+        check_equivalence(&nfa, DesignKind::Space, &input)?;
+    }
+}

@@ -1,0 +1,304 @@
+//! `cactl` — command-line front-end for the Cache Automaton reproduction.
+//!
+//! ```text
+//! cactl compile <rules> [--design P|S] [--slices N] [--pages OUT]
+//! cactl run     <rules> <input-file> [--design P|S] [--limit N] [--trace OUT]
+//! cactl inspect <rules> [--design P|S]
+//! cactl anml    <rules>
+//! cactl frompages <image.capg> <input-file>
+//! cactl bench   <rules> <input-file> [--design P|S]
+//!
+//! <rules> is either an ANML document (*.anml) or a newline-separated
+//! regex pattern file (# comments allowed). Pattern i reports with code i.
+//! ```
+
+use ca_baselines::measure_cpu as ca_baselines_measure;
+use cache_automaton::{CacheAutomaton, Design, Program};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("cactl: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+struct Options {
+    design: Design,
+    slices: usize,
+    pages_out: Option<String>,
+    trace_out: Option<String>,
+    limit: usize,
+    positional: Vec<String>,
+}
+
+fn parse_args(args: Vec<String>) -> Result<(String, Options), String> {
+    let mut it = args.into_iter();
+    let command = it.next().ok_or(USAGE.to_string())?;
+    let mut opts = Options {
+        design: Design::Performance,
+        slices: 8,
+        pages_out: None,
+        trace_out: None,
+        limit: 20,
+        positional: Vec::new(),
+    };
+    let mut rest: Vec<String> = it.collect();
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--design" => {
+                let v = rest.get(i + 1).ok_or("--design needs P or S")?;
+                opts.design = match v.to_ascii_uppercase().as_str() {
+                    "P" | "CA_P" | "PERFORMANCE" => Design::Performance,
+                    "S" | "CA_S" | "SPACE" => Design::Space,
+                    other => return Err(format!("unknown design '{other}' (use P or S)")),
+                };
+                rest.drain(i..=i + 1);
+            }
+            "--slices" => {
+                opts.slices = rest
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--slices needs a number")?;
+                rest.drain(i..=i + 1);
+            }
+            "--pages" => {
+                opts.pages_out =
+                    Some(rest.get(i + 1).ok_or("--pages needs a path")?.clone());
+                rest.drain(i..=i + 1);
+            }
+            "--trace" => {
+                opts.trace_out =
+                    Some(rest.get(i + 1).ok_or("--trace needs a path")?.clone());
+                rest.drain(i..=i + 1);
+            }
+            "--limit" => {
+                opts.limit = rest
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--limit needs a number")?;
+                rest.drain(i..=i + 1);
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            _ => {
+                opts.positional.push(rest[i].clone());
+                i += 1;
+            }
+        }
+    }
+    Ok((command, opts))
+}
+
+const USAGE: &str = "usage: cactl <compile|run|inspect|anml|frompages|bench> <rules> [args] \
+                     (see --help in the crate docs)";
+
+fn load_nfa(path: &str) -> Result<cache_automaton::HomNfa, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    if path.ends_with(".anml") || text.trim_start().starts_with('<') {
+        ca_automata::anml::parse_anml(&text).map_err(|e| format!("{path}: {e}"))
+    } else {
+        let patterns: Vec<&str> = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .collect();
+        if patterns.is_empty() {
+            return Err(format!("{path}: no patterns found"));
+        }
+        ca_automata::regex::compile_patterns(&patterns).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn compile_program(opts: &Options, path: &str) -> Result<Program, String> {
+    let nfa = load_nfa(path)?;
+    CacheAutomaton::builder()
+        .design(opts.design)
+        .slices(opts.slices)
+        .build()
+        .compile_nfa(&nfa)
+        .map_err(|e| e.to_string())
+}
+
+fn run(args: Vec<String>) -> Result<String, String> {
+    let (command, opts) = parse_args(args)?;
+    let mut out = String::new();
+    match command.as_str() {
+        "compile" => {
+            let [rules] = opts.positional.as_slice() else {
+                return Err("compile needs exactly one rules file".into());
+            };
+            let program = compile_program(&opts, rules)?;
+            let s = program.stats();
+            let _ = writeln!(out, "design            : {}", program.design());
+            let _ = writeln!(out, "states            : {}", s.states);
+            let _ = writeln!(out, "components        : {}", s.connected_components);
+            let _ = writeln!(out, "partitions        : {}", s.partitions_used);
+            let _ = writeln!(out, "cache utilization : {:.3} MB", program.utilization_mb());
+            let _ = writeln!(out, "G1 / G4 routes    : {} / {}", s.g1_routes, s.g4_routes);
+            let _ = writeln!(out, "peak throughput   : {} Gb/s", program.throughput_gbps());
+            let image = ca_sim::emit_pages(&program.compiled().bitstream);
+            let _ = writeln!(
+                out,
+                "config image      : {} pages, {} KB, loads in {:.3} ms",
+                image.pages.len(),
+                image.total_bytes() / 1024,
+                image.config_time_ms()
+            );
+            if let Some(path) = &opts.pages_out {
+                write_pages(&image, path)?;
+                let _ = writeln!(out, "pages written     : {path}");
+            }
+        }
+        "run" => {
+            let [rules, input_path] = opts.positional.as_slice() else {
+                return Err("run needs a rules file and an input file".into());
+            };
+            let program = compile_program(&opts, rules)?;
+            let input = std::fs::read(input_path).map_err(|e| format!("{input_path}: {e}"))?;
+            let report = if let Some(trace_path) = &opts.trace_out {
+                // per-cycle trace alongside the scan
+                let mut fabric = program.compiled().fabric().map_err(|e| e.to_string())?;
+                let file =
+                    std::fs::File::create(trace_path).map_err(|e| format!("{trace_path}: {e}"))?;
+                let mut sink = std::io::BufWriter::new(file);
+                let exec = fabric
+                    .run_traced(&input, &ca_sim::RunOptions::default(), &mut sink)
+                    .map_err(|e| format!("{trace_path}: {e}"))?;
+                let _ = writeln!(out, "cycle trace written  : {trace_path}");
+                // reuse the architectural reporting path for consistency
+                let mut r = program.run(&input);
+                r.matches = exec.events;
+                r
+            } else {
+                program.run(&input)
+            };
+            let _ = writeln!(
+                out,
+                "scanned {} bytes: {} matches, {} interrupts",
+                input.len(),
+                report.matches.len(),
+                report.exec.output_interrupts
+            );
+            for m in report.matches.iter().take(opts.limit) {
+                let _ = writeln!(out, "  pattern {:>4} @ byte {}", m.code.0, m.pos);
+            }
+            if report.matches.len() > opts.limit {
+                let _ = writeln!(out, "  ... {} more", report.matches.len() - opts.limit);
+            }
+            let _ = writeln!(
+                out,
+                "simulated: {:.3} ms at {} Gb/s | {:.3} nJ/symbol, {:.2} W avg",
+                report.simulated_seconds * 1e3,
+                program.throughput_gbps(),
+                report.energy.per_symbol_nj,
+                report.energy.avg_power_w
+            );
+        }
+        "inspect" => {
+            let [rules] = opts.positional.as_slice() else {
+                return Err("inspect needs exactly one rules file".into());
+            };
+            let program = compile_program(&opts, rules)?;
+            let bs = &program.compiled().bitstream;
+            let _ = writeln!(out, "{} partitions, {} routes", bs.partitions.len(), bs.routes.len());
+            for (i, p) in bs.partitions.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "  partition {i:>3} @ {} : {:>3} STEs, {:>2} starts, {:>2} reports, {} import ports",
+                    p.location,
+                    p.ste_count(),
+                    p.start_all.count() + p.start_sod.count(),
+                    p.reports.len(),
+                    p.import_dest.len()
+                );
+            }
+            for r in bs.routes.iter().take(opts.limit) {
+                let _ = writeln!(
+                    out,
+                    "  route p{}:{} --{}--> p{} port {}",
+                    r.src_partition, r.src_ste, r.via, r.dst_partition, r.dst_port
+                );
+            }
+        }
+        "bench" => {
+            let [rules, input_path] = opts.positional.as_slice() else {
+                return Err("bench needs a rules file and an input file".into());
+            };
+            let nfa = load_nfa(rules)?;
+            let input = std::fs::read(input_path).map_err(|e| format!("{input_path}: {e}"))?;
+            let program = compile_program(&opts, rules)?;
+            // measured host CPU (VASim-style sparse engine)
+            let cpu = ca_baselines_measure(&nfa, &input);
+            // simulated hardware
+            let report = program.run(&input);
+            let hw_gbps = program.throughput_gbps();
+            let _ = writeln!(out, "input               : {} bytes", input.len());
+            let _ = writeln!(
+                out,
+                "host CPU (measured) : {:.4} Gb/s ({} matches in {:.3} ms)",
+                cpu.throughput_gbps(),
+                cpu.matches,
+                cpu.seconds * 1e3
+            );
+            let _ = writeln!(
+                out,
+                "{} (simulated)    : {:.1} Gb/s ({} matches in {:.3} ms)",
+                program.design(),
+                hw_gbps,
+                report.matches.len(),
+                report.simulated_seconds * 1e3
+            );
+            let _ = writeln!(
+                out,
+                "speedup             : {:.0}x",
+                hw_gbps / cpu.throughput_gbps().max(1e-12)
+            );
+        }
+        "frompages" => {
+            let [pages_path, input_path] = opts.positional.as_slice() else {
+                return Err("frompages needs a .capg file and an input file".into());
+            };
+            let bytes =
+                std::fs::read(pages_path).map_err(|e| format!("{pages_path}: {e}"))?;
+            let image =
+                ca_sim::ConfigImage::from_capg_bytes(&bytes).map_err(|e| e.to_string())?;
+            let bitstream = ca_sim::load_pages(&image).map_err(|e| e.to_string())?;
+            let mut fabric = ca_sim::Fabric::new(&bitstream).map_err(|e| e.to_string())?;
+            let input = std::fs::read(input_path).map_err(|e| format!("{input_path}: {e}"))?;
+            let report = fabric.run(&input);
+            let _ = writeln!(
+                out,
+                "loaded {} partitions / {} routes from pages; scanned {} bytes: {} matches",
+                bitstream.partitions.len(),
+                bitstream.routes.len(),
+                input.len(),
+                report.events.len()
+            );
+            for m in report.events.iter().take(opts.limit) {
+                let _ = writeln!(out, "  pattern {:>4} @ byte {}", m.code.0, m.pos);
+            }
+        }
+        "anml" => {
+            let [rules] = opts.positional.as_slice() else {
+                return Err("anml needs exactly one rules file".into());
+            };
+            let nfa = load_nfa(rules)?;
+            out = ca_automata::anml::to_anml(&nfa, "cactl");
+        }
+        _ => return Err(USAGE.into()),
+    }
+    Ok(out)
+}
+
+/// Writes a config image to disk in the `.capg` framed format.
+fn write_pages(image: &ca_sim::ConfigImage, path: &str) -> Result<(), String> {
+    std::fs::write(path, image.to_capg_bytes()).map_err(|e| format!("{path}: {e}"))
+}

@@ -1,0 +1,520 @@
+//! # Cache Automaton
+//!
+//! A full reproduction of *Cache Automaton* (Subramaniyan et al., MICRO-50
+//! 2017): in-situ NFA processing in last-level cache, with the mapping
+//! compiler, the cycle-level fabric simulator, calibrated timing / energy /
+//! area models, and both published design points (performance-optimized
+//! **CA_P** at 2 GHz and space-optimized **CA_S** at 1.2 GHz).
+//!
+//! This crate is the façade: compile patterns (regex strings, ANML
+//! documents or prebuilt homogeneous NFAs) into a [`Program`], run it over
+//! input streams, and read back matches plus the architectural report
+//! (throughput, cache utilization, energy per symbol, power).
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use cache_automaton::{CacheAutomaton, Design};
+//!
+//! let ca = CacheAutomaton::builder().design(Design::Performance).build();
+//! let program = ca.compile_patterns(&["rain", "sp[ai]n", "plain?"])?;
+//! let report = program.run(b"the rain in spain stays mainly in the plain");
+//!
+//! assert_eq!(report.matches.len(), 3);
+//! assert_eq!(program.throughput_gbps(), 16.0);    // 2 GHz x 8 bit/cycle
+//! assert!(report.energy.per_symbol_nj > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The layers underneath are available as standalone crates and re-exported
+//! in [`automata`], [`sim`], [`compiler`] and [`partition`] for direct use.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+pub mod matches;
+
+pub use ca_automata as automata;
+pub use ca_compiler as compiler;
+pub use ca_partition as partition;
+pub use ca_sim as sim;
+
+pub use ca_automata::engine::MatchEvent;
+pub use ca_automata::{CharClass, HomNfa, ReportCode, StartKind, StateId};
+pub use ca_compiler::{CompileError, CompiledAutomaton, CompilerOptions, MappingStats};
+pub use ca_sim::DesignKind as Design;
+pub use ca_sim::{EnergyReport, ExecStats, PipelineTiming};
+
+/// Errors surfaced by the high-level API.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CaError {
+    /// Pattern or ANML front-end failure.
+    Automata(ca_automata::Error),
+    /// Mapping compiler failure.
+    Compile(CompileError),
+}
+
+impl fmt::Display for CaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CaError::Automata(e) => write!(f, "{e}"),
+            CaError::Compile(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CaError::Automata(e) => Some(e),
+            CaError::Compile(e) => Some(e),
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<ca_automata::Error> for CaError {
+    fn from(e: ca_automata::Error) -> CaError {
+        CaError::Automata(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<CompileError> for CaError {
+    fn from(e: CompileError) -> CaError {
+        CaError::Compile(e)
+    }
+}
+
+/// Whether to run the space optimizer (dead-state removal + common-prefix
+/// merging) before mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Optimize {
+    /// Optimize exactly when the design is [`Design::Space`] — the paper's
+    /// CA_S flow.
+    #[default]
+    Auto,
+    /// Always optimize.
+    Always,
+    /// Never optimize (map the baseline NFA as-is).
+    Never,
+}
+
+/// Builder for [`CacheAutomaton`].
+#[derive(Debug, Clone, Default)]
+pub struct Builder {
+    design: Design,
+    slices: Option<usize>,
+    seed: Option<u64>,
+    optimize: Optimize,
+}
+
+impl Builder {
+    /// Selects the design point (default: [`Design::Performance`]).
+    pub fn design(mut self, design: Design) -> Builder {
+        self.design = design;
+        self
+    }
+
+    /// Number of LLC slices to use (default: 8, the paper's prototype).
+    pub fn slices(mut self, slices: usize) -> Builder {
+        self.slices = Some(slices);
+        self
+    }
+
+    /// Seed for the (deterministic) graph partitioner.
+    pub fn seed(mut self, seed: u64) -> Builder {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Space-optimization policy (default: [`Optimize::Auto`]).
+    pub fn optimize(mut self, optimize: Optimize) -> Builder {
+        self.optimize = optimize;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> CacheAutomaton {
+        let defaults = CompilerOptions::default();
+        CacheAutomaton {
+            options: CompilerOptions {
+                design: self.design,
+                slices: self.slices.unwrap_or(defaults.slices),
+                seed: self.seed.unwrap_or(defaults.seed),
+            },
+            optimize: self.optimize,
+        }
+    }
+}
+
+/// A configured Cache Automaton instance (design point + geometry).
+#[derive(Debug, Clone)]
+pub struct CacheAutomaton {
+    options: CompilerOptions,
+    optimize: Optimize,
+}
+
+impl Default for CacheAutomaton {
+    fn default() -> CacheAutomaton {
+        CacheAutomaton::new()
+    }
+}
+
+impl CacheAutomaton {
+    /// The performance-optimized configuration with paper defaults.
+    pub fn new() -> CacheAutomaton {
+        CacheAutomaton::builder().build()
+    }
+
+    /// Starts a builder.
+    pub fn builder() -> Builder {
+        Builder::default()
+    }
+
+    /// The resolved compiler options.
+    pub fn options(&self) -> &CompilerOptions {
+        &self.options
+    }
+
+    /// Compiles a set of regex patterns; pattern `i` reports with code `i`.
+    ///
+    /// # Errors
+    ///
+    /// Pattern parse errors, nullable patterns, or mapping failures.
+    pub fn compile_patterns<S: AsRef<str>>(&self, patterns: &[S]) -> Result<Program, CaError> {
+        let nfa = ca_automata::regex::compile_patterns(patterns)?;
+        self.compile_nfa(&nfa)
+    }
+
+    /// Compiles an ANML document.
+    ///
+    /// # Errors
+    ///
+    /// ANML parse errors or mapping failures.
+    pub fn compile_anml(&self, anml: &str) -> Result<Program, CaError> {
+        let nfa = ca_automata::anml::parse_anml(anml)?;
+        self.compile_nfa(&nfa)
+    }
+
+    /// Compiles a prebuilt homogeneous NFA.
+    ///
+    /// Under [`Optimize::Auto`] the space optimizer runs first when the
+    /// design is [`Design::Space`], mirroring the paper's CA_S flow.
+    ///
+    /// # Errors
+    ///
+    /// Mapping failures (capacity, routability).
+    pub fn compile_nfa(&self, nfa: &HomNfa) -> Result<Program, CaError> {
+        let optimize = match self.optimize {
+            Optimize::Always => true,
+            Optimize::Never => false,
+            Optimize::Auto => self.options.design == Design::Space,
+        };
+        let owned;
+        let source: &HomNfa = if optimize {
+            owned = ca_automata::optimize::space_optimize(nfa).0;
+            &owned
+        } else {
+            nfa
+        };
+        let compiled = ca_compiler::compile(source, &self.options)?;
+        Ok(Program {
+            design: self.options.design,
+            timing: ca_sim::design_timing(self.options.design),
+            compiled,
+        })
+    }
+}
+
+/// A compiled, loadable automaton program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    design: Design,
+    timing: PipelineTiming,
+    compiled: CompiledAutomaton,
+}
+
+impl Program {
+    /// The design point the program was compiled for.
+    pub fn design(&self) -> Design {
+        self.design
+    }
+
+    /// Mapping statistics (partitions, utilization, routes).
+    pub fn stats(&self) -> &MappingStats {
+        &self.compiled.stats
+    }
+
+    /// The underlying compiled image.
+    pub fn compiled(&self) -> &CompiledAutomaton {
+        &self.compiled
+    }
+
+    /// Resolved pipeline timing of the design point.
+    pub fn timing(&self) -> &PipelineTiming {
+        &self.timing
+    }
+
+    /// Cache space the program occupies, in MB (Figure 8's metric).
+    pub fn utilization_mb(&self) -> f64 {
+        self.compiled.stats.utilization_mb()
+    }
+
+    /// Deterministic scan throughput, Gbit/s (one symbol per cycle).
+    pub fn throughput_gbps(&self) -> f64 {
+        self.timing.throughput_gbps()
+    }
+
+    /// Runs the fabric over `input`.
+    pub fn run(&self, input: &[u8]) -> RunReport {
+        let mut fabric = self.compiled.fabric().expect("compiled bitstream is valid");
+        let exec = fabric.run(input);
+        let freq = self.timing.operating_freq_ghz();
+        let energy = ca_sim::energy_report(
+            &exec.stats,
+            self.design,
+            &ca_sim::EnergyParams::default(),
+            freq,
+        );
+        let simulated_seconds = exec.stats.cycles as f64 * self.timing.operating_clock_ps() * 1e-12;
+        RunReport { matches: exec.events, exec: exec.stats, energy, simulated_seconds }
+    }
+}
+
+impl Program {
+    /// How many independent instances of this program the configured cache
+    /// can hold (the paper: "space savings can be directly translated to
+    /// speedup by matching against multiple NFA instances", §5.2).
+    pub fn max_instances(&self) -> usize {
+        let total = self.compiled.bitstream.geometry.total_partitions();
+        let used = self.compiled.stats.partitions_used.max(1);
+        (total / used).max(1)
+    }
+
+    /// Replicates the program into a multi-stream scanner with `instances`
+    /// copies, each processing its own input stream in parallel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::CapacityExceeded`] (wrapped) if the cache
+    /// cannot hold that many copies.
+    pub fn replicate(&self, instances: usize) -> Result<MultiProgram, CaError> {
+        let max = self.max_instances();
+        if instances == 0 || instances > max {
+            return Err(CaError::Compile(CompileError::CapacityExceeded {
+                needed: instances * self.compiled.stats.partitions_used,
+                available: self.compiled.bitstream.geometry.total_partitions(),
+            }));
+        }
+        Ok(MultiProgram { program: self.clone(), instances })
+    }
+}
+
+/// Several instances of one compiled automaton scanning independent input
+/// streams concurrently — the throughput-scaling mode of §5.2.
+#[derive(Debug, Clone)]
+pub struct MultiProgram {
+    program: Program,
+    instances: usize,
+}
+
+impl MultiProgram {
+    /// Number of instances.
+    pub fn instances(&self) -> usize {
+        self.instances
+    }
+
+    /// The underlying single-stream program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Aggregate peak throughput: every instance sustains one symbol per
+    /// cycle on its own stream.
+    pub fn aggregate_throughput_gbps(&self) -> f64 {
+        self.program.throughput_gbps() * self.instances as f64
+    }
+
+    /// Scans up to [`instances`](MultiProgram::instances) streams in
+    /// parallel (one OS thread per stream), returning one report per
+    /// stream in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more streams than instances are supplied.
+    pub fn run_streams(&self, streams: &[&[u8]]) -> Vec<RunReport> {
+        assert!(
+            streams.len() <= self.instances,
+            "{} streams exceed the {} configured instances",
+            streams.len(),
+            self.instances
+        );
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = streams
+                .iter()
+                .map(|stream| {
+                    let program = &self.program;
+                    scope.spawn(move || program.run(stream))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("scan thread panicked")).collect()
+        })
+    }
+}
+
+/// The result of running a [`Program`] over an input stream.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Reported matches in position order.
+    pub matches: Vec<MatchEvent>,
+    /// Fabric activity statistics.
+    pub exec: ExecStats,
+    /// Energy / power at the design's operating frequency.
+    pub energy: EnergyReport,
+    /// Wall-clock the hardware would take (cycles x clock period).
+    pub simulated_seconds: f64,
+}
+
+impl RunReport {
+    /// Simulated scan throughput in Gbit/s (includes pipeline fill, so it
+    /// approaches the design's peak for long streams).
+    pub fn achieved_gbps(&self) -> f64 {
+        if self.simulated_seconds == 0.0 {
+            0.0
+        } else {
+            self.exec.symbols as f64 * 8.0 / self.simulated_seconds / 1e9
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quickstart_flow() {
+        let ca = CacheAutomaton::new();
+        let program = ca.compile_patterns(&["abc", "a.c"]).unwrap();
+        let report = program.run(b"xxabcxx");
+        assert_eq!(report.matches.len(), 2); // both patterns end at 'c'
+        assert_eq!(report.exec.symbols, 7);
+        assert!(report.simulated_seconds > 0.0);
+        assert!(report.achieved_gbps() > 10.0);
+    }
+
+    #[test]
+    fn design_selection_changes_throughput() {
+        let p = CacheAutomaton::builder()
+            .design(Design::Performance)
+            .build()
+            .compile_patterns(&["x"])
+            .unwrap();
+        let s = CacheAutomaton::builder()
+            .design(Design::Space)
+            .build()
+            .compile_patterns(&["x"])
+            .unwrap();
+        assert_eq!(p.throughput_gbps(), 16.0);
+        assert!((s.throughput_gbps() - 9.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auto_optimize_only_on_space() {
+        let patterns: Vec<String> = (0..8).map(|i| format!("sharedprefix{i}")).collect();
+        let refs: Vec<&str> = patterns.iter().map(String::as_str).collect();
+        let nfa = ca_automata::regex::compile_patterns(&refs).unwrap();
+        let p = CacheAutomaton::builder()
+            .design(Design::Performance)
+            .build()
+            .compile_nfa(&nfa)
+            .unwrap();
+        let s = CacheAutomaton::builder()
+            .design(Design::Space)
+            .build()
+            .compile_nfa(&nfa)
+            .unwrap();
+        assert_eq!(p.stats().states, nfa.len());
+        assert!(s.stats().states < nfa.len(), "space flow must merge prefixes");
+        // same matches either way
+        let input = b"zz sharedprefix3 sharedprefix7";
+        let mp = p.run(input).matches;
+        let ms = s.run(input).matches;
+        assert_eq!(mp, ms);
+    }
+
+    #[test]
+    fn anml_entry_point() {
+        let anml = r#"<anml-network id="t">
+            <state-transition-element id="a" symbol-set="[xy]" start="all-input">
+              <activate-on-match element="b"/>
+            </state-transition-element>
+            <state-transition-element id="b" symbol-set="z">
+              <report-on-match reportcode="3"/>
+            </state-transition-element>
+        </anml-network>"#;
+        let program = CacheAutomaton::new().compile_anml(anml).unwrap();
+        let report = program.run(b"aaxzaa");
+        assert_eq!(report.matches.len(), 1);
+        assert_eq!(report.matches[0].code, ReportCode(3));
+    }
+
+    #[test]
+    fn errors_propagate_with_display() {
+        let err = CacheAutomaton::new().compile_patterns(&["("]).unwrap_err();
+        assert!(err.to_string().contains("regex parse error"));
+        assert!(std::error::Error::source(&err).is_some());
+        let err = CacheAutomaton::new().compile_patterns(&["a*"]).unwrap_err();
+        assert!(matches!(err, CaError::Automata(ca_automata::Error::NullableRegex)));
+    }
+
+    #[test]
+    fn utilization_reported() {
+        let program = CacheAutomaton::new().compile_patterns(&["hello"]).unwrap();
+        assert!((program.utilization_mb() - 8192.0 / 1048576.0).abs() < 1e-12);
+        assert_eq!(program.stats().partitions_used, 1);
+    }
+
+    #[test]
+    fn replication_scales_throughput() {
+        let program = CacheAutomaton::new().compile_patterns(&["alpha", "beta"]).unwrap();
+        // 1 partition used, 512 available (8 slices x 64)
+        assert_eq!(program.max_instances(), 512);
+        let multi = program.replicate(4).unwrap();
+        assert_eq!(multi.instances(), 4);
+        assert_eq!(multi.aggregate_throughput_gbps(), 64.0);
+        let streams: Vec<&[u8]> = vec![b"alpha", b"beta beta", b"nothing", b"alphabeta"];
+        let reports = multi.run_streams(&streams);
+        assert_eq!(reports.len(), 4);
+        assert_eq!(reports[0].matches.len(), 1);
+        assert_eq!(reports[1].matches.len(), 2);
+        assert_eq!(reports[2].matches.len(), 0);
+        assert_eq!(reports[3].matches.len(), 2);
+    }
+
+    #[test]
+    fn replication_respects_capacity() {
+        let program = CacheAutomaton::new().compile_patterns(&["x"]).unwrap();
+        assert!(program.replicate(0).is_err());
+        assert!(program.replicate(program.max_instances()).is_ok());
+        assert!(program.replicate(program.max_instances() + 1).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn too_many_streams_panics() {
+        let program = CacheAutomaton::new().compile_patterns(&["x"]).unwrap();
+        let multi = program.replicate(1).unwrap();
+        multi.run_streams(&[b"a", b"b"]);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let ca = CacheAutomaton::builder().slices(2).seed(7).build();
+        assert_eq!(ca.options().slices, 2);
+        assert_eq!(ca.options().seed, 7);
+    }
+}

@@ -1,0 +1,161 @@
+//! Match post-processing utilities.
+//!
+//! The fabric reports *every* accepting (position, pattern) event — the
+//! hardware-faithful stream. Applications usually want aggregations:
+//! counts per pattern, hits per line, or first occurrences. These helpers
+//! cover the common cases (the `log_scan` example uses line grouping).
+
+use ca_automata::engine::MatchEvent;
+use ca_automata::ReportCode;
+use std::collections::BTreeSet;
+
+/// Per-pattern match counts: `counts[code] = events with that code`.
+///
+/// Codes at or beyond `patterns` are ignored (defensive against foreign
+/// event streams).
+pub fn count_by_code(events: &[MatchEvent], patterns: usize) -> Vec<u64> {
+    let mut counts = vec![0u64; patterns];
+    for e in events {
+        if let Some(c) = counts.get_mut(e.code.0 as usize) {
+            *c += 1;
+        }
+    }
+    counts
+}
+
+/// First match position per pattern, if any.
+pub fn first_by_code(events: &[MatchEvent], patterns: usize) -> Vec<Option<u64>> {
+    let mut first = vec![None; patterns];
+    for e in events {
+        if let Some(slot) = first.get_mut(e.code.0 as usize) {
+            let keep = slot.map_or(true, |p| e.pos < p);
+            if keep {
+                *slot = Some(e.pos);
+            }
+        }
+    }
+    first
+}
+
+/// A line of the input that matched at least one pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineHit {
+    /// 0-based line number.
+    pub line: usize,
+    /// Byte range of the line in the input (excludes the newline).
+    pub span: (usize, usize),
+    /// Distinct pattern codes that matched within the line.
+    pub codes: Vec<ReportCode>,
+}
+
+/// Groups match events by input line (newline-delimited), collapsing
+/// repeated reports of the same pattern within a line — what an alerting
+/// pipeline does with the raw stream.
+///
+/// Events whose position lies beyond `input` are ignored.
+pub fn group_by_line(input: &[u8], events: &[MatchEvent]) -> Vec<LineHit> {
+    // line start offsets
+    let mut starts = vec![0usize];
+    for (i, &b) in input.iter().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    let line_of = |pos: usize| match starts.binary_search(&pos) {
+        Ok(i) => i,
+        Err(i) => i - 1,
+    };
+    let mut per_line: std::collections::BTreeMap<usize, BTreeSet<ReportCode>> =
+        std::collections::BTreeMap::new();
+    for e in events {
+        if (e.pos as usize) < input.len() {
+            per_line.entry(line_of(e.pos as usize)).or_default().insert(e.code);
+        }
+    }
+    per_line
+        .into_iter()
+        .map(|(line, codes)| {
+            let start = starts[line];
+            let end = starts
+                .get(line + 1)
+                .map(|&s| s.saturating_sub(1))
+                .unwrap_or(input.len());
+            LineHit { line, span: (start, end), codes: codes.into_iter().collect() }
+        })
+        .collect()
+}
+
+/// Collapses a raw event stream to at most one event per pattern within
+/// every window of `window` symbols — the paper's output buffer can be
+/// serviced at a bounded rate, and rate-limiting reports per pattern is
+/// the standard mitigation.
+pub fn throttle(events: &[MatchEvent], window: u64) -> Vec<MatchEvent> {
+    let mut last: std::collections::BTreeMap<ReportCode, u64> = std::collections::BTreeMap::new();
+    let mut out = Vec::new();
+    for e in events {
+        let keep = match last.get(&e.code) {
+            Some(&prev) => e.pos >= prev + window,
+            None => true,
+        };
+        if keep {
+            last.insert(e.code, e.pos);
+            out.push(*e);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(pos: u64, code: u32) -> MatchEvent {
+        MatchEvent::new(pos, ReportCode(code))
+    }
+
+    #[test]
+    fn counts_and_firsts() {
+        let events = [ev(5, 0), ev(9, 1), ev(12, 0), ev(3, 1)];
+        assert_eq!(count_by_code(&events, 3), vec![2, 2, 0]);
+        assert_eq!(first_by_code(&events, 3), vec![Some(5), Some(3), None]);
+        // out-of-range codes ignored
+        assert_eq!(count_by_code(&[ev(1, 9)], 2), vec![0, 0]);
+    }
+
+    #[test]
+    fn line_grouping() {
+        let input = b"error a\nok\nerror b error c\n";
+        //            0......7 8..11 ...
+        let events = [ev(4, 0), ev(6, 1), ev(15, 0), ev(24, 0)];
+        let hits = group_by_line(input, &events);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].line, 0);
+        assert_eq!(hits[0].codes, vec![ReportCode(0), ReportCode(1)]);
+        assert_eq!(&input[hits[0].span.0..hits[0].span.1], b"error a");
+        assert_eq!(hits[1].line, 2);
+        assert_eq!(hits[1].codes, vec![ReportCode(0)]); // deduped within line
+        assert_eq!(&input[hits[1].span.0..hits[1].span.1], b"error b error c");
+    }
+
+    #[test]
+    fn line_grouping_edge_cases() {
+        // no trailing newline; event on the exact newline boundary
+        let input = b"ab\ncd";
+        let hits = group_by_line(input, &[ev(2, 0), ev(4, 1)]);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].line, 0);
+        assert_eq!(hits[1].line, 1);
+        assert_eq!(&input[hits[1].span.0..hits[1].span.1], b"cd");
+        // empty input / out-of-range events
+        assert!(group_by_line(b"", &[ev(0, 0)]).is_empty());
+    }
+
+    #[test]
+    fn throttling() {
+        let events = [ev(0, 0), ev(3, 0), ev(10, 0), ev(4, 1)];
+        let kept = throttle(&events, 10);
+        assert_eq!(kept, vec![ev(0, 0), ev(10, 0), ev(4, 1)]);
+        // window 1 keeps everything that advances
+        assert_eq!(throttle(&events, 1).len(), 4);
+    }
+}

@@ -1,0 +1,165 @@
+//! Coarsening via heavy-edge matching (the METIS "HEM" scheme).
+
+use crate::graph::Graph;
+use crate::rng::XorShift;
+
+/// One level of coarsening: the coarse graph and the fine→coarse vertex map.
+#[derive(Debug, Clone)]
+pub struct CoarseLevel {
+    /// The coarsened graph.
+    pub graph: Graph,
+    /// `map[fine_vertex]` = coarse vertex it collapsed into.
+    pub map: Vec<u32>,
+}
+
+/// Collapses a maximal heavy-edge matching into coarse vertices.
+///
+/// Vertices are visited in a seeded random order; each unmatched vertex is
+/// matched with its unmatched neighbor of maximum edge weight (ties broken
+/// by lower id), or left alone if all neighbors are matched. Coarse vertex
+/// weights are the sums of their constituents; parallel coarse edges merge
+/// by weight.
+pub fn coarsen_once(g: &Graph, rng: &mut XorShift) -> CoarseLevel {
+    let n = g.len();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    rng.shuffle(&mut order);
+    let mut mate: Vec<u32> = vec![u32::MAX; n];
+    for &v in &order {
+        if mate[v as usize] != u32::MAX {
+            continue;
+        }
+        let mut best: Option<(u32, u32)> = None; // (weight, neighbor)
+        for (u, w) in g.neighbors(v) {
+            if mate[u as usize] == u32::MAX && u != v {
+                let better = match best {
+                    None => true,
+                    Some((bw, bu)) => w > bw || (w == bw && u < bu),
+                };
+                if better {
+                    best = Some((w, u));
+                }
+            }
+        }
+        match best {
+            Some((_, u)) => {
+                mate[v as usize] = u;
+                mate[u as usize] = v;
+            }
+            None => mate[v as usize] = v,
+        }
+    }
+    // assign coarse ids
+    let mut map = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for v in 0..n as u32 {
+        if map[v as usize] != u32::MAX {
+            continue;
+        }
+        map[v as usize] = next;
+        let m = mate[v as usize];
+        if m != v && m != u32::MAX {
+            map[m as usize] = next;
+        }
+        next += 1;
+    }
+    // build coarse graph
+    let coarse_n = next as usize;
+    let mut vwgt = vec![0u32; coarse_n];
+    for v in 0..n as u32 {
+        vwgt[map[v as usize] as usize] += g.vertex_weight(v);
+    }
+    let mut edges: Vec<(u32, u32, u32)> = Vec::with_capacity(g.edge_count());
+    for v in 0..n as u32 {
+        let cv = map[v as usize];
+        for (u, w) in g.neighbors(v) {
+            let cu = map[u as usize];
+            if cv < cu {
+                edges.push((cv, cu, w));
+            }
+        }
+    }
+    CoarseLevel { graph: Graph::from_weighted(vwgt, &edges), map }
+}
+
+/// Full coarsening: repeat [`coarsen_once`] until the graph is small or the
+/// reduction stalls. Returns the hierarchy from finest to coarsest.
+pub fn coarsen_to(g: &Graph, stop_at: usize, rng: &mut XorShift) -> Vec<CoarseLevel> {
+    let mut levels: Vec<CoarseLevel> = Vec::new();
+    let mut current = g.clone();
+    while current.len() > stop_at {
+        let level = coarsen_once(&current, rng);
+        // Stall guard: matching on star-like graphs can stop shrinking.
+        if level.graph.len() as f64 > current.len() as f64 * 0.95 {
+            break;
+        }
+        current = level.graph.clone();
+        levels.push(level);
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Graph {
+        let edges: Vec<(u32, u32, u32)> =
+            (0..n as u32 - 1).map(|i| (i, i + 1, 1)).collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn one_round_roughly_halves() {
+        let g = path_graph(64);
+        let mut rng = XorShift::new(7);
+        let level = coarsen_once(&g, &mut rng);
+        assert!(level.graph.len() <= 40, "got {}", level.graph.len());
+        assert!(level.graph.len() >= 32);
+        // weights conserved
+        assert_eq!(level.graph.total_vertex_weight(), g.total_vertex_weight());
+    }
+
+    #[test]
+    fn map_is_total_and_in_range() {
+        let g = path_graph(33);
+        let level = coarsen_once(&g, &mut XorShift::new(3));
+        assert_eq!(level.map.len(), 33);
+        for &c in &level.map {
+            assert!((c as usize) < level.graph.len());
+        }
+    }
+
+    #[test]
+    fn heavy_edges_preferred() {
+        // 0 -10- 1 and 2 -10- 3, cross edges weight 1: whichever vertex is
+        // visited first takes its heavy mate, leaving the other heavy pair
+        // intact — so heavy pairs always collapse regardless of order.
+        let g = Graph::from_edges(4, &[(0, 1, 10), (2, 3, 10), (0, 2, 1), (1, 3, 1)]);
+        for seed in 0..8 {
+            let level = coarsen_once(&g, &mut XorShift::new(seed));
+            assert_eq!(level.map[0], level.map[1], "seed {seed}");
+            assert_eq!(level.map[2], level.map[3], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn hierarchy_reaches_target() {
+        let g = path_graph(256);
+        let levels = coarsen_to(&g, 32, &mut XorShift::new(1));
+        assert!(!levels.is_empty());
+        assert!(levels.last().unwrap().graph.len() <= 64);
+        // monotone shrinking
+        let mut prev = g.len();
+        for l in &levels {
+            assert!(l.graph.len() < prev);
+            prev = l.graph.len();
+        }
+    }
+
+    #[test]
+    fn edgeless_graph_coarsens_to_singletons() {
+        let g = Graph::from_edges(10, &[]);
+        let level = coarsen_once(&g, &mut XorShift::new(5));
+        assert_eq!(level.graph.len(), 10); // nothing to match
+    }
+}

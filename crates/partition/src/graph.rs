@@ -1,0 +1,205 @@
+//! Weighted undirected graphs in CSR form.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An undirected graph with vertex and edge weights, stored in compressed
+/// sparse row (CSR) form — the same representation METIS uses.
+///
+/// Parallel edges given to the builder are merged by summing their weights;
+/// self-loops are dropped (they can never be cut).
+///
+/// # Examples
+///
+/// ```
+/// use ca_partition::Graph;
+///
+/// // A triangle plus a pendant vertex.
+/// let g = Graph::from_edges(4, &[(0, 1, 1), (1, 2, 1), (0, 2, 1), (2, 3, 5)]);
+/// assert_eq!(g.len(), 4);
+/// assert_eq!(g.degree(2), 3);
+/// assert_eq!(g.total_edge_weight(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    xadj: Vec<u32>,
+    adj: Vec<u32>,
+    ewgt: Vec<u32>,
+    vwgt: Vec<u32>,
+}
+
+impl Graph {
+    /// Builds a graph with `n` vertices of unit weight from an undirected
+    /// edge list `(u, v, weight)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn from_edges(n: usize, edges: &[(u32, u32, u32)]) -> Graph {
+        Graph::from_weighted(vec![1; n], edges)
+    }
+
+    /// Builds a graph with explicit vertex weights from an undirected edge
+    /// list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn from_weighted(vwgt: Vec<u32>, edges: &[(u32, u32, u32)]) -> Graph {
+        let n = vwgt.len();
+        // merge parallel edges; BTreeMap keeps construction deterministic
+        let mut merged: BTreeMap<(u32, u32), u32> = BTreeMap::new();
+        for &(u, v, w) in edges {
+            assert!((u as usize) < n, "edge endpoint {u} out of range");
+            assert!((v as usize) < n, "edge endpoint {v} out of range");
+            if u == v {
+                continue;
+            }
+            let key = if u < v { (u, v) } else { (v, u) };
+            *merged.entry(key).or_insert(0) += w;
+        }
+        let mut degree = vec![0u32; n];
+        for (&(u, v), _) in &merged {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut xadj = Vec::with_capacity(n + 1);
+        xadj.push(0u32);
+        for d in &degree {
+            xadj.push(xadj.last().unwrap() + d);
+        }
+        let m2 = *xadj.last().unwrap() as usize;
+        let mut adj = vec![0u32; m2];
+        let mut ewgt = vec![0u32; m2];
+        let mut cursor: Vec<u32> = xadj[..n].to_vec();
+        for (&(u, v), &w) in &merged {
+            let cu = cursor[u as usize] as usize;
+            adj[cu] = v;
+            ewgt[cu] = w;
+            cursor[u as usize] += 1;
+            let cv = cursor[v as usize] as usize;
+            adj[cv] = u;
+            ewgt[cv] = w;
+            cursor[v as usize] += 1;
+        }
+        Graph { xadj, adj, ewgt, vwgt }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.vwgt.len()
+    }
+
+    /// `true` if the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.vwgt.is_empty()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.len() / 2
+    }
+
+    /// Degree (distinct neighbors) of `v`.
+    pub fn degree(&self, v: u32) -> usize {
+        (self.xadj[v as usize + 1] - self.xadj[v as usize]) as usize
+    }
+
+    /// Neighbors of `v` with edge weights.
+    pub fn neighbors(&self, v: u32) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let lo = self.xadj[v as usize] as usize;
+        let hi = self.xadj[v as usize + 1] as usize;
+        self.adj[lo..hi].iter().copied().zip(self.ewgt[lo..hi].iter().copied())
+    }
+
+    /// Weight of vertex `v`.
+    pub fn vertex_weight(&self, v: u32) -> u32 {
+        self.vwgt[v as usize]
+    }
+
+    /// Sum of all vertex weights.
+    pub fn total_vertex_weight(&self) -> u64 {
+        self.vwgt.iter().map(|&w| w as u64).sum()
+    }
+
+    /// Sum of all undirected edge weights.
+    pub fn total_edge_weight(&self) -> u64 {
+        self.ewgt.iter().map(|&w| w as u64).sum::<u64>() / 2
+    }
+
+    /// Sum of edge weights crossing parts under `assignment` (each edge
+    /// counted once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() != self.len()`.
+    pub fn edge_cut(&self, assignment: &[u32]) -> u64 {
+        assert_eq!(assignment.len(), self.len(), "assignment length mismatch");
+        let mut cut = 0u64;
+        for v in 0..self.len() as u32 {
+            for (u, w) in self.neighbors(v) {
+                if u > v && assignment[u as usize] != assignment[v as usize] {
+                    cut += w as u64;
+                }
+            }
+        }
+        cut
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Graph({} vertices, {} edges)", self.len(), self.edge_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_structure() {
+        let g = Graph::from_edges(3, &[(0, 1, 2), (1, 2, 3)]);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.degree(1), 2);
+        let n: Vec<(u32, u32)> = g.neighbors(1).collect();
+        assert!(n.contains(&(0, 2)) && n.contains(&(2, 3)));
+        assert_eq!(g.total_edge_weight(), 5);
+    }
+
+    #[test]
+    fn parallel_edges_merge_and_loops_drop() {
+        let g = Graph::from_edges(2, &[(0, 1, 1), (1, 0, 4), (0, 0, 9)]);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.neighbors(0).next(), Some((1, 5)));
+    }
+
+    #[test]
+    fn vertex_weights() {
+        let g = Graph::from_weighted(vec![3, 5], &[(0, 1, 1)]);
+        assert_eq!(g.vertex_weight(1), 5);
+        assert_eq!(g.total_vertex_weight(), 8);
+    }
+
+    #[test]
+    fn edge_cut_counts_once() {
+        let g = Graph::from_edges(4, &[(0, 1, 1), (1, 2, 10), (2, 3, 1)]);
+        assert_eq!(g.edge_cut(&[0, 0, 1, 1]), 10);
+        assert_eq!(g.edge_cut(&[0, 0, 0, 0]), 0);
+        assert_eq!(g.edge_cut(&[0, 1, 0, 1]), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_endpoint_panics() {
+        Graph::from_edges(2, &[(0, 5, 1)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, &[]);
+        assert!(g.is_empty());
+        assert_eq!(g.edge_cut(&[]), 0);
+    }
+}

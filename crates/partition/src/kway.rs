@@ -1,0 +1,395 @@
+//! Multilevel bisection and recursive k-way partitioning.
+
+use crate::coarsen::coarsen_to;
+use crate::graph::Graph;
+use crate::refine::fm_refine;
+use crate::rng::XorShift;
+
+/// Tuning knobs for [`partition_kway`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionOptions {
+    /// Allowed part-weight imbalance (METIS default flavour: 0.03–0.10).
+    pub epsilon: f64,
+    /// RNG seed; identical seeds give identical partitions.
+    pub seed: u64,
+    /// Coarsening stops below this many vertices.
+    pub coarsen_to: usize,
+    /// Greedy-growing attempts at the coarsest level.
+    pub initial_tries: usize,
+    /// FM passes per level.
+    pub refine_passes: usize,
+}
+
+impl Default for PartitionOptions {
+    fn default() -> PartitionOptions {
+        PartitionOptions {
+            epsilon: 0.05,
+            seed: 0x5eed,
+            coarsen_to: 48,
+            initial_tries: 4,
+            refine_passes: 6,
+        }
+    }
+}
+
+/// The result of a k-way partitioning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partitioning {
+    /// `assignment[v]` = part of vertex `v`, in `0..k`.
+    pub assignment: Vec<u32>,
+    /// Number of parts requested.
+    pub k: usize,
+    /// Total weight of cut edges.
+    pub edgecut: u64,
+}
+
+impl Partitioning {
+    /// Vertices of each part.
+    pub fn parts(&self) -> Vec<Vec<u32>> {
+        let mut parts = vec![Vec::new(); self.k];
+        for (v, &p) in self.assignment.iter().enumerate() {
+            parts[p as usize].push(v as u32);
+        }
+        parts
+    }
+
+    /// Total vertex weight per part.
+    pub fn part_weights(&self, g: &Graph) -> Vec<u64> {
+        let mut w = vec![0u64; self.k];
+        for (v, &p) in self.assignment.iter().enumerate() {
+            w[p as usize] += g.vertex_weight(v as u32) as u64;
+        }
+        w
+    }
+
+    /// Maximum part weight divided by the ideal (total/k); 1.0 = perfectly
+    /// balanced.
+    pub fn imbalance(&self, g: &Graph) -> f64 {
+        if self.k == 0 || g.is_empty() {
+            return 1.0;
+        }
+        let ideal = g.total_vertex_weight() as f64 / self.k as f64;
+        let max = self.part_weights(g).into_iter().max().unwrap_or(0) as f64;
+        if ideal == 0.0 {
+            1.0
+        } else {
+            max / ideal
+        }
+    }
+}
+
+/// Greedy-growing initial bisection at the coarsest level: BFS-grow side 0
+/// from a seed vertex until it reaches the target weight.
+fn grow_bisection(g: &Graph, target_w0: u64, seed_vertex: u32) -> Vec<u8> {
+    let n = g.len();
+    let mut part = vec![1u8; n];
+    if n == 0 || target_w0 == 0 {
+        return part;
+    }
+    let mut w0 = 0u64;
+    let mut queue = std::collections::VecDeque::new();
+    let mut visited = vec![false; n];
+    let mut cursor = seed_vertex;
+    loop {
+        if !visited[cursor as usize] {
+            visited[cursor as usize] = true;
+            queue.push_back(cursor);
+        }
+        while let Some(v) = queue.pop_front() {
+            if w0 >= target_w0 {
+                return part;
+            }
+            part[v as usize] = 0;
+            w0 += g.vertex_weight(v) as u64;
+            for (u, _) in g.neighbors(v) {
+                if !visited[u as usize] {
+                    visited[u as usize] = true;
+                    queue.push_back(u);
+                }
+            }
+        }
+        if w0 >= target_w0 {
+            return part;
+        }
+        // disconnected: jump to the next unvisited vertex
+        match (0..n as u32).find(|&v| !visited[v as usize]) {
+            Some(v) => cursor = v,
+            None => return part,
+        }
+    }
+}
+
+/// Multilevel bisection targeting `target_frac` of the total weight on
+/// side 0. Returns the side (0/1) of every vertex.
+pub fn bisect(g: &Graph, target_frac: f64, opts: &PartitionOptions) -> Vec<u8> {
+    let n = g.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let total = g.total_vertex_weight();
+    let target_w0 = ((total as f64) * target_frac).round().max(0.0) as u64;
+    let mut rng = XorShift::new(opts.seed);
+
+    let levels = coarsen_to(g, opts.coarsen_to.max(2), &mut rng);
+    let coarsest: &Graph = levels.last().map(|l| &l.graph).unwrap_or(g);
+
+    // Several greedy-grown starts; keep the best refined cut.
+    let mut best: Option<(u64, Vec<u8>)> = None;
+    for _try in 0..opts.initial_tries.max(1) {
+        let seed_vertex = rng.below(coarsest.len()) as u32;
+        let mut part = grow_bisection(coarsest, target_w0, seed_vertex);
+        let cut = fm_refine(coarsest, &mut part, target_w0, opts.epsilon, opts.refine_passes);
+        if best.as_ref().is_none_or(|(bc, _)| cut < *bc) {
+            best = Some((cut, part));
+        }
+    }
+    let (_, mut part) = best.expect("at least one try");
+
+    // Project through the hierarchy, refining at each finer level.
+    for level_idx in (0..levels.len()).rev() {
+        let fine_graph: &Graph = if level_idx == 0 { g } else { &levels[level_idx - 1].graph };
+        let map = &levels[level_idx].map;
+        let mut fine_part = vec![0u8; fine_graph.len()];
+        for v in 0..fine_graph.len() {
+            fine_part[v] = part[map[v] as usize];
+        }
+        fm_refine(fine_graph, &mut fine_part, target_w0, opts.epsilon, opts.refine_passes);
+        part = fine_part;
+    }
+    if levels.is_empty() {
+        // graph was already small: part is for g itself
+        debug_assert_eq!(part.len(), n);
+    }
+    part
+}
+
+/// Extracts the subgraph induced by `part[v] == side`, returning the
+/// subgraph and the original ids of its vertices.
+fn induced_subgraph(g: &Graph, part: &[u8], side: u8) -> (Graph, Vec<u32>) {
+    let mut ids: Vec<u32> = Vec::new();
+    let mut new_id = vec![u32::MAX; g.len()];
+    for v in 0..g.len() as u32 {
+        if part[v as usize] == side {
+            new_id[v as usize] = ids.len() as u32;
+            ids.push(v);
+        }
+    }
+    let vwgt: Vec<u32> = ids.iter().map(|&v| g.vertex_weight(v)).collect();
+    let mut edges = Vec::new();
+    for (new_v, &v) in ids.iter().enumerate() {
+        for (u, w) in g.neighbors(v) {
+            let nu = new_id[u as usize];
+            if nu != u32::MAX && (new_v as u32) < nu {
+                edges.push((new_v as u32, nu, w));
+            }
+        }
+    }
+    (Graph::from_weighted(vwgt, &edges), ids)
+}
+
+/// Partitions `g` into `k` balanced parts minimizing the edge cut
+/// (recursive multilevel bisection — the METIS recipe).
+///
+/// Parts are load-balanced to within `opts.epsilon`; every vertex is
+/// assigned. `k = 1` returns the trivial partition; `k >= n` degenerates to
+/// one vertex per part (extra parts empty).
+///
+/// # Examples
+///
+/// ```
+/// use ca_partition::{Graph, partition_kway, PartitionOptions};
+///
+/// // Two triangles joined by one edge split cleanly in two.
+/// let g = Graph::from_edges(6, &[
+///     (0,1,5),(1,2,5),(0,2,5), (3,4,5),(4,5,5),(3,5,5), (2,3,1),
+/// ]);
+/// let p = partition_kway(&g, 2, &PartitionOptions::default());
+/// assert_eq!(p.edgecut, 1);
+/// assert_ne!(p.assignment[0], p.assignment[5]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `k == 0` on a non-empty graph.
+pub fn partition_kway(g: &Graph, k: usize, opts: &PartitionOptions) -> Partitioning {
+    if g.is_empty() {
+        return Partitioning { assignment: Vec::new(), k, edgecut: 0 };
+    }
+    assert!(k > 0, "cannot partition into zero parts");
+    let mut assignment = vec![0u32; g.len()];
+    recurse(g, &(0..g.len() as u32).collect::<Vec<_>>(), k, 0, opts, &mut assignment, 0);
+    // Final direct k-way refinement (METIS's last phase): boundary moves
+    // across arbitrary part pairs recover cut the bisection tree cannot see.
+    let edgecut = if k >= 2 {
+        crate::refine::refine_kway(g, &mut assignment, k, opts.epsilon, opts.refine_passes)
+    } else {
+        g.edge_cut(&assignment)
+    };
+    Partitioning { assignment, k, edgecut }
+}
+
+fn recurse(
+    g: &Graph,
+    original_ids: &[u32],
+    k: usize,
+    part_offset: u32,
+    opts: &PartitionOptions,
+    assignment: &mut [u32],
+    depth: u64,
+) {
+    if k <= 1 || g.len() <= 1 {
+        for (v, &orig) in original_ids.iter().enumerate() {
+            // spread leftover vertices round-robin if k > 1 but graph tiny
+            let p = if k <= 1 { 0 } else { (v % k) as u32 };
+            assignment[orig as usize] = part_offset + p;
+        }
+        return;
+    }
+    let k0 = k / 2;
+    let k1 = k - k0;
+    let frac = k0 as f64 / k as f64;
+    // vary the seed per recursion branch for independent randomness
+    let branch_opts = PartitionOptions {
+        seed: opts.seed.wrapping_mul(0x100000001b3).wrapping_add(depth + 1),
+        ..*opts
+    };
+    let side = bisect(g, frac, &branch_opts);
+    let (g0, ids0) = induced_subgraph(g, &side, 0);
+    let (g1, ids1) = induced_subgraph(g, &side, 1);
+    let orig0: Vec<u32> = ids0.iter().map(|&v| original_ids[v as usize]).collect();
+    let orig1: Vec<u32> = ids1.iter().map(|&v| original_ids[v as usize]).collect();
+    recurse(&g0, &orig0, k0, part_offset, opts, assignment, depth * 2 + 1);
+    recurse(&g1, &orig1, k1, part_offset + k0 as u32, opts, assignment, depth * 2 + 2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(w: usize, h: usize) -> Graph {
+        let mut edges = Vec::new();
+        let id = |x: usize, y: usize| (y * w + x) as u32;
+        for y in 0..h {
+            for x in 0..w {
+                if x + 1 < w {
+                    edges.push((id(x, y), id(x + 1, y), 1));
+                }
+                if y + 1 < h {
+                    edges.push((id(x, y), id(x, y + 1), 1));
+                }
+            }
+        }
+        Graph::from_edges(w * h, &edges)
+    }
+
+    #[test]
+    fn bisect_two_cliques() {
+        let mut edges = Vec::new();
+        for a in 0..8u32 {
+            for b in a + 1..8 {
+                edges.push((a, b, 3));
+                edges.push((a + 8, b + 8, 3));
+            }
+        }
+        edges.push((0, 8, 1));
+        let g = Graph::from_edges(16, &edges);
+        let p = partition_kway(&g, 2, &PartitionOptions::default());
+        assert_eq!(p.edgecut, 1);
+        assert!(p.imbalance(&g) <= 1.05);
+    }
+
+    #[test]
+    fn kway_grid_quality_and_balance() {
+        let g = grid(16, 16); // 256 vertices
+        let p = partition_kway(&g, 8, &PartitionOptions::default());
+        assert_eq!(p.assignment.len(), 256);
+        assert!(p.assignment.iter().all(|&a| a < 8));
+        // every part non-empty and balanced
+        let weights = p.part_weights(&g);
+        assert!(weights.iter().all(|&w| w > 0));
+        assert!(p.imbalance(&g) <= 1.20, "imbalance {}", p.imbalance(&g));
+        // a random assignment on a 16x16 grid cuts ~ 7/8 of 480 edges; a
+        // decent partitioner should do far better than half of them.
+        assert!(p.edgecut < 200, "edgecut {}", p.edgecut);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = grid(10, 10);
+        let a = partition_kway(&g, 4, &PartitionOptions::default());
+        let b = partition_kway(&g, 4, &PartitionOptions::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn k_equals_one() {
+        let g = grid(4, 4);
+        let p = partition_kway(&g, 1, &PartitionOptions::default());
+        assert!(p.assignment.iter().all(|&a| a == 0));
+        assert_eq!(p.edgecut, 0);
+    }
+
+    #[test]
+    fn k_exceeding_vertices() {
+        let g = Graph::from_edges(3, &[(0, 1, 1), (1, 2, 1)]);
+        let p = partition_kway(&g, 8, &PartitionOptions::default());
+        assert_eq!(p.assignment.len(), 3);
+        assert!(p.assignment.iter().all(|&a| a < 8));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, &[]);
+        let p = partition_kway(&g, 4, &PartitionOptions::default());
+        assert!(p.assignment.is_empty());
+        assert_eq!(p.edgecut, 0);
+    }
+
+    #[test]
+    fn disconnected_components_balanced() {
+        // 8 disconnected triangles; 4 parts should each get ~2 triangles
+        // and cut nothing.
+        let mut edges = Vec::new();
+        for t in 0..8u32 {
+            let b = t * 3;
+            edges.push((b, b + 1, 1));
+            edges.push((b + 1, b + 2, 1));
+            edges.push((b, b + 2, 1));
+        }
+        let g = Graph::from_edges(24, &edges);
+        let p = partition_kway(&g, 4, &PartitionOptions::default());
+        assert_eq!(p.edgecut, 0, "no triangle should be split");
+        assert!(p.imbalance(&g) <= 1.35);
+    }
+
+    #[test]
+    fn weighted_vertices_respected() {
+        // one heavy vertex = weight of the other five combined
+        let g = Graph::from_weighted(vec![5, 1, 1, 1, 1, 1], &[
+            (0, 1, 1),
+            (1, 2, 1),
+            (2, 3, 1),
+            (3, 4, 1),
+            (4, 5, 1),
+        ]);
+        let p = partition_kway(&g, 2, &PartitionOptions::default());
+        let w = p.part_weights(&g);
+        assert_eq!(w.iter().sum::<u64>(), 10);
+        assert!(w.iter().all(|&x| (4..=6).contains(&x)), "weights {w:?}");
+    }
+
+    #[test]
+    fn parts_listing_consistent() {
+        let g = grid(6, 6);
+        let p = partition_kway(&g, 3, &PartitionOptions::default());
+        let parts = p.parts();
+        assert_eq!(parts.len(), 3);
+        let total: usize = parts.iter().map(Vec::len).sum();
+        assert_eq!(total, 36);
+        for (i, part) in parts.iter().enumerate() {
+            for &v in part {
+                assert_eq!(p.assignment[v as usize], i as u32);
+            }
+        }
+    }
+}

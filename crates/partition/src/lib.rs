@@ -1,0 +1,52 @@
+//! Multilevel k-way graph partitioner — the METIS substitute of the Cache
+//! Automaton reproduction.
+//!
+//! The paper's compiler uses METIS [Karypis & Kumar 1998] to split oversized
+//! connected components across SRAM partitions "such that the number of
+//! outgoing state transitions between any two partitions is minimized"
+//! (§3.2). This crate re-implements the same multilevel recipe from scratch:
+//!
+//! 1. **Coarsening** — heavy-edge matching collapses the graph level by
+//!    level ([`coarsen`]).
+//! 2. **Initial partitioning** — greedy region growing on the coarsest
+//!    graph, several seeds, best cut kept.
+//! 3. **Uncoarsening** — the partition is projected back up, with
+//!    Fiduccia–Mattheyses boundary refinement at every level ([`refine`]).
+//! 4. **k-way** — recursive bisection with proportional targets
+//!    ([`partition_kway`]).
+//!
+//! Partitions are deterministic for a fixed [`PartitionOptions::seed`], so
+//! compiled placements (and hence the paper tables) are reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use ca_partition::{Graph, partition_kway, PartitionOptions};
+//!
+//! // A 4x4 grid into 4 balanced tiles.
+//! let mut edges = Vec::new();
+//! for y in 0..4u32 {
+//!     for x in 0..4u32 {
+//!         let v = y * 4 + x;
+//!         if x < 3 { edges.push((v, v + 1, 1)); }
+//!         if y < 3 { edges.push((v, v + 4, 1)); }
+//!     }
+//! }
+//! let g = Graph::from_edges(16, &edges);
+//! let p = partition_kway(&g, 4, &PartitionOptions::default());
+//! assert!(p.imbalance(&g) <= 1.25);
+//! assert!(p.edgecut <= 12);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod coarsen;
+pub mod graph;
+pub mod kway;
+pub mod refine;
+pub mod rng;
+
+pub use graph::Graph;
+pub use kway::{bisect, partition_kway, PartitionOptions, Partitioning};
+pub use refine::{fm_refine, refine_kway};

@@ -1,0 +1,340 @@
+//! Fiduccia–Mattheyses boundary refinement for bisections.
+
+use crate::graph::Graph;
+use std::collections::BinaryHeap;
+
+/// Gain of moving `v` to the other side: external minus internal edge
+/// weight.
+fn gain(g: &Graph, part: &[u8], v: u32) -> i64 {
+    let p = part[v as usize];
+    let mut s = 0i64;
+    for (u, w) in g.neighbors(v) {
+        if part[u as usize] != p {
+            s += w as i64;
+        } else {
+            s -= w as i64;
+        }
+    }
+    s
+}
+
+/// One FM refinement run: hill-climbing move sequences with rollback to the
+/// best prefix, repeated until a pass yields no improvement.
+///
+/// `target_w0` is the desired weight of side 0; side weights may deviate by
+/// a factor of `1 + eps`. Returns the final edge cut.
+///
+/// # Panics
+///
+/// Panics if `part.len() != g.len()`.
+pub fn fm_refine(g: &Graph, part: &mut [u8], target_w0: u64, eps: f64, max_passes: usize) -> u64 {
+    assert_eq!(part.len(), g.len(), "partition length mismatch");
+    let n = g.len();
+    if n == 0 {
+        return 0;
+    }
+    let total: u64 = g.total_vertex_weight();
+    let target = [target_w0, total - target_w0];
+    let max_load = |side: usize| -> u64 {
+        let slack = (target[side] as f64 * eps).ceil() as u64;
+        // always leave room for at least the heaviest single vertex
+        target[side] + slack.max(1)
+    };
+
+    let mut weights = [0u64; 2];
+    for v in 0..n as u32 {
+        weights[part[v as usize] as usize] += g.vertex_weight(v) as u64;
+    }
+    let mut cut = g.edge_cut(&part.iter().map(|&p| p as u32).collect::<Vec<_>>());
+
+    for _pass in 0..max_passes {
+        let pass_start_cut = cut;
+        let mut locked = vec![false; n];
+        // (gain, vertex); lazy invalidation via recomputation on pop.
+        let mut heap: BinaryHeap<(i64, u32)> = BinaryHeap::new();
+        for v in 0..n as u32 {
+            // seed with boundary vertices only (others enter via updates)
+            if g.neighbors(v).any(|(u, _)| part[u as usize] != part[v as usize]) {
+                heap.push((gain(g, part, v), v));
+            }
+        }
+        // move journal for rollback
+        let mut moves: Vec<u32> = Vec::new();
+        let mut best_cut = cut;
+        let mut best_len = 0usize;
+        let mut cur_cut = cut;
+        let mut cur_weights = weights;
+
+        while let Some((gain_claimed, v)) = heap.pop() {
+            if locked[v as usize] {
+                continue;
+            }
+            let actual = gain(g, part, v);
+            if actual != gain_claimed {
+                heap.push((actual, v));
+                continue;
+            }
+            let from = part[v as usize] as usize;
+            let to = 1 - from;
+            let vw = g.vertex_weight(v) as u64;
+            if cur_weights[to] + vw > max_load(to) {
+                continue; // would overfill the destination; drop this move
+            }
+            // apply
+            locked[v as usize] = true;
+            part[v as usize] = to as u8;
+            cur_weights[from] -= vw;
+            cur_weights[to] += vw;
+            cur_cut = (cur_cut as i64 - actual) as u64;
+            moves.push(v);
+            if cur_cut < best_cut
+                || (cur_cut == best_cut && balance_err(cur_weights, target) < balance_err(weights, target))
+            {
+                best_cut = cur_cut;
+                best_len = moves.len();
+                weights = cur_weights;
+            }
+            for (u, _) in g.neighbors(v) {
+                if !locked[u as usize] {
+                    heap.push((gain(g, part, u), u));
+                }
+            }
+            if moves.len() >= n {
+                break;
+            }
+        }
+        // rollback past the best prefix
+        for &v in &moves[best_len..] {
+            part[v as usize] = 1 - part[v as usize];
+        }
+        cut = best_cut;
+        if cut >= pass_start_cut {
+            break;
+        }
+    }
+    cut
+}
+
+fn balance_err(weights: [u64; 2], target: [u64; 2]) -> u64 {
+    weights[0].abs_diff(target[0]) + weights[1].abs_diff(target[1])
+}
+
+/// Direct k-way refinement (the final METIS phase): greedy boundary moves
+/// between arbitrary part pairs after recursive bisection, which can
+/// recover cut lost to the bisection hierarchy.
+///
+/// Moves a vertex only when it strictly improves the cut and keeps every
+/// part within `(1 + eps)` of the average weight. Returns the final cut.
+///
+/// # Panics
+///
+/// Panics if `assignment.len() != g.len()` or an assignment is `>= k`.
+pub fn refine_kway(
+    g: &Graph,
+    assignment: &mut [u32],
+    k: usize,
+    eps: f64,
+    max_passes: usize,
+) -> u64 {
+    assert_eq!(assignment.len(), g.len(), "assignment length mismatch");
+    assert!(assignment.iter().all(|&a| (a as usize) < k), "assignment out of range");
+    if g.is_empty() || k < 2 {
+        return 0;
+    }
+    let total = g.total_vertex_weight();
+    let avg = total as f64 / k as f64;
+    let max_load = (avg * (1.0 + eps)).ceil() as u64;
+    let mut weights = vec![0u64; k];
+    for v in 0..g.len() as u32 {
+        weights[assignment[v as usize] as usize] += g.vertex_weight(v) as u64;
+    }
+    let assignment_u32: Vec<u32> = assignment.to_vec();
+    let mut cut = g.edge_cut(&assignment_u32);
+
+    let mut conn = vec![0i64; k]; // scratch: connectivity of v to each part
+    for _pass in 0..max_passes {
+        let mut improved = false;
+        for v in 0..g.len() as u32 {
+            let from = assignment[v as usize] as usize;
+            // connectivity to each adjacent part
+            let mut touched: Vec<usize> = Vec::new();
+            for (u, w) in g.neighbors(v) {
+                let p = assignment[u as usize] as usize;
+                if conn[p] == 0 {
+                    touched.push(p);
+                }
+                conn[p] += w as i64;
+            }
+            let internal = conn[from];
+            let vw = g.vertex_weight(v) as u64;
+            let mut best: Option<(i64, usize)> = None; // (gain, part)
+            for &p in &touched {
+                if p == from || weights[p] + vw > max_load {
+                    continue;
+                }
+                let gain = conn[p] - internal;
+                if gain > 0 && best.is_none_or(|(bg, _)| gain > bg) {
+                    best = Some((gain, p));
+                }
+            }
+            for &p in &touched {
+                conn[p] = 0; // reset scratch
+            }
+            if let Some((gain, to)) = best {
+                assignment[v as usize] = to as u32;
+                weights[from] -= vw;
+                weights[to] += vw;
+                cut = (cut as i64 - gain) as u64;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    debug_assert_eq!(cut, g.edge_cut(&assignment.iter().map(|&a| a).collect::<Vec<_>>()));
+    cut
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cut_of(g: &Graph, part: &[u8]) -> u64 {
+        g.edge_cut(&part.iter().map(|&p| p as u32).collect::<Vec<_>>())
+    }
+
+    /// Two 4-cliques joined by one light edge: optimal bisection cuts 1.
+    fn two_cliques() -> Graph {
+        let mut edges = Vec::new();
+        for a in 0..4u32 {
+            for b in a + 1..4 {
+                edges.push((a, b, 10));
+                edges.push((a + 4, b + 4, 10));
+            }
+        }
+        edges.push((3, 4, 1));
+        Graph::from_edges(8, &edges)
+    }
+
+    #[test]
+    fn improves_bad_bisection() {
+        let g = two_cliques();
+        // interleaved start: terrible cut
+        let mut part = vec![0u8, 1, 0, 1, 0, 1, 0, 1];
+        let before = cut_of(&g, &part);
+        let after = fm_refine(&g, &mut part, 4, 0.10, 8);
+        assert!(after < before);
+        assert_eq!(after, 1, "should find the clique split");
+        assert_eq!(after, cut_of(&g, &part), "returned cut must match state");
+        // each clique fully on one side
+        assert!(part[..4].iter().all(|&p| p == part[0]));
+        assert!(part[4..].iter().all(|&p| p == part[4]));
+    }
+
+    #[test]
+    fn respects_balance() {
+        // star: center + 8 leaves; moving everything to one side would zero
+        // the cut but break balance.
+        let edges: Vec<(u32, u32, u32)> = (1..9u32).map(|i| (0, i, 1)).collect();
+        let g = Graph::from_edges(9, &edges);
+        let mut part: Vec<u8> = (0..9).map(|i| (i % 2) as u8).collect();
+        fm_refine(&g, &mut part, 4, 0.25, 8);
+        let w0: u64 = part.iter().filter(|&&p| p == 0).count() as u64;
+        assert!((2..=7).contains(&w0), "balance violated: {w0}/9");
+    }
+
+    #[test]
+    fn optimal_input_untouched() {
+        let g = two_cliques();
+        let mut part = vec![0u8, 0, 0, 0, 1, 1, 1, 1];
+        let cut = fm_refine(&g, &mut part, 4, 0.10, 8);
+        assert_eq!(cut, 1);
+        assert_eq!(part, vec![0, 0, 0, 0, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = Graph::from_edges(0, &[]);
+        let mut part: Vec<u8> = vec![];
+        assert_eq!(fm_refine(&g, &mut part, 0, 0.1, 4), 0);
+    }
+
+    #[test]
+    fn kway_refinement_improves_bad_assignment() {
+        // 4 cliques of 4; interleaved assignment is terrible.
+        let mut edges = Vec::new();
+        for c in 0..4u32 {
+            let b = c * 4;
+            for i in 0..4 {
+                for j in i + 1..4 {
+                    edges.push((b + i, b + j, 5));
+                }
+            }
+        }
+        // light ring between cliques
+        for c in 0..4u32 {
+            edges.push((c * 4, ((c + 1) % 4) * 4, 1));
+        }
+        let g = Graph::from_edges(16, &edges);
+        let mut assignment: Vec<u32> = (0..16).map(|v| v % 4).collect();
+        let before = g.edge_cut(&assignment);
+        let after = refine_kway(&g, &mut assignment, 4, 0.10, 8);
+        assert!(after < before, "{after} !< {before}");
+        assert_eq!(after, 4, "should recover the clique partition (ring cut only)");
+        // balance: 4 vertices per part
+        let mut counts = [0usize; 4];
+        for &a in &assignment {
+            counts[a as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 4), "{counts:?}");
+    }
+
+    #[test]
+    fn kway_refinement_never_worsens() {
+        let mut edges = Vec::new();
+        for i in 0..40u32 {
+            edges.push((i, (i * 7 + 1) % 40, 1 + i % 3));
+            edges.push((i, (i * 11 + 5) % 40, 1));
+        }
+        let g = Graph::from_edges(40, &edges);
+        for k in [2usize, 3, 5] {
+            let mut assignment: Vec<u32> = (0..40).map(|v| (v as usize % k) as u32).collect();
+            let before = g.edge_cut(&assignment);
+            let after = refine_kway(&g, &mut assignment, k, 0.25, 6);
+            assert!(after <= before, "k={k}: {after} > {before}");
+            assert!(assignment.iter().all(|&a| (a as usize) < k));
+        }
+    }
+
+    #[test]
+    fn kway_refinement_respects_balance() {
+        // star graph: refinement must not pile everything on one part
+        let edges: Vec<(u32, u32, u32)> = (1..12u32).map(|i| (0, i, 1)).collect();
+        let g = Graph::from_edges(12, &edges);
+        let mut assignment: Vec<u32> = (0..12).map(|v| v % 3).collect();
+        refine_kway(&g, &mut assignment, 3, 0.10, 8);
+        let mut counts = [0usize; 3];
+        for &a in &assignment {
+            counts[a as usize] += 1;
+        }
+        // max load = ceil(4 * 1.1) = 5
+        assert!(counts.iter().all(|&c| c <= 5), "{counts:?}");
+    }
+
+    #[test]
+    fn never_worsens() {
+        // random-ish graph; refinement output must be <= input cut.
+        let mut edges = Vec::new();
+        for i in 0..30u32 {
+            edges.push((i, (i * 7 + 3) % 30, 1 + i % 4));
+            edges.push((i, (i * 13 + 1) % 30, 1));
+        }
+        let g = Graph::from_edges(30, &edges);
+        let mut part: Vec<u8> = (0..30).map(|i| ((i / 3) % 2) as u8).collect();
+        let before = cut_of(&g, &part);
+        let after = fm_refine(&g, &mut part, 15, 0.15, 8);
+        assert!(after <= before);
+        assert_eq!(after, cut_of(&g, &part));
+    }
+}

@@ -1,0 +1,66 @@
+//! Property tests for the multilevel partitioner.
+
+use ca_partition::{partition_kway, Graph, PartitionOptions};
+use proptest::prelude::*;
+
+/// Random connected-ish graph: a spanning path plus random extra edges.
+fn graph_strategy() -> impl Strategy<Value = Graph> {
+    (2usize..80).prop_flat_map(|n| {
+        let extra = prop::collection::vec((0..n, 0..n, 1u32..6), 0..n * 2);
+        (Just(n), extra).prop_map(|(n, extra)| {
+            let mut edges: Vec<(u32, u32, u32)> =
+                (0..n as u32 - 1).map(|i| (i, i + 1, 1)).collect();
+            edges.extend(extra.into_iter().map(|(a, b, w)| (a as u32, b as u32, w)));
+            Graph::from_edges(n, &edges)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every vertex is assigned a part in range; the reported edgecut is the
+    /// true edgecut of the assignment.
+    #[test]
+    fn partition_is_valid(g in graph_strategy(), k in 1usize..9) {
+        let p = partition_kway(&g, k, &PartitionOptions::default());
+        prop_assert_eq!(p.assignment.len(), g.len());
+        prop_assert!(p.assignment.iter().all(|&a| (a as usize) < k));
+        prop_assert_eq!(p.edgecut, g.edge_cut(&p.assignment));
+    }
+
+    /// Identical seeds yield identical partitions.
+    #[test]
+    fn partition_is_deterministic(g in graph_strategy(), k in 1usize..6) {
+        let a = partition_kway(&g, k, &PartitionOptions::default());
+        let b = partition_kway(&g, k, &PartitionOptions::default());
+        prop_assert_eq!(a, b);
+    }
+
+    /// Balance: no part exceeds ~2x the ideal weight on these small random
+    /// graphs (recursive bisection with eps=0.05 typically does far better;
+    /// this is a hard ceiling, not the expected quality).
+    #[test]
+    fn partition_is_roughly_balanced(g in graph_strategy(), k in 2usize..5) {
+        prop_assume!(g.len() >= k * 4);
+        let p = partition_kway(&g, k, &PartitionOptions::default());
+        prop_assert!(p.imbalance(&g) <= 2.0, "imbalance {}", p.imbalance(&g));
+    }
+
+    /// The partitioner never does worse than the worst contiguous chunking
+    /// on the path backbone... but random extra edges break that bound, so
+    /// instead check against the trivial upper bound: cutting every edge.
+    #[test]
+    fn edgecut_below_total(g in graph_strategy(), k in 2usize..6) {
+        let p = partition_kway(&g, k, &PartitionOptions::default());
+        prop_assert!(p.edgecut <= g.total_edge_weight());
+    }
+
+    /// part_weights sums to the graph's total vertex weight.
+    #[test]
+    fn part_weights_conserve(g in graph_strategy(), k in 1usize..6) {
+        let p = partition_kway(&g, k, &PartitionOptions::default());
+        let sum: u64 = p.part_weights(&g).iter().sum();
+        prop_assert_eq!(sum, g.total_vertex_weight());
+    }
+}

@@ -1,0 +1,191 @@
+//! Area, reachability and design-space models (paper §5.4, Figure 10).
+//!
+//! *Reachability* is the average number of states reachable from a state in
+//! one transition — the paper's scalability metric. It follows directly
+//! from the switch topology: every state reaches its own 256-STE partition
+//! through the local switch; the 16 G1-ported states additionally reach
+//! every STE of the other partitions in their way; the 8 G4-ported states
+//! (space design) reach the other three ways of their G4 group.
+
+use crate::geometry::{CacheGeometry, DesignKind, STES_PER_PARTITION};
+use crate::switch_model::SwitchSpec;
+use crate::timing::{design_timing, state_match_ps, TimingParams, WireLayer};
+
+/// Area roll-up for a given STE capacity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaReport {
+    /// Local switches (one per partition).
+    pub lswitch_count: usize,
+    /// Per-way global switches.
+    pub g1_count: usize,
+    /// Cross-way global switches.
+    pub g4_count: usize,
+    /// Local-switch area, mm^2.
+    pub lswitch_mm2: f64,
+    /// G1 area, mm^2.
+    pub g1_mm2: f64,
+    /// G4 area, mm^2.
+    pub g4_mm2: f64,
+}
+
+impl AreaReport {
+    /// Total switch-area overhead, mm^2.
+    pub fn total_mm2(&self) -> f64 {
+        self.lswitch_mm2 + self.g1_mm2 + self.g4_mm2
+    }
+}
+
+/// Switch-area overhead to support `stes` STEs (Figure 10 uses 32 K).
+pub fn area_for_stes(design: DesignKind, stes: usize) -> AreaReport {
+    let per_slice = CacheGeometry::for_design(design, 1);
+    let stes_per_slice = per_slice.partitions_per_slice() * STES_PER_PARTITION;
+    let slices = stes.div_ceil(stes_per_slice).max(1);
+    let geom = CacheGeometry::for_design(design, slices);
+    let partitions = stes.div_ceil(STES_PER_PARTITION);
+    let (g1, g4) = match design {
+        DesignKind::Performance => (SwitchSpec::G1_PERF, None),
+        DesignKind::Space => (SwitchSpec::G1_SPACE, Some(SwitchSpec::G4_SPACE)),
+    };
+    let g1_count = geom.g1_switch_count();
+    let g4_count = if g4.is_some() { geom.g4_switch_count() } else { 0 };
+    AreaReport {
+        lswitch_count: partitions,
+        g1_count,
+        g4_count,
+        lswitch_mm2: partitions as f64 * SwitchSpec::LOCAL.area_mm2(),
+        g1_mm2: g1_count as f64 * g1.area_mm2(),
+        g4_mm2: g4.map_or(0.0, |s| g4_count as f64 * s.area_mm2()),
+    }
+}
+
+/// Average one-hop reachability of a state under a design's topology.
+pub fn reachability(design: DesignKind) -> f64 {
+    let geom = CacheGeometry::for_design(design, 1);
+    let local = STES_PER_PARTITION as f64;
+    let ppw = geom.partitions_per_way() as f64;
+    let g1_share = geom.g1_ports as f64 / local;
+    let mut r = local + g1_share * (ppw - 1.0) * local;
+    if geom.gswitch4_ways > 1 {
+        let g4_share = geom.g4_ports as f64 / local;
+        let other_ways = (geom.gswitch4_ways - 1) as f64;
+        r += g4_share * other_ways * ppw * local;
+    }
+    r
+}
+
+/// One point of the Figure 10 design space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPoint {
+    /// Human-readable name.
+    pub name: String,
+    /// Average one-hop reachability.
+    pub reachability: f64,
+    /// Operating frequency, GHz.
+    pub freq_ghz: f64,
+    /// Switch-area overhead at 32 K STEs, mm^2.
+    pub area_mm2_32k: f64,
+    /// Maximum incoming transitions per state (fan-in).
+    pub max_fan_in: usize,
+}
+
+/// The Figure 10 design-space sweep: local-only through CA_S, plus the
+/// DRAM Automata Processor reference point.
+pub fn design_space() -> Vec<DesignPoint> {
+    let params = TimingParams::default();
+    let mut points = Vec::new();
+
+    // Highly performance-optimized: 64-STE partitions, local switch only.
+    // One column-mux chunk per match; no G-switch stage.
+    let match_ps = state_match_ps(&params, 1, true);
+    let l64 = SwitchSpec::new(64, 64);
+    let lswitch_ps = params.wire_mm_perf * WireLayer::GlobalMetal.ps_per_mm() + l64.delay_ps();
+    let clock = match_ps.max(lswitch_ps);
+    points.push(DesignPoint {
+        name: "CA local-only (64-STE)".into(),
+        reachability: 64.0,
+        freq_ghz: (1000.0 / clock * 2.0).round() / 2.0,
+        area_mm2_32k: (32 * 1024 / 64) as f64 * l64.area_mm2(),
+        max_fan_in: 64,
+    });
+
+    for design in [DesignKind::Performance, DesignKind::Space] {
+        points.push(DesignPoint {
+            name: design.abbrev().into(),
+            reachability: reachability(design),
+            freq_ghz: design_timing(design).operating_freq_ghz(),
+            area_mm2_32k: area_for_stes(design, 32 * 1024).total_mm2(),
+            max_fan_in: STES_PER_PARTITION,
+        });
+    }
+
+    // Micron AP reference (paper-quoted numbers).
+    points.push(DesignPoint {
+        name: "Micron AP".into(),
+        reachability: 230.5,
+        freq_ghz: 0.133,
+        area_mm2_32k: 38.0,
+        max_fan_in: 16,
+    });
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reachability_matches_paper_ballpark() {
+        // Paper: CA_P 361, CA_S 936. The closed-form topology model lands
+        // within ~7%.
+        let p = reachability(DesignKind::Performance);
+        assert!((p - 361.0).abs() / 361.0 < 0.05, "CA_P reachability {p}");
+        let s = reachability(DesignKind::Space);
+        assert!((s - 936.0).abs() / 936.0 < 0.08, "CA_S reachability {s}");
+        assert!(s > p);
+    }
+
+    #[test]
+    fn area_matches_figure10() {
+        // Paper: CA_P 4.3 mm^2, CA_S 4.6 mm^2 at 32K STEs; AP 38 mm^2.
+        let p = area_for_stes(DesignKind::Performance, 32 * 1024).total_mm2();
+        assert!((p - 4.3).abs() < 0.15, "CA_P area {p}");
+        let s = area_for_stes(DesignKind::Space, 32 * 1024).total_mm2();
+        assert!((s - 4.6).abs() < 0.2, "CA_S area {s}");
+        assert!(s > p);
+    }
+
+    #[test]
+    fn area_counts_are_consistent() {
+        let r = area_for_stes(DesignKind::Space, 32 * 1024);
+        assert_eq!(r.lswitch_count, 128);
+        assert_eq!(r.g1_count, 8);
+        assert_eq!(r.g4_count, 2);
+        assert!(r.total_mm2() > 0.0);
+    }
+
+    #[test]
+    fn small_capacity_rounds_up_to_one_partition() {
+        let r = area_for_stes(DesignKind::Performance, 10);
+        assert_eq!(r.lswitch_count, 1);
+    }
+
+    #[test]
+    fn design_space_shape() {
+        let pts = design_space();
+        assert_eq!(pts.len(), 4);
+        // local-only point: ~4 GHz, reachability 64 (paper Figure 10)
+        assert_eq!(pts[0].reachability, 64.0);
+        assert!((pts[0].freq_ghz - 4.0).abs() < 0.26, "{}", pts[0].freq_ghz);
+        // frequency decreases as reachability grows across CA points
+        assert!(pts[0].freq_ghz > pts[1].freq_ghz);
+        assert!(pts[1].freq_ghz > pts[2].freq_ghz);
+        assert!(pts[1].reachability < pts[2].reachability);
+        // AP: highest area, lowest frequency
+        let ap = &pts[3];
+        assert_eq!(ap.area_mm2_32k, 38.0);
+        assert!(pts.iter().all(|p| p.freq_ghz >= ap.freq_ghz));
+        // CA supports 256 fan-in vs AP's 16 (paper Section 5.4)
+        assert_eq!(pts[1].max_fan_in, 256);
+        assert_eq!(ap.max_fan_in, 16);
+    }
+}

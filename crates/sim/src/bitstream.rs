@@ -1,0 +1,371 @@
+//! Compiled automaton images: what the compiler loads into the cache.
+//!
+//! A [`Bitstream`] is the software analogue of the binary pages the paper's
+//! compiler produces (§2.10): per-partition STE columns (SRAM contents),
+//! local-switch cross-point configurations, global-switch routes, start
+//! vectors and report maps.
+
+use crate::geometry::{CacheGeometry, DesignKind, PartitionLocation, STES_PER_PARTITION};
+use crate::mask::Mask256;
+use ca_automata::{CharClass, ReportCode};
+use std::fmt;
+
+/// Which global switch a route traverses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RouteVia {
+    /// Per-way G-switch (16 ports per partition).
+    G1,
+    /// Cross-way G-switch bridging 4 ways (8 ports per partition, CA_S).
+    G4,
+}
+
+impl fmt::Display for RouteVia {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteVia::G1 => write!(f, "G1"),
+            RouteVia::G4 => write!(f, "G4"),
+        }
+    }
+}
+
+/// One inter-partition connection: when the source STE matches, the
+/// destination partition's import port `dst_port` is asserted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Route {
+    /// Index of the source partition in [`Bitstream::partitions`].
+    pub src_partition: u32,
+    /// Source STE column within the source partition.
+    pub src_ste: u8,
+    /// Which global switch carries the signal.
+    pub via: RouteVia,
+    /// Index of the destination partition.
+    pub dst_partition: u32,
+    /// Import-port slot at the destination (row 256+port of its L-switch).
+    pub dst_port: u8,
+}
+
+/// The image of one 256-STE partition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionImage {
+    /// Physical placement.
+    pub location: PartitionLocation,
+    /// STE labels, one per occupied column (≤ 256). Column `i` of the SRAM
+    /// array holds the one-hot encoding of `labels[i]`.
+    pub labels: Vec<CharClass>,
+    /// Local-switch rows 0..256: `local[s]` = destination STEs enabled when
+    /// column `s` matches.
+    pub local: Vec<Mask256>,
+    /// Local-switch rows 256..: `import_dest[p]` = destination STEs enabled
+    /// when import port `p` is asserted by a global switch.
+    pub import_dest: Vec<Mask256>,
+    /// STEs enabled before every symbol (ANML `all-input`).
+    pub start_all: Mask256,
+    /// STEs enabled before the first symbol only (`start-of-data`).
+    pub start_sod: Mask256,
+    /// Reporting columns and their codes.
+    pub reports: Vec<(u8, ReportCode)>,
+}
+
+impl PartitionImage {
+    /// An empty partition at `location`.
+    pub fn new(location: PartitionLocation) -> PartitionImage {
+        PartitionImage {
+            location,
+            labels: Vec::new(),
+            local: Vec::new(),
+            import_dest: Vec::new(),
+            start_all: Mask256::ZERO,
+            start_sod: Mask256::ZERO,
+            reports: Vec::new(),
+        }
+    }
+
+    /// Occupied STE columns.
+    pub fn ste_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The 256-row SRAM image of this partition: row `b` has bit `s` set iff
+    /// column `s` matches input symbol `b`. This is exactly the data the
+    /// compiler's binary pages carry.
+    pub fn sram_rows(&self) -> Vec<Mask256> {
+        let mut rows = vec![Mask256::ZERO; 256];
+        for (s, label) in self.labels.iter().enumerate() {
+            for b in label.iter() {
+                rows[b as usize].set(s as u8);
+            }
+        }
+        rows
+    }
+}
+
+/// A fully placed, routed and configured automaton.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bitstream {
+    /// Design point the image was compiled for.
+    pub design: DesignKind,
+    /// Geometry it must be loaded into.
+    pub geometry: CacheGeometry,
+    /// Partition images (dense, in allocation order).
+    pub partitions: Vec<PartitionImage>,
+    /// Inter-partition routes through the global switches.
+    pub routes: Vec<Route>,
+}
+
+/// A bitstream that violates a structural or architectural constraint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitstreamError(pub String);
+
+impl fmt::Display for BitstreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid bitstream: {}", self.0)
+    }
+}
+
+impl std::error::Error for BitstreamError {}
+
+impl Bitstream {
+    /// Total STEs stored.
+    pub fn ste_count(&self) -> usize {
+        self.partitions.iter().map(PartitionImage::ste_count).sum()
+    }
+
+    /// Cache bytes occupied (whole partitions are allocated).
+    pub fn utilization_bytes(&self) -> usize {
+        self.geometry.utilization_bytes(self.partitions.len())
+    }
+
+    /// Checks every architectural constraint the hardware imposes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation: over-full partitions, out-of-range
+    /// columns/ports, duplicate locations, route endpoints that the switch
+    /// topology cannot connect, or port-count overflows (16 G1 / 8 G4
+    /// exports per partition, matching import capacity).
+    pub fn validate(&self) -> Result<(), BitstreamError> {
+        let err = |s: String| Err(BitstreamError(s));
+        self.geometry.validate().map_err(BitstreamError)?;
+        let mut locations = std::collections::HashSet::new();
+        for (i, p) in self.partitions.iter().enumerate() {
+            if p.labels.len() > STES_PER_PARTITION {
+                return err(format!("partition {i} holds {} STEs (max 256)", p.labels.len()));
+            }
+            if p.local.len() != p.labels.len() {
+                return err(format!("partition {i}: local rows != labels"));
+            }
+            let max_ports = self.geometry.g1_ports + self.geometry.g4_ports;
+            if p.import_dest.len() > max_ports {
+                return err(format!(
+                    "partition {i} has {} import ports (max {max_ports})",
+                    p.import_dest.len()
+                ));
+            }
+            if !locations.insert(p.location) {
+                return err(format!("duplicate partition location {}", p.location));
+            }
+            for (col, _) in &p.reports {
+                if *col as usize >= p.labels.len() {
+                    return err(format!("partition {i}: report column {col} unoccupied"));
+                }
+            }
+            for row in p.local.iter().chain(p.import_dest.iter()) {
+                if let Some(bad) = row.iter().find(|&b| b as usize >= p.labels.len()) {
+                    return err(format!("partition {i}: switch row targets empty column {bad}"));
+                }
+            }
+            for m in [&p.start_all, &p.start_sod] {
+                if let Some(bad) = m.iter().find(|&b| b as usize >= p.labels.len()) {
+                    return err(format!("partition {i}: start bit {bad} unoccupied"));
+                }
+            }
+        }
+        // route constraints
+        let mut g1_exports = vec![0usize; self.partitions.len()];
+        let mut g4_exports = vec![0usize; self.partitions.len()];
+        let mut seen_export = std::collections::HashSet::new();
+        let mut seen_import = std::collections::HashSet::new();
+        for (ri, r) in self.routes.iter().enumerate() {
+            let Some(src) = self.partitions.get(r.src_partition as usize) else {
+                return err(format!("route {ri}: source partition out of range"));
+            };
+            let Some(dst) = self.partitions.get(r.dst_partition as usize) else {
+                return err(format!("route {ri}: destination partition out of range"));
+            };
+            if r.src_partition == r.dst_partition {
+                return err(format!("route {ri}: self-route (use the local switch)"));
+            }
+            if r.src_ste as usize >= src.labels.len() {
+                return err(format!("route {ri}: source STE {} unoccupied", r.src_ste));
+            }
+            if r.dst_port as usize >= dst.import_dest.len() {
+                return err(format!("route {ri}: destination port {} unconfigured", r.dst_port));
+            }
+            match r.via {
+                RouteVia::G1 => {
+                    if !src.location.same_way(&dst.location) {
+                        return err(format!(
+                            "route {ri}: G1 cannot connect {} to {}",
+                            src.location, dst.location
+                        ));
+                    }
+                    if seen_export.insert((r.src_partition, r.src_ste, RouteVia::G1)) {
+                        g1_exports[r.src_partition as usize] += 1;
+                    }
+                }
+                RouteVia::G4 => {
+                    if !src.location.same_g4_group(&dst.location, &self.geometry) {
+                        return err(format!(
+                            "route {ri}: G4 cannot connect {} to {}",
+                            src.location, dst.location
+                        ));
+                    }
+                    if seen_export.insert((r.src_partition, r.src_ste, RouteVia::G4)) {
+                        g4_exports[r.src_partition as usize] += 1;
+                    }
+                }
+            }
+            if !seen_import.insert((r.dst_partition, r.dst_port, r.src_partition, r.src_ste)) {
+                return err(format!("route {ri} duplicates an earlier route"));
+            }
+        }
+        for (i, &n) in g1_exports.iter().enumerate() {
+            if n > self.geometry.g1_ports {
+                return err(format!(
+                    "partition {i} exports {n} STEs via G1 (max {})",
+                    self.geometry.g1_ports
+                ));
+            }
+        }
+        for (i, &n) in g4_exports.iter().enumerate() {
+            if n > self.geometry.g4_ports {
+                return err(format!(
+                    "partition {i} exports {n} STEs via G4 (max {})",
+                    self.geometry.g4_ports
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Bitstream {
+        let geometry = CacheGeometry::for_design(DesignKind::Performance, 1);
+        let mut p0 = PartitionImage::new(PartitionLocation::from_index(&geometry, 0));
+        p0.labels.push(CharClass::byte(b'a'));
+        p0.local.push(Mask256::ZERO);
+        p0.start_all.set(0);
+        let mut p1 = PartitionImage::new(PartitionLocation::from_index(&geometry, 1));
+        p1.labels.push(CharClass::byte(b'b'));
+        p1.local.push(Mask256::ZERO);
+        p1.reports.push((0, ReportCode(0)));
+        p1.import_dest.push([0u8].into_iter().collect());
+        let routes = vec![Route {
+            src_partition: 0,
+            src_ste: 0,
+            via: RouteVia::G1,
+            dst_partition: 1,
+            dst_port: 0,
+        }];
+        Bitstream { design: DesignKind::Performance, geometry, partitions: vec![p0, p1], routes }
+    }
+
+    #[test]
+    fn valid_bitstream_passes() {
+        let bs = tiny();
+        assert!(bs.validate().is_ok(), "{:?}", bs.validate());
+        assert_eq!(bs.ste_count(), 2);
+        assert_eq!(bs.utilization_bytes(), 2 * 8192);
+    }
+
+    #[test]
+    fn sram_rows_encode_labels() {
+        let bs = tiny();
+        let rows = bs.partitions[0].sram_rows();
+        assert!(rows[b'a' as usize].get(0));
+        assert!(!rows[b'b' as usize].get(0));
+        assert_eq!(rows.len(), 256);
+    }
+
+    #[test]
+    fn rejects_overfull_partition() {
+        let mut bs = tiny();
+        bs.partitions[0].labels = vec![CharClass::byte(b'x'); 257];
+        bs.partitions[0].local = vec![Mask256::ZERO; 257];
+        let e = bs.validate().unwrap_err();
+        assert!(e.to_string().contains("max 256"));
+    }
+
+    #[test]
+    fn rejects_bad_route_endpoint() {
+        let mut bs = tiny();
+        bs.routes[0].dst_partition = 9;
+        assert!(bs.validate().is_err());
+        let mut bs = tiny();
+        bs.routes[0].src_ste = 5;
+        assert!(bs.validate().is_err());
+        let mut bs = tiny();
+        bs.routes[0].dst_port = 3;
+        assert!(bs.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_cross_way_g1() {
+        let mut bs = tiny();
+        // move partition 1 to another way
+        let per_way = bs.geometry.partitions_per_way();
+        bs.partitions[1].location = PartitionLocation::from_index(&bs.geometry, per_way);
+        let e = bs.validate().unwrap_err();
+        assert!(e.to_string().contains("G1 cannot connect"), "{e}");
+    }
+
+    #[test]
+    fn rejects_g4_on_performance_design() {
+        let mut bs = tiny();
+        bs.routes[0].via = RouteVia::G4;
+        // CA_P has gswitch4_ways = 0: no two partitions share a G4 group
+        assert!(bs.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_export_overflow() {
+        let mut bs = tiny();
+        let n = bs.geometry.g1_ports;
+        bs.partitions[0].labels = vec![CharClass::byte(b'x'); n + 1];
+        bs.partitions[0].local = vec![Mask256::ZERO; n + 1];
+        bs.partitions[1].import_dest = vec![Mask256::ZERO; 17];
+        // 17 distinct exporting STEs > 16 G1 ports
+        bs.routes = (0..n as u8 + 1)
+            .map(|i| Route {
+                src_partition: 0,
+                src_ste: i,
+                via: RouteVia::G1,
+                dst_partition: 1,
+                dst_port: i,
+            })
+            .collect();
+        let e = bs.validate().unwrap_err();
+        assert!(
+            e.to_string().contains("import ports") || e.to_string().contains("via G1"),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn rejects_report_on_empty_column() {
+        let mut bs = tiny();
+        bs.partitions[1].reports.push((7, ReportCode(1)));
+        assert!(bs.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_location() {
+        let mut bs = tiny();
+        bs.partitions[1].location = bs.partitions[0].location;
+        assert!(bs.validate().is_err());
+    }
+}

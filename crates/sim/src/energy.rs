@@ -1,0 +1,221 @@
+//! Energy and power model (paper §5.3, Figure 9).
+//!
+//! Energy per input symbol is activity-driven:
+//!
+//! * every partition with a non-zero active-state vector pays one SRAM
+//!   array access (22 pJ, measured with a 28 nm memory compiler) plus one
+//!   local-switch traversal (256 output bit-lines at the Table 2 pJ/bit) —
+//!   partitions with no active STE are disabled and cost nothing;
+//! * every signal through a global switch pays the switch traversal plus
+//!   global-wire energy (0.07 pJ/mm/bit) both ways.
+//!
+//! The *Ideal AP* comparison model follows the paper: 1 pJ/bit DRAM array
+//! access (optimistic; real DRAMs are 2.5–10 pJ/bit), zero interconnect
+//! energy, same mapping.
+
+use crate::fabric::ExecStats;
+use crate::geometry::{CacheGeometry, DesignKind};
+use crate::switch_model::SwitchSpec;
+use crate::timing::TimingParams;
+
+/// Calibrated energy constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyParams {
+    /// SRAM array access energy per active partition per cycle (pJ).
+    pub array_access_pj: f64,
+    /// Global-wire energy (pJ per mm per bit).
+    pub wire_pj_per_mm_bit: f64,
+    /// Ideal-AP DRAM array access energy (pJ per bit).
+    pub ideal_ap_pj_per_bit: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> EnergyParams {
+        EnergyParams { array_access_pj: 22.0, wire_pj_per_mm_bit: 0.07, ideal_ap_pj_per_bit: 1.0 }
+    }
+}
+
+/// Energy decomposition of a run, in nanojoules.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// SRAM array accesses.
+    pub array_nj: f64,
+    /// Local-switch traversals.
+    pub lswitch_nj: f64,
+    /// Global-switch traversals.
+    pub gswitch_nj: f64,
+    /// Global-wire transport.
+    pub wire_nj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in nJ.
+    pub fn total_nj(&self) -> f64 {
+        self.array_nj + self.lswitch_nj + self.gswitch_nj + self.wire_nj
+    }
+}
+
+/// Full energy/power report for one run at one design point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyReport {
+    /// Decomposed energy.
+    pub breakdown: EnergyBreakdown,
+    /// Energy per input symbol (nJ) — the Figure 9a metric.
+    pub per_symbol_nj: f64,
+    /// Average power at the design's operating frequency (W) — Figure 9b.
+    pub avg_power_w: f64,
+}
+
+/// G-switch specs and wire distance for a design.
+fn design_interconnect(design: DesignKind) -> (SwitchSpec, SwitchSpec, f64) {
+    let t = TimingParams::default();
+    match design {
+        DesignKind::Performance => (SwitchSpec::G1_PERF, SwitchSpec::G1_PERF, t.wire_mm_perf),
+        DesignKind::Space => (SwitchSpec::G1_SPACE, SwitchSpec::G4_SPACE, t.wire_mm_space),
+    }
+}
+
+/// Computes the Cache Automaton energy report for a run.
+///
+/// `freq_ghz` is the operating frequency used for the power figure
+/// (symbols per nanosecond).
+pub fn energy_report(
+    stats: &ExecStats,
+    design: DesignKind,
+    params: &EnergyParams,
+    freq_ghz: f64,
+) -> EnergyReport {
+    let (g1, g4, wire_mm) = design_interconnect(design);
+    let active = stats.active_partition_cycles as f64;
+    let lswitch_pj_per_use =
+        SwitchSpec::LOCAL.energy_pj_per_bit() * SwitchSpec::LOCAL.outputs as f64;
+    let g1_pj_per_signal = g1.energy_pj_per_bit() * g1.outputs as f64;
+    let g4_pj_per_signal = g4.energy_pj_per_bit() * g4.outputs as f64;
+    let wire_pj_per_signal = 2.0 * wire_mm * params.wire_pj_per_mm_bit;
+
+    let breakdown = EnergyBreakdown {
+        array_nj: active * params.array_access_pj / 1000.0,
+        lswitch_nj: active * lswitch_pj_per_use / 1000.0,
+        gswitch_nj: (stats.g1_signals as f64 * g1_pj_per_signal
+            + stats.g4_signals as f64 * g4_pj_per_signal)
+            / 1000.0,
+        wire_nj: (stats.g1_signals + stats.g4_signals) as f64 * wire_pj_per_signal / 1000.0,
+    };
+    let per_symbol_nj =
+        if stats.symbols == 0 { 0.0 } else { breakdown.total_nj() / stats.symbols as f64 };
+    EnergyReport {
+        breakdown,
+        per_symbol_nj,
+        // nJ/symbol x symbols/ns = W
+        avg_power_w: per_symbol_nj * freq_ghz,
+    }
+}
+
+/// Ideal-AP energy per symbol (nJ) for the same activity: 1 pJ/bit over
+/// each active partition's 256-bit row, no interconnect cost.
+pub fn ideal_ap_per_symbol_nj(stats: &ExecStats, params: &EnergyParams) -> f64 {
+    if stats.symbols == 0 {
+        return 0.0;
+    }
+    let per_access_pj = params.ideal_ap_pj_per_bit * 256.0;
+    stats.active_partition_cycles as f64 * per_access_pj / 1000.0 / stats.symbols as f64
+}
+
+/// Worst-case (all partitions active every cycle) power at the operating
+/// frequency — the paper's 71.3 W (CA_P, 8 slices) peak figure.
+pub fn peak_power_w(
+    geom: &CacheGeometry,
+    design: DesignKind,
+    params: &EnergyParams,
+    freq_ghz: f64,
+) -> f64 {
+    let lswitch_pj =
+        SwitchSpec::LOCAL.energy_pj_per_bit() * SwitchSpec::LOCAL.outputs as f64;
+    let per_partition_pj = params.array_access_pj + lswitch_pj;
+    let _ = design;
+    geom.total_partitions() as f64 * per_partition_pj * freq_ghz / 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(active: u64, symbols: u64, g1: u64, g4: u64) -> ExecStats {
+        ExecStats {
+            symbols,
+            cycles: symbols + 2,
+            active_partition_cycles: active,
+            g1_signals: g1,
+            g4_signals: g4,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn per_partition_cost_matches_calibration() {
+        // One active partition for one symbol: 22 pJ + 256 x 0.191 pJ.
+        let r = energy_report(&stats(1, 1, 0, 0), DesignKind::Space, &EnergyParams::default(), 1.2);
+        let expected = (22.0 + 256.0 * 0.191) / 1000.0;
+        assert!((r.per_symbol_nj - expected).abs() < 1e-9, "{}", r.per_symbol_nj);
+    }
+
+    #[test]
+    fn space_design_average_lands_near_paper() {
+        // The paper's CA_S average is 2.3 nJ/symbol; with the calibrated
+        // constants that corresponds to ~32 active partitions per cycle.
+        let r =
+            energy_report(&stats(32, 1, 0, 0), DesignKind::Space, &EnergyParams::default(), 1.2);
+        assert!((r.per_symbol_nj - 2.3).abs() < 0.15, "{} nJ", r.per_symbol_nj);
+    }
+
+    #[test]
+    fn ideal_ap_is_about_3x_worse() {
+        // Paper: CA consumes ~3x less than Ideal AP under the same mapping.
+        let s = stats(32, 1, 0, 0);
+        let ca = energy_report(&s, DesignKind::Space, &EnergyParams::default(), 1.2);
+        let ap = ideal_ap_per_symbol_nj(&s, &EnergyParams::default());
+        let ratio = ap / ca.per_symbol_nj;
+        assert!((2.5..=4.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn gswitch_signals_add_energy() {
+        let base = energy_report(&stats(4, 10, 0, 0), DesignKind::Space, &EnergyParams::default(), 1.2);
+        let with_g = energy_report(&stats(4, 10, 5, 3), DesignKind::Space, &EnergyParams::default(), 1.2);
+        assert!(with_g.per_symbol_nj > base.per_symbol_nj);
+        assert!(with_g.breakdown.gswitch_nj > 0.0);
+        assert!(with_g.breakdown.wire_nj > 0.0);
+        // G4 signals are pricier than G1 signals
+        let g1_only = energy_report(&stats(4, 10, 8, 0), DesignKind::Space, &EnergyParams::default(), 1.2);
+        let g4_only = energy_report(&stats(4, 10, 0, 8), DesignKind::Space, &EnergyParams::default(), 1.2);
+        assert!(g4_only.breakdown.gswitch_nj > g1_only.breakdown.gswitch_nj);
+    }
+
+    #[test]
+    fn power_scales_with_frequency() {
+        let s = stats(10, 10, 0, 0);
+        let slow = energy_report(&s, DesignKind::Performance, &EnergyParams::default(), 1.0);
+        let fast = energy_report(&s, DesignKind::Performance, &EnergyParams::default(), 2.0);
+        assert!((fast.avg_power_w / slow.avg_power_w - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peak_power_matches_paper_prototype() {
+        // CA_P with 8 slices (128K STEs): paper quotes 71.3 W.
+        let geom = crate::geometry::CacheGeometry::for_design(DesignKind::Performance, 8);
+        let w = peak_power_w(&geom, DesignKind::Performance, &EnergyParams::default(), 2.0);
+        assert!((w - 71.3).abs() < 2.0, "peak {w} W");
+    }
+
+    #[test]
+    fn empty_run_zero_energy() {
+        let r = energy_report(
+            &ExecStats::default(),
+            DesignKind::Performance,
+            &EnergyParams::default(),
+            2.0,
+        );
+        assert_eq!(r.per_symbol_nj, 0.0);
+        assert_eq!(r.breakdown.total_nj(), 0.0);
+    }
+}

@@ -1,0 +1,643 @@
+//! Cycle-level functional simulator of the Cache Automaton fabric.
+//!
+//! Executes a [`Bitstream`] the way the hardware would: per input symbol,
+//! every partition performs a state-match (SRAM row read AND active-state
+//! vector), matching STEs propagate through the local switch and any
+//! configured global-switch routes, reports enter the CBOX output buffer,
+//! and the input FIFO refills one cache block at a time (paper §2.3–2.8).
+//!
+//! The three-stage pipeline (§2.5) does not change functional behaviour —
+//! it overlaps the match of symbol *i+1* with the switch traversal of
+//! symbol *i* — so the simulator executes symbols in order and accounts the
+//! pipeline in the cycle count: `cycles = symbols + fill`.
+
+use crate::bitstream::{Bitstream, BitstreamError, Route, RouteVia};
+use crate::mask::Mask256;
+use ca_automata::engine::MatchEvent;
+use ca_automata::ReportCode;
+
+/// Depth of the CBOX input FIFO (entries = symbols).
+pub const INPUT_FIFO_ENTRIES: usize = 128;
+
+/// Cache-block bytes fetched per FIFO refill.
+pub const FIFO_REFILL_BYTES: usize = 64;
+
+/// Entries in the CBOX output buffer; filling it raises an interrupt.
+pub const OUTPUT_BUFFER_ENTRIES: usize = 64;
+
+/// Pipeline fill cycles (stages minus one).
+pub const PIPELINE_FILL_CYCLES: u64 = 2;
+
+/// Activity statistics of one fabric run — the inputs to the energy model.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecStats {
+    /// Input symbols processed.
+    pub symbols: u64,
+    /// Total cycles including pipeline fill.
+    pub cycles: u64,
+    /// Sum over cycles of partitions with a non-zero active-state vector
+    /// (each costs an array access + local-switch traversal; zero-activity
+    /// partitions are clock/precharge-disabled, §5.3).
+    pub active_partition_cycles: u64,
+    /// Sum over cycles of matched STEs.
+    pub matched_total: u64,
+    /// Signals sent through per-way G-switches (one per asserted route).
+    pub g1_signals: u64,
+    /// Signals sent through cross-way G-switches.
+    pub g4_signals: u64,
+    /// Reports emitted.
+    pub reports: u64,
+    /// Output-buffer-full interrupts raised.
+    pub output_interrupts: u64,
+    /// Input FIFO refills (one cache-block read each).
+    pub fifo_refills: u64,
+    /// Per-partition active-cycle counts.
+    pub per_partition_active: Vec<u64>,
+}
+
+impl ExecStats {
+    /// Mean active partitions per cycle.
+    pub fn avg_active_partitions(&self) -> f64 {
+        if self.symbols == 0 {
+            0.0
+        } else {
+            self.active_partition_cycles as f64 / self.symbols as f64
+        }
+    }
+
+    /// Mean matched STEs per cycle (Table 1's "Avg. Active States").
+    pub fn avg_active_states(&self) -> f64 {
+        if self.symbols == 0 {
+            0.0
+        } else {
+            self.matched_total as f64 / self.symbols as f64
+        }
+    }
+}
+
+/// Result of a fabric run: the match stream plus activity statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecReport {
+    /// Reported matches in position order.
+    pub events: Vec<MatchEvent>,
+    /// Activity statistics.
+    pub stats: ExecStats,
+    /// Full CBOX output-buffer entries (populated when requested via
+    /// [`RunOptions::collect_entries`]).
+    pub entries: Vec<OutputEntry>,
+    /// Execution image at the end of the run; feed it back through
+    /// [`RunOptions::resume`] to continue the same logical stream.
+    pub snapshot: Option<Snapshot>,
+}
+
+/// Execution options for [`Fabric::run_with`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunOptions {
+    /// Resume from a prior [`Snapshot`] instead of the start vectors.
+    pub resume: Option<Snapshot>,
+    /// Record full [`OutputEntry`] records alongside the match events.
+    pub collect_entries: bool,
+    /// Stall cycles charged per output-buffer-full interrupt (0 models the
+    /// paper's background drain; >0 models a blocking CPU service routine).
+    pub drain_penalty_cycles: u64,
+}
+
+/// A CBOX output-buffer entry (§2.8): alongside the match position and
+/// report code, the hardware records the partition, the matched column,
+/// the input symbol and the symbol counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutputEntry {
+    /// Partition whose reporting STE matched.
+    pub partition: u32,
+    /// Matched column within the partition.
+    pub column: u8,
+    /// The input symbol that completed the match.
+    pub symbol: u8,
+    /// Symbol-counter value (position in the stream).
+    pub symbol_counter: u64,
+    /// Report code of the STE.
+    pub code: ReportCode,
+}
+
+/// A suspended execution image (§2.9): "the NFA process may also be
+/// suspended and later resumed by recording the number of input symbols
+/// processed and the active state vector to memory."
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Symbols consumed so far.
+    pub symbol_counter: u64,
+    /// Active-state vector of every partition.
+    pub active_vectors: Vec<Mask256>,
+}
+
+impl Snapshot {
+    /// Bytes the snapshot occupies in memory (what suspension writes out).
+    pub fn size_bytes(&self) -> usize {
+        8 + self.active_vectors.len() * 32
+    }
+}
+
+/// Compiled execution state for one bitstream.
+///
+/// # Examples
+///
+/// Programs are normally produced by `ca-compiler`; driving the fabric is
+/// then two lines:
+///
+/// ```no_run
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let bitstream: ca_sim::Bitstream = unimplemented!();
+/// use ca_sim::Fabric;
+/// let mut fabric = Fabric::new(&bitstream)?;
+/// let report = fabric.run(b"stream of input symbols");
+/// println!("{} matches", report.events.len());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    /// Per-partition 256-row SRAM images: `rows[p][symbol]`.
+    rows: Vec<Vec<Mask256>>,
+    /// Per-partition per-STE local destinations.
+    local: Vec<Vec<Mask256>>,
+    /// Per-partition import-port destinations.
+    import_dest: Vec<Vec<Mask256>>,
+    start_all: Vec<Mask256>,
+    start_sod: Vec<Mask256>,
+    report_mask: Vec<Mask256>,
+    report_code: Vec<Vec<Option<ReportCode>>>,
+    routes: Vec<Route>,
+    // scratch
+    enabled: Vec<Mask256>,
+    next: Vec<Mask256>,
+}
+
+impl Fabric {
+    /// Validates and compiles a bitstream for execution.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Bitstream::validate`] failures.
+    pub fn new(bitstream: &Bitstream) -> Result<Fabric, BitstreamError> {
+        bitstream.validate()?;
+        let n = bitstream.partitions.len();
+        let mut rows = Vec::with_capacity(n);
+        let mut local = Vec::with_capacity(n);
+        let mut import_dest = Vec::with_capacity(n);
+        let mut start_all = Vec::with_capacity(n);
+        let mut start_sod = Vec::with_capacity(n);
+        let mut report_mask = Vec::with_capacity(n);
+        let mut report_code = Vec::with_capacity(n);
+        for p in &bitstream.partitions {
+            rows.push(p.sram_rows());
+            local.push(p.local.clone());
+            import_dest.push(p.import_dest.clone());
+            start_all.push(p.start_all);
+            start_sod.push(p.start_sod);
+            let mut mask = Mask256::ZERO;
+            let mut codes = vec![None; p.labels.len()];
+            for &(col, code) in &p.reports {
+                mask.set(col);
+                codes[col as usize] = Some(code);
+            }
+            report_mask.push(mask);
+            report_code.push(codes);
+        }
+        Ok(Fabric {
+            rows,
+            local,
+            import_dest,
+            start_all,
+            start_sod,
+            report_mask,
+            report_code,
+            routes: bitstream.routes.clone(),
+            enabled: vec![Mask256::ZERO; n],
+            next: vec![Mask256::ZERO; n],
+        })
+    }
+
+    /// Number of partitions the fabric drives.
+    pub fn partition_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Runs the fabric over `input`, returning matches and statistics.
+    pub fn run(&mut self, input: &[u8]) -> ExecReport {
+        self.run_with(input, &RunOptions::default())
+    }
+
+    /// Runs the fabric while writing a per-cycle text trace to `sink`:
+    /// one line per symbol listing the matched STEs of every active
+    /// partition and any reports — the debugging view a released simulator
+    /// needs (VASim offers the equivalent).
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures from `sink`.
+    pub fn run_traced<W: std::io::Write>(
+        &mut self,
+        input: &[u8],
+        options: &RunOptions,
+        sink: &mut W,
+    ) -> std::io::Result<ExecReport> {
+        // Trace by re-simulating cycle windows of 1 symbol: simple, slow,
+        // and guaranteed consistent with run_with (which it reuses).
+        let mut resume = options.resume.clone();
+        let mut combined = ExecReport::default();
+        let base = resume.as_ref().map_or(0, |s| s.symbol_counter);
+        for (i, &symbol) in input.iter().enumerate() {
+            let step_opts = RunOptions {
+                resume: resume.take(),
+                collect_entries: true,
+                drain_penalty_cycles: options.drain_penalty_cycles,
+            };
+            let step = self.run_with(std::slice::from_ref(&symbol), &step_opts);
+            let printable =
+                if symbol.is_ascii_graphic() { symbol as char } else { '.' };
+            write!(sink, "cycle {:>6} sym 0x{symbol:02x} '{printable}' |", base + i as u64)?;
+            for (p, &n) in step.stats.per_partition_active.iter().enumerate() {
+                if n > 0 {
+                    write!(sink, " p{p}")?;
+                }
+            }
+            if !step.entries.is_empty() {
+                write!(sink, " | reports:")?;
+                for e in &step.entries {
+                    write!(sink, " {}@p{}c{}", e.code, e.partition, e.column)?;
+                }
+            }
+            writeln!(sink)?;
+            // accumulate
+            combined.events.extend(step.events.iter().copied());
+            if options.collect_entries {
+                combined.entries.extend(step.entries.iter().copied());
+            }
+            combined.stats.symbols += step.stats.symbols;
+            combined.stats.cycles += step.stats.symbols; // fill charged once below
+            combined.stats.active_partition_cycles += step.stats.active_partition_cycles;
+            combined.stats.matched_total += step.stats.matched_total;
+            combined.stats.g1_signals += step.stats.g1_signals;
+            combined.stats.g4_signals += step.stats.g4_signals;
+            combined.stats.reports += step.stats.reports;
+            combined.stats.output_interrupts += step.stats.output_interrupts;
+            if combined.stats.per_partition_active.is_empty() {
+                combined.stats.per_partition_active = step.stats.per_partition_active.clone();
+            } else {
+                for (acc, n) in combined
+                    .stats
+                    .per_partition_active
+                    .iter_mut()
+                    .zip(step.stats.per_partition_active.iter())
+                {
+                    *acc += n;
+                }
+            }
+            resume = step.snapshot;
+            combined.snapshot = resume.clone();
+        }
+        if !input.is_empty() {
+            combined.stats.cycles += PIPELINE_FILL_CYCLES;
+        }
+        combined.stats.fifo_refills = input.len().div_ceil(FIFO_REFILL_BYTES) as u64;
+        Ok(combined)
+    }
+
+    /// Runs the fabric with explicit [`RunOptions`] (resume, output-entry
+    /// collection, output-buffer backpressure).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a resume snapshot's vector count does not match this
+    /// fabric's partition count.
+    pub fn run_with(&mut self, input: &[u8], options: &RunOptions) -> ExecReport {
+        let n = self.partition_count();
+        let mut stats = ExecStats {
+            symbols: input.len() as u64,
+            cycles: if input.is_empty() { 0 } else { input.len() as u64 + PIPELINE_FILL_CYCLES },
+            per_partition_active: vec![0; n],
+            fifo_refills: input.len().div_ceil(FIFO_REFILL_BYTES) as u64,
+            ..Default::default()
+        };
+        let mut events = Vec::new();
+        let mut entries = Vec::new();
+        let mut output_buffer_fill = 0usize;
+
+        // Initialize active-state vectors: a resume image, or the
+        // start-of-data plus all-input vectors for a fresh stream.
+        let base_counter = match &options.resume {
+            Some(snapshot) => {
+                assert_eq!(
+                    snapshot.active_vectors.len(),
+                    n,
+                    "snapshot does not match this fabric"
+                );
+                self.enabled.copy_from_slice(&snapshot.active_vectors);
+                snapshot.symbol_counter
+            }
+            None => {
+                for p in 0..n {
+                    self.enabled[p] = self.start_sod[p].or(&self.start_all[p]);
+                }
+                0
+            }
+        };
+
+        let mut seen_codes: Vec<ReportCode> = Vec::new();
+        for (rel_pos, &symbol) in input.iter().enumerate() {
+            let pos = base_counter + rel_pos as u64;
+            // Phase 1+2 per partition: state-match, then local transition.
+            for p in 0..n {
+                self.next[p] = self.start_all[p];
+            }
+            seen_codes.clear();
+            for p in 0..n {
+                if self.enabled[p].is_zero() {
+                    continue; // partition disabled: no precharge, no access
+                }
+                stats.active_partition_cycles += 1;
+                stats.per_partition_active[p] += 1;
+                let matched = self.enabled[p].and(&self.rows[p][symbol as usize]);
+                if matched.is_zero() {
+                    continue;
+                }
+                stats.matched_total += matched.count() as u64;
+                // reports
+                let reporting = matched.and(&self.report_mask[p]);
+                for col in reporting.iter() {
+                    let code = self.report_code[p][col as usize].expect("report col has code");
+                    if options.collect_entries {
+                        entries.push(OutputEntry {
+                            partition: p as u32,
+                            column: col,
+                            symbol,
+                            symbol_counter: pos,
+                            code,
+                        });
+                    }
+                    if !seen_codes.contains(&code) {
+                        seen_codes.push(code);
+                        events.push(MatchEvent::new(pos, code));
+                        stats.reports += 1;
+                        output_buffer_fill += 1;
+                        if output_buffer_fill >= OUTPUT_BUFFER_ENTRIES {
+                            stats.output_interrupts += 1;
+                            stats.cycles += options.drain_penalty_cycles;
+                            output_buffer_fill = 0;
+                        }
+                    }
+                }
+                // local switch
+                for s in matched.iter() {
+                    self.next[p].or_assign(&self.local[p][s as usize]);
+                }
+            }
+            // Phase 3: global-switch routes (computed against this cycle's
+            // match vectors; results land in the next active-state vector).
+            for r in &self.routes {
+                let src = r.src_partition as usize;
+                if self.enabled[src].is_zero() {
+                    continue;
+                }
+                let matched = self.enabled[src].and(&self.rows[src][symbol as usize]);
+                if matched.get(r.src_ste) {
+                    match r.via {
+                        RouteVia::G1 => stats.g1_signals += 1,
+                        RouteVia::G4 => stats.g4_signals += 1,
+                    }
+                    let dst = r.dst_partition as usize;
+                    let dest_mask = self.import_dest[dst][r.dst_port as usize];
+                    self.next[dst].or_assign(&dest_mask);
+                }
+            }
+            std::mem::swap(&mut self.enabled, &mut self.next);
+        }
+        let snapshot = Snapshot {
+            symbol_counter: base_counter + input.len() as u64,
+            active_vectors: self.enabled.clone(),
+        };
+        ExecReport { events, stats, entries, snapshot: Some(snapshot) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitstream::PartitionImage;
+    use crate::geometry::{CacheGeometry, DesignKind, PartitionLocation};
+    use ca_automata::CharClass;
+
+    /// Pattern "ab" in one partition: a (start, col 0) -> b (report, col 1).
+    fn single_partition() -> Bitstream {
+        let geometry = CacheGeometry::for_design(DesignKind::Performance, 1);
+        let mut p = PartitionImage::new(PartitionLocation::from_index(&geometry, 0));
+        p.labels = vec![CharClass::byte(b'a'), CharClass::byte(b'b')];
+        p.local = vec![[1u8].into_iter().collect(), Mask256::ZERO];
+        p.start_all.set(0);
+        p.reports.push((1, ReportCode(0)));
+        Bitstream { design: DesignKind::Performance, geometry, partitions: vec![p], routes: vec![] }
+    }
+
+    /// Pattern "ab" split across two partitions connected via G1:
+    /// partition 0 holds 'a' (start), partition 1 holds 'b' (report).
+    fn routed_pair() -> Bitstream {
+        let geometry = CacheGeometry::for_design(DesignKind::Performance, 1);
+        let mut p0 = PartitionImage::new(PartitionLocation::from_index(&geometry, 0));
+        p0.labels = vec![CharClass::byte(b'a')];
+        p0.local = vec![Mask256::ZERO];
+        p0.start_all.set(0);
+        let mut p1 = PartitionImage::new(PartitionLocation::from_index(&geometry, 1));
+        p1.labels = vec![CharClass::byte(b'b')];
+        p1.local = vec![Mask256::ZERO];
+        p1.reports.push((0, ReportCode(7)));
+        p1.import_dest = vec![[0u8].into_iter().collect()];
+        let routes = vec![Route {
+            src_partition: 0,
+            src_ste: 0,
+            via: RouteVia::G1,
+            dst_partition: 1,
+            dst_port: 0,
+        }];
+        Bitstream { design: DesignKind::Performance, geometry, partitions: vec![p0, p1], routes }
+    }
+
+    #[test]
+    fn local_pattern_matches() {
+        let mut fabric = Fabric::new(&single_partition()).unwrap();
+        let report = fabric.run(b"xxabxxab");
+        let positions: Vec<u64> = report.events.iter().map(|e| e.pos).collect();
+        assert_eq!(positions, vec![3, 7]);
+        assert_eq!(report.stats.reports, 2);
+        assert_eq!(report.stats.symbols, 8);
+        assert_eq!(report.stats.cycles, 8 + PIPELINE_FILL_CYCLES);
+    }
+
+    #[test]
+    fn routed_pattern_matches() {
+        let mut fabric = Fabric::new(&routed_pair()).unwrap();
+        let report = fabric.run(b"zabz");
+        assert_eq!(report.events, vec![MatchEvent::new(2, ReportCode(7))]);
+        assert_eq!(report.stats.g1_signals, 1, "one 'a' match crosses the G-switch");
+        assert_eq!(report.stats.g4_signals, 0);
+    }
+
+    #[test]
+    fn partition_disabling_tracks_activity() {
+        let mut fabric = Fabric::new(&routed_pair()).unwrap();
+        let report = fabric.run(b"zzzz");
+        // partition 0 (all-input start) is active every cycle; partition 1
+        // never becomes active on this input.
+        assert_eq!(report.stats.per_partition_active[0], 4);
+        assert_eq!(report.stats.per_partition_active[1], 0);
+        assert_eq!(report.stats.avg_active_partitions(), 1.0);
+    }
+
+    #[test]
+    fn start_of_data_only_first_cycle() {
+        let geometry = CacheGeometry::for_design(DesignKind::Performance, 1);
+        let mut p = PartitionImage::new(PartitionLocation::from_index(&geometry, 0));
+        p.labels = vec![CharClass::byte(b'a')];
+        p.local = vec![Mask256::ZERO];
+        p.start_sod.set(0);
+        p.reports.push((0, ReportCode(0)));
+        let bs = Bitstream {
+            design: DesignKind::Performance,
+            geometry,
+            partitions: vec![p],
+            routes: vec![],
+        };
+        let mut fabric = Fabric::new(&bs).unwrap();
+        assert_eq!(fabric.run(b"aa").events.len(), 1);
+        assert_eq!(fabric.run(b"ba").events.len(), 0);
+    }
+
+    #[test]
+    fn fifo_and_output_buffer_stats() {
+        let mut fabric = Fabric::new(&single_partition()).unwrap();
+        // 130 "ab" pairs = 260 bytes -> 130 reports -> 2 interrupts (64x2)
+        let input: Vec<u8> = b"ab".repeat(130);
+        let report = fabric.run(&input);
+        assert_eq!(report.stats.reports, 130);
+        assert_eq!(report.stats.output_interrupts, 2);
+        assert_eq!(report.stats.fifo_refills, (260u64).div_ceil(64));
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut fabric = Fabric::new(&single_partition()).unwrap();
+        let report = fabric.run(b"");
+        assert!(report.events.is_empty());
+        assert_eq!(report.stats.cycles, 0);
+        assert_eq!(report.stats.avg_active_states(), 0.0);
+    }
+
+    #[test]
+    fn rejects_invalid_bitstream() {
+        let mut bs = single_partition();
+        bs.partitions[0].reports.push((9, ReportCode(1)));
+        assert!(Fabric::new(&bs).is_err());
+    }
+
+    #[test]
+    fn rerun_is_reproducible() {
+        let mut fabric = Fabric::new(&routed_pair()).unwrap();
+        let a = fabric.run(b"abab");
+        let b = fabric.run(b"abab");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn suspend_resume_is_transparent() {
+        // Splitting a stream at ANY point and resuming from the snapshot
+        // must reproduce the single-run match stream exactly (§2.9).
+        let bs = single_partition();
+        let input = b"xxabxabxxaabbab";
+        let full = Fabric::new(&bs).unwrap().run(input);
+        for split in 0..=input.len() {
+            let mut fabric = Fabric::new(&bs).unwrap();
+            let first = fabric.run(&input[..split]);
+            let second = fabric.run_with(
+                &input[split..],
+                &RunOptions { resume: first.snapshot.clone(), ..Default::default() },
+            );
+            let mut stitched = first.events.clone();
+            stitched.extend(second.events.iter().copied());
+            assert_eq!(stitched, full.events, "split at {split}");
+            assert_eq!(
+                second.snapshot.as_ref().unwrap().symbol_counter,
+                input.len() as u64
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_size_accounting() {
+        let bs = routed_pair();
+        let report = Fabric::new(&bs).unwrap().run(b"ab");
+        let snap = report.snapshot.unwrap();
+        assert_eq!(snap.active_vectors.len(), 2);
+        assert_eq!(snap.size_bytes(), 8 + 64);
+    }
+
+    #[test]
+    fn output_entries_carry_cbox_fields() {
+        let bs = single_partition();
+        let mut fabric = Fabric::new(&bs).unwrap();
+        let report = fabric.run_with(
+            b"zabz",
+            &RunOptions { collect_entries: true, ..Default::default() },
+        );
+        assert_eq!(report.entries.len(), 1);
+        let e = report.entries[0];
+        assert_eq!(e.partition, 0);
+        assert_eq!(e.column, 1);
+        assert_eq!(e.symbol, b'b');
+        assert_eq!(e.symbol_counter, 2);
+        assert_eq!(e.code, ReportCode(0));
+        // entries are off by default
+        assert!(fabric.run(b"zabz").entries.is_empty());
+    }
+
+    #[test]
+    fn traced_run_matches_untraced() {
+        let bs = routed_pair();
+        let input = b"zabzzabab";
+        let plain = Fabric::new(&bs).unwrap().run(input);
+        let mut sink = Vec::new();
+        let traced = Fabric::new(&bs)
+            .unwrap()
+            .run_traced(input, &RunOptions::default(), &mut sink)
+            .unwrap();
+        assert_eq!(plain.events, traced.events);
+        assert_eq!(plain.stats.matched_total, traced.stats.matched_total);
+        assert_eq!(plain.stats.cycles, traced.stats.cycles);
+        assert_eq!(plain.stats.g1_signals, traced.stats.g1_signals);
+        let text = String::from_utf8(sink).unwrap();
+        assert_eq!(text.lines().count(), input.len());
+        assert!(text.contains("sym 0x61 'a'"));
+        assert!(text.contains("reports: r7@p1c0"));
+    }
+
+    #[test]
+    fn drain_penalty_adds_stall_cycles() {
+        let bs = single_partition();
+        let input: Vec<u8> = b"ab".repeat(130); // 130 reports -> 2 interrupts
+        let base = Fabric::new(&bs).unwrap().run(&input);
+        let stalled = Fabric::new(&bs).unwrap().run_with(
+            &input,
+            &RunOptions { drain_penalty_cycles: 50, ..Default::default() },
+        );
+        assert_eq!(stalled.stats.output_interrupts, 2);
+        assert_eq!(stalled.stats.cycles, base.stats.cycles + 100);
+        assert_eq!(stalled.events, base.events, "backpressure must not change matches");
+    }
+
+    #[test]
+    fn avg_active_states_counts_matches() {
+        let mut fabric = Fabric::new(&single_partition()).unwrap();
+        let report = fabric.run(b"aaaa");
+        // 'a' matches every cycle (col 0); 'b' never.
+        assert_eq!(report.stats.matched_total, 4);
+        assert_eq!(report.stats.avg_active_states(), 1.0);
+    }
+}

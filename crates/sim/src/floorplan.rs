@@ -1,0 +1,211 @@
+//! Slice floorplan: physical coordinates and wire distances.
+//!
+//! The paper assumes a 3.19 mm × 3 mm LLC slice (§5.1) and derates its
+//! global-wire delay with a worst-case 1.5 mm array↔G-switch distance.
+//! This module lays the automata ways out explicitly — the CBOX and the
+//! G-switches in the slice center, sub-arrays in two columns of ways on
+//! either side — so the wire distance of every partition, and therefore a
+//! *mapping-aware* achievable frequency, can be computed instead of
+//! assumed. Used by the `experiments` harness's floorplan ablation and
+//! available to callers who want placement-sensitive timing.
+
+use crate::geometry::{CacheGeometry, PartitionLocation};
+use crate::switch_model::SwitchSpec;
+use crate::timing::{state_match_ps, PipelineTiming, TimingParams, WireLayer};
+use crate::DesignKind;
+
+/// Physical dimensions of one LLC slice (paper §5.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Floorplan {
+    /// Slice width in mm.
+    pub width_mm: f64,
+    /// Slice height in mm.
+    pub height_mm: f64,
+    /// Ways per column of the slice layout (Xeon E5: 10 ways per side).
+    pub ways_per_column: usize,
+}
+
+impl Default for Floorplan {
+    fn default() -> Floorplan {
+        Floorplan { width_mm: 3.19, height_mm: 3.0, ways_per_column: 10 }
+    }
+}
+
+/// A point on the slice, in mm from the bottom-left corner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Horizontal position (mm).
+    pub x: f64,
+    /// Vertical position (mm).
+    pub y: f64,
+}
+
+impl Point {
+    /// Manhattan distance to `other` (wires are routed rectilinearly).
+    pub fn manhattan(&self, other: &Point) -> f64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+}
+
+impl Floorplan {
+    /// The CBOX / G-switch location: the slice center.
+    pub fn center(&self) -> Point {
+        Point { x: self.width_mm / 2.0, y: self.height_mm / 2.0 }
+    }
+
+    /// Coordinates of a partition's SRAM arrays.
+    ///
+    /// Ways alternate left/right of the central CBOX column; sub-arrays
+    /// stack vertically within a way, with the two halves of a sub-array
+    /// side by side.
+    pub fn partition_point(&self, geom: &CacheGeometry, loc: &PartitionLocation) -> Point {
+        let way = loc.way as usize;
+        let side = way % 2; // 0 = left column, 1 = right column
+        // Automata ways are allocated center-out (CAT lets the OS pick
+        // which ways the NFA owns, and central ways minimize wire delay).
+        let rows = self.ways_per_column.div_ceil(2).max(1);
+        let center_row = rows / 2;
+        let k = way / 2;
+        let offset = k.div_ceil(2) as isize * if k % 2 == 1 { 1 } else { -1 };
+        let row_in_column =
+            (center_row as isize + offset).rem_euclid(rows as isize) as usize;
+        let column_width = self.width_mm / 2.0;
+        // x: middle of the way's horizontal span, offset by half position
+        let way_x = if side == 0 { column_width * 0.5 } else { self.width_mm - column_width * 0.5 };
+        let half_offset =
+            (loc.half as f64 - 0.5) * (column_width / 4.0) / geom.partitions_per_subarray as f64;
+        // y: sub-array position within the way's vertical span
+        let way_height = self.height_mm / rows as f64;
+        let way_y0 = row_in_column as f64 * way_height;
+        let sub_y = (loc.subarray as f64 + 0.5) / geom.subarrays_per_way as f64 * way_height;
+        Point { x: way_x + half_offset, y: way_y0 + sub_y }
+    }
+
+    /// Wire distance from a partition to the central G-switch (mm).
+    pub fn gswitch_distance_mm(&self, geom: &CacheGeometry, loc: &PartitionLocation) -> f64 {
+        self.partition_point(geom, loc).manhattan(&self.center())
+    }
+
+    /// The worst-case array↔G-switch distance over a set of occupied
+    /// partition locations (or over the whole geometry if empty).
+    pub fn worst_distance_mm(
+        &self,
+        geom: &CacheGeometry,
+        occupied: &[PartitionLocation],
+    ) -> f64 {
+        let all: Vec<PartitionLocation>;
+        let locs: &[PartitionLocation] = if occupied.is_empty() {
+            all = (0..geom.partitions_per_slice())
+                .map(|i| PartitionLocation::from_index(geom, i))
+                .collect();
+            &all
+        } else {
+            occupied
+        };
+        locs.iter()
+            .map(|l| self.gswitch_distance_mm(geom, l))
+            .fold(0.0, f64::max)
+    }
+
+    /// Mapping-aware pipeline timing: like
+    /// [`pipeline_timing`](crate::timing::pipeline_timing) but with the
+    /// wire legs set to the worst distance actually occupied by the
+    /// mapping rather than the paper's fixed worst case.
+    pub fn mapping_timing(
+        &self,
+        design: DesignKind,
+        params: &TimingParams,
+        occupied: &[PartitionLocation],
+    ) -> PipelineTiming {
+        let geom = CacheGeometry::for_design(design, 1);
+        let wire_mm = self.worst_distance_mm(&geom, occupied);
+        let gswitch = match design {
+            DesignKind::Performance => SwitchSpec::G1_PERF,
+            DesignKind::Space => SwitchSpec::G4_SPACE,
+        };
+        let wire_ps = wire_mm * WireLayer::GlobalMetal.ps_per_mm();
+        PipelineTiming {
+            design,
+            sa_cycling: true,
+            wire: WireLayer::GlobalMetal,
+            state_match_ps: state_match_ps(params, geom.match_chunks, true),
+            gswitch_ps: wire_ps + gswitch.delay_ps(),
+            lswitch_ps: wire_ps + SwitchSpec::LOCAL.delay_ps(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> CacheGeometry {
+        CacheGeometry::for_design(DesignKind::Performance, 1)
+    }
+
+    #[test]
+    fn every_partition_is_on_die() {
+        let fp = Floorplan::default();
+        let g = geom();
+        for i in 0..g.partitions_per_slice() {
+            let loc = PartitionLocation::from_index(&g, i);
+            let p = fp.partition_point(&g, &loc);
+            assert!((0.0..=fp.width_mm).contains(&p.x), "{loc}: x={}", p.x);
+            assert!((0.0..=fp.height_mm).contains(&p.y), "{loc}: y={}", p.y);
+        }
+    }
+
+    #[test]
+    fn worst_case_distance_matches_paper_assumption() {
+        // The paper assumes a 1.5 mm array-to-G-switch wire on a
+        // 3.19 x 3 mm slice (a Euclidean engineering estimate); the
+        // explicit center-out layout's worst *Manhattan* route is the same
+        // order of magnitude.
+        let fp = Floorplan::default();
+        let worst = fp.worst_distance_mm(&geom(), &[]);
+        assert!(
+            (1.2..=2.5).contains(&worst),
+            "worst distance {worst} mm should be commensurate with the paper's 1.5 mm"
+        );
+    }
+
+    #[test]
+    fn central_partitions_are_closer() {
+        let fp = Floorplan::default();
+        let g = geom();
+        // way 0 is allocated centermost (center-out ordering); way 6 sits
+        // toward the edge.
+        let near = PartitionLocation::from_index(&g, 4);
+        let far = PartitionLocation::from_index(&g, 6 * g.partitions_per_way());
+        assert!(
+            fp.gswitch_distance_mm(&g, &near) < fp.gswitch_distance_mm(&g, &far),
+            "center should beat the edge"
+        );
+    }
+
+    #[test]
+    fn compact_mappings_can_clock_faster() {
+        let fp = Floorplan::default();
+        let g = geom();
+        let params = TimingParams::default();
+        // occupy only the most central way...
+        let central: Vec<PartitionLocation> = (0..g.partitions_per_way())
+            .map(|s| PartitionLocation::from_index(&g, 4 * g.partitions_per_way() + s))
+            .collect();
+        let compact = fp.mapping_timing(DesignKind::Performance, &params, &central);
+        // ...vs the full slice
+        let spread = fp.mapping_timing(DesignKind::Performance, &params, &[]);
+        assert!(compact.gswitch_ps < spread.gswitch_ps);
+        assert!(compact.max_freq_ghz() >= spread.max_freq_ghz());
+        // state-match is placement-independent and still the bottleneck
+        assert_eq!(compact.state_match_ps, spread.state_match_ps);
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        let a = Point { x: 0.0, y: 0.0 };
+        let b = Point { x: 1.5, y: 2.0 };
+        assert!((a.manhattan(&b) - 3.5).abs() < 1e-12);
+        assert_eq!(a.manhattan(&a), 0.0);
+    }
+}

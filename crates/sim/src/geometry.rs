@@ -1,0 +1,327 @@
+//! Last-level-cache geometry, modeled after the Xeon E5 slice of Figure 2.
+//!
+//! The physical hierarchy (paper §2.4):
+//!
+//! * an LLC **slice** is 2.5 MB with a central CBOX, organized in 20
+//!   columns (**ways**);
+//! * a way holds eight 16 KB **data sub-arrays** plus a tag array;
+//! * a 16 KB sub-array is two independent 8 KB chunks, each split into two
+//!   256×128 6T SRAM **arrays** (`Array_H` / `Array_L`) that share 32 sense
+//!   amplifiers (8-way column multiplexing);
+//! * a **partition** is 256 STEs stored in two 4 KB arrays, served by one
+//!   280×256 local switch.
+//!
+//! The performance-optimized design (CA_P) maps STEs only to arrays with
+//! address bit `A[16] = 0` (one partition per sub-array, 64 per slice); the
+//! space-optimized design (CA_S) uses both halves (128 per slice) at the
+//! cost of deeper sense-amp sharing.
+
+use std::fmt;
+
+/// Which of the two evaluated Cache Automaton designs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DesignKind {
+    /// CA_P: performance-optimized (2 GHz, connectivity within a way).
+    #[default]
+    Performance,
+    /// CA_S: space-optimized (1.2 GHz, prefix-merged NFAs, 4-way G-switch).
+    Space,
+}
+
+impl DesignKind {
+    /// The paper's abbreviation: `CA_P` or `CA_S`.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            DesignKind::Performance => "CA_P",
+            DesignKind::Space => "CA_S",
+        }
+    }
+}
+
+impl fmt::Display for DesignKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+/// STEs per partition (one 256-column SRAM array pair).
+pub const STES_PER_PARTITION: usize = 256;
+
+/// Bits per STE column (one-hot over the 8-bit alphabet).
+pub const BITS_PER_STE: usize = 256;
+
+/// Bytes of cache an allocated partition occupies (256 STEs x 256 bits).
+pub const PARTITION_BYTES: usize = STES_PER_PARTITION * BITS_PER_STE / 8;
+
+/// Geometry of the automata-capable portion of the LLC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// LLC slices available to the automaton (Xeon E5: 8–16 on die).
+    pub slices: usize,
+    /// Ways per slice dedicated to NFA state (paper prototype: 8 of 20).
+    pub automata_ways: usize,
+    /// 16 KB data sub-arrays per way.
+    pub subarrays_per_way: usize,
+    /// Partitions usable per sub-array (1 for CA_P, 2 for CA_S).
+    pub partitions_per_subarray: usize,
+    /// Column-multiplex chunks read per state-match (4 for CA_P, 8 for CA_S).
+    pub match_chunks: u32,
+    /// Ways bridged by one G-switch-4 (0 disables cross-way routing: CA_P).
+    pub gswitch4_ways: usize,
+    /// STE ports from each partition into the per-way G-switch-1.
+    pub g1_ports: usize,
+    /// STE ports from each partition into the cross-way G-switch-4.
+    pub g4_ports: usize,
+}
+
+impl CacheGeometry {
+    /// Geometry of the paper's design point for `design`, with `slices`
+    /// slices enabled.
+    pub fn for_design(design: DesignKind, slices: usize) -> CacheGeometry {
+        match design {
+            DesignKind::Performance => CacheGeometry {
+                slices,
+                automata_ways: 8,
+                subarrays_per_way: 8,
+                partitions_per_subarray: 1,
+                match_chunks: 4,
+                gswitch4_ways: 0,
+                g1_ports: 16,
+                g4_ports: 0,
+            },
+            DesignKind::Space => CacheGeometry {
+                slices,
+                automata_ways: 8,
+                subarrays_per_way: 8,
+                partitions_per_subarray: 2,
+                match_chunks: 8,
+                gswitch4_ways: 4,
+                g1_ports: 16,
+                g4_ports: 8,
+            },
+        }
+    }
+
+    /// Partitions per way.
+    pub fn partitions_per_way(&self) -> usize {
+        self.subarrays_per_way * self.partitions_per_subarray
+    }
+
+    /// Partitions per slice.
+    pub fn partitions_per_slice(&self) -> usize {
+        self.automata_ways * self.partitions_per_way()
+    }
+
+    /// Total partitions across all slices.
+    pub fn total_partitions(&self) -> usize {
+        self.slices * self.partitions_per_slice()
+    }
+
+    /// Total STE capacity.
+    pub fn total_stes(&self) -> usize {
+        self.total_partitions() * STES_PER_PARTITION
+    }
+
+    /// Cache bytes consumed when `partitions` partitions are allocated.
+    pub fn utilization_bytes(&self, partitions: usize) -> usize {
+        partitions * PARTITION_BYTES
+    }
+
+    /// G-switch-1 instances (one per way per slice).
+    pub fn g1_switch_count(&self) -> usize {
+        self.slices * self.automata_ways
+    }
+
+    /// G-switch-4 instances (one per `gswitch4_ways` ways, per slice).
+    pub fn g4_switch_count(&self) -> usize {
+        if self.gswitch4_ways == 0 {
+            0
+        } else {
+            self.slices * self.automata_ways.div_ceil(self.gswitch4_ways)
+        }
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.slices == 0 || self.automata_ways == 0 || self.subarrays_per_way == 0 {
+            return Err("geometry has a zero dimension".into());
+        }
+        if !(1..=2).contains(&self.partitions_per_subarray) {
+            return Err(format!(
+                "partitions_per_subarray must be 1 or 2, got {}",
+                self.partitions_per_subarray
+            ));
+        }
+        if self.g1_ports + self.g4_ports > STES_PER_PARTITION {
+            return Err("more G-switch ports than STEs in a partition".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for CacheGeometry {
+    /// CA_P geometry with a single slice.
+    fn default() -> CacheGeometry {
+        CacheGeometry::for_design(DesignKind::Performance, 1)
+    }
+}
+
+/// Physical location of a partition inside the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PartitionLocation {
+    /// Slice index.
+    pub slice: u32,
+    /// Way within the slice.
+    pub way: u32,
+    /// Sub-array within the way.
+    pub subarray: u32,
+    /// Half of the sub-array (0 = `Array_L`, 1 = `Array_H`).
+    pub half: u32,
+}
+
+impl PartitionLocation {
+    /// Location of the `index`-th partition in `geom`, counting
+    /// half-major within sub-array, sub-array within way, way within slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= geom.total_partitions()`.
+    pub fn from_index(geom: &CacheGeometry, index: usize) -> PartitionLocation {
+        assert!(index < geom.total_partitions(), "partition index out of range");
+        let per_slice = geom.partitions_per_slice();
+        let per_way = geom.partitions_per_way();
+        let slice = index / per_slice;
+        let in_slice = index % per_slice;
+        let way = in_slice / per_way;
+        let in_way = in_slice % per_way;
+        let subarray = in_way / geom.partitions_per_subarray;
+        let half = in_way % geom.partitions_per_subarray;
+        PartitionLocation {
+            slice: slice as u32,
+            way: way as u32,
+            subarray: subarray as u32,
+            half: half as u32,
+        }
+    }
+
+    /// `true` if `self` and `other` share a way (G-switch-1 reachable).
+    pub fn same_way(&self, other: &PartitionLocation) -> bool {
+        self.slice == other.slice && self.way == other.way
+    }
+
+    /// `true` if `self` and `other` are G-switch-4 routable.
+    ///
+    /// Each 512×512 G4 switch physically bridges [`CacheGeometry::gswitch4_ways`]
+    /// ways; the G4 switches of one slice are chained through the CBOX, so
+    /// the routable domain is the whole slice. (The paper sizes the G4 for
+    /// 4 ways but maps space-optimized components larger than 4 ways'
+    /// capacity — e.g. Brill's 26 K-state merged component — which requires
+    /// exactly this slice-level chaining; see DESIGN.md.)
+    pub fn same_g4_group(&self, other: &PartitionLocation, geom: &CacheGeometry) -> bool {
+        geom.gswitch4_ways != 0 && self.slice == other.slice
+    }
+}
+
+impl fmt::Display for PartitionLocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slice{}/way{}/sub{}/h{}", self.slice, self.way, self.subarray, self.half)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_capacities() {
+        // CA_P: 64 partitions/slice = 16K STEs; 8 slices = 128K STEs in 8
+        // ways (the paper's prototype capacity, Section 5.3).
+        let p = CacheGeometry::for_design(DesignKind::Performance, 8);
+        assert_eq!(p.partitions_per_slice(), 64);
+        assert_eq!(p.total_stes(), 128 * 1024);
+        // CA_S doubles density per slice.
+        let s = CacheGeometry::for_design(DesignKind::Space, 1);
+        assert_eq!(s.partitions_per_slice(), 128);
+        assert_eq!(s.total_stes(), 32 * 1024);
+    }
+
+    #[test]
+    fn partition_bytes_are_8kb() {
+        assert_eq!(PARTITION_BYTES, 8 * 1024);
+        let g = CacheGeometry::default();
+        assert_eq!(g.utilization_bytes(3), 24 * 1024);
+    }
+
+    #[test]
+    fn switch_counts() {
+        let p = CacheGeometry::for_design(DesignKind::Performance, 1);
+        assert_eq!(p.g1_switch_count(), 8);
+        assert_eq!(p.g4_switch_count(), 0);
+        let s = CacheGeometry::for_design(DesignKind::Space, 1);
+        assert_eq!(s.g1_switch_count(), 8);
+        assert_eq!(s.g4_switch_count(), 2); // 8 ways / 4
+    }
+
+    #[test]
+    fn locations_round_trip() {
+        let g = CacheGeometry::for_design(DesignKind::Space, 2);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..g.total_partitions() {
+            let loc = PartitionLocation::from_index(&g, i);
+            assert!((loc.slice as usize) < 2);
+            assert!((loc.way as usize) < g.automata_ways);
+            assert!((loc.subarray as usize) < g.subarrays_per_way);
+            assert!((loc.half as usize) < g.partitions_per_subarray);
+            assert!(seen.insert(loc), "duplicate location {loc}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn location_out_of_range_panics() {
+        let g = CacheGeometry::default();
+        PartitionLocation::from_index(&g, g.total_partitions());
+    }
+
+    #[test]
+    fn way_and_g4_grouping() {
+        let g = CacheGeometry::for_design(DesignKind::Space, 1);
+        let a = PartitionLocation::from_index(&g, 0);
+        let b = PartitionLocation::from_index(&g, g.partitions_per_way() - 1);
+        let c = PartitionLocation::from_index(&g, g.partitions_per_way());
+        assert!(a.same_way(&b));
+        assert!(!a.same_way(&c));
+        assert!(a.same_g4_group(&c, &g)); // ways 0 and 1 share a G4 group
+        let far = PartitionLocation::from_index(&g, 5 * g.partitions_per_way());
+        assert!(a.same_g4_group(&far, &g)); // chained G4s span the slice
+        let g2 = CacheGeometry::for_design(DesignKind::Space, 2);
+        let other_slice = PartitionLocation::from_index(&g2, g2.partitions_per_slice());
+        assert!(!a.same_g4_group(&other_slice, &g2)); // but never cross-slice
+        // CA_P has no G4 at all
+        let gp = CacheGeometry::for_design(DesignKind::Performance, 1);
+        let pa = PartitionLocation::from_index(&gp, 0);
+        let pb = PartitionLocation::from_index(&gp, 8);
+        assert!(!pa.same_g4_group(&pb, &gp));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(CacheGeometry::default().validate().is_ok());
+        let mut g = CacheGeometry::default();
+        g.partitions_per_subarray = 3;
+        assert!(g.validate().is_err());
+        let mut g = CacheGeometry::default();
+        g.g1_ports = 300;
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn design_kind_display() {
+        assert_eq!(DesignKind::Performance.to_string(), "CA_P");
+        assert_eq!(DesignKind::Space.to_string(), "CA_S");
+    }
+}

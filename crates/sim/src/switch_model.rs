@@ -1,0 +1,175 @@
+//! Circuit model of the 8T cross-point switches (paper §2.7, Table 2).
+//!
+//! The paper characterizes four switch sizes with a 28 nm foundry memory
+//! compiler. Those published points are anchors; other sizes are
+//! interpolated (delay ~ linear in port count, energy/bit ~ linear, area ~
+//! quadratic in the cross-point count), which is the expected scaling for a
+//! wired-AND crossbar built from push-rule 8T bit cells.
+
+use std::fmt;
+
+/// Dimensions of a crossbar switch: `inputs` x `outputs` 1-bit ports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SwitchSpec {
+    /// Input wires.
+    pub inputs: u32,
+    /// Output wires.
+    pub outputs: u32,
+}
+
+/// Published Table 2 anchor points: (inputs, outputs, delay ps,
+/// energy pJ/bit, area mm^2).
+const ANCHORS: &[(u32, u32, f64, f64, f64)] = &[
+    (128, 128, 128.0, 0.16, 0.011),
+    (256, 256, 163.0, 0.19, 0.032),
+    (280, 256, 163.5, 0.191, 0.033),
+    (512, 512, 327.0, 0.381, 0.1293),
+];
+
+impl SwitchSpec {
+    /// The local switch serving one 256-STE partition (280 inputs = 256
+    /// STEs + 16 G1 ports + 8 G4 ports).
+    pub const LOCAL: SwitchSpec = SwitchSpec { inputs: 280, outputs: 256 };
+
+    /// The per-way global switch of the performance design.
+    pub const G1_PERF: SwitchSpec = SwitchSpec { inputs: 128, outputs: 128 };
+
+    /// The per-way global switch of the space design.
+    pub const G1_SPACE: SwitchSpec = SwitchSpec { inputs: 256, outputs: 256 };
+
+    /// The 4-way global switch of the space design.
+    pub const G4_SPACE: SwitchSpec = SwitchSpec { inputs: 512, outputs: 512 };
+
+    /// Creates a switch spec.
+    pub fn new(inputs: u32, outputs: u32) -> SwitchSpec {
+        SwitchSpec { inputs, outputs }
+    }
+
+    /// Characteristic size used for scaling: the larger port count.
+    fn size(&self) -> f64 {
+        self.inputs.max(self.outputs) as f64
+    }
+
+    fn anchor(&self) -> Option<(f64, f64, f64)> {
+        ANCHORS
+            .iter()
+            .find(|&&(i, o, ..)| i == self.inputs && o == self.outputs)
+            .map(|&(_, _, d, e, a)| (d, e, a))
+    }
+
+    /// Interpolates `f(size)` between the published anchor sizes
+    /// (extrapolating proportionally beyond the table).
+    fn interpolate(&self, field: fn(&(u32, u32, f64, f64, f64)) -> f64) -> f64 {
+        let n = self.size();
+        // anchor sizes in ascending order: 128, 256, 280, 512
+        let pts: Vec<(f64, f64)> = ANCHORS
+            .iter()
+            .map(|a| ((a.0.max(a.1)) as f64, field(a)))
+            .collect();
+        if n <= pts[0].0 {
+            return pts[0].1 * n / pts[0].0;
+        }
+        for w in pts.windows(2) {
+            let ((x0, y0), (x1, y1)) = (w[0], w[1]);
+            if n <= x1 {
+                return y0 + (y1 - y0) * (n - x0) / (x1 - x0);
+            }
+        }
+        let (xl, yl) = *pts.last().expect("anchors non-empty");
+        yl * n / xl
+    }
+
+    /// Propagation delay in picoseconds.
+    ///
+    /// Published sizes return the exact Table 2 value.
+    pub fn delay_ps(&self) -> f64 {
+        if let Some((d, _, _)) = self.anchor() {
+            return d;
+        }
+        self.interpolate(|a| a.2)
+    }
+
+    /// Traversal energy in pJ per bit.
+    pub fn energy_pj_per_bit(&self) -> f64 {
+        if let Some((_, e, _)) = self.anchor() {
+            return e;
+        }
+        self.interpolate(|a| a.3)
+    }
+
+    /// Layout area in mm^2 (scales with the cross-point count off-anchor).
+    pub fn area_mm2(&self) -> f64 {
+        if let Some((_, _, a)) = self.anchor() {
+            return a;
+        }
+        // area ~ cross-points; normalize against the 256x256 anchor
+        let base = 0.032 / (256.0 * 256.0);
+        base * self.inputs as f64 * self.outputs as f64
+    }
+
+    /// Configuration bits stored in the switch (one enable per cross-point).
+    pub fn config_bits(&self) -> u64 {
+        self.inputs as u64 * self.outputs as u64
+    }
+}
+
+impl fmt::Display for SwitchSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.inputs, self.outputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_match_table2_exactly() {
+        assert_eq!(SwitchSpec::LOCAL.delay_ps(), 163.5);
+        assert_eq!(SwitchSpec::LOCAL.energy_pj_per_bit(), 0.191);
+        assert_eq!(SwitchSpec::LOCAL.area_mm2(), 0.033);
+        assert_eq!(SwitchSpec::G1_PERF.delay_ps(), 128.0);
+        assert_eq!(SwitchSpec::G1_PERF.energy_pj_per_bit(), 0.16);
+        assert_eq!(SwitchSpec::G1_PERF.area_mm2(), 0.011);
+        assert_eq!(SwitchSpec::G1_SPACE.delay_ps(), 163.0);
+        assert_eq!(SwitchSpec::G4_SPACE.delay_ps(), 327.0);
+        assert_eq!(SwitchSpec::G4_SPACE.area_mm2(), 0.1293);
+    }
+
+    #[test]
+    fn interpolation_is_monotone() {
+        let sizes = [64u32, 128, 192, 256, 300, 400, 512, 768];
+        let mut last = 0.0;
+        for &s in &sizes {
+            let d = SwitchSpec::new(s, s).delay_ps();
+            assert!(d > last, "delay not monotone at {s}: {d} <= {last}");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn small_switches_are_cheap() {
+        let s = SwitchSpec::new(64, 64);
+        assert!(s.delay_ps() < 128.0);
+        assert!(s.area_mm2() < 0.011);
+        assert!(s.energy_pj_per_bit() < 0.16);
+    }
+
+    #[test]
+    fn extrapolation_beyond_512() {
+        let s = SwitchSpec::new(1024, 1024);
+        assert!(s.delay_ps() > 327.0);
+        assert!(s.area_mm2() > 0.1293);
+    }
+
+    #[test]
+    fn config_bits_count_cross_points() {
+        assert_eq!(SwitchSpec::LOCAL.config_bits(), 280 * 256);
+        assert_eq!(SwitchSpec::new(2, 3).config_bits(), 6);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SwitchSpec::LOCAL.to_string(), "280x256");
+    }
+}

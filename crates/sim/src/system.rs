@@ -1,0 +1,119 @@
+//! System integration model (§2.9): cache sharing through CAT and the
+//! power governor's scheduling hints.
+//!
+//! The paper runs NFA computation in 4–8 of each slice's 20 ways, leaving
+//! the rest to ordinary processes via Intel Cache Allocation Technology,
+//! and requires the OS scheduler to keep the combined package power under
+//! TDP using coarse peak-power hints derived by the compiler from average
+//! active-partition counts.
+
+use crate::energy::{peak_power_w, EnergyParams};
+use crate::geometry::{CacheGeometry, DesignKind};
+use crate::switch_model::SwitchSpec;
+
+/// Host/system parameters (defaults: Xeon E5-2600 v3, the paper's host).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemConfig {
+    /// Package thermal design power, watts.
+    pub tdp_w: f64,
+    /// Total LLC ways per slice (automata + regular cache).
+    pub llc_ways_per_slice: usize,
+    /// LLC capacity per slice, MB.
+    pub slice_mb: f64,
+}
+
+impl Default for SystemConfig {
+    fn default() -> SystemConfig {
+        SystemConfig { tdp_w: 160.0, llc_ways_per_slice: 20, slice_mb: 2.5 }
+    }
+}
+
+/// What the rest of the system keeps while the automaton runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SharingReport {
+    /// LLC ways per slice left to ordinary cache traffic.
+    pub cache_ways_remaining: usize,
+    /// LLC capacity left to ordinary cache traffic, MB (all slices).
+    pub cache_mb_remaining: f64,
+    /// Worst-case automaton power (every partition active every cycle), W.
+    pub peak_power_w: f64,
+    /// TDP headroom left for the cores at automaton peak, W.
+    pub tdp_headroom_w: f64,
+    /// `true` if the automaton alone stays under TDP (it always should;
+    /// the paper notes peak power is high but well under the 160 W TDP).
+    pub fits_tdp: bool,
+}
+
+/// Computes the CAT sharing and power picture for a geometry at an
+/// operating frequency.
+pub fn sharing_report(
+    geom: &CacheGeometry,
+    system: &SystemConfig,
+    design: DesignKind,
+    freq_ghz: f64,
+) -> SharingReport {
+    let peak = peak_power_w(geom, design, &EnergyParams::default(), freq_ghz);
+    let ways_remaining = system.llc_ways_per_slice.saturating_sub(geom.automata_ways);
+    SharingReport {
+        cache_ways_remaining: ways_remaining,
+        cache_mb_remaining: ways_remaining as f64 / system.llc_ways_per_slice as f64
+            * system.slice_mb
+            * geom.slices as f64,
+        peak_power_w: peak,
+        tdp_headroom_w: system.tdp_w - peak,
+        fits_tdp: peak < system.tdp_w,
+    }
+}
+
+/// The compiler's coarse scheduling hint (§2.9): expected automaton power
+/// from the average active-partition count of representative inputs.
+pub fn scheduler_hint_w(avg_active_partitions: f64, freq_ghz: f64) -> f64 {
+    let per_partition_pj = EnergyParams::default().array_access_pj
+        + SwitchSpec::LOCAL.energy_pj_per_bit() * SwitchSpec::LOCAL.outputs as f64;
+    avg_active_partitions * per_partition_pj * freq_ghz / 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::design_timing;
+
+    #[test]
+    fn prototype_stays_under_tdp() {
+        // Paper §5.3: the 8-way, 8-slice CA_P prototype peaks near 75 W,
+        // "much lower than TDP of the processor at 160W".
+        let geom = CacheGeometry::for_design(DesignKind::Performance, 8);
+        let r = sharing_report(
+            &geom,
+            &SystemConfig::default(),
+            DesignKind::Performance,
+            design_timing(DesignKind::Performance).operating_freq_ghz(),
+        );
+        assert!(r.fits_tdp);
+        assert!((r.peak_power_w - 72.6).abs() < 3.0, "peak {}", r.peak_power_w);
+        assert!(r.tdp_headroom_w > 80.0);
+    }
+
+    #[test]
+    fn cat_leaves_12_ways_for_the_cache() {
+        let geom = CacheGeometry::for_design(DesignKind::Performance, 8);
+        let r = sharing_report(&geom, &SystemConfig::default(), DesignKind::Performance, 2.0);
+        assert_eq!(r.cache_ways_remaining, 12);
+        // 12/20 of 2.5 MB x 8 slices = 12 MB
+        assert!((r.cache_mb_remaining - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scheduler_hint_scales_with_activity() {
+        let idle = scheduler_hint_w(0.0, 2.0);
+        let busy = scheduler_hint_w(64.0, 2.0);
+        assert_eq!(idle, 0.0);
+        // 64 partitions x ~71 pJ x 2 GHz = ~9.1 W
+        assert!((busy - 9.1).abs() < 0.3, "{busy}");
+        // hint at full activity equals the peak-power model
+        let geom = CacheGeometry::for_design(DesignKind::Performance, 8);
+        let full = scheduler_hint_w(geom.total_partitions() as f64, 2.0);
+        let peak = peak_power_w(&geom, DesignKind::Performance, &EnergyParams::default(), 2.0);
+        assert!((full - peak).abs() < 1e-9);
+    }
+}

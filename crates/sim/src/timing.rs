@@ -1,0 +1,249 @@
+//! Pipeline timing model (paper §2.5–2.6, Tables 3 and 4).
+//!
+//! The three pipeline stages are state-match (SRAM read), G-switch
+//! propagation and L-switch propagation; the clock period is the slowest
+//! stage. Constants are calibrated so the canonical configurations
+//! reproduce the published stage delays exactly:
+//!
+//! | design | state-match | G-switch | L-switch | max freq | operated |
+//! |--------|------------|----------|----------|----------|----------|
+//! | CA_P   | 438 ps     | 227 ps   | 263 ps   | ~2.3 GHz | 2.0 GHz  |
+//! | CA_S   | 687 ps     | 468 ps   | 304 ps   | ~1.4 GHz | 1.2 GHz  |
+//!
+//! and the Table 4 ablations (no sense-amp cycling → 1 GHz / 500 MHz;
+//! H-Bus wires → 1.5 GHz / 1 GHz) fall out of the same formulas.
+
+use crate::geometry::{CacheGeometry, DesignKind};
+use crate::switch_model::SwitchSpec;
+use std::fmt;
+
+/// Wire layer used between arrays and switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WireLayer {
+    /// Repeated 4X global metal (66 ps/mm) — the proposed design.
+    #[default]
+    GlobalMetal,
+    /// Reusing the slice's H-Bus interconnect (300 ps/mm) — Table 4
+    /// alternative.
+    HBus,
+}
+
+impl WireLayer {
+    /// Signal velocity in ps per mm.
+    pub fn ps_per_mm(self) -> f64 {
+        match self {
+            WireLayer::GlobalMetal => 66.0,
+            WireLayer::HBus => 300.0,
+        }
+    }
+}
+
+/// Technology and floorplan constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingParams {
+    /// Full SRAM array read cycle at the 4 GHz array limit (ps).
+    pub array_cycle_ps: f64,
+    /// Fixed portion of an optimized read: decode + pre-charge + RWL (ps).
+    pub match_base_ps: f64,
+    /// Per-chunk sense time under sense-amp cycling (ps).
+    pub sense_ps: f64,
+    /// Array-to-G-switch distance for the performance design (mm),
+    /// from the 3.19 mm x 3 mm slice floorplan.
+    pub wire_mm_perf: f64,
+    /// Array-to-G-switch distance for the space design (mm); longer because
+    /// routes span up to 4 ways.
+    pub wire_mm_space: f64,
+}
+
+impl Default for TimingParams {
+    fn default() -> TimingParams {
+        TimingParams {
+            array_cycle_ps: 256.0,
+            match_base_ps: 189.0,
+            sense_ps: 62.25,
+            wire_mm_perf: 1.5,
+            wire_mm_space: 2.13,
+        }
+    }
+}
+
+/// Resolved delays of the three pipeline stages for one configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineTiming {
+    /// Which design the timing describes.
+    pub design: DesignKind,
+    /// Whether the sense-amp cycling optimization is enabled.
+    pub sa_cycling: bool,
+    /// Wire layer assumed for switch interconnect.
+    pub wire: WireLayer,
+    /// Stage 1: state-match (SRAM read of all column-muxed bits), ps.
+    pub state_match_ps: f64,
+    /// Stage 2: G-switch traversal including array-to-switch wire, ps.
+    pub gswitch_ps: f64,
+    /// Stage 3: L-switch traversal including switch-to-array wire, ps.
+    pub lswitch_ps: f64,
+}
+
+impl PipelineTiming {
+    /// Clock period: the slowest pipeline stage, ps.
+    pub fn clock_ps(&self) -> f64 {
+        self.state_match_ps.max(self.gswitch_ps).max(self.lswitch_ps)
+    }
+
+    /// Maximum operating frequency in GHz.
+    pub fn max_freq_ghz(&self) -> f64 {
+        1000.0 / self.clock_ps()
+    }
+
+    /// The frequency the design is operated at.
+    ///
+    /// The paper derates the canonical designs to round figures (CA_P
+    /// 2.3 → 2.0 GHz, CA_S 1.4 → 1.2 GHz); ablation variants are quoted to
+    /// the nearest 0.5 GHz (Table 4), which the same rule reproduces.
+    pub fn operating_freq_ghz(&self) -> f64 {
+        if self.sa_cycling && self.wire == WireLayer::GlobalMetal {
+            return match self.design {
+                DesignKind::Performance => 2.0,
+                DesignKind::Space => 1.2,
+            };
+        }
+        (self.max_freq_ghz() * 2.0).round() / 2.0
+    }
+
+    /// Sustained throughput in Gbit/s: one 8-bit symbol per cycle.
+    pub fn throughput_gbps(&self) -> f64 {
+        self.operating_freq_ghz() * 8.0
+    }
+
+    /// Cycle time at the operating frequency, in picoseconds.
+    pub fn operating_clock_ps(&self) -> f64 {
+        1000.0 / self.operating_freq_ghz()
+    }
+}
+
+impl fmt::Display for PipelineTiming {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: match {:.0} ps | G {:.0} ps | L {:.0} ps -> {:.1} GHz (op {:.1})",
+            self.design,
+            self.state_match_ps,
+            self.gswitch_ps,
+            self.lswitch_ps,
+            self.max_freq_ghz(),
+            self.operating_freq_ghz()
+        )
+    }
+}
+
+/// State-match delay for `chunks`-deep column multiplexing.
+pub fn state_match_ps(params: &TimingParams, chunks: u32, sa_cycling: bool) -> f64 {
+    if sa_cycling {
+        // parallel pre-charge, then cycle the sense amplifiers
+        params.match_base_ps + chunks as f64 * params.sense_ps
+    } else {
+        // one full array cycle per column-mux step
+        chunks as f64 * params.array_cycle_ps
+    }
+}
+
+/// Computes the pipeline timing of a design configuration.
+pub fn pipeline_timing(
+    design: DesignKind,
+    params: &TimingParams,
+    sa_cycling: bool,
+    wire: WireLayer,
+) -> PipelineTiming {
+    let geom = CacheGeometry::for_design(design, 1);
+    let (gswitch, wire_mm) = match design {
+        DesignKind::Performance => (SwitchSpec::G1_PERF, params.wire_mm_perf),
+        DesignKind::Space => (SwitchSpec::G4_SPACE, params.wire_mm_space),
+    };
+    let wire_ps = wire_mm * wire.ps_per_mm();
+    PipelineTiming {
+        design,
+        sa_cycling,
+        wire,
+        state_match_ps: state_match_ps(params, geom.match_chunks, sa_cycling),
+        gswitch_ps: wire_ps + gswitch.delay_ps(),
+        lswitch_ps: wire_ps + SwitchSpec::LOCAL.delay_ps(),
+    }
+}
+
+/// The canonical timing of a design (SA cycling on, global metal).
+pub fn design_timing(design: DesignKind) -> PipelineTiming {
+    pipeline_timing(design, &TimingParams::default(), true, WireLayer::GlobalMetal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn table3_stage_delays() {
+        let p = design_timing(DesignKind::Performance);
+        assert!(close(p.state_match_ps, 438.0, 1.0), "{p}");
+        assert!(close(p.gswitch_ps, 227.0, 1.0), "{p}");
+        assert!(close(p.lswitch_ps, 263.0, 1.0), "{p}");
+        assert_eq!(p.operating_freq_ghz(), 2.0);
+        assert!(close(p.max_freq_ghz(), 2.3, 0.05), "max {}", p.max_freq_ghz());
+
+        let s = design_timing(DesignKind::Space);
+        assert!(close(s.state_match_ps, 687.0, 1.0), "{s}");
+        assert!(close(s.gswitch_ps, 468.0, 2.0), "{s}");
+        assert!(close(s.lswitch_ps, 304.0, 1.0), "{s}");
+        assert_eq!(s.operating_freq_ghz(), 1.2);
+        assert!(close(s.max_freq_ghz(), 1.45, 0.05), "max {}", s.max_freq_ghz());
+    }
+
+    #[test]
+    fn table4_no_sa_cycling() {
+        let params = TimingParams::default();
+        let p = pipeline_timing(DesignKind::Performance, &params, false, WireLayer::GlobalMetal);
+        assert_eq!(p.operating_freq_ghz(), 1.0);
+        let s = pipeline_timing(DesignKind::Space, &params, false, WireLayer::GlobalMetal);
+        assert_eq!(s.operating_freq_ghz(), 0.5);
+    }
+
+    #[test]
+    fn table4_hbus() {
+        let params = TimingParams::default();
+        let p = pipeline_timing(DesignKind::Performance, &params, true, WireLayer::HBus);
+        assert_eq!(p.operating_freq_ghz(), 1.5);
+        let s = pipeline_timing(DesignKind::Space, &params, true, WireLayer::HBus);
+        assert_eq!(s.operating_freq_ghz(), 1.0);
+    }
+
+    #[test]
+    fn throughput_speedups_over_ap() {
+        // AP: 133 MHz, 1 symbol/cycle -> 1.064 Gb/s.
+        let ap_gbps = 0.133 * 8.0;
+        let p = design_timing(DesignKind::Performance).throughput_gbps();
+        let s = design_timing(DesignKind::Space).throughput_gbps();
+        assert!(close(p / ap_gbps, 15.0, 0.1), "CA_P speedup {}", p / ap_gbps);
+        assert!(close(s / ap_gbps, 9.0, 0.1), "CA_S speedup {}", s / ap_gbps);
+    }
+
+    #[test]
+    fn clock_is_slowest_stage() {
+        let t = design_timing(DesignKind::Performance);
+        assert_eq!(t.clock_ps(), t.state_match_ps);
+        assert!(t.operating_clock_ps() >= t.clock_ps());
+    }
+
+    #[test]
+    fn hbus_slower_than_global_metal() {
+        assert!(WireLayer::HBus.ps_per_mm() > WireLayer::GlobalMetal.ps_per_mm());
+    }
+
+    #[test]
+    fn display_smoke() {
+        let s = design_timing(DesignKind::Space).to_string();
+        assert!(s.contains("CA_S"));
+        assert!(s.contains("GHz"));
+    }
+}

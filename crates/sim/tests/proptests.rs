@@ -1,0 +1,141 @@
+//! Property tests for the fabric simulator substrate.
+
+use ca_automata::{CharClass, ReportCode};
+use ca_sim::{
+    emit_pages, load_pages, Bitstream, CacheGeometry, DesignKind, Fabric, Mask256,
+    PartitionImage, PartitionLocation, Route, RouteVia,
+};
+use proptest::prelude::*;
+
+/// Random mask as a set of bit indices.
+fn mask_strategy() -> impl Strategy<Value = Mask256> {
+    prop::collection::vec(any::<u8>(), 0..12).prop_map(|v| v.into_iter().collect())
+}
+
+/// A random valid single-way bitstream: 2-4 partitions in way 0 with
+/// arbitrary labels, local switches and G1 routes.
+fn bitstream_strategy() -> impl Strategy<Value = Bitstream> {
+    let geometry = CacheGeometry::for_design(DesignKind::Performance, 1);
+    let partition = (
+        1usize..12,                                        // STE count
+        prop::collection::vec(any::<u8>(), 1..4),          // label alphabet
+        prop::collection::vec((0usize..12, 0usize..12), 0..20), // local edges
+        prop::bool::ANY,                                   // has start
+    );
+    (prop::collection::vec(partition, 2..4), prop::collection::vec((0usize..4, 0u8..12, 0usize..4), 0..6))
+        .prop_map(move |(parts, raw_routes)| {
+            let mut partitions = Vec::new();
+            for (i, (n, alphabet, edges, start)) in parts.iter().enumerate() {
+                let mut p = PartitionImage::new(PartitionLocation::from_index(&geometry, i));
+                for k in 0..*n {
+                    p.labels.push(CharClass::of(&[alphabet[k % alphabet.len()]]));
+                    p.local.push(Mask256::ZERO);
+                }
+                for &(a, b) in edges {
+                    if a < *n && b < *n {
+                        p.local[a].set(b as u8);
+                    }
+                }
+                if *start || i == 0 {
+                    p.start_all.set(0);
+                }
+                p.reports.push(((n - 1) as u8, ReportCode(i as u32)));
+                partitions.push(p);
+            }
+            let mut routes = Vec::new();
+            for (ri, &(src, ste, dst)) in raw_routes.iter().enumerate() {
+                let (src, dst) = (src % partitions.len(), dst % partitions.len());
+                if src == dst {
+                    continue;
+                }
+                let ste = ste % partitions[src].labels.len() as u8;
+                let port = partitions[dst].import_dest.len() as u8;
+                let mut dest = Mask256::ZERO;
+                dest.set((ri % partitions[dst].labels.len()) as u8);
+                partitions[dst].import_dest.push(dest);
+                routes.push(Route {
+                    src_partition: src as u32,
+                    src_ste: ste,
+                    via: RouteVia::G1,
+                    dst_partition: dst as u32,
+                    dst_port: port,
+                });
+            }
+            Bitstream { design: DesignKind::Performance, geometry, partitions, routes }
+        })
+        .prop_filter("valid", |bs| bs.validate().is_ok())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Configuration pages round-trip losslessly and the reloaded fabric
+    /// behaves identically.
+    #[test]
+    fn pages_roundtrip_preserves_behaviour(
+        bs in bitstream_strategy(),
+        input in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let image = emit_pages(&bs);
+        let back = load_pages(&image).expect("roundtrip");
+        prop_assert!(back.validate().is_ok());
+        prop_assert_eq!(back.ste_count(), bs.ste_count());
+        let a = Fabric::new(&bs).expect("valid").run(&input);
+        let b = Fabric::new(&back).expect("valid").run(&input);
+        prop_assert_eq!(a.events, b.events);
+        prop_assert_eq!(a.stats.matched_total, b.stats.matched_total);
+    }
+
+    /// Truncating any page makes loading fail (no silent corruption).
+    #[test]
+    fn truncated_pages_never_load(bs in bitstream_strategy(), which in any::<prop::sample::Index>()) {
+        let mut image = emit_pages(&bs);
+        let idx = which.index(image.pages.len());
+        let len = image.pages[idx].bytes.len();
+        if len > 0 {
+            image.pages[idx].bytes.truncate(len / 2);
+            // either an error, or (for in-page truncation that still parses
+            // a prefix) a size-mismatch error — never a silent success with
+            // different content
+            if let Ok(back) = load_pages(&image) {
+                prop_assert_eq!(back, load_pages(&emit_pages(&bs)).unwrap());
+            }
+        }
+    }
+
+    /// Suspend/resume at an arbitrary split point is transparent (§2.9).
+    #[test]
+    fn suspend_resume_transparent(
+        bs in bitstream_strategy(),
+        input in prop::collection::vec(any::<u8>(), 0..64),
+        split in any::<prop::sample::Index>(),
+    ) {
+        let full = Fabric::new(&bs).expect("valid").run(&input);
+        let at = split.index(input.len() + 1);
+        let mut fabric = Fabric::new(&bs).expect("valid");
+        let first = fabric.run(&input[..at]);
+        let second = fabric.run_with(
+            &input[at..],
+            &ca_sim::RunOptions { resume: first.snapshot.clone(), ..Default::default() },
+        );
+        let mut stitched = first.events.clone();
+        stitched.extend(second.events.iter().copied());
+        prop_assert_eq!(stitched, full.events);
+        prop_assert_eq!(
+            first.stats.matched_total + second.stats.matched_total,
+            full.stats.matched_total
+        );
+    }
+
+    /// Mask set/iter agreement under arbitrary operations.
+    #[test]
+    fn mask_algebra(a in mask_strategy(), b in mask_strategy()) {
+        let or = a.or(&b);
+        let and = a.and(&b);
+        for bit in 0..=255u8 {
+            prop_assert_eq!(or.get(bit), a.get(bit) || b.get(bit));
+            prop_assert_eq!(and.get(bit), a.get(bit) && b.get(bit));
+        }
+        prop_assert_eq!(or.count() + and.count(), a.count() + b.count());
+    }
+}

@@ -1,0 +1,143 @@
+//! `caworkload` — exports the synthesized evaluation benchmarks as ANML
+//! files plus input traces, for use with `cactl` or any other automata
+//! tool.
+//!
+//! ```text
+//! caworkload list
+//! caworkload export <benchmark|all> <out-dir> [--scale F] [--kib N] [--seed N] [--space]
+//! caworkload stats  <benchmark> [--scale F] [--seed N]
+//! ```
+
+use ca_automata::analysis::connected_components;
+use ca_automata::anml::to_anml;
+use ca_workloads::{Benchmark, Scale};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("caworkload: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(mut args: Vec<String>) -> Result<String, String> {
+    let mut scale = Scale::full();
+    let mut kib = 256usize;
+    let mut seed = 2017u64;
+    let mut space = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                scale = Scale(take(&mut args, i, "--scale")?);
+            }
+            "--kib" => {
+                kib = take(&mut args, i, "--kib")?;
+            }
+            "--seed" => {
+                seed = take(&mut args, i, "--seed")?;
+            }
+            "--space" => {
+                space = true;
+                args.remove(i);
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            _ => i += 1,
+        }
+    }
+    let mut out = String::new();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            for b in Benchmark::all() {
+                let t = b.table1();
+                out.push_str(&format!(
+                    "{:<18} {:>7} states {:>5} components (paper Table 1)\n",
+                    b.name(),
+                    t.states,
+                    t.connected_components
+                ));
+            }
+        }
+        Some("export") => {
+            let [_, which, dir] = args.as_slice() else {
+                return Err("export needs a benchmark name (or 'all') and an output dir".into());
+            };
+            std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+            let targets: Vec<Benchmark> = if which == "all" {
+                Benchmark::all().to_vec()
+            } else {
+                vec![lookup(which)?]
+            };
+            for b in targets {
+                let w = b.build(scale, seed);
+                let nfa = if space { w.space_optimized() } else { w.nfa.clone() };
+                let stem = b.name().to_lowercase();
+                let anml_path = Path::new(dir).join(format!("{stem}.anml"));
+                let trace_path = Path::new(dir).join(format!("{stem}.trace"));
+                std::fs::write(&anml_path, to_anml(&nfa, b.name()))
+                    .map_err(|e| format!("{}: {e}", anml_path.display()))?;
+                std::fs::write(&trace_path, w.input(kib * 1024, seed + 1))
+                    .map_err(|e| format!("{}: {e}", trace_path.display()))?;
+                out.push_str(&format!(
+                    "{:<18} {:>7} states -> {} + {}\n",
+                    b.name(),
+                    nfa.len(),
+                    anml_path.display(),
+                    trace_path.display()
+                ));
+            }
+        }
+        Some("stats") => {
+            let [_, which] = args.as_slice() else {
+                return Err("stats needs a benchmark name".into());
+            };
+            let b = lookup(which)?;
+            let w = b.build(scale, seed);
+            let cc = connected_components(&w.nfa);
+            let merged = w.space_optimized();
+            let t = b.table1();
+            out.push_str(&format!("benchmark      : {}\n", b.name()));
+            out.push_str(&format!("states         : {} (paper {})\n", w.nfa.len(), t.states));
+            out.push_str(&format!(
+                "components     : {} (paper {})\n",
+                cc.len(),
+                t.connected_components
+            ));
+            out.push_str(&format!(
+                "largest        : {} (paper {})\n",
+                cc.largest(),
+                t.largest_cc
+            ));
+            out.push_str(&format!(
+                "space states   : {} (paper {})\n",
+                merged.len(),
+                t.space_states
+            ));
+        }
+        _ => return Err("usage: caworkload <list|export|stats> ...".into()),
+    }
+    Ok(out)
+}
+
+fn take<T: std::str::FromStr>(args: &mut Vec<String>, i: usize, flag: &str) -> Result<T, String> {
+    if i + 1 >= args.len() {
+        return Err(format!("{flag} needs a value"));
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    value.parse().map_err(|_| format!("{flag}: bad value '{value}'"))
+}
+
+fn lookup(name: &str) -> Result<Benchmark, String> {
+    Benchmark::all()
+        .into_iter()
+        .find(|b| b.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown benchmark '{name}' (try 'list')"))
+}

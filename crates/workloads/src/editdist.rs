@@ -1,0 +1,216 @@
+//! Exact constructions: Levenshtein and Hamming distance automata.
+//!
+//! These two ANMLZoo benchmarks are not rule files but parametric automata;
+//! we build them from first principles (the classical edit-distance NFA
+//! lattice) and homogenize them with the toolchain's standard transform —
+//! the same route the original ANML designs took.
+
+use ca_automata::homogenize::homogenize;
+use ca_automata::{CharClass, ClassicalNfa, HomNfa, ReportCode, StartKind};
+
+/// Builds a homogeneous automaton accepting every string within edit
+/// distance `k` (substitutions, insertions, deletions) of `pattern`,
+/// reporting `code` at the end of an occurrence.
+///
+/// The classical construction is the (m+1)x(k+1) lattice; ε-deletions are
+/// eliminated and the result homogenized, exactly matching ANMLZoo's
+/// Levenshtein automata in structure (~`2m(k+1)` STEs).
+///
+/// # Panics
+///
+/// Panics if `pattern` is empty or `k >= pattern.len()` (the automaton
+/// would accept the empty string).
+pub fn levenshtein_nfa(pattern: &[u8], k: usize, code: ReportCode) -> HomNfa {
+    assert!(!pattern.is_empty(), "empty pattern");
+    assert!(k < pattern.len(), "k must be smaller than the pattern length");
+    let m = pattern.len();
+    let mut nfa = ClassicalNfa::new();
+    // state (i, j): consumed i pattern chars with j errors
+    let id = |i: usize, j: usize| (i * (k + 1) + j) as u32;
+    for _ in 0..(m + 1) * (k + 1) {
+        nfa.add_state();
+    }
+    nfa.add_start(id(0, 0));
+    for i in 0..=m {
+        for j in 0..=k {
+            if i < m {
+                let c = CharClass::byte(pattern[i]);
+                // match
+                nfa.add_transition(id(i, j), c, id(i + 1, j));
+                if j < k {
+                    // substitution: consume a wrong symbol, advance
+                    nfa.add_transition(id(i, j), c.negate(), id(i + 1, j + 1));
+                    // deletion: skip a pattern symbol without consuming
+                    nfa.add_epsilon(id(i, j), id(i + 1, j + 1));
+                }
+            }
+            if j < k {
+                // insertion: consume any symbol, no advance
+                nfa.add_transition(id(i, j), CharClass::ALL, id(i, j + 1));
+            }
+        }
+    }
+    for j in 0..=k {
+        nfa.set_accept(id(m, j), code);
+    }
+    let no_eps = nfa.without_epsilon();
+    let hom = homogenize(&no_eps, StartKind::AllInput).expect("lattice homogenizes");
+    // prune states that cannot reach a report (ε-elimination leaves some)
+    let (pruned, _) = ca_automata::optimize::remove_dead_states(&hom);
+    pruned
+}
+
+/// Builds a homogeneous automaton accepting strings within Hamming
+/// distance `k` (substitutions only) of `pattern`.
+///
+/// # Panics
+///
+/// Panics if `pattern` is empty or `k >= pattern.len()`.
+pub fn hamming_nfa(pattern: &[u8], k: usize, code: ReportCode) -> HomNfa {
+    assert!(!pattern.is_empty(), "empty pattern");
+    assert!(k < pattern.len(), "k must be smaller than the pattern length");
+    let m = pattern.len();
+    let mut nfa = ClassicalNfa::new();
+    let id = |i: usize, j: usize| (i * (k + 1) + j) as u32;
+    for _ in 0..(m + 1) * (k + 1) {
+        nfa.add_state();
+    }
+    nfa.add_start(id(0, 0));
+    for i in 0..m {
+        for j in 0..=k {
+            let c = CharClass::byte(pattern[i]);
+            nfa.add_transition(id(i, j), c, id(i + 1, j));
+            if j < k {
+                nfa.add_transition(id(i, j), c.negate(), id(i + 1, j + 1));
+            }
+        }
+    }
+    for j in 0..=k {
+        nfa.set_accept(id(m, j), code);
+    }
+    let hom = homogenize(&nfa, StartKind::AllInput).expect("ladder homogenizes");
+    let (pruned, _) = ca_automata::optimize::remove_dead_states(&hom);
+    pruned
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_automata::engine::{Engine, SparseEngine};
+
+    fn matches(nfa: &HomNfa, input: &[u8]) -> bool {
+        !SparseEngine::new(nfa).run(input).is_empty()
+    }
+
+    #[test]
+    fn levenshtein_accepts_within_distance() {
+        let nfa = levenshtein_nfa(b"kitten", 2, ReportCode(0));
+        assert!(matches(&nfa, b"kitten")); // exact
+        assert!(matches(&nfa, b"sitten")); // 1 substitution
+        assert!(matches(&nfa, b"sittin")); // 2 substitutions
+        assert!(matches(&nfa, b"kiten")); // 1 deletion
+        assert!(matches(&nfa, b"kititen")); // 1 insertion
+        assert!(matches(&nfa, b"xkittenx")); // embedded occurrence
+        // NOTE: "sitting" DOES match unanchored k=2 — its substring
+        // "sittin" is within two substitutions of "kitten".
+        assert!(matches(&nfa, b"sitting"));
+        assert!(!matches(&nfa, b"zzzzzzzz")); // nothing close anywhere
+        assert!(!matches(&nfa, b"dog"));
+    }
+
+    #[test]
+    fn hamming_rejects_indels() {
+        let nfa = hamming_nfa(b"kitten", 2, ReportCode(0));
+        assert!(matches(&nfa, b"kitten"));
+        assert!(matches(&nfa, b"sittin")); // 2 subs
+        // deletions are NOT within Hamming distance; no 6-symbol window of
+        // this 4-symbol string exists, so nothing can match.
+        assert!(!matches(&nfa, b"kien"));
+        assert!(!matches(&nfa, b"xxyyzz"));
+    }
+
+    #[test]
+    fn structure_matches_anmlzoo_scale() {
+        // ANMLZoo Levenshtein: 24 components x ~116 states. With the
+        // homogenized lattice that corresponds to 12-symbol patterns, k=3.
+        let nfa = levenshtein_nfa(b"acgtacgtacgt", 3, ReportCode(0));
+        assert!(
+            (90..=150).contains(&nfa.len()),
+            "unexpected lattice size {}",
+            nfa.len()
+        );
+        // Hamming rows: ~122 states at m=24, k=2.
+        let h = hamming_nfa(b"acgtacgtacgtacgtacgtacgt", 2, ReportCode(0));
+        assert!((100..=140).contains(&h.len()), "unexpected ladder size {}", h.len());
+    }
+
+    #[test]
+    fn distance_zero_is_exact_match() {
+        let nfa = hamming_nfa(b"abc", 0, ReportCode(3));
+        assert!(matches(&nfa, b"abc"));
+        assert!(!matches(&nfa, b"abd"));
+        let ev = SparseEngine::new(&nfa).run(b"zabcz");
+        assert_eq!(ev[0].pos, 3);
+        assert_eq!(ev[0].code, ReportCode(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be smaller")]
+    fn oversized_k_panics() {
+        levenshtein_nfa(b"ab", 2, ReportCode(0));
+    }
+
+    #[test]
+    fn hamming_exhaustive_small() {
+        // all strings of length 4 over {a,b}: distance from "aaaa" is the
+        // count of b's; k=1 accepts <= 1.
+        let nfa = hamming_nfa(b"aaaa", 1, ReportCode(0));
+        for bits in 0..16u32 {
+            let s: Vec<u8> =
+                (0..4).map(|i| if bits >> i & 1 == 1 { b'b' } else { b'a' }).collect();
+            let want = bits.count_ones() <= 1;
+            assert_eq!(matches(&nfa, &s), want, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn levenshtein_exhaustive_small() {
+        // strings over {a,b} length <= 5 vs pattern "aba", k=1: compare to a
+        // reference edit-distance (with the unanchored "substring" rule).
+        fn edit(a: &[u8], b: &[u8]) -> usize {
+            let mut d: Vec<Vec<usize>> = vec![vec![0; b.len() + 1]; a.len() + 1];
+            for (i, row) in d.iter_mut().enumerate() {
+                row[0] = i;
+            }
+            for j in 0..=b.len() {
+                d[0][j] = j;
+            }
+            for i in 1..=a.len() {
+                for j in 1..=b.len() {
+                    let cost = usize::from(a[i - 1] != b[j - 1]);
+                    d[i][j] =
+                        (d[i - 1][j] + 1).min(d[i][j - 1] + 1).min(d[i - 1][j - 1] + cost);
+                }
+            }
+            d[a.len()][b.len()]
+        }
+        let pattern = b"aba";
+        let nfa = levenshtein_nfa(pattern, 1, ReportCode(0));
+        for len in 0..=5usize {
+            for mask in 0..(1u32 << len) {
+                let s: Vec<u8> =
+                    (0..len).map(|i| if mask >> i & 1 == 1 { b'b' } else { b'a' }).collect();
+                // unanchored: any substring within distance 1 counts
+                let mut want = false;
+                for i in 0..=s.len() {
+                    for j in i..=s.len() {
+                        if edit(pattern, &s[i..j]) <= 1 {
+                            want = true;
+                        }
+                    }
+                }
+                assert_eq!(matches(&nfa, &s), want, "input {s:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,439 @@
+//! Regex-pattern synthesizers for the suite's rule-based benchmarks
+//! (Regex suite, Snort, ClamAV, PowerEN, Protomata, ...).
+//!
+//! Each function produces a deterministic pattern list whose compiled
+//! automaton matches the published Table 1 structure (state count within a
+//! few percent, exact component count, comparable largest component).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Lowercase letters and digits — safe in regex literals without escaping.
+pub const ALNUM: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+
+/// The 20 amino-acid one-letter codes (Protomata's alphabet).
+pub const AMINO: &[u8] = b"ACDEFGHIKLMNPQRSTVWY";
+
+/// Draws a literal string of `len` symbols from `alphabet`.
+pub fn literal(rng: &mut StdRng, len: usize, alphabet: &[u8]) -> String {
+    (0..len).map(|_| alphabet[rng.gen_range(0..alphabet.len())] as char).collect()
+}
+
+/// Length mixture: `frac_long` of draws come from the long range.
+fn mixed_len(rng: &mut StdRng, short: (usize, usize), long: (usize, usize), frac_long: f64) -> usize {
+    if rng.gen_bool(frac_long) {
+        rng.gen_range(long.0..=long.1)
+    } else {
+        rng.gen_range(short.0..=short.1)
+    }
+}
+
+/// Draws a pool of shared literal prefixes. Real rule sets share protocol
+/// headers / hex stubs / common words, which is exactly what the paper's
+/// space-optimized flow merges; generators prepend pool prefixes so the
+/// published Table 1 space-column reductions reproduce.
+pub(crate) fn prefix_pool(rng: &mut StdRng, pool: usize, len: usize, alphabet: &[u8]) -> Vec<String> {
+    (0..pool).map(|_| literal(rng, len, alphabet)).collect()
+}
+
+fn pick<'a>(rng: &mut StdRng, pool: &'a [String]) -> &'a str {
+    &pool[rng.gen_range(0..pool.len())]
+}
+
+/// Regex-suite `DotstarNN`: literals with probability `dot_prob` of a `.*`
+/// insertion between adjacent symbols (Becchi et al. workload flavour).
+pub fn dotstar_patterns(rng: &mut StdRng, count: usize, dot_prob: f64) -> Vec<String> {
+    let pool = prefix_pool(rng, 30, 4, ALNUM);
+    (0..count)
+        .map(|_| {
+            let len = mixed_len(rng, (16, 51), (52, 84), 0.10);
+            let mut out = pick(rng, &pool).to_string();
+            for i in 0..len {
+                if i > 0 && rng.gen_bool(dot_prob) {
+                    out.push_str(".*");
+                }
+                out.push(ALNUM[rng.gen_range(0..ALNUM.len())] as char);
+            }
+            out
+        })
+        .collect()
+}
+
+/// Regex-suite `RangesNN`: literals where each symbol becomes a character
+/// range with probability `range_prob`.
+pub fn ranges_patterns(rng: &mut StdRng, count: usize, range_prob: f64) -> Vec<String> {
+    let pool = prefix_pool(rng, 30, 4, ALNUM);
+    (0..count)
+        .map(|_| {
+            let len = mixed_len(rng, (16, 51), (52, 86), 0.10);
+            let mut out = pick(rng, &pool).to_string();
+            for _ in 0..len {
+                if rng.gen_bool(range_prob) {
+                    let lo = rng.gen_range(0..20usize);
+                    let hi = lo + rng.gen_range(1..6usize);
+                    out.push('[');
+                    out.push(ALNUM[lo] as char);
+                    out.push('-');
+                    out.push(ALNUM[hi.min(ALNUM.len() - 1)] as char);
+                    out.push(']');
+                } else {
+                    out.push(ALNUM[rng.gen_range(0..ALNUM.len())] as char);
+                }
+            }
+            out
+        })
+        .collect()
+}
+
+/// Regex-suite `ExactMatch`: plain literals.
+pub fn exact_match_patterns(rng: &mut StdRng, count: usize) -> Vec<String> {
+    let pool = prefix_pool(rng, 30, 4, ALNUM);
+    (0..count)
+        .map(|_| {
+            let len = mixed_len(rng, (16, 51), (52, 78), 0.10);
+            format!("{}{}", pick(rng, &pool), literal(rng, len, ALNUM))
+        })
+        .collect()
+}
+
+/// Bro HTTP signatures: short URI/header tokens with a few long ones.
+pub fn bro_patterns(rng: &mut StdRng, count: usize) -> Vec<String> {
+    let verbs = ["ge", "po", "he", "pu", "de", "op", "tr", "co"];
+    (0..count)
+        .map(|i| {
+            let len = mixed_len(rng, (5, 15), (62, 80), 0.01);
+            let path = literal(rng, len, ALNUM);
+            format!("{}z{}", verbs[i % verbs.len()], path)
+        })
+        .collect()
+}
+
+/// TCP-stream signatures: medium literals, some with long counted gaps
+/// (the suite's 391-state component comes from one such rule).
+pub fn tcp_patterns(rng: &mut StdRng, count: usize) -> Vec<String> {
+    let pool = prefix_pool(rng, 50, 9, ALNUM);
+    (0..count)
+        .map(|i| {
+            if i == 0 {
+                // the giant rule: header then a 380-symbol bounded wildcard
+                format!("{}[^\\n]{{380}}{}", literal(rng, 5, ALNUM), literal(rng, 5, ALNUM))
+            } else if i % 20 == 1 {
+                let gap = rng.gen_range(40..90);
+                format!(
+                    "{}[^\\n]{{{gap}}}{}",
+                    literal(rng, 8, ALNUM),
+                    literal(rng, 8, ALNUM)
+                )
+            } else {
+                let len = rng.gen_range(5..29);
+                format!("{}{}", pick(rng, &pool), literal(rng, len, ALNUM))
+            }
+        })
+        .collect()
+}
+
+/// Snort-like content rules: literals, classes, `\d` runs and occasional
+/// dotstar joins between two content strings.
+pub fn snort_patterns(rng: &mut StdRng, count: usize) -> Vec<String> {
+    let pool = prefix_pool(rng, 40, 13, ALNUM);
+    (0..count)
+        .map(|i| {
+            let base = mixed_len(rng, (4, 20), (100, 190), 0.015);
+            let mut out = format!("{}{}", pick(rng, &pool), literal(rng, base / 2, ALNUM));
+            match i % 5 {
+                0 => out.push_str(&format!(".*{}", literal(rng, base / 2, ALNUM))),
+                1 => out.push_str(&format!("[0-9]{{{}}}", (base / 2).max(1))),
+                2 => out.push_str(&format!("[a-f]{}", literal(rng, base / 2, ALNUM))),
+                _ => out.push_str(&literal(rng, base / 2, ALNUM)),
+            }
+            out
+        })
+        .collect()
+}
+
+/// ClamAV virus signatures: hex-byte literals with counted wildcard gaps.
+pub fn clamav_patterns(rng: &mut StdRng, count: usize) -> Vec<String> {
+    let stub_pool: Vec<String> = (0..30)
+        .map(|_| (0..14).map(|_| format!("\\x{:02x}", rng.gen_range(0u32..256))).collect())
+        .collect();
+    (0..count)
+        .map(|_| {
+            let len = mixed_len(rng, (26, 116), (286, 500), 0.03);
+            let mut out = stub_pool[rng.gen_range(0..stub_pool.len())].clone();
+            let mut emitted = 0usize;
+            while emitted < len {
+                if emitted > 0 && emitted + 8 < len && rng.gen_bool(0.02) {
+                    let gap = rng.gen_range(2..6usize);
+                    out.push_str(&format!(".{{{gap}}}"));
+                    emitted += gap;
+                } else {
+                    out.push_str(&format!("\\x{:02x}", rng.gen_range(0u32..256)));
+                    emitted += 1;
+                }
+            }
+            out
+        })
+        .collect()
+}
+
+/// Mixed Dotstar corpus (the large `Dotstar` benchmark): per-pattern
+/// dot probability drawn from {0, 0.03, 0.06, 0.09}.
+pub fn dotstar_mixed_patterns(rng: &mut StdRng, count: usize) -> Vec<String> {
+    let probs = [0.0, 0.03, 0.06, 0.09];
+    let pool = prefix_pool(rng, 60, 21, ALNUM);
+    (0..count)
+        .flat_map(|i| {
+            let p = probs[i % probs.len()];
+            let mut one = dotstar_patterns_with_len(rng, 1, p, (2, 27), (28, 64), 0.05);
+            for pat in one.iter_mut() {
+                *pat = format!("{}{}", pick(rng, &pool), pat);
+            }
+            one.drain(..).collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+fn dotstar_patterns_with_len(
+    rng: &mut StdRng,
+    count: usize,
+    dot_prob: f64,
+    short: (usize, usize),
+    long: (usize, usize),
+    frac_long: f64,
+) -> Vec<String> {
+    (0..count)
+        .map(|_| {
+            let len = mixed_len(rng, short, long, frac_long);
+            let mut out = String::new();
+            for i in 0..len {
+                if i > 0 && dot_prob > 0.0 && rng.gen_bool(dot_prob) {
+                    out.push_str(".*");
+                }
+                out.push(ALNUM[rng.gen_range(0..ALNUM.len())] as char);
+            }
+            out
+        })
+        .collect()
+}
+
+/// PowerEN-style patterns: short tokens with classes.
+pub fn poweren_patterns(rng: &mut StdRng, count: usize) -> Vec<String> {
+    let pool = prefix_pool(rng, 20, 2, ALNUM);
+    (0..count)
+        .map(|i| {
+            let len = mixed_len(rng, (4, 16), (28, 44), 0.02);
+            let prefix = pick(rng, &pool).to_string();
+            if i % 3 == 0 {
+                format!("{prefix}{}[0-9a-f]{}", literal(rng, len / 2, ALNUM), literal(rng, len / 2, ALNUM))
+            } else {
+                format!("{prefix}{}", literal(rng, len, ALNUM))
+            }
+        })
+        .collect()
+}
+
+/// Protomata: PROSITE-style protein motifs — residue classes, exact
+/// residues and bounded `x(m,n)` gaps over the 20-letter alphabet.
+pub fn protomata_patterns(rng: &mut StdRng, count: usize) -> Vec<String> {
+    let pool = prefix_pool(rng, 100, 2, AMINO);
+    (0..count)
+        .map(|_| {
+            let elements = mixed_len(rng, (7, 17), (73, 98), 0.01);
+            let mut out = pick(rng, &pool).to_string();
+            for _ in 0..elements {
+                match rng.gen_range(0..10u32) {
+                    0..=4 => out.push(AMINO[rng.gen_range(0..AMINO.len())] as char),
+                    5..=7 => {
+                        // residue class of 2-4 amino acids
+                        let k = rng.gen_range(2..5usize);
+                        out.push('[');
+                        for _ in 0..k {
+                            out.push(AMINO[rng.gen_range(0..AMINO.len())] as char);
+                        }
+                        out.push(']');
+                    }
+                    _ => {
+                        // x(m,n) gap: any residues, bounded
+                        let m = rng.gen_range(1..3usize);
+                        let n = m + rng.gen_range(0..3usize);
+                        if n == m {
+                            out.push_str(&format!(".{{{m}}}"));
+                        } else {
+                            out.push_str(&format!(".{{{m},{n}}}"));
+                        }
+                    }
+                }
+            }
+            out
+        })
+        .collect()
+}
+
+/// Fermi track triggers: short fixed-length hit-pattern literals.
+pub fn fermi_patterns(rng: &mut StdRng, count: usize) -> Vec<String> {
+    (0..count).map(|_| literal(rng, 17, b"0123456789abcdef")).collect()
+}
+
+/// Brill tagging rules: two or three vocabulary words joined with spaces
+/// plus a tag suffix. A shared vocabulary gives the space-optimized design
+/// prefixes to merge, as in the paper.
+pub fn brill_patterns(rng: &mut StdRng, count: usize) -> Vec<String> {
+    let vocab: Vec<String> =
+        (0..300)
+            .map(|_| {
+                let len = rng.gen_range(4..11);
+                literal(rng, len, b"abcdefghijklmnopqrstuvwxyz")
+            })
+            .collect();
+    let tags = ["nn", "vb", "jj", "rb", "dt", "in"];
+    (0..count)
+        .map(|i| {
+            let tag = tags[i % tags.len()];
+            // ~1% of rules are long five-word contexts (the suite's
+            // 67-state components); the rest alternate two- and three-word
+            // contexts.
+            let words = if i % 97 == 0 { 5 } else if i % 2 == 0 { 3 } else { 2 };
+            let mut rule = String::new();
+            for w in 0..words {
+                let word = if i % 97 == 0 {
+                    // long words for the big rules
+                    let len = rng.gen_range(10..13);
+                    literal(rng, len, b"abcdefghijklmnopqrstuvwxyz")
+                } else {
+                    vocab[rng.gen_range(0..vocab.len())].clone()
+                };
+                if w > 0 {
+                    rule.push(' ');
+                }
+                rule.push_str(&word);
+            }
+            format!("{rule} {tag}")
+        })
+        .collect()
+}
+
+/// Entity-resolution automata: every ordering of a person's three name
+/// parts, separated by single spaces — one alternation per entity.
+pub fn entity_resolution_patterns(rng: &mut StdRng, count: usize) -> Vec<String> {
+    (0..count)
+        .map(|_| {
+            // three parts whose lengths sum to ~14 -> 6*(14+2) = 96 states
+            let l1 = rng.gen_range(3..7usize);
+            let l2 = rng.gen_range(3..7usize);
+            let l3 = 14usize.saturating_sub(l1 + l2).max(2);
+            let p1 = literal(rng, l1, b"abcdefghijklmnopqrstuvwxyz");
+            let p2 = literal(rng, l2, b"abcdefghijklmnopqrstuvwxyz");
+            let p3 = literal(rng, l3, b"abcdefghijklmnopqrstuvwxyz");
+            let orders = [
+                format!("{p1} {p2} {p3}"),
+                format!("{p1} {p3} {p2}"),
+                format!("{p2} {p1} {p3}"),
+                format!("{p2} {p3} {p1}"),
+                format!("{p3} {p1} {p2}"),
+                format!("{p3} {p2} {p1}"),
+            ];
+            orders.join("|")
+        })
+        .collect()
+}
+
+/// Sequential-pattern-mining automata: 3–4 item codes from a small shared
+/// vocabulary separated by "any items until separator" gaps.
+pub fn spm_patterns(rng: &mut StdRng, count: usize) -> Vec<String> {
+    let items: Vec<String> = (0..20).map(|i| format!("i{i:02}x")).collect();
+    (0..count)
+        .map(|i| {
+            let k = if i % 2 == 0 { 3 } else { 4 };
+            let picks: Vec<&str> =
+                (0..k).map(|_| items[rng.gen_range(0..items.len())].as_str()).collect();
+            picks.join("[^;]*;")
+        })
+        .collect()
+}
+
+/// Random-forest chains: one root-to-leaf decision path per tree leaf,
+/// encoded as a 20-symbol feature-threshold string over a wide alphabet
+/// (wide so prefixes rarely collide, matching the paper's observation that
+/// RandomForest gains nothing from state merging).
+pub fn random_forest_patterns(rng: &mut StdRng, count: usize) -> Vec<String> {
+    (0..count).map(|_| literal(rng, 20, ALNUM)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_automata::regex::compile_patterns;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn literals_draw_from_alphabet() {
+        let s = literal(&mut rng(), 50, b"ab");
+        assert_eq!(s.len(), 50);
+        assert!(s.bytes().all(|b| b == b'a' || b == b'b'));
+    }
+
+    #[test]
+    fn all_generators_produce_compilable_patterns() {
+        let mut r = rng();
+        for patterns in [
+            dotstar_patterns(&mut r, 5, 0.06),
+            ranges_patterns(&mut r, 5, 0.5),
+            exact_match_patterns(&mut r, 5),
+            bro_patterns(&mut r, 5),
+            tcp_patterns(&mut r, 25),
+            snort_patterns(&mut r, 10),
+            clamav_patterns(&mut r, 4),
+            dotstar_mixed_patterns(&mut r, 8),
+            poweren_patterns(&mut r, 6),
+            protomata_patterns(&mut r, 6),
+            fermi_patterns(&mut r, 5),
+            brill_patterns(&mut r, 6),
+            entity_resolution_patterns(&mut r, 3),
+            spm_patterns(&mut r, 6),
+            random_forest_patterns(&mut r, 5),
+        ] {
+            let refs: Vec<&str> = patterns.iter().map(String::as_str).collect();
+            let nfa = compile_patterns(&refs)
+                .unwrap_or_else(|e| panic!("{e} in {:?}", &patterns));
+            assert!(nfa.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn dotstar_probability_inserts_dots() {
+        let mut r = rng();
+        let none: usize =
+            dotstar_patterns(&mut r, 20, 0.0).iter().map(|p| p.matches(".*").count()).sum();
+        let some: usize =
+            dotstar_patterns(&mut r, 20, 0.09).iter().map(|p| p.matches(".*").count()).sum();
+        assert_eq!(none, 0);
+        assert!(some > 10);
+    }
+
+    #[test]
+    fn entity_resolution_has_six_orderings() {
+        let p = entity_resolution_patterns(&mut rng(), 1);
+        assert_eq!(p[0].matches('|').count(), 5);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = snort_patterns(&mut StdRng::seed_from_u64(3), 5);
+        let b = snort_patterns(&mut StdRng::seed_from_u64(3), 5);
+        assert_eq!(a, b);
+        let c = snort_patterns(&mut StdRng::seed_from_u64(4), 5);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fermi_components_are_17_states() {
+        let p = fermi_patterns(&mut rng(), 3);
+        let refs: Vec<&str> = p.iter().map(String::as_str).collect();
+        let nfa = compile_patterns(&refs).unwrap();
+        assert_eq!(nfa.len(), 51);
+    }
+}

@@ -1,0 +1,45 @@
+//! Export a synthesized benchmark as an ANML file plus an input trace, then
+//! drive them through the `cactl` command-line tool:
+//!
+//! ```text
+//! cargo run --release --example export_anml
+//! target/release/cactl compile /tmp/ca_export/bro217.anml
+//! target/release/cactl run     /tmp/ca_export/bro217.anml /tmp/ca_export/trace.bin
+//! ```
+
+use ca_automata::anml::{parse_anml, to_anml};
+use ca_workloads::{Benchmark, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join("ca_export");
+    std::fs::create_dir_all(&dir)?;
+
+    let workload = Benchmark::Bro217.build(Scale(0.5), 7);
+    let anml = to_anml(&workload.nfa, "bro217");
+
+    // sanity: the document round-trips before we write it
+    assert_eq!(parse_anml(&anml)?, workload.nfa);
+
+    let anml_path = dir.join("bro217.anml");
+    let trace_path = dir.join("trace.bin");
+    std::fs::write(&anml_path, &anml)?;
+    std::fs::write(&trace_path, workload.input(64 * 1024, 3))?;
+
+    println!(
+        "exported {} states / {} ANML lines to {}",
+        workload.nfa.len(),
+        anml.lines().count(),
+        anml_path.display()
+    );
+    println!("exported 64 KiB trace to {}", trace_path.display());
+    println!();
+    println!("next steps:");
+    println!("  cargo build --release -p cache-automaton");
+    println!("  target/release/cactl compile {}", anml_path.display());
+    println!(
+        "  target/release/cactl run {} {}",
+        anml_path.display(),
+        trace_path.display()
+    );
+    Ok(())
+}

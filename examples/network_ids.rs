@@ -1,0 +1,77 @@
+//! Network intrusion detection: a Snort-flavoured ruleset scanned at line
+//! rate, comparing both Cache Automaton designs against the DRAM Automata
+//! Processor and a measured CPU baseline — the paper's headline use case.
+//!
+//! Run with: `cargo run --release --example network_ids`
+
+use ca_baselines::{measure_cpu, ApModel};
+use ca_workloads::{Benchmark, Scale};
+use cache_automaton::{CacheAutomaton, Design};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A CI-sized slice of the Snort workload (use Scale::full() for the
+    // paper's 2585-rule automaton).
+    let workload = Benchmark::Snort.build(Scale(0.1), 42);
+    let traffic = workload.input(256 * 1024, 7);
+    println!(
+        "ruleset: {} states across {} rules; traffic: {} KB",
+        workload.nfa.len(),
+        ca_automata::analysis::connected_components(&workload.nfa).len(),
+        traffic.len() / 1024
+    );
+    println!();
+
+    let ap = ApModel::default();
+    println!(
+        "{:<22} {:>12} {:>10} {:>12} {:>10}",
+        "engine", "thrpt Gb/s", "vs AP", "util MB", "nJ/sym"
+    );
+
+    // Micron AP reference row.
+    println!(
+        "{:<22} {:>12.2} {:>10} {:>12} {:>10}",
+        "Micron AP (DRAM)",
+        ap.throughput_gbps(),
+        "1.0x",
+        "-",
+        "-"
+    );
+
+    let mut matches_per_design = Vec::new();
+    for design in [Design::Performance, Design::Space] {
+        let program = CacheAutomaton::builder().design(design).build().compile_nfa(&workload.nfa)?;
+        let report = program.run(&traffic);
+        println!(
+            "{:<22} {:>12.2} {:>9.1}x {:>12.3} {:>10.3}",
+            format!("Cache Automaton {}", program.design()),
+            program.throughput_gbps(),
+            program.throughput_gbps() / ap.throughput_gbps(),
+            program.utilization_mb(),
+            report.energy.per_symbol_nj
+        );
+        matches_per_design.push(report.matches.len());
+    }
+
+    // Measured CPU baseline (VASim-style sparse engine on this host).
+    let cpu = measure_cpu(&workload.nfa, &traffic);
+    println!(
+        "{:<22} {:>12.4} {:>9.4}x {:>12} {:>10}",
+        "x86 CPU (measured)",
+        cpu.throughput_gbps(),
+        cpu.throughput_gbps() / ap.throughput_gbps(),
+        "-",
+        "-"
+    );
+    println!();
+
+    assert_eq!(
+        matches_per_design[0], matches_per_design[1],
+        "both designs must report identical alerts"
+    );
+    println!(
+        "alerts raised: {} (identical across designs and CPU: {})",
+        matches_per_design[0],
+        cpu.matches == matches_per_design[0] as u64
+    );
+    Ok(())
+}

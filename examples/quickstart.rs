@@ -1,0 +1,49 @@
+//! Quickstart: compile a handful of regexes into the Cache Automaton,
+//! scan a stream, and read back both the matches and the architectural
+//! report (throughput, utilization, energy).
+//!
+//! Run with: `cargo run --example quickstart`
+
+use cache_automaton::{CacheAutomaton, Design};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's Figure 1 working example: patterns {bat, bar, bart, ar,
+    // at, art, car, cat, cart} — expressed as three compact regexes.
+    let patterns = ["ba[rt]t?", "ca[rt]t?", "a[rt]t?"];
+
+    let ca = CacheAutomaton::builder().design(Design::Performance).build();
+    let program = ca.compile_patterns(&patterns)?;
+
+    println!("compiled {} patterns:", patterns.len());
+    println!("  states            : {}", program.stats().states);
+    println!("  partitions        : {}", program.stats().partitions_used);
+    println!("  cache utilization : {:.3} MB", program.utilization_mb());
+    println!(
+        "  design            : {} @ {} GHz",
+        program.design(),
+        program.timing().operating_freq_ghz()
+    );
+    println!("  peak throughput   : {} Gb/s", program.throughput_gbps());
+    println!();
+
+    let input = b"the cat dragged the cart past a bat near the bar";
+    let report = program.run(input);
+
+    println!("scanned {:?}", String::from_utf8_lossy(input));
+    for m in &report.matches {
+        println!(
+            "  pattern {} matched ending at byte {} ({:?})",
+            m.code.0,
+            m.pos,
+            String::from_utf8_lossy(&input[m.pos.saturating_sub(3) as usize..=m.pos as usize])
+        );
+    }
+    println!();
+    println!("architectural report:");
+    println!("  cycles            : {}", report.exec.cycles);
+    println!("  avg active states : {:.2}", report.exec.avg_active_states());
+    println!("  energy / symbol   : {:.3} nJ", report.energy.per_symbol_nj);
+    println!("  average power     : {:.3} W", report.energy.avg_power_w);
+    println!("  simulated wall    : {:.2} ns", report.simulated_seconds * 1e9);
+    Ok(())
+}

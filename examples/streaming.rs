@@ -1,0 +1,74 @@
+//! Streaming operation: chunked scans with suspend/resume (§2.9) and
+//! multi-instance scaling over parallel streams (§5.2).
+//!
+//! Run with: `cargo run --release --example streaming`
+
+use ca_sim::RunOptions;
+use cache_automaton::{CacheAutomaton, Design};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = CacheAutomaton::builder()
+        .design(Design::Space)
+        .build()
+        .compile_patterns(&["beacon[0-9]{4}", "exfil.*payload"])?;
+
+    // --- chunked scanning with suspend/resume --------------------------
+    // A match spanning a chunk boundary must still be found: the snapshot
+    // carries the active-state vectors across chunks.
+    let stream = b"....beac".to_vec();
+    let chunk2 = b"on1234....exfil==".to_vec();
+    let chunk3 = b"==payload....".to_vec();
+
+    let mut fabric = program.compiled().fabric()?;
+    let r1 = fabric.run(&stream);
+    let r2 = fabric.run_with(
+        &chunk2,
+        &RunOptions { resume: r1.snapshot.clone(), ..Default::default() },
+    );
+    let r3 = fabric.run_with(
+        &chunk3,
+        &RunOptions { resume: r2.snapshot.clone(), collect_entries: true, ..Default::default() },
+    );
+    let total = r1.events.len() + r2.events.len() + r3.events.len();
+    println!("chunked scan across 3 chunks found {total} matches:");
+    for ev in r1.events.iter().chain(&r2.events).chain(&r3.events) {
+        println!("  pattern {} at absolute offset {}", ev.code.0, ev.pos);
+    }
+    let snap = r3.snapshot.as_ref().expect("snapshot");
+    println!(
+        "suspend image: {} bytes for {} partitions at symbol {}",
+        snap.size_bytes(),
+        snap.active_vectors.len(),
+        snap.symbol_counter
+    );
+    assert_eq!(total, 2, "both boundary-spanning patterns must fire");
+    for entry in &r3.entries {
+        println!(
+            "  CBOX entry: partition {} column {} symbol {:?} counter {}",
+            entry.partition, entry.column, entry.symbol as char, entry.symbol_counter
+        );
+    }
+    println!();
+
+    // --- multi-instance scaling ----------------------------------------
+    let instances = program.max_instances().min(8);
+    let multi = program.replicate(instances)?;
+    let streams: Vec<Vec<u8>> = (0..instances)
+        .map(|i| {
+            let mut s = vec![b'.'; 4096];
+            let marker = format!("beacon{:04}", i * 11 % 10000);
+            s.extend_from_slice(marker.as_bytes());
+            s
+        })
+        .collect();
+    let refs: Vec<&[u8]> = streams.iter().map(Vec::as_slice).collect();
+    let reports = multi.run_streams(&refs);
+    let hits: usize = reports.iter().map(|r| r.matches.len()).sum();
+    println!(
+        "{instances} parallel instances: {hits} beacons caught, aggregate {} Gb/s ({}x one AP)",
+        multi.aggregate_throughput_gbps(),
+        (multi.aggregate_throughput_gbps() / 1.064).round()
+    );
+    assert_eq!(hits, instances);
+    Ok(())
+}

@@ -1,0 +1,21 @@
+//! Workspace umbrella for the Cache Automaton reproduction.
+//!
+//! This crate only hosts the runnable examples (`examples/`) and the
+//! workspace-level integration tests (`tests/`); the public API lives in
+//! the [`cache_automaton`] crate and its layers:
+//!
+//! * [`cache_automaton`] — compile-and-run façade,
+//! * [`ca_automata`] — NFA toolchain,
+//! * [`ca_partition`] — multilevel k-way graph partitioner,
+//! * [`ca_sim`] — fabric simulator + timing/energy/area models,
+//! * [`ca_compiler`] — mapping compiler,
+//! * [`ca_workloads`] — benchmark synthesizers,
+//! * [`ca_baselines`] — AP / HARE / UAP / CPU baselines.
+
+pub use ca_automata;
+pub use ca_baselines;
+pub use ca_compiler;
+pub use ca_partition;
+pub use ca_sim;
+pub use ca_workloads;
+pub use cache_automaton;

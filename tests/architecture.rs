@@ -1,0 +1,115 @@
+//! Workspace-level architectural invariants: the published numbers the
+//! models must reproduce, and the structural constraints every compiled
+//! bitstream must satisfy.
+
+use ca_sim::{
+    area_for_stes, design_space, design_timing, pipeline_timing, reachability, CacheGeometry,
+    DesignKind, RouteVia, TimingParams, WireLayer, STES_PER_PARTITION,
+};
+use ca_workloads::{Benchmark, Scale};
+use cache_automaton::{CacheAutomaton, Design, Optimize};
+
+#[test]
+fn table3_frequencies() {
+    let p = design_timing(DesignKind::Performance);
+    assert_eq!(p.operating_freq_ghz(), 2.0);
+    assert!((p.state_match_ps - 438.0).abs() < 1.0);
+    let s = design_timing(DesignKind::Space);
+    assert_eq!(s.operating_freq_ghz(), 1.2);
+    assert!((s.state_match_ps - 687.0).abs() < 1.0);
+}
+
+#[test]
+fn table4_ablations() {
+    let params = TimingParams::default();
+    let cases = [
+        (DesignKind::Performance, false, WireLayer::GlobalMetal, 1.0),
+        (DesignKind::Space, false, WireLayer::GlobalMetal, 0.5),
+        (DesignKind::Performance, true, WireLayer::HBus, 1.5),
+        (DesignKind::Space, true, WireLayer::HBus, 1.0),
+    ];
+    for (design, sa, wire, expect_ghz) in cases {
+        let t = pipeline_timing(design, &params, sa, wire);
+        assert_eq!(t.operating_freq_ghz(), expect_ghz, "{design} sa={sa} {wire:?}");
+    }
+}
+
+#[test]
+fn headline_speedups() {
+    let ap_gbps = ca_baselines::ApModel::default().throughput_gbps();
+    let p = design_timing(DesignKind::Performance).throughput_gbps() / ap_gbps;
+    let s = design_timing(DesignKind::Space).throughput_gbps() / ap_gbps;
+    assert!((p - 15.0).abs() < 0.1, "CA_P {p}x");
+    assert!((s - 9.0).abs() < 0.1, "CA_S {s}x");
+    assert_eq!(p.round() * ca_baselines::AP_OVER_CPU, 3840.0);
+}
+
+#[test]
+fn figure10_design_space_shape() {
+    let points = design_space();
+    // frequency decreases, reachability increases across the CA points
+    assert!(points[0].freq_ghz > points[1].freq_ghz);
+    assert!(points[1].freq_ghz > points[2].freq_ghz);
+    assert!(points[0].reachability < points[1].reachability);
+    assert!(points[1].reachability < points[2].reachability);
+    // AP point: far more area, far less frequency
+    let ap = points.last().unwrap();
+    assert!(ap.area_mm2_32k > 8.0 * points[2].area_mm2_32k);
+    assert!((reachability(DesignKind::Performance) - 361.0).abs() < 20.0);
+    assert!((reachability(DesignKind::Space) - 936.0).abs() < 75.0);
+    assert!((area_for_stes(DesignKind::Performance, 32 * 1024).total_mm2() - 4.3).abs() < 0.2);
+    assert!((area_for_stes(DesignKind::Space, 32 * 1024).total_mm2() - 4.6).abs() < 0.2);
+}
+
+#[test]
+fn prototype_capacity_is_128k_stes() {
+    let geom = CacheGeometry::for_design(DesignKind::Performance, 8);
+    assert_eq!(geom.total_stes(), 128 * 1024);
+}
+
+/// Every compiled benchmark respects the hardware constraints: partition
+/// occupancy, route budgets and switch topology (validated structurally).
+#[test]
+fn compiled_bitstreams_respect_architecture() {
+    for benchmark in Benchmark::all() {
+        let w = benchmark.build(Scale::tiny(), 71);
+        for design in [Design::Performance, Design::Space] {
+            let program = CacheAutomaton::builder()
+                .design(design)
+                .optimize(Optimize::Never)
+                .build()
+                .compile_nfa(&w.nfa)
+                .unwrap_or_else(|e| panic!("{benchmark}/{design:?}: {e}"));
+            let bs = &program.compiled().bitstream;
+            bs.validate().unwrap_or_else(|e| panic!("{benchmark}/{design:?}: {e}"));
+            for p in &bs.partitions {
+                assert!(p.ste_count() <= STES_PER_PARTITION);
+            }
+            for r in &bs.routes {
+                let src = bs.partitions[r.src_partition as usize].location;
+                let dst = bs.partitions[r.dst_partition as usize].location;
+                match r.via {
+                    RouteVia::G1 => assert!(src.same_way(&dst)),
+                    RouteVia::G4 => {
+                        assert_eq!(design, Design::Space, "G4 only exists on CA_S");
+                        assert_eq!(src.slice, dst.slice);
+                    }
+                }
+            }
+            // every mapped state accounted for
+            assert_eq!(bs.ste_count(), w.nfa.len(), "{benchmark}/{design:?}");
+        }
+    }
+}
+
+/// Utilization equals whole partitions x 8 KB, never less than the states'
+/// raw footprint.
+#[test]
+fn utilization_accounting() {
+    let w = Benchmark::PowerEn.build(Scale::tiny(), 3);
+    let program = CacheAutomaton::new().compile_nfa(&w.nfa).unwrap();
+    let bytes = program.stats().utilization_bytes;
+    assert_eq!(bytes % 8192, 0);
+    assert!(bytes >= w.nfa.len() * 32); // 256 bits per STE
+    assert_eq!(program.stats().partitions_used * 8192, bytes);
+}

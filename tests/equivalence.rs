@@ -1,0 +1,97 @@
+//! Workspace-level differential tests: for every synthesized benchmark the
+//! compiled fabric (both designs) must reproduce the CPU engines' match
+//! stream exactly, and the space-optimized automaton must preserve the
+//! match language.
+
+use ca_automata::engine::{BitsetEngine, Engine, SparseEngine};
+use ca_workloads::{Benchmark, Scale};
+use cache_automaton::{CacheAutomaton, Design, MatchEvent, Optimize};
+
+fn sorted(mut ev: Vec<MatchEvent>) -> Vec<MatchEvent> {
+    ev.sort();
+    ev
+}
+
+#[test]
+fn fabric_matches_cpu_on_every_benchmark_performance_design() {
+    let ca = CacheAutomaton::builder().design(Design::Performance).build();
+    for benchmark in Benchmark::all() {
+        let w = benchmark.build(Scale::tiny(), 17);
+        let input = w.input(8 * 1024, 3);
+        let expect = sorted(SparseEngine::new(&w.nfa).run(&input));
+        let program = ca.compile_nfa(&w.nfa).unwrap_or_else(|e| panic!("{benchmark}: {e}"));
+        let got = sorted(program.run(&input).matches);
+        assert_eq!(expect, got, "{benchmark} diverged on CA_P");
+    }
+}
+
+#[test]
+fn fabric_matches_cpu_on_every_benchmark_space_design() {
+    // Optimize::Never isolates the fabric comparison; the optimizer's
+    // language preservation is tested separately below.
+    let ca = CacheAutomaton::builder().design(Design::Space).optimize(Optimize::Never).build();
+    for benchmark in Benchmark::all() {
+        let w = benchmark.build(Scale::tiny(), 23);
+        let input = w.input(8 * 1024, 5);
+        let expect = sorted(SparseEngine::new(&w.nfa).run(&input));
+        let program = ca.compile_nfa(&w.nfa).unwrap_or_else(|e| panic!("{benchmark}: {e}"));
+        let got = sorted(program.run(&input).matches);
+        assert_eq!(expect, got, "{benchmark} diverged on CA_S");
+    }
+}
+
+#[test]
+fn space_optimization_preserves_language_on_every_benchmark() {
+    for benchmark in Benchmark::all() {
+        let w = benchmark.build(Scale::tiny(), 31);
+        let input = w.input(8 * 1024, 7);
+        let merged = w.space_optimized();
+        let before = sorted(SparseEngine::new(&w.nfa).run(&input));
+        let after = sorted(SparseEngine::new(&merged).run(&input));
+        assert_eq!(before, after, "{benchmark}: merging changed the language");
+        assert!(merged.len() <= w.nfa.len(), "{benchmark}: merging grew the automaton");
+    }
+}
+
+#[test]
+fn dense_engine_agrees_on_every_benchmark() {
+    for benchmark in Benchmark::all() {
+        let w = benchmark.build(Scale::tiny(), 41);
+        let input = w.input(4 * 1024, 11);
+        let sparse = sorted(SparseEngine::new(&w.nfa).run(&input));
+        let dense = sorted(BitsetEngine::new(&w.nfa).run(&input));
+        assert_eq!(sparse, dense, "{benchmark}: engines diverged");
+    }
+}
+
+#[test]
+fn designs_report_identical_matches() {
+    for benchmark in [Benchmark::Snort, Benchmark::Levenshtein, Benchmark::Spm] {
+        let w = benchmark.build(Scale::tiny(), 53);
+        let input = w.input(16 * 1024, 13);
+        let p = CacheAutomaton::builder()
+            .design(Design::Performance)
+            .build()
+            .compile_nfa(&w.nfa)
+            .unwrap();
+        let s = CacheAutomaton::builder()
+            .design(Design::Space)
+            .build()
+            .compile_nfa(&w.nfa)
+            .unwrap();
+        assert_eq!(
+            sorted(p.run(&input).matches),
+            sorted(s.run(&input).matches),
+            "{benchmark}: designs disagree"
+        );
+    }
+}
+
+#[test]
+fn compilation_is_deterministic_across_runs() {
+    let w = Benchmark::ClamAv.build(Scale::tiny(), 61);
+    let ca = CacheAutomaton::builder().design(Design::Space).build();
+    let a = ca.compile_nfa(&w.nfa).unwrap();
+    let b = ca.compile_nfa(&w.nfa).unwrap();
+    assert_eq!(a.compiled().bitstream, b.compiled().bitstream);
+}

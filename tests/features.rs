@@ -1,0 +1,138 @@
+//! Workspace integration tests for the extended feature set: binary
+//! configuration pages, suspend/resume, floorplan timing, system sharing,
+//! match utilities, Aho–Corasick cross-checks and tracing.
+
+use ca_automata::engine::{Engine, SparseEngine};
+use ca_baselines::AhoCorasick;
+use ca_sim::{
+    emit_pages, load_pages, sharing_report, ConfigImage, Fabric, Floorplan, RunOptions,
+    SystemConfig, TimingParams,
+};
+use ca_workloads::{Benchmark, Scale};
+use cache_automaton::{matches, CacheAutomaton, Design};
+
+#[test]
+fn config_pages_roundtrip_for_compiled_benchmarks() {
+    for benchmark in [Benchmark::Bro217, Benchmark::Levenshtein, Benchmark::Spm] {
+        let w = benchmark.build(Scale::tiny(), 7);
+        let program = CacheAutomaton::new().compile_nfa(&w.nfa).unwrap();
+        let bs = &program.compiled().bitstream;
+        let image = emit_pages(bs);
+        // byte-level roundtrip
+        let bytes = image.to_capg_bytes();
+        let image2 = ConfigImage::from_capg_bytes(&bytes).unwrap();
+        assert_eq!(image2, image, "{benchmark}: capg bytes diverged");
+        // behavioural roundtrip
+        let reloaded = load_pages(&image2).unwrap();
+        let input = w.input(8 * 1024, 3);
+        let a = Fabric::new(bs).unwrap().run(&input);
+        let b = Fabric::new(&reloaded).unwrap().run(&input);
+        assert_eq!(a.events, b.events, "{benchmark}: reload changed behaviour");
+        // config time is sane
+        assert!(image.config_time_ms() < 1.0, "{benchmark}");
+    }
+}
+
+#[test]
+fn chunked_scans_equal_whole_scans_on_benchmarks() {
+    for benchmark in [Benchmark::Snort, Benchmark::Hamming] {
+        let w = benchmark.build(Scale::tiny(), 13);
+        let program = CacheAutomaton::new().compile_nfa(&w.nfa).unwrap();
+        let input = w.input(8 * 1024, 5);
+        let whole = program.compiled().fabric().unwrap().run(&input);
+        // scan in 1 KiB chunks with resume
+        let mut fabric = program.compiled().fabric().unwrap();
+        let mut resume = None;
+        let mut stitched = Vec::new();
+        for chunk in input.chunks(1024) {
+            let r = fabric.run_with(chunk, &RunOptions { resume, ..Default::default() });
+            stitched.extend(r.events);
+            resume = r.snapshot;
+        }
+        assert_eq!(stitched, whole.events, "{benchmark}: chunking changed matches");
+    }
+}
+
+#[test]
+fn floorplan_and_system_models_are_consistent() {
+    let fp = Floorplan::default();
+    let geom = ca_sim::CacheGeometry::for_design(ca_sim::DesignKind::Performance, 1);
+    let t = fp.mapping_timing(ca_sim::DesignKind::Performance, &TimingParams::default(), &[]);
+    // mapping-aware timing can differ from the fixed model, but state-match
+    // must be identical and the frequency in the same band
+    let fixed = ca_sim::design_timing(ca_sim::DesignKind::Performance);
+    assert_eq!(t.state_match_ps, fixed.state_match_ps);
+    assert!((t.max_freq_ghz() - fixed.max_freq_ghz()).abs() < 0.5);
+    // sharing report: the paper's 12-way cache remainder and TDP headroom
+    let geom8 = ca_sim::CacheGeometry::for_design(ca_sim::DesignKind::Performance, 8);
+    let r = sharing_report(&geom8, &SystemConfig::default(), ca_sim::DesignKind::Performance, 2.0);
+    assert_eq!(r.cache_ways_remaining, 12);
+    assert!(r.fits_tdp);
+    let _ = geom;
+}
+
+#[test]
+fn match_utilities_agree_with_raw_stream() {
+    let program = CacheAutomaton::new().compile_patterns(&["err", "warn"]).unwrap();
+    let log = b"ok\nerr here\nwarn err\nnothing\n";
+    let report = program.run(log);
+    let counts = matches::count_by_code(&report.matches, 2);
+    assert_eq!(counts, vec![2, 1]);
+    let lines = matches::group_by_line(log, &report.matches);
+    assert_eq!(lines.len(), 2);
+    assert_eq!(lines[0].line, 1);
+    assert_eq!(lines[1].line, 2);
+    assert_eq!(lines[1].codes.len(), 2);
+    let first = matches::first_by_code(&report.matches, 2);
+    assert_eq!(first[0], Some(5)); // "err" ends at byte 5
+    let throttled = matches::throttle(&report.matches, 1_000_000);
+    assert_eq!(throttled.len(), 2); // one per code
+}
+
+#[test]
+fn aho_corasick_agrees_with_fabric_on_literal_benchmark() {
+    // ExactMatch is a pure-literal workload: AC, the NFA engine and the
+    // compiled fabric must agree event for event.
+    let w = Benchmark::ExactMatch.build(Scale::tiny(), 19);
+    let input = w.input(16 * 1024, 3);
+    // extract the literal patterns back out of the automaton? Not needed:
+    // compare fabric vs sparse (already covered) and AC vs sparse on a
+    // shared dictionary compiled both ways.
+    let patterns: Vec<String> = {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        ca_workloads::patterns::exact_match_patterns(&mut rng, 40)
+    };
+    let refs: Vec<&str> = patterns.iter().map(String::as_str).collect();
+    let nfa = ca_automata::regex::compile_patterns(&refs).unwrap();
+    let ac = AhoCorasick::new(&patterns.iter().map(String::as_bytes).collect::<Vec<_>>());
+    let program = CacheAutomaton::new().compile_nfa(&nfa).unwrap();
+    let mut via_ac = ac.scan(&input);
+    let mut via_nfa = SparseEngine::new(&nfa).run(&input);
+    let mut via_fabric = program.run(&input).matches;
+    via_ac.sort();
+    via_ac.dedup();
+    via_nfa.sort();
+    via_fabric.sort();
+    assert_eq!(via_ac, via_nfa);
+    assert_eq!(via_nfa, via_fabric);
+    let _ = w;
+}
+
+#[test]
+fn traced_run_is_equivalent_on_a_benchmark() {
+    let w = Benchmark::Bro217.build(Scale::tiny(), 23);
+    let program = CacheAutomaton::new().compile_nfa(&w.nfa).unwrap();
+    let input = w.input(2 * 1024, 9);
+    let plain = program.compiled().fabric().unwrap().run(&input);
+    let mut sink = Vec::new();
+    let traced = program
+        .compiled()
+        .fabric()
+        .unwrap()
+        .run_traced(&input, &RunOptions::default(), &mut sink)
+        .unwrap();
+    assert_eq!(plain.events, traced.events);
+    assert_eq!(plain.stats.active_partition_cycles, traced.stats.active_partition_cycles);
+    assert_eq!(String::from_utf8(sink).unwrap().lines().count(), input.len());
+}

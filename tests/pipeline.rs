@@ -1,0 +1,100 @@
+//! Workspace-level pipeline tests: the full public flow (regex/ANML in,
+//! matches + architectural report out) plus cross-format round-trips.
+
+use ca_automata::anml::{parse_anml, to_anml};
+use ca_automata::engine::{Engine, SparseEngine};
+use cache_automaton::{CacheAutomaton, CaError, Design, ReportCode};
+
+#[test]
+fn regex_to_report_end_to_end() {
+    let program = CacheAutomaton::new()
+        .compile_patterns(&["err(or)?", "warn(ing)?", "panic"])
+        .unwrap();
+    let input = b"warn: minor\nerror: major\npanic: fatal\n";
+    let report = program.run(input);
+    let codes: Vec<u32> = report.matches.iter().map(|m| m.code.0).collect();
+    assert!(codes.contains(&0) && codes.contains(&1) && codes.contains(&2));
+    assert_eq!(report.exec.symbols, input.len() as u64);
+    assert!(report.exec.cycles >= report.exec.symbols);
+    assert!(report.energy.per_symbol_nj > 0.0);
+    assert!(report.energy.avg_power_w > 0.0);
+}
+
+#[test]
+fn anml_roundtrip_through_the_full_stack() {
+    // regex -> NFA -> ANML text -> NFA -> compile -> fabric == CPU
+    let nfa = ca_automata::regex::compile_patterns(&["ab?c", "x[yz]{2}"]).unwrap();
+    let text = to_anml(&nfa, "roundtrip");
+    let back = parse_anml(&text).unwrap();
+    assert_eq!(back, nfa);
+    let program = CacheAutomaton::new().compile_anml(&text).unwrap();
+    let input = b"abc ac xyz xzy";
+    let mut expect = SparseEngine::new(&nfa).run(input);
+    let mut got = program.run(input).matches;
+    expect.sort();
+    got.sort();
+    assert_eq!(expect, got);
+}
+
+#[test]
+fn report_codes_are_pattern_indices() {
+    let program = CacheAutomaton::new().compile_patterns(&["one", "two", "three"]).unwrap();
+    let report = program.run(b"three two one");
+    let mut codes: Vec<ReportCode> = report.matches.iter().map(|m| m.code).collect();
+    codes.sort();
+    assert_eq!(codes, vec![ReportCode(0), ReportCode(1), ReportCode(2)]);
+}
+
+#[test]
+fn capacity_errors_surface_cleanly() {
+    // A single-slice CA_P holds 16K STEs; 30K states cannot fit.
+    let patterns: Vec<String> = (0..2000).map(|i| format!("pattern{i:05}xyzw")).collect();
+    let refs: Vec<&str> = patterns.iter().map(String::as_str).collect();
+    let err = CacheAutomaton::builder()
+        .design(Design::Performance)
+        .slices(1)
+        .build()
+        .compile_patterns(&refs)
+        .unwrap_err();
+    match err {
+        CaError::Compile(e) => assert!(e.to_string().contains("partitions")),
+        other => panic!("wrong error kind: {other}"),
+    }
+}
+
+#[test]
+fn empty_input_and_single_symbol() {
+    let program = CacheAutomaton::new().compile_patterns(&["q"]).unwrap();
+    let empty = program.run(b"");
+    assert!(empty.matches.is_empty());
+    assert_eq!(empty.exec.cycles, 0);
+    let one = program.run(b"q");
+    assert_eq!(one.matches.len(), 1);
+    assert_eq!(one.matches[0].pos, 0);
+}
+
+#[test]
+fn long_stream_throughput_approaches_design_peak() {
+    let program = CacheAutomaton::new().compile_patterns(&["zebra"]).unwrap();
+    let input = vec![b'a'; 1 << 20];
+    let report = program.run(&input);
+    let peak = program.throughput_gbps();
+    let achieved = report.achieved_gbps();
+    assert!(
+        (peak - achieved) / peak < 1e-4,
+        "pipeline fill should be negligible over 1 MiB: {achieved} vs {peak}"
+    );
+}
+
+#[test]
+fn simulated_time_matches_frequency() {
+    let program = CacheAutomaton::builder()
+        .design(Design::Space)
+        .build()
+        .compile_patterns(&["abc"])
+        .unwrap();
+    let report = program.run(&vec![b'x'; 12_000]);
+    // 12_000 symbols + 2 fill cycles at 1.2 GHz
+    let expect = 12_002.0 / 1.2e9;
+    assert!((report.simulated_seconds - expect).abs() / expect < 1e-9);
+}
