@@ -249,9 +249,7 @@ mod tests {
         let cc = connected_components(&nfa);
         // find the component holding "dog" (code 1)
         let comp = (0..cc.len())
-            .find(|&i| {
-                cc.components[i].iter().any(|&s| nfa.state(s).report == Some(ReportCode(1)))
-            })
+            .find(|&i| cc.components[i].iter().any(|&s| nfa.state(s).report == Some(ReportCode(1))))
             .unwrap();
         let sub = extract_component(&nfa, &cc, comp);
         assert_eq!(sub.len(), 3);

@@ -223,8 +223,7 @@ impl<'a> Scanner<'a> {
                     if self.pos >= self.bytes.len() {
                         return Err(self.err("unterminated attribute value"));
                     }
-                    let value =
-                        String::from_utf8_lossy(&self.bytes[vstart..self.pos]).into_owned();
+                    let value = String::from_utf8_lossy(&self.bytes[vstart..self.pos]).into_owned();
                     self.pos += 1;
                     attrs.push((key, unescape_attr(&value)));
                 }
@@ -235,10 +234,7 @@ impl<'a> Scanner<'a> {
 }
 
 fn find(haystack: &[u8], from: usize, needle: &[u8]) -> Option<usize> {
-    haystack[from..]
-        .windows(needle.len())
-        .position(|w| w == needle)
-        .map(|p| p + from)
+    haystack[from..].windows(needle.len()).position(|w| w == needle).map(|p| p + from)
 }
 
 fn count_newlines(bytes: &[u8]) -> usize {
@@ -256,9 +252,7 @@ fn count_newlines(bytes: &[u8]) -> usize {
 /// unknown tags, undefined element references or invalid symbol sets.
 pub fn parse_anml(text: &str) -> Result<HomNfa> {
     let mut scanner = Scanner { bytes: text.as_bytes(), pos: 0, line: 1 };
-    let root = scanner
-        .next_tag()?
-        .ok_or_else(|| scanner.err("empty document"))?;
+    let root = scanner.next_tag()?.ok_or_else(|| scanner.err("empty document"))?;
     if root.name != "anml-network" || root.closing {
         return Err(scanner.err("expected <anml-network> root"));
     }
@@ -357,14 +351,12 @@ pub fn parse_anml(text: &str) -> Result<HomNfa> {
                     line: tag.line,
                     reason: "report-on-match outside an element".into(),
                 })?;
-                let code = tag
-                    .attr("reportcode")
-                    .unwrap_or("0")
-                    .parse::<u32>()
-                    .map_err(|_| Error::ParseAnml {
+                let code = tag.attr("reportcode").unwrap_or("0").parse::<u32>().map_err(|_| {
+                    Error::ParseAnml {
                         line: tag.line,
                         reason: "reportcode must be an integer".into(),
-                    })?;
+                    }
+                })?;
                 states.get_mut(cur).expect("current exists").report = Some(ReportCode(code));
                 if !tag.self_closing {
                     return Err(Error::ParseAnml {
@@ -422,10 +414,7 @@ mod tests {
         let nfa = compile_patterns(&["hel+o", "[0-9]+z"]).unwrap();
         let back = parse_anml(&to_anml(&nfa, "t")).unwrap();
         for input in [b"hello world".as_slice(), b"123z", b"hzo"] {
-            assert_eq!(
-                SparseEngine::new(&nfa).run(input),
-                SparseEngine::new(&back).run(input)
-            );
+            assert_eq!(SparseEngine::new(&nfa).run(input), SparseEngine::new(&back).run(input));
         }
     }
 
@@ -510,11 +499,7 @@ mod tests {
         use crate::homogeneous::{HomNfa, StartKind};
         let mut nfa = HomNfa::new();
         // label containing '<', '>', '&' and '"'
-        nfa.add_state_full(
-            CharClass::of(b"<>&\""),
-            StartKind::AllInput,
-            Some(ReportCode(0)),
-        );
+        nfa.add_state_full(CharClass::of(b"<>&\""), StartKind::AllInput, Some(ReportCode(0)));
         let back = parse_anml(&to_anml(&nfa, "esc")).unwrap();
         assert_eq!(back, nfa);
     }

@@ -155,9 +155,7 @@ mod tests {
     #[test]
     fn combinators_compose() {
         // ab(c|d)+e?
-        let expr = lit(b"ab")
-            .then(alt([lit(b"c"), lit(b"d")]).plus())
-            .then(lit(b"e").opt());
+        let expr = lit(b"ab").then(alt([lit(b"c"), lit(b"d")]).plus()).then(lit(b"e").opt());
         let nfa = expr.compile(ReportCode(0)).unwrap();
         assert!(hits(&nfa, b"abc") > 0);
         assert!(hits(&nfa, b"abdcdce") > 0);
@@ -166,11 +164,8 @@ mod tests {
 
     #[test]
     fn builder_equals_regex_front_end() {
-        let expr = seq([
-            lit(b"a"),
-            any().star(),
-            sym(CharClass::range(b'0', b'9')).repeat(2, Some(3)),
-        ]);
+        let expr =
+            seq([lit(b"a"), any().star(), sym(CharClass::range(b'0', b'9')).repeat(2, Some(3))]);
         let via_builder = expr.compile(ReportCode(0)).unwrap();
         let via_regex = compile_pattern("a.*[0-9]{2,3}").unwrap();
         for input in [b"a12".as_slice(), b"axx123", b"a1", b"zzz"] {

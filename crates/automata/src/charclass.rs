@@ -152,18 +152,12 @@ impl CharClass {
 
     /// `true` if `self` and `other` share at least one symbol.
     pub fn intersects(&self, other: &CharClass) -> bool {
-        self.bits
-            .iter()
-            .zip(other.bits.iter())
-            .any(|(a, b)| a & b != 0)
+        self.bits.iter().zip(other.bits.iter()).any(|(a, b)| a & b != 0)
     }
 
     /// `true` if every symbol of `self` is in `other`.
     pub fn is_subset(&self, other: &CharClass) -> bool {
-        self.bits
-            .iter()
-            .zip(other.bits.iter())
-            .all(|(a, b)| a & !b == 0)
+        self.bits.iter().zip(other.bits.iter()).all(|(a, b)| a & !b == 0)
     }
 
     /// The smallest symbol in the class, if any.

@@ -89,7 +89,11 @@ impl BitsetEngine {
             + self.succ_off.len() * 4
     }
 
-    fn scan(&mut self, input: &[u8], mut on_cycle: impl FnMut(u64, usize, usize)) -> Vec<MatchEvent> {
+    fn scan(
+        &mut self,
+        input: &[u8],
+        mut on_cycle: impl FnMut(u64, usize, usize),
+    ) -> Vec<MatchEvent> {
         let words = self.words;
         let mut events = Vec::new();
         if words == 0 {
@@ -105,8 +109,8 @@ impl BitsetEngine {
             let mut matched_count = 0usize;
             let mut enabled_count = 0usize;
             let mut any_report = 0u64;
-            for w in 0..words {
-                let m = self.enabled[w] & row[w];
+            for (w, &row_w) in row.iter().enumerate() {
+                let m = self.enabled[w] & row_w;
                 self.matched[w] = m;
                 matched_count += m.count_ones() as usize;
                 enabled_count += self.enabled[w].count_ones() as usize;
@@ -211,8 +215,7 @@ mod tests {
     #[test]
     fn word_boundary_states() {
         // Force > 64 states so multiple words are exercised.
-        let patterns: Vec<String> =
-            (0..30).map(|i| format!("x{i:02}y")).collect();
+        let patterns: Vec<String> = (0..30).map(|i| format!("x{i:02}y")).collect();
         let refs: Vec<&str> = patterns.iter().map(String::as_str).collect();
         let nfa = compile_patterns(&refs).unwrap();
         assert!(nfa.len() > 64);

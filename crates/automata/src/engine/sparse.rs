@@ -84,7 +84,11 @@ impl SparseEngine {
         self.labels.len()
     }
 
-    fn scan(&mut self, input: &[u8], mut on_cycle: impl FnMut(u64, usize, usize)) -> Vec<MatchEvent> {
+    fn scan(
+        &mut self,
+        input: &[u8],
+        mut on_cycle: impl FnMut(u64, usize, usize),
+    ) -> Vec<MatchEvent> {
         let mut events = Vec::new();
         self.enabled.clear();
         self.enabled.extend_from_slice(&self.start_of_data);

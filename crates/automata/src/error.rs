@@ -46,7 +46,10 @@ impl fmt::Display for Error {
                 write!(f, "regex parse error at byte {offset}: {reason}")
             }
             Error::NullableRegex => {
-                write!(f, "pattern matches the empty string, which homogeneous automata cannot report")
+                write!(
+                    f,
+                    "pattern matches the empty string, which homogeneous automata cannot report"
+                )
             }
             Error::ParseAnml { line, reason } => {
                 write!(f, "ANML parse error at line {line}: {reason}")

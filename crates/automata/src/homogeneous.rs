@@ -310,12 +310,7 @@ impl HomNfa {
         for (i, &k) in keep.iter().enumerate() {
             if k {
                 states.push(self.states[i].clone());
-                succ.push(
-                    self.succ[i]
-                        .iter()
-                        .filter_map(|t| map[t.index()])
-                        .collect::<Vec<_>>(),
-                );
+                succ.push(self.succ[i].iter().filter_map(|t| map[t.index()]).collect::<Vec<_>>());
             }
         }
         self.states = states;
@@ -419,11 +414,8 @@ mod tests {
     fn union_all_renumbers_reports() {
         let u = HomNfa::union_all([&abc(), &abc(), &abc()], true);
         assert_eq!(u.len(), 9);
-        let codes: Vec<u32> = u
-            .reporting_states()
-            .iter()
-            .map(|&s| u.state(s).report.unwrap().0)
-            .collect();
+        let codes: Vec<u32> =
+            u.reporting_states().iter().map(|&s| u.state(s).report.unwrap().0).collect();
         assert_eq!(codes, vec![0, 1, 2]);
         // Without renumbering the original codes persist.
         let u = HomNfa::union_all([&abc(), &abc()], false);

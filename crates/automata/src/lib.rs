@@ -43,8 +43,8 @@
 #![forbid(unsafe_code)]
 
 pub mod analysis;
-pub mod build;
 pub mod anml;
+pub mod build;
 pub mod charclass;
 pub mod engine;
 pub mod error;

@@ -313,16 +313,8 @@ mod tests {
         let n = sample();
         let ne = n.without_epsilon();
         assert_eq!(ne.eps_count(), 0);
-        for input in [
-            b"ad".as_slice(),
-            b"abcd",
-            b"abbbccd",
-            b"a",
-            b"bd",
-            b"xxabdxx",
-            b"",
-            b"dddd",
-        ] {
+        for input in [b"ad".as_slice(), b"abcd", b"abbbccd", b"a", b"bd", b"xxabdxx", b"", b"dddd"]
+        {
             assert_eq!(n.run_reference(input), ne.run_reference(input), "input {input:?}");
         }
     }

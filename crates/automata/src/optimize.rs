@@ -66,16 +66,19 @@ pub fn merge_common_prefixes(nfa: &HomNfa) -> (HomNfa, OptimizeStats) {
             break;
         }
     }
-    let stats =
-        OptimizeStats { states_before: before, states_after: current.len(), rounds };
+    let stats = OptimizeStats { states_before: before, states_after: current.len(), rounds };
     (current, stats)
 }
+
+/// Merge-candidate buckets keyed by activation signature:
+/// (label bits, start kind, report, sorted neighbour ids).
+type SignatureGroups = HashMap<([u64; 4], u8, Option<u32>, Vec<u32>), Vec<StateId>>;
 
 /// One merge round: groups states by activation signature and rebuilds.
 fn merge_round(nfa: &HomNfa) -> (HomNfa, bool) {
     let pred = nfa.predecessors();
     // signature: (label bits, start kind, report, sorted predecessor ids)
-    let mut groups: HashMap<([u64; 4], u8, Option<u32>, Vec<u32>), Vec<StateId>> = HashMap::new();
+    let mut groups: SignatureGroups = HashMap::new();
     for (id, st) in nfa.iter() {
         // Self-loops are replaced by a sentinel so two states that differ
         // only in *which* state they self-loop on (their own) can merge:
@@ -164,13 +167,10 @@ fn suffix_round(nfa: &HomNfa) -> (HomNfa, bool) {
     // signature: (label, start, report, sorted successors with self-loops
     // mapped to a sentinel — the same soundness argument as prefix merging,
     // run over the reversed automaton)
-    let mut groups: HashMap<([u64; 4], u8, Option<u32>, Vec<u32>), Vec<StateId>> = HashMap::new();
+    let mut groups: SignatureGroups = HashMap::new();
     for (id, st) in nfa.iter() {
-        let mut succ: Vec<u32> = nfa
-            .successors(id)
-            .iter()
-            .map(|t| if *t == id { u32::MAX } else { t.0 })
-            .collect();
+        let mut succ: Vec<u32> =
+            nfa.successors(id).iter().map(|t| if *t == id { u32::MAX } else { t.0 }).collect();
         succ.sort_unstable();
         succ.dedup();
         let key = (

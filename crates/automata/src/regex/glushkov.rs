@@ -95,11 +95,9 @@ struct Info {
 fn analyze(core: &Core, follow: &mut [BTreeSet<usize>]) -> Info {
     match core {
         Core::Empty => Info { nullable: true, first: BTreeSet::new(), last: BTreeSet::new() },
-        Core::Pos(p) => Info {
-            nullable: false,
-            first: BTreeSet::from([*p]),
-            last: BTreeSet::from([*p]),
-        },
+        Core::Pos(p) => {
+            Info { nullable: false, first: BTreeSet::from([*p]), last: BTreeSet::from([*p]) }
+        }
         Core::Cat(a, b) => {
             let ia = analyze(a, follow);
             let ib = analyze(b, follow);
@@ -159,7 +157,10 @@ pub fn compile_ast(pattern: &Pattern, code: ReportCode) -> Result<HomNfa> {
     }
     for (p, next) in follow.iter().enumerate() {
         for &q in next {
-            nfa.add_edge(crate::homogeneous::StateId(p as u32), crate::homogeneous::StateId(q as u32));
+            nfa.add_edge(
+                crate::homogeneous::StateId(p as u32),
+                crate::homogeneous::StateId(q as u32),
+            );
         }
     }
     debug_assert!(nfa.validate().is_ok());

@@ -350,15 +350,14 @@ impl<'a> Parser<'a> {
             first = false;
             let lo = self.class_item()?;
             // range?
-            if self.peek() == Some(b'-')
-                && self.bytes.get(self.pos + 1).is_some_and(|&n| n != b']')
+            if self.peek() == Some(b'-') && self.bytes.get(self.pos + 1).is_some_and(|&n| n != b']')
             {
                 self.pos += 1; // consume '-'
                 let lo_b = single_symbol(&lo)
                     .ok_or_else(|| self.err("class escape cannot start a range"))?;
                 let hi = self.class_item()?;
-                let hi_b =
-                    single_symbol(&hi).ok_or_else(|| self.err("class escape cannot end a range"))?;
+                let hi_b = single_symbol(&hi)
+                    .ok_or_else(|| self.err("class escape cannot end a range"))?;
                 if hi_b < lo_b {
                     return Err(self.err(format!(
                         "reversed range {}-{} in class",
@@ -466,10 +465,7 @@ mod tests {
         let p = ok("[^a]");
         assert_eq!(p.ast, Ast::Class(CharClass::byte(b'a').negate()));
         let p = ok("[abc0-9]");
-        assert_eq!(
-            p.ast,
-            Ast::Class(CharClass::of(b"abc").union(&CharClass::range(b'0', b'9')))
-        );
+        assert_eq!(p.ast, Ast::Class(CharClass::of(b"abc").union(&CharClass::range(b'0', b'9'))));
         // ']' first is a literal
         let p = ok("[]a]");
         assert_eq!(p.ast, Ast::Class(CharClass::of(b"]a")));
@@ -506,10 +502,7 @@ mod tests {
     #[test]
     fn classes_in_brackets() {
         let p = ok("[\\d_]");
-        assert_eq!(
-            p.ast,
-            Ast::Class(CharClass::range(b'0', b'9').union(&CharClass::byte(b'_')))
-        );
+        assert_eq!(p.ast, Ast::Class(CharClass::range(b'0', b'9').union(&CharClass::byte(b'_'))));
         fails("[\\d-z]"); // multi-symbol escape cannot open a range
     }
 

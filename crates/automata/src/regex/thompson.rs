@@ -104,8 +104,7 @@ fn fragment(ast: &Ast, nfa: &mut ClassicalNfa) -> (u32, u32) {
 pub fn compile_ast_thompson(pattern: &Pattern, code: ReportCode) -> Result<HomNfa> {
     let classical = thompson_classical(pattern, code)?;
     let no_eps = classical.without_epsilon();
-    let start_kind =
-        if pattern.anchored { StartKind::StartOfData } else { StartKind::AllInput };
+    let start_kind = if pattern.anchored { StartKind::StartOfData } else { StartKind::AllInput };
     homogenize(&no_eps, start_kind)
 }
 

@@ -157,11 +157,7 @@ pub fn to_nibble_nfa_with_stats(nfa: &HomNfa) -> (HomNfa, StrideStats) {
             }
         }
     }
-    let stats = StrideStats {
-        states_before: nfa.len(),
-        states_after: out.len(),
-        max_rectangles,
-    };
+    let stats = StrideStats { states_before: nfa.len(), states_after: out.len(), max_rectangles };
     (out, stats)
 }
 
@@ -212,12 +208,9 @@ mod tests {
     fn equivalence_on_patterns() {
         for pattern in ["cat", "ca[rt]", "a.*b", "[a-z]{2}[0-9]", "^head", "x|yy|zzz"] {
             let nfa = compile_pattern(pattern).unwrap();
-            for input in [
-                b"the cat sat on a9 mat".as_slice(),
-                b"a--b zz0 head",
-                b"x yy zzz head cat",
-                b"",
-            ] {
+            for input in
+                [b"the cat sat on a9 mat".as_slice(), b"a--b zz0 head", b"x yy zzz head cat", b""]
+            {
                 assert_eq!(
                     byte_events(&nfa, input),
                     nibble_events(&nfa, input),

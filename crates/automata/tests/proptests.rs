@@ -30,8 +30,7 @@ fn pattern_strategy() -> impl Strategy<Value = String> {
             // concatenation
             prop::collection::vec(inner.clone(), 1..4).prop_map(|v| v.concat()),
             // alternation
-            prop::collection::vec(inner.clone(), 2..4)
-                .prop_map(|v| format!("({})", v.join("|"))),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(|v| format!("({})", v.join("|"))),
             // quantifiers applied to a parenthesized body
             (inner.clone(), prop::sample::select(vec!["*", "+", "?", "{2}", "{1,3}", "{2,}"]))
                 .prop_map(|(body, q)| format!("({body}){q}")),
@@ -51,7 +50,7 @@ fn input_strategy() -> impl Strategy<Value = Vec<u8>> {
 fn nfa_strategy() -> impl Strategy<Value = HomNfa> {
     let state = (
         prop::collection::vec(prop::sample::select(b"abcd".to_vec()), 1..4),
-        0..3u8,  // start kind selector
+        0..3u8,                     // start kind selector
         prop::bool::weighted(0.25), // reporting?
     );
     prop::collection::vec(state, 1..24).prop_flat_map(|specs| {
@@ -69,10 +68,7 @@ fn nfa_strategy() -> impl Strategy<Value = HomNfa> {
                 nfa.add_state_full(CharClass::of(bytes), start, report);
             }
             for (a, b) in edges {
-                nfa.add_edge(
-                    ca_automata::StateId(a as u32),
-                    ca_automata::StateId(b as u32),
-                );
+                nfa.add_edge(ca_automata::StateId(a as u32), ca_automata::StateId(b as u32));
             }
             // Guarantee at least one start and one report so runs are
             // meaningful.

@@ -55,9 +55,9 @@ impl AhoCorasick {
         // BFS failure links; convert goto into a total transition function.
         let mut fail = vec![0u32; goto.len()];
         let mut queue = VecDeque::new();
-        for b in 0..256 {
-            match goto[0][b] {
-                u32::MAX => goto[0][b] = 0,
+        for slot in goto[0].iter_mut() {
+            match *slot {
+                u32::MAX => *slot = 0,
                 s => {
                     fail[s as usize] = 0;
                     queue.push_back(s);
@@ -69,12 +69,13 @@ impl AhoCorasick {
             // merge outputs from the fail target
             let inherited = output[f as usize].clone();
             output[state as usize].extend(inherited);
-            for b in 0..256 {
-                let next = goto[state as usize][b];
+            let frow = goto[f as usize];
+            for (slot, &fnext) in goto[state as usize].iter_mut().zip(frow.iter()) {
+                let next = *slot;
                 if next == u32::MAX {
-                    goto[state as usize][b] = goto[f as usize][b];
+                    *slot = fnext;
                 } else {
-                    fail[next as usize] = goto[f as usize][b];
+                    fail[next as usize] = fnext;
                     queue.push_back(next);
                 }
             }
@@ -153,13 +154,7 @@ mod tests {
         let ac = AhoCorasick::new(&patterns.map(str::as_bytes));
         let nfa = compile_patterns(&patterns).unwrap();
         let mut sparse = SparseEngine::new(&nfa);
-        for input in [
-            b"a cat in a cart".as_slice(),
-            b"attta",
-            b"",
-            b"ttttt",
-            b"catcartatt",
-        ] {
+        for input in [b"a cat in a cart".as_slice(), b"attta", b"", b"ttttt", b"catcartatt"] {
             let mut a = ac.scan(input);
             let mut b = sparse.run(input);
             a.sort();

@@ -93,11 +93,7 @@ mod tests {
 
     #[test]
     fn ideal_energy_uses_activity() {
-        let stats = ExecStats {
-            symbols: 10,
-            active_partition_cycles: 20,
-            ..Default::default()
-        };
+        let stats = ExecStats { symbols: 10, active_partition_cycles: 20, ..Default::default() };
         let nj = ApModel::default().ideal_energy_per_symbol_nj(&stats);
         // 2 active partitions/symbol x 256 pJ = 0.512 nJ
         assert!((nj - 0.512).abs() < 1e-9);

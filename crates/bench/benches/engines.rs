@@ -33,16 +33,14 @@ fn bench_engines(c: &mut Criterion) {
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         ca_workloads::patterns::exact_match_patterns(&mut rng, 300)
     };
-    let ac = ca_baselines::AhoCorasick::new(
-        &patterns.iter().map(String::as_bytes).collect::<Vec<_>>(),
-    );
+    let ac =
+        ca_baselines::AhoCorasick::new(&patterns.iter().map(String::as_bytes).collect::<Vec<_>>());
     group.bench_function(BenchmarkId::new("aho_corasick_cpu", "300 literals"), |b| {
         b.iter(|| ac.count_matches(&literal_input))
     });
 
     for design in [DesignKind::Performance, DesignKind::Space] {
-        let compiled =
-            compile(&workload.nfa, &CompilerOptions::for_design(design)).expect("fits");
+        let compiled = compile(&workload.nfa, &CompilerOptions::for_design(design)).expect("fits");
         group.bench_function(BenchmarkId::new("fabric", design.abbrev()), |b| {
             let mut fabric = Fabric::new(&compiled.bitstream).expect("valid");
             b.iter(|| fabric.run(&input).events.len())

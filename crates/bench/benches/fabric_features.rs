@@ -8,17 +8,15 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_fabric_features(c: &mut Criterion) {
     let workload = Benchmark::Bro217.build(Scale(0.5), 7);
-    let compiled =
-        compile(&workload.nfa, &CompilerOptions::for_design(DesignKind::Performance))
-            .expect("fits");
+    let compiled = compile(&workload.nfa, &CompilerOptions::for_design(DesignKind::Performance))
+        .expect("fits");
     let input = workload.input(64 * 1024, 3);
 
     let mut group = c.benchmark_group("fabric_features");
     group.sample_size(10);
 
-    group.bench_function("emit_pages", |b| {
-        b.iter(|| emit_pages(&compiled.bitstream).total_bytes())
-    });
+    group
+        .bench_function("emit_pages", |b| b.iter(|| emit_pages(&compiled.bitstream).total_bytes()));
 
     let image = emit_pages(&compiled.bitstream);
     group.bench_function("capg_roundtrip", |b| {

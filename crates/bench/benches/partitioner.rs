@@ -24,10 +24,8 @@ fn bench_partitioner(c: &mut Criterion) {
     let mut group = c.benchmark_group("partitioner");
     group.sample_size(10);
 
-    for (label, g, k) in [
-        ("grid_32x32_k8", grid(32, 32), 8),
-        ("grid_64x64_k16", grid(64, 64), 16),
-    ] {
+    for (label, g, k) in [("grid_32x32_k8", grid(32, 32), 8), ("grid_64x64_k16", grid(64, 64), 16)]
+    {
         group.bench_function(BenchmarkId::new("kway", label), |b| {
             b.iter(|| partition_kway(&g, k, &PartitionOptions::default()).edgecut)
         });

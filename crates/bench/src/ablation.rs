@@ -15,16 +15,16 @@ use ca_workloads::Benchmark;
 /// next-fit ascending), and the raw lower bound.
 pub fn ablation_packing(config: &RunConfig) -> String {
     let mut t = Table::new([
-        "Benchmark", "States", "Lower bound", "Next-fit asc (paper text)", "FFD+residual (ours)",
+        "Benchmark",
+        "States",
+        "Lower bound",
+        "Next-fit asc (paper text)",
+        "FFD+residual (ours)",
         "Fill %",
     ]);
-    for benchmark in [
-        Benchmark::Snort,
-        Benchmark::Dotstar,
-        Benchmark::Bro217,
-        Benchmark::Spm,
-        Benchmark::ClamAv,
-    ] {
+    for benchmark in
+        [Benchmark::Snort, Benchmark::Dotstar, Benchmark::Bro217, Benchmark::Spm, Benchmark::ClamAv]
+    {
         let w = benchmark.build(config.scale, config.seed);
         let cc = connected_components(&w.nfa);
         // next-fit ascending over whole components; oversized components
@@ -66,8 +66,13 @@ pub fn ablation_packing(config: &RunConfig) -> String {
 /// Prefix-merging ablation: CA_S with and without the optimizer.
 pub fn ablation_merging(config: &RunConfig) -> String {
     let mut t = Table::new([
-        "Benchmark", "States (raw)", "Prefix-merged (paper)", "Bidir, unified codes (ext)",
-        "Partitions (raw)", "Partitions (merged)", "Reduction %",
+        "Benchmark",
+        "States (raw)",
+        "Prefix-merged (paper)",
+        "Bidir, unified codes (ext)",
+        "Partitions (raw)",
+        "Partitions (merged)",
+        "Reduction %",
     ]);
     for benchmark in [Benchmark::Spm, Benchmark::Snort, Benchmark::Brill, Benchmark::Tcp] {
         let w = benchmark.build(config.scale, config.seed);
@@ -109,7 +114,11 @@ pub fn ablation_merging(config: &RunConfig) -> String {
 pub fn ablation_floorplan() -> String {
     use ca_sim::{CacheGeometry, Floorplan, PartitionLocation, TimingParams};
     let mut t = Table::new([
-        "Ways occupied", "Worst wire (mm)", "G-stage (ps)", "Max freq (GHz)", "Bottleneck",
+        "Ways occupied",
+        "Worst wire (mm)",
+        "G-stage (ps)",
+        "Max freq (GHz)",
+        "Bottleneck",
     ]);
     let fp = Floorplan::default();
     let geom = CacheGeometry::for_design(DesignKind::Performance, 1);
@@ -147,8 +156,12 @@ pub fn ablation_floorplan() -> String {
 pub fn ablation_stride(config: &RunConfig) -> String {
     use ca_automata::stride::to_nibble_nfa_with_stats;
     let mut t = Table::new([
-        "Benchmark (5%)", "States (8-bit)", "States (4-bit)", "Inflation x",
-        "Max rectangles", "Net capacity cost x",
+        "Benchmark (5%)",
+        "States (8-bit)",
+        "States (4-bit)",
+        "Inflation x",
+        "Max rectangles",
+        "Net capacity cost x",
     ]);
     for benchmark in [
         Benchmark::ExactMatch,
@@ -184,7 +197,11 @@ pub fn ablation_stride(config: &RunConfig) -> String {
 /// hardware NFA execution (§1, §6).
 pub fn dfa_blowup(config: &RunConfig) -> String {
     let mut t = Table::new([
-        "Workload", "NFA states", "NFA cache (KB)", "DFA states (lazy)", "DFA table (MB)",
+        "Workload",
+        "NFA states",
+        "NFA cache (KB)",
+        "DFA states (lazy)",
+        "DFA table (MB)",
         "Budget hit?",
     ]);
     let budget = 1 << 15;
@@ -193,12 +210,9 @@ pub fn dfa_blowup(config: &RunConfig) -> String {
     // NFA cache bytes: 256-bit STE columns (what the Cache Automaton loads).
     let nfa_kb = |states: usize| states as f64 * 32.0 / 1024.0;
 
-    for benchmark in [
-        Benchmark::ExactMatch,
-        Benchmark::Dotstar06,
-        Benchmark::Dotstar09,
-        Benchmark::Snort,
-    ] {
+    for benchmark in
+        [Benchmark::ExactMatch, Benchmark::Dotstar06, Benchmark::Dotstar09, Benchmark::Snort]
+    {
         // Lazy determinization over an adversarial (wall-to-wall fragments)
         // trace; the visited-subset count is a *lower bound* on the real
         // DFA size.
@@ -219,7 +233,8 @@ pub fn dfa_blowup(config: &RunConfig) -> String {
     // The classic exponential case: bounded wildcard windows, as in ClamAV
     // signatures (`a.{14}b`) — every combination of in-flight windows is a
     // distinct subset.
-    let patterns: Vec<String> = (0..20).map(|i| format!("{}.{{14}}b", (b'a' + i % 3) as char)).collect();
+    let patterns: Vec<String> =
+        (0..20).map(|i| format!("{}.{{14}}b", (b'a' + i % 3) as char)).collect();
     let refs: Vec<&str> = patterns.iter().map(String::as_str).collect();
     let nfa = ca_automata::regex::compile_patterns(&refs).expect("compiles");
     let mut rng = {
@@ -229,7 +244,7 @@ pub fn dfa_blowup(config: &RunConfig) -> String {
     let input: Vec<u8> = (0..96 * 1024)
         .map(|_| {
             use rand::Rng;
-            *[b'a', b'b', b'c', b'x'].get(rng.gen_range(0..4)).expect("in range")
+            *[b'a', b'b', b'c', b'x'].get(rng.gen_range(0..4usize)).expect("in range")
         })
         .collect();
     let mut dfa = DfaEngine::with_limit(&nfa, budget);

@@ -44,10 +44,8 @@ fn main() {
         i += 1;
     }
 
-    let needs_suite = matches!(
-        target.as_str(),
-        "all" | "table1" | "fig7" | "fig8" | "fig9" | "summary"
-    );
+    let needs_suite =
+        matches!(target.as_str(), "all" | "table1" | "fig7" | "fig8" | "fig9" | "summary");
     let results = if needs_suite { suite::run_all(&config) } else { Vec::new() };
 
     let mut sections: Vec<String> = Vec::new();

@@ -43,9 +43,9 @@ impl Table {
         let mut out = String::new();
         let emit_row = |out: &mut String, cells: &[String]| {
             out.push('|');
-            for i in 0..cols {
+            for (i, w) in widths.iter().enumerate().take(cols) {
                 let cell = cells.get(i).map(String::as_str).unwrap_or("");
-                out.push_str(&format!(" {cell:<width$} |", width = widths[i]));
+                out.push_str(&format!(" {cell:<w$} |"));
             }
             out.push('\n');
         };
@@ -96,7 +96,7 @@ mod tests {
 
     #[test]
     fn fnum_digits() {
-        assert_eq!(fnum(3.14159, 2), "3.14");
+        assert_eq!(fnum(1.23456, 2), "1.23");
         assert_eq!(fnum(10.0, 0), "10");
     }
 }

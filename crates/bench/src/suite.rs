@@ -137,10 +137,7 @@ pub fn ap() -> ApModel {
 
 /// Convenience accessor: a [`Workload`] and its input for ad-hoc harness
 /// use (Table 5 uses Dotstar09 specifically).
-pub fn workload_with_input(
-    benchmark: Benchmark,
-    config: &RunConfig,
-) -> (Workload, Vec<u8>) {
+pub fn workload_with_input(benchmark: Benchmark, config: &RunConfig) -> (Workload, Vec<u8>) {
     let w = benchmark.build(config.scale, config.seed);
     let input = w.input(config.input_kib * 1024, config.seed + 1);
     (w, input)

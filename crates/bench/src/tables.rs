@@ -5,15 +5,27 @@ use crate::suite::{workload_with_input, BenchResult, RunConfig};
 use ca_baselines::{HARE, UAP};
 use ca_compiler::{compile, CompilerOptions};
 use ca_sim::{
-    area_for_stes, design_timing, energy_report, pipeline_timing, DesignKind, EnergyParams,
-    Fabric, SwitchSpec, TimingParams, WireLayer,
+    area_for_stes, design_timing, energy_report, pipeline_timing, DesignKind, EnergyParams, Fabric,
+    SwitchSpec, TimingParams, WireLayer,
 };
 
 /// Table 1 — benchmark characteristics, measured vs published.
 pub fn table1(results: &[BenchResult]) -> String {
     let mut t = Table::new([
-        "Benchmark", "States", "(paper)", "CCs", "(paper)", "LargestCC", "(paper)",
-        "AvgActive", "(paper)", "S-States", "(paper)", "S-CCs", "(paper)", "S-AvgActive",
+        "Benchmark",
+        "States",
+        "(paper)",
+        "CCs",
+        "(paper)",
+        "LargestCC",
+        "(paper)",
+        "AvgActive",
+        "(paper)",
+        "S-States",
+        "(paper)",
+        "S-CCs",
+        "(paper)",
+        "S-AvgActive",
         "(paper)",
     ]);
     for r in results {
@@ -47,7 +59,12 @@ pub fn table1(results: &[BenchResult]) -> String {
 /// published values exactly).
 pub fn table2() -> String {
     let mut t = Table::new([
-        "Design", "Switch", "Size", "Delay (ps)", "Energy (pJ/bit)", "Area (mm2)",
+        "Design",
+        "Switch",
+        "Size",
+        "Delay (ps)",
+        "Energy (pJ/bit)",
+        "Area (mm2)",
         "Count/slice",
     ]);
     let rows: [(&str, &str, SwitchSpec, usize); 5] = [
@@ -74,8 +91,13 @@ pub fn table2() -> String {
 /// Table 3 — pipeline stage delays and operating frequency.
 pub fn table3() -> String {
     let mut t = Table::new([
-        "Design", "State-Match (ps)", "G-Switch (ps)", "L-Switch (ps)", "Max Freq (GHz)",
-        "Operated (GHz)", "Paper",
+        "Design",
+        "State-Match (ps)",
+        "G-Switch (ps)",
+        "L-Switch (ps)",
+        "Max Freq (GHz)",
+        "Operated (GHz)",
+        "Paper",
     ]);
     for (design, paper) in [
         (DesignKind::Performance, "438 / 227 / 263 -> 2.3 / 2.0"),
@@ -121,9 +143,7 @@ pub fn table4() -> String {
 pub fn table5(config: &RunConfig) -> String {
     let (workload, input) = workload_with_input(ca_workloads::Benchmark::Dotstar09, config);
     let bytes_10mb: u64 = 10 * 1024 * 1024;
-    let mut t = Table::new([
-        "Metric", "HARE (W=32)", "UAP", "CA_P", "CA_S", "Paper (CA_P/CA_S)",
-    ]);
+    let mut t = Table::new(["Metric", "HARE (W=32)", "UAP", "CA_P", "CA_S", "Paper (CA_P/CA_S)"]);
     let mut ca: Vec<(f64, f64, f64, f64)> = Vec::new(); // gbps, ms, W, nJ/B
     for design in [DesignKind::Performance, DesignKind::Space] {
         let nfa = if design == DesignKind::Space {
@@ -143,10 +163,31 @@ pub fn table5(config: &RunConfig) -> String {
         ca.push((gbps, ms, energy.avg_power_w, energy.per_symbol_nj));
     }
     let rows: [(&str, f64, f64, f64, f64, &str); 5] = [
-        ("Throughput (Gbps)", HARE.throughput_gbps, UAP.throughput_gbps, ca[0].0, ca[1].0, "15.6 / 9.4"),
-        ("Runtime (ms, 10MB)", HARE.scan_time_ms(bytes_10mb), UAP.scan_time_ms(bytes_10mb), ca[0].1, ca[1].1, "5.24 / 8.74"),
+        (
+            "Throughput (Gbps)",
+            HARE.throughput_gbps,
+            UAP.throughput_gbps,
+            ca[0].0,
+            ca[1].0,
+            "15.6 / 9.4",
+        ),
+        (
+            "Runtime (ms, 10MB)",
+            HARE.scan_time_ms(bytes_10mb),
+            UAP.scan_time_ms(bytes_10mb),
+            ca[0].1,
+            ca[1].1,
+            "5.24 / 8.74",
+        ),
         ("Power (W)", HARE.power_w, UAP.power_w, ca[0].2, ca[1].2, "7.72 / 1.08"),
-        ("Energy (nJ/byte)", HARE.energy_nj_per_byte, UAP.energy_nj_per_byte, ca[0].3, ca[1].3, "4.04 / 0.94"),
+        (
+            "Energy (nJ/byte)",
+            HARE.energy_nj_per_byte,
+            UAP.energy_nj_per_byte,
+            ca[0].3,
+            ca[1].3,
+            "4.04 / 0.94",
+        ),
         (
             "Area (mm2)",
             HARE.area_mm2,

@@ -141,8 +141,7 @@ pub fn emit(
         }
     }
 
-    let bitstream =
-        Bitstream { design, geometry: *geom, partitions: images, routes };
+    let bitstream = Bitstream { design, geometry: *geom, partitions: images, routes };
     bitstream
         .validate()
         .map_err(|e| CompileError::Internal(format!("emitted bitstream invalid: {e}")))?;
@@ -164,7 +163,14 @@ mod tests {
     fn single_partition_emission() {
         let nfa = compile_patterns(&["cat", "dog"]).unwrap();
         let cc = connected_components(&nfa);
-        let p = plan(&nfa, &cc, 0, &crate::plan::PortBudget { same_way: 16, cross_way: 8, way_states: 2048 }, 1).unwrap();
+        let p = plan(
+            &nfa,
+            &cc,
+            0,
+            &crate::plan::PortBudget { same_way: 16, cross_way: 8, way_states: 2048 },
+            1,
+        )
+        .unwrap();
         let geom = CacheGeometry::for_design(DesignKind::Performance, 1);
         let locs = trivial_place(p.partitions, &geom);
         let (bs, map) = emit(&nfa, &p, &locs, &geom, DesignKind::Performance).unwrap();
@@ -179,8 +185,8 @@ mod tests {
 
     #[test]
     fn cross_partition_routes_share_import_ports_by_mask() {
-        use ca_automata::{CharClass, HomNfa, ReportCode, StartKind};
         use crate::plan::LogicalPlan;
+        use ca_automata::{CharClass, HomNfa, ReportCode, StartKind};
         // Two source states in partition 0 target the SAME state in
         // partition 1 -> identical dest masks -> one shared import port.
         // A third source targets a different state -> second port.
@@ -223,7 +229,14 @@ mod tests {
     fn start_and_report_bits_land() {
         let nfa = compile_patterns(&["ab"]).unwrap();
         let cc = connected_components(&nfa);
-        let p = plan(&nfa, &cc, 0, &crate::plan::PortBudget { same_way: 16, cross_way: 8, way_states: 2048 }, 1).unwrap();
+        let p = plan(
+            &nfa,
+            &cc,
+            0,
+            &crate::plan::PortBudget { same_way: 16, cross_way: 8, way_states: 2048 },
+            1,
+        )
+        .unwrap();
         let geom = CacheGeometry::for_design(DesignKind::Performance, 1);
         let locs = trivial_place(p.partitions, &geom);
         let (bs, map) = emit(&nfa, &p, &locs, &geom, DesignKind::Performance).unwrap();

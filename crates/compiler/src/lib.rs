@@ -229,11 +229,8 @@ pub fn compile(nfa: &HomNfa, opts: &CompilerOptions) -> Result<CompiledAutomaton
         let locations = place::place(&logical, &quotient, &geom, opts.seed)?;
         match emit::emit(nfa, &logical, &locations, &geom, opts.design) {
             Ok((bitstream, state_map)) => {
-                let g1_routes = bitstream
-                    .routes
-                    .iter()
-                    .filter(|r| r.via == ca_sim::RouteVia::G1)
-                    .count();
+                let g1_routes =
+                    bitstream.routes.iter().filter(|r| r.via == ca_sim::RouteVia::G1).count();
                 let g4_routes = bitstream.routes.len() - g1_routes;
                 let stats = MappingStats {
                     states: nfa.len(),

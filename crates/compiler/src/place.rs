@@ -33,9 +33,7 @@ impl<'a> SlotTable<'a> {
     }
 
     fn slice_free(&self, slice: usize) -> usize {
-        (0..self.geom.automata_ways)
-            .map(|w| self.free(slice * self.geom.automata_ways + w))
-            .sum()
+        (0..self.geom.automata_ways).map(|w| self.free(slice * self.geom.automata_ways + w)).sum()
     }
 
     /// Takes `n` slots from `global_way`, returning their locations.
@@ -194,11 +192,9 @@ fn place_slice_spanning(
     }
     let edges: Vec<(u32, u32, u32)> = quotient
         .iter()
-        .filter_map(|&(a, b, w)| {
-            match (local.get(&a), local.get(&b)) {
-                (Some(&la), Some(&lb)) if la != lb => Some((la, lb, w)),
-                _ => None,
-            }
+        .filter_map(|&(a, b, w)| match (local.get(&a), local.get(&b)) {
+            (Some(&la), Some(&lb)) if la != lb => Some((la, lb, w)),
+            _ => None,
         })
         .collect();
     let graph = Graph::from_edges(n, &edges);
@@ -312,8 +308,7 @@ mod tests {
         let geom = CacheGeometry::for_design(DesignKind::Space, 1);
         // 20 parts > 16 per way: needs 2 ways, fine on CA_S
         // quotient: a chain 0-1-2-...-19
-        let quotient: Vec<(u32, u32, u32)> =
-            (0..19u32).map(|i| (i, i + 1, 4)).collect();
+        let quotient: Vec<(u32, u32, u32)> = (0..19u32).map(|i| (i, i + 1, 4)).collect();
         let plan = plan_of(20, vec![0; 20]);
         let locs = place(&plan, &quotient, &geom, 1).unwrap();
         // all in one slice

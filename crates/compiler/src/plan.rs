@@ -46,11 +46,7 @@ impl LogicalPlan {
 
 /// Worst-case port pressure of a candidate split of one component:
 /// `(max exporting STEs per part, max import wire groups per part)`.
-fn port_pressure(
-    edges: &[(u32, u32)],
-    assignment: &[u32],
-    parts: usize,
-) -> (usize, usize) {
+fn port_pressure(edges: &[(u32, u32)], assignment: &[u32], parts: usize) -> (usize, usize) {
     let mut exports: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); parts];
     // per destination part: the set of distinct destination groups; two
     // sources can share an import wire iff they activate the same set.
@@ -310,8 +306,7 @@ pub fn plan(
                 }
             }
         }
-        let weighted: Vec<(u32, u32, u32)> =
-            edges.iter().map(|&(a, b)| (a, b, 1)).collect();
+        let weighted: Vec<(u32, u32, u32)> = edges.iter().map(|&(a, b)| (a, b, 1)).collect();
         let graph = Graph::from_edges(members.len(), &weighted);
 
         let Some(local_assignment) = split_component(
@@ -357,9 +352,8 @@ pub fn plan(
     }
 
     // --- small components: first-fit-decreasing into residuals + new bins
-    let mut small: Vec<usize> = (0..cc.len())
-        .filter(|&i| cc.components[i].len() <= capacity)
-        .collect();
+    let mut small: Vec<usize> =
+        (0..cc.len()).filter(|&i| cc.components[i].len() <= capacity).collect();
     small.sort_by_key(|&i| std::cmp::Reverse(cc.components[i].len()));
     for &ci in &small {
         let size = cc.components[ci].len();
@@ -384,12 +378,7 @@ pub fn plan(
     }
 
     debug_assert!(assignment.iter().all(|&a| a != u32::MAX));
-    Ok(LogicalPlan {
-        assignment,
-        partitions: next_partition as usize,
-        cluster,
-        kway_invocations,
-    })
+    Ok(LogicalPlan { assignment, partitions: next_partition as usize, cluster, kway_invocations })
 }
 
 #[cfg(test)]
@@ -419,8 +408,7 @@ mod tests {
     #[test]
     fn packing_respects_capacity() {
         // 30 components x 30 states = 900 states -> 4 partitions (256 cap).
-        let patterns: Vec<String> =
-            (0..30).map(|i| format!("{:a>28}{i:02}", "")).collect();
+        let patterns: Vec<String> = (0..30).map(|i| format!("{:a>28}{i:02}", "")).collect();
         let refs: Vec<&str> = patterns.iter().map(String::as_str).collect();
         let nfa = compile_patterns(&refs).unwrap();
         let cc = connected_components(&nfa);

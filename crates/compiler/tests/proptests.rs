@@ -111,7 +111,7 @@ proptest! {
         let mut prev: Option<StateId> = None;
         for i in 0..n {
             let start = if i % 97 == 0 { StartKind::AllInput } else { StartKind::None };
-            let report = if i % 101 == 100 { Some(ReportCode(i as u32)) } else { None };
+            let report = if i % 101 == 100 { Some(ReportCode(i)) } else { None };
             let label = if i % 2 == 0 { b'a' } else { b'b' };
             let id = nfa.add_state_full(CharClass::byte(label), start, report);
             if let Some(p) = prev {

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cactl compile <rules> [--design P|S] [--slices N] [--pages OUT]
-//! cactl run     <rules> <input-file> [--design P|S] [--limit N] [--trace OUT]
+//! cactl run     <rules> <input-file> [--design P|S] [--limit N] [--trace OUT] [--shards N]
 //! cactl inspect <rules> [--design P|S]
 //! cactl anml    <rules>
 //! cactl frompages <image.capg> <input-file>
@@ -13,7 +13,7 @@
 //! ```
 
 use ca_baselines::measure_cpu as ca_baselines_measure;
-use cache_automaton::{CacheAutomaton, Design, Program};
+use cache_automaton::{CacheAutomaton, Design, Parallelism, Program};
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
@@ -36,6 +36,7 @@ struct Options {
     pages_out: Option<String>,
     trace_out: Option<String>,
     limit: usize,
+    shards: Option<Parallelism>,
     positional: Vec<String>,
 }
 
@@ -48,6 +49,7 @@ fn parse_args(args: Vec<String>) -> Result<(String, Options), String> {
         pages_out: None,
         trace_out: None,
         limit: 20,
+        shards: None,
         positional: Vec::new(),
     };
     let mut rest: Vec<String> = it.collect();
@@ -71,20 +73,27 @@ fn parse_args(args: Vec<String>) -> Result<(String, Options), String> {
                 rest.drain(i..=i + 1);
             }
             "--pages" => {
-                opts.pages_out =
-                    Some(rest.get(i + 1).ok_or("--pages needs a path")?.clone());
+                opts.pages_out = Some(rest.get(i + 1).ok_or("--pages needs a path")?.clone());
                 rest.drain(i..=i + 1);
             }
             "--trace" => {
-                opts.trace_out =
-                    Some(rest.get(i + 1).ok_or("--trace needs a path")?.clone());
+                opts.trace_out = Some(rest.get(i + 1).ok_or("--trace needs a path")?.clone());
                 rest.drain(i..=i + 1);
             }
             "--limit" => {
-                opts.limit = rest
-                    .get(i + 1)
-                    .and_then(|v| v.parse().ok())
-                    .ok_or("--limit needs a number")?;
+                opts.limit =
+                    rest.get(i + 1).and_then(|v| v.parse().ok()).ok_or("--limit needs a number")?;
+                rest.drain(i..=i + 1);
+            }
+            "--shards" => {
+                let v = rest.get(i + 1).ok_or("--shards needs a number or 'auto'")?;
+                opts.shards = Some(if v == "auto" {
+                    Parallelism::Auto
+                } else {
+                    Parallelism::Threads(
+                        v.parse().map_err(|_| "--shards needs a number or 'auto'")?,
+                    )
+                });
                 rest.drain(i..=i + 1);
             }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
@@ -105,11 +114,8 @@ fn load_nfa(path: &str) -> Result<cache_automaton::HomNfa, String> {
     if path.ends_with(".anml") || text.trim_start().starts_with('<') {
         ca_automata::anml::parse_anml(&text).map_err(|e| format!("{path}: {e}"))
     } else {
-        let patterns: Vec<&str> = text
-            .lines()
-            .map(str::trim)
-            .filter(|l| !l.is_empty() && !l.starts_with('#'))
-            .collect();
+        let patterns: Vec<&str> =
+            text.lines().map(str::trim).filter(|l| !l.is_empty() && !l.starts_with('#')).collect();
         if patterns.is_empty() {
             return Err(format!("{path}: no patterns found"));
         }
@@ -177,8 +183,18 @@ fn run(args: Vec<String>) -> Result<String, String> {
                 let mut r = program.run(&input);
                 r.matches = exec.events;
                 r
+            } else if let Some(parallelism) = opts.shards {
+                // sharded parallel scan: stripes on concurrent fabric
+                // instances, stitched into a serial-identical match list
+                program.run_parallel(&input, parallelism).map_err(|e| e.to_string())?
             } else {
-                program.run(&input)
+                // stream the file through a scan session in FIFO-refill
+                // sized chunks — what a deployed driver would do
+                let mut scanner = program.scanner();
+                for chunk in input.chunks(ca_sim::fabric::FIFO_REFILL_BYTES) {
+                    scanner.feed(chunk);
+                }
+                scanner.finish()
             };
             let _ = writeln!(
                 out,
@@ -266,10 +282,8 @@ fn run(args: Vec<String>) -> Result<String, String> {
             let [pages_path, input_path] = opts.positional.as_slice() else {
                 return Err("frompages needs a .capg file and an input file".into());
             };
-            let bytes =
-                std::fs::read(pages_path).map_err(|e| format!("{pages_path}: {e}"))?;
-            let image =
-                ca_sim::ConfigImage::from_capg_bytes(&bytes).map_err(|e| e.to_string())?;
+            let bytes = std::fs::read(pages_path).map_err(|e| format!("{pages_path}: {e}"))?;
+            let image = ca_sim::ConfigImage::from_capg_bytes(&bytes).map_err(|e| e.to_string())?;
             let bitstream = ca_sim::load_pages(&image).map_err(|e| e.to_string())?;
             let mut fabric = ca_sim::Fabric::new(&bitstream).map_err(|e| e.to_string())?;
             let input = std::fs::read(input_path).map_err(|e| format!("{input_path}: {e}"))?;

@@ -35,6 +35,8 @@
 use std::fmt;
 
 pub mod matches;
+mod scanner;
+mod shard;
 
 pub use ca_automata as automata;
 pub use ca_compiler as compiler;
@@ -45,7 +47,13 @@ pub use ca_automata::engine::MatchEvent;
 pub use ca_automata::{CharClass, HomNfa, ReportCode, StartKind, StateId};
 pub use ca_compiler::{CompileError, CompiledAutomaton, CompilerOptions, MappingStats};
 pub use ca_sim::DesignKind as Design;
-pub use ca_sim::{EnergyReport, ExecStats, PipelineTiming};
+pub use ca_sim::{EnergyReport, ExecStats, PipelineTiming, Snapshot};
+pub use scanner::Scanner;
+pub use shard::{Parallelism, ScanOptions};
+
+/// Largest LLC slice count the configuration accepts (well past any Xeon
+/// die; larger values are treated as configuration mistakes).
+pub const MAX_SLICES: usize = 64;
 
 /// Errors surfaced by the high-level API.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,6 +63,11 @@ pub enum CaError {
     Automata(ca_automata::Error),
     /// Mapping compiler failure.
     Compile(CompileError),
+    /// Invalid configuration or request (slice counts, empty pattern sets,
+    /// zero-thread scans, over-subscribed multi-stream scans).
+    Config(String),
+    /// Input/output failure while reading a stream or image.
+    Io(String),
 }
 
 impl fmt::Display for CaError {
@@ -62,6 +75,8 @@ impl fmt::Display for CaError {
         match self {
             CaError::Automata(e) => write!(f, "{e}"),
             CaError::Compile(e) => write!(f, "{e}"),
+            CaError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            CaError::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }
 }
@@ -71,7 +86,15 @@ impl std::error::Error for CaError {
         match self {
             CaError::Automata(e) => Some(e),
             CaError::Compile(e) => Some(e),
+            CaError::Config(_) | CaError::Io(_) => None,
         }
+    }
+}
+
+#[doc(hidden)]
+impl From<std::io::Error> for CaError {
+    fn from(e: std::io::Error) -> CaError {
+        CaError::Io(e.to_string())
     }
 }
 
@@ -114,30 +137,38 @@ pub struct Builder {
 
 impl Builder {
     /// Selects the design point (default: [`Design::Performance`]).
+    #[must_use]
     pub fn design(mut self, design: Design) -> Builder {
         self.design = design;
         self
     }
 
     /// Number of LLC slices to use (default: 8, the paper's prototype).
+    ///
+    /// Validated when a program is compiled: zero or more than
+    /// [`MAX_SLICES`] slices is a [`CaError::Config`].
+    #[must_use]
     pub fn slices(mut self, slices: usize) -> Builder {
         self.slices = Some(slices);
         self
     }
 
     /// Seed for the (deterministic) graph partitioner.
+    #[must_use]
     pub fn seed(mut self, seed: u64) -> Builder {
         self.seed = Some(seed);
         self
     }
 
     /// Space-optimization policy (default: [`Optimize::Auto`]).
+    #[must_use]
     pub fn optimize(mut self, optimize: Optimize) -> Builder {
         self.optimize = optimize;
         self
     }
 
     /// Finalizes the configuration.
+    #[must_use]
     pub fn build(self) -> CacheAutomaton {
         let defaults = CompilerOptions::default();
         CacheAutomaton {
@@ -184,8 +215,14 @@ impl CacheAutomaton {
     ///
     /// # Errors
     ///
-    /// Pattern parse errors, nullable patterns, or mapping failures.
+    /// [`CaError::Config`] for an empty pattern set; otherwise pattern
+    /// parse errors, nullable patterns, or mapping failures.
     pub fn compile_patterns<S: AsRef<str>>(&self, patterns: &[S]) -> Result<Program, CaError> {
+        if patterns.is_empty() {
+            return Err(CaError::Config(
+                "empty pattern set: a program needs at least one pattern".into(),
+            ));
+        }
         let nfa = ca_automata::regex::compile_patterns(patterns)?;
         self.compile_nfa(&nfa)
     }
@@ -207,8 +244,15 @@ impl CacheAutomaton {
     ///
     /// # Errors
     ///
-    /// Mapping failures (capacity, routability).
+    /// [`CaError::Config`] for an out-of-range slice count; otherwise
+    /// mapping failures (capacity, routability).
     pub fn compile_nfa(&self, nfa: &HomNfa) -> Result<Program, CaError> {
+        if self.options.slices == 0 || self.options.slices > MAX_SLICES {
+            return Err(CaError::Config(format!(
+                "slice count {} out of range (1..={MAX_SLICES})",
+                self.options.slices
+            )));
+        }
         let optimize = match self.optimize {
             Optimize::Always => true,
             Optimize::Never => false,
@@ -231,6 +275,7 @@ impl CacheAutomaton {
 }
 
 /// A compiled, loadable automaton program.
+#[must_use = "compiling a program is expensive; run or scan it"]
 #[derive(Debug, Clone)]
 pub struct Program {
     design: Design,
@@ -269,19 +314,42 @@ impl Program {
         self.timing.throughput_gbps()
     }
 
-    /// Runs the fabric over `input`.
+    /// Scans `input` as one chunk and returns the report.
+    ///
+    /// This is a convenience wrapper over a one-chunk [`Scanner`] session;
+    /// prefer [`scanner`](Program::scanner) for streams that arrive in
+    /// pieces and [`run_parallel`](Program::run_parallel) to spread a large
+    /// input across several fabric instances.
     pub fn run(&self, input: &[u8]) -> RunReport {
-        let mut fabric = self.compiled.fabric().expect("compiled bitstream is valid");
-        let exec = fabric.run(input);
+        let mut scanner = self.scanner();
+        scanner.feed(input);
+        scanner.finish()
+    }
+
+    /// Opens a streaming scan session at the start of a fresh stream.
+    pub fn scanner(&self) -> Scanner<'_> {
+        Scanner::new(self, None)
+    }
+
+    /// Reopens a streaming scan session from a suspend image previously
+    /// taken with [`Scanner::snapshot`].
+    pub fn resume_scanner(&self, snapshot: Snapshot) -> Scanner<'_> {
+        Scanner::new(self, Some(snapshot))
+    }
+
+    /// A fresh fabric instance for this program's bitstream.
+    pub(crate) fn fabric(&self) -> ca_sim::Fabric {
+        self.compiled.fabric().expect("compiled bitstream is valid")
+    }
+
+    /// Renders raw fabric activity into a [`RunReport`] using this
+    /// program's design point (energy model, operating clock).
+    pub(crate) fn report_from(&self, matches: Vec<MatchEvent>, exec: ExecStats) -> RunReport {
         let freq = self.timing.operating_freq_ghz();
-        let energy = ca_sim::energy_report(
-            &exec.stats,
-            self.design,
-            &ca_sim::EnergyParams::default(),
-            freq,
-        );
-        let simulated_seconds = exec.stats.cycles as f64 * self.timing.operating_clock_ps() * 1e-12;
-        RunReport { matches: exec.events, exec: exec.stats, energy, simulated_seconds }
+        let energy =
+            ca_sim::energy_report(&exec, self.design, &ca_sim::EnergyParams::default(), freq);
+        let simulated_seconds = exec.cycles as f64 * self.timing.operating_clock_ps() * 1e-12;
+        RunReport { matches, exec, energy, simulated_seconds }
     }
 }
 
@@ -343,17 +411,18 @@ impl MultiProgram {
     /// parallel (one OS thread per stream), returning one report per
     /// stream in order.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if more streams than instances are supplied.
-    pub fn run_streams(&self, streams: &[&[u8]]) -> Vec<RunReport> {
-        assert!(
-            streams.len() <= self.instances,
-            "{} streams exceed the {} configured instances",
-            streams.len(),
-            self.instances
-        );
-        std::thread::scope(|scope| {
+    /// [`CaError::Config`] if more streams than instances are supplied.
+    pub fn run_streams(&self, streams: &[&[u8]]) -> Result<Vec<RunReport>, CaError> {
+        if streams.len() > self.instances {
+            return Err(CaError::Config(format!(
+                "{} streams exceed the {} configured instances",
+                streams.len(),
+                self.instances
+            )));
+        }
+        Ok(std::thread::scope(|scope| {
             let handles: Vec<_> = streams
                 .iter()
                 .map(|stream| {
@@ -362,11 +431,12 @@ impl MultiProgram {
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("scan thread panicked")).collect()
-        })
+        }))
     }
 }
 
 /// The result of running a [`Program`] over an input stream.
+#[must_use]
 #[derive(Debug, Clone)]
 pub struct RunReport {
     /// Reported matches in position order.
@@ -432,11 +502,7 @@ mod tests {
             .build()
             .compile_nfa(&nfa)
             .unwrap();
-        let s = CacheAutomaton::builder()
-            .design(Design::Space)
-            .build()
-            .compile_nfa(&nfa)
-            .unwrap();
+        let s = CacheAutomaton::builder().design(Design::Space).build().compile_nfa(&nfa).unwrap();
         assert_eq!(p.stats().states, nfa.len());
         assert!(s.stats().states < nfa.len(), "space flow must merge prefixes");
         // same matches either way
@@ -487,7 +553,7 @@ mod tests {
         assert_eq!(multi.instances(), 4);
         assert_eq!(multi.aggregate_throughput_gbps(), 64.0);
         let streams: Vec<&[u8]> = vec![b"alpha", b"beta beta", b"nothing", b"alphabeta"];
-        let reports = multi.run_streams(&streams);
+        let reports = multi.run_streams(&streams).unwrap();
         assert_eq!(reports.len(), 4);
         assert_eq!(reports[0].matches.len(), 1);
         assert_eq!(reports[1].matches.len(), 2);
@@ -504,11 +570,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exceed")]
-    fn too_many_streams_panics() {
+    fn too_many_streams_is_a_config_error() {
         let program = CacheAutomaton::new().compile_patterns(&["x"]).unwrap();
         let multi = program.replicate(1).unwrap();
-        multi.run_streams(&[b"a", b"b"]);
+        let err = multi.run_streams(&[b"a", b"b"]).unwrap_err();
+        assert!(matches!(err, CaError::Config(_)));
+        assert!(err.to_string().contains("exceed"));
     }
 
     #[test]
@@ -516,5 +583,38 @@ mod tests {
         let ca = CacheAutomaton::builder().slices(2).seed(7).build();
         assert_eq!(ca.options().slices, 2);
         assert_eq!(ca.options().seed, 7);
+    }
+
+    #[test]
+    fn empty_pattern_set_is_a_config_error() {
+        let err = CacheAutomaton::new().compile_patterns::<&str>(&[]).unwrap_err();
+        assert!(matches!(err, CaError::Config(_)));
+        assert!(err.to_string().contains("at least one pattern"));
+    }
+
+    #[test]
+    fn absurd_slice_counts_are_config_errors() {
+        for slices in [0usize, MAX_SLICES + 1, usize::MAX] {
+            let err = CacheAutomaton::builder()
+                .slices(slices)
+                .build()
+                .compile_patterns(&["x"])
+                .unwrap_err();
+            assert!(matches!(err, CaError::Config(_)), "slices = {slices}");
+            assert!(err.to_string().contains("out of range"));
+        }
+        assert!(CacheAutomaton::builder()
+            .slices(MAX_SLICES)
+            .build()
+            .compile_patterns(&["x"])
+            .is_ok());
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let err: CaError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(err, CaError::Io(_)));
+        assert!(err.to_string().contains("gone"));
+        assert!(std::error::Error::source(&err).is_none());
     }
 }

@@ -28,7 +28,7 @@ pub fn first_by_code(events: &[MatchEvent], patterns: usize) -> Vec<Option<u64>>
     let mut first = vec![None; patterns];
     for e in events {
         if let Some(slot) = first.get_mut(e.code.0 as usize) {
-            let keep = slot.map_or(true, |p| e.pos < p);
+            let keep = slot.is_none_or(|p| e.pos < p);
             if keep {
                 *slot = Some(e.pos);
             }
@@ -76,10 +76,7 @@ pub fn group_by_line(input: &[u8], events: &[MatchEvent]) -> Vec<LineHit> {
         .into_iter()
         .map(|(line, codes)| {
             let start = starts[line];
-            let end = starts
-                .get(line + 1)
-                .map(|&s| s.saturating_sub(1))
-                .unwrap_or(input.len());
+            let end = starts.get(line + 1).map(|&s| s.saturating_sub(1)).unwrap_or(input.len());
             LineHit { line, span: (start, end), codes: codes.into_iter().collect() }
         })
         .collect()

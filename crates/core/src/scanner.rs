@@ -1,0 +1,170 @@
+//! Streaming scan sessions.
+//!
+//! A [`Scanner`] holds one instance of a compiled program's execution state
+//! — active-state vectors, symbol counter, CBOX output-buffer occupancy —
+//! across an arbitrary sequence of [`feed`](Scanner::feed) calls, exactly
+//! the suspend/resume capability of paper §2.9. Chunk boundaries are
+//! invisible to the automaton: feeding a stream in any segmentation yields
+//! the same matches, cycle count and energy as one monolithic scan.
+
+use crate::{MatchEvent, Program, RunReport};
+use ca_sim::fabric::{ExecStats, RunOptions, PIPELINE_FILL_CYCLES};
+use ca_sim::{Fabric, Snapshot};
+
+/// An in-progress streaming scan over one logical input stream.
+///
+/// Created by [`Program::scanner`] (fresh stream) or
+/// [`Program::resume_scanner`] (continue from a saved [`Snapshot`]).
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use cache_automaton::CacheAutomaton;
+///
+/// let program = CacheAutomaton::new().compile_patterns(&["spain"])?;
+/// let mut scanner = program.scanner();
+/// scanner.feed(b"the rain in sp");   // match straddles the boundary
+/// scanner.feed(b"ain");
+/// let report = scanner.finish();
+/// assert_eq!(report.matches.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use = "a scanner accumulates matches; call finish() to obtain the report"]
+#[derive(Debug)]
+pub struct Scanner<'p> {
+    program: &'p Program,
+    fabric: Fabric,
+    resume: Option<Snapshot>,
+    events: Vec<MatchEvent>,
+    stats: ExecStats,
+}
+
+impl<'p> Scanner<'p> {
+    pub(crate) fn new(program: &'p Program, resume: Option<Snapshot>) -> Scanner<'p> {
+        Scanner {
+            fabric: program.fabric(),
+            program,
+            resume,
+            events: Vec::new(),
+            stats: ExecStats::default(),
+        }
+    }
+
+    /// Scans the next chunk of the stream, returning the matches it
+    /// produced (positions are absolute within the logical stream).
+    ///
+    /// State carries over between calls, so a pattern may begin in one
+    /// chunk and report in a later one.
+    pub fn feed(&mut self, chunk: &[u8]) -> &[MatchEvent] {
+        let options = RunOptions { resume: self.resume.take(), ..Default::default() };
+        let report = self.fabric.run_with(chunk, &options);
+        self.resume = report.snapshot;
+        let first_new = self.events.len();
+        self.events.extend(report.events);
+        self.stats.absorb(&report.stats);
+        &self.events[first_new..]
+    }
+
+    /// Symbols consumed so far across all chunks.
+    pub fn position(&self) -> u64 {
+        self.resume.as_ref().map_or(0, |s| s.symbol_counter)
+    }
+
+    /// All matches reported so far, in position order.
+    pub fn matches(&self) -> &[MatchEvent] {
+        &self.events
+    }
+
+    /// The current suspend image (`None` until the first `feed`).
+    ///
+    /// Persist it and continue the same logical stream later — in another
+    /// scanner, process, or machine — via [`Program::resume_scanner`].
+    pub fn snapshot(&self) -> Option<&Snapshot> {
+        self.resume.as_ref()
+    }
+
+    /// Ends the session and renders the accumulated activity into a
+    /// [`RunReport`] (energy, simulated time, throughput).
+    ///
+    /// The pipeline fill is charged once for the whole stream, so the
+    /// report is identical whatever chunk sizes fed it.
+    pub fn finish(self) -> RunReport {
+        let mut stats = self.stats;
+        // Per-chunk runs each charged a pipeline fill and rounded their own
+        // FIFO refills up; a single logical stream pays both exactly once.
+        stats.cycles = if stats.symbols == 0 { 0 } else { stats.symbols + PIPELINE_FILL_CYCLES };
+        stats.fifo_refills =
+            (stats.symbols as usize).div_ceil(ca_sim::fabric::FIFO_REFILL_BYTES) as u64;
+        let mut events = self.events;
+        events.sort_unstable();
+        events.dedup();
+        self.program.report_from(events, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CacheAutomaton;
+
+    fn program() -> Program {
+        CacheAutomaton::new().compile_patterns(&["needle", "ab"]).unwrap()
+    }
+
+    #[test]
+    fn chunking_is_invisible() {
+        let program = program();
+        let input = b"xxabxneedlexabneedleab";
+        let whole = program.run(input);
+        for chunk in [1usize, 2, 3, 5, 7, 64] {
+            let mut scanner = program.scanner();
+            for piece in input.chunks(chunk) {
+                scanner.feed(piece);
+            }
+            let report = scanner.finish();
+            assert_eq!(report.matches, whole.matches, "chunk size {chunk}");
+            assert_eq!(report.exec, whole.exec, "chunk size {chunk}");
+            assert_eq!(report.simulated_seconds, whole.simulated_seconds);
+        }
+    }
+
+    #[test]
+    fn feed_returns_incremental_matches() {
+        let program = program();
+        let mut scanner = program.scanner();
+        assert_eq!(scanner.feed(b"a").len(), 0);
+        assert_eq!(scanner.feed(b"b").len(), 1, "match completes on second chunk");
+        assert_eq!(scanner.position(), 2);
+        assert_eq!(scanner.matches().len(), 1);
+        assert_eq!(scanner.matches()[0].pos, 1);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_resume_scanner() {
+        let program = program();
+        let input = b"xneedlexxabx";
+        let whole = program.run(input);
+
+        let mut first = program.scanner();
+        first.feed(&input[..4]);
+        let image = first.snapshot().expect("fed scanner has an image").clone();
+        let early_matches = first.matches().to_vec();
+
+        let mut second = program.resume_scanner(image);
+        second.feed(&input[4..]);
+        let mut all = early_matches;
+        all.extend(second.finish().matches);
+        assert_eq!(all, whole.matches);
+    }
+
+    #[test]
+    fn empty_session_reports_zero_work() {
+        let program = program();
+        let report = program.scanner().finish();
+        assert!(report.matches.is_empty());
+        assert_eq!(report.exec.cycles, 0);
+        assert_eq!(report.simulated_seconds, 0.0);
+    }
+}

@@ -1,0 +1,322 @@
+//! Sharded parallel scanning.
+//!
+//! [`Program::run_parallel`] splits one input stream into contiguous
+//! stripes, scans them concurrently on OS threads (one fabric instance
+//! each — the multi-instance replication of paper §5.2 turned loose on a
+//! *single* stream), and merges the per-stripe match streams into one
+//! deterministic, position-sorted [`RunReport`] that is byte-identical to
+//! a serial [`Program::run`].
+//!
+//! # Boundary-state handoff
+//!
+//! A stripe that starts mid-stream does not know which carry-over states
+//! its predecessor would have left armed. The driver exploits the fabric's
+//! union-homomorphism — the transition is linear in the active set, and
+//! the per-cycle `start_all` injection is a base term that unions
+//! idempotently — to fix that up *after* the parallel phase:
+//!
+//! 1. **Guess phase (parallel).** Stripe 0 runs fresh; every later stripe
+//!    runs from [`Fabric::midstream_snapshot`], i.e. with only the
+//!    always-armed start states — a guaranteed *subset* of the true entry
+//!    state, so nothing spurious is reported.
+//! 2. **Stitch phase (sequential).** Walking left to right, the true exit
+//!    of stripe *i−1* is compared with stripe *i*'s guessed entry; the
+//!    [`Mask256::and_not`](ca_sim::Mask256::and_not) delta seeds a
+//!    start-suppressed correction rerun of stripe *i* that emits exactly
+//!    the matches the guess missed and the states to add to stripe *i*'s
+//!    exit. The suppressed run exits as soon as its vectors die, so when
+//!    carry-over state decays in a few symbols (literal rulesets such as
+//!    SPM or Bro217) the stitch touches only a short prefix of each stripe
+//!    and throughput scales almost linearly with the shard count.
+//!
+//! Matches are identical to a serial scan for *every* ruleset, but the
+//! speedup is workload-dependent: patterns with persistent mid-pattern
+//! state — e.g. a dotstar infix `a.*b`, whose loop STE stays armed forever
+//! once seen — force each correction to rerun its entire stripe, and the
+//! critical path degrades toward serial (Snort in the `scaling`
+//! experiment's measured table).
+
+use crate::{CaError, Program, RunReport};
+use ca_sim::fabric::{ExecStats, RunOptions};
+use ca_sim::{Mask256, Snapshot};
+
+/// How many fabric instances a parallel scan spreads the stream across.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum Parallelism {
+    /// One stripe per available CPU, capped so every stripe is at least
+    /// [`ScanOptions::min_stripe_bytes`] long (short inputs degrade
+    /// gracefully to a serial scan).
+    #[default]
+    Auto,
+    /// Exactly this many stripes (clamped to one per input byte).
+    /// `Threads(1)` is the serial scan.
+    Threads(usize),
+}
+
+/// Tuning knobs for [`Program::run_with_options`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ScanOptions {
+    /// Stripe-count policy.
+    pub parallelism: Parallelism,
+    /// Smallest stripe [`Parallelism::Auto`] will create; ignored for
+    /// explicit [`Parallelism::Threads`]. Default 64 KiB.
+    pub min_stripe_bytes: usize,
+}
+
+impl Default for ScanOptions {
+    fn default() -> ScanOptions {
+        ScanOptions { parallelism: Parallelism::Auto, min_stripe_bytes: 64 * 1024 }
+    }
+}
+
+impl ScanOptions {
+    /// Options for a fixed stripe count.
+    pub fn threads(n: usize) -> ScanOptions {
+        ScanOptions { parallelism: Parallelism::Threads(n), ..Default::default() }
+    }
+
+    fn resolve_shards(&self, input_len: usize) -> Result<usize, CaError> {
+        let requested = match self.parallelism {
+            Parallelism::Threads(0) => {
+                return Err(CaError::Config(
+                    "Parallelism::Threads(0): a scan needs at least one thread".into(),
+                ));
+            }
+            Parallelism::Threads(n) => n,
+            Parallelism::Auto => {
+                let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+                cores.min(input_len / self.min_stripe_bytes.max(1)).max(1)
+            }
+        };
+        Ok(requested.min(input_len).max(1))
+    }
+}
+
+/// Near-equal contiguous stripes: every stripe non-empty, first stripes one
+/// byte longer when the length does not divide evenly.
+fn stripe_bounds(len: usize, shards: usize) -> Vec<(usize, usize)> {
+    let base = len / shards;
+    let extra = len % shards;
+    let mut bounds = Vec::with_capacity(shards);
+    let mut start = 0;
+    for i in 0..shards {
+        let end = start + base + usize::from(i < extra);
+        bounds.push((start, end));
+        start = end;
+    }
+    bounds
+}
+
+impl Program {
+    /// Scans `input` with a parallel sharded pipeline, returning a report
+    /// whose `matches` are exactly those of a serial [`run`](Program::run)
+    /// — same events, same position order.
+    ///
+    /// Cycle and energy accounting treat the stripes as concurrently
+    /// executing fabric instances: `exec.cycles` is the makespan (slowest
+    /// stripe plus the sequential boundary-stitch work), while activity
+    /// counters sum all work performed, including corrections.
+    ///
+    /// # Errors
+    ///
+    /// [`CaError::Config`] on a zero thread count.
+    pub fn run_parallel(
+        &self,
+        input: &[u8],
+        parallelism: Parallelism,
+    ) -> Result<RunReport, CaError> {
+        self.run_with_options(input, &ScanOptions { parallelism, ..Default::default() })
+    }
+
+    /// [`run_parallel`](Program::run_parallel) with explicit [`ScanOptions`].
+    ///
+    /// # Errors
+    ///
+    /// [`CaError::Config`] on a zero thread count.
+    pub fn run_with_options(
+        &self,
+        input: &[u8],
+        options: &ScanOptions,
+    ) -> Result<RunReport, CaError> {
+        let shards = options.resolve_shards(input.len())?;
+        if shards <= 1 {
+            return Ok(self.run(input));
+        }
+        let bounds = stripe_bounds(input.len(), shards);
+        let template = self.fabric();
+
+        // Guess phase: every stripe on its own thread and fabric instance.
+        let stripe_reports = std::thread::scope(|scope| {
+            let handles: Vec<_> = bounds
+                .iter()
+                .map(|&(start, end)| {
+                    let template = &template;
+                    scope.spawn(move || {
+                        let mut fabric = template.clone();
+                        let resume = (start > 0).then(|| fabric.midstream_snapshot(start as u64));
+                        fabric.run_with(
+                            &input[start..end],
+                            &RunOptions { resume, ..Default::default() },
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("stripe scan thread panicked"))
+                .collect::<Vec<_>>()
+        });
+
+        // Stitch phase: sequential left-to-right boundary handoff.
+        let start_all = template.start_all_vectors();
+        let makespan_guess = stripe_reports.iter().map(|r| r.stats.cycles).max().unwrap_or(0);
+        let mut events = Vec::new();
+        let mut stats = ExecStats::default();
+        let mut stitch_cycles = 0u64;
+        let mut true_exit: Vec<Mask256> = Vec::new();
+        for (report, &(start, end)) in stripe_reports.iter().zip(&bounds) {
+            events.extend(report.events.iter().copied());
+            stats.absorb(&report.stats);
+            let guess_exit =
+                &report.snapshot.as_ref().expect("stripe run returns a snapshot").active_vectors;
+            if start == 0 {
+                true_exit = guess_exit.clone();
+                continue;
+            }
+            // States the true boundary hands over beyond the armed starts.
+            let delta: Vec<Mask256> =
+                true_exit.iter().zip(start_all).map(|(t, g)| t.and_not(g)).collect();
+            if delta.iter().all(Mask256::is_zero) {
+                true_exit = guess_exit.clone();
+                continue;
+            }
+            let mut fabric = template.clone();
+            let correction = fabric.run_with(
+                &input[start..end],
+                &RunOptions {
+                    resume: Some(Snapshot {
+                        symbol_counter: start as u64,
+                        active_vectors: delta,
+                        output_buffer_fill: 0,
+                    }),
+                    suppress_starts: true,
+                    ..Default::default()
+                },
+            );
+            events.extend(correction.events.iter().copied());
+            stats.absorb(&correction.stats);
+            stitch_cycles += correction.stats.cycles;
+            let correction_exit =
+                correction.snapshot.expect("correction run returns a snapshot").active_vectors;
+            true_exit = guess_exit.iter().zip(&correction_exit).map(|(a, b)| a.or(b)).collect();
+        }
+
+        events.sort_unstable();
+        events.dedup();
+        // One logical stream: symbols/refills cover the input once (the
+        // stitch reruns are accounted as extra cycles and activity, not
+        // extra stream bytes); the guess phase ran concurrently, so its
+        // cycle cost is the slowest stripe, then the stitch serializes.
+        stats.symbols = input.len() as u64;
+        stats.cycles = makespan_guess + stitch_cycles;
+        stats.fifo_refills = input.len().div_ceil(ca_sim::fabric::FIFO_REFILL_BYTES) as u64;
+        stats.reports = events.len() as u64;
+        Ok(self.report_from(events, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CacheAutomaton;
+
+    fn program() -> Program {
+        CacheAutomaton::new().compile_patterns(&["needle", "na+il", "screw"]).unwrap()
+    }
+
+    fn haystack() -> Vec<u8> {
+        let mut input = Vec::new();
+        for i in 0..40 {
+            input.extend_from_slice(match i % 5 {
+                0 => b"xxneedlexx".as_slice(),
+                1 => b"naaailxxxx",
+                2 => b"screwxxxxx",
+                3 => b"nneedlescr",
+                _ => b"ewnailxxxx",
+            });
+        }
+        input
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let program = program();
+        let input = haystack();
+        let serial = program.run(&input);
+        for shards in [1usize, 2, 3, 4, 7, 8] {
+            let parallel = program.run_parallel(&input, Parallelism::Threads(shards)).unwrap();
+            assert_eq!(parallel.matches, serial.matches, "{shards} shards");
+            assert_eq!(parallel.exec.symbols, serial.exec.symbols);
+        }
+    }
+
+    #[test]
+    fn more_shards_than_bytes_is_fine() {
+        let program = program();
+        let report = program.run_parallel(b"needle", Parallelism::Threads(64)).unwrap();
+        assert_eq!(report.matches.len(), 1);
+        let empty = program.run_parallel(b"", Parallelism::Threads(4)).unwrap();
+        assert!(empty.matches.is_empty());
+        assert_eq!(empty.exec.cycles, 0);
+    }
+
+    #[test]
+    fn zero_threads_is_a_config_error() {
+        let program = program();
+        let err = program.run_parallel(b"abc", Parallelism::Threads(0)).unwrap_err();
+        assert!(matches!(err, CaError::Config(_)));
+        assert!(err.to_string().contains("at least one thread"));
+    }
+
+    #[test]
+    fn auto_on_short_input_stays_serial() {
+        let program = program();
+        let serial = program.run(b"xxneedle");
+        let auto = program.run_parallel(b"xxneedle", Parallelism::Auto).unwrap();
+        assert_eq!(auto.matches, serial.matches);
+        assert_eq!(auto.exec, serial.exec, "short input takes the serial path");
+    }
+
+    #[test]
+    fn makespan_beats_serial_cycles() {
+        let program = program();
+        let input = haystack();
+        let serial = program.run(&input);
+        let parallel = program.run_parallel(&input, Parallelism::Threads(4)).unwrap();
+        assert!(
+            parallel.exec.cycles < serial.exec.cycles,
+            "4 stripes must shorten the critical path: {} !< {}",
+            parallel.exec.cycles,
+            serial.exec.cycles
+        );
+        assert!(parallel.achieved_gbps() > serial.achieved_gbps());
+    }
+
+    #[test]
+    fn stripe_bounds_cover_input() {
+        for len in [1usize, 2, 7, 100, 101] {
+            for shards in 1..=7.min(len) {
+                let bounds = stripe_bounds(len, shards);
+                assert_eq!(bounds.len(), shards);
+                assert_eq!(bounds[0].0, 0);
+                assert_eq!(bounds.last().unwrap().1, len);
+                for w in bounds.windows(2) {
+                    assert_eq!(w[0].1, w[1].0, "contiguous");
+                    assert!(w[0].1 > w[0].0, "non-empty");
+                }
+            }
+        }
+    }
+}

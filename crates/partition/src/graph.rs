@@ -59,7 +59,7 @@ impl Graph {
             *merged.entry(key).or_insert(0) += w;
         }
         let mut degree = vec![0u32; n];
-        for (&(u, v), _) in &merged {
+        for &(u, v) in merged.keys() {
             degree[u as usize] += 1;
             degree[v as usize] += 1;
         }

@@ -365,13 +365,10 @@ mod tests {
     #[test]
     fn weighted_vertices_respected() {
         // one heavy vertex = weight of the other five combined
-        let g = Graph::from_weighted(vec![5, 1, 1, 1, 1, 1], &[
-            (0, 1, 1),
-            (1, 2, 1),
-            (2, 3, 1),
-            (3, 4, 1),
-            (4, 5, 1),
-        ]);
+        let g = Graph::from_weighted(
+            vec![5, 1, 1, 1, 1, 1],
+            &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1), (4, 5, 1)],
+        );
         let p = partition_kway(&g, 2, &PartitionOptions::default());
         let w = p.part_weights(&g);
         assert_eq!(w.iter().sum::<u64>(), 10);

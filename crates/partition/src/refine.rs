@@ -88,7 +88,8 @@ pub fn fm_refine(g: &Graph, part: &mut [u8], target_w0: u64, eps: f64, max_passe
             cur_cut = (cur_cut as i64 - actual) as u64;
             moves.push(v);
             if cur_cut < best_cut
-                || (cur_cut == best_cut && balance_err(cur_weights, target) < balance_err(weights, target))
+                || (cur_cut == best_cut
+                    && balance_err(cur_weights, target) < balance_err(weights, target))
             {
                 best_cut = cur_cut;
                 best_len = moves.len();
@@ -192,7 +193,7 @@ pub fn refine_kway(
             break;
         }
     }
-    debug_assert_eq!(cut, g.edge_cut(&assignment.iter().map(|&a| a).collect::<Vec<_>>()));
+    debug_assert_eq!(cut, g.edge_cut(assignment));
     cut
 }
 

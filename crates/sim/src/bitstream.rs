@@ -349,10 +349,7 @@ mod tests {
             })
             .collect();
         let e = bs.validate().unwrap_err();
-        assert!(
-            e.to_string().contains("import ports") || e.to_string().contains("via G1"),
-            "{e}"
-        );
+        assert!(e.to_string().contains("import ports") || e.to_string().contains("via G1"), "{e}");
     }
 
     #[test]

@@ -129,8 +129,7 @@ pub fn peak_power_w(
     params: &EnergyParams,
     freq_ghz: f64,
 ) -> f64 {
-    let lswitch_pj =
-        SwitchSpec::LOCAL.energy_pj_per_bit() * SwitchSpec::LOCAL.outputs as f64;
+    let lswitch_pj = SwitchSpec::LOCAL.energy_pj_per_bit() * SwitchSpec::LOCAL.outputs as f64;
     let per_partition_pj = params.array_access_pj + lswitch_pj;
     let _ = design;
     geom.total_partitions() as f64 * per_partition_pj * freq_ghz / 1000.0
@@ -180,14 +179,18 @@ mod tests {
 
     #[test]
     fn gswitch_signals_add_energy() {
-        let base = energy_report(&stats(4, 10, 0, 0), DesignKind::Space, &EnergyParams::default(), 1.2);
-        let with_g = energy_report(&stats(4, 10, 5, 3), DesignKind::Space, &EnergyParams::default(), 1.2);
+        let base =
+            energy_report(&stats(4, 10, 0, 0), DesignKind::Space, &EnergyParams::default(), 1.2);
+        let with_g =
+            energy_report(&stats(4, 10, 5, 3), DesignKind::Space, &EnergyParams::default(), 1.2);
         assert!(with_g.per_symbol_nj > base.per_symbol_nj);
         assert!(with_g.breakdown.gswitch_nj > 0.0);
         assert!(with_g.breakdown.wire_nj > 0.0);
         // G4 signals are pricier than G1 signals
-        let g1_only = energy_report(&stats(4, 10, 8, 0), DesignKind::Space, &EnergyParams::default(), 1.2);
-        let g4_only = energy_report(&stats(4, 10, 0, 8), DesignKind::Space, &EnergyParams::default(), 1.2);
+        let g1_only =
+            energy_report(&stats(4, 10, 8, 0), DesignKind::Space, &EnergyParams::default(), 1.2);
+        let g4_only =
+            energy_report(&stats(4, 10, 0, 8), DesignKind::Space, &EnergyParams::default(), 1.2);
         assert!(g4_only.breakdown.gswitch_nj > g1_only.breakdown.gswitch_nj);
     }
 

@@ -73,6 +73,29 @@ impl ExecStats {
             self.matched_total as f64 / self.symbols as f64
         }
     }
+
+    /// Accumulates another run's counters into this one.
+    ///
+    /// Every field is summed, including `cycles` — callers that model
+    /// concurrent stripes (where wall-clock is the *maximum* stripe time,
+    /// not the sum) overwrite `cycles` with their own makespan afterwards.
+    pub fn absorb(&mut self, other: &ExecStats) {
+        self.symbols += other.symbols;
+        self.cycles += other.cycles;
+        self.active_partition_cycles += other.active_partition_cycles;
+        self.matched_total += other.matched_total;
+        self.g1_signals += other.g1_signals;
+        self.g4_signals += other.g4_signals;
+        self.reports += other.reports;
+        self.output_interrupts += other.output_interrupts;
+        self.fifo_refills += other.fifo_refills;
+        if self.per_partition_active.len() < other.per_partition_active.len() {
+            self.per_partition_active.resize(other.per_partition_active.len(), 0);
+        }
+        for (acc, n) in self.per_partition_active.iter_mut().zip(&other.per_partition_active) {
+            *acc += n;
+        }
+    }
 }
 
 /// Result of a fabric run: the match stream plus activity statistics.
@@ -100,6 +123,16 @@ pub struct RunOptions {
     /// Stall cycles charged per output-buffer-full interrupt (0 models the
     /// paper's background drain; >0 models a blocking CPU service routine).
     pub drain_penalty_cycles: u64,
+    /// Disable start-vector injection: the active set evolves purely from
+    /// the resume image, with no `start_all` re-arming each cycle.
+    ///
+    /// Because the fabric transition is then a pure union-homomorphism in
+    /// the active set, a suppressed run seeded with only the *extra* states
+    /// a stripe boundary carries (beyond the always-armed starts) computes
+    /// exactly the match events and exit states that a fresh parallel
+    /// stripe missed. Once every vector dies out the run exits early —
+    /// carry-over state decays within a few symbols for typical rulesets.
+    pub suppress_starts: bool,
 }
 
 /// A CBOX output-buffer entry (§2.8): alongside the match position and
@@ -128,12 +161,18 @@ pub struct Snapshot {
     pub symbol_counter: u64,
     /// Active-state vector of every partition.
     pub active_vectors: Vec<Mask256>,
+    /// Occupancy of the CBOX output buffer at suspension time, so a resumed
+    /// stream raises its buffer-full interrupt at the same point the
+    /// uninterrupted stream would have.
+    pub output_buffer_fill: u32,
 }
 
 impl Snapshot {
-    /// Bytes the snapshot occupies in memory (what suspension writes out).
+    /// Bytes the snapshot occupies in memory (what suspension writes out):
+    /// the symbol counter, the output-buffer occupancy, and one 256-bit
+    /// vector per partition.
     pub fn size_bytes(&self) -> usize {
-        8 + self.active_vectors.len() * 32
+        8 + 4 + self.active_vectors.len() * 32
     }
 }
 
@@ -251,10 +290,10 @@ impl Fabric {
                 resume: resume.take(),
                 collect_entries: true,
                 drain_penalty_cycles: options.drain_penalty_cycles,
+                suppress_starts: options.suppress_starts,
             };
             let step = self.run_with(std::slice::from_ref(&symbol), &step_opts);
-            let printable =
-                if symbol.is_ascii_graphic() { symbol as char } else { '.' };
+            let printable = if symbol.is_ascii_graphic() { symbol as char } else { '.' };
             write!(sink, "cycle {:>6} sym 0x{symbol:02x} '{printable}' |", base + i as u64)?;
             for (p, &n) in step.stats.per_partition_active.iter().enumerate() {
                 if n > 0 {
@@ -312,43 +351,47 @@ impl Fabric {
     /// fabric's partition count.
     pub fn run_with(&mut self, input: &[u8], options: &RunOptions) -> ExecReport {
         let n = self.partition_count();
-        let mut stats = ExecStats {
-            symbols: input.len() as u64,
-            cycles: if input.is_empty() { 0 } else { input.len() as u64 + PIPELINE_FILL_CYCLES },
-            per_partition_active: vec![0; n],
-            fifo_refills: input.len().div_ceil(FIFO_REFILL_BYTES) as u64,
-            ..Default::default()
-        };
+        let mut stats = ExecStats { per_partition_active: vec![0; n], ..Default::default() };
         let mut events = Vec::new();
         let mut entries = Vec::new();
-        let mut output_buffer_fill = 0usize;
+        let mut penalty_cycles = 0u64;
+        let mut output_buffer_fill =
+            options.resume.as_ref().map_or(0, |s| s.output_buffer_fill) as usize;
 
         // Initialize active-state vectors: a resume image, or the
         // start-of-data plus all-input vectors for a fresh stream.
         let base_counter = match &options.resume {
             Some(snapshot) => {
-                assert_eq!(
-                    snapshot.active_vectors.len(),
-                    n,
-                    "snapshot does not match this fabric"
-                );
+                assert_eq!(snapshot.active_vectors.len(), n, "snapshot does not match this fabric");
                 self.enabled.copy_from_slice(&snapshot.active_vectors);
                 snapshot.symbol_counter
             }
             None => {
                 for p in 0..n {
-                    self.enabled[p] = self.start_sod[p].or(&self.start_all[p]);
+                    self.enabled[p] = if options.suppress_starts {
+                        Mask256::ZERO
+                    } else {
+                        self.start_sod[p].or(&self.start_all[p])
+                    };
                 }
                 0
             }
         };
 
+        let mut processed = input.len();
         let mut seen_codes: Vec<ReportCode> = Vec::new();
         for (rel_pos, &symbol) in input.iter().enumerate() {
+            // A suppressed run only decays: once every vector is zero the
+            // remaining symbols cannot match or re-arm anything.
+            if options.suppress_starts && self.enabled.iter().all(Mask256::is_zero) {
+                processed = rel_pos;
+                break;
+            }
             let pos = base_counter + rel_pos as u64;
             // Phase 1+2 per partition: state-match, then local transition.
             for p in 0..n {
-                self.next[p] = self.start_all[p];
+                self.next[p] =
+                    if options.suppress_starts { Mask256::ZERO } else { self.start_all[p] };
             }
             seen_codes.clear();
             for p in 0..n {
@@ -382,7 +425,7 @@ impl Fabric {
                         output_buffer_fill += 1;
                         if output_buffer_fill >= OUTPUT_BUFFER_ENTRIES {
                             stats.output_interrupts += 1;
-                            stats.cycles += options.drain_penalty_cycles;
+                            penalty_cycles += options.drain_penalty_cycles;
                             output_buffer_fill = 0;
                         }
                     }
@@ -412,11 +455,38 @@ impl Fabric {
             }
             std::mem::swap(&mut self.enabled, &mut self.next);
         }
+        stats.symbols = processed as u64;
+        stats.cycles = if processed == 0 {
+            0
+        } else {
+            processed as u64 + PIPELINE_FILL_CYCLES + penalty_cycles
+        };
+        stats.fifo_refills = processed.div_ceil(FIFO_REFILL_BYTES) as u64;
+        // The snapshot's counter covers the whole input even after an
+        // early exit: the skipped tail provably leaves the (all-zero)
+        // vectors unchanged, so the image is valid at the input's end.
         let snapshot = Snapshot {
             symbol_counter: base_counter + input.len() as u64,
             active_vectors: self.enabled.clone(),
+            output_buffer_fill: output_buffer_fill as u32,
         };
         ExecReport { events, stats, entries, snapshot: Some(snapshot) }
+    }
+
+    /// Entry-state guess for resuming mid-stream with no history: every
+    /// always-armed start STE active, nothing else (§2.9 suspend image of a
+    /// stream whose prefix armed no carry-over state).
+    ///
+    /// The parallel scan driver seeds every stripe after the first with
+    /// this image; a correction pass over the [`Mask256::and_not`] delta of
+    /// the true boundary state then supplies anything the guess missed.
+    pub fn midstream_snapshot(&self, symbol_counter: u64) -> Snapshot {
+        Snapshot { symbol_counter, active_vectors: self.start_all.clone(), output_buffer_fill: 0 }
+    }
+
+    /// Per-partition always-armed start vectors (the midstream entry guess).
+    pub fn start_all_vectors(&self) -> &[Mask256] {
+        &self.start_all
     }
 }
 
@@ -563,10 +633,7 @@ mod tests {
             let mut stitched = first.events.clone();
             stitched.extend(second.events.iter().copied());
             assert_eq!(stitched, full.events, "split at {split}");
-            assert_eq!(
-                second.snapshot.as_ref().unwrap().symbol_counter,
-                input.len() as u64
-            );
+            assert_eq!(second.snapshot.as_ref().unwrap().symbol_counter, input.len() as u64);
         }
     }
 
@@ -576,17 +643,130 @@ mod tests {
         let report = Fabric::new(&bs).unwrap().run(b"ab");
         let snap = report.snapshot.unwrap();
         assert_eq!(snap.active_vectors.len(), 2);
-        assert_eq!(snap.size_bytes(), 8 + 64);
+        assert_eq!(snap.size_bytes(), 8 + 4 + 64);
+    }
+
+    #[test]
+    fn resume_carries_output_buffer_fill() {
+        // 64 reports fill the buffer exactly once, whether or not the
+        // stream is suspended in the middle.
+        let bs = single_partition();
+        let input: Vec<u8> = b"ab".repeat(OUTPUT_BUFFER_ENTRIES);
+        let whole = Fabric::new(&bs).unwrap().run(&input);
+        assert_eq!(whole.stats.output_interrupts, 1);
+        let mut fabric = Fabric::new(&bs).unwrap();
+        let first = fabric.run(&input[..70]);
+        assert_eq!(first.snapshot.as_ref().unwrap().output_buffer_fill, 35);
+        let second = fabric
+            .run_with(&input[70..], &RunOptions { resume: first.snapshot, ..Default::default() });
+        assert_eq!(
+            first.stats.output_interrupts + second.stats.output_interrupts,
+            whole.stats.output_interrupts
+        );
+    }
+
+    #[test]
+    fn suppressed_run_computes_carry_only_delta() {
+        // Union-homomorphism check: a fresh midstream-guess run plus a
+        // suppressed run over the boundary delta together reproduce the
+        // true resumed run exactly.
+        let bs = single_partition();
+        let head = b"xxa"; // leaves the 'a'->'b' carry state armed
+        let tail = b"bab";
+        let mut serial = Fabric::new(&bs).unwrap();
+        let head_report = serial.run(head);
+        let true_exit = head_report.snapshot.clone().unwrap();
+        let truth = serial
+            .run_with(tail, &RunOptions { resume: Some(true_exit.clone()), ..Default::default() });
+
+        let mut guess_fabric = Fabric::new(&bs).unwrap();
+        let guess_entry = guess_fabric.midstream_snapshot(head.len() as u64);
+        let guess = guess_fabric.run_with(
+            tail,
+            &RunOptions { resume: Some(guess_entry.clone()), ..Default::default() },
+        );
+        let delta: Vec<Mask256> = true_exit
+            .active_vectors
+            .iter()
+            .zip(&guess_entry.active_vectors)
+            .map(|(t, g)| t.and_not(g))
+            .collect();
+        assert!(delta.iter().any(|m| !m.is_zero()), "head must arm carry state");
+        let correction = Fabric::new(&bs).unwrap().run_with(
+            tail,
+            &RunOptions {
+                resume: Some(Snapshot {
+                    symbol_counter: head.len() as u64,
+                    active_vectors: delta,
+                    output_buffer_fill: 0,
+                }),
+                suppress_starts: true,
+                ..Default::default()
+            },
+        );
+        let mut union: Vec<MatchEvent> =
+            guess.events.iter().chain(correction.events.iter()).copied().collect();
+        union.sort();
+        union.dedup();
+        let mut expected = truth.events.clone();
+        expected.sort();
+        assert_eq!(union, expected);
+        // exit vectors union the same way
+        let stitched: Vec<Mask256> = guess
+            .snapshot
+            .unwrap()
+            .active_vectors
+            .iter()
+            .zip(&correction.snapshot.unwrap().active_vectors)
+            .map(|(a, b)| a.or(b))
+            .collect();
+        assert_eq!(stitched, truth.snapshot.unwrap().active_vectors);
+    }
+
+    #[test]
+    fn suppressed_run_exits_early_once_dead() {
+        let bs = single_partition();
+        let mut fabric = Fabric::new(&bs).unwrap();
+        let mut delta = vec![Mask256::ZERO];
+        delta[0].set(0); // 'a' seen; dies unless 'b' follows immediately
+        let long_tail = vec![b'x'; 10_000];
+        let report = fabric.run_with(
+            &long_tail,
+            &RunOptions {
+                resume: Some(Snapshot {
+                    symbol_counter: 0,
+                    active_vectors: delta,
+                    output_buffer_fill: 0,
+                }),
+                suppress_starts: true,
+                ..Default::default()
+            },
+        );
+        assert!(report.events.is_empty());
+        assert!(report.stats.symbols < 8, "dead carry state must end the scan");
+        // ...but the snapshot still covers the whole input.
+        assert_eq!(report.snapshot.unwrap().symbol_counter, 10_000);
+    }
+
+    #[test]
+    fn absorb_sums_counters() {
+        let bs = single_partition();
+        let a = Fabric::new(&bs).unwrap().run(b"abab");
+        let b = Fabric::new(&bs).unwrap().run(b"xxab");
+        let mut merged = a.stats.clone();
+        merged.absorb(&b.stats);
+        assert_eq!(merged.symbols, 8);
+        assert_eq!(merged.reports, 3);
+        assert_eq!(merged.cycles, a.stats.cycles + b.stats.cycles);
+        assert_eq!(merged.per_partition_active[0], 8);
     }
 
     #[test]
     fn output_entries_carry_cbox_fields() {
         let bs = single_partition();
         let mut fabric = Fabric::new(&bs).unwrap();
-        let report = fabric.run_with(
-            b"zabz",
-            &RunOptions { collect_entries: true, ..Default::default() },
-        );
+        let report =
+            fabric.run_with(b"zabz", &RunOptions { collect_entries: true, ..Default::default() });
         assert_eq!(report.entries.len(), 1);
         let e = report.entries[0];
         assert_eq!(e.partition, 0);
@@ -604,10 +784,8 @@ mod tests {
         let input = b"zabzzabab";
         let plain = Fabric::new(&bs).unwrap().run(input);
         let mut sink = Vec::new();
-        let traced = Fabric::new(&bs)
-            .unwrap()
-            .run_traced(input, &RunOptions::default(), &mut sink)
-            .unwrap();
+        let traced =
+            Fabric::new(&bs).unwrap().run_traced(input, &RunOptions::default(), &mut sink).unwrap();
         assert_eq!(plain.events, traced.events);
         assert_eq!(plain.stats.matched_total, traced.stats.matched_total);
         assert_eq!(plain.stats.cycles, traced.stats.cycles);
@@ -623,10 +801,9 @@ mod tests {
         let bs = single_partition();
         let input: Vec<u8> = b"ab".repeat(130); // 130 reports -> 2 interrupts
         let base = Fabric::new(&bs).unwrap().run(&input);
-        let stalled = Fabric::new(&bs).unwrap().run_with(
-            &input,
-            &RunOptions { drain_penalty_cycles: 50, ..Default::default() },
-        );
+        let stalled = Fabric::new(&bs)
+            .unwrap()
+            .run_with(&input, &RunOptions { drain_penalty_cycles: 50, ..Default::default() });
         assert_eq!(stalled.stats.output_interrupts, 2);
         assert_eq!(stalled.stats.cycles, base.stats.cycles + 100);
         assert_eq!(stalled.events, base.events, "backpressure must not change matches");

@@ -61,14 +61,13 @@ impl Floorplan {
     pub fn partition_point(&self, geom: &CacheGeometry, loc: &PartitionLocation) -> Point {
         let way = loc.way as usize;
         let side = way % 2; // 0 = left column, 1 = right column
-        // Automata ways are allocated center-out (CAT lets the OS pick
-        // which ways the NFA owns, and central ways minimize wire delay).
+                            // Automata ways are allocated center-out (CAT lets the OS pick
+                            // which ways the NFA owns, and central ways minimize wire delay).
         let rows = self.ways_per_column.div_ceil(2).max(1);
         let center_row = rows / 2;
         let k = way / 2;
         let offset = k.div_ceil(2) as isize * if k % 2 == 1 { 1 } else { -1 };
-        let row_in_column =
-            (center_row as isize + offset).rem_euclid(rows as isize) as usize;
+        let row_in_column = (center_row as isize + offset).rem_euclid(rows as isize) as usize;
         let column_width = self.width_mm / 2.0;
         // x: middle of the way's horizontal span, offset by half position
         let way_x = if side == 0 { column_width * 0.5 } else { self.width_mm - column_width * 0.5 };
@@ -88,11 +87,7 @@ impl Floorplan {
 
     /// The worst-case array↔G-switch distance over a set of occupied
     /// partition locations (or over the whole geometry if empty).
-    pub fn worst_distance_mm(
-        &self,
-        geom: &CacheGeometry,
-        occupied: &[PartitionLocation],
-    ) -> f64 {
+    pub fn worst_distance_mm(&self, geom: &CacheGeometry, occupied: &[PartitionLocation]) -> f64 {
         let all: Vec<PartitionLocation>;
         let locs: &[PartitionLocation] = if occupied.is_empty() {
             all = (0..geom.partitions_per_slice())
@@ -102,9 +97,7 @@ impl Floorplan {
         } else {
             occupied
         };
-        locs.iter()
-            .map(|l| self.gswitch_distance_mm(geom, l))
-            .fold(0.0, f64::max)
+        locs.iter().map(|l| self.gswitch_distance_mm(geom, l)).fold(0.0, f64::max)
     }
 
     /// Mapping-aware pipeline timing: like

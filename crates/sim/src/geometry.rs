@@ -301,7 +301,7 @@ mod tests {
         let g2 = CacheGeometry::for_design(DesignKind::Space, 2);
         let other_slice = PartitionLocation::from_index(&g2, g2.partitions_per_slice());
         assert!(!a.same_g4_group(&other_slice, &g2)); // but never cross-slice
-        // CA_P has no G4 at all
+                                                      // CA_P has no G4 at all
         let gp = CacheGeometry::for_design(DesignKind::Performance, 1);
         let pa = PartitionLocation::from_index(&gp, 0);
         let pb = PartitionLocation::from_index(&gp, 8);
@@ -311,11 +311,9 @@ mod tests {
     #[test]
     fn validation() {
         assert!(CacheGeometry::default().validate().is_ok());
-        let mut g = CacheGeometry::default();
-        g.partitions_per_subarray = 3;
+        let g = CacheGeometry { partitions_per_subarray: 3, ..Default::default() };
         assert!(g.validate().is_err());
-        let mut g = CacheGeometry::default();
-        g.g1_ports = 300;
+        let g = CacheGeometry { g1_ports: 300, ..Default::default() };
         assert!(g.validate().is_err());
     }
 

@@ -44,9 +44,11 @@ pub use energy::{
     energy_report, ideal_ap_per_symbol_nj, peak_power_w, EnergyBreakdown, EnergyParams,
     EnergyReport,
 };
-pub use floorplan::{Floorplan, Point};
 pub use fabric::{ExecReport, ExecStats, Fabric, OutputEntry, RunOptions, Snapshot};
-pub use geometry::{CacheGeometry, DesignKind, PartitionLocation, PARTITION_BYTES, STES_PER_PARTITION};
+pub use floorplan::{Floorplan, Point};
+pub use geometry::{
+    CacheGeometry, DesignKind, PartitionLocation, PARTITION_BYTES, STES_PER_PARTITION,
+};
 pub use mask::Mask256;
 pub use pages::{emit_pages, load_pages, ConfigImage, ConfigPage, PageError, PageKind};
 pub use switch_model::SwitchSpec;

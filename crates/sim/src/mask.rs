@@ -66,6 +66,20 @@ impl Mask256 {
         Mask256 { words }
     }
 
+    /// Bitwise AND-NOT (`self & !other`): the bits only `self` carries.
+    ///
+    /// The parallel scan driver uses this to isolate the carry-over states
+    /// a stripe boundary hands to its successor beyond the always-armed
+    /// start vector.
+    #[must_use]
+    pub fn and_not(&self, other: &Mask256) -> Mask256 {
+        let mut words = self.words;
+        for (a, b) in words.iter_mut().zip(other.words.iter()) {
+            *a &= !b;
+        }
+        Mask256 { words }
+    }
+
     /// In-place OR (the wired-OR a crossbar output column performs).
     pub fn or_assign(&mut self, other: &Mask256) {
         for (a, b) in self.words.iter_mut().zip(other.words.iter()) {

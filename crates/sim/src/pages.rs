@@ -111,7 +111,11 @@ pub fn emit_pages(bitstream: &Bitstream) -> ConfigImage {
         for row in p.sram_rows() {
             ste.extend_from_slice(&mask_bytes(&row));
         }
-        pages.push(ConfigPage { location: Some(p.location), kind: PageKind::SteColumns, bytes: ste });
+        pages.push(ConfigPage {
+            location: Some(p.location),
+            kind: PageKind::SteColumns,
+            bytes: ste,
+        });
 
         // Local switch: one 32-byte row per occupied source column.
         let mut lsw = Vec::with_capacity(p.local.len() * 32 + 4);
@@ -119,7 +123,11 @@ pub fn emit_pages(bitstream: &Bitstream) -> ConfigImage {
         for row in &p.local {
             lsw.extend_from_slice(&mask_bytes(row));
         }
-        pages.push(ConfigPage { location: Some(p.location), kind: PageKind::LocalSwitch, bytes: lsw });
+        pages.push(ConfigPage {
+            location: Some(p.location),
+            kind: PageKind::LocalSwitch,
+            bytes: lsw,
+        });
 
         // Control vectors: labels, starts, reports, import rows.
         let mut ctl = Vec::new();
@@ -221,17 +229,15 @@ pub fn load_pages(image: &ConfigImage) -> Result<Bitstream, PageError> {
                 }
                 // control vectors
                 let mut at = 0usize;
-                let labels =
-                    read_u32(&ctl.bytes, &mut at).ok_or_else(|| err("truncated control page"))?
-                        as usize;
+                let labels = read_u32(&ctl.bytes, &mut at)
+                    .ok_or_else(|| err("truncated control page"))?
+                    as usize;
                 if labels != rows {
                     return Err(err("label/local row count mismatch"));
                 }
                 for _ in 0..labels {
-                    let slice = ctl
-                        .bytes
-                        .get(at..at + 32)
-                        .ok_or_else(|| err("truncated labels"))?;
+                    let slice =
+                        ctl.bytes.get(at..at + 32).ok_or_else(|| err("truncated labels"))?;
                     let mut words = [0u64; 4];
                     for (k, w) in words.iter_mut().enumerate() {
                         *w = u64::from_le_bytes(
@@ -402,7 +408,8 @@ impl ConfigImage {
                 }
                 _ => return Err(err("bad location flag")),
             };
-            let len = read_u32(bytes, &mut at).ok_or_else(|| err("truncated page length"))? as usize;
+            let len =
+                read_u32(bytes, &mut at).ok_or_else(|| err("truncated page length"))? as usize;
             let body = bytes.get(at..at + len).ok_or_else(|| err("truncated page body"))?;
             at += len;
             pages.push(ConfigPage { location, kind, bytes: body.to_vec() });
@@ -485,7 +492,8 @@ mod tests {
             p.local = vec![Mask256::ZERO; 256];
             partitions.push(p);
         }
-        let bs = Bitstream { design: DesignKind::Performance, geometry, partitions, routes: vec![] };
+        let bs =
+            Bitstream { design: DesignKind::Performance, geometry, partitions, routes: vec![] };
         let ms = emit_pages(&bs).config_time_ms();
         assert!((0.1..0.4).contains(&ms), "config time {ms} ms");
         // AP-style reconfiguration is quoted at tens of milliseconds.
@@ -531,10 +539,7 @@ mod tests {
         assert!(ConfigImage::from_capg_bytes(&bytes).is_err());
         let mut bytes = emit_pages(&bs).to_capg_bytes();
         bytes.push(0);
-        assert!(
-            ConfigImage::from_capg_bytes(&bytes).is_err(),
-            "trailing bytes must be rejected"
-        );
+        assert!(ConfigImage::from_capg_bytes(&bytes).is_err(), "trailing bytes must be rejected");
     }
 
     #[test]

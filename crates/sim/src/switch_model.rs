@@ -62,10 +62,8 @@ impl SwitchSpec {
     fn interpolate(&self, field: fn(&(u32, u32, f64, f64, f64)) -> f64) -> f64 {
         let n = self.size();
         // anchor sizes in ascending order: 128, 256, 280, 512
-        let pts: Vec<(f64, f64)> = ANCHORS
-            .iter()
-            .map(|a| ((a.0.max(a.1)) as f64, field(a)))
-            .collect();
+        let pts: Vec<(f64, f64)> =
+            ANCHORS.iter().map(|a| ((a.0.max(a.1)) as f64, field(a))).collect();
         if n <= pts[0].0 {
             return pts[0].1 * n / pts[0].0;
         }

@@ -2,8 +2,8 @@
 
 use ca_automata::{CharClass, ReportCode};
 use ca_sim::{
-    emit_pages, load_pages, Bitstream, CacheGeometry, DesignKind, Fabric, Mask256,
-    PartitionImage, PartitionLocation, Route, RouteVia,
+    emit_pages, load_pages, Bitstream, CacheGeometry, DesignKind, Fabric, Mask256, PartitionImage,
+    PartitionLocation, Route, RouteVia,
 };
 use proptest::prelude::*;
 
@@ -17,12 +17,15 @@ fn mask_strategy() -> impl Strategy<Value = Mask256> {
 fn bitstream_strategy() -> impl Strategy<Value = Bitstream> {
     let geometry = CacheGeometry::for_design(DesignKind::Performance, 1);
     let partition = (
-        1usize..12,                                        // STE count
-        prop::collection::vec(any::<u8>(), 1..4),          // label alphabet
+        1usize..12,                                             // STE count
+        prop::collection::vec(any::<u8>(), 1..4),               // label alphabet
         prop::collection::vec((0usize..12, 0usize..12), 0..20), // local edges
-        prop::bool::ANY,                                   // has start
+        prop::bool::ANY,                                        // has start
     );
-    (prop::collection::vec(partition, 2..4), prop::collection::vec((0usize..4, 0u8..12, 0usize..4), 0..6))
+    (
+        prop::collection::vec(partition, 2..4),
+        prop::collection::vec((0usize..4, 0u8..12, 0usize..4), 0..6),
+    )
         .prop_map(move |(parts, raw_routes)| {
             let mut partitions = Vec::new();
             for (i, (n, alphabet, edges, start)) in parts.iter().enumerate() {

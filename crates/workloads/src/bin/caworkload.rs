@@ -70,11 +70,8 @@ fn run(mut args: Vec<String>) -> Result<String, String> {
                 return Err("export needs a benchmark name (or 'all') and an output dir".into());
             };
             std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
-            let targets: Vec<Benchmark> = if which == "all" {
-                Benchmark::all().to_vec()
-            } else {
-                vec![lookup(which)?]
-            };
+            let targets: Vec<Benchmark> =
+                if which == "all" { Benchmark::all().to_vec() } else { vec![lookup(which)?] };
             for b in targets {
                 let w = b.build(scale, seed);
                 let nfa = if space { w.space_optimized() } else { w.nfa.clone() };
@@ -110,11 +107,7 @@ fn run(mut args: Vec<String>) -> Result<String, String> {
                 cc.len(),
                 t.connected_components
             ));
-            out.push_str(&format!(
-                "largest        : {} (paper {})\n",
-                cc.largest(),
-                t.largest_cc
-            ));
+            out.push_str(&format!("largest        : {} (paper {})\n", cc.largest(), t.largest_cc));
             out.push_str(&format!(
                 "space states   : {} (paper {})\n",
                 merged.len(),

@@ -33,8 +33,8 @@ pub fn levenshtein_nfa(pattern: &[u8], k: usize, code: ReportCode) -> HomNfa {
     nfa.add_start(id(0, 0));
     for i in 0..=m {
         for j in 0..=k {
-            if i < m {
-                let c = CharClass::byte(pattern[i]);
+            if let Some(&sym) = pattern.get(i) {
+                let c = CharClass::byte(sym);
                 // match
                 nfa.add_transition(id(i, j), c, id(i + 1, j));
                 if j < k {
@@ -76,9 +76,9 @@ pub fn hamming_nfa(pattern: &[u8], k: usize, code: ReportCode) -> HomNfa {
         nfa.add_state();
     }
     nfa.add_start(id(0, 0));
-    for i in 0..m {
+    for (i, &sym) in pattern.iter().enumerate() {
         for j in 0..=k {
-            let c = CharClass::byte(pattern[i]);
+            let c = CharClass::byte(sym);
             nfa.add_transition(id(i, j), c, id(i + 1, j));
             if j < k {
                 nfa.add_transition(id(i, j), c.negate(), id(i + 1, j + 1));
@@ -111,8 +111,8 @@ mod tests {
         assert!(matches(&nfa, b"kiten")); // 1 deletion
         assert!(matches(&nfa, b"kititen")); // 1 insertion
         assert!(matches(&nfa, b"xkittenx")); // embedded occurrence
-        // NOTE: "sitting" DOES match unanchored k=2 — its substring
-        // "sittin" is within two substitutions of "kitten".
+                                             // NOTE: "sitting" DOES match unanchored k=2 — its substring
+                                             // "sittin" is within two substitutions of "kitten".
         assert!(matches(&nfa, b"sitting"));
         assert!(!matches(&nfa, b"zzzzzzzz")); // nothing close anywhere
         assert!(!matches(&nfa, b"dog"));
@@ -123,8 +123,8 @@ mod tests {
         let nfa = hamming_nfa(b"kitten", 2, ReportCode(0));
         assert!(matches(&nfa, b"kitten"));
         assert!(matches(&nfa, b"sittin")); // 2 subs
-        // deletions are NOT within Hamming distance; no 6-symbol window of
-        // this 4-symbol string exists, so nothing can match.
+                                           // deletions are NOT within Hamming distance; no 6-symbol window of
+                                           // this 4-symbol string exists, so nothing can match.
         assert!(!matches(&nfa, b"kien"));
         assert!(!matches(&nfa, b"xxyyzz"));
     }
@@ -134,11 +134,7 @@ mod tests {
         // ANMLZoo Levenshtein: 24 components x ~116 states. With the
         // homogenized lattice that corresponds to 12-symbol patterns, k=3.
         let nfa = levenshtein_nfa(b"acgtacgtacgt", 3, ReportCode(0));
-        assert!(
-            (90..=150).contains(&nfa.len()),
-            "unexpected lattice size {}",
-            nfa.len()
-        );
+        assert!((90..=150).contains(&nfa.len()), "unexpected lattice size {}", nfa.len());
         // Hamming rows: ~122 states at m=24, k=2.
         let h = hamming_nfa(b"acgtacgtacgtacgtacgtacgt", 2, ReportCode(0));
         assert!((100..=140).contains(&h.len()), "unexpected ladder size {}", h.len());
@@ -166,8 +162,7 @@ mod tests {
         // count of b's; k=1 accepts <= 1.
         let nfa = hamming_nfa(b"aaaa", 1, ReportCode(0));
         for bits in 0..16u32 {
-            let s: Vec<u8> =
-                (0..4).map(|i| if bits >> i & 1 == 1 { b'b' } else { b'a' }).collect();
+            let s: Vec<u8> = (0..4).map(|i| if bits >> i & 1 == 1 { b'b' } else { b'a' }).collect();
             let want = bits.count_ones() <= 1;
             assert_eq!(matches(&nfa, &s), want, "{s:?}");
         }
@@ -182,14 +177,13 @@ mod tests {
             for (i, row) in d.iter_mut().enumerate() {
                 row[0] = i;
             }
-            for j in 0..=b.len() {
-                d[0][j] = j;
+            for (j, cell) in d[0].iter_mut().enumerate() {
+                *cell = j;
             }
             for i in 1..=a.len() {
                 for j in 1..=b.len() {
                     let cost = usize::from(a[i - 1] != b[j - 1]);
-                    d[i][j] =
-                        (d[i - 1][j] + 1).min(d[i][j - 1] + 1).min(d[i - 1][j - 1] + cost);
+                    d[i][j] = (d[i - 1][j] + 1).min(d[i][j - 1] + 1).min(d[i - 1][j - 1] + cost);
                 }
             }
             d[a.len()][b.len()]

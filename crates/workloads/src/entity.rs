@@ -41,24 +41,24 @@ pub fn entity_nfa(parts: [&[u8]; 3], code: ReportCode) -> HomNfa {
     // permutations that end with it — this both joins the automaton into a
     // single component and keeps it compact (~4*sum(len)+6 states).
     let mut sp1 = Vec::with_capacity(3);
-    for third_idx in 0..3 {
-        let (l2_start, l2_end) = add_chain(&mut nfa, parts[third_idx], false);
+    for &third_part in &parts {
+        let (l2_start, l2_end) = add_chain(&mut nfa, third_part, false);
         nfa.state_mut(l2_end).report = Some(code);
         let sp = nfa.add_state(space);
         nfa.add_edge(sp, l2_start);
         sp1.push(sp);
     }
     // level 0: each part may come first
-    for first_idx in 0..3 {
-        let (_, l0_end) = add_chain(&mut nfa, parts[first_idx], true);
+    for (first_idx, &first_part) in parts.iter().enumerate() {
+        let (_, l0_end) = add_chain(&mut nfa, first_part, true);
         let sp0 = nfa.add_state(space);
         nfa.add_edge(l0_end, sp0);
         // level 1: one of the two remaining parts, then the shared closer
-        for second_idx in 0..3 {
+        for (second_idx, &second_part) in parts.iter().enumerate() {
             if second_idx == first_idx {
                 continue;
             }
-            let (l1_start, l1_end) = add_chain(&mut nfa, parts[second_idx], false);
+            let (l1_start, l1_end) = add_chain(&mut nfa, second_part, false);
             nfa.add_edge(sp0, l1_start);
             let third_idx = 3 - first_idx - second_idx;
             nfa.add_edge(l1_end, sp1[third_idx]);

@@ -95,9 +95,26 @@ impl Benchmark {
     pub fn all() -> [Benchmark; 20] {
         use Benchmark::*;
         [
-            Dotstar03, Dotstar06, Dotstar09, Ranges05, Ranges1, ExactMatch, Bro217, Tcp,
-            Snort, Brill, ClamAv, Dotstar, EntityResolution, Levenshtein, Hamming, Fermi,
-            Spm, RandomForest, PowerEn, Protomata,
+            Dotstar03,
+            Dotstar06,
+            Dotstar09,
+            Ranges05,
+            Ranges1,
+            ExactMatch,
+            Bro217,
+            Tcp,
+            Snort,
+            Brill,
+            ClamAv,
+            Dotstar,
+            EntityResolution,
+            Levenshtein,
+            Hamming,
+            Fermi,
+            Spm,
+            RandomForest,
+            PowerEn,
+            Protomata,
         ]
     }
 
@@ -140,24 +157,36 @@ impl Benchmark {
         let row = self.table1();
         let count = scale.count(row.connected_components);
         let (nfa, alphabet, splice_rate): (HomNfa, &[u8], f64) = match self {
-            Benchmark::Dotstar03 => {
-                (from_patterns(&patterns::dotstar_patterns(&mut rng, count, 0.03)), patterns::ALNUM, 0.0003)
-            }
-            Benchmark::Dotstar06 => {
-                (from_patterns(&patterns::dotstar_patterns(&mut rng, count, 0.06)), patterns::ALNUM, 0.004)
-            }
-            Benchmark::Dotstar09 => {
-                (from_patterns(&patterns::dotstar_patterns(&mut rng, count, 0.09)), patterns::ALNUM, 0.003)
-            }
-            Benchmark::Ranges05 => {
-                (from_patterns(&patterns::ranges_patterns(&mut rng, count, 0.5)), patterns::ALNUM, 0.0012)
-            }
-            Benchmark::Ranges1 => {
-                (from_patterns(&patterns::ranges_patterns(&mut rng, count, 1.0)), patterns::ALNUM, 0.0012)
-            }
-            Benchmark::ExactMatch => {
-                (from_patterns(&patterns::exact_match_patterns(&mut rng, count)), patterns::ALNUM, 0.0012)
-            }
+            Benchmark::Dotstar03 => (
+                from_patterns(&patterns::dotstar_patterns(&mut rng, count, 0.03)),
+                patterns::ALNUM,
+                0.0003,
+            ),
+            Benchmark::Dotstar06 => (
+                from_patterns(&patterns::dotstar_patterns(&mut rng, count, 0.06)),
+                patterns::ALNUM,
+                0.004,
+            ),
+            Benchmark::Dotstar09 => (
+                from_patterns(&patterns::dotstar_patterns(&mut rng, count, 0.09)),
+                patterns::ALNUM,
+                0.003,
+            ),
+            Benchmark::Ranges05 => (
+                from_patterns(&patterns::ranges_patterns(&mut rng, count, 0.5)),
+                patterns::ALNUM,
+                0.0012,
+            ),
+            Benchmark::Ranges1 => (
+                from_patterns(&patterns::ranges_patterns(&mut rng, count, 1.0)),
+                patterns::ALNUM,
+                0.0012,
+            ),
+            Benchmark::ExactMatch => (
+                from_patterns(&patterns::exact_match_patterns(&mut rng, count)),
+                patterns::ALNUM,
+                0.0012,
+            ),
             Benchmark::Bro217 => {
                 (from_patterns(&patterns::bro_patterns(&mut rng, count)), patterns::ALNUM, 0.0015)
             }
@@ -167,15 +196,19 @@ impl Benchmark {
             Benchmark::Snort => {
                 (from_patterns(&patterns::snort_patterns(&mut rng, count)), patterns::ALNUM, 0.06)
             }
-            Benchmark::Brill => {
-                (from_patterns(&patterns::brill_patterns(&mut rng, count)), b"abcdefghijklmnopqrstuvwxyz ", 0.45)
-            }
+            Benchmark::Brill => (
+                from_patterns(&patterns::brill_patterns(&mut rng, count)),
+                b"abcdefghijklmnopqrstuvwxyz ",
+                0.45,
+            ),
             Benchmark::ClamAv => {
                 (from_patterns(&patterns::clamav_patterns(&mut rng, count)), &[], 0.05)
             }
-            Benchmark::Dotstar => {
-                (from_patterns(&patterns::dotstar_mixed_patterns(&mut rng, count)), patterns::ALNUM, 0.0012)
-            }
+            Benchmark::Dotstar => (
+                from_patterns(&patterns::dotstar_mixed_patterns(&mut rng, count)),
+                patterns::ALNUM,
+                0.0012,
+            ),
             Benchmark::EntityResolution => {
                 // Name parts from shared vocabularies — the sharing is what
                 // the space-optimized design merges. Real name data clusters
@@ -190,20 +223,14 @@ impl Benchmark {
                     .map(|k| {
                         // disjoint initial-letter ranges keep the pools'
                         // merged components separate (ab, cd, ef, ...)
-                        let initials: Vec<u8> =
-                            (0..2).map(|i| b'a' + (k * 2 + i) as u8).collect();
+                        let initials: Vec<u8> = (0..2).map(|i| b'a' + (k * 2 + i) as u8).collect();
                         (0..30)
                             .map(|_| {
                                 let len = rng.gen_range(4..10);
-                                let first =
-                                    initials[rng.gen_range(0..initials.len())] as char;
+                                let first = initials[rng.gen_range(0..initials.len())] as char;
                                 format!(
                                     "{first}{}",
-                                    patterns::literal(
-                                        &mut rng,
-                                        len,
-                                        b"abcdefghijklmnopqrstuvwxyz"
-                                    )
+                                    patterns::literal(&mut rng, len, b"abcdefghijklmnopqrstuvwxyz")
                                 )
                             })
                             .collect()
@@ -237,21 +264,27 @@ impl Benchmark {
                 }
                 (HomNfa::union_all(parts.iter(), false), b"acgt", 0.01)
             }
-            Benchmark::Fermi => {
-                (from_patterns(&patterns::fermi_patterns(&mut rng, count)), b"0123456789abcdef", 0.7)
-            }
+            Benchmark::Fermi => (
+                from_patterns(&patterns::fermi_patterns(&mut rng, count)),
+                b"0123456789abcdef",
+                0.7,
+            ),
             Benchmark::Spm => {
                 (from_patterns(&patterns::spm_patterns(&mut rng, count)), b"ix0123456789;", 0.5)
             }
-            Benchmark::RandomForest => {
-                (from_patterns(&patterns::random_forest_patterns(&mut rng, count)), patterns::ALNUM, 0.35)
-            }
+            Benchmark::RandomForest => (
+                from_patterns(&patterns::random_forest_patterns(&mut rng, count)),
+                patterns::ALNUM,
+                0.35,
+            ),
             Benchmark::PowerEn => {
                 (from_patterns(&patterns::poweren_patterns(&mut rng, count)), patterns::ALNUM, 0.02)
             }
-            Benchmark::Protomata => {
-                (from_patterns(&patterns::protomata_patterns(&mut rng, count)), patterns::AMINO, 0.4)
-            }
+            Benchmark::Protomata => (
+                from_patterns(&patterns::protomata_patterns(&mut rng, count)),
+                patterns::AMINO,
+                0.4,
+            ),
         };
         // harvest input fragments: literal-ish prefixes of the automaton's
         // chains, reconstructed by walking from start states
@@ -401,12 +434,7 @@ mod tests {
         for b in [Benchmark::Spm, Benchmark::EntityResolution, Benchmark::Brill] {
             let w = b.build(Scale::tiny(), 5);
             let opt = w.space_optimized();
-            assert!(
-                opt.len() < w.nfa.len(),
-                "{b}: {} !< {}",
-                opt.len(),
-                w.nfa.len()
-            );
+            assert!(opt.len() < w.nfa.len(), "{b}: {} !< {}", opt.len(), w.nfa.len());
         }
     }
 

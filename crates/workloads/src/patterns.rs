@@ -20,7 +20,12 @@ pub fn literal(rng: &mut StdRng, len: usize, alphabet: &[u8]) -> String {
 }
 
 /// Length mixture: `frac_long` of draws come from the long range.
-fn mixed_len(rng: &mut StdRng, short: (usize, usize), long: (usize, usize), frac_long: f64) -> usize {
+fn mixed_len(
+    rng: &mut StdRng,
+    short: (usize, usize),
+    long: (usize, usize),
+    frac_long: f64,
+) -> usize {
     if rng.gen_bool(frac_long) {
         rng.gen_range(long.0..=long.1)
     } else {
@@ -32,7 +37,12 @@ fn mixed_len(rng: &mut StdRng, short: (usize, usize), long: (usize, usize), frac
 /// headers / hex stubs / common words, which is exactly what the paper's
 /// space-optimized flow merges; generators prepend pool prefixes so the
 /// published Table 1 space-column reductions reproduce.
-pub(crate) fn prefix_pool(rng: &mut StdRng, pool: usize, len: usize, alphabet: &[u8]) -> Vec<String> {
+pub(crate) fn prefix_pool(
+    rng: &mut StdRng,
+    pool: usize,
+    len: usize,
+    alphabet: &[u8],
+) -> Vec<String> {
     (0..pool).map(|_| literal(rng, len, alphabet)).collect()
 }
 
@@ -119,11 +129,7 @@ pub fn tcp_patterns(rng: &mut StdRng, count: usize) -> Vec<String> {
                 format!("{}[^\\n]{{380}}{}", literal(rng, 5, ALNUM), literal(rng, 5, ALNUM))
             } else if i % 20 == 1 {
                 let gap = rng.gen_range(40..90);
-                format!(
-                    "{}[^\\n]{{{gap}}}{}",
-                    literal(rng, 8, ALNUM),
-                    literal(rng, 8, ALNUM)
-                )
+                format!("{}[^\\n]{{{gap}}}{}", literal(rng, 8, ALNUM), literal(rng, 8, ALNUM))
             } else {
                 let len = rng.gen_range(5..29);
                 format!("{}{}", pick(rng, &pool), literal(rng, len, ALNUM))
@@ -188,7 +194,7 @@ pub fn dotstar_mixed_patterns(rng: &mut StdRng, count: usize) -> Vec<String> {
             for pat in one.iter_mut() {
                 *pat = format!("{}{}", pick(rng, &pool), pat);
             }
-            one.drain(..).collect::<Vec<_>>()
+            one
         })
         .collect()
 }
@@ -224,7 +230,11 @@ pub fn poweren_patterns(rng: &mut StdRng, count: usize) -> Vec<String> {
             let len = mixed_len(rng, (4, 16), (28, 44), 0.02);
             let prefix = pick(rng, &pool).to_string();
             if i % 3 == 0 {
-                format!("{prefix}{}[0-9a-f]{}", literal(rng, len / 2, ALNUM), literal(rng, len / 2, ALNUM))
+                format!(
+                    "{prefix}{}[0-9a-f]{}",
+                    literal(rng, len / 2, ALNUM),
+                    literal(rng, len / 2, ALNUM)
+                )
             } else {
                 format!("{prefix}{}", literal(rng, len, ALNUM))
             }
@@ -278,13 +288,12 @@ pub fn fermi_patterns(rng: &mut StdRng, count: usize) -> Vec<String> {
 /// plus a tag suffix. A shared vocabulary gives the space-optimized design
 /// prefixes to merge, as in the paper.
 pub fn brill_patterns(rng: &mut StdRng, count: usize) -> Vec<String> {
-    let vocab: Vec<String> =
-        (0..300)
-            .map(|_| {
-                let len = rng.gen_range(4..11);
-                literal(rng, len, b"abcdefghijklmnopqrstuvwxyz")
-            })
-            .collect();
+    let vocab: Vec<String> = (0..300)
+        .map(|_| {
+            let len = rng.gen_range(4..11);
+            literal(rng, len, b"abcdefghijklmnopqrstuvwxyz")
+        })
+        .collect();
     let tags = ["nn", "vb", "jj", "rb", "dt", "in"];
     (0..count)
         .map(|i| {
@@ -292,7 +301,13 @@ pub fn brill_patterns(rng: &mut StdRng, count: usize) -> Vec<String> {
             // ~1% of rules are long five-word contexts (the suite's
             // 67-state components); the rest alternate two- and three-word
             // contexts.
-            let words = if i % 97 == 0 { 5 } else if i % 2 == 0 { 3 } else { 2 };
+            let words = if i % 97 == 0 {
+                5
+            } else if i % 2 == 0 {
+                3
+            } else {
+                2
+            };
             let mut rule = String::new();
             for w in 0..words {
                 let word = if i % 97 == 0 {
@@ -397,8 +412,7 @@ mod tests {
             random_forest_patterns(&mut r, 5),
         ] {
             let refs: Vec<&str> = patterns.iter().map(String::as_str).collect();
-            let nfa = compile_patterns(&refs)
-                .unwrap_or_else(|e| panic!("{e} in {:?}", &patterns));
+            let nfa = compile_patterns(&refs).unwrap_or_else(|e| panic!("{e} in {:?}", &patterns));
             assert!(nfa.validate().is_ok());
         }
     }

@@ -24,26 +24,206 @@ pub struct Table1Row {
 
 /// The 20 rows of Table 1.
 pub const TABLE1: [Table1Row; 20] = [
-    Table1Row { name: "Dotstar03", states: 12144, connected_components: 299, largest_cc: 92, avg_active: 3.78, space_states: 11124, space_ccs: 56, space_avg_active: 0.84 },
-    Table1Row { name: "Dotstar06", states: 12640, connected_components: 298, largest_cc: 104, avg_active: 37.55, space_states: 11598, space_ccs: 54, space_avg_active: 3.40 },
-    Table1Row { name: "Dotstar09", states: 12431, connected_components: 297, largest_cc: 104, avg_active: 38.07, space_states: 11229, space_ccs: 59, space_avg_active: 4.39 },
-    Table1Row { name: "Ranges05", states: 12439, connected_components: 299, largest_cc: 94, avg_active: 6.00, space_states: 11596, space_ccs: 63, space_avg_active: 1.53 },
-    Table1Row { name: "Ranges1", states: 12464, connected_components: 297, largest_cc: 96, avg_active: 6.43, space_states: 11418, space_ccs: 57, space_avg_active: 1.46 },
-    Table1Row { name: "ExactMatch", states: 12439, connected_components: 297, largest_cc: 87, avg_active: 5.99, space_states: 11270, space_ccs: 53, space_avg_active: 1.42 },
-    Table1Row { name: "Bro217", states: 2312, connected_components: 187, largest_cc: 84, avg_active: 3.40, space_states: 1893, space_ccs: 59, space_avg_active: 1.89 },
-    Table1Row { name: "TCP", states: 19704, connected_components: 715, largest_cc: 391, avg_active: 12.94, space_states: 13819, space_ccs: 47, space_avg_active: 2.21 },
-    Table1Row { name: "Snort", states: 69029, connected_components: 2585, largest_cc: 222, avg_active: 431.43, space_states: 34480, space_ccs: 73, space_avg_active: 29.59 },
-    Table1Row { name: "Brill", states: 42568, connected_components: 1962, largest_cc: 67, avg_active: 1662.76, space_states: 26364, space_ccs: 1, space_avg_active: 14.29 },
-    Table1Row { name: "ClamAV", states: 49538, connected_components: 515, largest_cc: 542, avg_active: 82.84, space_states: 42543, space_ccs: 41, space_avg_active: 4.30 },
-    Table1Row { name: "Dotstar", states: 96438, connected_components: 2837, largest_cc: 95, avg_active: 45.05, space_states: 38951, space_ccs: 90, space_avg_active: 3.25 },
-    Table1Row { name: "EntityResolution", states: 95136, connected_components: 1000, largest_cc: 96, avg_active: 1192.84, space_states: 5672, space_ccs: 5, space_avg_active: 7.88 },
-    Table1Row { name: "Levenshtein", states: 2784, connected_components: 24, largest_cc: 116, avg_active: 114.21, space_states: 2784, space_ccs: 1, space_avg_active: 114.21 },
-    Table1Row { name: "Hamming", states: 11346, connected_components: 93, largest_cc: 122, avg_active: 285.1, space_states: 11254, space_ccs: 69, space_avg_active: 240.09 },
-    Table1Row { name: "Fermi", states: 40783, connected_components: 2399, largest_cc: 17, avg_active: 4715.96, space_states: 39032, space_ccs: 648, space_avg_active: 4715.96 },
-    Table1Row { name: "SPM", states: 100500, connected_components: 5025, largest_cc: 20, avg_active: 6964.47, space_states: 18126, space_ccs: 1, space_avg_active: 1432.55 },
-    Table1Row { name: "RandomForest", states: 33220, connected_components: 1661, largest_cc: 20, avg_active: 398.24, space_states: 33220, space_ccs: 1, space_avg_active: 398.24 },
-    Table1Row { name: "PowerEN", states: 14109, connected_components: 1000, largest_cc: 48, avg_active: 61.02, space_states: 12194, space_ccs: 62, space_avg_active: 30.02 },
-    Table1Row { name: "Protomata", states: 42011, connected_components: 2340, largest_cc: 123, avg_active: 1578.51, space_states: 38243, space_ccs: 513, space_avg_active: 594.68 },
+    Table1Row {
+        name: "Dotstar03",
+        states: 12144,
+        connected_components: 299,
+        largest_cc: 92,
+        avg_active: 3.78,
+        space_states: 11124,
+        space_ccs: 56,
+        space_avg_active: 0.84,
+    },
+    Table1Row {
+        name: "Dotstar06",
+        states: 12640,
+        connected_components: 298,
+        largest_cc: 104,
+        avg_active: 37.55,
+        space_states: 11598,
+        space_ccs: 54,
+        space_avg_active: 3.40,
+    },
+    Table1Row {
+        name: "Dotstar09",
+        states: 12431,
+        connected_components: 297,
+        largest_cc: 104,
+        avg_active: 38.07,
+        space_states: 11229,
+        space_ccs: 59,
+        space_avg_active: 4.39,
+    },
+    Table1Row {
+        name: "Ranges05",
+        states: 12439,
+        connected_components: 299,
+        largest_cc: 94,
+        avg_active: 6.00,
+        space_states: 11596,
+        space_ccs: 63,
+        space_avg_active: 1.53,
+    },
+    Table1Row {
+        name: "Ranges1",
+        states: 12464,
+        connected_components: 297,
+        largest_cc: 96,
+        avg_active: 6.43,
+        space_states: 11418,
+        space_ccs: 57,
+        space_avg_active: 1.46,
+    },
+    Table1Row {
+        name: "ExactMatch",
+        states: 12439,
+        connected_components: 297,
+        largest_cc: 87,
+        avg_active: 5.99,
+        space_states: 11270,
+        space_ccs: 53,
+        space_avg_active: 1.42,
+    },
+    Table1Row {
+        name: "Bro217",
+        states: 2312,
+        connected_components: 187,
+        largest_cc: 84,
+        avg_active: 3.40,
+        space_states: 1893,
+        space_ccs: 59,
+        space_avg_active: 1.89,
+    },
+    Table1Row {
+        name: "TCP",
+        states: 19704,
+        connected_components: 715,
+        largest_cc: 391,
+        avg_active: 12.94,
+        space_states: 13819,
+        space_ccs: 47,
+        space_avg_active: 2.21,
+    },
+    Table1Row {
+        name: "Snort",
+        states: 69029,
+        connected_components: 2585,
+        largest_cc: 222,
+        avg_active: 431.43,
+        space_states: 34480,
+        space_ccs: 73,
+        space_avg_active: 29.59,
+    },
+    Table1Row {
+        name: "Brill",
+        states: 42568,
+        connected_components: 1962,
+        largest_cc: 67,
+        avg_active: 1662.76,
+        space_states: 26364,
+        space_ccs: 1,
+        space_avg_active: 14.29,
+    },
+    Table1Row {
+        name: "ClamAV",
+        states: 49538,
+        connected_components: 515,
+        largest_cc: 542,
+        avg_active: 82.84,
+        space_states: 42543,
+        space_ccs: 41,
+        space_avg_active: 4.30,
+    },
+    Table1Row {
+        name: "Dotstar",
+        states: 96438,
+        connected_components: 2837,
+        largest_cc: 95,
+        avg_active: 45.05,
+        space_states: 38951,
+        space_ccs: 90,
+        space_avg_active: 3.25,
+    },
+    Table1Row {
+        name: "EntityResolution",
+        states: 95136,
+        connected_components: 1000,
+        largest_cc: 96,
+        avg_active: 1192.84,
+        space_states: 5672,
+        space_ccs: 5,
+        space_avg_active: 7.88,
+    },
+    Table1Row {
+        name: "Levenshtein",
+        states: 2784,
+        connected_components: 24,
+        largest_cc: 116,
+        avg_active: 114.21,
+        space_states: 2784,
+        space_ccs: 1,
+        space_avg_active: 114.21,
+    },
+    Table1Row {
+        name: "Hamming",
+        states: 11346,
+        connected_components: 93,
+        largest_cc: 122,
+        avg_active: 285.1,
+        space_states: 11254,
+        space_ccs: 69,
+        space_avg_active: 240.09,
+    },
+    Table1Row {
+        name: "Fermi",
+        states: 40783,
+        connected_components: 2399,
+        largest_cc: 17,
+        avg_active: 4715.96,
+        space_states: 39032,
+        space_ccs: 648,
+        space_avg_active: 4715.96,
+    },
+    Table1Row {
+        name: "SPM",
+        states: 100500,
+        connected_components: 5025,
+        largest_cc: 20,
+        avg_active: 6964.47,
+        space_states: 18126,
+        space_ccs: 1,
+        space_avg_active: 1432.55,
+    },
+    Table1Row {
+        name: "RandomForest",
+        states: 33220,
+        connected_components: 1661,
+        largest_cc: 20,
+        avg_active: 398.24,
+        space_states: 33220,
+        space_ccs: 1,
+        space_avg_active: 398.24,
+    },
+    Table1Row {
+        name: "PowerEN",
+        states: 14109,
+        connected_components: 1000,
+        largest_cc: 48,
+        avg_active: 61.02,
+        space_states: 12194,
+        space_ccs: 62,
+        space_avg_active: 30.02,
+    },
+    Table1Row {
+        name: "Protomata",
+        states: 42011,
+        connected_components: 2340,
+        largest_cc: 123,
+        avg_active: 1578.51,
+        space_states: 38243,
+        space_ccs: 513,
+        space_avg_active: 594.68,
+    },
 ];
 
 /// Looks up a Table 1 row by name.

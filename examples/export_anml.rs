@@ -36,8 +36,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("next steps:");
     println!("  cargo build --release -p cache-automaton");
     println!("  target/release/cactl compile {}", anml_path.display());
+    println!("  target/release/cactl run {} {}", anml_path.display(), trace_path.display());
     println!(
-        "  target/release/cactl run {} {}",
+        "  target/release/cactl run --shards 4 {} {}   # parallel sharded scan",
         anml_path.display(),
         trace_path.display()
     );

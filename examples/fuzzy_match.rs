@@ -20,7 +20,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     let nfa = HomNfa::union_all(parts.iter(), false);
 
-    let program = CacheAutomaton::builder().design(Design::Performance).build().compile_nfa(&nfa)?;
+    let program =
+        CacheAutomaton::builder().design(Design::Performance).build().compile_nfa(&nfa)?;
     println!(
         "{} dictionary words at edit distance <= {distance}: {} STEs in {} partition(s)",
         dictionary.len(),
@@ -29,8 +30,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!();
 
+    // Feed the text in small chunks through a scan session; fuzzy matches
+    // spanning chunk boundaries are still found.
     let text = b"the cahe automataon uses a pipelne of patern matchers per partition";
-    let report = program.run(text);
+    let mut scanner = program.scanner();
+    for chunk in text.chunks(16) {
+        scanner.feed(chunk);
+    }
+    let report = scanner.finish();
 
     println!("text: {:?}", String::from_utf8_lossy(text));
     let mut found = vec![false; dictionary.len()];

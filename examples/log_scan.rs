@@ -20,10 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Space-optimized flow with explicit optimization (shared prefixes in
     // rule sets merge, shrinking the footprint).
-    let ca = CacheAutomaton::builder()
-        .design(Design::Space)
-        .optimize(Optimize::Always)
-        .build();
+    let ca = CacheAutomaton::builder().design(Design::Space).optimize(Optimize::Always).build();
     let program = ca.compile_patterns(&patterns)?;
     println!(
         "{} alert rules -> {} STEs after prefix merging, {:.3} MB of LLC",
@@ -34,11 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Synthesize a log: benign lines with alerting lines sprinkled in.
     let mut rng = StdRng::seed_from_u64(99);
-    let benign = [
-        "service nginx reloaded ok",
-        "cron job completed",
-        "dhcp lease renewed on eth0",
-    ];
+    let benign = ["service nginx reloaded ok", "cron job completed", "dhcp lease renewed on eth0"];
     let alerts = [
         "failed password for alice",
         "out of memory: kill process 4242",
@@ -58,7 +51,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         log.push('\n');
     }
 
-    let report = program.run(log.as_bytes());
+    // Logs arrive line by line; a Scanner session scans them as they come
+    // while keeping absolute stream offsets for the alerter.
+    let mut scanner = program.scanner();
+    for line in log.as_bytes().split_inclusive(|&b| b == b'\n') {
+        scanner.feed(line);
+    }
+    let report = scanner.finish();
     // A rule like `[a-z]+` reports once per extra symbol; collapse the
     // match stream to alerting *lines*, as a real alerter would.
     let hits = cache_automaton::matches::group_by_line(log.as_bytes(), &report.matches);
@@ -83,7 +82,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  local switches: {:>10.1} nJ", b.lswitch_nj);
     println!("  global switch : {:>10.1} nJ", b.gswitch_nj);
     println!("  wires         : {:>10.1} nJ", b.wire_nj);
-    println!("  total         : {:>10.1} nJ ({:.3} nJ/symbol)", b.total_nj(), report.energy.per_symbol_nj);
+    println!(
+        "  total         : {:>10.1} nJ ({:.3} nJ/symbol)",
+        b.total_nj(),
+        report.energy.per_symbol_nj
+    );
     println!(
         "output buffer: {} reports, {} buffer-full interrupts, {} FIFO refills",
         report.exec.reports, report.exec.output_interrupts, report.exec.fifo_refills

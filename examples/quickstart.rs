@@ -26,8 +26,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  peak throughput   : {} Gb/s", program.throughput_gbps());
     println!();
 
+    // Scan through a streaming session: feed() takes the stream in any
+    // chunking (here: two halves) and finish() renders the report.
     let input = b"the cat dragged the cart past a bat near the bar";
-    let report = program.run(input);
+    let mut scanner = program.scanner();
+    scanner.feed(&input[..input.len() / 2]);
+    scanner.feed(&input[input.len() / 2..]);
+    let report = scanner.finish();
 
     println!("scanned {:?}", String::from_utf8_lossy(input));
     for m in &report.matches {

@@ -1,10 +1,10 @@
-//! Streaming operation: chunked scans with suspend/resume (§2.9) and
-//! multi-instance scaling over parallel streams (§5.2).
+//! Streaming operation: a [`Scanner`] session scanning a stream chunk by
+//! chunk with suspend/resume (§2.9) and multi-instance scaling over
+//! parallel streams (§5.2).
 //!
 //! Run with: `cargo run --release --example streaming`
 
-use ca_sim::RunOptions;
-use cache_automaton::{CacheAutomaton, Design};
+use cache_automaton::{CacheAutomaton, Design, Scanner};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = CacheAutomaton::builder()
@@ -12,42 +12,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build()
         .compile_patterns(&["beacon[0-9]{4}", "exfil.*payload"])?;
 
-    // --- chunked scanning with suspend/resume --------------------------
-    // A match spanning a chunk boundary must still be found: the snapshot
-    // carries the active-state vectors across chunks.
-    let stream = b"....beac".to_vec();
-    let chunk2 = b"on1234....exfil==".to_vec();
-    let chunk3 = b"==payload....".to_vec();
-
-    let mut fabric = program.compiled().fabric()?;
-    let r1 = fabric.run(&stream);
-    let r2 = fabric.run_with(
-        &chunk2,
-        &RunOptions { resume: r1.snapshot.clone(), ..Default::default() },
-    );
-    let r3 = fabric.run_with(
-        &chunk3,
-        &RunOptions { resume: r2.snapshot.clone(), collect_entries: true, ..Default::default() },
-    );
-    let total = r1.events.len() + r2.events.len() + r3.events.len();
-    println!("chunked scan across 3 chunks found {total} matches:");
-    for ev in r1.events.iter().chain(&r2.events).chain(&r3.events) {
-        println!("  pattern {} at absolute offset {}", ev.code.0, ev.pos);
+    // --- chunked scanning ----------------------------------------------
+    // The session carries the fabric's active-state vectors across feed()
+    // calls, so a match spanning a chunk boundary is still found at its
+    // absolute stream offset.
+    let mut scanner = program.scanner();
+    for chunk in [b"....beac".as_slice(), b"on1234....exfil==", b"==payload...."] {
+        for ev in scanner.feed(chunk) {
+            println!("  pattern {} at absolute offset {}", ev.code.0, ev.pos);
+        }
     }
-    let snap = r3.snapshot.as_ref().expect("snapshot");
+
+    // --- suspend, persist, resume --------------------------------------
+    // The suspend image is small: a symbol counter, the CBOX buffer
+    // occupancy and one 256-bit vector per partition.
+    let image = scanner.snapshot().expect("fed session has an image").clone();
     println!(
         "suspend image: {} bytes for {} partitions at symbol {}",
-        snap.size_bytes(),
-        snap.active_vectors.len(),
-        snap.symbol_counter
+        image.size_bytes(),
+        image.active_vectors.len(),
+        image.symbol_counter
     );
-    assert_eq!(total, 2, "both boundary-spanning patterns must fire");
-    for entry in &r3.entries {
-        println!(
-            "  CBOX entry: partition {} column {} symbol {:?} counter {}",
-            entry.partition, entry.column, entry.symbol as char, entry.symbol_counter
-        );
-    }
+    let matches_so_far = scanner.matches().len();
+    drop(scanner); // e.g. the flow is parked while other flows are serviced
+
+    let mut resumed: Scanner<'_> = program.resume_scanner(image);
+    resumed.feed(b"..beacon0007..");
+    println!("resumed at symbol {}", resumed.position() - 14);
+    let report = resumed.finish();
+    let total = matches_so_far + report.matches.len();
+    println!(
+        "resumed session: {} more match(es), stream total {total}, {:.2} Gb/s simulated",
+        report.matches.len(),
+        report.achieved_gbps()
+    );
+    assert_eq!(total, 3, "two boundary-spanning matches plus one after resume");
     println!();
 
     // --- multi-instance scaling ----------------------------------------
@@ -62,7 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .collect();
     let refs: Vec<&[u8]> = streams.iter().map(Vec::as_slice).collect();
-    let reports = multi.run_streams(&refs);
+    let reports = multi.run_streams(&refs)?;
     let hits: usize = reports.iter().map(|r| r.matches.len()).sum();
     println!(
         "{instances} parallel instances: {hits} beacons caught, aggregate {} Gb/s ({}x one AP)",

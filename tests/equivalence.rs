@@ -74,11 +74,8 @@ fn designs_report_identical_matches() {
             .build()
             .compile_nfa(&w.nfa)
             .unwrap();
-        let s = CacheAutomaton::builder()
-            .design(Design::Space)
-            .build()
-            .compile_nfa(&w.nfa)
-            .unwrap();
+        let s =
+            CacheAutomaton::builder().design(Design::Space).build().compile_nfa(&w.nfa).unwrap();
         assert_eq!(
             sorted(p.run(&input).matches),
             sorted(s.run(&input).matches),

@@ -9,7 +9,7 @@ use ca_sim::{
     SystemConfig, TimingParams,
 };
 use ca_workloads::{Benchmark, Scale};
-use cache_automaton::{matches, CacheAutomaton, Design};
+use cache_automaton::{matches, CacheAutomaton};
 
 #[test]
 fn config_pages_roundtrip_for_compiled_benchmarks() {

@@ -1,0 +1,106 @@
+//! Workspace-level differential tests for the parallel sharded scan
+//! pipeline and the streaming Scanner session: on every synthesized
+//! benchmark and both design points, splitting the input — across threads
+//! (`run_parallel`) or across time (`Scanner::feed`) — must reproduce the
+//! serial `run` byte for byte.
+
+use ca_workloads::{Benchmark, Scale};
+use cache_automaton::{CacheAutomaton, Design, Optimize, Parallelism, ScanOptions};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn check_design(design: Design, build_seed: u64, input_seed: u64) {
+    let ca = CacheAutomaton::builder().design(design).optimize(Optimize::Never).build();
+    for benchmark in Benchmark::all() {
+        let w = benchmark.build(Scale::tiny(), build_seed);
+        let input = w.input(8 * 1024, input_seed);
+        let program = ca.compile_nfa(&w.nfa).unwrap_or_else(|e| panic!("{benchmark}: {e}"));
+        let serial = program.run(&input);
+        for shards in SHARD_COUNTS {
+            let parallel = program
+                .run_parallel(&input, Parallelism::Threads(shards))
+                .unwrap_or_else(|e| panic!("{benchmark} x{shards}: {e}"));
+            assert_eq!(
+                parallel.matches, serial.matches,
+                "{benchmark} diverged on {design} with {shards} shards"
+            );
+            assert_eq!(parallel.exec.symbols, serial.exec.symbols, "{benchmark}");
+        }
+    }
+}
+
+#[test]
+fn run_parallel_matches_serial_on_every_benchmark_performance_design() {
+    check_design(Design::Performance, 17, 3);
+}
+
+#[test]
+fn run_parallel_matches_serial_on_every_benchmark_space_design() {
+    check_design(Design::Space, 23, 5);
+}
+
+#[test]
+fn odd_shard_counts_and_uneven_stripes_agree() {
+    // Stripe boundaries that don't divide the input evenly exercise the
+    // one-byte-longer leading stripes and the boundary handoff at
+    // unaligned offsets.
+    let w = Benchmark::Snort.build(Scale::tiny(), 29);
+    let input = w.input(8 * 1024 + 13, 19);
+    let program = CacheAutomaton::new().compile_nfa(&w.nfa).unwrap();
+    let serial = program.run(&input);
+    for shards in [3usize, 5, 7, 11, 31] {
+        let parallel = program.run_parallel(&input, Parallelism::Threads(shards)).unwrap();
+        assert_eq!(parallel.matches, serial.matches, "{shards} shards diverged");
+    }
+}
+
+#[test]
+fn scanner_chunk_boundaries_landing_mid_match_are_invisible() {
+    // Chunk sizes chosen so boundaries land inside pattern occurrences;
+    // the session must carry the partial-match state across feed() calls.
+    for benchmark in [Benchmark::Snort, Benchmark::Brill, Benchmark::Levenshtein] {
+        let w = benchmark.build(Scale::tiny(), 37);
+        let input = w.input(4 * 1024, 23);
+        let program = CacheAutomaton::new().compile_nfa(&w.nfa).unwrap();
+        let serial = program.run(&input);
+        for chunk in [1usize, 3, 7, 64, 1000] {
+            let mut scanner = program.scanner();
+            for piece in input.chunks(chunk) {
+                scanner.feed(piece);
+            }
+            let report = scanner.finish();
+            assert_eq!(report.matches, serial.matches, "{benchmark} chunk={chunk}");
+            assert_eq!(report.exec, serial.exec, "{benchmark} chunk={chunk} stats");
+        }
+    }
+}
+
+#[test]
+fn scan_options_resolve_auto_and_explicit_paths() {
+    let w = Benchmark::Spm.build(Scale::tiny(), 43);
+    let input = w.input(8 * 1024, 29);
+    let program = CacheAutomaton::new().compile_nfa(&w.nfa).unwrap();
+    let serial = program.run(&input);
+    // Auto on an 8 KiB input (below the 64 KiB stripe floor) is serial.
+    let auto = program.run_parallel(&input, Parallelism::Auto).unwrap();
+    assert_eq!(auto.matches, serial.matches);
+    assert_eq!(auto.exec.cycles, serial.exec.cycles);
+    // Lowering the floor through ScanOptions turns sharding on.
+    let mut options = ScanOptions::default();
+    options.min_stripe_bytes = 1024;
+    let sharded = program.run_with_options(&input, &options).unwrap();
+    assert_eq!(sharded.matches, serial.matches);
+}
+
+#[test]
+fn parallel_report_is_deterministic() {
+    let w = Benchmark::ClamAv.build(Scale::tiny(), 47);
+    let input = w.input(8 * 1024, 31);
+    let program = CacheAutomaton::new().compile_nfa(&w.nfa).unwrap();
+    let a = program.run_parallel(&input, Parallelism::Threads(4)).unwrap();
+    let b = program.run_parallel(&input, Parallelism::Threads(4)).unwrap();
+    assert_eq!(a.matches, b.matches);
+    assert_eq!(a.exec, b.exec);
+    // position-sorted, no duplicates
+    assert!(a.matches.windows(2).all(|w| w[0] < w[1]));
+}

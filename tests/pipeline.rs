@@ -3,13 +3,12 @@
 
 use ca_automata::anml::{parse_anml, to_anml};
 use ca_automata::engine::{Engine, SparseEngine};
-use cache_automaton::{CacheAutomaton, CaError, Design, ReportCode};
+use cache_automaton::{CaError, CacheAutomaton, Design, ReportCode};
 
 #[test]
 fn regex_to_report_end_to_end() {
-    let program = CacheAutomaton::new()
-        .compile_patterns(&["err(or)?", "warn(ing)?", "panic"])
-        .unwrap();
+    let program =
+        CacheAutomaton::new().compile_patterns(&["err(or)?", "warn(ing)?", "panic"]).unwrap();
     let input = b"warn: minor\nerror: major\npanic: fatal\n";
     let report = program.run(input);
     let codes: Vec<u32> = report.matches.iter().map(|m| m.code.0).collect();
@@ -88,11 +87,8 @@ fn long_stream_throughput_approaches_design_peak() {
 
 #[test]
 fn simulated_time_matches_frequency() {
-    let program = CacheAutomaton::builder()
-        .design(Design::Space)
-        .build()
-        .compile_patterns(&["abc"])
-        .unwrap();
+    let program =
+        CacheAutomaton::builder().design(Design::Space).build().compile_patterns(&["abc"]).unwrap();
     let report = program.run(&vec![b'x'; 12_000]);
     // 12_000 symbols + 2 fill cycles at 1.2 GHz
     let expect = 12_002.0 / 1.2e9;
