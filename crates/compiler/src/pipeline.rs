@@ -1,0 +1,532 @@
+//! The pass-based compilation pipeline.
+//!
+//! [`compile`](crate::compile) used to be one long function with the
+//! plan/place/emit flow and the port-pressure retry loop inlined. It is now
+//! an explicit pipeline of named passes behind the [`Pass`] trait:
+//!
+//! * **Plan** — components → logical 256-STE partitions + quotient graph;
+//! * **Place** — logical partitions → physical locations;
+//! * **Emit** — partition images, switch cross-points, global routes;
+//! * **Validate** — every architectural constraint re-checked on the final
+//!   image (the compiler-bug guard).
+//!
+//! The driver times each pass ([`PassTimings`], surfaced in
+//! [`MappingStats`]), and the §3.2 behaviour of
+//! re-planning with a finer split when G-switch port budgets bite is a
+//! [`RetryPolicy`] of the pipeline rather than inline control flow: a pass
+//! may declare an error retryable, and the driver restarts the pipeline
+//! with the next `extra_parts` value from the schedule.
+//!
+//! # Examples
+//!
+//! ```
+//! use ca_automata::regex::compile_patterns;
+//! use ca_compiler::{pipeline::Pipeline, CompilerOptions};
+//!
+//! let nfa = compile_patterns(&["rain", "r[au]n"]).unwrap();
+//! let compiled = Pipeline::standard().run(&nfa, &CompilerOptions::default()).unwrap();
+//! assert_eq!(compiled.stats.retries, 0);
+//! assert!(compiled.stats.timings.total_ms() >= 0.0);
+//! ```
+
+use crate::error::CompileError;
+use crate::plan::{LogicalPlan, PortBudget};
+use crate::{emit, place, plan, CompiledAutomaton, CompilerOptions, MappingStats};
+use ca_automata::analysis::{connected_components, Components};
+use ca_automata::HomNfa;
+use ca_sim::{Bitstream, CacheGeometry, PartitionLocation};
+use std::time::Instant;
+
+/// Wall-clock milliseconds spent in each pass, accumulated across retries.
+///
+/// Diagnostic only: excluded from [`MappingStats`]'s equality so that a
+/// cached compilation compares equal to the compilation that produced it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PassTimings {
+    /// Milliseconds in the Plan pass.
+    pub plan_ms: f64,
+    /// Milliseconds in the Place pass.
+    pub place_ms: f64,
+    /// Milliseconds in the Emit pass.
+    pub emit_ms: f64,
+    /// Milliseconds in the Validate pass.
+    pub validate_ms: f64,
+}
+
+impl PassTimings {
+    /// Total time across all passes.
+    pub fn total_ms(&self) -> f64 {
+        self.plan_ms + self.place_ms + self.emit_ms + self.validate_ms
+    }
+
+    fn record(&mut self, pass: &str, ms: f64) {
+        match pass {
+            "plan" => self.plan_ms += ms,
+            "place" => self.place_ms += ms,
+            "emit" => self.emit_ms += ms,
+            "validate" => self.validate_ms += ms,
+            _ => {}
+        }
+    }
+}
+
+/// Mutable state threaded through the passes of one pipeline attempt.
+///
+/// Each pass reads the fields earlier passes filled and writes its own;
+/// the driver owns construction and the retry policy.
+pub struct PassContext<'a> {
+    /// The (validated) input automaton.
+    pub nfa: &'a HomNfa,
+    /// Compiler configuration.
+    pub options: &'a CompilerOptions,
+    /// Geometry implied by the options.
+    pub geometry: CacheGeometry,
+    /// Connected components of the input (computed once, shared by
+    /// attempts).
+    pub components: &'a Components,
+    /// Extra split slack for oversized components (set by the retry
+    /// policy; 0 on the first attempt).
+    pub extra_parts: usize,
+    /// Output of the Plan pass.
+    pub plan: Option<LogicalPlan>,
+    /// Weighted quotient edges between logical partitions (Plan output).
+    pub quotient: Vec<(u32, u32, u32)>,
+    /// Output of the Place pass.
+    pub locations: Option<Vec<PartitionLocation>>,
+    /// Output of the Emit pass.
+    pub bitstream: Option<Bitstream>,
+    /// State → (partition, column) map (Emit output).
+    pub state_map: Vec<(u32, u8)>,
+}
+
+impl<'a> PassContext<'a> {
+    fn new(
+        nfa: &'a HomNfa,
+        options: &'a CompilerOptions,
+        geometry: CacheGeometry,
+        components: &'a Components,
+        extra_parts: usize,
+    ) -> PassContext<'a> {
+        PassContext {
+            nfa,
+            options,
+            geometry,
+            components,
+            extra_parts,
+            plan: None,
+            quotient: Vec::new(),
+            locations: None,
+            bitstream: None,
+            state_map: Vec::new(),
+        }
+    }
+}
+
+/// One named stage of the compilation pipeline.
+pub trait Pass {
+    /// Stable lower-case name ("plan", "place", "emit", "validate") used
+    /// for timing attribution.
+    fn name(&self) -> &'static str;
+
+    /// Runs the pass, reading and writing the shared [`PassContext`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`CompileError`]; the driver consults [`Pass::retryable`] to
+    /// decide whether to restart the pipeline with a finer split.
+    fn run(&self, ctx: &mut PassContext<'_>) -> Result<(), CompileError>;
+
+    /// Whether `err` should trigger a pipeline retry at the next
+    /// `extra_parts` step instead of failing the compilation.
+    fn retryable(&self, _err: &CompileError) -> bool {
+        false
+    }
+}
+
+/// Plan pass: connected components → logical partitions + quotient edges.
+pub struct PlanPass;
+
+impl Pass for PlanPass {
+    fn name(&self) -> &'static str {
+        "plan"
+    }
+
+    fn run(&self, ctx: &mut PassContext<'_>) -> Result<(), CompileError> {
+        let geom = &ctx.geometry;
+        let budget = PortBudget {
+            same_way: geom.g1_ports,
+            cross_way: geom.g4_ports,
+            way_states: geom.partitions_per_way() * ca_sim::STES_PER_PARTITION,
+        };
+        let logical =
+            plan::plan(ctx.nfa, ctx.components, ctx.extra_parts, &budget, ctx.options.seed)?;
+        // quotient edges between logical partitions (weights = transition
+        // counts), consumed by placement's affinity heuristics
+        let mut quotient_map: std::collections::BTreeMap<(u32, u32), u32> =
+            std::collections::BTreeMap::new();
+        for (sid, _) in ctx.nfa.iter() {
+            let a = logical.assignment[sid.index()];
+            for t in ctx.nfa.successors(sid) {
+                let b = logical.assignment[t.index()];
+                if a != b {
+                    let key = if a < b { (a, b) } else { (b, a) };
+                    *quotient_map.entry(key).or_insert(0) += 1;
+                }
+            }
+        }
+        ctx.quotient = quotient_map.into_iter().map(|((a, b), w)| (a, b, w)).collect();
+        ctx.plan = Some(logical);
+        Ok(())
+    }
+}
+
+/// Place pass: logical partitions → physical cache locations.
+///
+/// Placement failures are structural (a cluster exceeds the switch
+/// topology's reach; splitting finer only grows the cluster), so its
+/// errors are terminal — never retryable.
+pub struct PlacePass;
+
+impl Pass for PlacePass {
+    fn name(&self) -> &'static str {
+        "place"
+    }
+
+    fn run(&self, ctx: &mut PassContext<'_>) -> Result<(), CompileError> {
+        let plan = ctx.plan.as_ref().expect("Plan pass ran");
+        let locations = place::place(plan, &ctx.quotient, &ctx.geometry, ctx.options.seed)?;
+        ctx.locations = Some(locations);
+        Ok(())
+    }
+}
+
+/// Emit pass: partition images, local-switch cross-points, global routes.
+///
+/// Port-budget violations ([`CompileError::RoutingInfeasible`]) are
+/// retryable: the driver re-plans with a finer split, mirroring the
+/// paper's observation that METIS keeps inter-partition transitions below
+/// the 16-port budget once components are split finely enough.
+pub struct EmitPass;
+
+impl Pass for EmitPass {
+    fn name(&self) -> &'static str {
+        "emit"
+    }
+
+    fn run(&self, ctx: &mut PassContext<'_>) -> Result<(), CompileError> {
+        let plan = ctx.plan.as_ref().expect("Plan pass ran");
+        let locations = ctx.locations.as_ref().expect("Place pass ran");
+        let (bitstream, state_map) =
+            emit::emit(ctx.nfa, plan, locations, &ctx.geometry, ctx.options.design)?;
+        ctx.bitstream = Some(bitstream);
+        ctx.state_map = state_map;
+        Ok(())
+    }
+
+    fn retryable(&self, err: &CompileError) -> bool {
+        matches!(err, CompileError::RoutingInfeasible { .. })
+    }
+}
+
+/// Validate pass: re-checks every architectural constraint on the final
+/// image. A failure here is a compiler bug, reported as
+/// [`CompileError::Internal`].
+pub struct ValidatePass;
+
+impl Pass for ValidatePass {
+    fn name(&self) -> &'static str {
+        "validate"
+    }
+
+    fn run(&self, ctx: &mut PassContext<'_>) -> Result<(), CompileError> {
+        let bitstream = ctx.bitstream.as_ref().expect("Emit pass ran");
+        bitstream
+            .validate()
+            .map_err(|e| CompileError::Internal(format!("emitted bitstream invalid: {e}")))
+    }
+}
+
+/// When and how the pipeline restarts after a retryable pass failure.
+///
+/// `extra_parts[i]` is the split slack of attempt `i`; the schedule length
+/// bounds the number of attempts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Per-attempt extra split parts for oversized components.
+    pub extra_parts: Vec<usize>,
+}
+
+impl Default for RetryPolicy {
+    /// The paper-calibrated schedule: first try the natural split, then
+    /// progressively finer ones.
+    fn default() -> RetryPolicy {
+        RetryPolicy { extra_parts: vec![0, 1, 2, 4] }
+    }
+}
+
+/// The pass pipeline: an ordered list of passes plus a retry policy.
+pub struct Pipeline {
+    passes: Vec<Box<dyn Pass>>,
+    retry: RetryPolicy,
+}
+
+impl Pipeline {
+    /// The standard Plan → Place → Emit → Validate pipeline with the
+    /// default retry schedule.
+    pub fn standard() -> Pipeline {
+        Pipeline::new(
+            vec![
+                Box::new(PlanPass),
+                Box::new(PlacePass),
+                Box::new(EmitPass),
+                Box::new(ValidatePass),
+            ],
+            RetryPolicy::default(),
+        )
+    }
+
+    /// A pipeline from explicit passes and policy (for experimentation:
+    /// extra analysis passes, alternative retry schedules).
+    pub fn new(passes: Vec<Box<dyn Pass>>, retry: RetryPolicy) -> Pipeline {
+        Pipeline { passes, retry }
+    }
+
+    /// The pass names, in execution order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Compiles `nfa` through the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// * [`CompileError::InvalidAutomaton`] for malformed inputs;
+    /// * [`CompileError::CapacityExceeded`] when the geometry is too small;
+    /// * [`CompileError::RoutingInfeasible`] when connectivity constraints
+    ///   cannot be met even after the retry schedule is exhausted.
+    pub fn run(
+        &self,
+        nfa: &HomNfa,
+        opts: &CompilerOptions,
+    ) -> Result<CompiledAutomaton, CompileError> {
+        nfa.validate().map_err(|e| CompileError::InvalidAutomaton(e.to_string()))?;
+        let geom = opts.geometry();
+        geom.validate().map_err(CompileError::InvalidAutomaton)?;
+        if nfa.is_empty() {
+            return Ok(empty_compilation(opts, geom));
+        }
+        let cc = connected_components(nfa);
+
+        // Fast structural pre-check: a component larger than the switch
+        // topology's routable domain can never map, however it is split —
+        // fail before spending minutes partitioning it.
+        let domain_partitions = if geom.gswitch4_ways == 0 {
+            geom.partitions_per_way()
+        } else {
+            geom.partitions_per_slice()
+        };
+        let domain_states = domain_partitions * ca_sim::STES_PER_PARTITION;
+        for (ci, comp) in cc.components.iter().enumerate() {
+            if comp.len() > domain_states {
+                return Err(CompileError::RoutingInfeasible {
+                    component: ci,
+                    states: comp.len(),
+                    reason: format!(
+                        "component exceeds the {} routable domain of {domain_states} states",
+                        if geom.gswitch4_ways == 0 { "per-way (G1)" } else { "per-slice (G4)" }
+                    ),
+                });
+            }
+        }
+
+        let mut timings = PassTimings::default();
+        let mut last_err = None;
+        for (retry, &extra) in self.retry.extra_parts.iter().enumerate() {
+            let mut ctx = PassContext::new(nfa, opts, geom, &cc, extra);
+            let mut failed = None;
+            for pass in &self.passes {
+                let started = Instant::now();
+                let result = pass.run(&mut ctx);
+                timings.record(pass.name(), started.elapsed().as_secs_f64() * 1e3);
+                if let Err(e) = result {
+                    if pass.retryable(&e) {
+                        failed = Some(e);
+                        break;
+                    }
+                    return Err(e);
+                }
+            }
+            match failed {
+                Some(e) => last_err = Some(e),
+                None => {
+                    let bitstream = ctx.bitstream.expect("pipeline produced a bitstream");
+                    let logical = ctx.plan.expect("pipeline produced a plan");
+                    let g1_routes =
+                        bitstream.routes.iter().filter(|r| r.via == ca_sim::RouteVia::G1).count();
+                    let g4_routes = bitstream.routes.len() - g1_routes;
+                    let stats = MappingStats {
+                        states: nfa.len(),
+                        connected_components: cc.len(),
+                        largest_cc: cc.largest(),
+                        partitions_used: bitstream.partitions.len(),
+                        utilization_bytes: bitstream.utilization_bytes(),
+                        g1_routes,
+                        g4_routes,
+                        kway_invocations: logical.kway_invocations,
+                        retries: retry,
+                        seed: opts.seed,
+                        timings,
+                    };
+                    return Ok(CompiledAutomaton { bitstream, stats, state_map: ctx.state_map });
+                }
+            }
+        }
+        Err(last_err.expect("retry schedule is non-empty"))
+    }
+}
+
+fn empty_compilation(opts: &CompilerOptions, geom: CacheGeometry) -> CompiledAutomaton {
+    CompiledAutomaton {
+        bitstream: Bitstream {
+            design: opts.design,
+            geometry: geom,
+            partitions: Vec::new(),
+            routes: Vec::new(),
+        },
+        stats: MappingStats {
+            states: 0,
+            connected_components: 0,
+            largest_cc: 0,
+            partitions_used: 0,
+            utilization_bytes: 0,
+            g1_routes: 0,
+            g4_routes: 0,
+            kway_invocations: 0,
+            retries: 0,
+            seed: opts.seed,
+            timings: PassTimings::default(),
+        },
+        state_map: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_automata::regex::compile_patterns;
+    use ca_automata::{CharClass, ReportCode, StartKind};
+
+    #[test]
+    fn standard_pipeline_names() {
+        assert_eq!(Pipeline::standard().pass_names(), ["plan", "place", "emit", "validate"]);
+    }
+
+    #[test]
+    fn timings_are_populated() {
+        let nfa = compile_patterns(&["timing", "t[io]ming"]).unwrap();
+        let c = Pipeline::standard().run(&nfa, &CompilerOptions::default()).unwrap();
+        // plan/place/emit/validate all ran exactly once
+        assert_eq!(c.stats.retries, 0);
+        assert!(c.stats.timings.total_ms() > 0.0);
+        assert!(c.stats.timings.plan_ms >= 0.0);
+        assert_eq!(c.stats.seed, CompilerOptions::default().seed);
+    }
+
+    #[test]
+    fn retry_schedule_is_honoured() {
+        // A pipeline whose Emit always reports port pressure must exhaust
+        // the schedule and surface the last error.
+        struct FailingEmit;
+        impl Pass for FailingEmit {
+            fn name(&self) -> &'static str {
+                "emit"
+            }
+            fn run(&self, ctx: &mut PassContext<'_>) -> Result<(), CompileError> {
+                Err(CompileError::RoutingInfeasible {
+                    component: 0,
+                    states: ctx.nfa.len(),
+                    reason: format!("forced failure at extra={}", ctx.extra_parts),
+                })
+            }
+            fn retryable(&self, _e: &CompileError) -> bool {
+                true
+            }
+        }
+        let nfa = compile_patterns(&["abc"]).unwrap();
+        let pipeline = Pipeline::new(
+            vec![Box::new(PlanPass), Box::new(PlacePass), Box::new(FailingEmit)],
+            RetryPolicy { extra_parts: vec![0, 3, 7] },
+        );
+        let err = pipeline.run(&nfa, &CompilerOptions::default()).unwrap_err();
+        // the error reports the *last* attempt's extra_parts value
+        assert!(err.to_string().contains("extra=7"), "{err}");
+    }
+
+    #[test]
+    fn non_retryable_errors_fail_fast() {
+        struct BrokenPlace;
+        impl Pass for BrokenPlace {
+            fn name(&self) -> &'static str {
+                "place"
+            }
+            fn run(&self, _ctx: &mut PassContext<'_>) -> Result<(), CompileError> {
+                Err(CompileError::Internal("wired to fail".into()))
+            }
+        }
+        let nfa = compile_patterns(&["abc"]).unwrap();
+        let pipeline =
+            Pipeline::new(vec![Box::new(PlanPass), Box::new(BrokenPlace)], RetryPolicy::default());
+        let err = pipeline.run(&nfa, &CompilerOptions::default()).unwrap_err();
+        assert!(matches!(err, CompileError::Internal(_)));
+    }
+
+    #[test]
+    fn validate_pass_catches_corrupt_images() {
+        // A hostile pass that corrupts the emitted bitstream: Validate
+        // must catch it and report an internal error.
+        struct Corruptor;
+        impl Pass for Corruptor {
+            fn name(&self) -> &'static str {
+                "corrupt"
+            }
+            fn run(&self, ctx: &mut PassContext<'_>) -> Result<(), CompileError> {
+                let bs = ctx.bitstream.as_mut().expect("emit ran");
+                bs.partitions[0].reports.push((250, ReportCode(9)));
+                Ok(())
+            }
+        }
+        let nfa = compile_patterns(&["xy"]).unwrap();
+        let pipeline = Pipeline::new(
+            vec![
+                Box::new(PlanPass),
+                Box::new(PlacePass),
+                Box::new(EmitPass),
+                Box::new(Corruptor),
+                Box::new(ValidatePass),
+            ],
+            RetryPolicy::default(),
+        );
+        let err = pipeline.run(&nfa, &CompilerOptions::default()).unwrap_err();
+        assert!(matches!(err, CompileError::Internal(_)), "{err}");
+    }
+
+    #[test]
+    fn retries_accumulate_timings() {
+        // long chain on a tight geometry: may retry, but must still
+        // produce cumulative timings and a consistent retry count
+        let mut nfa = ca_automata::HomNfa::new();
+        let mut prev = None;
+        for i in 0..600 {
+            let start = if i == 0 { StartKind::AllInput } else { StartKind::None };
+            let report = if i == 599 { Some(ReportCode(0)) } else { None };
+            let id = nfa.add_state_full(CharClass::byte(b'a'), start, report);
+            if let Some(p) = prev {
+                nfa.add_edge(p, id);
+            }
+            prev = Some(id);
+        }
+        let c = Pipeline::standard().run(&nfa, &CompilerOptions::default()).unwrap();
+        assert!(c.stats.retries < 4);
+        assert!(c.stats.timings.plan_ms > 0.0);
+    }
+}

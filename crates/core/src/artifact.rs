@@ -1,0 +1,345 @@
+//! Serializable program artifacts: compile once, run anywhere (on this
+//! fabric).
+//!
+//! A [`Program`] artifact wraps the versioned bitstream encoding from
+//! [`ca_sim::artifact`] with the program-level metadata needed to
+//! reconstruct an identical [`Program`] in a fresh process: mapping
+//! statistics and the state → (partition, column) map. Pipeline timings
+//! are diagnostic and deliberately not serialized — a loaded program's
+//! [`MappingStats`] compares equal to the compiling
+//! process's because equality excludes timings.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic    [u8; 4]   "CAPR"
+//! version  u16       PROGRAM_ARTIFACT_VERSION
+//! reserved u16       zero
+//! checksum u64       FNV-1a 64 over the payload
+//! len      u64       payload length in bytes
+//! payload:
+//!   stats      10 × u64   states, components, largest_cc, partitions,
+//!                         utilization, g1, g4, kway, retries, seed
+//!   state_map  u32 count, then (u32 partition, u8 column) per state
+//!   bitstream  u64 length, then a ca-sim "CAAR" artifact blob
+//! ```
+//!
+//! The embedded bitstream blob carries its own magic, version, design tag
+//! and checksum, so corruption is caught at whichever layer it hits.
+
+use crate::{CaError, CompiledAutomaton, MappingStats, Program};
+use ca_compiler::PassTimings;
+use ca_sim::{fnv1a_64, ArtifactError, Bitstream};
+use std::path::Path;
+
+/// Magic bytes opening a program artifact.
+pub const PROGRAM_ARTIFACT_MAGIC: &[u8; 4] = b"CAPR";
+
+/// Current program-artifact format version.
+///
+/// Decoders reject other versions ([`ArtifactError::UnsupportedVersion`]);
+/// compatible extensions must bump this and keep decoding old versions.
+pub const PROGRAM_ARTIFACT_VERSION: u16 = 1;
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], ArtifactError> {
+        if self.bytes.len() - self.pos < n {
+            return Err(ArtifactError::Malformed(format!("truncated while reading {what}")));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, ArtifactError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, ArtifactError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, ArtifactError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+    }
+
+    fn usize(&mut self, what: &str) -> Result<usize, ArtifactError> {
+        let v = self.u64(what)?;
+        usize::try_from(v)
+            .map_err(|_| ArtifactError::Malformed(format!("{what} {v} exceeds usize")))
+    }
+}
+
+fn encode_program(program: &Program) -> Vec<u8> {
+    let stats = &program.compiled.stats;
+    let mut payload = Vec::new();
+    for v in [
+        stats.states,
+        stats.connected_components,
+        stats.largest_cc,
+        stats.partitions_used,
+        stats.utilization_bytes,
+        stats.g1_routes,
+        stats.g4_routes,
+        stats.kway_invocations,
+        stats.retries,
+    ] {
+        push_u64(&mut payload, v as u64);
+    }
+    push_u64(&mut payload, stats.seed);
+    push_u32(&mut payload, program.compiled.state_map.len() as u32);
+    for &(pid, col) in &program.compiled.state_map {
+        push_u32(&mut payload, pid);
+        payload.push(col);
+    }
+    let blob = program.compiled.bitstream.encode();
+    push_u64(&mut payload, blob.len() as u64);
+    payload.extend_from_slice(&blob);
+
+    let mut out = Vec::with_capacity(24 + payload.len());
+    out.extend_from_slice(PROGRAM_ARTIFACT_MAGIC);
+    out.extend_from_slice(&PROGRAM_ARTIFACT_VERSION.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes());
+    push_u64(&mut out, fnv1a_64(&payload));
+    push_u64(&mut out, payload.len() as u64);
+    out.extend_from_slice(&payload);
+    out
+}
+
+fn decode_program(bytes: &[u8]) -> Result<Program, ArtifactError> {
+    let mut r = Reader { bytes, pos: 0 };
+    if r.take(4, "magic")? != PROGRAM_ARTIFACT_MAGIC {
+        return Err(ArtifactError::BadMagic);
+    }
+    let version = u16::from_le_bytes(r.take(2, "version")?.try_into().expect("2 bytes"));
+    if version != PROGRAM_ARTIFACT_VERSION {
+        return Err(ArtifactError::UnsupportedVersion(version));
+    }
+    r.take(2, "reserved")?;
+    let stored = r.u64("checksum")?;
+    let len = r.usize("payload length")?;
+    let payload = r.take(len, "payload")?;
+    if r.pos != bytes.len() {
+        return Err(ArtifactError::Malformed(format!(
+            "{} trailing bytes after payload",
+            bytes.len() - r.pos
+        )));
+    }
+    let computed = fnv1a_64(payload);
+    if stored != computed {
+        return Err(ArtifactError::ChecksumMismatch { stored, computed });
+    }
+
+    let mut r = Reader { bytes: payload, pos: 0 };
+    let mut fields = [0u64; 9];
+    for (field, what) in fields.iter_mut().zip([
+        "states",
+        "connected components",
+        "largest cc",
+        "partitions used",
+        "utilization bytes",
+        "g1 routes",
+        "g4 routes",
+        "kway invocations",
+        "retries",
+    ]) {
+        *field = r.u64(what)?;
+    }
+    let seed = r.u64("seed")?;
+    let stats = MappingStats {
+        states: fields[0] as usize,
+        connected_components: fields[1] as usize,
+        largest_cc: fields[2] as usize,
+        partitions_used: fields[3] as usize,
+        utilization_bytes: fields[4] as usize,
+        g1_routes: fields[5] as usize,
+        g4_routes: fields[6] as usize,
+        kway_invocations: fields[7] as usize,
+        retries: fields[8] as usize,
+        seed,
+        timings: PassTimings::default(),
+    };
+    let map_len = r.u32("state map length")? as usize;
+    if map_len != stats.states {
+        return Err(ArtifactError::Malformed(format!(
+            "state map covers {map_len} states but stats claim {}",
+            stats.states
+        )));
+    }
+    let mut state_map = Vec::with_capacity(map_len);
+    for _ in 0..map_len {
+        let pid = r.u32("state map partition")?;
+        let col = r.u8("state map column")?;
+        state_map.push((pid, col));
+    }
+    let blob_len = r.usize("bitstream length")?;
+    let blob = r.take(blob_len, "bitstream blob")?;
+    if r.pos != payload.len() {
+        return Err(ArtifactError::Malformed("payload longer than its contents".into()));
+    }
+    let bitstream = Bitstream::decode(blob)?;
+    if bitstream.partitions.len() != stats.partitions_used {
+        return Err(ArtifactError::Malformed(format!(
+            "bitstream has {} partitions but stats claim {}",
+            bitstream.partitions.len(),
+            stats.partitions_used
+        )));
+    }
+    for &(pid, _) in &state_map {
+        if pid as usize >= bitstream.partitions.len() {
+            return Err(ArtifactError::Malformed(format!(
+                "state map references partition {pid} of {}",
+                bitstream.partitions.len()
+            )));
+        }
+    }
+    let design = bitstream.design;
+    Ok(Program {
+        design,
+        timing: ca_sim::design_timing(design),
+        compiled: CompiledAutomaton { bitstream, stats, state_map },
+    })
+}
+
+impl Program {
+    /// Serializes the program to its versioned binary artifact.
+    ///
+    /// Canonical: equal programs produce byte-identical artifacts, so a
+    /// round-trip through [`Program::from_bytes`] re-encodes to the same
+    /// bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        encode_program(self)
+    }
+
+    /// Reconstructs a program from artifact bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`CaError::Artifact`] for wrong magic, an unsupported version, a
+    /// checksum mismatch, or structural damage (in the program framing or
+    /// the embedded bitstream blob).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Program, CaError> {
+        decode_program(bytes).map_err(CaError::Artifact)
+    }
+
+    /// Writes the program artifact to `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`CaError::Io`] on filesystem failure.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), CaError> {
+        std::fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Loads a program artifact previously written by [`Program::save`].
+    ///
+    /// # Errors
+    ///
+    /// [`CaError::Io`] on filesystem failure, [`CaError::Artifact`] if the
+    /// bytes are not a valid program artifact.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Program, CaError> {
+        Program::from_bytes(&std::fs::read(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CacheAutomaton;
+
+    fn sample() -> Program {
+        CacheAutomaton::new().compile_patterns(&["art[io]fact", "save", "lo+ad"]).unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let program = sample();
+        let bytes = program.to_bytes();
+        let loaded = Program::from_bytes(&bytes).unwrap();
+        assert_eq!(loaded.design(), program.design());
+        assert_eq!(loaded.stats(), program.stats());
+        assert_eq!(loaded.compiled(), program.compiled());
+        // canonical: re-encoding is byte-identical
+        assert_eq!(loaded.to_bytes(), bytes);
+        // and it runs identically
+        let input = b"save the artifact, loooad the artofact";
+        let a = program.run(input);
+        let b = loaded.run(input);
+        assert_eq!(a.matches, b.matches);
+        assert_eq!(a.exec.cycles, b.exec.cycles);
+    }
+
+    #[test]
+    fn save_load_files() {
+        let dir = std::env::temp_dir().join("ca-artifact-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.capr");
+        let program = sample();
+        program.save(&path).unwrap();
+        let loaded = Program::load(&path).unwrap();
+        assert_eq!(loaded.compiled(), program.compiled());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut bytes = sample().to_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        let err = Program::from_bytes(&bytes).unwrap_err();
+        assert!(matches!(err, CaError::Artifact(ArtifactError::ChecksumMismatch { .. })), "{err}");
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_rejected() {
+        let good = sample().to_bytes();
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            Program::from_bytes(&bad_magic).unwrap_err(),
+            CaError::Artifact(ArtifactError::BadMagic)
+        ));
+        let mut bad_version = good.clone();
+        bad_version[4] = 0xfe;
+        bad_version[5] = 0xca;
+        // version bytes are outside the checksum, so this fails on version
+        assert!(matches!(
+            Program::from_bytes(&bad_version).unwrap_err(),
+            CaError::Artifact(ArtifactError::UnsupportedVersion(0xcafe))
+        ));
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let bytes = sample().to_bytes();
+        for cut in [0, 3, 10, 24, bytes.len() / 2, bytes.len() - 1] {
+            assert!(Program::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(Program::from_bytes(&extended).is_err(), "trailing byte");
+    }
+
+    #[test]
+    fn loaded_stats_compare_equal_despite_missing_timings() {
+        let program = sample();
+        assert!(program.stats().timings.total_ms() > 0.0);
+        let loaded = Program::from_bytes(&program.to_bytes()).unwrap();
+        assert_eq!(loaded.stats().timings.total_ms(), 0.0);
+        assert_eq!(loaded.stats(), program.stats(), "equality excludes timings");
+    }
+}

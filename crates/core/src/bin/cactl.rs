@@ -1,8 +1,9 @@
 //! `cactl` — command-line front-end for the Cache Automaton reproduction.
 //!
 //! ```text
-//! cactl compile <rules> [--design P|S] [--slices N] [--pages OUT]
+//! cactl compile <rules> [--design P|S] [--slices N] [--pages OUT] [--out ARTIFACT]
 //! cactl run     <rules> <input-file> [--design P|S] [--limit N] [--trace OUT] [--shards N]
+//! cactl run     --program <artifact> <input-file> [--limit N] [--shards N]
 //! cactl inspect <rules> [--design P|S]
 //! cactl anml    <rules>
 //! cactl frompages <image.capg> <input-file>
@@ -10,10 +11,17 @@
 //!
 //! <rules> is either an ANML document (*.anml) or a newline-separated
 //! regex pattern file (# comments allowed). Pattern i reports with code i.
+//!
+//! `compile --out` writes a versioned program artifact (.capr); `run
+//! --program` loads one instead of compiling, so compilation and scanning
+//! can happen in different processes (or on different days).
 //! ```
+//!
+//! Exit codes: 0 success, 2 usage/configuration, 3 i/o, 4 pattern or ANML
+//! front-end, 5 mapping compiler, 6 artifact decode.
 
 use ca_baselines::measure_cpu as ca_baselines_measure;
-use cache_automaton::{CacheAutomaton, Design, Parallelism, Program};
+use cache_automaton::{CaError, CacheAutomaton, Design, Parallelism, Program};
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
@@ -23,45 +31,71 @@ fn main() -> ExitCode {
             print!("{output}");
             ExitCode::SUCCESS
         }
-        Err(msg) => {
-            eprintln!("cactl: {msg}");
-            ExitCode::from(2)
+        Err(err) => {
+            eprintln!("cactl: {err}");
+            ExitCode::from(exit_code(&err))
         }
     }
+}
+
+/// One stable exit code per error class, so scripts can branch on failure
+/// kind without parsing stderr.
+fn exit_code(err: &CaError) -> u8 {
+    match err {
+        CaError::Config(_) => 2,
+        CaError::Io(_) => 3,
+        CaError::Automata(_) => 4,
+        CaError::Compile(_) => 5,
+        CaError::Artifact(_) => 6,
+        _ => 2,
+    }
+}
+
+fn io_err(path: &str, e: impl std::fmt::Display) -> CaError {
+    CaError::Io(format!("{path}: {e}"))
 }
 
 struct Options {
     design: Design,
     slices: usize,
     pages_out: Option<String>,
+    artifact_out: Option<String>,
+    program_in: Option<String>,
     trace_out: Option<String>,
     limit: usize,
     shards: Option<Parallelism>,
     positional: Vec<String>,
 }
 
-fn parse_args(args: Vec<String>) -> Result<(String, Options), String> {
+fn parse_args(args: Vec<String>) -> Result<(String, Options), CaError> {
     let mut it = args.into_iter();
-    let command = it.next().ok_or(USAGE.to_string())?;
+    let command = it.next().ok_or_else(|| CaError::Config(USAGE.to_string()))?;
     let mut opts = Options {
         design: Design::Performance,
         slices: 8,
         pages_out: None,
+        artifact_out: None,
+        program_in: None,
         trace_out: None,
         limit: 20,
         shards: None,
         positional: Vec::new(),
     };
+    let bad = |msg: &str| CaError::Config(msg.to_string());
     let mut rest: Vec<String> = it.collect();
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
             "--design" => {
-                let v = rest.get(i + 1).ok_or("--design needs P or S")?;
+                let v = rest.get(i + 1).ok_or_else(|| bad("--design needs P or S"))?;
                 opts.design = match v.to_ascii_uppercase().as_str() {
                     "P" | "CA_P" | "PERFORMANCE" => Design::Performance,
                     "S" | "CA_S" | "SPACE" => Design::Space,
-                    other => return Err(format!("unknown design '{other}' (use P or S)")),
+                    other => {
+                        return Err(CaError::Config(format!(
+                            "unknown design '{other}' (use P or S)"
+                        )))
+                    }
                 };
                 rest.drain(i..=i + 1);
             }
@@ -69,34 +103,50 @@ fn parse_args(args: Vec<String>) -> Result<(String, Options), String> {
                 opts.slices = rest
                     .get(i + 1)
                     .and_then(|v| v.parse().ok())
-                    .ok_or("--slices needs a number")?;
+                    .ok_or_else(|| bad("--slices needs a number"))?;
                 rest.drain(i..=i + 1);
             }
             "--pages" => {
-                opts.pages_out = Some(rest.get(i + 1).ok_or("--pages needs a path")?.clone());
+                opts.pages_out =
+                    Some(rest.get(i + 1).ok_or_else(|| bad("--pages needs a path"))?.clone());
+                rest.drain(i..=i + 1);
+            }
+            "--out" => {
+                opts.artifact_out =
+                    Some(rest.get(i + 1).ok_or_else(|| bad("--out needs a path"))?.clone());
+                rest.drain(i..=i + 1);
+            }
+            "--program" => {
+                opts.program_in =
+                    Some(rest.get(i + 1).ok_or_else(|| bad("--program needs a path"))?.clone());
                 rest.drain(i..=i + 1);
             }
             "--trace" => {
-                opts.trace_out = Some(rest.get(i + 1).ok_or("--trace needs a path")?.clone());
+                opts.trace_out =
+                    Some(rest.get(i + 1).ok_or_else(|| bad("--trace needs a path"))?.clone());
                 rest.drain(i..=i + 1);
             }
             "--limit" => {
-                opts.limit =
-                    rest.get(i + 1).and_then(|v| v.parse().ok()).ok_or("--limit needs a number")?;
+                opts.limit = rest
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad("--limit needs a number"))?;
                 rest.drain(i..=i + 1);
             }
             "--shards" => {
-                let v = rest.get(i + 1).ok_or("--shards needs a number or 'auto'")?;
+                let v = rest.get(i + 1).ok_or_else(|| bad("--shards needs a number or 'auto'"))?;
                 opts.shards = Some(if v == "auto" {
                     Parallelism::Auto
                 } else {
                     Parallelism::Threads(
-                        v.parse().map_err(|_| "--shards needs a number or 'auto'")?,
+                        v.parse().map_err(|_| bad("--shards needs a number or 'auto'"))?,
                     )
                 });
                 rest.drain(i..=i + 1);
             }
-            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            flag if flag.starts_with("--") => {
+                return Err(CaError::Config(format!("unknown flag {flag}")))
+            }
             _ => {
                 opts.positional.push(rest[i].clone());
                 i += 1;
@@ -109,37 +159,36 @@ fn parse_args(args: Vec<String>) -> Result<(String, Options), String> {
 const USAGE: &str = "usage: cactl <compile|run|inspect|anml|frompages|bench> <rules> [args] \
                      (see --help in the crate docs)";
 
-fn load_nfa(path: &str) -> Result<cache_automaton::HomNfa, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+fn load_nfa(path: &str) -> Result<cache_automaton::HomNfa, CaError> {
+    let text = std::fs::read_to_string(path).map_err(|e| io_err(path, e))?;
     if path.ends_with(".anml") || text.trim_start().starts_with('<') {
-        ca_automata::anml::parse_anml(&text).map_err(|e| format!("{path}: {e}"))
+        Ok(ca_automata::anml::parse_anml(&text)?)
     } else {
         let patterns: Vec<&str> =
             text.lines().map(str::trim).filter(|l| !l.is_empty() && !l.starts_with('#')).collect();
         if patterns.is_empty() {
-            return Err(format!("{path}: no patterns found"));
+            return Err(CaError::Config(format!("{path}: no patterns found")));
         }
-        ca_automata::regex::compile_patterns(&patterns).map_err(|e| format!("{path}: {e}"))
+        Ok(ca_automata::regex::compile_patterns(&patterns)?)
     }
 }
 
-fn compile_program(opts: &Options, path: &str) -> Result<Program, String> {
+fn compile_program(opts: &Options, path: &str) -> Result<Program, CaError> {
     let nfa = load_nfa(path)?;
-    CacheAutomaton::builder()
-        .design(opts.design)
-        .slices(opts.slices)
-        .build()
-        .compile_nfa(&nfa)
-        .map_err(|e| e.to_string())
+    CacheAutomaton::builder().design(opts.design).slices(opts.slices).build().compile_nfa(&nfa)
 }
 
-fn run(args: Vec<String>) -> Result<String, String> {
+fn read_input(path: &str) -> Result<Vec<u8>, CaError> {
+    std::fs::read(path).map_err(|e| io_err(path, e))
+}
+
+fn run(args: Vec<String>) -> Result<String, CaError> {
     let (command, opts) = parse_args(args)?;
     let mut out = String::new();
     match command.as_str() {
         "compile" => {
             let [rules] = opts.positional.as_slice() else {
-                return Err("compile needs exactly one rules file".into());
+                return Err(CaError::Config("compile needs exactly one rules file".into()));
             };
             let program = compile_program(&opts, rules)?;
             let s = program.stats();
@@ -150,6 +199,11 @@ fn run(args: Vec<String>) -> Result<String, String> {
             let _ = writeln!(out, "cache utilization : {:.3} MB", program.utilization_mb());
             let _ = writeln!(out, "G1 / G4 routes    : {} / {}", s.g1_routes, s.g4_routes);
             let _ = writeln!(out, "peak throughput   : {} Gb/s", program.throughput_gbps());
+            let _ = writeln!(
+                out,
+                "pass timings      : plan {:.2} ms, place {:.2} ms, emit {:.2} ms, validate {:.2} ms",
+                s.timings.plan_ms, s.timings.place_ms, s.timings.emit_ms, s.timings.validate_ms
+            );
             let image = ca_sim::emit_pages(&program.compiled().bitstream);
             let _ = writeln!(
                 out,
@@ -162,22 +216,36 @@ fn run(args: Vec<String>) -> Result<String, String> {
                 write_pages(&image, path)?;
                 let _ = writeln!(out, "pages written     : {path}");
             }
+            if let Some(path) = &opts.artifact_out {
+                program.save(path).map_err(|e| match e {
+                    CaError::Io(msg) => CaError::Io(format!("{path}: {msg}")),
+                    other => other,
+                })?;
+                let _ = writeln!(out, "artifact written  : {path}");
+            }
         }
         "run" => {
-            let [rules, input_path] = opts.positional.as_slice() else {
-                return Err("run needs a rules file and an input file".into());
+            let (program, input) = if let Some(artifact) = &opts.program_in {
+                let [input_path] = opts.positional.as_slice() else {
+                    return Err(CaError::Config(
+                        "run --program needs exactly one input file".into(),
+                    ));
+                };
+                (Program::load(artifact)?, read_input(input_path)?)
+            } else {
+                let [rules, input_path] = opts.positional.as_slice() else {
+                    return Err(CaError::Config("run needs a rules file and an input file".into()));
+                };
+                (compile_program(&opts, rules)?, read_input(input_path)?)
             };
-            let program = compile_program(&opts, rules)?;
-            let input = std::fs::read(input_path).map_err(|e| format!("{input_path}: {e}"))?;
             let report = if let Some(trace_path) = &opts.trace_out {
                 // per-cycle trace alongside the scan
-                let mut fabric = program.compiled().fabric().map_err(|e| e.to_string())?;
-                let file =
-                    std::fs::File::create(trace_path).map_err(|e| format!("{trace_path}: {e}"))?;
+                let mut fabric = program.compiled().fabric().map_err(|e| io_err(trace_path, e))?;
+                let file = std::fs::File::create(trace_path).map_err(|e| io_err(trace_path, e))?;
                 let mut sink = std::io::BufWriter::new(file);
                 let exec = fabric
                     .run_traced(&input, &ca_sim::RunOptions::default(), &mut sink)
-                    .map_err(|e| format!("{trace_path}: {e}"))?;
+                    .map_err(|e| io_err(trace_path, e))?;
                 let _ = writeln!(out, "cycle trace written  : {trace_path}");
                 // reuse the architectural reporting path for consistency
                 let mut r = program.run(&input);
@@ -186,7 +254,7 @@ fn run(args: Vec<String>) -> Result<String, String> {
             } else if let Some(parallelism) = opts.shards {
                 // sharded parallel scan: stripes on concurrent fabric
                 // instances, stitched into a serial-identical match list
-                program.run_parallel(&input, parallelism).map_err(|e| e.to_string())?
+                program.run_parallel(&input, parallelism)?
             } else {
                 // stream the file through a scan session in FIFO-refill
                 // sized chunks — what a deployed driver would do
@@ -220,7 +288,7 @@ fn run(args: Vec<String>) -> Result<String, String> {
         }
         "inspect" => {
             let [rules] = opts.positional.as_slice() else {
-                return Err("inspect needs exactly one rules file".into());
+                return Err(CaError::Config("inspect needs exactly one rules file".into()));
             };
             let program = compile_program(&opts, rules)?;
             let bs = &program.compiled().bitstream;
@@ -246,10 +314,10 @@ fn run(args: Vec<String>) -> Result<String, String> {
         }
         "bench" => {
             let [rules, input_path] = opts.positional.as_slice() else {
-                return Err("bench needs a rules file and an input file".into());
+                return Err(CaError::Config("bench needs a rules file and an input file".into()));
             };
             let nfa = load_nfa(rules)?;
-            let input = std::fs::read(input_path).map_err(|e| format!("{input_path}: {e}"))?;
+            let input = read_input(input_path)?;
             let program = compile_program(&opts, rules)?;
             // measured host CPU (VASim-style sparse engine)
             let cpu = ca_baselines_measure(&nfa, &input);
@@ -280,13 +348,16 @@ fn run(args: Vec<String>) -> Result<String, String> {
         }
         "frompages" => {
             let [pages_path, input_path] = opts.positional.as_slice() else {
-                return Err("frompages needs a .capg file and an input file".into());
+                return Err(CaError::Config(
+                    "frompages needs a .capg file and an input file".into(),
+                ));
             };
-            let bytes = std::fs::read(pages_path).map_err(|e| format!("{pages_path}: {e}"))?;
-            let image = ca_sim::ConfigImage::from_capg_bytes(&bytes).map_err(|e| e.to_string())?;
-            let bitstream = ca_sim::load_pages(&image).map_err(|e| e.to_string())?;
-            let mut fabric = ca_sim::Fabric::new(&bitstream).map_err(|e| e.to_string())?;
-            let input = std::fs::read(input_path).map_err(|e| format!("{input_path}: {e}"))?;
+            let bytes = read_input(pages_path)?;
+            let image =
+                ca_sim::ConfigImage::from_capg_bytes(&bytes).map_err(|e| io_err(pages_path, e))?;
+            let bitstream = ca_sim::load_pages(&image).map_err(|e| io_err(pages_path, e))?;
+            let mut fabric = ca_sim::Fabric::new(&bitstream).map_err(|e| io_err(pages_path, e))?;
+            let input = read_input(input_path)?;
             let report = fabric.run(&input);
             let _ = writeln!(
                 out,
@@ -302,17 +373,17 @@ fn run(args: Vec<String>) -> Result<String, String> {
         }
         "anml" => {
             let [rules] = opts.positional.as_slice() else {
-                return Err("anml needs exactly one rules file".into());
+                return Err(CaError::Config("anml needs exactly one rules file".into()));
             };
             let nfa = load_nfa(rules)?;
             out = ca_automata::anml::to_anml(&nfa, "cactl");
         }
-        _ => return Err(USAGE.into()),
+        _ => return Err(CaError::Config(USAGE.into())),
     }
     Ok(out)
 }
 
 /// Writes a config image to disk in the `.capg` framed format.
-fn write_pages(image: &ca_sim::ConfigImage, path: &str) -> Result<(), String> {
-    std::fs::write(path, image.to_capg_bytes()).map_err(|e| format!("{path}: {e}"))
+fn write_pages(image: &ca_sim::ConfigImage, path: &str) -> Result<(), CaError> {
+    std::fs::write(path, image.to_capg_bytes()).map_err(|e| io_err(path, e))
 }

@@ -1,0 +1,378 @@
+//! Bounded in-process program cache.
+//!
+//! Compiling a large automaton takes seconds (graph partitioning dominates);
+//! services that repeatedly instantiate the same rule sets should not pay
+//! that more than once. [`CacheAutomaton`](crate::CacheAutomaton) therefore
+//! consults a small bounded cache keyed by the canonical fingerprint of the
+//! input NFA plus every compiler option that affects the output.
+//!
+//! The replacement policy is LRU eviction with an LFU-style admission
+//! filter in the spirit of W-TinyLFU: a compact count-min sketch of 4-bit
+//! counters estimates how often each key has been seen, and when the cache
+//! is full a new entry is only admitted if its estimated frequency exceeds
+//! the LRU victim's — one-shot compilations cannot wash out a popular
+//! working set. Counters are halved once the sketch has absorbed a sample
+//! window of accesses, so the frequency history ages.
+
+use crate::{Design, Program};
+use ca_automata::{Fingerprint, StableHasher};
+
+/// Everything that determines a compilation's output, in canonical form.
+///
+/// Two [`compile_nfa`](crate::CacheAutomaton::compile_nfa) calls with equal
+/// keys produce byte-identical bitstreams, so a cached [`Program`] is
+/// indistinguishable from a fresh compile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheKey {
+    /// Canonical fingerprint of the *input* automaton (pre-optimization).
+    pub fingerprint: Fingerprint,
+    /// Target design point.
+    pub design: Design,
+    /// Slice count.
+    pub slices: usize,
+    /// Partitioner seed.
+    pub seed: u64,
+    /// Whether the space optimizer runs (the *resolved* policy, so
+    /// `Optimize::Auto` and an explicit equivalent choice key the same).
+    pub optimized: bool,
+}
+
+impl CacheKey {
+    /// Stable 64-bit hash of the key (drives the frequency sketch).
+    pub fn hash64(&self) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_bytes(&self.fingerprint.to_bytes());
+        h.write_u8(match self.design {
+            Design::Performance => 0,
+            Design::Space => 1,
+        });
+        h.write_usize(self.slices);
+        h.write_u64(self.seed);
+        h.write_u8(self.optimized as u8);
+        let fp = h.finish().0;
+        (fp as u64) ^ ((fp >> 64) as u64)
+    }
+}
+
+/// Counters describing cache behaviour since construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that missed (a fresh compilation followed).
+    pub misses: u64,
+    /// Programs stored.
+    pub insertions: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Candidates the admission filter turned away (their estimated
+    /// frequency did not beat the LRU victim's).
+    pub rejected: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; 0 when no lookups have happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Count-min sketch of 4-bit counters (the TinyLFU frequency filter).
+///
+/// Four hash functions index one table of packed counters; an item's
+/// estimate is the minimum of its four counters. After `sample_size`
+/// increments every counter is halved, aging out stale popularity.
+#[derive(Debug)]
+struct FrequencySketch {
+    /// Packed 4-bit counters, 16 per u64 word. Length is a power of two.
+    table: Vec<u64>,
+    /// Increments since the last halving.
+    ops: u32,
+    /// Halve after this many increments.
+    sample_size: u32,
+}
+
+impl FrequencySketch {
+    fn new(capacity: usize) -> FrequencySketch {
+        // ≥ 8 counters per cached entry, rounded to a power of two
+        let counters = (capacity * 8).next_power_of_two().max(64);
+        FrequencySketch {
+            table: vec![0u64; counters / 16],
+            ops: 0,
+            sample_size: (capacity as u32).saturating_mul(10).max(100),
+        }
+    }
+
+    /// The four counter slots for a key hash.
+    fn slots(&self, hash: u64) -> [usize; 4] {
+        let mask = self.table.len() * 16 - 1;
+        let mut slots = [0usize; 4];
+        let mut h = hash | 1;
+        for slot in &mut slots {
+            // mix per hash function (SplitMix64 finalizer)
+            h = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = h;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            *slot = (z ^ (z >> 31)) as usize & mask;
+        }
+        slots
+    }
+
+    fn get(&self, slot: usize) -> u8 {
+        ((self.table[slot / 16] >> ((slot % 16) * 4)) & 0xf) as u8
+    }
+
+    fn set(&mut self, slot: usize, value: u8) {
+        let shift = (slot % 16) * 4;
+        let word = &mut self.table[slot / 16];
+        *word = (*word & !(0xfu64 << shift)) | ((value as u64 & 0xf) << shift);
+    }
+
+    /// Estimated access frequency of `hash` (0..=15).
+    fn estimate(&self, hash: u64) -> u8 {
+        self.slots(hash).into_iter().map(|s| self.get(s)).min().unwrap_or(0)
+    }
+
+    /// Records one access.
+    fn record(&mut self, hash: u64) {
+        for slot in self.slots(hash) {
+            let v = self.get(slot);
+            if v < 15 {
+                self.set(slot, v + 1);
+            }
+        }
+        self.ops += 1;
+        if self.ops >= self.sample_size {
+            self.halve();
+        }
+    }
+
+    fn halve(&mut self) {
+        for word in &mut self.table {
+            // halve all 16 packed counters at once
+            *word = (*word >> 1) & 0x7777_7777_7777_7777;
+        }
+        self.ops /= 2;
+    }
+}
+
+struct Entry {
+    key: CacheKey,
+    program: Program,
+    last_used: u64,
+}
+
+/// A bounded program cache with LRU eviction and TinyLFU admission.
+///
+/// Entry-count capacity (programs are a few KB to a few MB; callers that
+/// care about bytes should size conservatively). Not a public long-term
+/// API surface: reach it through
+/// [`CacheAutomaton`](crate::CacheAutomaton).
+pub struct ProgramCache {
+    entries: Vec<Entry>,
+    capacity: usize,
+    sketch: FrequencySketch,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl std::fmt::Debug for ProgramCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgramCache")
+            .field("len", &self.entries.len())
+            .field("capacity", &self.capacity)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl ProgramCache {
+    /// A cache holding at most `capacity` programs (0 disables caching).
+    pub fn new(capacity: usize) -> ProgramCache {
+        ProgramCache {
+            entries: Vec::new(),
+            capacity,
+            sketch: FrequencySketch::new(capacity.max(1)),
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Maximum entry count.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Behaviour counters since construction.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up `key`, recording the access in the frequency sketch.
+    pub fn get(&mut self, key: &CacheKey) -> Option<Program> {
+        self.clock += 1;
+        self.sketch.record(key.hash64());
+        match self.entries.iter_mut().find(|e| e.key == *key) {
+            Some(entry) => {
+                entry.last_used = self.clock;
+                self.stats.hits += 1;
+                Some(entry.program.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Offers a freshly compiled program for caching.
+    ///
+    /// With free room the program is always stored. At capacity the
+    /// TinyLFU admission filter decides: the candidate must have a higher
+    /// estimated frequency than the LRU victim, otherwise it is rejected
+    /// and the cache is left unchanged.
+    pub fn insert(&mut self, key: CacheKey, program: Program) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(entry) = self.entries.iter_mut().find(|e| e.key == key) {
+            // racing compilations of the same key: keep the newer program
+            self.clock += 1;
+            entry.program = program;
+            entry.last_used = self.clock;
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("cache at capacity is non-empty");
+            let candidate_freq = self.sketch.estimate(key.hash64());
+            let victim_freq = self.sketch.estimate(self.entries[victim].key.hash64());
+            if candidate_freq <= victim_freq {
+                self.stats.rejected += 1;
+                return;
+            }
+            self.entries.swap_remove(victim);
+            self.stats.evictions += 1;
+        }
+        self.clock += 1;
+        self.entries.push(Entry { key, program, last_used: self.clock });
+        self.stats.insertions += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CacheAutomaton;
+
+    fn key_for(tag: &str) -> (CacheKey, Program) {
+        let program = CacheAutomaton::new().compile_patterns(&[tag]).unwrap();
+        let nfa = ca_automata::regex::compile_patterns(&[tag]).unwrap();
+        let key = CacheKey {
+            fingerprint: nfa.fingerprint(),
+            design: Design::Performance,
+            slices: 8,
+            seed: 0xca,
+            optimized: false,
+        };
+        (key, program)
+    }
+
+    #[test]
+    fn hit_and_miss_counters() {
+        let mut cache = ProgramCache::new(4);
+        let (key, program) = key_for("counter");
+        assert!(cache.get(&key).is_none());
+        cache.insert(key, program);
+        assert!(cache.get(&key).is_some());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let mut cache = ProgramCache::new(0);
+        let (key, program) = key_for("nocache");
+        cache.insert(key, program);
+        assert!(cache.is_empty());
+        assert!(cache.get(&key).is_none());
+    }
+
+    #[test]
+    fn admission_filter_protects_hot_entries() {
+        let mut cache = ProgramCache::new(1);
+        let (hot_key, hot) = key_for("hot");
+        cache.insert(hot_key, hot);
+        // make the resident entry popular
+        for _ in 0..6 {
+            assert!(cache.get(&hot_key).is_some());
+        }
+        // a cold one-shot candidate must not displace it
+        let (cold_key, cold) = key_for("cold");
+        assert!(cache.get(&cold_key).is_none()); // records one access
+        cache.insert(cold_key, cold);
+        assert!(cache.get(&hot_key).is_some(), "hot entry survived");
+        assert_eq!(cache.stats().rejected, 1);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn frequent_candidate_evicts_lru_victim() {
+        let mut cache = ProgramCache::new(1);
+        let (a_key, a) = key_for("victim");
+        cache.insert(a_key, a);
+        let (b_key, b) = key_for("riser");
+        // the candidate becomes more popular than the resident
+        for _ in 0..8 {
+            let _ = cache.get(&b_key);
+        }
+        cache.insert(b_key, b);
+        assert!(cache.get(&b_key).is_some(), "popular candidate admitted");
+        assert!(cache.get(&a_key).is_none(), "victim evicted");
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn sketch_counters_saturate_and_halve() {
+        let mut sketch = FrequencySketch::new(4);
+        // stay below the sample window (100) so auto-halving doesn't fire
+        for _ in 0..50 {
+            sketch.record(42);
+        }
+        assert_eq!(sketch.estimate(42), 15, "counters saturate at 15");
+        sketch.halve();
+        assert!(sketch.estimate(42) <= 7);
+    }
+
+    #[test]
+    fn distinct_keys_hash_differently() {
+        let (a, _) = key_for("alpha");
+        let (b, _) = key_for("beta");
+        assert_ne!(a.hash64(), b.hash64());
+        let mut a2 = a;
+        a2.seed ^= 1;
+        assert_ne!(a.hash64(), a2.hash64(), "seed is part of the key");
+    }
+}

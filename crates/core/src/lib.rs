@@ -33,7 +33,10 @@
 #![forbid(unsafe_code)]
 
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
+pub mod artifact;
+pub mod cache;
 pub mod matches;
 mod scanner;
 mod shard;
@@ -43,13 +46,20 @@ pub use ca_compiler as compiler;
 pub use ca_partition as partition;
 pub use ca_sim as sim;
 
+pub use artifact::{PROGRAM_ARTIFACT_MAGIC, PROGRAM_ARTIFACT_VERSION};
 pub use ca_automata::engine::MatchEvent;
-pub use ca_automata::{CharClass, HomNfa, ReportCode, StartKind, StateId};
-pub use ca_compiler::{CompileError, CompiledAutomaton, CompilerOptions, MappingStats};
+pub use ca_automata::{CharClass, Fingerprint, HomNfa, ReportCode, StartKind, StateId};
+pub use ca_compiler::{
+    CompileError, CompiledAutomaton, CompilerOptions, MappingStats, PassTimings,
+};
 pub use ca_sim::DesignKind as Design;
-pub use ca_sim::{EnergyReport, ExecStats, PipelineTiming, Snapshot};
+pub use ca_sim::{ArtifactError, EnergyReport, ExecStats, PipelineTiming, Snapshot};
+pub use cache::{CacheKey, CacheStats, ProgramCache};
 pub use scanner::Scanner;
 pub use shard::{Parallelism, ScanOptions};
+
+/// Default bound of the in-process program cache, in entries.
+pub const DEFAULT_CACHE_CAPACITY: usize = 32;
 
 /// Largest LLC slice count the configuration accepts (well past any Xeon
 /// die; larger values are treated as configuration mistakes).
@@ -68,6 +78,9 @@ pub enum CaError {
     Config(String),
     /// Input/output failure while reading a stream or image.
     Io(String),
+    /// A serialized program artifact failed to decode (bad magic,
+    /// unsupported version, checksum mismatch, structural damage).
+    Artifact(ArtifactError),
 }
 
 impl fmt::Display for CaError {
@@ -77,6 +90,7 @@ impl fmt::Display for CaError {
             CaError::Compile(e) => write!(f, "{e}"),
             CaError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             CaError::Io(msg) => write!(f, "i/o error: {msg}"),
+            CaError::Artifact(e) => write!(f, "artifact error: {e}"),
         }
     }
 }
@@ -86,6 +100,7 @@ impl std::error::Error for CaError {
         match self {
             CaError::Automata(e) => Some(e),
             CaError::Compile(e) => Some(e),
+            CaError::Artifact(e) => Some(e),
             CaError::Config(_) | CaError::Io(_) => None,
         }
     }
@@ -112,6 +127,13 @@ impl From<CompileError> for CaError {
     }
 }
 
+#[doc(hidden)]
+impl From<ArtifactError> for CaError {
+    fn from(e: ArtifactError) -> CaError {
+        CaError::Artifact(e)
+    }
+}
+
 /// Whether to run the space optimizer (dead-state removal + common-prefix
 /// merging) before mapping.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -133,6 +155,7 @@ pub struct Builder {
     slices: Option<usize>,
     seed: Option<u64>,
     optimize: Optimize,
+    cache_capacity: Option<usize>,
 }
 
 impl Builder {
@@ -167,10 +190,24 @@ impl Builder {
         self
     }
 
+    /// Bound of the in-process program cache, in entries (default:
+    /// [`DEFAULT_CACHE_CAPACITY`]; 0 disables caching).
+    ///
+    /// Recompiling an identical (NFA, options) pair returns the cached
+    /// [`Program`] — byte-identical bitstream, equal stats — instead of
+    /// re-running the mapping pipeline. See [`cache`] for the replacement
+    /// and admission policy.
+    #[must_use]
+    pub fn cache_capacity(mut self, entries: usize) -> Builder {
+        self.cache_capacity = Some(entries);
+        self
+    }
+
     /// Finalizes the configuration.
     #[must_use]
     pub fn build(self) -> CacheAutomaton {
         let defaults = CompilerOptions::default();
+        let capacity = self.cache_capacity.unwrap_or(DEFAULT_CACHE_CAPACITY);
         CacheAutomaton {
             options: CompilerOptions {
                 design: self.design,
@@ -178,15 +215,20 @@ impl Builder {
                 seed: self.seed.unwrap_or(defaults.seed),
             },
             optimize: self.optimize,
+            cache: Arc::new(Mutex::new(ProgramCache::new(capacity))),
         }
     }
 }
 
 /// A configured Cache Automaton instance (design point + geometry).
+///
+/// Cloning shares the program cache: clones of one instance (and the
+/// threads they live on) hit each other's compilations.
 #[derive(Debug, Clone)]
 pub struct CacheAutomaton {
     options: CompilerOptions,
     optimize: Optimize,
+    cache: Arc<Mutex<ProgramCache>>,
 }
 
 impl Default for CacheAutomaton {
@@ -209,6 +251,12 @@ impl CacheAutomaton {
     /// The resolved compiler options.
     pub fn options(&self) -> &CompilerOptions {
         &self.options
+    }
+
+    /// Behaviour counters of the program cache (hits, misses, evictions,
+    /// admission rejections).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().expect("program cache poisoned").stats()
     }
 
     /// Compiles a set of regex patterns; pattern `i` reports with code `i`.
@@ -242,6 +290,11 @@ impl CacheAutomaton {
     /// Under [`Optimize::Auto`] the space optimizer runs first when the
     /// design is [`Design::Space`], mirroring the paper's CA_S flow.
     ///
+    /// Results are cached: recompiling an NFA with the same canonical
+    /// fingerprint under the same options returns the stored [`Program`]
+    /// (byte-identical bitstream) without re-running the mapping pipeline.
+    /// Failures are never cached.
+    ///
     /// # Errors
     ///
     /// [`CaError::Config`] for an out-of-range slice count; otherwise
@@ -258,6 +311,16 @@ impl CacheAutomaton {
             Optimize::Never => false,
             Optimize::Auto => self.options.design == Design::Space,
         };
+        let key = CacheKey {
+            fingerprint: nfa.fingerprint(),
+            design: self.options.design,
+            slices: self.options.slices,
+            seed: self.options.seed,
+            optimized: optimize,
+        };
+        if let Some(hit) = self.cache.lock().expect("program cache poisoned").get(&key) {
+            return Ok(hit);
+        }
         let owned;
         let source: &HomNfa = if optimize {
             owned = ca_automata::optimize::space_optimize(nfa).0;
@@ -266,11 +329,13 @@ impl CacheAutomaton {
             nfa
         };
         let compiled = ca_compiler::compile(source, &self.options)?;
-        Ok(Program {
+        let program = Program {
             design: self.options.design,
             timing: ca_sim::design_timing(self.options.design),
             compiled,
-        })
+        };
+        self.cache.lock().expect("program cache poisoned").insert(key, program.clone());
+        Ok(program)
     }
 }
 

@@ -41,6 +41,9 @@ pub struct Partitioning {
     pub k: usize,
     /// Total weight of cut edges.
     pub edgecut: u64,
+    /// The RNG seed that produced this partitioning (recorded provenance:
+    /// rerunning with the same graph, `k` and seed reproduces it exactly).
+    pub seed: u64,
 }
 
 impl Partitioning {
@@ -213,7 +216,7 @@ fn induced_subgraph(g: &Graph, part: &[u8], side: u8) -> (Graph, Vec<u32>) {
 /// Panics if `k == 0` on a non-empty graph.
 pub fn partition_kway(g: &Graph, k: usize, opts: &PartitionOptions) -> Partitioning {
     if g.is_empty() {
-        return Partitioning { assignment: Vec::new(), k, edgecut: 0 };
+        return Partitioning { assignment: Vec::new(), k, edgecut: 0, seed: opts.seed };
     }
     assert!(k > 0, "cannot partition into zero parts");
     let mut assignment = vec![0u32; g.len()];
@@ -225,7 +228,7 @@ pub fn partition_kway(g: &Graph, k: usize, opts: &PartitionOptions) -> Partition
     } else {
         g.edge_cut(&assignment)
     };
-    Partitioning { assignment, k, edgecut }
+    Partitioning { assignment, k, edgecut, seed: opts.seed }
 }
 
 fn recurse(
@@ -319,6 +322,10 @@ mod tests {
         let a = partition_kway(&g, 4, &PartitionOptions::default());
         let b = partition_kway(&g, 4, &PartitionOptions::default());
         assert_eq!(a, b);
+        assert_eq!(a.seed, PartitionOptions::default().seed, "result records its seed");
+        let other =
+            partition_kway(&g, 4, &PartitionOptions { seed: 99, ..PartitionOptions::default() });
+        assert_eq!(other.seed, 99);
     }
 
     #[test]

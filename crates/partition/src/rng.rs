@@ -5,15 +5,27 @@
 //! explicit seed instead of an external RNG.
 
 /// xorshift64* generator.
+///
+/// The seed it was created with is recorded and reported by
+/// [`XorShift::seed`], so every consumer (partitioner, compiler) can
+/// surface the exact randomness that produced a result — the provenance
+/// half of "identical (NFA, options, seed) inputs produce byte-identical
+/// bitstreams".
 #[derive(Debug, Clone)]
 pub struct XorShift {
+    seed: u64,
     state: u64,
 }
 
 impl XorShift {
     /// Creates a generator from a seed (0 is remapped to a fixed constant).
     pub fn new(seed: u64) -> XorShift {
-        XorShift { state: if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed } }
+        XorShift { seed, state: if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed } }
+    }
+
+    /// The seed this generator was created with (before zero-remapping).
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Next raw 64-bit value.
@@ -64,6 +76,14 @@ mod tests {
     fn zero_seed_is_usable() {
         let mut r = XorShift::new(0);
         assert_ne!(r.next_u64(), 0);
+        assert_eq!(r.seed(), 0, "the recorded seed is the one given, not the remap");
+    }
+
+    #[test]
+    fn seed_is_recorded() {
+        let mut r = XorShift::new(0xca);
+        let _ = r.next_u64();
+        assert_eq!(r.seed(), 0xca, "drawing values must not change the recorded seed");
     }
 
     #[test]

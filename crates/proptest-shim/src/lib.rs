@@ -407,7 +407,7 @@ pub mod prop {
             VecStrategy { element, len }
         }
 
-        /// See [`vec`].
+        /// See [`vec()`].
         #[derive(Clone)]
         pub struct VecStrategy<S> {
             element: S,

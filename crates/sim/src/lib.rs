@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 
 pub mod area;
+pub mod artifact;
 pub mod bitstream;
 pub mod energy;
 pub mod fabric;
@@ -39,6 +40,7 @@ pub mod system;
 pub mod timing;
 
 pub use area::{area_for_stes, design_space, reachability, AreaReport, DesignPoint};
+pub use artifact::{fnv1a_64, ArtifactError, ARTIFACT_MAGIC, ARTIFACT_VERSION};
 pub use bitstream::{Bitstream, BitstreamError, PartitionImage, Route, RouteVia};
 pub use energy::{
     energy_report, ideal_ap_per_symbol_nj, peak_power_w, EnergyBreakdown, EnergyParams,

@@ -1,0 +1,130 @@
+//! Workspace-level artifact and cache tests: every Table-1 benchmark, on
+//! both design points, must survive a serialize → deserialize round trip
+//! with a byte-identical bitstream and identical fabric behaviour, and the
+//! program cache must hand back programs indistinguishable from a fresh
+//! compile.
+
+use ca_workloads::{Benchmark, Scale};
+use cache_automaton::{CacheAutomaton, Design, Optimize, Program};
+
+fn roundtrip_all(design: Design) {
+    let ca = CacheAutomaton::builder().design(design).optimize(Optimize::Never).build();
+    for benchmark in Benchmark::all() {
+        let w = benchmark.build(Scale::tiny(), 17);
+        let program = ca.compile_nfa(&w.nfa).unwrap_or_else(|e| panic!("{benchmark}: {e}"));
+        let bytes = program.to_bytes();
+        let loaded = Program::from_bytes(&bytes).unwrap_or_else(|e| panic!("{benchmark}: {e}"));
+
+        // lossless: same stats, byte-identical bitstream, canonical bytes
+        assert_eq!(loaded.stats(), program.stats(), "{benchmark} stats diverged");
+        assert_eq!(
+            loaded.compiled().bitstream.encode(),
+            program.compiled().bitstream.encode(),
+            "{benchmark} bitstream not byte-identical after round trip"
+        );
+        assert_eq!(loaded.to_bytes(), bytes, "{benchmark} artifact not canonical");
+
+        // behavioural equivalence: same matches AND same cycle counts
+        let input = w.input(4 * 1024, 3);
+        let fresh = program.run(&input);
+        let reloaded = loaded.run(&input);
+        assert_eq!(fresh.matches, reloaded.matches, "{benchmark} matches diverged");
+        assert_eq!(fresh.exec.cycles, reloaded.exec.cycles, "{benchmark} cycles diverged");
+        assert_eq!(
+            fresh.exec.matched_total, reloaded.exec.matched_total,
+            "{benchmark} activity diverged"
+        );
+    }
+}
+
+#[test]
+fn artifact_roundtrip_every_benchmark_performance_design() {
+    roundtrip_all(Design::Performance);
+}
+
+#[test]
+fn artifact_roundtrip_every_benchmark_space_design() {
+    roundtrip_all(Design::Space);
+}
+
+#[test]
+fn artifact_file_roundtrip_through_disk() {
+    let dir = std::env::temp_dir().join("ca-workspace-artifact-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("snort.capr");
+    let w = Benchmark::Snort.build(Scale::tiny(), 41);
+    let program = CacheAutomaton::new().compile_nfa(&w.nfa).unwrap();
+    program.save(&path).unwrap();
+    let loaded = Program::load(&path).unwrap();
+    assert_eq!(loaded.compiled(), program.compiled());
+    let input = w.input(2 * 1024, 7);
+    assert_eq!(program.run(&input).matches, loaded.run(&input).matches);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn cache_hit_returns_identical_program() {
+    let ca = CacheAutomaton::builder().seed(7).build();
+    let w = Benchmark::Dotstar.build(Scale::tiny(), 11);
+
+    let first = ca.compile_nfa(&w.nfa).unwrap();
+    let stats = ca.cache_stats();
+    assert_eq!((stats.hits, stats.misses, stats.insertions), (0, 1, 1));
+
+    let second = ca.compile_nfa(&w.nfa).unwrap();
+    let stats = ca.cache_stats();
+    assert_eq!(stats.hits, 1, "second compile of the same NFA must hit");
+
+    // the hit is indistinguishable from the fresh compile
+    assert_eq!(first.stats(), second.stats());
+    assert_eq!(
+        first.compiled().bitstream.encode(),
+        second.compiled().bitstream.encode(),
+        "cached bitstream must be byte-identical"
+    );
+    let input = w.input(2 * 1024, 5);
+    let a = first.run(&input);
+    let b = second.run(&input);
+    assert_eq!(a.matches, b.matches);
+    assert_eq!(a.exec.cycles, b.exec.cycles);
+}
+
+#[test]
+fn cache_distinguishes_options() {
+    // one shared cache, two NFAs and two seeds: four distinct keys
+    let w1 = Benchmark::Ranges1.build(Scale::tiny(), 3);
+    let w2 = Benchmark::ExactMatch.build(Scale::tiny(), 3);
+    let ca = CacheAutomaton::builder().build();
+    let _ = ca.compile_nfa(&w1.nfa).unwrap();
+    let _ = ca.compile_nfa(&w2.nfa).unwrap();
+    assert_eq!(ca.cache_stats().misses, 2, "different NFAs must not collide");
+
+    let reseeded = CacheAutomaton::builder().seed(999).build();
+    let a = ca.compile_nfa(&w1.nfa).unwrap();
+    let b = reseeded.compile_nfa(&w1.nfa).unwrap();
+    assert_eq!(ca.cache_stats().hits, 1, "same NFA + options must hit");
+    assert_eq!(reseeded.cache_stats().misses, 1, "different seed is a different key");
+    assert_eq!(a.stats().seed, 0xca);
+    assert_eq!(b.stats().seed, 999);
+}
+
+#[test]
+fn clones_share_the_cache() {
+    let ca = CacheAutomaton::builder().build();
+    let clone = ca.clone();
+    let w = Benchmark::Protomata.build(Scale::tiny(), 29);
+    let _ = ca.compile_nfa(&w.nfa).unwrap();
+    let _ = clone.compile_nfa(&w.nfa).unwrap();
+    assert_eq!(ca.cache_stats().hits, 1, "clone must see the original's compilation");
+}
+
+#[test]
+fn identical_inputs_reproduce_bitstreams_byte_for_byte() {
+    // determinism across independent CacheAutomaton instances (no shared
+    // cache): the recorded seed pins the whole pipeline
+    let w = Benchmark::Fermi.build(Scale::tiny(), 13);
+    let a = CacheAutomaton::builder().seed(42).build().compile_nfa(&w.nfa).unwrap();
+    let b = CacheAutomaton::builder().seed(42).build().compile_nfa(&w.nfa).unwrap();
+    assert_eq!(a.to_bytes(), b.to_bytes(), "identical (NFA, options, seed) must reproduce");
+    assert_eq!(a.stats().seed, 42);
+}
