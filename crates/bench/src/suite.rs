@@ -9,6 +9,7 @@ use ca_sim::{
     design_timing, energy_report, ideal_ap_per_symbol_nj, DesignKind, EnergyParams, EnergyReport,
     ExecStats, Fabric,
 };
+use ca_telemetry::{SpanGuard, StderrLogger, Telemetry};
 use ca_workloads::{Benchmark, Scale, Workload};
 
 /// Experiment configuration shared by all tables/figures.
@@ -119,13 +120,26 @@ pub fn run_benchmark(benchmark: Benchmark, config: &RunConfig) -> BenchResult {
     BenchResult { benchmark, perf, space, space_fallback }
 }
 
-/// Runs the whole suite.
+/// Runs the whole suite, announcing progress on stderr (the historical
+/// behaviour; delegates to [`run_all_with`] with a [`StderrLogger`] sink).
 pub fn run_all(config: &RunConfig) -> Vec<BenchResult> {
+    run_all_with(config, &Telemetry::new(StderrLogger))
+}
+
+/// Runs the whole suite, routing progress through a telemetry sink: one
+/// lazily-formatted log line and one `bench.benchmark` wall-clock span
+/// (labelled by suite index) per benchmark. With a disabled handle the
+/// suite runs silently at zero instrumentation cost.
+pub fn run_all_with(config: &RunConfig, telemetry: &Telemetry) -> Vec<BenchResult> {
     Benchmark::all()
         .into_iter()
-        .map(|b| {
-            eprintln!("[suite] running {b} ...");
-            run_benchmark(b, config)
+        .enumerate()
+        .map(|(i, b)| {
+            telemetry.log(|| format!("[suite] running {b} ..."));
+            let span = SpanGuard::start(telemetry, "bench.benchmark", i as u64);
+            let result = run_benchmark(b, config);
+            span.finish();
+            result
         })
         .collect()
 }

@@ -38,13 +38,13 @@ pub fn table1(results: &[BenchResult]) -> String {
             p.connected_components.to_string(),
             r.perf.largest_cc.to_string(),
             p.largest_cc.to_string(),
-            fnum(r.perf.stats.avg_active_states(), 2),
+            fnum(r.perf.stats.avg_active_states_per_symbol(), 2),
             fnum(p.avg_active, 2),
             format!("{}{}", r.space.states, if r.space_fallback { "*" } else { "" }),
             p.space_states.to_string(),
             r.space.ccs.to_string(),
             p.space_ccs.to_string(),
-            fnum(r.space.stats.avg_active_states(), 2),
+            fnum(r.space.stats.avg_active_states_per_symbol(), 2),
             fnum(p.space_avg_active, 2),
         ]);
     }

@@ -182,6 +182,24 @@ pub fn compile(nfa: &HomNfa, opts: &CompilerOptions) -> Result<CompiledAutomaton
     Pipeline::standard().run(nfa, opts)
 }
 
+/// [`compile`] with pipeline events (per-pass span timings, retry and
+/// compilation counters, mapping-size gauges) routed to `telemetry`.
+///
+/// The spans carry the very same millisecond measurements recorded in
+/// [`MappingStats::timings`], so a sink's totals reconcile exactly with
+/// the returned stats.
+///
+/// # Errors
+///
+/// As [`compile`].
+pub fn compile_with_telemetry(
+    nfa: &HomNfa,
+    opts: &CompilerOptions,
+    telemetry: &ca_telemetry::Telemetry,
+) -> Result<CompiledAutomaton, CompileError> {
+    Pipeline::standard().with_telemetry(telemetry.clone()).run(nfa, opts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -35,6 +35,7 @@ use crate::{emit, place, plan, CompiledAutomaton, CompilerOptions, MappingStats}
 use ca_automata::analysis::{connected_components, Components};
 use ca_automata::HomNfa;
 use ca_sim::{Bitstream, CacheGeometry, PartitionLocation};
+use ca_telemetry::Telemetry;
 use std::time::Instant;
 
 /// Wall-clock milliseconds spent in each pass, accumulated across retries.
@@ -268,6 +269,19 @@ impl Default for RetryPolicy {
 pub struct Pipeline {
     passes: Vec<Box<dyn Pass>>,
     retry: RetryPolicy,
+    telemetry: Telemetry,
+}
+
+/// The telemetry span name of a standard pass (unknown pass names group
+/// under `compile.pass.other` — sink names must be `'static`).
+fn pass_span_name(pass: &'static str) -> &'static str {
+    match pass {
+        "plan" => "compile.pass.plan",
+        "place" => "compile.pass.place",
+        "emit" => "compile.pass.emit",
+        "validate" => "compile.pass.validate",
+        _ => "compile.pass.other",
+    }
 }
 
 impl Pipeline {
@@ -288,7 +302,17 @@ impl Pipeline {
     /// A pipeline from explicit passes and policy (for experimentation:
     /// extra analysis passes, alternative retry schedules).
     pub fn new(passes: Vec<Box<dyn Pass>>, retry: RetryPolicy) -> Pipeline {
-        Pipeline { passes, retry }
+        Pipeline { passes, retry, telemetry: Telemetry::disabled() }
+    }
+
+    /// Routes compilation events to `telemetry`: one `compile.pass.*` span
+    /// per pass per attempt (labelled by attempt index, the very same
+    /// milliseconds recorded in [`PassTimings`]), `compile.compilations` /
+    /// `compile.retries` counters, and mapping-size gauges on success.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Pipeline {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The pass names, in execution order.
@@ -347,7 +371,9 @@ impl Pipeline {
             for pass in &self.passes {
                 let started = Instant::now();
                 let result = pass.run(&mut ctx);
-                timings.record(pass.name(), started.elapsed().as_secs_f64() * 1e3);
+                let ms = started.elapsed().as_secs_f64() * 1e3;
+                timings.record(pass.name(), ms);
+                self.telemetry.span(pass_span_name(pass.name()), retry as u64, ms);
                 if let Err(e) = result {
                     if pass.retryable(&e) {
                         failed = Some(e);
@@ -377,6 +403,23 @@ impl Pipeline {
                         seed: opts.seed,
                         timings,
                     };
+                    self.telemetry.counter("compile.compilations", 1);
+                    self.telemetry.counter("compile.retries", retry as u64);
+                    if self.telemetry.is_enabled() {
+                        self.telemetry.gauge("compile.states", 0, stats.states as f64);
+                        self.telemetry.gauge(
+                            "compile.partitions_used",
+                            0,
+                            stats.partitions_used as f64,
+                        );
+                        self.telemetry.gauge("compile.g1_routes", 0, stats.g1_routes as f64);
+                        self.telemetry.gauge("compile.g4_routes", 0, stats.g4_routes as f64);
+                        self.telemetry.gauge(
+                            "compile.utilization_bytes",
+                            0,
+                            stats.utilization_bytes as f64,
+                        );
+                    }
                     return Ok(CompiledAutomaton { bitstream, stats, state_map: ctx.state_map });
                 }
             }

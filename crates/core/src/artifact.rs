@@ -211,6 +211,7 @@ fn decode_program(bytes: &[u8]) -> Result<Program, ArtifactError> {
         design,
         timing: ca_sim::design_timing(design),
         compiled: CompiledAutomaton { bitstream, stats, state_map },
+        telemetry: ca_telemetry::Telemetry::disabled(),
     })
 }
 

@@ -3,11 +3,13 @@
 //! ```text
 //! cactl compile <rules> [--design P|S] [--slices N] [--pages OUT] [--out ARTIFACT]
 //! cactl run     <rules> <input-file> [--design P|S] [--limit N] [--trace OUT] [--shards N]
-//! cactl run     --program <artifact> <input-file> [--limit N] [--shards N]
+//!                       [--metrics OUT]
+//! cactl run     --program <artifact> <input-file> [--limit N] [--shards N] [--metrics OUT]
 //! cactl inspect <rules> [--design P|S]
 //! cactl anml    <rules>
 //! cactl frompages <image.capg> <input-file>
 //! cactl bench   <rules> <input-file> [--design P|S]
+//! cactl checkmetrics <metrics.jsonl>
 //!
 //! <rules> is either an ANML document (*.anml) or a newline-separated
 //! regex pattern file (# comments allowed). Pattern i reports with code i.
@@ -15,13 +17,20 @@
 //! `compile --out` writes a versioned program artifact (.capr); `run
 //! --program` loads one instead of compiling, so compilation and scanning
 //! can happen in different processes (or on different days).
+//!
+//! `run --metrics OUT` streams telemetry (compile pass timings, scan
+//! stripe spans, fabric activity counters) to OUT as JSON lines;
+//! `checkmetrics` validates such a file against the schema.
 //! ```
 //!
 //! Exit codes: 0 success, 2 usage/configuration, 3 i/o, 4 pattern or ANML
-//! front-end, 5 mapping compiler, 6 artifact decode.
+//! front-end, 5 mapping compiler, 6 artifact decode, 7 internal (worker
+//! thread panic).
 
 use ca_baselines::measure_cpu as ca_baselines_measure;
-use cache_automaton::{CaError, CacheAutomaton, Design, Parallelism, Program};
+use cache_automaton::{
+    CaError, CacheAutomaton, Design, JsonLinesWriter, Parallelism, Program, Telemetry,
+};
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
@@ -47,6 +56,7 @@ fn exit_code(err: &CaError) -> u8 {
         CaError::Automata(_) => 4,
         CaError::Compile(_) => 5,
         CaError::Artifact(_) => 6,
+        CaError::Internal(_) => 7,
         _ => 2,
     }
 }
@@ -62,6 +72,7 @@ struct Options {
     artifact_out: Option<String>,
     program_in: Option<String>,
     trace_out: Option<String>,
+    metrics_out: Option<String>,
     limit: usize,
     shards: Option<Parallelism>,
     positional: Vec<String>,
@@ -77,6 +88,7 @@ fn parse_args(args: Vec<String>) -> Result<(String, Options), CaError> {
         artifact_out: None,
         program_in: None,
         trace_out: None,
+        metrics_out: None,
         limit: 20,
         shards: None,
         positional: Vec::new(),
@@ -126,6 +138,11 @@ fn parse_args(args: Vec<String>) -> Result<(String, Options), CaError> {
                     Some(rest.get(i + 1).ok_or_else(|| bad("--trace needs a path"))?.clone());
                 rest.drain(i..=i + 1);
             }
+            "--metrics" => {
+                opts.metrics_out =
+                    Some(rest.get(i + 1).ok_or_else(|| bad("--metrics needs a path"))?.clone());
+                rest.drain(i..=i + 1);
+            }
             "--limit" => {
                 opts.limit = rest
                     .get(i + 1)
@@ -156,8 +173,8 @@ fn parse_args(args: Vec<String>) -> Result<(String, Options), CaError> {
     Ok((command, opts))
 }
 
-const USAGE: &str = "usage: cactl <compile|run|inspect|anml|frompages|bench> <rules> [args] \
-                     (see --help in the crate docs)";
+const USAGE: &str = "usage: cactl <compile|run|inspect|anml|frompages|bench|checkmetrics> \
+                     <rules> [args] (see --help in the crate docs)";
 
 fn load_nfa(path: &str) -> Result<cache_automaton::HomNfa, CaError> {
     let text = std::fs::read_to_string(path).map_err(|e| io_err(path, e))?;
@@ -173,9 +190,26 @@ fn load_nfa(path: &str) -> Result<cache_automaton::HomNfa, CaError> {
     }
 }
 
-fn compile_program(opts: &Options, path: &str) -> Result<Program, CaError> {
+fn compile_program(opts: &Options, path: &str, telemetry: &Telemetry) -> Result<Program, CaError> {
     let nfa = load_nfa(path)?;
-    CacheAutomaton::builder().design(opts.design).slices(opts.slices).build().compile_nfa(&nfa)
+    CacheAutomaton::builder()
+        .design(opts.design)
+        .slices(opts.slices)
+        .telemetry_handle(telemetry.clone())
+        .build()
+        .compile_nfa(&nfa)
+}
+
+/// Opens the `--metrics` sink if requested, else a disabled handle whose
+/// event calls compile down to a single predictable branch.
+fn open_metrics(opts: &Options) -> Result<Telemetry, CaError> {
+    match &opts.metrics_out {
+        Some(path) => {
+            let writer = JsonLinesWriter::create(path).map_err(|e| io_err(path, e))?;
+            Ok(Telemetry::new(writer))
+        }
+        None => Ok(Telemetry::disabled()),
+    }
 }
 
 fn read_input(path: &str) -> Result<Vec<u8>, CaError> {
@@ -184,13 +218,14 @@ fn read_input(path: &str) -> Result<Vec<u8>, CaError> {
 
 fn run(args: Vec<String>) -> Result<String, CaError> {
     let (command, opts) = parse_args(args)?;
+    let telemetry = open_metrics(&opts)?;
     let mut out = String::new();
     match command.as_str() {
         "compile" => {
             let [rules] = opts.positional.as_slice() else {
                 return Err(CaError::Config("compile needs exactly one rules file".into()));
             };
-            let program = compile_program(&opts, rules)?;
+            let program = compile_program(&opts, rules, &telemetry)?;
             let s = program.stats();
             let _ = writeln!(out, "design            : {}", program.design());
             let _ = writeln!(out, "states            : {}", s.states);
@@ -231,12 +266,15 @@ fn run(args: Vec<String>) -> Result<String, CaError> {
                         "run --program needs exactly one input file".into(),
                     ));
                 };
-                (Program::load(artifact)?, read_input(input_path)?)
+                let mut program = Program::load(artifact)?;
+                // loaded artifacts carry a disabled handle; attach the sink
+                program.set_telemetry(telemetry.clone());
+                (program, read_input(input_path)?)
             } else {
                 let [rules, input_path] = opts.positional.as_slice() else {
                     return Err(CaError::Config("run needs a rules file and an input file".into()));
                 };
-                (compile_program(&opts, rules)?, read_input(input_path)?)
+                (compile_program(&opts, rules, &telemetry)?, read_input(input_path)?)
             };
             let report = if let Some(trace_path) = &opts.trace_out {
                 // per-cycle trace alongside the scan
@@ -285,12 +323,16 @@ fn run(args: Vec<String>) -> Result<String, CaError> {
                 report.energy.per_symbol_nj,
                 report.energy.avg_power_w
             );
+            if let Some(path) = &opts.metrics_out {
+                telemetry.flush();
+                let _ = writeln!(out, "metrics written      : {path}");
+            }
         }
         "inspect" => {
             let [rules] = opts.positional.as_slice() else {
                 return Err(CaError::Config("inspect needs exactly one rules file".into()));
             };
-            let program = compile_program(&opts, rules)?;
+            let program = compile_program(&opts, rules, &telemetry)?;
             let bs = &program.compiled().bitstream;
             let _ = writeln!(out, "{} partitions, {} routes", bs.partitions.len(), bs.routes.len());
             for (i, p) in bs.partitions.iter().enumerate() {
@@ -318,7 +360,7 @@ fn run(args: Vec<String>) -> Result<String, CaError> {
             };
             let nfa = load_nfa(rules)?;
             let input = read_input(input_path)?;
-            let program = compile_program(&opts, rules)?;
+            let program = compile_program(&opts, rules, &telemetry)?;
             // measured host CPU (VASim-style sparse engine)
             let cpu = ca_baselines_measure(&nfa, &input);
             // simulated hardware
@@ -370,6 +412,23 @@ fn run(args: Vec<String>) -> Result<String, CaError> {
             for m in report.events.iter().take(opts.limit) {
                 let _ = writeln!(out, "  pattern {:>4} @ byte {}", m.code.0, m.pos);
             }
+        }
+        "checkmetrics" => {
+            let [path] = opts.positional.as_slice() else {
+                return Err(CaError::Config("checkmetrics needs exactly one metrics file".into()));
+            };
+            let text = std::fs::read_to_string(path).map_err(|e| io_err(path, e))?;
+            let summary = cache_automaton::telemetry::validate_jsonl(&text)
+                .map_err(|e| CaError::Config(format!("{path}: invalid metrics stream: {e}")))?;
+            let _ = writeln!(
+                out,
+                "{path}: {} events ok ({} counters, {} gauges, {} spans, {} logs)",
+                summary.total(),
+                summary.counters,
+                summary.gauges,
+                summary.spans,
+                summary.logs
+            );
         }
         "anml" => {
             let [rules] = opts.positional.as_slice() else {

@@ -16,6 +16,7 @@
 
 use crate::{Design, Program};
 use ca_automata::{Fingerprint, StableHasher};
+use ca_telemetry::Telemetry;
 
 /// Everything that determines a compilation's output, in canonical form.
 ///
@@ -180,6 +181,7 @@ pub struct ProgramCache {
     sketch: FrequencySketch,
     clock: u64,
     stats: CacheStats,
+    telemetry: Telemetry,
 }
 
 impl std::fmt::Debug for ProgramCache {
@@ -201,7 +203,16 @@ impl ProgramCache {
             sketch: FrequencySketch::new(capacity.max(1)),
             clock: 0,
             stats: CacheStats::default(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Mirrors every [`CacheStats`] increment to `telemetry` as a
+    /// `cache.*` counter (`cache.hits`, `cache.misses`, `cache.insertions`,
+    /// `cache.evictions`, `cache.rejected`), so recorded totals always
+    /// equal [`stats`](ProgramCache::stats).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Maximum entry count.
@@ -232,10 +243,12 @@ impl ProgramCache {
             Some(entry) => {
                 entry.last_used = self.clock;
                 self.stats.hits += 1;
+                self.telemetry.counter("cache.hits", 1);
                 Some(entry.program.clone())
             }
             None => {
                 self.stats.misses += 1;
+                self.telemetry.counter("cache.misses", 1);
                 None
             }
         }
@@ -270,14 +283,17 @@ impl ProgramCache {
             let victim_freq = self.sketch.estimate(self.entries[victim].key.hash64());
             if candidate_freq <= victim_freq {
                 self.stats.rejected += 1;
+                self.telemetry.counter("cache.rejected", 1);
                 return;
             }
             self.entries.swap_remove(victim);
             self.stats.evictions += 1;
+            self.telemetry.counter("cache.evictions", 1);
         }
         self.clock += 1;
         self.entries.push(Entry { key, program, last_used: self.clock });
         self.stats.insertions += 1;
+        self.telemetry.counter("cache.insertions", 1);
     }
 }
 

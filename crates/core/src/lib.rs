@@ -45,6 +45,7 @@ pub use ca_automata as automata;
 pub use ca_compiler as compiler;
 pub use ca_partition as partition;
 pub use ca_sim as sim;
+pub use ca_telemetry as telemetry;
 
 pub use artifact::{PROGRAM_ARTIFACT_MAGIC, PROGRAM_ARTIFACT_VERSION};
 pub use ca_automata::engine::MatchEvent;
@@ -54,6 +55,7 @@ pub use ca_compiler::{
 };
 pub use ca_sim::DesignKind as Design;
 pub use ca_sim::{ArtifactError, EnergyReport, ExecStats, PipelineTiming, Snapshot};
+pub use ca_telemetry::{JsonLinesWriter, MemoryRecorder, Telemetry, TelemetrySink};
 pub use cache::{CacheKey, CacheStats, ProgramCache};
 pub use scanner::Scanner;
 pub use shard::{Parallelism, ScanOptions};
@@ -81,6 +83,11 @@ pub enum CaError {
     /// A serialized program artifact failed to decode (bad magic,
     /// unsupported version, checksum mismatch, structural damage).
     Artifact(ArtifactError),
+    /// An invariant the library maintains was violated at runtime — e.g. a
+    /// worker thread panicked mid-scan. The scan that hit it is lost, but
+    /// the process (and any embedding service) survives with a typed
+    /// error instead of an abort.
+    Internal(String),
 }
 
 impl fmt::Display for CaError {
@@ -91,6 +98,7 @@ impl fmt::Display for CaError {
             CaError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             CaError::Io(msg) => write!(f, "i/o error: {msg}"),
             CaError::Artifact(e) => write!(f, "artifact error: {e}"),
+            CaError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
 }
@@ -101,9 +109,23 @@ impl std::error::Error for CaError {
             CaError::Automata(e) => Some(e),
             CaError::Compile(e) => Some(e),
             CaError::Artifact(e) => Some(e),
-            CaError::Config(_) | CaError::Io(_) => None,
+            CaError::Config(_) | CaError::Io(_) | CaError::Internal(_) => None,
         }
     }
+}
+
+/// Converts a thread-join panic payload into [`CaError::Internal`],
+/// salvaging the panic message when it is a string.
+pub(crate) fn join_panic_to_internal(
+    context: &str,
+    payload: Box<dyn std::any::Any + Send>,
+) -> CaError {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "unknown panic payload".to_string());
+    CaError::Internal(format!("{context} thread panicked: {msg}"))
 }
 
 #[doc(hidden)]
@@ -156,6 +178,7 @@ pub struct Builder {
     seed: Option<u64>,
     optimize: Optimize,
     cache_capacity: Option<usize>,
+    telemetry: Telemetry,
 }
 
 impl Builder {
@@ -203,11 +226,33 @@ impl Builder {
         self
     }
 
+    /// Routes pipeline events (compile-pass spans, cache counters, fabric
+    /// activity, scan-stripe timings) to `sink` — see the
+    /// [`telemetry`] module for the sinks shipped in-tree and DESIGN.md §7
+    /// for the event taxonomy. Programs compiled by the resulting instance
+    /// inherit the handle; the default is disabled (zero overhead).
+    #[must_use]
+    pub fn telemetry(mut self, sink: impl TelemetrySink + 'static) -> Builder {
+        self.telemetry = Telemetry::new(sink);
+        self
+    }
+
+    /// Like [`telemetry`](Builder::telemetry), but takes a prebuilt
+    /// [`Telemetry`] handle — use this to share one sink (e.g. an
+    /// `Arc<MemoryRecorder>` you keep for inspection) across instances.
+    #[must_use]
+    pub fn telemetry_handle(mut self, telemetry: Telemetry) -> Builder {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// Finalizes the configuration.
     #[must_use]
     pub fn build(self) -> CacheAutomaton {
         let defaults = CompilerOptions::default();
         let capacity = self.cache_capacity.unwrap_or(DEFAULT_CACHE_CAPACITY);
+        let mut cache = ProgramCache::new(capacity);
+        cache.set_telemetry(self.telemetry.clone());
         CacheAutomaton {
             options: CompilerOptions {
                 design: self.design,
@@ -215,7 +260,8 @@ impl Builder {
                 seed: self.seed.unwrap_or(defaults.seed),
             },
             optimize: self.optimize,
-            cache: Arc::new(Mutex::new(ProgramCache::new(capacity))),
+            cache: Arc::new(Mutex::new(cache)),
+            telemetry: self.telemetry,
         }
     }
 }
@@ -229,6 +275,7 @@ pub struct CacheAutomaton {
     options: CompilerOptions,
     optimize: Optimize,
     cache: Arc<Mutex<ProgramCache>>,
+    telemetry: Telemetry,
 }
 
 impl Default for CacheAutomaton {
@@ -318,7 +365,10 @@ impl CacheAutomaton {
             seed: self.options.seed,
             optimized: optimize,
         };
-        if let Some(hit) = self.cache.lock().expect("program cache poisoned").get(&key) {
+        if let Some(mut hit) = self.cache.lock().expect("program cache poisoned").get(&key) {
+            // the stored program carries the telemetry of whoever compiled
+            // it; the caller gets their own handle
+            hit.telemetry = self.telemetry.clone();
             return Ok(hit);
         }
         let owned;
@@ -328,11 +378,12 @@ impl CacheAutomaton {
         } else {
             nfa
         };
-        let compiled = ca_compiler::compile(source, &self.options)?;
+        let compiled = ca_compiler::compile_with_telemetry(source, &self.options, &self.telemetry)?;
         let program = Program {
             design: self.options.design,
             timing: ca_sim::design_timing(self.options.design),
             compiled,
+            telemetry: self.telemetry.clone(),
         };
         self.cache.lock().expect("program cache poisoned").insert(key, program.clone());
         Ok(program)
@@ -346,6 +397,7 @@ pub struct Program {
     design: Design,
     timing: PipelineTiming,
     compiled: CompiledAutomaton,
+    telemetry: Telemetry,
 }
 
 impl Program {
@@ -402,9 +454,26 @@ impl Program {
         Scanner::new(self, Some(snapshot))
     }
 
+    /// Routes this program's scan events (fabric activity snapshots,
+    /// stripe timings, end-of-run counters) to `telemetry`. Programs
+    /// compiled through [`CacheAutomaton`] inherit the builder's handle;
+    /// use this for programs loaded from artifacts, or to attach a
+    /// different sink per scan site.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The telemetry handle scans of this program report to (a cheap
+    /// clone; disabled unless one was installed).
+    pub fn telemetry(&self) -> Telemetry {
+        self.telemetry.clone()
+    }
+
     /// A fresh fabric instance for this program's bitstream.
     pub(crate) fn fabric(&self) -> ca_sim::Fabric {
-        self.compiled.fabric().expect("compiled bitstream is valid")
+        let mut fabric = self.compiled.fabric().expect("compiled bitstream is valid");
+        fabric.set_telemetry(self.telemetry.clone());
+        fabric
     }
 
     /// Renders raw fabric activity into a [`RunReport`] using this
@@ -478,7 +547,8 @@ impl MultiProgram {
     ///
     /// # Errors
     ///
-    /// [`CaError::Config`] if more streams than instances are supplied.
+    /// [`CaError::Config`] if more streams than instances are supplied;
+    /// [`CaError::Internal`] if a stream's scan thread panics.
     pub fn run_streams(&self, streams: &[&[u8]]) -> Result<Vec<RunReport>, CaError> {
         if streams.len() > self.instances {
             return Err(CaError::Config(format!(
@@ -487,7 +557,7 @@ impl MultiProgram {
                 self.instances
             )));
         }
-        Ok(std::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = streams
                 .iter()
                 .map(|stream| {
@@ -495,8 +565,11 @@ impl MultiProgram {
                     scope.spawn(move || program.run(stream))
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("scan thread panicked")).collect()
-        }))
+            handles
+                .into_iter()
+                .map(|h| h.join().map_err(|e| join_panic_to_internal("stream scan", e)))
+                .collect()
+        })
     }
 }
 

@@ -63,7 +63,7 @@ impl<'p> Scanner<'p> {
         self.resume = report.snapshot;
         let first_new = self.events.len();
         self.events.extend(report.events);
-        self.stats.absorb(&report.stats);
+        self.stats.absorb_activity(&report.stats);
         &self.events[first_new..]
     }
 
@@ -93,13 +93,15 @@ impl<'p> Scanner<'p> {
     pub fn finish(self) -> RunReport {
         let mut stats = self.stats;
         // Per-chunk runs each charged a pipeline fill and rounded their own
-        // FIFO refills up; a single logical stream pays both exactly once.
+        // FIFO refills up; a single logical stream pays both exactly once
+        // (`absorb_activity` leaves `cycles` to this decision).
         stats.cycles = if stats.symbols == 0 { 0 } else { stats.symbols + PIPELINE_FILL_CYCLES };
         stats.fifo_refills =
             (stats.symbols as usize).div_ceil(ca_sim::fabric::FIFO_REFILL_BYTES) as u64;
         let mut events = self.events;
         events.sort_unstable();
         events.dedup();
+        stats.emit_counters(&self.program.telemetry());
         self.program.report_from(events, stats)
     }
 }

@@ -20,11 +20,14 @@
 //!    always-armed start states — a guaranteed *subset* of the true entry
 //!    state, so nothing spurious is reported.
 //! 2. **Stitch phase (sequential).** Walking left to right, the true exit
-//!    of stripe *i−1* is compared with stripe *i*'s guessed entry; the
-//!    [`Mask256::and_not`](ca_sim::Mask256::and_not) delta seeds a
-//!    start-suppressed correction rerun of stripe *i* that emits exactly
-//!    the matches the guess missed and the states to add to stripe *i*'s
-//!    exit. The suppressed run exits as soon as its vectors die, so when
+//!    of stripe *i−1* becomes stripe *i*'s true entry;
+//!    [`Fabric::run_correction`](ca_sim::Fabric::run_correction) then
+//!    evolves the true and guessed active sets side by side and emits
+//!    exactly the per-cycle *differences* — the matches, matched-STE
+//!    counts, partition activations and G-switch signals the guess missed
+//!    — so the merged `ExecStats` reconcile field by field with a serial
+//!    scan instead of double-counting activity shared by both evolutions.
+//!    The correction exits as soon as the evolutions converge, so when
 //!    carry-over state decays in a few symbols (literal rulesets such as
 //!    SPM or Bro217) the stitch touches only a short prefix of each stripe
 //!    and throughput scales almost linearly with the shard count.
@@ -36,9 +39,10 @@
 //! critical path degrades toward serial (Snort in the `scaling`
 //! experiment's measured table).
 
-use crate::{CaError, Program, RunReport};
-use ca_sim::fabric::{ExecStats, RunOptions};
+use crate::{join_panic_to_internal, CaError, Program, RunReport};
+use ca_sim::fabric::{ExecStats, RunOptions, OUTPUT_BUFFER_ENTRIES};
 use ca_sim::{Mask256, Snapshot};
+use ca_telemetry::SpanGuard;
 
 /// How many fabric instances a parallel scan spreads the stream across.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -114,14 +118,18 @@ impl Program {
     /// whose `matches` are exactly those of a serial [`run`](Program::run)
     /// — same events, same position order.
     ///
-    /// Cycle and energy accounting treat the stripes as concurrently
-    /// executing fabric instances: `exec.cycles` is the makespan (slowest
-    /// stripe plus the sequential boundary-stitch work), while activity
-    /// counters sum all work performed, including corrections.
+    /// Cycle accounting treats the stripes as concurrently executing
+    /// fabric instances: `exec.cycles` is the makespan (slowest stripe
+    /// plus the sequential boundary-stitch work) and never exceeds the
+    /// serial cycle count. Every other counter — symbols, reports,
+    /// matched STEs, partition activity, G-switch signals, interrupts —
+    /// equals the serial scan's exactly: corrections contribute only the
+    /// activity the guesses missed.
     ///
     /// # Errors
     ///
-    /// [`CaError::Config`] on a zero thread count.
+    /// [`CaError::Config`] on a zero thread count; [`CaError::Internal`]
+    /// if a stripe thread panics.
     pub fn run_parallel(
         &self,
         input: &[u8],
@@ -134,7 +142,8 @@ impl Program {
     ///
     /// # Errors
     ///
-    /// [`CaError::Config`] on a zero thread count.
+    /// [`CaError::Config`] on a zero thread count; [`CaError::Internal`]
+    /// if a stripe thread panics.
     pub fn run_with_options(
         &self,
         input: &[u8],
@@ -146,28 +155,37 @@ impl Program {
         }
         let bounds = stripe_bounds(input.len(), shards);
         let template = self.fabric();
+        let telemetry = self.telemetry();
+        telemetry.counter("scan.stripes", shards as u64);
 
         // Guess phase: every stripe on its own thread and fabric instance.
+        // A panicking stripe must degrade to a typed error, not abort the
+        // process: join failures collect into `CaError::Internal`.
         let stripe_reports = std::thread::scope(|scope| {
             let handles: Vec<_> = bounds
                 .iter()
-                .map(|&(start, end)| {
+                .enumerate()
+                .map(|(i, &(start, end))| {
                     let template = &template;
+                    let telemetry = telemetry.clone();
                     scope.spawn(move || {
+                        let span = SpanGuard::start(&telemetry, "scan.stripe.guess", i as u64);
                         let mut fabric = template.clone();
                         let resume = (start > 0).then(|| fabric.midstream_snapshot(start as u64));
-                        fabric.run_with(
+                        let report = fabric.run_with(
                             &input[start..end],
                             &RunOptions { resume, ..Default::default() },
-                        )
+                        );
+                        span.finish();
+                        report
                     })
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("stripe scan thread panicked"))
-                .collect::<Vec<_>>()
-        });
+                .map(|h| h.join().map_err(|e| join_panic_to_internal("stripe scan", e)))
+                .collect::<Result<Vec<_>, CaError>>()
+        })?;
 
         // Stitch phase: sequential left-to-right boundary handoff.
         let start_all = template.start_all_vectors();
@@ -176,53 +194,60 @@ impl Program {
         let mut stats = ExecStats::default();
         let mut stitch_cycles = 0u64;
         let mut true_exit: Vec<Mask256> = Vec::new();
-        for (report, &(start, end)) in stripe_reports.iter().zip(&bounds) {
+        for (i, (report, &(start, end))) in stripe_reports.iter().zip(&bounds).enumerate() {
             events.extend(report.events.iter().copied());
-            stats.absorb(&report.stats);
+            stats.absorb_activity(&report.stats);
             let guess_exit =
                 &report.snapshot.as_ref().expect("stripe run returns a snapshot").active_vectors;
             if start == 0 {
                 true_exit = guess_exit.clone();
                 continue;
             }
-            // States the true boundary hands over beyond the armed starts.
-            let delta: Vec<Mask256> =
+            // Skip the correction when the true boundary hands over
+            // nothing beyond the armed starts the guess already had.
+            let carry: Vec<Mask256> =
                 true_exit.iter().zip(start_all).map(|(t, g)| t.and_not(g)).collect();
-            if delta.iter().all(Mask256::is_zero) {
+            if carry.iter().all(Mask256::is_zero) {
                 true_exit = guess_exit.clone();
                 continue;
             }
-            let mut fabric = template.clone();
-            let correction = fabric.run_with(
+            let span = SpanGuard::start(&telemetry, "scan.stripe.correction", i as u64);
+            let correction = template.run_correction(
                 &input[start..end],
-                &RunOptions {
-                    resume: Some(Snapshot {
-                        symbol_counter: start as u64,
-                        active_vectors: delta,
-                        output_buffer_fill: 0,
-                    }),
-                    suppress_starts: true,
-                    ..Default::default()
+                &Snapshot {
+                    symbol_counter: start as u64,
+                    active_vectors: true_exit.clone(),
+                    output_buffer_fill: 0,
                 },
             );
+            span.finish();
+            telemetry.counter("scan.corrections", 1);
+            telemetry.counter("scan.correction_symbols", correction.stats.symbols);
             events.extend(correction.events.iter().copied());
-            stats.absorb(&correction.stats);
+            stats.absorb_activity(&correction.stats);
             stitch_cycles += correction.stats.cycles;
-            let correction_exit =
-                correction.snapshot.expect("correction run returns a snapshot").active_vectors;
-            true_exit = guess_exit.iter().zip(&correction_exit).map(|(a, b)| a.or(b)).collect();
+            // The correction's exit image is the true exit; on early
+            // convergence the guess exit is already correct.
+            true_exit = match correction.snapshot {
+                Some(snapshot) => snapshot.active_vectors,
+                None => guess_exit.clone(),
+            };
         }
 
         events.sort_unstable();
-        events.dedup();
-        // One logical stream: symbols/refills cover the input once (the
-        // stitch reruns are accounted as extra cycles and activity, not
-        // extra stream bytes); the guess phase ran concurrently, so its
-        // cycle cost is the slowest stripe, then the stitch serializes.
+        // One logical stream: symbols/refills cover the input once, the
+        // correction runs contributed only the activity the guesses
+        // missed, and the output buffer of the merged stream fills as the
+        // serial scan's would. Cycles are the explicit schedule: the guess
+        // phase ran concurrently (slowest stripe), then the stitch
+        // serializes — `absorb_activity` deliberately leaves the field to
+        // this decision.
         stats.symbols = input.len() as u64;
         stats.cycles = makespan_guess + stitch_cycles;
         stats.fifo_refills = input.len().div_ceil(ca_sim::fabric::FIFO_REFILL_BYTES) as u64;
         stats.reports = events.len() as u64;
+        stats.output_interrupts = stats.reports / OUTPUT_BUFFER_ENTRIES as u64;
+        stats.emit_counters(&telemetry);
         Ok(self.report_from(events, stats))
     }
 }

@@ -15,6 +15,7 @@ use crate::bitstream::{Bitstream, BitstreamError, Route, RouteVia};
 use crate::mask::Mask256;
 use ca_automata::engine::MatchEvent;
 use ca_automata::ReportCode;
+use ca_telemetry::Telemetry;
 
 /// Depth of the CBOX input FIFO (entries = symbols).
 pub const INPUT_FIFO_ENTRIES: usize = 128;
@@ -27,6 +28,10 @@ pub const OUTPUT_BUFFER_ENTRIES: usize = 64;
 
 /// Pipeline fill cycles (stages minus one).
 pub const PIPELINE_FILL_CYCLES: u64 = 2;
+
+/// Symbols between telemetry activity snapshots in [`Fabric::run_with`]
+/// (a power of two so the position check is a mask, not a division).
+pub const TELEMETRY_SNAPSHOT_INTERVAL: u64 = 1024;
 
 /// Activity statistics of one fabric run — the inputs to the energy model.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -56,8 +61,11 @@ pub struct ExecStats {
 }
 
 impl ExecStats {
-    /// Mean active partitions per cycle.
-    pub fn avg_active_partitions(&self) -> f64 {
+    /// Mean active partitions per *input symbol* (Table 1's normalisation:
+    /// every symbol drives exactly one state-match, so dividing by symbols
+    /// measures activity of the work actually performed, independent of
+    /// pipeline-fill and drain-stall cycles).
+    pub fn avg_active_partitions_per_symbol(&self) -> f64 {
         if self.symbols == 0 {
             0.0
         } else {
@@ -65,8 +73,20 @@ impl ExecStats {
         }
     }
 
-    /// Mean matched STEs per cycle (Table 1's "Avg. Active States").
-    pub fn avg_active_states(&self) -> f64 {
+    /// Mean active partitions per *cycle*, counting pipeline fill and any
+    /// drain-penalty stalls in the denominator — the utilisation a
+    /// wall-clock observer of the fabric would see.
+    pub fn avg_active_partitions_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.active_partition_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mean matched STEs per *input symbol* (Table 1's "Avg. Active
+    /// States").
+    pub fn avg_active_states_per_symbol(&self) -> f64 {
         if self.symbols == 0 {
             0.0
         } else {
@@ -74,14 +94,24 @@ impl ExecStats {
         }
     }
 
-    /// Accumulates another run's counters into this one.
+    /// Mean matched STEs per *cycle* (fill and stall cycles included).
+    pub fn avg_active_states_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.matched_total as f64 / self.cycles as f64
+        }
+    }
+
+    /// Accumulates another run's *activity* counters into this one.
     ///
-    /// Every field is summed, including `cycles` — callers that model
-    /// concurrent stripes (where wall-clock is the *maximum* stripe time,
-    /// not the sum) overwrite `cycles` with their own makespan afterwards.
-    pub fn absorb(&mut self, other: &ExecStats) {
+    /// `cycles` is deliberately **not** summed: how per-run cycle counts
+    /// combine is a scheduling question (sequential chunks add, concurrent
+    /// stripes take a makespan), so the caller sets `cycles` explicitly.
+    /// The old `absorb` summed cycles too and relied on every concurrent
+    /// caller remembering to overwrite the result — that footgun is gone.
+    pub fn absorb_activity(&mut self, other: &ExecStats) {
         self.symbols += other.symbols;
-        self.cycles += other.cycles;
         self.active_partition_cycles += other.active_partition_cycles;
         self.matched_total += other.matched_total;
         self.g1_signals += other.g1_signals;
@@ -95,6 +125,26 @@ impl ExecStats {
         for (acc, n) in self.per_partition_active.iter_mut().zip(&other.per_partition_active) {
             *acc += n;
         }
+    }
+
+    /// Emits every counter of this run to `telemetry` under the `fabric.*`
+    /// names (see DESIGN.md §7). Drivers call this once per finished scan
+    /// with the final reconciled stats, so recorded totals match the
+    /// returned `ExecStats` exactly — including on sharded runs, where raw
+    /// per-stripe counters would double-count correction overlap.
+    pub fn emit_counters(&self, telemetry: &Telemetry) {
+        if !telemetry.is_enabled() {
+            return;
+        }
+        telemetry.counter("fabric.symbols", self.symbols);
+        telemetry.counter("fabric.cycles", self.cycles);
+        telemetry.counter("fabric.active_partition_cycles", self.active_partition_cycles);
+        telemetry.counter("fabric.matched_total", self.matched_total);
+        telemetry.counter("fabric.g1_signals", self.g1_signals);
+        telemetry.counter("fabric.g4_signals", self.g4_signals);
+        telemetry.counter("fabric.reports", self.reports);
+        telemetry.counter("fabric.output_interrupts", self.output_interrupts);
+        telemetry.counter("fabric.fifo_refills", self.fifo_refills);
     }
 }
 
@@ -206,6 +256,7 @@ pub struct Fabric {
     report_mask: Vec<Mask256>,
     report_code: Vec<Vec<Option<ReportCode>>>,
     routes: Vec<Route>,
+    telemetry: Telemetry,
     // scratch
     enabled: Vec<Mask256>,
     next: Vec<Mask256>,
@@ -251,6 +302,7 @@ impl Fabric {
             report_mask,
             report_code,
             routes: bitstream.routes.clone(),
+            telemetry: Telemetry::disabled(),
             enabled: vec![Mask256::ZERO; n],
             next: vec![Mask256::ZERO; n],
         })
@@ -259,6 +311,13 @@ impl Fabric {
     /// Number of partitions the fabric drives.
     pub fn partition_count(&self) -> usize {
         self.rows.len()
+    }
+
+    /// Routes activity snapshots (a gauge batch every
+    /// [`TELEMETRY_SNAPSHOT_INTERVAL`] symbols) to `telemetry`. The default
+    /// is the disabled handle, which costs one hoisted branch per run.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Runs the fabric over `input`, returning matches and statistics.
@@ -307,37 +366,24 @@ impl Fabric {
                 }
             }
             writeln!(sink)?;
-            // accumulate
+            // accumulate activity; cycles and refills are recomputed below
+            // for the whole stream (the per-step values double-charge fill
+            // and round refills up per single-symbol window).
             combined.events.extend(step.events.iter().copied());
             if options.collect_entries {
                 combined.entries.extend(step.entries.iter().copied());
             }
-            combined.stats.symbols += step.stats.symbols;
-            combined.stats.cycles += step.stats.symbols; // fill charged once below
-            combined.stats.active_partition_cycles += step.stats.active_partition_cycles;
-            combined.stats.matched_total += step.stats.matched_total;
-            combined.stats.g1_signals += step.stats.g1_signals;
-            combined.stats.g4_signals += step.stats.g4_signals;
-            combined.stats.reports += step.stats.reports;
-            combined.stats.output_interrupts += step.stats.output_interrupts;
-            if combined.stats.per_partition_active.is_empty() {
-                combined.stats.per_partition_active = step.stats.per_partition_active.clone();
-            } else {
-                for (acc, n) in combined
-                    .stats
-                    .per_partition_active
-                    .iter_mut()
-                    .zip(step.stats.per_partition_active.iter())
-                {
-                    *acc += n;
-                }
-            }
+            let mut step_stats = step.stats;
+            step_stats.fifo_refills = 0;
+            combined.stats.absorb_activity(&step_stats);
             resume = step.snapshot;
             combined.snapshot = resume.clone();
         }
-        if !input.is_empty() {
-            combined.stats.cycles += PIPELINE_FILL_CYCLES;
-        }
+        combined.stats.cycles = if combined.stats.symbols == 0 {
+            0
+        } else {
+            combined.stats.symbols + PIPELINE_FILL_CYCLES
+        };
         combined.stats.fifo_refills = input.len().div_ceil(FIFO_REFILL_BYTES) as u64;
         Ok(combined)
     }
@@ -380,6 +426,9 @@ impl Fabric {
 
         let mut processed = input.len();
         let mut seen_codes: Vec<ReportCode> = Vec::new();
+        // Hoisted so the disabled path pays one predictable branch per
+        // symbol and never reaches the snapshot arithmetic.
+        let telemetry_on = self.telemetry.is_enabled();
         for (rel_pos, &symbol) in input.iter().enumerate() {
             // A suppressed run only decays: once every vector is zero the
             // remaining symbols cannot match or re-arm anything.
@@ -388,6 +437,18 @@ impl Fabric {
                 break;
             }
             let pos = base_counter + rel_pos as u64;
+            if telemetry_on && pos.is_multiple_of(TELEMETRY_SNAPSHOT_INTERVAL) {
+                let active = self.enabled.iter().filter(|m| !m.is_zero()).count();
+                self.telemetry.gauge("fabric.active_partitions", pos, active as f64);
+                self.telemetry.gauge("fabric.g1_signals", pos, stats.g1_signals as f64);
+                self.telemetry.gauge("fabric.g4_signals", pos, stats.g4_signals as f64);
+                self.telemetry.gauge(
+                    "fabric.fifo_refills",
+                    pos,
+                    (rel_pos / FIFO_REFILL_BYTES) as f64,
+                );
+                self.telemetry.gauge("fabric.output_buffer_fill", pos, output_buffer_fill as f64);
+            }
             // Phase 1+2 per partition: state-match, then local transition.
             for p in 0..n {
                 self.next[p] =
@@ -471,6 +532,152 @@ impl Fabric {
             output_buffer_fill: output_buffer_fill as u32,
         };
         ExecReport { events, stats, entries, snapshot: Some(snapshot) }
+    }
+
+    /// Corrects a mid-stream *guess* run against the true boundary state,
+    /// returning exactly the events and activity the guess missed.
+    ///
+    /// The parallel scan driver runs every stripe after the first from the
+    /// [`Fabric::midstream_snapshot`] guess (always-armed starts only).
+    /// Once the true entry state is known, this method re-simulates the
+    /// stripe evolving the **true** and **guess** active sets side by side
+    /// and accumulates per-cycle *differences*: matched STEs, active
+    /// partitions, G-switch signals and report events present under the
+    /// true entry but absent under the guess. Because the guess entry is a
+    /// subset of every true entry (all non-suppressed exits re-arm
+    /// `start_all`) and the fabric transition is monotone in the active
+    /// set, the guess evolution stays a subset of the true evolution cycle
+    /// by cycle, so each difference is non-negative and the guess stats
+    /// plus these deltas equal a serial run's stats exactly — including
+    /// overlap-heavy workloads where the old suppressed-delta rerun
+    /// double-counted activity shared by both evolutions.
+    ///
+    /// The run exits as soon as the two evolutions converge (equal
+    /// vectors evolve identically forever, so every later delta is zero);
+    /// `snapshot` is `None` in that case — the caller already holds the
+    /// correct exit image from the guess run — and `Some` of the true exit
+    /// image when the delta survives to the end of `input`.
+    ///
+    /// `stats.cycles` counts only the symbols actually reprocessed, with
+    /// no pipeline-fill charge: corrections ride the already-filled
+    /// pipeline of the stitch pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `true_entry` does not match this fabric's partition count
+    /// or does not contain the always-armed start vectors.
+    pub fn run_correction(&self, input: &[u8], true_entry: &Snapshot) -> ExecReport {
+        let n = self.partition_count();
+        assert_eq!(true_entry.active_vectors.len(), n, "snapshot does not match this fabric");
+        let mut stats = ExecStats { per_partition_active: vec![0; n], ..Default::default() };
+        let mut events = Vec::new();
+        let base_counter = true_entry.symbol_counter;
+
+        let mut enabled_true = true_entry.active_vectors.clone();
+        let mut enabled_guess: Vec<Mask256> = self.start_all.clone();
+        for (p, entry) in enabled_true.iter().enumerate() {
+            assert_eq!(
+                entry.and(&self.start_all[p]),
+                self.start_all[p],
+                "true entry must re-arm the always-armed starts (partition {p})"
+            );
+        }
+        let mut next_true = vec![Mask256::ZERO; n];
+        let mut next_guess = vec![Mask256::ZERO; n];
+
+        let mut processed = input.len();
+        let mut converged = false;
+        let mut seen_true: Vec<ReportCode> = Vec::new();
+        let mut seen_guess: Vec<ReportCode> = Vec::new();
+        for (rel_pos, &symbol) in input.iter().enumerate() {
+            if enabled_true == enabled_guess {
+                // Identical active sets evolve identically: every further
+                // delta is zero and the guess exit image is already right.
+                processed = rel_pos;
+                converged = true;
+                break;
+            }
+            let pos = base_counter + rel_pos as u64;
+            seen_true.clear();
+            seen_guess.clear();
+            next_true.copy_from_slice(&self.start_all);
+            next_guess.copy_from_slice(&self.start_all);
+            for p in 0..n {
+                if enabled_true[p].is_zero() {
+                    continue; // guess ⊆ true: both evolutions are idle here
+                }
+                if enabled_guess[p].is_zero() {
+                    // Only the true evolution wakes this partition: that
+                    // array access went unaccounted in the guess run.
+                    stats.active_partition_cycles += 1;
+                    stats.per_partition_active[p] += 1;
+                }
+                let matched_true = enabled_true[p].and(&self.rows[p][symbol as usize]);
+                if matched_true.is_zero() {
+                    continue;
+                }
+                let matched_guess = enabled_guess[p].and(&self.rows[p][symbol as usize]);
+                stats.matched_total += (matched_true.count() - matched_guess.count()) as u64;
+                let reporting_true = matched_true.and(&self.report_mask[p]);
+                for col in reporting_true.iter() {
+                    let code = self.report_code[p][col as usize].expect("report col has code");
+                    if !seen_true.contains(&code) {
+                        seen_true.push(code);
+                    }
+                    if matched_guess.get(col) && !seen_guess.contains(&code) {
+                        seen_guess.push(code);
+                    }
+                }
+                for s in matched_true.iter() {
+                    next_true[p].or_assign(&self.local[p][s as usize]);
+                }
+                for s in matched_guess.iter() {
+                    next_guess[p].or_assign(&self.local[p][s as usize]);
+                }
+            }
+            // The guess run deduplicates report codes per cycle, so the
+            // missing events are exactly the codes the true evolution
+            // reports this cycle that the guess evolution does not.
+            for &code in &seen_true {
+                if !seen_guess.contains(&code) {
+                    events.push(MatchEvent::new(pos, code));
+                    stats.reports += 1;
+                }
+            }
+            for r in &self.routes {
+                let src = r.src_partition as usize;
+                if enabled_true[src].is_zero() {
+                    continue;
+                }
+                let signal_true = enabled_true[src].and(&self.rows[src][symbol as usize]);
+                if !signal_true.get(r.src_ste) {
+                    continue;
+                }
+                let signal_guess = enabled_guess[src].and(&self.rows[src][symbol as usize]);
+                if !signal_guess.get(r.src_ste) {
+                    match r.via {
+                        RouteVia::G1 => stats.g1_signals += 1,
+                        RouteVia::G4 => stats.g4_signals += 1,
+                    }
+                }
+                let dst = r.dst_partition as usize;
+                let dest_mask = self.import_dest[dst][r.dst_port as usize];
+                next_true[dst].or_assign(&dest_mask);
+                if signal_guess.get(r.src_ste) {
+                    next_guess[dst].or_assign(&dest_mask);
+                }
+            }
+            std::mem::swap(&mut enabled_true, &mut next_true);
+            std::mem::swap(&mut enabled_guess, &mut next_guess);
+        }
+        stats.symbols = processed as u64;
+        stats.cycles = processed as u64; // no fill: rides the stitch pipeline
+        let snapshot = (!converged).then(|| Snapshot {
+            symbol_counter: base_counter + input.len() as u64,
+            active_vectors: enabled_true.clone(),
+            output_buffer_fill: 0,
+        });
+        ExecReport { events, stats, entries: Vec::new(), snapshot }
     }
 
     /// Entry-state guess for resuming mid-stream with no history: every
@@ -559,7 +766,9 @@ mod tests {
         // never becomes active on this input.
         assert_eq!(report.stats.per_partition_active[0], 4);
         assert_eq!(report.stats.per_partition_active[1], 0);
-        assert_eq!(report.stats.avg_active_partitions(), 1.0);
+        assert_eq!(report.stats.avg_active_partitions_per_symbol(), 1.0);
+        // per-cycle divides by symbols + pipeline fill
+        assert_eq!(report.stats.avg_active_partitions_per_cycle(), 4.0 / 6.0);
     }
 
     #[test]
@@ -598,7 +807,8 @@ mod tests {
         let report = fabric.run(b"");
         assert!(report.events.is_empty());
         assert_eq!(report.stats.cycles, 0);
-        assert_eq!(report.stats.avg_active_states(), 0.0);
+        assert_eq!(report.stats.avg_active_states_per_symbol(), 0.0);
+        assert_eq!(report.stats.avg_active_states_per_cycle(), 0.0);
     }
 
     #[test]
@@ -749,15 +959,15 @@ mod tests {
     }
 
     #[test]
-    fn absorb_sums_counters() {
+    fn absorb_activity_sums_counters_but_not_cycles() {
         let bs = single_partition();
         let a = Fabric::new(&bs).unwrap().run(b"abab");
         let b = Fabric::new(&bs).unwrap().run(b"xxab");
         let mut merged = a.stats.clone();
-        merged.absorb(&b.stats);
+        merged.absorb_activity(&b.stats);
         assert_eq!(merged.symbols, 8);
         assert_eq!(merged.reports, 3);
-        assert_eq!(merged.cycles, a.stats.cycles + b.stats.cycles);
+        assert_eq!(merged.cycles, a.stats.cycles, "cycles are the caller's scheduling decision");
         assert_eq!(merged.per_partition_active[0], 8);
     }
 
@@ -813,8 +1023,100 @@ mod tests {
     fn avg_active_states_counts_matches() {
         let mut fabric = Fabric::new(&single_partition()).unwrap();
         let report = fabric.run(b"aaaa");
-        // 'a' matches every cycle (col 0); 'b' never.
+        // 'a' matches every symbol (col 0); 'b' never.
         assert_eq!(report.stats.matched_total, 4);
-        assert_eq!(report.stats.avg_active_states(), 1.0);
+        assert_eq!(report.stats.avg_active_states_per_symbol(), 1.0);
+        assert_eq!(report.stats.avg_active_states_per_cycle(), 4.0 / 6.0);
+    }
+
+    /// Serial truth for resuming `tail` from `true_exit`, against which the
+    /// correction tests compare.
+    fn resumed_truth(bs: &Bitstream, tail: &[u8], true_exit: &Snapshot) -> ExecReport {
+        Fabric::new(bs)
+            .unwrap()
+            .run_with(tail, &RunOptions { resume: Some(true_exit.clone()), ..Default::default() })
+    }
+
+    #[test]
+    fn correction_reports_exact_deltas() {
+        // guess stats + correction stats must equal the serial resumed
+        // stats field by field (reports, matches, activity, signals) —
+        // the dual evolution subtracts the overlap the old suppressed
+        // rerun double-counted.
+        let bs = routed_pair();
+        let head = b"za"; // arms partition 1 via the G1 route
+        let tail = b"babz";
+        let mut serial = Fabric::new(&bs).unwrap();
+        let true_exit = serial.run(head).snapshot.unwrap();
+        let truth = resumed_truth(&bs, tail, &true_exit);
+
+        let mut guess_fabric = Fabric::new(&bs).unwrap();
+        let guess_entry = guess_fabric.midstream_snapshot(head.len() as u64);
+        let guess = guess_fabric
+            .run_with(tail, &RunOptions { resume: Some(guess_entry), ..Default::default() });
+        let correction = Fabric::new(&bs).unwrap().run_correction(tail, &true_exit);
+
+        let mut union: Vec<MatchEvent> =
+            guess.events.iter().chain(correction.events.iter()).copied().collect();
+        union.sort();
+        assert_eq!(union, truth.events, "guess ∪ delta must equal truth with no duplicates");
+        assert_eq!(
+            guess.stats.matched_total + correction.stats.matched_total,
+            truth.stats.matched_total
+        );
+        assert_eq!(guess.stats.reports + correction.stats.reports, truth.stats.reports);
+        assert_eq!(
+            guess.stats.active_partition_cycles + correction.stats.active_partition_cycles,
+            truth.stats.active_partition_cycles
+        );
+        assert_eq!(guess.stats.g1_signals + correction.stats.g1_signals, truth.stats.g1_signals);
+        assert_eq!(guess.stats.g4_signals + correction.stats.g4_signals, truth.stats.g4_signals);
+        for p in 0..2 {
+            assert_eq!(
+                guess.stats.per_partition_active[p] + correction.stats.per_partition_active[p],
+                truth.stats.per_partition_active[p],
+                "partition {p}"
+            );
+        }
+        // the correction's exit image (when present) is the true exit
+        if let Some(snap) = correction.snapshot {
+            assert_eq!(snap.active_vectors, truth.snapshot.unwrap().active_vectors);
+            assert_eq!(snap.symbol_counter, (head.len() + tail.len()) as u64);
+        } else {
+            assert_eq!(
+                guess.snapshot.unwrap().active_vectors,
+                truth.snapshot.unwrap().active_vectors
+            );
+        }
+    }
+
+    #[test]
+    fn correction_converges_and_exits_early() {
+        // With the single-partition "ab" pattern, a carried 'a' state
+        // either reports on the next symbol or dies; the true and guess
+        // evolutions converge within two symbols and the correction must
+        // stop there instead of rescanning the long tail.
+        let bs = single_partition();
+        let mut serial = Fabric::new(&bs).unwrap();
+        let true_exit = serial.run(b"xa").snapshot.unwrap();
+        let mut tail = vec![b'x'; 10_000];
+        tail[0] = b'b'; // the carried 'a' completes a match the guess lacks
+        let correction = Fabric::new(&bs).unwrap().run_correction(&tail, &true_exit);
+        assert_eq!(correction.events.len(), 1);
+        assert_eq!(correction.events[0].pos, 2);
+        assert!(correction.stats.symbols < 8, "converged evolutions must end the rescan");
+        assert_eq!(correction.stats.cycles, correction.stats.symbols, "no pipeline-fill charge");
+        assert!(correction.snapshot.is_none(), "converged: guess exit image is already correct");
+    }
+
+    #[test]
+    fn correction_with_identical_entries_is_empty() {
+        let bs = single_partition();
+        let fabric = Fabric::new(&bs).unwrap();
+        let entry = fabric.midstream_snapshot(5);
+        let correction = fabric.run_correction(b"ababab", &entry);
+        assert!(correction.events.is_empty());
+        assert_eq!(correction.stats.symbols, 0);
+        assert!(correction.snapshot.is_none());
     }
 }

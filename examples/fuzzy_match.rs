@@ -59,7 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "scan: {} symbols, avg {:.1} active states/cycle, {:.3} nJ/symbol",
         report.exec.symbols,
-        report.exec.avg_active_states(),
+        report.exec.avg_active_states_per_symbol(),
         report.energy.per_symbol_nj
     );
     Ok(())

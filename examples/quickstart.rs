@@ -46,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     println!("architectural report:");
     println!("  cycles            : {}", report.exec.cycles);
-    println!("  avg active states : {:.2}", report.exec.avg_active_states());
+    println!("  avg active states : {:.2}", report.exec.avg_active_states_per_symbol());
     println!("  energy / symbol   : {:.3} nJ", report.energy.per_symbol_nj);
     println!("  average power     : {:.3} W", report.energy.avg_power_w);
     println!("  simulated wall    : {:.2} ns", report.simulated_seconds * 1e9);

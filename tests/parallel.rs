@@ -4,8 +4,10 @@
 //! (`run_parallel`) or across time (`Scanner::feed`) — must reproduce the
 //! serial `run` byte for byte.
 
+use ca_telemetry::MemoryRecorder;
 use ca_workloads::{Benchmark, Scale};
 use cache_automaton::{CacheAutomaton, Design, Optimize, Parallelism, ScanOptions};
+use std::sync::Arc;
 
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
@@ -24,7 +26,29 @@ fn check_design(design: Design, build_seed: u64, input_seed: u64) {
                 parallel.matches, serial.matches,
                 "{benchmark} diverged on {design} with {shards} shards"
             );
-            assert_eq!(parallel.exec.symbols, serial.exec.symbols, "{benchmark}");
+            // Differential stats invariants: the enumerative-correct stitch
+            // reconstructs the serial run's activity exactly — every counter
+            // except `cycles` must be EQUAL, and `cycles` (guess makespan +
+            // correction reruns) can never exceed the serial scan.
+            let p = &parallel.exec;
+            let s = &serial.exec;
+            let ctx = format!("{benchmark} on {design} with {shards} shards");
+            assert_eq!(p.symbols, s.symbols, "{ctx}: symbols");
+            assert_eq!(p.reports, s.reports, "{ctx}: reports");
+            assert_eq!(p.matched_total, s.matched_total, "{ctx}: matched_total");
+            assert_eq!(
+                p.active_partition_cycles, s.active_partition_cycles,
+                "{ctx}: active_partition_cycles"
+            );
+            assert_eq!(p.g1_signals, s.g1_signals, "{ctx}: g1_signals");
+            assert_eq!(p.g4_signals, s.g4_signals, "{ctx}: g4_signals");
+            assert_eq!(p.output_interrupts, s.output_interrupts, "{ctx}: output_interrupts");
+            assert!(
+                p.cycles <= s.cycles,
+                "{ctx}: parallel cycles {} exceed serial {}",
+                p.cycles,
+                s.cycles
+            );
         }
     }
 }
@@ -90,6 +114,67 @@ fn scan_options_resolve_auto_and_explicit_paths() {
     options.min_stripe_bytes = 1024;
     let sharded = program.run_with_options(&input, &options).unwrap();
     assert_eq!(sharded.matches, serial.matches);
+}
+
+#[test]
+fn telemetry_counters_reconcile_with_exec_stats() {
+    let recorder = Arc::new(MemoryRecorder::new());
+    let telemetry = cache_automaton::Telemetry::from_arc(recorder.clone());
+    let ca = CacheAutomaton::builder().telemetry_handle(telemetry).build();
+    let w = Benchmark::Snort.build(Scale::tiny(), 11);
+    let input = w.input(8 * 1024, 7);
+    let program = ca.compile_nfa(&w.nfa).unwrap();
+
+    // Compilation already left its footprint: one compilation counter and
+    // at least one timed sample per mandatory pass.
+    assert_eq!(recorder.counter("compile.compilations"), 1);
+    for pass in ["plan", "place", "emit", "validate"] {
+        assert!(
+            !recorder.spans(&format!("compile.pass.{pass}")).is_empty(),
+            "missing span for pass {pass}"
+        );
+    }
+
+    // A serial scan's counters must equal its ExecStats field for field.
+    let serial = program.run(&input);
+    let s = &serial.exec;
+    assert_eq!(recorder.counter("fabric.symbols"), s.symbols);
+    assert_eq!(recorder.counter("fabric.cycles"), s.cycles);
+    assert_eq!(recorder.counter("fabric.active_partition_cycles"), s.active_partition_cycles);
+    assert_eq!(recorder.counter("fabric.matched_total"), s.matched_total);
+    assert_eq!(recorder.counter("fabric.g1_signals"), s.g1_signals);
+    assert_eq!(recorder.counter("fabric.g4_signals"), s.g4_signals);
+    assert_eq!(recorder.counter("fabric.reports"), s.reports);
+    assert_eq!(recorder.counter("fabric.output_interrupts"), s.output_interrupts);
+    assert_eq!(recorder.counter("fabric.fifo_refills"), s.fifo_refills);
+
+    // A parallel scan accumulates by exactly its own reconciled stats —
+    // guess runs and correction reruns never leak into the counters.
+    let parallel = program.run_parallel(&input, Parallelism::Threads(4)).unwrap();
+    let p = &parallel.exec;
+    assert_eq!(recorder.counter("fabric.symbols"), s.symbols + p.symbols);
+    assert_eq!(recorder.counter("fabric.cycles"), s.cycles + p.cycles);
+    assert_eq!(recorder.counter("fabric.matched_total"), s.matched_total + p.matched_total);
+    assert_eq!(recorder.counter("fabric.reports"), s.reports + p.reports);
+    assert_eq!(recorder.counter("scan.stripes"), 4);
+    assert_eq!(recorder.spans("scan.stripe.guess").len(), 4, "one guess span per stripe");
+}
+
+#[test]
+fn telemetry_cache_counters_mirror_cache_stats() {
+    let recorder = Arc::new(MemoryRecorder::new());
+    let telemetry = cache_automaton::Telemetry::from_arc(recorder.clone());
+    let ca = CacheAutomaton::builder().telemetry_handle(telemetry).build();
+    let w = Benchmark::Spm.build(Scale::tiny(), 3);
+    let _first = ca.compile_nfa(&w.nfa).unwrap(); // miss + insertion
+    let _second = ca.compile_nfa(&w.nfa).unwrap(); // hit
+    let stats = ca.cache_stats();
+    assert!(stats.hits >= 1 && stats.misses >= 1, "test must exercise both paths");
+    assert_eq!(recorder.counter("cache.hits"), stats.hits);
+    assert_eq!(recorder.counter("cache.misses"), stats.misses);
+    assert_eq!(recorder.counter("cache.insertions"), stats.insertions);
+    assert_eq!(recorder.counter("cache.evictions"), stats.evictions);
+    assert_eq!(recorder.counter("cache.rejected"), stats.rejected);
 }
 
 #[test]
