@@ -36,7 +36,9 @@ fn bench_fabric_features(c: &mut Criterion) {
             let mut resume = None;
             let mut events = 0usize;
             for chunk in input.chunks(4096) {
-                let r = fabric.run_with(chunk, &RunOptions { resume, ..Default::default() });
+                let r = fabric
+                    .run_with(chunk, &RunOptions { resume, ..Default::default() })
+                    .expect("own snapshot");
                 events += r.events.len();
                 resume = r.snapshot;
             }

@@ -1,0 +1,54 @@
+//! Scan-kernel micro-benchmarks: the sparse active-set worklist loop
+//! against the dense reference loop, on rulesets across the activity
+//! spectrum.
+//!
+//! Low-activity rulesets are where the worklist pays off: ClamAV-style
+//! binary signatures leave almost every partition idle on almost every
+//! symbol, so the worklist's per-cycle cost decouples from fabric size
+//! while the dense loop keeps scanning all of it. Bro217 sits in the
+//! middle (small fabric, literal patterns), and dotstar-heavy Snort plus
+//! fragment-dense SPM keep most partitions lit — there the adaptive loop
+//! falls back to its sequential sweep and is expected to track the dense
+//! loop closely, bounding the overhead when sparsity is absent.
+
+use ca_compiler::{compile, CompilerOptions};
+use ca_sim::{DesignKind, Fabric, RunOptions};
+use ca_workloads::{Benchmark, Scale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_scan_kernel(c: &mut Criterion) {
+    let cases = [
+        ("clamav", Benchmark::ClamAv, Scale(1.0)),
+        ("bro217", Benchmark::Bro217, Scale(0.5)),
+        ("spm", Benchmark::Spm, Scale(0.1)),
+        ("snort", Benchmark::Snort, Scale(0.05)),
+    ];
+    let input_len = 256 * 1024;
+
+    let mut group = c.benchmark_group("scan_kernel");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(input_len as u64));
+
+    for (name, benchmark, scale) in cases {
+        let workload = benchmark.build(scale, 7);
+        let input = workload.input(input_len, 3);
+        let compiled =
+            compile(&workload.nfa, &CompilerOptions::for_design(DesignKind::Performance))
+                .expect("fits");
+
+        group.bench_function(BenchmarkId::new("worklist", name), |b| {
+            let mut fabric = Fabric::new(&compiled.bitstream).expect("valid");
+            b.iter(|| fabric.run(&input).events.len())
+        });
+        group.bench_function(BenchmarkId::new("dense", name), |b| {
+            let mut fabric = Fabric::new(&compiled.bitstream).expect("valid");
+            b.iter(|| {
+                fabric.run_dense(&input, &RunOptions::default()).expect("fresh run").events.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan_kernel);
+criterion_main!(benches);

@@ -450,8 +450,23 @@ impl Program {
 
     /// Reopens a streaming scan session from a suspend image previously
     /// taken with [`Scanner::snapshot`].
-    pub fn resume_scanner(&self, snapshot: Snapshot) -> Scanner<'_> {
-        Scanner::new(self, Some(snapshot))
+    ///
+    /// # Errors
+    ///
+    /// [`CaError::Config`] if the snapshot was taken from a program with a
+    /// different partition count — resuming it here would scramble the
+    /// active-state vectors.
+    pub fn resume_scanner(&self, snapshot: Snapshot) -> Result<Scanner<'_>, CaError> {
+        let partitions = self.compiled.bitstream.partitions.len();
+        if snapshot.active_vectors.len() != partitions {
+            return Err(CaError::Config(format!(
+                "resume snapshot carries {} active vectors but this program drives {} \
+                 partitions (was it taken from another program?)",
+                snapshot.active_vectors.len(),
+                partitions
+            )));
+        }
+        Ok(Scanner::new(self, Some(snapshot)))
     }
 
     /// Routes this program's scan events (fabric activity snapshots,

@@ -59,7 +59,11 @@ impl<'p> Scanner<'p> {
     /// chunk and report in a later one.
     pub fn feed(&mut self, chunk: &[u8]) -> &[MatchEvent] {
         let options = RunOptions { resume: self.resume.take(), ..Default::default() };
-        let report = self.fabric.run_with(chunk, &options);
+        // A scanner only ever resumes snapshots its own fabric produced
+        // (foreign snapshots are rejected by `Program::resume_scanner`), so
+        // the vector count always matches.
+        let report =
+            self.fabric.run_with(chunk, &options).expect("scanner snapshots match their fabric");
         self.resume = report.snapshot;
         let first_new = self.events.len();
         self.events.extend(report.events);
@@ -154,11 +158,25 @@ mod tests {
         let image = first.snapshot().expect("fed scanner has an image").clone();
         let early_matches = first.matches().to_vec();
 
-        let mut second = program.resume_scanner(image);
+        let mut second = program.resume_scanner(image).expect("snapshot from same program");
         second.feed(&input[4..]);
         let mut all = early_matches;
         all.extend(second.finish().matches);
         assert_eq!(all, whole.matches);
+    }
+
+    #[test]
+    fn foreign_snapshot_is_rejected_at_resume() {
+        let program = program();
+        let partitions = program.compiled().bitstream.partitions.len();
+        let foreign = ca_sim::Snapshot {
+            symbol_counter: 9,
+            active_vectors: vec![ca_sim::Mask256::ZERO; partitions + 1],
+            output_buffer_fill: 0,
+        };
+        let err = program.resume_scanner(foreign).map(|_| ()).unwrap_err();
+        assert!(matches!(err, crate::CaError::Config(_)), "{err}");
+        assert!(err.to_string().contains("another program"), "{err}");
     }
 
     #[test]

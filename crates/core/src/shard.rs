@@ -183,7 +183,13 @@ impl Program {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().map_err(|e| join_panic_to_internal("stripe scan", e)))
+                .map(|h| {
+                    h.join().map_err(|e| join_panic_to_internal("stripe scan", e)).and_then(|res| {
+                        res.map_err(|e| {
+                            CaError::Internal(format!("stripe scan rejected its resume image: {e}"))
+                        })
+                    })
+                })
                 .collect::<Result<Vec<_>, CaError>>()
         })?;
 
@@ -212,14 +218,18 @@ impl Program {
                 continue;
             }
             let span = SpanGuard::start(&telemetry, "scan.stripe.correction", i as u64);
-            let correction = template.run_correction(
-                &input[start..end],
-                &Snapshot {
-                    symbol_counter: start as u64,
-                    active_vectors: true_exit.clone(),
-                    output_buffer_fill: 0,
-                },
-            );
+            let correction = template
+                .run_correction(
+                    &input[start..end],
+                    &Snapshot {
+                        symbol_counter: start as u64,
+                        active_vectors: true_exit.clone(),
+                        output_buffer_fill: 0,
+                    },
+                )
+                .map_err(|e| {
+                    CaError::Internal(format!("boundary correction rejected its entry image: {e}"))
+                })?;
             span.finish();
             telemetry.counter("scan.corrections", 1);
             telemetry.counter("scan.correction_symbols", correction.stats.symbols);

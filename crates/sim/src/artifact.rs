@@ -312,15 +312,17 @@ impl Bitstream {
 
     /// Decodes an artifact produced by [`Bitstream::encode`].
     ///
-    /// Structural validation only: the result is bit-faithful to what was
-    /// encoded, and architectural constraints are re-checked by
-    /// [`Bitstream::validate`] / [`Fabric::new`](crate::fabric::Fabric::new)
-    /// as usual.
+    /// The result is bit-faithful to what was encoded, and the decoder
+    /// re-runs [`Bitstream::validate`] before returning, so a hand-edited
+    /// artifact that passes the checksum but violates an architectural
+    /// constraint (duplicate report columns, illegal routes, …) is
+    /// rejected here instead of panicking mid-scan.
     ///
     /// # Errors
     ///
     /// [`ArtifactError`] on bad magic, unsupported version, checksum
-    /// mismatch, or malformed payload.
+    /// mismatch, malformed payload, or a payload that fails
+    /// [`Bitstream::validate`].
     pub fn decode(bytes: &[u8]) -> Result<Bitstream, ArtifactError> {
         if bytes.get(..4) != Some(ARTIFACT_MAGIC.as_slice()) {
             return Err(ArtifactError::BadMagic);
@@ -348,7 +350,9 @@ impl Bitstream {
         if computed != stored {
             return Err(ArtifactError::ChecksumMismatch { stored, computed });
         }
-        decode_payload(design, payload)
+        let bs = decode_payload(design, payload)?;
+        bs.validate().map_err(|e| ArtifactError::Malformed(e.to_string()))?;
+        Ok(bs)
     }
 }
 
@@ -454,6 +458,30 @@ mod tests {
         payload[at..at + 4].copy_from_slice(&((STES_PER_PARTITION as u32) + 1).to_le_bytes());
         let err = decode_payload(bs.design, &payload).unwrap_err();
         assert!(matches!(err, ArtifactError::Malformed(_)), "{err}");
+    }
+
+    #[test]
+    fn architecturally_invalid_artifact_rejected_at_decode() {
+        // A hand-edited artifact with a valid checksum but a duplicate
+        // report column must fail at load time, not mid-scan.
+        let mut bs = sample();
+        bs.partitions[0].reports.push((1, ReportCode(9)));
+        let payload = encode_payload(&bs);
+        let mut bytes = Vec::with_capacity(24 + payload.len());
+        bytes.extend_from_slice(ARTIFACT_MAGIC);
+        bytes.extend_from_slice(&ARTIFACT_VERSION.to_le_bytes());
+        bytes.push(1); // Space
+        bytes.push(0);
+        bytes.extend_from_slice(&fnv1a_64(&payload).to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        let err = Bitstream::decode(&bytes).unwrap_err();
+        match err {
+            ArtifactError::Malformed(msg) => {
+                assert!(msg.contains("duplicate report column"), "{msg}");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
     }
 
     #[test]

@@ -140,9 +140,10 @@ impl Bitstream {
     /// # Errors
     ///
     /// Returns the first violation: over-full partitions, out-of-range
-    /// columns/ports, duplicate locations, route endpoints that the switch
-    /// topology cannot connect, or port-count overflows (16 G1 / 8 G4
-    /// exports per partition, matching import capacity).
+    /// columns/ports, duplicate locations, duplicate report columns, route
+    /// endpoints that the switch topology cannot connect, or port-count
+    /// overflows (16 G1 / 8 G4 exports per partition, matching import
+    /// capacity).
     pub fn validate(&self) -> Result<(), BitstreamError> {
         let err = |s: String| Err(BitstreamError(s));
         self.geometry.validate().map_err(BitstreamError)?;
@@ -164,10 +165,15 @@ impl Bitstream {
             if !locations.insert(p.location) {
                 return err(format!("duplicate partition location {}", p.location));
             }
+            let mut report_cols = Mask256::ZERO;
             for (col, _) in &p.reports {
                 if *col as usize >= p.labels.len() {
                     return err(format!("partition {i}: report column {col} unoccupied"));
                 }
+                if report_cols.get(*col) {
+                    return err(format!("partition {i}: duplicate report column {col}"));
+                }
+                report_cols.set(*col);
             }
             for row in p.local.iter().chain(p.import_dest.iter()) {
                 if let Some(bad) = row.iter().find(|&b| b as usize >= p.labels.len()) {
@@ -357,6 +363,16 @@ mod tests {
         let mut bs = tiny();
         bs.partitions[1].reports.push((7, ReportCode(1)));
         assert!(bs.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_report_column() {
+        // Two codes on the same column would make the fabric's dense
+        // report table ambiguous; reject at load time instead.
+        let mut bs = tiny();
+        bs.partitions[1].reports.push((0, ReportCode(1)));
+        let e = bs.validate().unwrap_err();
+        assert!(e.to_string().contains("duplicate report column 0"), "{e}");
     }
 
     #[test]

@@ -10,6 +10,14 @@
 //! it overlaps the match of symbol *i+1* with the switch traversal of
 //! symbol *i* — so the simulator executes symbols in order and accounts the
 //! pipeline in the cycle count: `cycles = symbols + fill`.
+//!
+//! The hot loop is *activity-proportional*, mirroring the sparsity the
+//! hardware exploits (§5.3: idle arrays are clock/precharge-gated): an
+//! exact worklist of partitions with a non-zero active vector is carried
+//! across the `enabled`/`next` swap, so each symbol costs
+//! O(active partitions + matched routes) instead of O(partitions + routes).
+//! [`Fabric::run_dense`] keeps the original O(P+R) loop as the reference
+//! implementation for differential tests and benchmarks.
 
 use crate::bitstream::{Bitstream, BitstreamError, Route, RouteVia};
 use crate::mask::Mask256;
@@ -226,6 +234,50 @@ impl Snapshot {
     }
 }
 
+/// A run rejected its inputs before touching any fabric state.
+///
+/// These conditions are reachable from the public API with well-formed
+/// programs — e.g. resuming a [`Snapshot`] taken from a *different*
+/// program — so they surface as typed errors rather than panics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RunError {
+    /// The resume snapshot's vector count does not match this fabric's
+    /// partition count (a suspend image resumed against another program).
+    SnapshotMismatch {
+        /// Active vectors the snapshot carries.
+        snapshot_vectors: usize,
+        /// Partitions this fabric drives.
+        fabric_partitions: usize,
+    },
+    /// A correction's true entry state does not contain the always-armed
+    /// start vectors, so it cannot be the exit image of a non-suppressed
+    /// run of this fabric.
+    EntryMissingStarts {
+        /// First partition whose entry vector lacks a `start_all` bit.
+        partition: usize,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::SnapshotMismatch { snapshot_vectors, fabric_partitions } => write!(
+                f,
+                "resume snapshot carries {snapshot_vectors} active vectors but this fabric \
+                 drives {fabric_partitions} partitions (was it taken from another program?)"
+            ),
+            RunError::EntryMissingStarts { partition } => write!(
+                f,
+                "correction entry state lacks the always-armed start vector of partition \
+                 {partition}: not an exit image of this fabric"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
 /// Compiled execution state for one bitstream.
 ///
 /// # Examples
@@ -254,12 +306,49 @@ pub struct Fabric {
     start_all: Vec<Mask256>,
     start_sod: Vec<Mask256>,
     report_mask: Vec<Mask256>,
-    report_code: Vec<Vec<Option<ReportCode>>>,
+    /// Dense per-column report table: `report_code[p][col]` holds the code
+    /// plus its index into the fabric-wide code set (the per-symbol dedup
+    /// scratch). Only columns set in `report_mask[p]` are meaningful;
+    /// [`Bitstream::validate`] guarantees mask and table stay consistent,
+    /// which is what lets the hot loop index without a reachable panic.
+    report_code: Vec<Vec<(ReportCode, u32)>>,
     routes: Vec<Route>,
+    /// Route indices grouped by source partition: phase 3 visits only the
+    /// routes of partitions that matched this cycle.
+    routes_by_src: Vec<Vec<u32>>,
+    /// Partitions with a non-zero `start_all` vector, ascending — the only
+    /// partitions the per-cycle re-arm can wake.
+    armed: Vec<u32>,
+    /// `start_candidates[b]`: partitions whose always-armed start states
+    /// can match symbol `b` (`start_all[p] & rows[p][b] != 0`), ascending.
+    /// An idle armed partition (enabled == start_all) can only produce
+    /// work on a symbol listed here, which is what lets the hot loop skip
+    /// it entirely on every other symbol.
+    start_candidates: Vec<Vec<u32>>,
     telemetry: Telemetry,
-    // scratch
+    // Scratch. Invariants between runs: `next` all-zero, `on_next` all
+    // false, every `code_epoch` stamp strictly below `epoch + 1`.
     enabled: Vec<Mask256>,
     next: Vec<Mask256>,
+    active: Vec<u32>,
+    touched: Vec<u32>,
+    visit: Vec<u32>,
+    on_next: Vec<bool>,
+    code_epoch: Vec<u64>,
+    epoch: u64,
+}
+
+/// Per-run mutable state threaded through [`Fabric::scan_partition`], so
+/// the sparse and sweep walks share one body without a ten-argument
+/// signature.
+struct ScanCtx<'a> {
+    options: &'a RunOptions,
+    stats: &'a mut ExecStats,
+    events: &'a mut Vec<MatchEvent>,
+    entries: &'a mut Vec<OutputEntry>,
+    touched: &'a mut Vec<u32>,
+    output_buffer_fill: &'a mut usize,
+    penalty_cycles: &'a mut u64,
 }
 
 impl Fabric {
@@ -271,6 +360,15 @@ impl Fabric {
     pub fn new(bitstream: &Bitstream) -> Result<Fabric, BitstreamError> {
         bitstream.validate()?;
         let n = bitstream.partitions.len();
+        // Fabric-wide report-code set: the per-symbol dedup is an
+        // epoch-stamped slot per distinct code instead of a linear scan.
+        let mut code_set: Vec<ReportCode> = bitstream
+            .partitions
+            .iter()
+            .flat_map(|p| p.reports.iter().map(|&(_, code)| code))
+            .collect();
+        code_set.sort_unstable();
+        code_set.dedup();
         let mut rows = Vec::with_capacity(n);
         let mut local = Vec::with_capacity(n);
         let mut import_dest = Vec::with_capacity(n);
@@ -285,13 +383,29 @@ impl Fabric {
             start_all.push(p.start_all);
             start_sod.push(p.start_sod);
             let mut mask = Mask256::ZERO;
-            let mut codes = vec![None; p.labels.len()];
+            let mut codes = vec![(ReportCode(0), 0u32); p.labels.len()];
             for &(col, code) in &p.reports {
                 mask.set(col);
-                codes[col as usize] = Some(code);
+                let idx = code_set.binary_search(&code).expect("code set covers every report");
+                codes[col as usize] = (code, idx as u32);
             }
             report_mask.push(mask);
             report_code.push(codes);
+        }
+        let mut routes_by_src: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (i, r) in bitstream.routes.iter().enumerate() {
+            routes_by_src[r.src_partition as usize].push(i as u32);
+        }
+        let armed =
+            (0..n).filter(|&p| !start_all[p].is_zero()).map(|p| p as u32).collect::<Vec<u32>>();
+        let mut start_candidates: Vec<Vec<u32>> = vec![Vec::new(); 256];
+        for &p in &armed {
+            let pu = p as usize;
+            for (b, candidates) in start_candidates.iter_mut().enumerate() {
+                if !start_all[pu].and(&rows[pu][b]).is_zero() {
+                    candidates.push(p);
+                }
+            }
         }
         Ok(Fabric {
             rows,
@@ -302,9 +416,18 @@ impl Fabric {
             report_mask,
             report_code,
             routes: bitstream.routes.clone(),
+            routes_by_src,
+            armed,
+            start_candidates,
             telemetry: Telemetry::disabled(),
             enabled: vec![Mask256::ZERO; n],
             next: vec![Mask256::ZERO; n],
+            active: Vec::with_capacity(n),
+            touched: Vec::with_capacity(n),
+            visit: Vec::with_capacity(n),
+            on_next: vec![false; n],
+            code_epoch: vec![0; code_set.len()],
+            epoch: 0,
         })
     }
 
@@ -322,7 +445,12 @@ impl Fabric {
 
     /// Runs the fabric over `input`, returning matches and statistics.
     pub fn run(&mut self, input: &[u8]) -> ExecReport {
-        self.run_with(input, &RunOptions::default())
+        match self.run_with(input, &RunOptions::default()) {
+            Ok(report) => report,
+            // Fresh options carry no resume image — the only rejectable
+            // input — so this arm is statically unreachable.
+            Err(e) => unreachable!("fresh run rejected: {e}"),
+        }
     }
 
     /// Runs the fabric while writing a per-cycle text trace to `sink`:
@@ -332,7 +460,8 @@ impl Fabric {
     ///
     /// # Errors
     ///
-    /// Propagates write failures from `sink`.
+    /// Propagates write failures from `sink`; a rejected resume snapshot
+    /// ([`RunError`]) surfaces as [`std::io::ErrorKind::InvalidInput`].
     pub fn run_traced<W: std::io::Write>(
         &mut self,
         input: &[u8],
@@ -351,7 +480,9 @@ impl Fabric {
                 drain_penalty_cycles: options.drain_penalty_cycles,
                 suppress_starts: options.suppress_starts,
             };
-            let step = self.run_with(std::slice::from_ref(&symbol), &step_opts);
+            let step = self
+                .run_with(std::slice::from_ref(&symbol), &step_opts)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
             let printable = if symbol.is_ascii_graphic() { symbol as char } else { '.' };
             write!(sink, "cycle {:>6} sym 0x{symbol:02x} '{printable}' |", base + i as u64)?;
             for (p, &n) in step.stats.per_partition_active.iter().enumerate() {
@@ -388,14 +519,117 @@ impl Fabric {
         Ok(combined)
     }
 
+    /// One partition's phases 1–3 for one cycle: state-match, report
+    /// extraction, local switch, then the global routes sourced at this
+    /// partition — reusing the match vector the dense loop recomputed
+    /// once per route. Shared verbatim by the sparse visit walk and the
+    /// sequential sweep so both modes are trivially identical.
+    /// `RECORD_TOUCH` compiles the touch-list bookkeeping in or out: the
+    /// sparse walk needs `touched`/`on_next` to rebuild the hot list, the
+    /// sequential sweep rebuilds it from a full materialize pass instead
+    /// and skips the flags entirely.
+    #[inline(always)]
+    fn scan_partition<const RECORD_TOUCH: bool>(
+        &mut self,
+        ctx: &mut ScanCtx<'_>,
+        p: usize,
+        symbol: u8,
+        pos: u64,
+        epoch: u64,
+    ) {
+        let matched = self.enabled[p].and(&self.rows[p][symbol as usize]);
+        if matched.is_zero() {
+            return;
+        }
+        ctx.stats.matched_total += matched.count() as u64;
+        // reports
+        let reporting = matched.and(&self.report_mask[p]);
+        for col in reporting.iter() {
+            let (code, code_idx) = self.report_code[p][col as usize];
+            if ctx.options.collect_entries {
+                ctx.entries.push(OutputEntry {
+                    partition: p as u32,
+                    column: col,
+                    symbol,
+                    symbol_counter: pos,
+                    code,
+                });
+            }
+            if self.code_epoch[code_idx as usize] != epoch {
+                self.code_epoch[code_idx as usize] = epoch;
+                ctx.events.push(MatchEvent::new(pos, code));
+                ctx.stats.reports += 1;
+                *ctx.output_buffer_fill += 1;
+                if *ctx.output_buffer_fill >= OUTPUT_BUFFER_ENTRIES {
+                    ctx.stats.output_interrupts += 1;
+                    *ctx.penalty_cycles += ctx.options.drain_penalty_cycles;
+                    *ctx.output_buffer_fill = 0;
+                }
+            }
+        }
+        // local switch (zero rows neither change `next` nor may mark the
+        // partition touched — the touch list stays exact)
+        for s in matched.iter() {
+            let row = &self.local[p][s as usize];
+            if !row.is_zero() {
+                self.next[p].or_assign(row);
+                if RECORD_TOUCH && !self.on_next[p] {
+                    self.on_next[p] = true;
+                    ctx.touched.push(p as u32);
+                }
+            }
+        }
+        // global-switch routes sourced at this partition
+        for &ri in &self.routes_by_src[p] {
+            let r = &self.routes[ri as usize];
+            if !matched.get(r.src_ste) {
+                continue;
+            }
+            match r.via {
+                RouteVia::G1 => ctx.stats.g1_signals += 1,
+                RouteVia::G4 => ctx.stats.g4_signals += 1,
+            }
+            let dst = r.dst_partition as usize;
+            let dest_mask = self.import_dest[dst][r.dst_port as usize];
+            if !dest_mask.is_zero() {
+                self.next[dst].or_assign(&dest_mask);
+                if RECORD_TOUCH && !self.on_next[dst] {
+                    self.on_next[dst] = true;
+                    ctx.touched.push(r.dst_partition);
+                }
+            }
+        }
+    }
+
     /// Runs the fabric with explicit [`RunOptions`] (resume, output-entry
     /// collection, output-buffer backpressure).
     ///
-    /// # Panics
+    /// Per symbol this loop costs O(hot partitions + start-matching
+    /// partitions + matched routes). Arming is *implicit*: an idle armed
+    /// partition holds exactly its baseline vector (`start_all`, or zero
+    /// when starts are suppressed) and is never visited or reset — the
+    /// hot list tracks only partitions whose vector *differs* from that
+    /// baseline, and each cycle visits the hot list merged with the
+    /// precomputed `start_candidates[symbol]` (the only idle partitions
+    /// whose start states can match this symbol). `next[p]` is reset only
+    /// for partitions touched this cycle, global routes are indexed by
+    /// source partition so phase 3 reuses the match vector phase 1
+    /// already computed, and the dense loop's per-partition activity
+    /// counters are recovered analytically (armed partitions are active
+    /// every cycle once the stream is underway). When a cycle's visit
+    /// list would cover a third or more of the fabric the loop switches
+    /// (with hysteresis) to a dense-style sequential sweep of all
+    /// partitions, so high-activity inputs keep the dense loop's
+    /// streaming memory behaviour instead of paying for sparsity that
+    /// isn't there. Behaviour is bit-identical to the dense reference
+    /// loop ([`Fabric::run_dense`]) in every mode, including every
+    /// [`ExecStats`] counter.
     ///
-    /// Panics if a resume snapshot's vector count does not match this
-    /// fabric's partition count.
-    pub fn run_with(&mut self, input: &[u8], options: &RunOptions) -> ExecReport {
+    /// # Errors
+    ///
+    /// [`RunError::SnapshotMismatch`] if a resume snapshot's vector count
+    /// does not match this fabric's partition count.
+    pub fn run_with(&mut self, input: &[u8], options: &RunOptions) -> Result<ExecReport, RunError> {
         let n = self.partition_count();
         let mut stats = ExecStats { per_partition_active: vec![0; n], ..Default::default() };
         let mut events = Vec::new();
@@ -408,7 +642,299 @@ impl Fabric {
         // start-of-data plus all-input vectors for a fresh stream.
         let base_counter = match &options.resume {
             Some(snapshot) => {
-                assert_eq!(snapshot.active_vectors.len(), n, "snapshot does not match this fabric");
+                if snapshot.active_vectors.len() != n {
+                    return Err(RunError::SnapshotMismatch {
+                        snapshot_vectors: snapshot.active_vectors.len(),
+                        fabric_partitions: n,
+                    });
+                }
+                self.enabled.copy_from_slice(&snapshot.active_vectors);
+                snapshot.symbol_counter
+            }
+            None => {
+                for p in 0..n {
+                    self.enabled[p] = if options.suppress_starts {
+                        Mask256::ZERO
+                    } else {
+                        self.start_sod[p].or(&self.start_all[p])
+                    };
+                }
+                0
+            }
+        };
+
+        // Build the entry hot list with the run's single O(n) scan: every
+        // partition whose vector differs from its baseline (`start_all`,
+        // or zero under suppression). From here on it stays exact — a
+        // partition off the list holds exactly its baseline, so only a
+        // start-candidate symbol can make it do anything. `entry_deficit`
+        // collects armed partitions resuming with an all-zero vector (a
+        // suppressed run's image resumed unsuppressed): they are hot but
+        // *inactive* on the entry cycle, which the analytic activity
+        // accounting below must discount.
+        let suppressed = options.suppress_starts;
+        let mut active = std::mem::take(&mut self.active);
+        let mut touched = std::mem::take(&mut self.touched);
+        let mut visit = std::mem::take(&mut self.visit);
+        active.clear();
+        touched.clear();
+        let mut entry_deficit: Vec<u32> = Vec::new();
+        for (p, vector) in self.enabled.iter().enumerate() {
+            let baseline = if suppressed { &Mask256::ZERO } else { &self.start_all[p] };
+            if vector != baseline {
+                active.push(p as u32);
+                if vector.is_zero() {
+                    entry_deficit.push(p as u32);
+                }
+            }
+        }
+        let armed_count = if suppressed { 0 } else { self.armed.len() as u64 };
+        let has_unarmed = self.armed.len() < n;
+        // True while `next` holds a sweep cycle's superseded vectors
+        // instead of all-zero scratch.
+        let mut next_dirty = false;
+
+        let mut processed = input.len();
+        // Hoisted so the disabled path pays one predictable branch per
+        // symbol and never reaches the snapshot arithmetic.
+        let telemetry_on = self.telemetry.is_enabled();
+        for (rel_pos, &symbol) in input.iter().enumerate() {
+            // A suppressed run only decays: once every vector is zero the
+            // remaining symbols cannot match or re-arm anything.
+            if suppressed && active.is_empty() {
+                processed = rel_pos;
+                break;
+            }
+            // Activity accounting, analytically. A partition is active
+            // (non-zero vector) this cycle iff it is armed — baseline
+            // `start_all` — or an unarmed hot member (guaranteed non-zero
+            // once hot). The one exception is the entry cycle, where an
+            // armed partition can resume with an all-zero vector. With
+            // every partition armed (typical for literal rulesets) the
+            // unarmed-hot walk has nothing to count and is skipped.
+            let mut hot_unarmed = 0u64;
+            if suppressed {
+                hot_unarmed = active.len() as u64;
+                for &pu in &active {
+                    stats.per_partition_active[pu as usize] += 1;
+                }
+            } else if has_unarmed {
+                for &pu in &active {
+                    let p = pu as usize;
+                    if self.start_all[p].is_zero() {
+                        hot_unarmed += 1;
+                        stats.per_partition_active[p] += 1;
+                    }
+                }
+            }
+            let deficit = if rel_pos == 0 { entry_deficit.len() as u64 } else { 0 };
+            let cycle_active = armed_count + hot_unarmed - deficit;
+            stats.active_partition_cycles += cycle_active;
+            let pos = base_counter + rel_pos as u64;
+            if telemetry_on && pos.is_multiple_of(TELEMETRY_SNAPSHOT_INTERVAL) {
+                self.telemetry.gauge("fabric.active_partitions", pos, cycle_active as f64);
+                self.telemetry.gauge("fabric.g1_signals", pos, stats.g1_signals as f64);
+                self.telemetry.gauge("fabric.g4_signals", pos, stats.g4_signals as f64);
+                // Cumulative from the stream origin (`pos`, not `rel_pos`):
+                // a chunked session's refill gauge keeps climbing across
+                // feed() boundaries instead of re-zeroing under a monotone
+                // x-axis.
+                self.telemetry.gauge(
+                    "fabric.fifo_refills",
+                    pos,
+                    (pos / FIFO_REFILL_BYTES as u64) as f64,
+                );
+                self.telemetry.gauge("fabric.output_buffer_fill", pos, output_buffer_fill as f64);
+            }
+            self.epoch += 1;
+            let epoch = self.epoch;
+            // The cycle's visit list: the hot partitions merged (sorted,
+            // deduplicated) with the idle-armed partitions whose start
+            // states can match this symbol. Any partition outside the
+            // merge holds exactly its baseline and its baseline cannot
+            // match `symbol`, so it produces no matches, no reports and
+            // no transitions — skipping it is exact. When the merge would
+            // cover a third or more of the fabric, sweep every partition
+            // in order instead: the sequential pass costs less per
+            // partition than the merge's random access, and visiting a
+            // partition that holds a non-matching baseline is a no-op, so
+            // the sweep is just as exact. Either way partitions are
+            // visited ascending — the dense loop's iteration order, so
+            // events and entries come out identically.
+            let candidates: &[u32] =
+                if suppressed { &[] } else { &self.start_candidates[symbol as usize] };
+            // Hysteresis: entering sweep mode is cheap, leaving it
+            // costs an O(n) re-zero of `next` — so only drop back to the
+            // sparse walk once coverage falls to half the entry bar.
+            let coverage = (active.len() + candidates.len()) * 3;
+            let sweep = if next_dirty { coverage * 2 >= n } else { coverage >= n };
+            if sweep {
+                // Dense-style phase 0: prefill `next` with every
+                // partition's baseline (one streaming copy), let the
+                // body OR transitions on top, and swap buffers at the
+                // end of the cycle. `next` is left holding the
+                // superseded vectors — the dirty flag below makes the
+                // next sparse cycle (or the run exit) restore the
+                // all-zero scratch invariant.
+                if suppressed {
+                    if next_dirty {
+                        for m in &mut self.next {
+                            *m = Mask256::ZERO;
+                        }
+                    }
+                } else {
+                    self.next.copy_from_slice(&self.start_all);
+                }
+                next_dirty = true;
+            } else if next_dirty {
+                for m in &mut self.next {
+                    *m = Mask256::ZERO;
+                }
+                next_dirty = false;
+            }
+            let mut ctx = ScanCtx {
+                options,
+                stats: &mut stats,
+                events: &mut events,
+                entries: &mut entries,
+                touched: &mut touched,
+                output_buffer_fill: &mut output_buffer_fill,
+                penalty_cycles: &mut penalty_cycles,
+            };
+            if sweep {
+                for p in 0..n {
+                    self.scan_partition::<false>(&mut ctx, p, symbol, pos, epoch);
+                }
+            } else {
+                visit.clear();
+                let (mut i, mut j) = (0, 0);
+                while i < active.len() && j < candidates.len() {
+                    let (a, c) = (active[i], candidates[j]);
+                    visit.push(a.min(c));
+                    i += usize::from(a <= c);
+                    j += usize::from(c <= a);
+                }
+                visit.extend_from_slice(&active[i..]);
+                visit.extend_from_slice(&candidates[j..]);
+                for &pu in &visit {
+                    self.scan_partition::<true>(&mut ctx, pu as usize, symbol, pos, epoch);
+                }
+            }
+            // End of cycle. Hot partitions that received no transition
+            // fall back to their baseline (idle again); touched partitions
+            // materialize `next | start_all` in place, hand `next` back to
+            // the all-zero scratch pool, and stay hot only if the result
+            // differs from their baseline. No full-array swap: `enabled`
+            // always holds complete absolute state, so snapshots stay
+            // exact.
+            if sweep {
+                // The baseline prefill means an untouched partition's
+                // `next` already IS its fallback state, so the swap
+                // materializes everything at once; one streaming compare
+                // pass rebuilds the hot list in ascending order.
+                std::mem::swap(&mut self.enabled, &mut self.next);
+                active.clear();
+                for p in 0..n {
+                    let baseline = if suppressed { &Mask256::ZERO } else { &self.start_all[p] };
+                    if self.enabled[p] != *baseline {
+                        active.push(p as u32);
+                    }
+                }
+            } else {
+                for &pu in &active {
+                    let p = pu as usize;
+                    if !self.on_next[p] {
+                        self.enabled[p] =
+                            if suppressed { Mask256::ZERO } else { self.start_all[p] };
+                    }
+                }
+                active.clear();
+                // The touch list, sorted, keeps the hot list ascending.
+                touched.sort_unstable();
+                for &pu in &touched {
+                    let p = pu as usize;
+                    self.on_next[p] = false;
+                    let baseline = if suppressed { Mask256::ZERO } else { self.start_all[p] };
+                    let full = self.next[p].or(&baseline);
+                    self.enabled[p] = full;
+                    self.next[p] = Mask256::ZERO;
+                    if full != baseline {
+                        active.push(pu);
+                    }
+                }
+            }
+            touched.clear();
+        }
+        if next_dirty {
+            // The final cycle was a sweep: `next` still holds its
+            // superseded vectors. Restore the all-zero scratch invariant.
+            for m in &mut self.next {
+                *m = Mask256::ZERO;
+            }
+        }
+        // Armed partitions are active on every processed cycle (their
+        // vector always covers `start_all` once the stream is underway) —
+        // fold that in once, minus the entry-cycle deficit counted above.
+        if !suppressed && processed > 0 {
+            for &pu in &self.armed {
+                stats.per_partition_active[pu as usize] += processed as u64;
+            }
+            for &pu in &entry_deficit {
+                stats.per_partition_active[pu as usize] -= 1;
+            }
+        }
+        self.active = active;
+        self.touched = touched;
+        self.visit = visit;
+        stats.symbols = processed as u64;
+        stats.cycles = if processed == 0 {
+            0
+        } else {
+            processed as u64 + PIPELINE_FILL_CYCLES + penalty_cycles
+        };
+        stats.fifo_refills = processed.div_ceil(FIFO_REFILL_BYTES) as u64;
+        // The snapshot's counter covers the whole input even after an
+        // early exit: the skipped tail provably leaves the (all-zero)
+        // vectors unchanged, so the image is valid at the input's end.
+        let snapshot = Snapshot {
+            symbol_counter: base_counter + input.len() as u64,
+            active_vectors: self.enabled.clone(),
+            output_buffer_fill: output_buffer_fill as u32,
+        };
+        Ok(ExecReport { events, stats, entries, snapshot: Some(snapshot) })
+    }
+
+    /// The original dense O(partitions + routes) per-symbol loop, kept as
+    /// the reference implementation: differential tests and the
+    /// `scan_kernel` benchmarks compare [`Fabric::run_with`] against it —
+    /// match streams, entries, snapshots and every [`ExecStats`] counter
+    /// must be identical.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::SnapshotMismatch`] if a resume snapshot's vector count
+    /// does not match this fabric's partition count.
+    pub fn run_dense(
+        &mut self,
+        input: &[u8],
+        options: &RunOptions,
+    ) -> Result<ExecReport, RunError> {
+        let n = self.partition_count();
+        let mut stats = ExecStats { per_partition_active: vec![0; n], ..Default::default() };
+        let mut events = Vec::new();
+        let mut entries = Vec::new();
+        let mut penalty_cycles = 0u64;
+        let mut output_buffer_fill =
+            options.resume.as_ref().map_or(0, |s| s.output_buffer_fill) as usize;
+
+        let base_counter = match &options.resume {
+            Some(snapshot) => {
+                if snapshot.active_vectors.len() != n {
+                    return Err(RunError::SnapshotMismatch {
+                        snapshot_vectors: snapshot.active_vectors.len(),
+                        fabric_partitions: n,
+                    });
+                }
                 self.enabled.copy_from_slice(&snapshot.active_vectors);
                 snapshot.symbol_counter
             }
@@ -426,12 +952,8 @@ impl Fabric {
 
         let mut processed = input.len();
         let mut seen_codes: Vec<ReportCode> = Vec::new();
-        // Hoisted so the disabled path pays one predictable branch per
-        // symbol and never reaches the snapshot arithmetic.
         let telemetry_on = self.telemetry.is_enabled();
         for (rel_pos, &symbol) in input.iter().enumerate() {
-            // A suppressed run only decays: once every vector is zero the
-            // remaining symbols cannot match or re-arm anything.
             if options.suppress_starts && self.enabled.iter().all(Mask256::is_zero) {
                 processed = rel_pos;
                 break;
@@ -445,7 +967,7 @@ impl Fabric {
                 self.telemetry.gauge(
                     "fabric.fifo_refills",
                     pos,
-                    (rel_pos / FIFO_REFILL_BYTES) as f64,
+                    (pos / FIFO_REFILL_BYTES as u64) as f64,
                 );
                 self.telemetry.gauge("fabric.output_buffer_fill", pos, output_buffer_fill as f64);
             }
@@ -469,7 +991,7 @@ impl Fabric {
                 // reports
                 let reporting = matched.and(&self.report_mask[p]);
                 for col in reporting.iter() {
-                    let code = self.report_code[p][col as usize].expect("report col has code");
+                    let (code, _) = self.report_code[p][col as usize];
                     if options.collect_entries {
                         entries.push(OutputEntry {
                             partition: p as u32,
@@ -516,6 +1038,11 @@ impl Fabric {
             }
             std::mem::swap(&mut self.enabled, &mut self.next);
         }
+        // Restore the worklist loop's scratch invariant: after the final
+        // swap `next` holds the superseded vectors, which may be non-zero.
+        for m in &mut self.next {
+            *m = Mask256::ZERO;
+        }
         stats.symbols = processed as u64;
         stats.cycles = if processed == 0 {
             0
@@ -531,7 +1058,7 @@ impl Fabric {
             active_vectors: self.enabled.clone(),
             output_buffer_fill: output_buffer_fill as u32,
         };
-        ExecReport { events, stats, entries, snapshot: Some(snapshot) }
+        Ok(ExecReport { events, stats, entries, snapshot: Some(snapshot) })
     }
 
     /// Corrects a mid-stream *guess* run against the true boundary state,
@@ -562,13 +1089,31 @@ impl Fabric {
     /// no pipeline-fill charge: corrections ride the already-filled
     /// pipeline of the stitch pass.
     ///
-    /// # Panics
+    /// Like the forward scan, the dual evolution is activity-proportional
+    /// with implicit arming: one hot list tracks partitions whose *true*
+    /// vector differs from `start_all` (the guess is a pointwise subset
+    /// of the true vector and a superset of `start_all`, so off the list
+    /// both equal the baseline), each cycle visits it merged with
+    /// `start_candidates[symbol]`, and the convergence check walks only
+    /// the hot list.
     ///
-    /// Panics if `true_entry` does not match this fabric's partition count
-    /// or does not contain the always-armed start vectors.
-    pub fn run_correction(&self, input: &[u8], true_entry: &Snapshot) -> ExecReport {
+    /// # Errors
+    ///
+    /// [`RunError::SnapshotMismatch`] if `true_entry` does not match this
+    /// fabric's partition count; [`RunError::EntryMissingStarts`] if it
+    /// does not contain the always-armed start vectors.
+    pub fn run_correction(
+        &self,
+        input: &[u8],
+        true_entry: &Snapshot,
+    ) -> Result<ExecReport, RunError> {
         let n = self.partition_count();
-        assert_eq!(true_entry.active_vectors.len(), n, "snapshot does not match this fabric");
+        if true_entry.active_vectors.len() != n {
+            return Err(RunError::SnapshotMismatch {
+                snapshot_vectors: true_entry.active_vectors.len(),
+                fabric_partitions: n,
+            });
+        }
         let mut stats = ExecStats { per_partition_active: vec![0; n], ..Default::default() };
         let mut events = Vec::new();
         let base_counter = true_entry.symbol_counter;
@@ -576,42 +1121,81 @@ impl Fabric {
         let mut enabled_true = true_entry.active_vectors.clone();
         let mut enabled_guess: Vec<Mask256> = self.start_all.clone();
         for (p, entry) in enabled_true.iter().enumerate() {
-            assert_eq!(
-                entry.and(&self.start_all[p]),
-                self.start_all[p],
-                "true entry must re-arm the always-armed starts (partition {p})"
-            );
+            if entry.and(&self.start_all[p]) != self.start_all[p] {
+                return Err(RunError::EntryMissingStarts { partition: p });
+            }
         }
         let mut next_true = vec![Mask256::ZERO; n];
         let mut next_guess = vec![Mask256::ZERO; n];
+        // `&self` receiver: worklist scratch is per call (one stripe's
+        // worth), not shared fabric state. The hot list tracks partitions
+        // whose *true* vector differs from the `start_all` baseline;
+        // start_all ⊆ guess ⊆ true pins both vectors to the baseline
+        // everywhere off the list, so it is exact for both evolutions.
+        let mut active: Vec<u32> = Vec::with_capacity(n);
+        for (p, vector) in enabled_true.iter().enumerate() {
+            if *vector != self.start_all[p] {
+                active.push(p as u32);
+            }
+        }
+        let mut touched: Vec<u32> = Vec::with_capacity(n);
+        let mut visit: Vec<u32> = Vec::with_capacity(n);
+        let mut on_next = vec![false; n];
+        // Per-cycle report-code dedup, epoch-stamped per distinct code.
+        let mut epoch = 0u64;
+        let mut seen_true = vec![0u64; self.code_epoch.len()];
+        let mut seen_guess = vec![0u64; self.code_epoch.len()];
+        let mut true_codes: Vec<(ReportCode, u32)> = Vec::new();
 
         let mut processed = input.len();
         let mut converged = false;
-        let mut seen_true: Vec<ReportCode> = Vec::new();
-        let mut seen_guess: Vec<ReportCode> = Vec::new();
         for (rel_pos, &symbol) in input.iter().enumerate() {
-            if enabled_true == enabled_guess {
-                // Identical active sets evolve identically: every further
-                // delta is zero and the guess exit image is already right.
+            // Identical vectors evolve identically: every further delta
+            // is zero and the guess exit image is already right. Off the
+            // hot list both vectors equal the baseline, so equality over
+            // the hot list is equality everywhere.
+            if active.iter().all(|&p| enabled_true[p as usize] == enabled_guess[p as usize]) {
                 processed = rel_pos;
                 converged = true;
                 break;
             }
-            let pos = base_counter + rel_pos as u64;
-            seen_true.clear();
-            seen_guess.clear();
-            next_true.copy_from_slice(&self.start_all);
-            next_guess.copy_from_slice(&self.start_all);
-            for p in 0..n {
-                if enabled_true[p].is_zero() {
-                    continue; // guess ⊆ true: both evolutions are idle here
-                }
+            // Delta activity accounting: partitions only the true
+            // evolution wakes. Armed partitions carry start_all in both
+            // vectors (never guess-zero); off the hot list the vectors
+            // are identical — so only hot members can contribute.
+            for &pu in &active {
+                let p = pu as usize;
                 if enabled_guess[p].is_zero() {
-                    // Only the true evolution wakes this partition: that
-                    // array access went unaccounted in the guess run.
                     stats.active_partition_cycles += 1;
                     stats.per_partition_active[p] += 1;
                 }
+            }
+            let pos = base_counter + rel_pos as u64;
+            epoch += 1;
+            true_codes.clear();
+            // The visit list: hot partitions merged with the idle-armed
+            // partitions whose start states can match this symbol — the
+            // same implicit-arming argument as the forward scan, applied
+            // to both evolutions at once, with the same sequential-sweep
+            // fallback once the merge would cover most of the fabric.
+            let candidates: &[u32] = &self.start_candidates[symbol as usize];
+            let sweep = (active.len() + candidates.len()) * 3 >= n;
+            visit.clear();
+            if sweep {
+                visit.extend(0..n as u32);
+            } else {
+                let (mut i, mut j) = (0, 0);
+                while i < active.len() && j < candidates.len() {
+                    let (a, c) = (active[i], candidates[j]);
+                    visit.push(a.min(c));
+                    i += usize::from(a <= c);
+                    j += usize::from(c <= a);
+                }
+                visit.extend_from_slice(&active[i..]);
+                visit.extend_from_slice(&candidates[j..]);
+            }
+            for &pu in &visit {
+                let p = pu as usize;
                 let matched_true = enabled_true[p].and(&self.rows[p][symbol as usize]);
                 if matched_true.is_zero() {
                     continue;
@@ -620,55 +1204,114 @@ impl Fabric {
                 stats.matched_total += (matched_true.count() - matched_guess.count()) as u64;
                 let reporting_true = matched_true.and(&self.report_mask[p]);
                 for col in reporting_true.iter() {
-                    let code = self.report_code[p][col as usize].expect("report col has code");
-                    if !seen_true.contains(&code) {
-                        seen_true.push(code);
+                    let (code, code_idx) = self.report_code[p][col as usize];
+                    if seen_true[code_idx as usize] != epoch {
+                        seen_true[code_idx as usize] = epoch;
+                        true_codes.push((code, code_idx));
                     }
-                    if matched_guess.get(col) && !seen_guess.contains(&code) {
-                        seen_guess.push(code);
+                    if matched_guess.get(col) {
+                        seen_guess[code_idx as usize] = epoch;
                     }
                 }
                 for s in matched_true.iter() {
-                    next_true[p].or_assign(&self.local[p][s as usize]);
+                    let row = &self.local[p][s as usize];
+                    if !row.is_zero() {
+                        next_true[p].or_assign(row);
+                        if !on_next[p] {
+                            on_next[p] = true;
+                            touched.push(pu);
+                        }
+                    }
                 }
+                // matched_guess ⊆ matched_true: every row OR'd into the
+                // guess was OR'd into the true vector above, so the touch
+                // list already covers it.
                 for s in matched_guess.iter() {
                     next_guess[p].or_assign(&self.local[p][s as usize]);
+                }
+                // Global-switch routes sourced at this partition, reusing
+                // both match vectors.
+                for &ri in &self.routes_by_src[p] {
+                    let r = &self.routes[ri as usize];
+                    if !matched_true.get(r.src_ste) {
+                        continue;
+                    }
+                    let guess_signals = matched_guess.get(r.src_ste);
+                    if !guess_signals {
+                        match r.via {
+                            RouteVia::G1 => stats.g1_signals += 1,
+                            RouteVia::G4 => stats.g4_signals += 1,
+                        }
+                    }
+                    let dst = r.dst_partition as usize;
+                    let dest_mask = self.import_dest[dst][r.dst_port as usize];
+                    if !dest_mask.is_zero() {
+                        next_true[dst].or_assign(&dest_mask);
+                        if !on_next[dst] {
+                            on_next[dst] = true;
+                            touched.push(r.dst_partition);
+                        }
+                        if guess_signals {
+                            next_guess[dst].or_assign(&dest_mask);
+                        }
+                    }
                 }
             }
             // The guess run deduplicates report codes per cycle, so the
             // missing events are exactly the codes the true evolution
             // reports this cycle that the guess evolution does not.
-            for &code in &seen_true {
-                if !seen_guess.contains(&code) {
+            for &(code, code_idx) in &true_codes {
+                if seen_guess[code_idx as usize] != epoch {
                     events.push(MatchEvent::new(pos, code));
                     stats.reports += 1;
                 }
             }
-            for r in &self.routes {
-                let src = r.src_partition as usize;
-                if enabled_true[src].is_zero() {
-                    continue;
-                }
-                let signal_true = enabled_true[src].and(&self.rows[src][symbol as usize]);
-                if !signal_true.get(r.src_ste) {
-                    continue;
-                }
-                let signal_guess = enabled_guess[src].and(&self.rows[src][symbol as usize]);
-                if !signal_guess.get(r.src_ste) {
-                    match r.via {
-                        RouteVia::G1 => stats.g1_signals += 1,
-                        RouteVia::G4 => stats.g4_signals += 1,
-                    }
-                }
-                let dst = r.dst_partition as usize;
-                let dest_mask = self.import_dest[dst][r.dst_port as usize];
-                next_true[dst].or_assign(&dest_mask);
-                if signal_guess.get(r.src_ste) {
-                    next_guess[dst].or_assign(&dest_mask);
+            // End of cycle: untouched hot partitions fall back to the
+            // baseline in both evolutions (no transitions landed, so the
+            // dense pair would have re-armed exactly `start_all`);
+            // touched partitions materialize `next | start_all` and stay
+            // hot only while the true vector differs from the baseline
+            // (guess ⊆ true then pins the guess to the baseline too).
+            for &pu in &active {
+                let p = pu as usize;
+                if !on_next[p] {
+                    enabled_true[p] = self.start_all[p];
+                    enabled_guess[p] = self.start_all[p];
                 }
             }
-            std::mem::swap(&mut enabled_true, &mut next_true);
-            std::mem::swap(&mut enabled_guess, &mut next_guess);
+            active.clear();
+            if sweep {
+                for (p, flag) in on_next.iter_mut().enumerate() {
+                    if *flag {
+                        *flag = false;
+                        let full_true = next_true[p].or(&self.start_all[p]);
+                        let full_guess = next_guess[p].or(&self.start_all[p]);
+                        enabled_true[p] = full_true;
+                        enabled_guess[p] = full_guess;
+                        next_true[p] = Mask256::ZERO;
+                        next_guess[p] = Mask256::ZERO;
+                        if full_true != self.start_all[p] {
+                            active.push(p as u32);
+                        }
+                    }
+                }
+            } else {
+                touched.sort_unstable();
+                for &pu in &touched {
+                    let p = pu as usize;
+                    on_next[p] = false;
+                    let full_true = next_true[p].or(&self.start_all[p]);
+                    let full_guess = next_guess[p].or(&self.start_all[p]);
+                    enabled_true[p] = full_true;
+                    enabled_guess[p] = full_guess;
+                    next_true[p] = Mask256::ZERO;
+                    next_guess[p] = Mask256::ZERO;
+                    if full_true != self.start_all[p] {
+                        active.push(pu);
+                    }
+                }
+            }
+            touched.clear();
         }
         stats.symbols = processed as u64;
         stats.cycles = processed as u64; // no fill: rides the stitch pipeline
@@ -677,7 +1320,7 @@ impl Fabric {
             active_vectors: enabled_true.clone(),
             output_buffer_fill: 0,
         });
-        ExecReport { events, stats, entries: Vec::new(), snapshot }
+        Ok(ExecReport { events, stats, entries: Vec::new(), snapshot })
     }
 
     /// Entry-state guess for resuming mid-stream with no history: every
@@ -836,10 +1479,12 @@ mod tests {
         for split in 0..=input.len() {
             let mut fabric = Fabric::new(&bs).unwrap();
             let first = fabric.run(&input[..split]);
-            let second = fabric.run_with(
-                &input[split..],
-                &RunOptions { resume: first.snapshot.clone(), ..Default::default() },
-            );
+            let second = fabric
+                .run_with(
+                    &input[split..],
+                    &RunOptions { resume: first.snapshot.clone(), ..Default::default() },
+                )
+                .unwrap();
             let mut stitched = first.events.clone();
             stitched.extend(second.events.iter().copied());
             assert_eq!(stitched, full.events, "split at {split}");
@@ -868,7 +1513,8 @@ mod tests {
         let first = fabric.run(&input[..70]);
         assert_eq!(first.snapshot.as_ref().unwrap().output_buffer_fill, 35);
         let second = fabric
-            .run_with(&input[70..], &RunOptions { resume: first.snapshot, ..Default::default() });
+            .run_with(&input[70..], &RunOptions { resume: first.snapshot, ..Default::default() })
+            .unwrap();
         assert_eq!(
             first.stats.output_interrupts + second.stats.output_interrupts,
             whole.stats.output_interrupts
@@ -887,14 +1533,14 @@ mod tests {
         let head_report = serial.run(head);
         let true_exit = head_report.snapshot.clone().unwrap();
         let truth = serial
-            .run_with(tail, &RunOptions { resume: Some(true_exit.clone()), ..Default::default() });
+            .run_with(tail, &RunOptions { resume: Some(true_exit.clone()), ..Default::default() })
+            .unwrap();
 
         let mut guess_fabric = Fabric::new(&bs).unwrap();
         let guess_entry = guess_fabric.midstream_snapshot(head.len() as u64);
-        let guess = guess_fabric.run_with(
-            tail,
-            &RunOptions { resume: Some(guess_entry.clone()), ..Default::default() },
-        );
+        let guess = guess_fabric
+            .run_with(tail, &RunOptions { resume: Some(guess_entry.clone()), ..Default::default() })
+            .unwrap();
         let delta: Vec<Mask256> = true_exit
             .active_vectors
             .iter()
@@ -902,18 +1548,21 @@ mod tests {
             .map(|(t, g)| t.and_not(g))
             .collect();
         assert!(delta.iter().any(|m| !m.is_zero()), "head must arm carry state");
-        let correction = Fabric::new(&bs).unwrap().run_with(
-            tail,
-            &RunOptions {
-                resume: Some(Snapshot {
-                    symbol_counter: head.len() as u64,
-                    active_vectors: delta,
-                    output_buffer_fill: 0,
-                }),
-                suppress_starts: true,
-                ..Default::default()
-            },
-        );
+        let correction = Fabric::new(&bs)
+            .unwrap()
+            .run_with(
+                tail,
+                &RunOptions {
+                    resume: Some(Snapshot {
+                        symbol_counter: head.len() as u64,
+                        active_vectors: delta,
+                        output_buffer_fill: 0,
+                    }),
+                    suppress_starts: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
         let mut union: Vec<MatchEvent> =
             guess.events.iter().chain(correction.events.iter()).copied().collect();
         union.sort();
@@ -940,18 +1589,20 @@ mod tests {
         let mut delta = vec![Mask256::ZERO];
         delta[0].set(0); // 'a' seen; dies unless 'b' follows immediately
         let long_tail = vec![b'x'; 10_000];
-        let report = fabric.run_with(
-            &long_tail,
-            &RunOptions {
-                resume: Some(Snapshot {
-                    symbol_counter: 0,
-                    active_vectors: delta,
-                    output_buffer_fill: 0,
-                }),
-                suppress_starts: true,
-                ..Default::default()
-            },
-        );
+        let report = fabric
+            .run_with(
+                &long_tail,
+                &RunOptions {
+                    resume: Some(Snapshot {
+                        symbol_counter: 0,
+                        active_vectors: delta,
+                        output_buffer_fill: 0,
+                    }),
+                    suppress_starts: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
         assert!(report.events.is_empty());
         assert!(report.stats.symbols < 8, "dead carry state must end the scan");
         // ...but the snapshot still covers the whole input.
@@ -975,8 +1626,9 @@ mod tests {
     fn output_entries_carry_cbox_fields() {
         let bs = single_partition();
         let mut fabric = Fabric::new(&bs).unwrap();
-        let report =
-            fabric.run_with(b"zabz", &RunOptions { collect_entries: true, ..Default::default() });
+        let report = fabric
+            .run_with(b"zabz", &RunOptions { collect_entries: true, ..Default::default() })
+            .unwrap();
         assert_eq!(report.entries.len(), 1);
         let e = report.entries[0];
         assert_eq!(e.partition, 0);
@@ -1013,7 +1665,8 @@ mod tests {
         let base = Fabric::new(&bs).unwrap().run(&input);
         let stalled = Fabric::new(&bs)
             .unwrap()
-            .run_with(&input, &RunOptions { drain_penalty_cycles: 50, ..Default::default() });
+            .run_with(&input, &RunOptions { drain_penalty_cycles: 50, ..Default::default() })
+            .unwrap();
         assert_eq!(stalled.stats.output_interrupts, 2);
         assert_eq!(stalled.stats.cycles, base.stats.cycles + 100);
         assert_eq!(stalled.events, base.events, "backpressure must not change matches");
@@ -1035,6 +1688,7 @@ mod tests {
         Fabric::new(bs)
             .unwrap()
             .run_with(tail, &RunOptions { resume: Some(true_exit.clone()), ..Default::default() })
+            .unwrap()
     }
 
     #[test]
@@ -1053,8 +1707,9 @@ mod tests {
         let mut guess_fabric = Fabric::new(&bs).unwrap();
         let guess_entry = guess_fabric.midstream_snapshot(head.len() as u64);
         let guess = guess_fabric
-            .run_with(tail, &RunOptions { resume: Some(guess_entry), ..Default::default() });
-        let correction = Fabric::new(&bs).unwrap().run_correction(tail, &true_exit);
+            .run_with(tail, &RunOptions { resume: Some(guess_entry), ..Default::default() })
+            .unwrap();
+        let correction = Fabric::new(&bs).unwrap().run_correction(tail, &true_exit).unwrap();
 
         let mut union: Vec<MatchEvent> =
             guess.events.iter().chain(correction.events.iter()).copied().collect();
@@ -1101,7 +1756,7 @@ mod tests {
         let true_exit = serial.run(b"xa").snapshot.unwrap();
         let mut tail = vec![b'x'; 10_000];
         tail[0] = b'b'; // the carried 'a' completes a match the guess lacks
-        let correction = Fabric::new(&bs).unwrap().run_correction(&tail, &true_exit);
+        let correction = Fabric::new(&bs).unwrap().run_correction(&tail, &true_exit).unwrap();
         assert_eq!(correction.events.len(), 1);
         assert_eq!(correction.events[0].pos, 2);
         assert!(correction.stats.symbols < 8, "converged evolutions must end the rescan");
@@ -1114,9 +1769,65 @@ mod tests {
         let bs = single_partition();
         let fabric = Fabric::new(&bs).unwrap();
         let entry = fabric.midstream_snapshot(5);
-        let correction = fabric.run_correction(b"ababab", &entry);
+        let correction = fabric.run_correction(b"ababab", &entry).unwrap();
         assert!(correction.events.is_empty());
         assert_eq!(correction.stats.symbols, 0);
         assert!(correction.snapshot.is_none());
+    }
+
+    #[test]
+    fn mismatched_snapshot_is_a_typed_error() {
+        // A snapshot taken from a 1-partition program resumed against a
+        // 2-partition fabric must be rejected, not panic (satellite 1).
+        let mut fabric = Fabric::new(&routed_pair()).unwrap();
+        let foreign = Fabric::new(&single_partition()).unwrap().run(b"ab").snapshot.unwrap();
+        let err = fabric
+            .run_with(b"ab", &RunOptions { resume: Some(foreign.clone()), ..Default::default() })
+            .unwrap_err();
+        assert_eq!(err, RunError::SnapshotMismatch { snapshot_vectors: 1, fabric_partitions: 2 });
+        assert!(err.to_string().contains("another program"), "{err}");
+        let err = fabric.run_correction(b"ab", &foreign).unwrap_err();
+        assert!(matches!(err, RunError::SnapshotMismatch { .. }));
+        let err = fabric
+            .run_dense(b"ab", &RunOptions { resume: Some(foreign), ..Default::default() })
+            .unwrap_err();
+        assert!(matches!(err, RunError::SnapshotMismatch { .. }));
+        // the fabric stays usable after a rejected run
+        assert_eq!(fabric.run(b"zabz").events.len(), 1);
+    }
+
+    #[test]
+    fn correction_entry_without_starts_is_a_typed_error() {
+        let fabric = Fabric::new(&single_partition()).unwrap();
+        let entry = Snapshot {
+            symbol_counter: 0,
+            active_vectors: vec![Mask256::ZERO],
+            output_buffer_fill: 0,
+        };
+        let err = fabric.run_correction(b"ab", &entry).unwrap_err();
+        assert_eq!(err, RunError::EntryMissingStarts { partition: 0 });
+        assert!(err.to_string().contains("partition 0"), "{err}");
+    }
+
+    #[test]
+    fn dense_reference_agrees_with_worklist_loop() {
+        for bs in [single_partition(), routed_pair()] {
+            let input = b"zababzzabzabbbaz";
+            let sparse = Fabric::new(&bs).unwrap().run(input);
+            let dense = Fabric::new(&bs).unwrap().run_dense(input, &RunOptions::default()).unwrap();
+            assert_eq!(sparse, dense, "reports, stats, entries and snapshot must be identical");
+        }
+    }
+
+    #[test]
+    fn dense_and_sparse_runs_interleave_on_one_fabric() {
+        // run_dense leaves the scratch invariants the worklist loop
+        // depends on (`next` all-zero), so the two can alternate freely.
+        let mut fabric = Fabric::new(&routed_pair()).unwrap();
+        let a = fabric.run_dense(b"zababz", &RunOptions::default()).unwrap();
+        let b = fabric.run(b"zababz");
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.snapshot, b.snapshot);
     }
 }

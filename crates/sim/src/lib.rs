@@ -46,7 +46,7 @@ pub use energy::{
     energy_report, ideal_ap_per_symbol_nj, peak_power_w, EnergyBreakdown, EnergyParams,
     EnergyReport,
 };
-pub use fabric::{ExecReport, ExecStats, Fabric, OutputEntry, RunOptions, Snapshot};
+pub use fabric::{ExecReport, ExecStats, Fabric, OutputEntry, RunError, RunOptions, Snapshot};
 pub use floorplan::{Floorplan, Point};
 pub use geometry::{
     CacheGeometry, DesignKind, PartitionLocation, PARTITION_BYTES, STES_PER_PARTITION,

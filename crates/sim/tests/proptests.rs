@@ -120,7 +120,7 @@ proptest! {
         let second = fabric.run_with(
             &input[at..],
             &ca_sim::RunOptions { resume: first.snapshot.clone(), ..Default::default() },
-        );
+        ).expect("snapshot from the same fabric");
         let mut stitched = first.events.clone();
         stitched.extend(second.events.iter().copied());
         prop_assert_eq!(stitched, full.events);
@@ -128,6 +128,21 @@ proptest! {
             first.stats.matched_total + second.stats.matched_total,
             full.stats.matched_total
         );
+    }
+
+    /// The worklist scan is bit-identical to the dense reference loop:
+    /// same events, same stats (every counter), same exit snapshot.
+    #[test]
+    fn sparse_loop_agrees_with_dense_reference(
+        bs in bitstream_strategy(),
+        input in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let sparse = Fabric::new(&bs).expect("valid").run(&input);
+        let dense = Fabric::new(&bs)
+            .expect("valid")
+            .run_dense(&input, &ca_sim::RunOptions::default())
+            .expect("fresh run");
+        prop_assert_eq!(sparse, dense);
     }
 
     /// Mask set/iter agreement under arbitrary operations.

@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let matches_so_far = scanner.matches().len();
     drop(scanner); // e.g. the flow is parked while other flows are serviced
 
-    let mut resumed: Scanner<'_> = program.resume_scanner(image);
+    let mut resumed: Scanner<'_> = program.resume_scanner(image)?;
     resumed.feed(b"..beacon0007..");
     println!("resumed at symbol {}", resumed.position() - 14);
     let report = resumed.finish();

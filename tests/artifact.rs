@@ -128,3 +128,44 @@ fn identical_inputs_reproduce_bitstreams_byte_for_byte() {
     assert_eq!(a.to_bytes(), b.to_bytes(), "identical (NFA, options, seed) must reproduce");
     assert_eq!(a.stats().seed, 42);
 }
+
+#[test]
+fn architecturally_corrupt_program_artifact_fails_at_load_not_mid_scan() {
+    // Splice an architecturally invalid (duplicate report column) but
+    // checksum-consistent bitstream into a program artifact: loading must
+    // return a typed error rather than handing back a program that
+    // panics once a scan reaches the ambiguous report column.
+    let w = Benchmark::Snort.build(Scale::tiny(), 53);
+    let program = CacheAutomaton::new().compile_nfa(&w.nfa).unwrap();
+    let good = program.to_bytes();
+
+    let mut bad_bs = program.compiled().bitstream.clone();
+    let p = bad_bs
+        .partitions
+        .iter()
+        .position(|p| !p.reports.is_empty())
+        .expect("a compiled benchmark reports somewhere");
+    let dup = bad_bs.partitions[p].reports[0];
+    bad_bs.partitions[p].reports.push(dup);
+    let bad_blob = bad_bs.encode();
+    assert!(ca_sim::Bitstream::decode(&bad_blob).is_err(), "decode must reject the blob");
+
+    // payload layout: [stats + state map][u64 blob length][blob at the end]
+    let old_payload = &good[24..];
+    let old_blob_len = program.compiled().bitstream.encode().len();
+    let fixed_prefix = old_payload.len() - old_blob_len - 8;
+    let mut payload = old_payload[..fixed_prefix].to_vec();
+    payload.extend_from_slice(&(bad_blob.len() as u64).to_le_bytes());
+    payload.extend_from_slice(&bad_blob);
+
+    let mut bytes = good[..8].to_vec(); // magic + version + reserved
+    bytes.extend_from_slice(&ca_sim::fnv1a_64(&payload).to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&payload);
+
+    let err = Program::from_bytes(&bytes).unwrap_err();
+    assert!(
+        err.to_string().contains("duplicate report column"),
+        "load-time rejection should name the violation: {err}"
+    );
+}

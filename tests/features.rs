@@ -45,7 +45,7 @@ fn chunked_scans_equal_whole_scans_on_benchmarks() {
         let mut resume = None;
         let mut stitched = Vec::new();
         for chunk in input.chunks(1024) {
-            let r = fabric.run_with(chunk, &RunOptions { resume, ..Default::default() });
+            let r = fabric.run_with(chunk, &RunOptions { resume, ..Default::default() }).unwrap();
             stitched.extend(r.events);
             resume = r.snapshot;
         }

@@ -178,6 +178,71 @@ fn telemetry_cache_counters_mirror_cache_stats() {
 }
 
 #[test]
+fn worklist_loop_is_bit_identical_to_dense_reference() {
+    // The sparse active-set scheduler must reproduce the dense reference
+    // loop exactly — match streams, every ExecStats counter and the exit
+    // snapshot — on every benchmark and both design points.
+    for design in [Design::Performance, Design::Space] {
+        let ca = CacheAutomaton::builder().design(design).optimize(Optimize::Never).build();
+        for benchmark in Benchmark::all() {
+            let w = benchmark.build(Scale::tiny(), 31);
+            let input = w.input(8 * 1024, 13);
+            let program = ca.compile_nfa(&w.nfa).unwrap_or_else(|e| panic!("{benchmark}: {e}"));
+            let sparse = program.compiled().fabric().unwrap().run(&input);
+            let dense = program
+                .compiled()
+                .fabric()
+                .unwrap()
+                .run_dense(&input, &ca_sim::RunOptions::default())
+                .unwrap();
+            assert_eq!(sparse.events, dense.events, "{benchmark} on {design}: events");
+            assert_eq!(sparse.stats, dense.stats, "{benchmark} on {design}: stats");
+            assert_eq!(sparse.snapshot, dense.snapshot, "{benchmark} on {design}: snapshot");
+        }
+    }
+}
+
+#[test]
+fn fifo_refill_gauge_is_cumulative_across_chunks() {
+    // The fabric.fifo_refills gauge is sampled against the global symbol
+    // counter; a streaming session feeding many chunks must show one
+    // monotone series (refills = position / 64), not a sawtooth that
+    // re-zeroes at every chunk boundary.
+    let recorder = Arc::new(MemoryRecorder::new());
+    let telemetry = cache_automaton::Telemetry::from_arc(recorder.clone());
+    let ca = CacheAutomaton::builder().telemetry_handle(telemetry).build();
+    let w = Benchmark::Snort.build(Scale::tiny(), 11);
+    let input = w.input(8 * 1024, 7);
+    let program = ca.compile_nfa(&w.nfa).unwrap();
+
+    let mut scanner = program.scanner();
+    for piece in input.chunks(1000) {
+        scanner.feed(piece);
+    }
+    let report = scanner.finish();
+
+    let samples = recorder.gauges("fabric.fifo_refills");
+    assert!(samples.len() >= 7, "8 KiB at one sample per 1024 symbols: got {}", samples.len());
+    for pair in samples.windows(2) {
+        assert!(pair[0].label < pair[1].label, "positions advance: {samples:?}");
+        assert!(
+            pair[0].value <= pair[1].value,
+            "gauge never rewinds at a chunk boundary: {samples:?}"
+        );
+    }
+    for s in &samples {
+        assert_eq!(
+            s.value,
+            (s.label / 64) as f64,
+            "refills at symbol {} reconcile with position",
+            s.label
+        );
+    }
+    // and the end-of-run counter still reconciles with ExecStats
+    assert_eq!(recorder.counter("fabric.fifo_refills"), report.exec.fifo_refills);
+}
+
+#[test]
 fn parallel_report_is_deterministic() {
     let w = Benchmark::ClamAv.build(Scale::tiny(), 47);
     let input = w.input(8 * 1024, 31);
