@@ -115,11 +115,6 @@ impl StableHasher {
         self.write_bytes(&v.to_le_bytes());
     }
 
-    /// Feeds a `usize` widened to 64 bits so 32- and 64-bit builds agree.
-    pub fn write_usize(&mut self, v: usize) {
-        self.write_u64(v as u64);
-    }
-
     /// The 128-bit digest.
     pub fn finish(&self) -> Fingerprint {
         Fingerprint((u128::from(self.hi) << 64) | u128::from(self.lo))
@@ -133,7 +128,9 @@ impl StableHasher {
 /// report code (or a sentinel), and the successor ids in **sorted** order.
 pub fn fingerprint(nfa: &HomNfa) -> Fingerprint {
     let mut h = StableHasher::new();
-    h.write_usize(nfa.len());
+    // Lengths are hashed as u64 — never at platform width — so 32- and
+    // 64-bit builds produce identical fingerprints.
+    h.write_u64(nfa.len() as u64);
     for (id, state) in nfa.iter() {
         for w in state.label.to_bits() {
             h.write_u64(w);
@@ -152,7 +149,7 @@ pub fn fingerprint(nfa: &HomNfa) -> Fingerprint {
         }
         let mut succ: Vec<u32> = nfa.successors(id).iter().map(|s| s.0).collect();
         succ.sort_unstable();
-        h.write_usize(succ.len());
+        h.write_u64(succ.len() as u64);
         for s in succ {
             h.write_u32(s);
         }
@@ -239,6 +236,31 @@ mod tests {
         let again = compile_patterns(&["cache"]).unwrap().fingerprint();
         assert_eq!(nfa.fingerprint(), again);
         assert_eq!(nfa.fingerprint().to_string().len(), 32);
+    }
+
+    #[test]
+    fn pinned_hasher_and_fingerprint_values() {
+        // Pinned values computed on x86-64. Any platform — 32- or 64-bit,
+        // any endianness — must reproduce them exactly; if this test fails
+        // after an intentional format change, bump the artifact version and
+        // re-pin (stale cached programs must be invalidated).
+        let mut h = StableHasher::new();
+        h.write_bytes(b"cache automaton");
+        h.write_u8(0x5a);
+        h.write_u32(0xdead_beef);
+        h.write_u64(0x0123_4567_89ab_cdef);
+        assert_eq!(format!("{}", h.finish()), "29202c036fe9d756ccd60a49f4fc15b1");
+
+        let mut nfa = HomNfa::new();
+        let s0 =
+            nfa.add_state_full(crate::charclass::CharClass::byte(b'a'), StartKind::AllInput, None);
+        let s1 = nfa.add_state_full(
+            crate::charclass::CharClass::byte(b'b'),
+            StartKind::None,
+            Some(ReportCode(7)),
+        );
+        nfa.add_edge(s0, s1);
+        assert_eq!(format!("{}", nfa.fingerprint()), "7c95b515a2db7da0c38ba8ad0f81aa47");
     }
 
     #[test]

@@ -1,0 +1,134 @@
+//! Multi-stream serving throughput: a [`cache_automaton::ScanPool`]
+//! multiplexing K logical streams over a bounded fleet of recycled fabrics,
+//! measured against the obvious baseline of K sequential
+//! [`cache_automaton::Program::run`] calls (each of which builds a fresh
+//! fabric).
+//!
+//! The study doubles as a differential check: every pooled stream's report
+//! must be bit-identical to the sequential run over the same bytes, so a
+//! scheduling bug shows up as a hard panic rather than a skewed number.
+
+use std::time::Instant;
+
+use ca_workloads::Benchmark;
+use cache_automaton::{CacheAutomaton, Optimize, PoolOptions, Program, RunReport, ScanPool};
+
+use crate::markdown::{fnum, Table};
+use crate::suite::RunConfig;
+
+/// Chunk size used when feeding pooled streams — matches the 64 KiB reads
+/// `cactl mux` issues against real files.
+const FEED_CHUNK: usize = 64 << 10;
+
+/// Renders the multi-stream serving study: streams × workers aggregate
+/// throughput of a `ScanPool` versus K sequential `Program::run` calls over
+/// the same inputs. Total bytes are held constant across stream counts so
+/// the columns compare like for like.
+pub fn multistream(config: &RunConfig) -> String {
+    let mut t = Table::new([
+        "Benchmark",
+        "Streams",
+        "Workers",
+        "Total KiB",
+        "Sequential (ms)",
+        "Pool (ms)",
+        "Speedup",
+        "Matches",
+    ]);
+    let total_bytes = (config.input_kib * 1024).max(64 * 1024);
+    for benchmark in [Benchmark::Snort, Benchmark::Spm] {
+        let w = benchmark.build(config.scale, config.seed);
+        let Ok(program) =
+            CacheAutomaton::builder().optimize(Optimize::Never).build().compile_nfa(&w.nfa)
+        else {
+            continue;
+        };
+        for streams in [1usize, 4, 16, 64] {
+            let per_stream = (total_bytes / streams).max(1);
+            let inputs: Vec<Vec<u8>> = (0..streams)
+                .map(|i| w.input(per_stream, config.seed ^ 0x5e7e ^ i as u64))
+                .collect();
+
+            let started = Instant::now();
+            let baseline: Vec<RunReport> = inputs.iter().map(|input| program.run(input)).collect();
+            let sequential = started.elapsed().as_secs_f64() * 1e3;
+            let matches: usize = baseline.iter().map(|r| r.matches.len()).sum();
+
+            for workers in [1usize, 2, 4] {
+                let pooled = timed_pool(&program, &inputs, workers);
+                for (got, want) in pooled.1.iter().zip(&baseline) {
+                    assert_eq!(got.matches, want.matches, "pooled stream diverged from serial");
+                    assert_eq!(got.exec, want.exec, "pooled accounting diverged from serial");
+                }
+                t.row([
+                    benchmark.name().to_string(),
+                    streams.to_string(),
+                    workers.to_string(),
+                    (total_bytes / 1024).to_string(),
+                    fnum(sequential, 2),
+                    fnum(pooled.0, 2),
+                    format!("{:.2}x", sequential / pooled.0.max(1e-9)),
+                    matches.to_string(),
+                ]);
+            }
+        }
+    }
+    format!(
+        "## Serving: multi-stream aggregate throughput (ScanPool)\n\n{}\nEach row scans \
+         the same total bytes split across K independent streams. The sequential column \
+         runs the K scans back to back with `Program::run` (a fresh fabric per call); the \
+         pool column multiplexes the K streams over N worker threads that recycle a \
+         bounded fleet of fabrics with `Fabric::reset`. Per-stream reports are asserted \
+         bit-identical to the sequential scans before the timings are tabulated.\n",
+        t.render()
+    )
+}
+
+/// Feeds every input through a fresh pool round-robin (the service-like
+/// access pattern: no stream is fully buffered before the next gets CPU)
+/// and returns (wall-clock ms, per-stream reports in input order).
+fn timed_pool(program: &Program, inputs: &[Vec<u8>], workers: usize) -> (f64, Vec<RunReport>) {
+    let started = Instant::now();
+    let pool = ScanPool::new(
+        program,
+        PoolOptions { workers, max_fabrics: workers, ..PoolOptions::default() },
+    )
+    .expect("pool options are valid");
+    let mut handles: Vec<_> =
+        inputs.iter().map(|_| pool.open_stream().expect("pool is running")).collect();
+    let mut offset = 0;
+    loop {
+        let mut fed_any = false;
+        for (handle, input) in handles.iter_mut().zip(inputs) {
+            if offset < input.len() {
+                let end = (offset + FEED_CHUNK).min(input.len());
+                handle.feed(&input[offset..end]).expect("stream is open");
+                fed_any = true;
+            }
+        }
+        if !fed_any {
+            break;
+        }
+        offset += FEED_CHUNK;
+    }
+    let reports: Vec<RunReport> =
+        handles.into_iter().map(|h| h.finish().expect("stream drains cleanly")).collect();
+    pool.shutdown().expect("workers join cleanly");
+    (started.elapsed().as_secs_f64() * 1e3, reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ca_workloads::Scale;
+
+    #[test]
+    fn multistream_study_renders_and_agrees_with_serial() {
+        let config = RunConfig { scale: Scale::tiny(), input_kib: 8, seed: 5 };
+        let section = multistream(&config);
+        assert!(section.contains("## Serving"));
+        // 2 benchmarks x 4 stream counts x 3 worker counts of data rows,
+        // plus header, separator, and the trailing prose.
+        assert!(section.matches("\n|").count() >= 24);
+    }
+}

@@ -9,10 +9,17 @@
 //! cactl anml    <rules>
 //! cactl frompages <image.capg> <input-file>
 //! cactl bench   <rules> <input-file> [--design P|S]
+//! cactl mux     <rules> <input-file>... [--design P|S] [--workers N] [--metrics OUT]
+//! cactl mux     --program <artifact> <input-file>... [--workers N] [--metrics OUT]
 //! cactl checkmetrics <metrics.jsonl>
 //!
 //! <rules> is either an ANML document (*.anml) or a newline-separated
 //! regex pattern file (# comments allowed). Pattern i reports with code i.
+//!
+//! `mux` scans every input file (or FIFO) as an independent logical
+//! stream through one ScanPool: streams are read incrementally, fed
+//! concurrently, and multiplexed over `--workers` threads sharing a
+//! bounded pool of recycled fabric instances.
 //!
 //! `compile --out` writes a versioned program artifact (.capr); `run
 //! --program` loads one instead of compiling, so compilation and scanning
@@ -29,9 +36,11 @@
 
 use ca_baselines::measure_cpu as ca_baselines_measure;
 use cache_automaton::{
-    CaError, CacheAutomaton, Design, JsonLinesWriter, Parallelism, Program, Telemetry,
+    CaError, CacheAutomaton, Design, JsonLinesWriter, Parallelism, PoolOptions, Program, RunReport,
+    ScanPool, Telemetry,
 };
 use std::fmt::Write as _;
+use std::io::Read as _;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -75,6 +84,7 @@ struct Options {
     metrics_out: Option<String>,
     limit: usize,
     shards: Option<Parallelism>,
+    workers: Option<usize>,
     positional: Vec<String>,
 }
 
@@ -91,6 +101,7 @@ fn parse_args(args: Vec<String>) -> Result<(String, Options), CaError> {
         metrics_out: None,
         limit: 20,
         shards: None,
+        workers: None,
         positional: Vec::new(),
     };
     let bad = |msg: &str| CaError::Config(msg.to_string());
@@ -150,6 +161,14 @@ fn parse_args(args: Vec<String>) -> Result<(String, Options), CaError> {
                     .ok_or_else(|| bad("--limit needs a number"))?;
                 rest.drain(i..=i + 1);
             }
+            "--workers" => {
+                opts.workers = Some(
+                    rest.get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| bad("--workers needs a number"))?,
+                );
+                rest.drain(i..=i + 1);
+            }
             "--shards" => {
                 let v = rest.get(i + 1).ok_or_else(|| bad("--shards needs a number or 'auto'"))?;
                 opts.shards = Some(if v == "auto" {
@@ -173,7 +192,7 @@ fn parse_args(args: Vec<String>) -> Result<(String, Options), CaError> {
     Ok((command, opts))
 }
 
-const USAGE: &str = "usage: cactl <compile|run|inspect|anml|frompages|bench|checkmetrics> \
+const USAGE: &str = "usage: cactl <compile|run|mux|inspect|anml|frompages|bench|checkmetrics> \
                      <rules> [args] (see --help in the crate docs)";
 
 fn load_nfa(path: &str) -> Result<cache_automaton::HomNfa, CaError> {
@@ -322,6 +341,100 @@ fn run(args: Vec<String>) -> Result<String, CaError> {
                 program.throughput_gbps(),
                 report.energy.per_symbol_nj,
                 report.energy.avg_power_w
+            );
+            if let Some(path) = &opts.metrics_out {
+                telemetry.flush();
+                let _ = writeln!(out, "metrics written      : {path}");
+            }
+        }
+        "mux" => {
+            let (program, inputs) = if let Some(artifact) = &opts.program_in {
+                if opts.positional.is_empty() {
+                    return Err(CaError::Config(
+                        "mux --program needs at least one input file".into(),
+                    ));
+                }
+                let mut program = Program::load(artifact)?;
+                program.set_telemetry(telemetry.clone());
+                (program, opts.positional.clone())
+            } else {
+                let Some((rules, inputs)) = opts.positional.split_first() else {
+                    return Err(CaError::Config(
+                        "mux needs a rules file and at least one input file".into(),
+                    ));
+                };
+                if inputs.is_empty() {
+                    return Err(CaError::Config("mux needs at least one input file".into()));
+                }
+                (compile_program(&opts, rules, &telemetry)?, inputs.to_vec())
+            };
+            let workers = opts.workers.unwrap_or_else(|| {
+                let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+                cores.min(inputs.len()).max(1)
+            });
+            let pool = ScanPool::new(&program, PoolOptions { workers, ..PoolOptions::default() })?;
+            let started = std::time::Instant::now();
+            // One feeder thread per input: each reads its file (or FIFO)
+            // incrementally and feeds its own logical stream; the pool
+            // multiplexes the scans over the shared workers and fabrics.
+            let results: Vec<Result<(RunReport, u64), CaError>> = std::thread::scope(|scope| {
+                let feeders: Vec<_> = inputs
+                    .iter()
+                    .map(|path| {
+                        let stream = pool.open_stream();
+                        scope.spawn(move || -> Result<(RunReport, u64), CaError> {
+                            let mut stream = stream?;
+                            let file = std::fs::File::open(path).map_err(|e| io_err(path, e))?;
+                            let mut reader = std::io::BufReader::new(file);
+                            let mut buf = vec![0u8; 64 * 1024];
+                            let mut total = 0u64;
+                            loop {
+                                let n = reader.read(&mut buf).map_err(|e| io_err(path, e))?;
+                                if n == 0 {
+                                    break;
+                                }
+                                total += n as u64;
+                                stream.feed(&buf[..n])?;
+                            }
+                            Ok((stream.finish()?, total))
+                        })
+                    })
+                    .collect();
+                feeders
+                    .into_iter()
+                    .map(|handle| {
+                        handle.join().unwrap_or_else(|_| {
+                            Err(CaError::Internal("mux feeder thread panicked".into()))
+                        })
+                    })
+                    .collect()
+            });
+            let wall = started.elapsed();
+            pool.shutdown()?;
+            let mut total_bytes = 0u64;
+            let mut total_matches = 0usize;
+            let mut simulated_max = 0.0f64;
+            for (path, result) in inputs.iter().zip(results) {
+                let (report, bytes) = result?;
+                total_bytes += bytes;
+                total_matches += report.matches.len();
+                simulated_max = simulated_max.max(report.simulated_seconds);
+                let _ = writeln!(
+                    out,
+                    "stream {path}: {bytes} bytes, {} matches, {:.3} ms simulated",
+                    report.matches.len(),
+                    report.simulated_seconds * 1e3
+                );
+            }
+            let wall_s = wall.as_secs_f64();
+            let _ = writeln!(
+                out,
+                "aggregate: {} streams x{workers} workers | {total_bytes} bytes, \
+                 {total_matches} matches | wall {:.1} ms ({:.2} MB/s) | simulated makespan {:.3} ms",
+                inputs.len(),
+                wall_s * 1e3,
+                total_bytes as f64 / wall_s.max(1e-12) / 1e6,
+                simulated_max * 1e3
             );
             if let Some(path) = &opts.metrics_out {
                 telemetry.flush();

@@ -47,7 +47,9 @@ impl CacheKey {
             Design::Performance => 0,
             Design::Space => 1,
         });
-        h.write_usize(self.slices);
+        // Canonical width: `slices` is hashed as u64 so the key is
+        // identical on 32- and 64-bit targets.
+        h.write_u64(self.slices as u64);
         h.write_u64(self.seed);
         h.write_u8(self.optimized as u8);
         let fp = h.finish().0;
@@ -380,6 +382,23 @@ mod tests {
         assert_eq!(sketch.estimate(42), 15, "counters saturate at 15");
         sketch.halve();
         assert!(sketch.estimate(42) <= 7);
+    }
+
+    #[test]
+    fn hash64_is_pinned() {
+        // Fixed synthetic key (no compiler involved) with a pinned digest:
+        // the sketch key must be identical across platforms and builds, or
+        // admission decisions would differ between 32- and 64-bit hosts.
+        let key = CacheKey {
+            fingerprint: ca_automata::Fingerprint(0x0011_2233_4455_6677_8899_aabb_ccdd_eeff),
+            design: Design::Performance,
+            slices: 8,
+            seed: 0xca,
+            optimized: true,
+        };
+        assert_eq!(key.hash64(), 0x66d6_b55c_a98d_575e);
+        let space = CacheKey { design: Design::Space, ..key };
+        assert_ne!(space.hash64(), key.hash64(), "design is part of the key");
     }
 
     #[test]

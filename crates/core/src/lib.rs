@@ -39,6 +39,7 @@ pub mod artifact;
 pub mod cache;
 pub mod matches;
 mod scanner;
+pub mod serve;
 mod shard;
 
 pub use ca_automata as automata;
@@ -58,6 +59,7 @@ pub use ca_sim::{ArtifactError, EnergyReport, ExecStats, PipelineTiming, Snapsho
 pub use ca_telemetry::{JsonLinesWriter, MemoryRecorder, Telemetry, TelemetrySink};
 pub use cache::{CacheKey, CacheStats, ProgramCache};
 pub use scanner::Scanner;
+pub use serve::{PoolOptions, ScanPool, StreamHandle};
 pub use shard::{Parallelism, ScanOptions};
 
 /// Default bound of the in-process program cache, in entries.

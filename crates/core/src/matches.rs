@@ -7,6 +7,7 @@
 
 use ca_automata::engine::MatchEvent;
 use ca_automata::ReportCode;
+use ca_telemetry::Telemetry;
 use std::collections::BTreeSet;
 
 /// Per-pattern match counts: `counts[code] = events with that code`.
@@ -52,8 +53,24 @@ pub struct LineHit {
 /// repeated reports of the same pattern within a line — what an alerting
 /// pipeline does with the raw stream.
 ///
-/// Events whose position lies beyond `input` are ignored.
+/// Events whose position lies beyond `input` are dropped — but never
+/// silently: see [`group_by_line_with`] for the accounting contract.
 pub fn group_by_line(input: &[u8], events: &[MatchEvent]) -> Vec<LineHit> {
+    group_by_line_with(input, events, &Telemetry::disabled())
+}
+
+/// [`group_by_line`] with telemetry: out-of-range events (position at or
+/// beyond `input.len()`) are counted in a `scan.dropped_events` counter
+/// before being dropped. Our own fabric can never produce such an event —
+/// a report's position always lies within the input that was scanned — so
+/// in debug builds any dropped event is treated as corruption and panics
+/// (after the counter is emitted); in release builds the count surfaces
+/// through metrics instead of vanishing.
+pub fn group_by_line_with(
+    input: &[u8],
+    events: &[MatchEvent],
+    telemetry: &Telemetry,
+) -> Vec<LineHit> {
     // line start offsets
     let mut starts = vec![0usize];
     for (i, &b) in input.iter().enumerate() {
@@ -67,11 +84,23 @@ pub fn group_by_line(input: &[u8], events: &[MatchEvent]) -> Vec<LineHit> {
     };
     let mut per_line: std::collections::BTreeMap<usize, BTreeSet<ReportCode>> =
         std::collections::BTreeMap::new();
+    let mut dropped = 0u64;
     for e in events {
         if (e.pos as usize) < input.len() {
             per_line.entry(line_of(e.pos as usize)).or_default().insert(e.code);
+        } else {
+            dropped += 1;
         }
     }
+    if dropped > 0 {
+        // Emit before the debug assertion so the count is recorded even on
+        // the path that panics.
+        telemetry.counter("scan.dropped_events", dropped);
+    }
+    debug_assert_eq!(
+        dropped, 0,
+        "out-of-range match events: the fabric never reports beyond its input"
+    );
     per_line
         .into_iter()
         .map(|(line, codes)| {
@@ -143,8 +172,31 @@ mod tests {
         assert_eq!(hits[0].line, 0);
         assert_eq!(hits[1].line, 1);
         assert_eq!(&input[hits[1].span.0..hits[1].span.1], b"cd");
-        // empty input / out-of-range events
-        assert!(group_by_line(b"", &[ev(0, 0)]).is_empty());
+        // empty input, no events
+        assert!(group_by_line(b"", &[]).is_empty());
+    }
+
+    #[test]
+    fn out_of_range_events_are_counted_not_silent() {
+        let recorder = std::sync::Arc::new(ca_telemetry::MemoryRecorder::new());
+        let telemetry = Telemetry::from_arc(recorder.clone());
+        // In-range events never touch the counter.
+        group_by_line_with(b"ab\ncd", &[ev(0, 0)], &telemetry);
+        assert_eq!(recorder.counter("scan.dropped_events"), 0);
+
+        // An out-of-range event (here: position at input length, from a
+        // hypothetically foreign/corrupt stream) increments the counter —
+        // and in debug builds also trips the corruption assertion, *after*
+        // the counter was emitted.
+        let t = telemetry.clone();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            group_by_line_with(b"ab", &[ev(1, 0), ev(2, 0), ev(9, 1)], &t)
+        }));
+        assert_eq!(result.is_err(), cfg!(debug_assertions));
+        assert_eq!(recorder.counter("scan.dropped_events"), 2);
+        if let Ok(hits) = result {
+            assert_eq!(hits.len(), 1, "in-range events still grouped in release builds");
+        }
     }
 
     #[test]

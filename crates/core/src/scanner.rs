@@ -8,8 +8,31 @@
 //! the same matches, cycle count and energy as one monolithic scan.
 
 use crate::{MatchEvent, Program, RunReport};
-use ca_sim::fabric::{ExecStats, RunOptions, PIPELINE_FILL_CYCLES};
+use ca_sim::fabric::{ExecStats, RunOptions, FIFO_REFILL_BYTES, PIPELINE_FILL_CYCLES};
 use ca_sim::{Fabric, Snapshot};
+
+/// Renders a finished session's accumulated *activity* into whole-stream
+/// exec stats, given the absolute stream offset the session started at.
+///
+/// Per-chunk runs each charged a pipeline fill and rounded their own FIFO
+/// refills up; a logical stream pays the fill exactly once — at its origin
+/// — and refills on absolute 64-byte boundaries. A session resumed from a
+/// snapshot therefore charges *no* fill (its predecessor already did) and
+/// counts only the refills between its entry offset and its exit offset,
+/// so the stats of a split-and-resumed stream sum to the monolithic
+/// scan's field by field.
+pub(crate) fn finalize_session_stats(stats: &mut ExecStats, resume_base: u64) {
+    stats.cycles = if stats.symbols == 0 {
+        0
+    } else if resume_base == 0 {
+        stats.symbols + PIPELINE_FILL_CYCLES
+    } else {
+        stats.symbols
+    };
+    let refill = FIFO_REFILL_BYTES as u64;
+    stats.fifo_refills =
+        (resume_base + stats.symbols).div_ceil(refill) - resume_base.div_ceil(refill);
+}
 
 /// An in-progress streaming scan over one logical input stream.
 ///
@@ -37,6 +60,9 @@ pub struct Scanner<'p> {
     program: &'p Program,
     fabric: Fabric,
     resume: Option<Snapshot>,
+    /// Absolute stream offset this session started at (non-zero when the
+    /// session was created from a [`Snapshot`] of an earlier session).
+    resume_base: u64,
     events: Vec<MatchEvent>,
     stats: ExecStats,
 }
@@ -46,6 +72,7 @@ impl<'p> Scanner<'p> {
         Scanner {
             fabric: program.fabric(),
             program,
+            resume_base: resume.as_ref().map_or(0, |s| s.symbol_counter),
             resume,
             events: Vec::new(),
             stats: ExecStats::default(),
@@ -93,15 +120,13 @@ impl<'p> Scanner<'p> {
     /// [`RunReport`] (energy, simulated time, throughput).
     ///
     /// The pipeline fill is charged once for the whole stream, so the
-    /// report is identical whatever chunk sizes fed it.
+    /// report is identical whatever chunk sizes fed it — and a session
+    /// resumed from a snapshot charges neither the fill (its predecessor
+    /// already did) nor refills before its entry offset, so split streams
+    /// sum to the monolithic scan.
     pub fn finish(self) -> RunReport {
         let mut stats = self.stats;
-        // Per-chunk runs each charged a pipeline fill and rounded their own
-        // FIFO refills up; a single logical stream pays both exactly once
-        // (`absorb_activity` leaves `cycles` to this decision).
-        stats.cycles = if stats.symbols == 0 { 0 } else { stats.symbols + PIPELINE_FILL_CYCLES };
-        stats.fifo_refills =
-            (stats.symbols as usize).div_ceil(ca_sim::fabric::FIFO_REFILL_BYTES) as u64;
+        finalize_session_stats(&mut stats, self.resume_base);
         let mut events = self.events;
         events.sort_unstable();
         events.dedup();
@@ -160,9 +185,43 @@ mod tests {
 
         let mut second = program.resume_scanner(image).expect("snapshot from same program");
         second.feed(&input[4..]);
+        let first_report = first.finish();
+        let second_report = second.finish();
+
         let mut all = early_matches;
-        all.extend(second.finish().matches);
+        all.extend(second_report.matches.clone());
         assert_eq!(all, whole.matches);
+
+        // Exec parity: the two sessions' stats must sum field-by-field to
+        // the monolithic scan's — one pipeline fill for the whole stream,
+        // refills on absolute 64-byte boundaries.
+        let mut combined = first_report.exec.clone();
+        combined.absorb_activity(&second_report.exec);
+        combined.cycles = first_report.exec.cycles + second_report.exec.cycles;
+        assert_eq!(combined, whole.exec, "split-and-resumed stream must match monolithic exec");
+    }
+
+    #[test]
+    fn resumed_session_charges_no_pipeline_fill() {
+        let program = program();
+        // Split exactly on a FIFO-refill boundary so misaligned refill
+        // accounting (each half rounding up independently) would differ.
+        let input = vec![b'x'; 200];
+        let whole = program.run(&input);
+        assert_eq!(whole.exec.fifo_refills, 200u64.div_ceil(64));
+
+        let mut first = program.scanner();
+        first.feed(&input[..64]);
+        let image = first.snapshot().unwrap().clone();
+        let first_exec = first.finish().exec;
+        let mut second = program.resume_scanner(image).unwrap();
+        second.feed(&input[64..]);
+        let second_exec = second.finish().exec;
+
+        assert_eq!(first_exec.cycles, 64 + PIPELINE_FILL_CYCLES);
+        assert_eq!(second_exec.cycles, 136, "resumed session must not re-charge pipeline fill");
+        assert_eq!(first_exec.fifo_refills + second_exec.fifo_refills, whole.exec.fifo_refills);
+        assert_eq!(first_exec.cycles + second_exec.cycles, whole.exec.cycles);
     }
 
     #[test]

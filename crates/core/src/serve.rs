@@ -1,0 +1,688 @@
+//! Multi-stream scan service: many logical streams over few fabrics.
+//!
+//! Everything built below the serving layer scans *one* stream per call —
+//! [`Program::run`], [`Scanner`](crate::Scanner) sessions, the sharded
+//! parallel driver. A service front-end has the opposite shape: thousands
+//! of concurrent logical streams, each trickling in chunks, multiplexed
+//! over a machine with a handful of cores. [`ScanPool`] closes that gap:
+//!
+//! - **M streams over N workers.** Clients open any number of
+//!   [`StreamHandle`]s; a fixed set of worker threads services them.
+//! - **A bounded pool of recycled fabrics.** At most
+//!   [`PoolOptions::max_fabrics`] [`Fabric`] instances ever exist; between
+//!   batches a stream's state lives in its compact [`Snapshot`] (paper
+//!   §2.9), so a fabric serves one stream's batch, is
+//!   [`reset`](Fabric::reset), and moves on to any other stream.
+//! - **Bounded queues with backpressure.** [`StreamHandle::feed`] blocks
+//!   once [`PoolOptions::queue_bytes`] are buffered, so a fast producer
+//!   cannot balloon memory.
+//! - **Deficit-round-robin scheduling.** Ready streams are serviced in a
+//!   ring; each service grants [`PoolOptions::quantum`] bytes of credit,
+//!   so a hot stream with a deep queue cannot starve the others.
+//! - **Typed errors, no cross-thread panics.** A worker panic is caught,
+//!   converted to [`CaError::Internal`] on the stream that hit it, and the
+//!   (possibly corrupt) fabric is discarded rather than recycled; every
+//!   other stream keeps running.
+//!
+//! Per-stream results are exact: the matches and [`ExecStats`] a stream
+//! observes are bit-identical to running its chunks through a dedicated
+//! [`Scanner`](crate::Scanner) session, whatever the interleaving —
+//! activity counters are chunking-invariant and the finishing accounting
+//! is shared with `Scanner::finish`.
+//!
+//! # Examples
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use cache_automaton::{CacheAutomaton, PoolOptions, ScanPool};
+//!
+//! let program = CacheAutomaton::new().compile_patterns(&["spain"])?;
+//! let pool = ScanPool::new(&program, PoolOptions { workers: 2, ..PoolOptions::default() })?;
+//! let mut a = pool.open_stream()?;
+//! let mut b = pool.open_stream()?;
+//! a.feed(b"the rain in sp")?;
+//! b.feed(b"no match here")?;
+//! a.feed(b"ain")?;
+//! assert_eq!(a.finish()?.matches.len(), 1);
+//! assert_eq!(b.finish()?.matches.len(), 0);
+//! pool.shutdown()?;
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::scanner::finalize_session_stats;
+use crate::{join_panic_to_internal, CaError, MatchEvent, Program, RunReport};
+use ca_sim::fabric::{ExecStats, RunOptions};
+use ca_sim::{Fabric, Snapshot};
+use ca_telemetry::Telemetry;
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Configuration of a [`ScanPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolOptions {
+    /// Worker threads servicing stream batches. Must be at least 1.
+    pub workers: usize,
+    /// Upper bound on live [`Fabric`] instances; `0` means "same as
+    /// `workers`" (more than `workers` can never run simultaneously).
+    pub max_fabrics: usize,
+    /// Per-stream buffered-byte bound; [`StreamHandle::feed`] blocks while
+    /// a stream already holds this much unprocessed input.
+    pub queue_bytes: usize,
+    /// Deficit-round-robin quantum: byte credit a stream earns per
+    /// service. Small values interleave finely; large values amortize
+    /// scheduling overhead.
+    pub quantum: usize,
+}
+
+impl Default for PoolOptions {
+    fn default() -> PoolOptions {
+        PoolOptions { workers: 1, max_fabrics: 0, queue_bytes: 1 << 20, quantum: 64 << 10 }
+    }
+}
+
+/// Lifecycle of the pool as a whole.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Accepting streams and input.
+    Running,
+    /// No new streams or input; queued work is still being processed.
+    Draining,
+    /// Queued work was discarded; unfinished streams report an error.
+    Aborted,
+}
+
+/// Per-stream mutable state, owned by the pool's mutex.
+#[derive(Debug)]
+struct StreamState {
+    /// Unprocessed input chunks, oldest first.
+    queue: VecDeque<Vec<u8>>,
+    /// Total bytes across `queue` (the backpressure metric).
+    queued_bytes: usize,
+    /// Deficit-round-robin byte credit carried between services.
+    deficit: usize,
+    /// Suspend image carrying fabric state between batches (§2.9).
+    snapshot: Option<Snapshot>,
+    /// All match events so far, in feed order (absolute positions).
+    events: Vec<MatchEvent>,
+    /// How many of `events` have been handed out incrementally.
+    delivered: usize,
+    /// Accumulated activity counters (cycles decided at finish).
+    stats: ExecStats,
+    /// No further `feed` calls will arrive.
+    closed: bool,
+    /// A worker is currently running a batch of this stream.
+    running: bool,
+    /// The stream sits in the ready ring.
+    scheduled: bool,
+    /// First failure that hit this stream (reported at the next call).
+    error: Option<CaError>,
+}
+
+impl StreamState {
+    fn new() -> StreamState {
+        StreamState {
+            queue: VecDeque::new(),
+            queued_bytes: 0,
+            deficit: 0,
+            snapshot: None,
+            events: Vec::new(),
+            delivered: 0,
+            stats: ExecStats::default(),
+            closed: false,
+            running: false,
+            scheduled: false,
+            error: None,
+        }
+    }
+}
+
+/// Pool state behind one mutex: streams, the DRR ring, the fabric pool.
+#[derive(Debug)]
+struct Inner {
+    streams: BTreeMap<u64, StreamState>,
+    /// Stream ids with queued work, in service order (the DRR ring).
+    ready: VecDeque<u64>,
+    /// Recycled fabric instances awaiting a batch.
+    idle_fabrics: Vec<Fabric>,
+    /// Fabrics in existence (idle + in use); bounded by `max_fabrics`.
+    fabrics_created: usize,
+    next_id: u64,
+    mode: Mode,
+}
+
+struct Shared {
+    program: Program,
+    telemetry: Telemetry,
+    max_fabrics: usize,
+    queue_bytes: usize,
+    quantum: usize,
+    inner: Mutex<Inner>,
+    /// Wakes workers: ready work, a freed fabric, or a mode change.
+    work_cv: Condvar,
+    /// Wakes feeders blocked on a full stream queue.
+    space_cv: Condvar,
+    /// Wakes `finish` waiters when a stream's pending work completes.
+    done_cv: Condvar,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        // A worker panicking while holding the lock is already converted
+        // to a typed stream error before the lock is released, so poisoning
+        // carries no extra information — recover the guard.
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn emit_pool_gauges(&self, inner: &Inner) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.telemetry.gauge("serve.live_streams", 0, inner.streams.len() as f64);
+        let in_use = inner.fabrics_created - inner.idle_fabrics.len();
+        self.telemetry.gauge("serve.pool_occupancy", 0, in_use as f64);
+    }
+}
+
+/// A multi-stream scan service over one compiled [`Program`].
+///
+/// See the [module documentation](self) for the full contract. Dropping
+/// the pool drains queued work and joins the workers; use
+/// [`shutdown`](ScanPool::shutdown) to observe errors from that path or
+/// [`abort`](ScanPool::abort) to discard queued work instead.
+pub struct ScanPool {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ScanPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.shared.lock();
+        f.debug_struct("ScanPool")
+            .field("workers", &self.workers.len())
+            .field("live_streams", &inner.streams.len())
+            .field("fabrics_created", &inner.fabrics_created)
+            .field("mode", &inner.mode)
+            .finish()
+    }
+}
+
+impl ScanPool {
+    /// Starts a pool of `options.workers` threads serving streams of
+    /// `program`.
+    ///
+    /// # Errors
+    ///
+    /// [`CaError::Config`] when `workers` is zero, or a bound
+    /// (`queue_bytes`, `quantum`) is zero.
+    pub fn new(program: &Program, options: PoolOptions) -> Result<ScanPool, CaError> {
+        if options.workers == 0 {
+            return Err(CaError::Config("a scan pool needs at least one worker".into()));
+        }
+        if options.queue_bytes == 0 || options.quantum == 0 {
+            return Err(CaError::Config(
+                "scan pool queue_bytes and quantum must be non-zero".into(),
+            ));
+        }
+        let max_fabrics =
+            if options.max_fabrics == 0 { options.workers } else { options.max_fabrics };
+        let shared = Arc::new(Shared {
+            program: program.clone(),
+            telemetry: program.telemetry(),
+            max_fabrics,
+            queue_bytes: options.queue_bytes,
+            quantum: options.quantum,
+            inner: Mutex::new(Inner {
+                streams: BTreeMap::new(),
+                ready: VecDeque::new(),
+                idle_fabrics: Vec::new(),
+                fabrics_created: 0,
+                next_id: 0,
+                mode: Mode::Running,
+            }),
+            work_cv: Condvar::new(),
+            space_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let workers = (0..options.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Ok(ScanPool { shared, workers })
+    }
+
+    /// Opens a new logical stream and returns its handle.
+    ///
+    /// # Errors
+    ///
+    /// [`CaError::Config`] once the pool is shutting down.
+    pub fn open_stream(&self) -> Result<StreamHandle, CaError> {
+        let mut inner = self.shared.lock();
+        if inner.mode != Mode::Running {
+            return Err(CaError::Config("scan pool is shutting down".into()));
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.streams.insert(id, StreamState::new());
+        self.shared.emit_pool_gauges(&inner);
+        Ok(StreamHandle { shared: Arc::clone(&self.shared), id, finished: false })
+    }
+
+    /// Streams currently open (fed or not).
+    pub fn live_streams(&self) -> usize {
+        self.shared.lock().streams.len()
+    }
+
+    /// Stops accepting input, processes everything already queued, and
+    /// joins the workers. Open streams can still be
+    /// [`finish`](StreamHandle::finish)ed afterwards — their queued work
+    /// has been fully processed.
+    ///
+    /// # Errors
+    ///
+    /// [`CaError::Internal`] if a worker thread died outside the per-batch
+    /// containment (should be unreachable; per-batch panics surface on the
+    /// stream that hit them, not here).
+    pub fn shutdown(mut self) -> Result<(), CaError> {
+        {
+            let mut inner = self.shared.lock();
+            if inner.mode == Mode::Running {
+                inner.mode = Mode::Draining;
+            }
+        }
+        self.notify_all();
+        let mut first_error = None;
+        for handle in std::mem::take(&mut self.workers) {
+            if let Err(payload) = handle.join() {
+                first_error
+                    .get_or_insert_with(|| join_panic_to_internal("scan pool worker", payload));
+            }
+        }
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Discards all queued work, fails unfinished streams, and joins the
+    /// workers. Streams that already completed their input still finish
+    /// normally; streams with pending or future work get
+    /// [`CaError::Internal`] from their next call.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`shutdown`](ScanPool::shutdown).
+    pub fn abort(mut self) -> Result<(), CaError> {
+        {
+            let mut inner = self.shared.lock();
+            inner.mode = Mode::Aborted;
+            inner.ready.clear();
+            for stream in inner.streams.values_mut() {
+                // A stream whose input was discarded must not later render
+                // a prefix-only report as if it were complete.
+                if stream.queued_bytes > 0 {
+                    stream.error.get_or_insert_with(|| {
+                        CaError::Internal(format!(
+                            "scan pool aborted with {} bytes of this stream unprocessed",
+                            stream.queued_bytes
+                        ))
+                    });
+                }
+                stream.queue.clear();
+                stream.queued_bytes = 0;
+                stream.scheduled = false;
+            }
+        }
+        self.notify_all();
+        let mut first_error = None;
+        for handle in std::mem::take(&mut self.workers) {
+            if let Err(payload) = handle.join() {
+                first_error
+                    .get_or_insert_with(|| join_panic_to_internal("scan pool worker", payload));
+            }
+        }
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    fn notify_all(&self) {
+        self.shared.work_cv.notify_all();
+        self.shared.space_cv.notify_all();
+        self.shared.done_cv.notify_all();
+    }
+}
+
+impl Drop for ScanPool {
+    fn drop(&mut self) {
+        if self.workers.is_empty() {
+            return; // consumed by shutdown/abort
+        }
+        {
+            let mut inner = self.shared.lock();
+            if inner.mode == Mode::Running {
+                inner.mode = Mode::Draining;
+            }
+        }
+        self.notify_all();
+        for handle in std::mem::take(&mut self.workers) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One logical input stream multiplexed through a [`ScanPool`].
+///
+/// The handle is the stream's only owner: feed it chunks, poll matches
+/// incrementally, and [`finish`](StreamHandle::finish) it for the final
+/// per-stream [`RunReport`]. Dropping the handle without finishing
+/// abandons the stream (queued work is discarded).
+pub struct StreamHandle {
+    shared: Arc<Shared>,
+    id: u64,
+    finished: bool,
+}
+
+impl std::fmt::Debug for StreamHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamHandle").field("id", &self.id).finish()
+    }
+}
+
+impl StreamHandle {
+    /// Pool-assigned stream id (unique for the pool's lifetime).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Queues the next chunk of this stream, blocking while the stream's
+    /// buffered bytes exceed [`PoolOptions::queue_bytes`] (backpressure).
+    /// An empty chunk is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// [`CaError::Config`] once the pool is shutting down;
+    /// [`CaError::Internal`] if a worker failed while scanning this stream
+    /// (the stream is lost, the pool and its other streams are not).
+    pub fn feed(&mut self, chunk: &[u8]) -> Result<(), CaError> {
+        if chunk.is_empty() {
+            return Ok(());
+        }
+        let mut inner = self.shared.lock();
+        let mut stalled = false;
+        loop {
+            if inner.mode != Mode::Running {
+                return Err(CaError::Config("scan pool is shutting down".into()));
+            }
+            let stream =
+                inner.streams.get_mut(&self.id).expect("stream state lives as long as its handle");
+            if let Some(error) = &stream.error {
+                return Err(error.clone());
+            }
+            if stream.queued_bytes < self.shared.queue_bytes {
+                break;
+            }
+            if !stalled {
+                stalled = true;
+                self.shared.telemetry.counter("serve.backpressure_stalls", 1);
+            }
+            inner = match self.shared.space_cv.wait(inner) {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+        let id = self.id;
+        let inner_mut = &mut *inner;
+        let stream = inner_mut.streams.get_mut(&id).expect("checked above");
+        stream.queue.push_back(chunk.to_vec());
+        stream.queued_bytes += chunk.len();
+        let depth = stream.queued_bytes;
+        let newly_ready = !stream.scheduled && !stream.running;
+        if newly_ready {
+            stream.scheduled = true;
+            inner_mut.ready.push_back(id);
+        }
+        drop(inner);
+        self.shared.telemetry.counter("serve.fed_bytes", chunk.len() as u64);
+        self.shared.telemetry.gauge("serve.queue_depth", id, depth as f64);
+        if newly_ready {
+            self.shared.work_cv.notify_one();
+        }
+        Ok(())
+    }
+
+    /// Matches reported since the previous call (or since the stream
+    /// opened), in feed order with absolute stream positions — the
+    /// incremental delivery path. The final [`finish`](StreamHandle::finish)
+    /// report independently carries *all* matches, sorted and deduplicated.
+    pub fn poll_matches(&mut self) -> Vec<MatchEvent> {
+        let mut inner = self.shared.lock();
+        let stream =
+            inner.streams.get_mut(&self.id).expect("stream state lives as long as its handle");
+        let fresh = stream.events[stream.delivered..].to_vec();
+        stream.delivered = stream.events.len();
+        fresh
+    }
+
+    /// Closes the stream, waits for its queued chunks to be scanned, and
+    /// returns the stream's [`RunReport`] — identical to what a dedicated
+    /// [`Scanner`](crate::Scanner) session over the same chunks reports.
+    ///
+    /// # Errors
+    ///
+    /// [`CaError::Internal`] if a worker failed while scanning this stream
+    /// or the pool was [`abort`](ScanPool::abort)ed first.
+    pub fn finish(mut self) -> Result<RunReport, CaError> {
+        self.finished = true;
+        let shared = Arc::clone(&self.shared);
+        let mut inner = shared.lock();
+        if let Some(stream) = inner.streams.get_mut(&self.id) {
+            stream.closed = true;
+        }
+        loop {
+            let stream =
+                inner.streams.get(&self.id).expect("stream state lives as long as its handle");
+            if let Some(error) = stream.error.clone() {
+                inner.streams.remove(&self.id);
+                shared.emit_pool_gauges(&inner);
+                return Err(error);
+            }
+            if stream.queue.is_empty() && !stream.running {
+                break;
+            }
+            if inner.mode == Mode::Aborted {
+                inner.streams.remove(&self.id);
+                shared.emit_pool_gauges(&inner);
+                return Err(CaError::Internal(
+                    "scan pool aborted before the stream completed".into(),
+                ));
+            }
+            inner = match shared.done_cv.wait(inner) {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+        let stream = inner.streams.remove(&self.id).expect("present in the loop above");
+        shared.emit_pool_gauges(&inner);
+        drop(inner);
+
+        // Identical finishing path to `Scanner::finish`: streams always
+        // start at offset zero, so the pipeline fill is charged here and
+        // refills count from the stream origin.
+        let mut stats = stream.stats;
+        finalize_session_stats(&mut stats, 0);
+        let mut events = stream.events;
+        events.sort_unstable();
+        events.dedup();
+        stats.emit_counters(&shared.program.telemetry());
+        Ok(shared.program.report_from(events, stats))
+    }
+}
+
+impl Drop for StreamHandle {
+    fn drop(&mut self) {
+        if self.finished {
+            return;
+        }
+        let id = self.id;
+        let mut inner = self.shared.lock();
+        if inner.streams.remove(&id).is_some() {
+            inner.ready.retain(|&ready_id| ready_id != id);
+            self.shared.emit_pool_gauges(&inner);
+        }
+        drop(inner);
+        // Abandoning a stream frees its queue; a feeder of another stream
+        // is unaffected, but a worker may be waiting on this ring slot.
+        self.shared.work_cv.notify_all();
+    }
+}
+
+/// What one service of a stream produced, computed outside the lock.
+type BatchOutcome = Result<(Vec<MatchEvent>, ExecStats, Option<Snapshot>), CaError>;
+
+fn worker_loop(shared: &Shared) {
+    let mut inner = shared.lock();
+    loop {
+        // Wait for a serviceable stream: ready work plus an available (or
+        // creatable) fabric — or an exit condition.
+        let id = loop {
+            match inner.mode {
+                Mode::Aborted => return,
+                Mode::Draining if inner.ready.is_empty() => return,
+                _ => {}
+            }
+            let fabric_available =
+                !inner.idle_fabrics.is_empty() || inner.fabrics_created < shared.max_fabrics;
+            if fabric_available {
+                if let Some(id) = inner.ready.pop_front() {
+                    break id;
+                }
+            }
+            inner = match shared.work_cv.wait(inner) {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        };
+
+        // Deficit round robin: grant the quantum, take whole chunks up to
+        // the accumulated credit (a single oversized chunk is still taken
+        // whole — chunks are indivisible), and carry leftover credit only
+        // while the stream stays backlogged.
+        let Some(stream) = inner.streams.get_mut(&id) else {
+            continue; // handle dropped between scheduling and service
+        };
+        stream.scheduled = false;
+        stream.deficit = stream.deficit.saturating_add(shared.quantum);
+        let mut batch: Vec<Vec<u8>> = Vec::new();
+        let mut batch_bytes = 0usize;
+        while batch_bytes < stream.deficit {
+            let Some(chunk) = stream.queue.pop_front() else { break };
+            batch_bytes += chunk.len();
+            stream.queued_bytes -= chunk.len();
+            batch.push(chunk);
+        }
+        if stream.queue.is_empty() {
+            stream.deficit = 0;
+        } else {
+            stream.deficit -= batch_bytes.min(stream.deficit);
+        }
+        if batch.is_empty() {
+            // Scheduled with nothing queued (e.g. racing an abandon) —
+            // nothing to do.
+            shared.done_cv.notify_all();
+            continue;
+        }
+        stream.running = true;
+        let resume = stream.snapshot.take();
+
+        // Claim a fabric: recycle an idle one or mint a new instance under
+        // the bound (reserved inside the lock, built outside it).
+        let pooled = inner.idle_fabrics.pop();
+        if pooled.is_none() {
+            inner.fabrics_created += 1;
+        }
+        shared.emit_pool_gauges(&inner);
+        drop(inner);
+
+        let mut fabric = pooled.unwrap_or_else(|| shared.program.fabric());
+        shared.telemetry.gauge("serve.batch_size", id, batch_bytes as f64);
+
+        // Run the batch with panic containment: a panicking scan must not
+        // take down the pool, and the fabric that hit it may hold corrupt
+        // scratch, so it is discarded instead of recycled.
+        let outcome: Result<BatchOutcome, _> = catch_unwind(AssertUnwindSafe(|| {
+            let mut events = Vec::new();
+            let mut stats = ExecStats::default();
+            let mut resume = resume;
+            for chunk in &batch {
+                let options = RunOptions { resume: resume.take(), ..Default::default() };
+                let report = fabric.run_with(chunk, &options).map_err(|e| {
+                    CaError::Internal(format!("pooled fabric rejected its own snapshot: {e}"))
+                })?;
+                resume = report.snapshot;
+                events.extend(report.events);
+                stats.absorb_activity(&report.stats);
+            }
+            Ok((events, stats, resume))
+        }));
+
+        let fabric_back = match &outcome {
+            Ok(_) => {
+                // State rides in the stream's snapshot, not the fabric, so
+                // the instance is recycled for *any* stream after a cheap
+                // scratch reset.
+                fabric.reset();
+                Some(fabric)
+            }
+            Err(_) => None,
+        };
+
+        inner = shared.lock();
+        match fabric_back {
+            Some(fabric) => inner.idle_fabrics.push(fabric),
+            None => inner.fabrics_created -= 1,
+        }
+        let mut reschedule = false;
+        if let Some(stream) = inner.streams.get_mut(&id) {
+            stream.running = false;
+            match outcome {
+                Ok(Ok((events, stats, snapshot))) => {
+                    stream.events.extend(events);
+                    stream.stats.absorb_activity(&stats);
+                    stream.snapshot = snapshot;
+                    reschedule = !stream.queue.is_empty();
+                }
+                Ok(Err(error)) => {
+                    stream.error = Some(error);
+                    stream.queue.clear();
+                    stream.queued_bytes = 0;
+                }
+                Err(payload) => {
+                    stream.error = Some(join_panic_to_internal("scan pool batch", payload));
+                    stream.queue.clear();
+                    stream.queued_bytes = 0;
+                }
+            }
+        }
+        if reschedule && inner.mode != Mode::Aborted {
+            let inner_mut = &mut *inner;
+            if let Some(stream) = inner_mut.streams.get_mut(&id) {
+                stream.scheduled = true;
+                inner_mut.ready.push_back(id);
+            }
+        }
+        shared.emit_pool_gauges(&inner);
+        // A fabric went back to the pool and queue space opened up:
+        // everyone gets a look.
+        shared.work_cv.notify_all();
+        shared.space_cv.notify_all();
+        shared.done_cv.notify_all();
+    }
+}

@@ -1338,6 +1338,29 @@ impl Fabric {
     pub fn start_all_vectors(&self) -> &[Mask256] {
         &self.start_all
     }
+
+    /// Restores all mutable scratch to its post-construction state so the
+    /// instance can be recycled for a fresh logical stream without paying
+    /// [`Fabric::new`]'s table compilation again.
+    ///
+    /// A completed [`run_with`](Fabric::run_with) already re-establishes
+    /// the between-run invariants (`next` all-zero, `on_next` all false,
+    /// `code_epoch` stamps below `epoch + 1`), so this is cheap O(n)
+    /// hygiene: it exists so a pool can hand out instances whose history —
+    /// including the monotone `epoch` — is indistinguishable from a fresh
+    /// build, and so a session abandoned mid-configuration cannot leak
+    /// state into the next one. Compiled tables and the telemetry handle
+    /// are kept.
+    pub fn reset(&mut self) {
+        self.enabled.fill(Mask256::ZERO);
+        self.next.fill(Mask256::ZERO);
+        self.active.clear();
+        self.touched.clear();
+        self.visit.clear();
+        self.on_next.fill(false);
+        self.code_epoch.fill(0);
+        self.epoch = 0;
+    }
 }
 
 #[cfg(test)]
@@ -1431,6 +1454,25 @@ mod tests {
         let mut fabric = Fabric::new(&bs).unwrap();
         assert_eq!(fabric.run(b"aa").events.len(), 1);
         assert_eq!(fabric.run(b"ba").events.len(), 0);
+    }
+
+    #[test]
+    fn reset_recycles_like_a_fresh_build() {
+        let bs = routed_pair();
+        let mut recycled = Fabric::new(&bs).unwrap();
+        // Dirty the scratch: a mid-pattern suspend (carry-over state in
+        // `enabled`), a resumed continuation, and a completed run, all of
+        // which advance `epoch` and stamp `code_epoch`.
+        let suspended = recycled.run(b"za");
+        let options = RunOptions { resume: suspended.snapshot, ..Default::default() };
+        let _ = recycled.run_with(b"b", &options).unwrap();
+        let _ = recycled.run(b"abab");
+        recycled.reset();
+
+        let mut fresh = Fabric::new(&bs).unwrap();
+        for input in [&b"zabz"[..], b"", b"aaab"] {
+            assert_eq!(recycled.run(input), fresh.run(input), "input {input:?}");
+        }
     }
 
     #[test]
