@@ -6,7 +6,7 @@
 //! experiments <target> [--scale F] [--kib N] [--seed N]
 //!
 //! targets: all | table1 | table2 | table3 | table4 | table5
-//!        | fig7 | fig8 | fig9 | fig10 | serving | summary
+//!        | fig7 | fig8 | fig9 | fig10 | serving | serving-daemon | summary
 //! ```
 //!
 //! `--scale 1.0` (default) builds the paper-sized automata; `--kib` sets
@@ -67,6 +67,7 @@ fn main() {
             sections.push(ca_bench::ablation::dfa_blowup(&config));
             sections.push(figures::scaling(&config));
             sections.push(ca_bench::serving::multistream(&config));
+            sections.push(ca_bench::serving::daemon_throughput(&config));
             sections.push(figures::summary(&results, &config));
         }
         "table1" => sections.push(tables::table1(&results)),
@@ -80,6 +81,9 @@ fn main() {
         "fig10" => sections.push(figures::fig10()),
         "scaling" => sections.push(figures::scaling(&config)),
         "serving" | "multistream" => sections.push(ca_bench::serving::multistream(&config)),
+        "serving-daemon" | "daemon" => {
+            sections.push(ca_bench::serving::daemon_throughput(&config));
+        }
         "ablation" => {
             sections.push(ca_bench::ablation::ablation_packing(&config));
             sections.push(ca_bench::ablation::ablation_merging(&config));
@@ -90,7 +94,7 @@ fn main() {
         "summary" => sections.push(figures::summary(&results, &config)),
         other => {
             eprintln!(
-                "unknown target '{other}'; expected all|table1..table5|fig7..fig10|ablation|scaling|serving|summary"
+                "unknown target '{other}'; expected all|table1..table5|fig7..fig10|ablation|scaling|serving|serving-daemon|summary"
             );
             std::process::exit(2);
         }

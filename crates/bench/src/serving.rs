@@ -11,7 +11,10 @@
 use std::time::Instant;
 
 use ca_workloads::Benchmark;
-use cache_automaton::{CacheAutomaton, Optimize, PoolOptions, Program, RunReport, ScanPool};
+use cache_automaton::{
+    CacheAutomaton, Client, Daemon, DaemonOptions, Optimize, PoolOptions, Program, RunReport,
+    ScanPool,
+};
 
 use crate::markdown::{fnum, Table};
 use crate::suite::RunConfig;
@@ -84,6 +87,104 @@ pub fn multistream(config: &RunConfig) -> String {
     )
 }
 
+/// Renders the serving-daemon study: the same round-robin multi-stream
+/// scan driven in-process through a [`ScanPool`] versus over the wire
+/// protocol through a [`Daemon`], on both transports. The gap between the
+/// columns is the cost of serialization plus one request/reply round trip
+/// per 64 KiB chunk — the protocol itself adds no scan work, which the
+/// match-parity assertion (daemon events bit-identical to the in-process
+/// reports) makes checkable.
+pub fn daemon_throughput(config: &RunConfig) -> String {
+    let mut t = Table::new([
+        "Benchmark",
+        "Streams",
+        "Transport",
+        "Total KiB",
+        "In-process pool (ms)",
+        "Daemon (ms)",
+        "Wire cost",
+        "Matches",
+    ]);
+    let total_bytes = (config.input_kib * 1024).max(64 * 1024);
+    const WORKERS: usize = 4;
+    let sock_dir = std::env::temp_dir().join(format!("ca-bench-daemon-{}", std::process::id()));
+    let _ = std::fs::create_dir_all(&sock_dir);
+    for benchmark in [Benchmark::Snort, Benchmark::Spm] {
+        let w = benchmark.build(config.scale, config.seed);
+        // The daemon compiles from rule *text*; round-trip the workload
+        // NFA through ANML so the in-process baseline and the daemon
+        // compile from the identical source.
+        let rules = cache_automaton::automata::anml::to_anml(&w.nfa, "bench");
+        let ca = CacheAutomaton::builder().optimize(Optimize::Never).build();
+        let Ok(nfa) = cache_automaton::automata::anml::parse_anml(&rules) else { continue };
+        let Ok(program) = ca.compile_nfa(&nfa) else { continue };
+        for streams in [4usize, 16] {
+            let per_stream = (total_bytes / streams).max(1);
+            let inputs: Vec<Vec<u8>> = (0..streams)
+                .map(|i| w.input(per_stream, config.seed ^ 0xdae3 ^ i as u64))
+                .collect();
+            let (pool_ms, baseline) = timed_pool(&program, &inputs, WORKERS);
+            let matches: usize = baseline.iter().map(|r| r.matches.len()).sum();
+            for (transport, addr) in [
+                ("unix", format!("unix:{}", sock_dir.join(format!("{streams}.sock")).display())),
+                ("tcp", "127.0.0.1:0".to_string()),
+            ] {
+                let options =
+                    DaemonOptions { pool: PoolOptions { workers: WORKERS, ..Default::default() } };
+                let daemon =
+                    Daemon::bind(&ca, &rules, &addr, options).expect("daemon binds locally");
+                let started = Instant::now();
+                let mut client = Client::connect(&daemon.local_addr()).expect("local connect");
+                let ids: Vec<u64> =
+                    inputs.iter().map(|_| client.open_stream().expect("open").0).collect();
+                let mut offset = 0;
+                loop {
+                    let mut fed_any = false;
+                    for (&id, input) in ids.iter().zip(&inputs) {
+                        if offset < input.len() {
+                            let end = (offset + FEED_CHUNK).min(input.len());
+                            client.feed(id, &input[offset..end]).expect("feed");
+                            fed_any = true;
+                        }
+                    }
+                    if !fed_any {
+                        break;
+                    }
+                    offset += FEED_CHUNK;
+                }
+                let reports: Vec<_> =
+                    ids.into_iter().map(|id| client.finish(id).expect("finish")).collect();
+                let daemon_ms = started.elapsed().as_secs_f64() * 1e3;
+                drop(client);
+                daemon.shutdown().expect("daemon joins cleanly");
+                for (got, want) in reports.iter().zip(&baseline) {
+                    assert_eq!(got.events, want.matches, "wire stream diverged from in-process");
+                    assert_eq!(got.exec, want.exec, "wire accounting diverged from in-process");
+                }
+                t.row([
+                    benchmark.name().to_string(),
+                    streams.to_string(),
+                    transport.to_string(),
+                    (total_bytes / 1024).to_string(),
+                    fnum(pool_ms, 2),
+                    fnum(daemon_ms, 2),
+                    format!("{:.2}x", daemon_ms / pool_ms.max(1e-9)),
+                    matches.to_string(),
+                ]);
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&sock_dir);
+    format!(
+        "## Serving: daemon wire protocol vs in-process pool\n\n{}\nEach row drives the \
+         same streams once through a ScanPool in-process and once through `cactl serve`'s \
+         wire protocol (OPEN_STREAM / FEED_CHUNK / FINISH over a local socket, one \
+         connection, 64 KiB chunks). Every wire report is asserted bit-identical — events \
+         and exec stats — to its in-process twin before the timings are tabulated.\n",
+        t.render()
+    )
+}
+
 /// Feeds every input through a fresh pool round-robin (the service-like
 /// access pattern: no stream is fully buffered before the next gets CPU)
 /// and returns (wall-clock ms, per-stream reports in input order).
@@ -121,6 +222,16 @@ fn timed_pool(program: &Program, inputs: &[Vec<u8>], workers: usize) -> (f64, Ve
 mod tests {
     use super::*;
     use ca_workloads::Scale;
+
+    #[test]
+    fn daemon_study_renders_and_agrees_with_in_process() {
+        let config = RunConfig { scale: Scale::tiny(), input_kib: 8, seed: 5 };
+        let section = daemon_throughput(&config);
+        assert!(section.contains("## Serving: daemon"));
+        // 2 benchmarks x 2 stream counts x 2 transports of data rows,
+        // plus header and separator.
+        assert!(section.matches("\n|").count() >= 10);
+    }
 
     #[test]
     fn multistream_study_renders_and_agrees_with_serial() {

@@ -11,6 +11,8 @@
 //! cactl bench   <rules> <input-file> [--design P|S]
 //! cactl mux     <rules> <input-file>... [--design P|S] [--workers N] [--metrics OUT]
 //! cactl mux     --program <artifact> <input-file>... [--workers N] [--metrics OUT]
+//! cactl serve   <rules> --listen <addr> [--design P|S] [--workers N] [--metrics OUT]
+//! cactl connect --listen <addr> [<input-file>...] [--reload RULES] [--limit N]
 //! cactl checkmetrics <metrics.jsonl>
 //!
 //! <rules> is either an ANML document (*.anml) or a newline-separated
@@ -28,16 +30,25 @@
 //! `run --metrics OUT` streams telemetry (compile pass timings, scan
 //! stripe spans, fabric activity counters) to OUT as JSON lines;
 //! `checkmetrics` validates such a file against the schema.
+//!
+//! `serve` compiles the rules and answers the wire protocol on `--listen`
+//! (`host:port` or `unix:<path>`) until killed; `connect` scans each
+//! input file as one stream of a running daemon (`--reload RULES` hot-
+//! swaps the daemon's rule set first, `--reload same` recompiles its
+//! current rules). With no inputs, `connect` just prints daemon stats.
 //! ```
 //!
-//! Exit codes: 0 success, 2 usage/configuration, 3 i/o, 4 pattern or ANML
-//! front-end, 5 mapping compiler, 6 artifact decode, 7 internal (worker
-//! thread panic).
+//! Exit codes are [`CaError::code`], shared with the daemon's wire-level
+//! ERROR frames: 0 success, 2 usage/configuration, 3 i/o, 4 pattern or
+//! ANML front-end, 5 mapping compiler, 6 artifact decode, 7 internal
+//! (worker thread panic), 8 wire-protocol violation. An error reported by
+//! a remote daemon exits with the code the daemon sent.
 
 use ca_baselines::measure_cpu as ca_baselines_measure;
+use cache_automaton::serve::daemon::nfa_from_rules_text;
 use cache_automaton::{
-    CaError, CacheAutomaton, Design, JsonLinesWriter, Parallelism, PoolOptions, Program, RunReport,
-    ScanPool, Telemetry,
+    CaError, CacheAutomaton, Client, Daemon, DaemonOptions, Design, JsonLinesWriter, Parallelism,
+    PoolOptions, Program, RunReport, ScanPool, Telemetry,
 };
 use std::fmt::Write as _;
 use std::io::Read as _;
@@ -51,22 +62,11 @@ fn main() -> ExitCode {
         }
         Err(err) => {
             eprintln!("cactl: {err}");
-            ExitCode::from(exit_code(&err))
+            // One stable exit code per error class — the same table the
+            // wire protocol uses — so scripts can branch on failure kind
+            // without parsing stderr, locally or against a daemon.
+            ExitCode::from(err.code())
         }
-    }
-}
-
-/// One stable exit code per error class, so scripts can branch on failure
-/// kind without parsing stderr.
-fn exit_code(err: &CaError) -> u8 {
-    match err {
-        CaError::Config(_) => 2,
-        CaError::Io(_) => 3,
-        CaError::Automata(_) => 4,
-        CaError::Compile(_) => 5,
-        CaError::Artifact(_) => 6,
-        CaError::Internal(_) => 7,
-        _ => 2,
     }
 }
 
@@ -85,6 +85,8 @@ struct Options {
     limit: usize,
     shards: Option<Parallelism>,
     workers: Option<usize>,
+    listen: Option<String>,
+    reload: Option<String>,
     positional: Vec<String>,
 }
 
@@ -102,6 +104,8 @@ fn parse_args(args: Vec<String>) -> Result<(String, Options), CaError> {
         limit: 20,
         shards: None,
         workers: None,
+        listen: None,
+        reload: None,
         positional: Vec::new(),
     };
     let bad = |msg: &str| CaError::Config(msg.to_string());
@@ -161,6 +165,22 @@ fn parse_args(args: Vec<String>) -> Result<(String, Options), CaError> {
                     .ok_or_else(|| bad("--limit needs a number"))?;
                 rest.drain(i..=i + 1);
             }
+            "--listen" => {
+                opts.listen = Some(
+                    rest.get(i + 1)
+                        .ok_or_else(|| bad("--listen needs host:port or unix:<path>"))?
+                        .clone(),
+                );
+                rest.drain(i..=i + 1);
+            }
+            "--reload" => {
+                opts.reload = Some(
+                    rest.get(i + 1)
+                        .ok_or_else(|| bad("--reload needs a rules file or 'same'"))?
+                        .clone(),
+                );
+                rest.drain(i..=i + 1);
+            }
             "--workers" => {
                 opts.workers = Some(
                     rest.get(i + 1)
@@ -192,21 +212,22 @@ fn parse_args(args: Vec<String>) -> Result<(String, Options), CaError> {
     Ok((command, opts))
 }
 
-const USAGE: &str = "usage: cactl <compile|run|mux|inspect|anml|frompages|bench|checkmetrics> \
-                     <rules> [args] (see --help in the crate docs)";
+const USAGE: &str = "usage: cactl <compile|run|mux|serve|connect|inspect|anml|frompages|bench|\
+                     checkmetrics> <rules> [args] (see --help in the crate docs)";
+
+fn load_rules_text(path: &str) -> Result<String, CaError> {
+    std::fs::read_to_string(path).map_err(|e| io_err(path, e))
+}
 
 fn load_nfa(path: &str) -> Result<cache_automaton::HomNfa, CaError> {
-    let text = std::fs::read_to_string(path).map_err(|e| io_err(path, e))?;
-    if path.ends_with(".anml") || text.trim_start().starts_with('<') {
-        Ok(ca_automata::anml::parse_anml(&text)?)
-    } else {
-        let patterns: Vec<&str> =
-            text.lines().map(str::trim).filter(|l| !l.is_empty() && !l.starts_with('#')).collect();
-        if patterns.is_empty() {
-            return Err(CaError::Config(format!("{path}: no patterns found")));
-        }
-        Ok(ca_automata::regex::compile_patterns(&patterns)?)
-    }
+    let text = load_rules_text(path)?;
+    // Same front-end the daemon applies to RELOAD payloads (ANML sniffed
+    // by content), so a file served locally and a file pushed over the
+    // wire compile identically.
+    nfa_from_rules_text(&text).map_err(|e| match e {
+        CaError::Config(msg) => CaError::Config(format!("{path}: {msg}")),
+        other => other,
+    })
 }
 
 fn compile_program(opts: &Options, path: &str, telemetry: &Telemetry) -> Result<Program, CaError> {
@@ -440,6 +461,102 @@ fn run(args: Vec<String>) -> Result<String, CaError> {
                 telemetry.flush();
                 let _ = writeln!(out, "metrics written      : {path}");
             }
+        }
+        "serve" => {
+            let [rules] = opts.positional.as_slice() else {
+                return Err(CaError::Config("serve needs exactly one rules file".into()));
+            };
+            let addr = opts.listen.as_deref().ok_or_else(|| {
+                CaError::Config("serve needs --listen host:port or unix:<path>".into())
+            })?;
+            let workers = opts
+                .workers
+                .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+            let ca = CacheAutomaton::builder()
+                .design(opts.design)
+                .slices(opts.slices)
+                .telemetry_handle(telemetry.clone())
+                .build();
+            let rules_text = load_rules_text(rules)?;
+            let options = DaemonOptions { pool: PoolOptions { workers, ..PoolOptions::default() } };
+            let daemon = Daemon::bind(&ca, &rules_text, addr, options)?;
+            // Announce before blocking — scripts wait for this line to
+            // know the socket is ready.
+            println!(
+                "serving {rules} on {} ({workers} workers, generation 0)",
+                daemon.local_addr()
+            );
+            let _ = std::io::Write::flush(&mut std::io::stdout());
+            daemon.wait();
+        }
+        "connect" => {
+            let addr = opts.listen.as_deref().ok_or_else(|| {
+                CaError::Config("connect needs --listen host:port or unix:<path>".into())
+            })?;
+            let mut client = Client::connect(addr)?;
+            if let Some(reload) = &opts.reload {
+                // `--reload same` recompiles the daemon's current rules —
+                // a generation bump to an identical program.
+                let rules_text =
+                    if reload == "same" { None } else { Some(load_rules_text(reload)?) };
+                let generation = client.reload(rules_text.as_deref())?;
+                let _ = writeln!(out, "reloaded: generation {generation}");
+            }
+            let mut total_bytes = 0u64;
+            let mut total_matches = 0usize;
+            for path in &opts.positional {
+                let (stream, generation) = client.open_stream()?;
+                let file = std::fs::File::open(path).map_err(|e| io_err(path, e))?;
+                let mut reader = std::io::BufReader::new(file);
+                let mut buf = vec![0u8; 64 * 1024];
+                let mut bytes = 0u64;
+                let mut live = 0usize;
+                loop {
+                    let n = reader.read(&mut buf).map_err(|e| io_err(path, e))?;
+                    if n == 0 {
+                        break;
+                    }
+                    bytes += n as u64;
+                    client.feed(stream, &buf[..n])?;
+                    // Drain matches as the stream scans; the FINISH report
+                    // still carries the complete, ordered event list.
+                    live += client.poll_matches(stream)?.len();
+                }
+                live += client.poll_matches(stream)?.len();
+                let report = client.finish(stream)?;
+                total_bytes += bytes;
+                total_matches += report.events.len();
+                let _ = writeln!(
+                    out,
+                    "stream {path}: {bytes} bytes, {} matches, {live} delivered live \
+                     (generation {generation})",
+                    report.events.len()
+                );
+                for m in report.events.iter().take(opts.limit) {
+                    let _ = writeln!(out, "  pattern {:>4} @ byte {}", m.code.0, m.pos);
+                }
+                if report.events.len() > opts.limit {
+                    let _ = writeln!(out, "  ... {} more", report.events.len() - opts.limit);
+                }
+            }
+            if !opts.positional.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "aggregate: {} streams, {total_bytes} bytes, {total_matches} matches",
+                    opts.positional.len()
+                );
+            }
+            let stats = client.stats()?;
+            let _ = writeln!(
+                out,
+                "daemon: generation {}, {} reloads, {} streams served, {} live streams, \
+                 {} connections",
+                stats.generation,
+                stats.reloads,
+                stats.streams_served,
+                stats.live_streams,
+                stats.connections
+            );
         }
         "inspect" => {
             let [rules] = opts.positional.as_slice() else {

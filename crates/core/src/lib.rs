@@ -40,6 +40,7 @@ pub mod cache;
 pub mod matches;
 mod scanner;
 pub mod serve;
+mod session;
 mod shard;
 
 pub use ca_automata as automata;
@@ -59,7 +60,10 @@ pub use ca_sim::{ArtifactError, EnergyReport, ExecStats, PipelineTiming, Snapsho
 pub use ca_telemetry::{JsonLinesWriter, MemoryRecorder, Telemetry, TelemetrySink};
 pub use cache::{CacheKey, CacheStats, ProgramCache};
 pub use scanner::Scanner;
+pub use serve::daemon::{Client, Daemon, DaemonOptions, ListenAddr};
+pub use serve::proto::{Frame, ProtoError, ServerStats, WireReport, PROTO_VERSION};
 pub use serve::{PoolOptions, ScanPool, StreamHandle};
+pub use session::Session;
 pub use shard::{Parallelism, ScanOptions};
 
 /// Default bound of the in-process program cache, in entries.
@@ -90,6 +94,20 @@ pub enum CaError {
     /// the process (and any embedding service) survives with a typed
     /// error instead of an abort.
     Internal(String),
+    /// A serving-daemon wire-protocol violation (bad frame header,
+    /// unsupported version, oversized or malformed payload). See
+    /// [`serve::proto`].
+    Protocol(String),
+    /// An error a serving daemon reported over the wire. `code` preserves
+    /// the daemon-side [`CaError::code`] value for variants whose typed
+    /// payload cannot cross a socket (automata, compiler, artifact
+    /// errors), so exit codes survive the round trip.
+    Remote {
+        /// The daemon-side [`CaError::code`] value.
+        code: u8,
+        /// The daemon-side error message.
+        message: String,
+    },
 }
 
 impl fmt::Display for CaError {
@@ -101,6 +119,35 @@ impl fmt::Display for CaError {
             CaError::Io(msg) => write!(f, "i/o error: {msg}"),
             CaError::Artifact(e) => write!(f, "artifact error: {e}"),
             CaError::Internal(msg) => write!(f, "internal error: {msg}"),
+            CaError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            CaError::Remote { code, message } => {
+                write!(f, "remote error (code {code}): {message}")
+            }
+        }
+    }
+}
+
+impl CaError {
+    /// Stable per-variant error code: 2 configuration, 3 i/o, 4 automata
+    /// front-end, 5 mapping compiler, 6 artifact decode, 7 internal,
+    /// 8 wire-protocol violation. A [`CaError::Remote`] carries its
+    /// daemon-side code through unchanged.
+    ///
+    /// This is the **one** error-code table of the project: `cactl` uses
+    /// it as its process exit code for every subcommand, and the serving
+    /// daemon's wire protocol carries it in ERROR frames (see
+    /// [`serve::proto`]), so a scripted client can branch on failure kind
+    /// identically whether the scan ran locally or over a socket.
+    pub fn code(&self) -> u8 {
+        match self {
+            CaError::Config(_) => 2,
+            CaError::Io(_) => 3,
+            CaError::Automata(_) => 4,
+            CaError::Compile(_) => 5,
+            CaError::Artifact(_) => 6,
+            CaError::Internal(_) => 7,
+            CaError::Protocol(_) => 8,
+            CaError::Remote { code, .. } => *code,
         }
     }
 }
@@ -111,7 +158,11 @@ impl std::error::Error for CaError {
             CaError::Automata(e) => Some(e),
             CaError::Compile(e) => Some(e),
             CaError::Artifact(e) => Some(e),
-            CaError::Config(_) | CaError::Io(_) | CaError::Internal(_) => None,
+            CaError::Config(_)
+            | CaError::Io(_)
+            | CaError::Internal(_)
+            | CaError::Protocol(_)
+            | CaError::Remote { .. } => None,
         }
     }
 }

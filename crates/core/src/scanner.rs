@@ -7,7 +7,7 @@
 //! invisible to the automaton: feeding a stream in any segmentation yields
 //! the same matches, cycle count and energy as one monolithic scan.
 
-use crate::{MatchEvent, Program, RunReport};
+use crate::{CaError, MatchEvent, Program, RunReport, Session};
 use ca_sim::fabric::{ExecStats, RunOptions, FIFO_REFILL_BYTES, PIPELINE_FILL_CYCLES};
 use ca_sim::{Fabric, Snapshot};
 
@@ -64,6 +64,9 @@ pub struct Scanner<'p> {
     /// session was created from a [`Snapshot`] of an earlier session).
     resume_base: u64,
     events: Vec<MatchEvent>,
+    /// How many of `events` have been handed out via
+    /// [`Session::poll_matches`].
+    delivered: usize,
     stats: ExecStats,
 }
 
@@ -75,6 +78,7 @@ impl<'p> Scanner<'p> {
             resume_base: resume.as_ref().map_or(0, |s| s.symbol_counter),
             resume,
             events: Vec::new(),
+            delivered: 0,
             stats: ExecStats::default(),
         }
     }
@@ -84,7 +88,25 @@ impl<'p> Scanner<'p> {
     ///
     /// State carries over between calls, so a pattern may begin in one
     /// chunk and report in a later one.
+    ///
+    /// **Compatibility note:** this return shape (infallible, yielding the
+    /// chunk's matches directly) predates the unified [`Session`] trait
+    /// and is kept as a thin wrapper for existing callers. New code —
+    /// especially code that should also run over pooled or network
+    /// streams — should use the trait's fallible `feed` /
+    /// [`poll_matches`](Session::poll_matches) pair. The two styles
+    /// compose: every event is handed out exactly once, whether by this
+    /// method's return value or by a later `poll_matches`.
     pub fn feed(&mut self, chunk: &[u8]) -> &[MatchEvent] {
+        let first_new = self.feed_inner(chunk);
+        // Events returned here count as delivered, so a later
+        // `poll_matches` does not hand them out a second time.
+        self.delivered = self.events.len();
+        &self.events[first_new..]
+    }
+
+    /// Scans one chunk, returning the index of the first event it added.
+    fn feed_inner(&mut self, chunk: &[u8]) -> usize {
         let options = RunOptions { resume: self.resume.take(), ..Default::default() };
         // A scanner only ever resumes snapshots its own fabric produced
         // (foreign snapshots are rejected by `Program::resume_scanner`), so
@@ -95,7 +117,7 @@ impl<'p> Scanner<'p> {
         let first_new = self.events.len();
         self.events.extend(report.events);
         self.stats.absorb_activity(&report.stats);
-        &self.events[first_new..]
+        first_new
     }
 
     /// Symbols consumed so far across all chunks.
@@ -132,6 +154,26 @@ impl<'p> Scanner<'p> {
         events.dedup();
         stats.emit_counters(&self.program.telemetry());
         self.program.report_from(events, stats)
+    }
+}
+
+impl Session for Scanner<'_> {
+    /// Scans the chunk immediately on the dedicated fabric. Never fails.
+    fn feed(&mut self, chunk: &[u8]) -> Result<(), CaError> {
+        self.feed_inner(chunk);
+        Ok(())
+    }
+
+    /// Events scanned but not yet handed out — by this method *or* by the
+    /// compat [`Scanner::feed`] return value.
+    fn poll_matches(&mut self) -> &[MatchEvent] {
+        let fresh = &self.events[self.delivered..];
+        self.delivered = self.events.len();
+        fresh
+    }
+
+    fn finish(self) -> Result<RunReport, CaError> {
+        Ok(Scanner::finish(self))
     }
 }
 

@@ -1,0 +1,829 @@
+//! The network serving daemon: `cactl serve` as a library.
+//!
+//! A [`Daemon`] is a long-running TCP or Unix-socket front-end over the
+//! in-process [`ScanPool`]: each accepted connection is serviced by its
+//! own thread speaking the length-prefixed wire protocol of
+//! [`proto`](super::proto), and each OPEN_STREAM maps onto one pool
+//! stream, so thousands of concurrent network streams multiplex over a
+//! handful of worker threads and recycled fabrics.
+//!
+//! # Backpressure
+//!
+//! The pool's bounded per-stream queues map directly onto per-connection
+//! transport backpressure: a FEED_CHUNK whose stream is over its
+//! [`PoolOptions::queue_bytes`] bound blocks the connection thread in
+//! [`StreamHandle::feed`], the daemon stops reading that connection's
+//! socket, the kernel's receive window fills, and the client's next write
+//! stalls — no unbounded buffering at any layer. (The protocol is
+//! request/reply, so a well-behaved [`Client`] is naturally clocked by
+//! FEED_ACKs anyway.)
+//!
+//! # Hot program reload
+//!
+//! A RELOAD frame compiles a replacement rule set and atomically swaps
+//! the daemon's *generation* — an [`Arc`] holding a [`Program`] and the
+//! [`ScanPool`] bound to it. Streams opened after the swap bind the new
+//! generation; streams in flight keep their `Arc` to the old one and
+//! drain on the program they started with, so no traffic is dropped and
+//! no stream ever sees two rule sets. The old generation's pool (workers,
+//! fabrics) is torn down when its last stream finishes. Reload traffic is
+//! observable as `serve.reload.*` telemetry and the generation counter in
+//! STATS replies.
+//!
+//! # Examples
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use cache_automaton::{CacheAutomaton, Client, Daemon, DaemonOptions};
+//!
+//! let ca = CacheAutomaton::new();
+//! let daemon = Daemon::bind(&ca, "spain\n", "127.0.0.1:0", DaemonOptions::default())?;
+//! let mut client = Client::connect(&daemon.local_addr())?;
+//! let (stream, generation) = client.open_stream()?;
+//! assert_eq!(generation, 0);
+//! client.feed(stream, b"the rain in sp")?;
+//! client.feed(stream, b"ain")?;
+//! let report = client.finish(stream)?;
+//! assert_eq!(report.events.len(), 1);
+//! drop(client);
+//! daemon.shutdown()?;
+//! # Ok(())
+//! # }
+//! ```
+
+use super::proto::{
+    error_from_wire, error_to_wire, read_frame, write_frame, Frame, ServerStats, WireReport,
+};
+use super::{PoolOptions, ScanPool, StreamHandle};
+use crate::{CaError, CacheAutomaton, MatchEvent, Program};
+use ca_telemetry::Telemetry;
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Where a daemon listens (or a client connects).
+///
+/// Parsed from the `--listen` string: `unix:<path>` (or any string
+/// containing `/`) selects a Unix-domain socket, `host:port` selects TCP.
+/// Port `0` binds an ephemeral port — read it back with
+/// [`Daemon::local_addr`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ListenAddr {
+    /// A TCP endpoint, `host:port`.
+    Tcp(String),
+    /// A Unix-domain socket path.
+    Unix(PathBuf),
+}
+
+impl ListenAddr {
+    /// Parses an address string (see the type docs for the grammar).
+    ///
+    /// # Errors
+    ///
+    /// [`CaError::Config`] when the string is neither form, or names a
+    /// Unix socket on a platform without them.
+    pub fn parse(s: &str) -> Result<ListenAddr, CaError> {
+        let unix = |path: &str| {
+            if cfg!(unix) {
+                Ok(ListenAddr::Unix(PathBuf::from(path)))
+            } else {
+                Err(CaError::Config("unix sockets are not available on this platform".into()))
+            }
+        };
+        if let Some(path) = s.strip_prefix("unix:") {
+            unix(path)
+        } else if s.contains('/') {
+            unix(s)
+        } else if s.contains(':') {
+            Ok(ListenAddr::Tcp(s.to_string()))
+        } else {
+            Err(CaError::Config(format!(
+                "listen address '{s}' is neither host:port nor unix:<path>"
+            )))
+        }
+    }
+}
+
+impl std::fmt::Display for ListenAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ListenAddr::Tcp(addr) => write!(f, "{addr}"),
+            ListenAddr::Unix(path) => write!(f, "unix:{}", path.display()),
+        }
+    }
+}
+
+/// Configuration of a [`Daemon`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DaemonOptions {
+    /// Options of the [`ScanPool`] backing each generation (worker count,
+    /// queue bound, quantum).
+    pub pool: PoolOptions,
+}
+
+/// One compiled rule set and the pool serving it (the pool holds the
+/// program's bitstream). Streams hold an `Arc` to their generation, so a
+/// retired generation's pool survives exactly until its last in-flight
+/// stream finishes.
+struct Generation {
+    id: u64,
+    pool: ScanPool,
+}
+
+struct DaemonShared {
+    /// Compiles RELOAD payloads; shares the program cache with the
+    /// instance the daemon was built from, so a same-rules reload is a
+    /// cache hit, not a recompilation.
+    compiler: CacheAutomaton,
+    /// The rule text currently served; an empty RELOAD recompiles it.
+    rules: Mutex<String>,
+    current: Mutex<Arc<Generation>>,
+    pool_options: PoolOptions,
+    telemetry: Telemetry,
+    shutdown: AtomicBool,
+    reloads: AtomicU64,
+    next_generation: AtomicU64,
+    connections_live: AtomicU64,
+    streams_served: AtomicU64,
+    /// Connection-thread handles, joined at shutdown.
+    conn_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl DaemonShared {
+    fn stats(&self) -> ServerStats {
+        let current = self.current.lock().expect("generation lock").clone();
+        ServerStats {
+            generation: current.id,
+            reloads: self.reloads.load(Ordering::Relaxed),
+            live_streams: current.pool.live_streams() as u64,
+            connections: self.connections_live.load(Ordering::Relaxed),
+            streams_served: self.streams_served.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Compiles `rules` (or the current rules when empty) and swaps in a
+    /// fresh generation. In-flight streams keep draining on their own
+    /// generation's pool.
+    fn reload(&self, rules: String) -> Result<u64, CaError> {
+        let effective =
+            if rules.is_empty() { self.rules.lock().expect("rules lock").clone() } else { rules };
+        let program = compile_rules(&self.compiler, &effective)?;
+        let pool = ScanPool::new(&program, self.pool_options)?;
+        let id = self.next_generation.fetch_add(1, Ordering::Relaxed);
+        // The pool holds everything the program contributes; the program
+        // value itself need not outlive compilation.
+        drop(program);
+        let fresh = Arc::new(Generation { id, pool });
+        let old = {
+            let mut current = self.current.lock().expect("generation lock");
+            std::mem::replace(&mut *current, fresh)
+        };
+        *self.rules.lock().expect("rules lock") = effective;
+        self.reloads.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.counter("serve.reload.count", 1);
+        self.telemetry.gauge("serve.reload.generation", 0, id as f64);
+        // Dropping the old Arc outside the generation lock: if no stream
+        // still references it, the pool drains and joins here, without
+        // stalling concurrent OPEN_STREAMs.
+        drop(old);
+        self.telemetry.flush();
+        Ok(id)
+    }
+}
+
+/// Builds a homogeneous NFA from rule text: an ANML document when the
+/// text starts with `<`, otherwise newline-separated regex patterns
+/// (blank lines and `#` comments ignored; pattern `i` reports code `i`).
+///
+/// This is the one rules parser shared by `cactl` (which reads the text
+/// from a file) and the daemon's RELOAD path (which receives it over the
+/// wire).
+///
+/// # Errors
+///
+/// [`CaError::Config`] for an empty pattern set; otherwise ANML or regex
+/// front-end errors.
+pub fn nfa_from_rules_text(text: &str) -> Result<crate::HomNfa, CaError> {
+    if text.trim_start().starts_with('<') {
+        Ok(ca_automata::anml::parse_anml(text)?)
+    } else {
+        let patterns: Vec<&str> =
+            text.lines().map(str::trim).filter(|l| !l.is_empty() && !l.starts_with('#')).collect();
+        if patterns.is_empty() {
+            return Err(CaError::Config("no patterns found in rules text".into()));
+        }
+        Ok(ca_automata::regex::compile_patterns(&patterns)?)
+    }
+}
+
+/// Compiles rule text with `ca` (see [`nfa_from_rules_text`]).
+///
+/// # Errors
+///
+/// Front-end or mapping-compiler failures.
+pub fn compile_rules(ca: &CacheAutomaton, text: &str) -> Result<Program, CaError> {
+    ca.compile_nfa(&nfa_from_rules_text(text)?)
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl Listener {
+    fn accept(&self) -> std::io::Result<Conn> {
+        match self {
+            Listener::Tcp(l) => {
+                let (stream, _) = l.accept()?;
+                stream.set_nodelay(true).ok();
+                Ok(Conn::Tcp(stream))
+            }
+            #[cfg(unix)]
+            Listener::Unix(l) => {
+                let (stream, _) = l.accept()?;
+                Ok(Conn::Unix(stream))
+            }
+        }
+    }
+}
+
+/// One accepted or dialed connection, either transport.
+enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Conn {
+    fn try_clone(&self) -> std::io::Result<Conn> {
+        match self {
+            Conn::Tcp(s) => Ok(Conn::Tcp(s.try_clone()?)),
+            #[cfg(unix)]
+            Conn::Unix(s) => Ok(Conn::Unix(s.try_clone()?)),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+fn dial(addr: &ListenAddr) -> Result<Conn, CaError> {
+    match addr {
+        ListenAddr::Tcp(a) => {
+            let stream =
+                TcpStream::connect(a).map_err(|e| CaError::Io(format!("connect {a}: {e}")))?;
+            stream.set_nodelay(true).ok();
+            Ok(Conn::Tcp(stream))
+        }
+        #[cfg(unix)]
+        ListenAddr::Unix(path) => Ok(Conn::Unix(
+            UnixStream::connect(path)
+                .map_err(|e| CaError::Io(format!("connect unix:{}: {e}", path.display())))?,
+        )),
+        #[cfg(not(unix))]
+        ListenAddr::Unix(_) => {
+            Err(CaError::Config("unix sockets are not available on this platform".into()))
+        }
+    }
+}
+
+/// A serving daemon bound to a socket, accepting connections on a
+/// background thread. See the [module docs](self) for the protocol,
+/// backpressure, and reload semantics.
+pub struct Daemon {
+    shared: Arc<DaemonShared>,
+    local_addr: ListenAddr,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    /// Unix-socket path to unlink on shutdown.
+    unlink_on_drop: Option<PathBuf>,
+}
+
+impl std::fmt::Debug for Daemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Daemon")
+            .field("addr", &self.local_addr)
+            .field("stats", &self.shared.stats())
+            .finish()
+    }
+}
+
+impl Daemon {
+    /// Compiles `rules` with `ca` (generation 0) and starts accepting
+    /// connections on `addr` (see [`ListenAddr::parse`]).
+    ///
+    /// # Errors
+    ///
+    /// Compilation failures, invalid addresses, or socket bind errors.
+    pub fn bind(
+        ca: &CacheAutomaton,
+        rules: &str,
+        addr: &str,
+        options: DaemonOptions,
+    ) -> Result<Daemon, CaError> {
+        let addr = ListenAddr::parse(addr)?;
+        let program = compile_rules(ca, rules)?;
+        let telemetry = program.telemetry();
+        let pool = ScanPool::new(&program, options.pool)?;
+        let (listener, local_addr, unlink_on_drop) = match &addr {
+            ListenAddr::Tcp(a) => {
+                let listener =
+                    TcpListener::bind(a).map_err(|e| CaError::Io(format!("bind {a}: {e}")))?;
+                let local = listener
+                    .local_addr()
+                    .map_err(|e| CaError::Io(format!("local_addr: {e}")))?
+                    .to_string();
+                (Listener::Tcp(listener), ListenAddr::Tcp(local), None)
+            }
+            #[cfg(unix)]
+            ListenAddr::Unix(path) => {
+                // A stale socket file from a previous daemon refuses the
+                // bind; replace it.
+                let _ = std::fs::remove_file(path);
+                let listener = UnixListener::bind(path)
+                    .map_err(|e| CaError::Io(format!("bind unix:{}: {e}", path.display())))?;
+                (Listener::Unix(listener), addr.clone(), Some(path.clone()))
+            }
+            #[cfg(not(unix))]
+            ListenAddr::Unix(_) => unreachable!("rejected by ListenAddr::parse"),
+        };
+        let shared = Arc::new(DaemonShared {
+            compiler: ca.clone(),
+            rules: Mutex::new(rules.to_string()),
+            current: Mutex::new(Arc::new(Generation { id: 0, pool })),
+            pool_options: options.pool,
+            telemetry,
+            shutdown: AtomicBool::new(false),
+            reloads: AtomicU64::new(0),
+            next_generation: AtomicU64::new(1),
+            connections_live: AtomicU64::new(0),
+            streams_served: AtomicU64::new(0),
+            conn_threads: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::spawn(move || accept_loop(&accept_shared, listener));
+        Ok(Daemon { shared, local_addr, accept_thread: Some(accept_thread), unlink_on_drop })
+    }
+
+    /// The address the daemon actually listens on — with an ephemeral TCP
+    /// port resolved, in a form [`Client::connect`] accepts.
+    pub fn local_addr(&self) -> String {
+        self.local_addr.to_string()
+    }
+
+    /// Current daemon counters (the same numbers a STATS frame returns).
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats()
+    }
+
+    /// Stops accepting connections, joins the connection threads (which
+    /// exit when their clients disconnect — close clients first), and
+    /// tears down the current generation's pool.
+    ///
+    /// # Errors
+    ///
+    /// [`CaError::Internal`] if the accept or a connection thread
+    /// panicked.
+    pub fn shutdown(mut self) -> Result<(), CaError> {
+        self.shutdown_inner()
+    }
+
+    fn shutdown_inner(&mut self) -> Result<(), CaError> {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = dial(&self.local_addr);
+        let mut failed = 0usize;
+        if let Some(handle) = self.accept_thread.take() {
+            failed += usize::from(handle.join().is_err());
+        }
+        let threads = std::mem::take(&mut *self.shared.conn_threads.lock().expect("thread list"));
+        for handle in threads {
+            failed += usize::from(handle.join().is_err());
+        }
+        if let Some(path) = self.unlink_on_drop.take() {
+            let _ = std::fs::remove_file(path);
+        }
+        self.shared.telemetry.flush();
+        if failed > 0 {
+            return Err(CaError::Internal(format!("{failed} daemon thread(s) panicked")));
+        }
+        Ok(())
+    }
+
+    /// Blocks until the daemon shuts down (for a foreground `cactl
+    /// serve`, that is "forever" — until the process is killed).
+    pub fn wait(mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            let _ = self.shutdown_inner();
+        }
+    }
+}
+
+fn accept_loop(shared: &Arc<DaemonShared>, listener: Listener) {
+    let mut next_conn = 0u64;
+    loop {
+        let conn = listener.accept();
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match conn {
+            Ok(conn) => {
+                let id = next_conn;
+                next_conn += 1;
+                shared.telemetry.counter("serve.conn.accepted", 1);
+                let live = shared.connections_live.fetch_add(1, Ordering::Relaxed) + 1;
+                shared.telemetry.gauge("serve.conn.live", 0, live as f64);
+                let conn_shared = Arc::clone(shared);
+                let handle = std::thread::spawn(move || connection_loop(&conn_shared, conn, id));
+                shared.conn_threads.lock().expect("thread list").push(handle);
+            }
+            Err(_) => {
+                // Transient accept failure (e.g. a client aborting its
+                // connect); keep serving.
+                continue;
+            }
+        }
+    }
+}
+
+/// Per-connection stream bookkeeping: the pool stream plus the generation
+/// `Arc` that keeps its pool alive across reloads.
+struct ConnStream {
+    handle: StreamHandle,
+    /// Never read — held purely so a retired generation's pool is not
+    /// torn down while this stream still drains on it.
+    _generation: Arc<Generation>,
+}
+
+fn connection_loop(shared: &Arc<DaemonShared>, conn: Conn, conn_id: u64) {
+    let result = serve_connection(shared, conn, conn_id);
+    shared.connections_live.fetch_sub(1, Ordering::Relaxed);
+    shared.telemetry.counter("serve.conn.closed", 1);
+    let live = shared.connections_live.load(Ordering::Relaxed);
+    shared.telemetry.gauge("serve.conn.live", 0, live as f64);
+    shared.telemetry.flush();
+    // A connection failing is that connection's problem; the daemon keeps
+    // serving. The error was already reported to the peer where possible.
+    drop(result);
+}
+
+fn serve_connection(shared: &Arc<DaemonShared>, conn: Conn, conn_id: u64) -> Result<(), CaError> {
+    let reader_conn = conn.try_clone().map_err(|e| CaError::Io(format!("clone socket: {e}")))?;
+    let mut reader = BufReader::new(reader_conn);
+    let mut writer = BufWriter::new(conn);
+    // Stream ids are daemon-assigned, scoped to the connection.
+    let mut streams: HashMap<u64, ConnStream> = HashMap::new();
+    let mut next_stream = (conn_id << 32) | 1;
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(Some(frame)) => frame,
+            // Clean disconnect: abandon any unfinished streams (their
+            // queued work is discarded, pool slots freed).
+            Ok(None) => return Ok(()),
+            Err(e) => {
+                // Best-effort typed goodbye; the connection is already
+                // suspect, so ignore secondary failures.
+                let _ = write_frame(&mut writer, &error_to_wire(&e));
+                let _ = writer.flush();
+                return Err(e);
+            }
+        };
+        shared.telemetry.counter("serve.conn.frames", 1);
+        let reply = handle_frame(shared, &mut streams, &mut next_stream, frame);
+        write_frame(&mut writer, &reply)?;
+        writer.flush().map_err(|e| CaError::Io(format!("flushing reply: {e}")))?;
+    }
+}
+
+fn handle_frame(
+    shared: &Arc<DaemonShared>,
+    streams: &mut HashMap<u64, ConnStream>,
+    next_stream: &mut u64,
+    frame: Frame,
+) -> Frame {
+    match try_handle_frame(shared, streams, next_stream, frame) {
+        Ok(reply) => reply,
+        Err(e) => error_to_wire(&e),
+    }
+}
+
+fn try_handle_frame(
+    shared: &Arc<DaemonShared>,
+    streams: &mut HashMap<u64, ConnStream>,
+    next_stream: &mut u64,
+    frame: Frame,
+) -> Result<Frame, CaError> {
+    let lookup = |streams: &mut HashMap<u64, ConnStream>, id: u64| -> Result<(), CaError> {
+        if streams.contains_key(&id) {
+            Ok(())
+        } else {
+            Err(CaError::Config(format!("unknown stream id {id} on this connection")))
+        }
+    };
+    match frame {
+        Frame::OpenStream => {
+            let generation = shared.current.lock().expect("generation lock").clone();
+            let handle = generation.pool.open_stream()?;
+            let stream = *next_stream;
+            *next_stream += 1;
+            let gen_id = generation.id;
+            streams.insert(stream, ConnStream { handle, _generation: generation });
+            shared.streams_served.fetch_add(1, Ordering::Relaxed);
+            shared.telemetry.counter("serve.conn.streams", 1);
+            Ok(Frame::StreamOpened { stream, generation: gen_id })
+        }
+        Frame::FeedChunk { stream, data } => {
+            lookup(streams, stream)?;
+            let entry = streams.get_mut(&stream).expect("looked up above");
+            // Blocks under backpressure — which stalls this connection's
+            // socket, not the daemon (see module docs).
+            if let Err(e) = entry.handle.feed(&data) {
+                streams.remove(&stream);
+                return Err(e);
+            }
+            shared.telemetry.counter("serve.conn.rx_bytes", data.len() as u64);
+            Ok(Frame::FeedAck { stream, bytes: data.len() as u64 })
+        }
+        Frame::PollMatches { stream } => {
+            lookup(streams, stream)?;
+            let entry = streams.get_mut(&stream).expect("looked up above");
+            let events: Vec<MatchEvent> = entry.handle.poll_matches().to_vec();
+            Ok(Frame::Matches { stream, events })
+        }
+        Frame::Finish { stream } => {
+            lookup(streams, stream)?;
+            let entry = streams.remove(&stream).expect("looked up above");
+            let report = entry.handle.finish()?;
+            // `entry._generation` drops here; if this was the last stream
+            // of a retired generation, its pool drains and joins now.
+            Ok(Frame::Finished {
+                stream,
+                report: WireReport { events: report.matches, exec: report.exec },
+            })
+        }
+        Frame::Stats => Ok(Frame::StatsReply(shared.stats())),
+        Frame::Reload { rules } => match shared.reload(rules) {
+            Ok(generation) => Ok(Frame::ReloadOk { generation }),
+            Err(e) => {
+                shared.telemetry.counter("serve.reload.failed", 1);
+                Err(e)
+            }
+        },
+        // Server-to-client frames arriving at the server are a protocol
+        // violation.
+        other => Err(CaError::Protocol(format!(
+            "unexpected frame kind {:?} from a client",
+            std::mem::discriminant(&other)
+        ))),
+    }
+}
+
+/// A synchronous client of a serving daemon: one connection, blocking
+/// request/reply per call. Used by `cactl connect`, the soak tests, and
+/// the `serving-daemon` experiment — and small enough to crib for real
+/// integrations.
+pub struct Client {
+    reader: BufReader<Conn>,
+    writer: BufWriter<Conn>,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client").finish_non_exhaustive()
+    }
+}
+
+impl Client {
+    /// Connects to a daemon at `addr` (`host:port` or `unix:<path>`).
+    ///
+    /// # Errors
+    ///
+    /// [`CaError::Config`] for an unparsable address, [`CaError::Io`] for
+    /// connection failures.
+    pub fn connect(addr: &str) -> Result<Client, CaError> {
+        let addr = ListenAddr::parse(addr)?;
+        let conn = dial(&addr)?;
+        let reader_conn =
+            conn.try_clone().map_err(|e| CaError::Io(format!("clone socket: {e}")))?;
+        Ok(Client { reader: BufReader::new(reader_conn), writer: BufWriter::new(conn) })
+    }
+
+    fn request(&mut self, frame: &Frame) -> Result<Frame, CaError> {
+        write_frame(&mut self.writer, frame)?;
+        self.writer.flush().map_err(|e| CaError::Io(format!("flushing request: {e}")))?;
+        match read_frame(&mut self.reader)? {
+            Some(Frame::Error { code, message }) => Err(error_from_wire(code, message)),
+            Some(reply) => Ok(reply),
+            None => Err(CaError::Io("daemon closed the connection".into())),
+        }
+    }
+
+    /// Opens a stream; returns `(stream_id, generation)`.
+    ///
+    /// # Errors
+    ///
+    /// Daemon-reported errors (typed via the shared code table) or
+    /// transport failures.
+    pub fn open_stream(&mut self) -> Result<(u64, u64), CaError> {
+        match self.request(&Frame::OpenStream)? {
+            Frame::StreamOpened { stream, generation } => Ok((stream, generation)),
+            other => Err(unexpected_reply("STREAM_OPENED", &other)),
+        }
+    }
+
+    /// Feeds one chunk and waits for its acknowledgement.
+    ///
+    /// # Errors
+    ///
+    /// Daemon-reported errors or transport failures.
+    pub fn feed(&mut self, stream: u64, chunk: &[u8]) -> Result<(), CaError> {
+        let reply = self.request(&Frame::FeedChunk { stream, data: chunk.to_vec() })?;
+        match reply {
+            Frame::FeedAck { stream: s, bytes } if s == stream && bytes == chunk.len() as u64 => {
+                Ok(())
+            }
+            other => Err(unexpected_reply("FEED_ACK", &other)),
+        }
+    }
+
+    /// Drains matches reported since the previous poll of `stream`.
+    ///
+    /// # Errors
+    ///
+    /// Daemon-reported errors or transport failures.
+    pub fn poll_matches(&mut self, stream: u64) -> Result<Vec<MatchEvent>, CaError> {
+        match self.request(&Frame::PollMatches { stream })? {
+            Frame::Matches { stream: s, events } if s == stream => Ok(events),
+            other => Err(unexpected_reply("MATCHES", &other)),
+        }
+    }
+
+    /// Closes `stream` and waits for its final report.
+    ///
+    /// # Errors
+    ///
+    /// Daemon-reported errors or transport failures.
+    pub fn finish(&mut self, stream: u64) -> Result<WireReport, CaError> {
+        match self.request(&Frame::Finish { stream })? {
+            Frame::Finished { stream: s, report } if s == stream => Ok(report),
+            other => Err(unexpected_reply("FINISHED", &other)),
+        }
+    }
+
+    /// Fetches daemon counters.
+    ///
+    /// # Errors
+    ///
+    /// Daemon-reported errors or transport failures.
+    pub fn stats(&mut self) -> Result<ServerStats, CaError> {
+        match self.request(&Frame::Stats)? {
+            Frame::StatsReply(stats) => Ok(stats),
+            other => Err(unexpected_reply("STATS_REPLY", &other)),
+        }
+    }
+
+    /// Requests a hot reload; `rules` is the replacement rule text, or
+    /// `None` to recompile the daemon's current rules (a generation bump
+    /// to an identical program). Returns the new generation counter.
+    ///
+    /// # Errors
+    ///
+    /// Compilation failures reported by the daemon, or transport
+    /// failures. A failed reload leaves the old generation serving.
+    pub fn reload(&mut self, rules: Option<&str>) -> Result<u64, CaError> {
+        match self.request(&Frame::Reload { rules: rules.unwrap_or("").to_string() })? {
+            Frame::ReloadOk { generation } => Ok(generation),
+            other => Err(unexpected_reply("RELOAD_OK", &other)),
+        }
+    }
+}
+
+fn unexpected_reply(wanted: &str, got: &Frame) -> CaError {
+    CaError::Protocol(format!("expected a {wanted} reply, got {:?}", std::mem::discriminant(got)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listen_addr_grammar() {
+        assert_eq!(
+            ListenAddr::parse("127.0.0.1:7070").unwrap(),
+            ListenAddr::Tcp("127.0.0.1:7070".into())
+        );
+        assert_eq!(
+            ListenAddr::parse("unix:/tmp/ca.sock").unwrap(),
+            ListenAddr::Unix(PathBuf::from("/tmp/ca.sock"))
+        );
+        assert_eq!(
+            ListenAddr::parse("/tmp/ca.sock").unwrap(),
+            ListenAddr::Unix(PathBuf::from("/tmp/ca.sock"))
+        );
+        assert!(matches!(ListenAddr::parse("nonsense").unwrap_err(), CaError::Config(_)));
+        assert_eq!(ListenAddr::parse("unix:/a/b.sock").unwrap().to_string(), "unix:/a/b.sock");
+    }
+
+    #[test]
+    fn rules_text_front_end() {
+        let nfa = nfa_from_rules_text("# comment\n\nrain\nsp[ai]n\n").unwrap();
+        assert!(!nfa.is_empty());
+        assert!(matches!(
+            nfa_from_rules_text("# only comments\n").unwrap_err(),
+            CaError::Config(_)
+        ));
+    }
+
+    #[test]
+    fn daemon_round_trip_and_reload_on_tcp() {
+        let ca = CacheAutomaton::new();
+        let daemon =
+            Daemon::bind(&ca, "needle\n", "127.0.0.1:0", DaemonOptions::default()).unwrap();
+        let mut client = Client::connect(&daemon.local_addr()).unwrap();
+
+        let (stream, generation) = client.open_stream().unwrap();
+        assert_eq!(generation, 0);
+        client.feed(stream, b"hay nee").unwrap();
+        client.feed(stream, b"dle hay").unwrap();
+        let polled = client.poll_matches(stream).unwrap();
+        let report = client.finish(stream).unwrap();
+        assert_eq!(report.events.len(), 1);
+        assert!(polled.len() <= 1, "poll may race the worker, never over-delivers");
+
+        // Reload to a different rule set; new streams see the new rules.
+        let generation = client.reload(Some("hay\n")).unwrap();
+        assert_eq!(generation, 1);
+        let (stream, bound) = client.open_stream().unwrap();
+        assert_eq!(bound, 1);
+        client.feed(stream, b"hay nee").unwrap();
+        let report = client.finish(stream).unwrap();
+        assert_eq!(report.events.len(), 1, "matches 'hay' under the reloaded rules");
+
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.generation, 1);
+        assert_eq!(stats.reloads, 1);
+        assert_eq!(stats.streams_served, 2);
+        assert_eq!(stats.connections, 1);
+
+        // A failing reload leaves the serving generation untouched.
+        let err = client.reload(Some("(\n")).unwrap_err();
+        assert_eq!(err.code(), 4, "regex parse error crosses the wire with its code");
+        assert_eq!(client.stats().unwrap().generation, 1);
+
+        drop(client);
+        daemon.shutdown().unwrap();
+    }
+
+    #[test]
+    fn unknown_stream_is_a_typed_config_error() {
+        let ca = CacheAutomaton::new();
+        let daemon =
+            Daemon::bind(&ca, "needle\n", "127.0.0.1:0", DaemonOptions::default()).unwrap();
+        let mut client = Client::connect(&daemon.local_addr()).unwrap();
+        let err = client.feed(99, b"x").unwrap_err();
+        assert!(matches!(err, CaError::Config(_)), "{err}");
+        // the connection survives the error
+        let (stream, _) = client.open_stream().unwrap();
+        client.feed(stream, b"x").unwrap();
+        drop(client);
+        daemon.shutdown().unwrap();
+    }
+}

@@ -50,8 +50,11 @@
 //! # }
 //! ```
 
+pub mod daemon;
+pub mod proto;
+
 use crate::scanner::finalize_session_stats;
-use crate::{join_panic_to_internal, CaError, MatchEvent, Program, RunReport};
+use crate::{join_panic_to_internal, CaError, MatchEvent, Program, RunReport, Session};
 use ca_sim::fabric::{ExecStats, RunOptions};
 use ca_sim::{Fabric, Snapshot};
 use ca_telemetry::Telemetry;
@@ -271,7 +274,12 @@ impl ScanPool {
         inner.next_id += 1;
         inner.streams.insert(id, StreamState::new());
         self.shared.emit_pool_gauges(&inner);
-        Ok(StreamHandle { shared: Arc::clone(&self.shared), id, finished: false })
+        Ok(StreamHandle {
+            shared: Arc::clone(&self.shared),
+            id,
+            finished: false,
+            polled: Vec::new(),
+        })
     }
 
     /// Streams currently open (fed or not).
@@ -388,6 +396,10 @@ pub struct StreamHandle {
     shared: Arc<Shared>,
     id: u64,
     finished: bool,
+    /// Reusable delivery buffer for [`StreamHandle::poll_matches`]:
+    /// cleared and refilled per call, so polling an idle stream allocates
+    /// nothing.
+    polled: Vec<MatchEvent>,
 }
 
 impl std::fmt::Debug for StreamHandle {
@@ -462,13 +474,24 @@ impl StreamHandle {
     /// opened), in feed order with absolute stream positions — the
     /// incremental delivery path. The final [`finish`](StreamHandle::finish)
     /// report independently carries *all* matches, sorted and deduplicated.
-    pub fn poll_matches(&mut self) -> Vec<MatchEvent> {
-        let mut inner = self.shared.lock();
-        let stream =
-            inner.streams.get_mut(&self.id).expect("stream state lives as long as its handle");
-        let fresh = stream.events[stream.delivered..].to_vec();
-        stream.delivered = stream.events.len();
-        fresh
+    ///
+    /// The returned slice borrows a buffer the handle reuses across calls;
+    /// polling an idle stream performs no allocation. Every call records the
+    /// drained count (zero included) in the `serve.polled_events` counter,
+    /// so the metric's sum is the total delivered incrementally and its
+    /// event count is the number of polls.
+    pub fn poll_matches(&mut self) -> &[MatchEvent] {
+        self.polled.clear();
+        let drained = {
+            let mut inner = self.shared.lock();
+            let stream =
+                inner.streams.get_mut(&self.id).expect("stream state lives as long as its handle");
+            self.polled.extend_from_slice(&stream.events[stream.delivered..]);
+            stream.delivered = stream.events.len();
+            self.polled.len()
+        };
+        self.shared.telemetry.counter("serve.polled_events", drained as u64);
+        &self.polled
     }
 
     /// Closes the stream, waits for its queued chunks to be scanned, and
@@ -523,6 +546,22 @@ impl StreamHandle {
         events.dedup();
         stats.emit_counters(&shared.program.telemetry());
         Ok(shared.program.report_from(events, stats))
+    }
+}
+
+impl Session for StreamHandle {
+    /// Queues the chunk on the pool, blocking under backpressure — see
+    /// [`StreamHandle::feed`].
+    fn feed(&mut self, chunk: &[u8]) -> Result<(), CaError> {
+        StreamHandle::feed(self, chunk)
+    }
+
+    fn poll_matches(&mut self) -> &[MatchEvent] {
+        StreamHandle::poll_matches(self)
+    }
+
+    fn finish(self) -> Result<RunReport, CaError> {
+        StreamHandle::finish(self)
     }
 }
 

@@ -1,0 +1,761 @@
+//! The serving daemon's length-prefixed binary wire protocol.
+//!
+//! Every frame is an 8-byte header followed by a payload:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     payload length, u32 little-endian (bytes after the header)
+//! 4       1     protocol version (PROTO_VERSION)
+//! 5       1     frame kind
+//! 6       2     reserved, must be zero
+//! ```
+//!
+//! All multi-byte payload integers are little-endian. The frame grammar
+//! (kind byte in parentheses; client frames in the 0x0_ range, server
+//! replies in 0x8_, errors at 0xEE):
+//!
+//! ```text
+//! client → server
+//!   OPEN_STREAM  (0x01)  —
+//!   FEED_CHUNK   (0x02)  stream:u64, data:bytes
+//!   POLL_MATCHES (0x03)  stream:u64
+//!   FINISH       (0x04)  stream:u64
+//!   STATS        (0x05)  —
+//!   RELOAD       (0x06)  rules:utf8 (empty = recompile the current rules)
+//!
+//! server → client
+//!   STREAM_OPENED (0x81) stream:u64, generation:u64
+//!   FEED_ACK      (0x82) stream:u64, bytes:u64
+//!   MATCHES       (0x83) stream:u64, count:u32, (pos:u64, code:u32)*count
+//!   FINISHED      (0x84) stream:u64, report (see [`WireReport`])
+//!   STATS_REPLY   (0x85) generation:u64, reloads:u64, live_streams:u64,
+//!                        connections:u64, streams_served:u64
+//!   RELOAD_OK     (0x86) generation:u64
+//!   ERROR         (0xEE) code:u16, message:utf8
+//! ```
+//!
+//! The protocol is strict request/reply per frame: every client frame
+//! elicits exactly one reply (the matching success frame or an ERROR).
+//! ERROR `code` values are [`CaError::code`] — the same table `cactl`
+//! uses for process exit codes — so a scripted client branches on failure
+//! kind identically whether a scan failed locally or across the socket.
+//!
+//! Decoding is defensive: version mismatches, unknown kinds, oversized
+//! lengths (> [`MAX_FRAME_PAYLOAD`]), non-zero reserved bytes, truncated
+//! or trailing payload bytes, and invalid UTF-8 all surface as typed
+//! [`ProtoError`]s, never panics — the proptests in
+//! `crates/core/tests/proto.rs` hold this over arbitrary byte soup.
+
+use crate::{CaError, MatchEvent};
+use ca_automata::ReportCode;
+use ca_sim::ExecStats;
+use std::io::{Read, Write};
+
+/// Version byte every frame header carries. Bumped on any grammar change;
+/// a daemon refuses frames from a different version with a typed error.
+pub const PROTO_VERSION: u8 = 1;
+
+/// Header bytes preceding every payload.
+pub const HEADER_LEN: usize = 8;
+
+/// Upper bound on a frame's payload. A peer announcing more is declared
+/// corrupt immediately (before any allocation), so a garbage length
+/// prefix cannot balloon memory.
+pub const MAX_FRAME_PAYLOAD: usize = 16 << 20;
+
+/// Frame-kind bytes (see the module docs for the grammar).
+mod kind {
+    pub const OPEN_STREAM: u8 = 0x01;
+    pub const FEED_CHUNK: u8 = 0x02;
+    pub const POLL_MATCHES: u8 = 0x03;
+    pub const FINISH: u8 = 0x04;
+    pub const STATS: u8 = 0x05;
+    pub const RELOAD: u8 = 0x06;
+    pub const STREAM_OPENED: u8 = 0x81;
+    pub const FEED_ACK: u8 = 0x82;
+    pub const MATCHES: u8 = 0x83;
+    pub const FINISHED: u8 = 0x84;
+    pub const STATS_REPLY: u8 = 0x85;
+    pub const RELOAD_OK: u8 = 0x86;
+    pub const ERROR: u8 = 0xEE;
+}
+
+/// A wire-protocol violation. Converted to [`CaError::Protocol`] (code 8)
+/// at API boundaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProtoError {
+    /// The byte stream ended inside a frame (header or payload).
+    Truncated,
+    /// A header announced a payload larger than [`MAX_FRAME_PAYLOAD`].
+    Oversized {
+        /// The announced payload length.
+        len: u64,
+    },
+    /// The header's version byte does not match [`PROTO_VERSION`].
+    Version {
+        /// The version byte received.
+        got: u8,
+    },
+    /// The header's kind byte names no known frame.
+    UnknownKind(u8),
+    /// A structurally invalid payload (wrong size for its kind, counts
+    /// that disagree with the byte count, trailing bytes, bad UTF-8,
+    /// non-zero reserved header bytes).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "byte stream ended mid-frame"),
+            ProtoError::Oversized { len } => {
+                write!(f, "frame payload of {len} bytes exceeds the {MAX_FRAME_PAYLOAD} limit")
+            }
+            ProtoError::Version { got } => {
+                write!(f, "peer speaks protocol version {got}, this build speaks {PROTO_VERSION}")
+            }
+            ProtoError::UnknownKind(k) => write!(f, "unknown frame kind 0x{k:02x}"),
+            ProtoError::Malformed(what) => write!(f, "malformed frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<ProtoError> for CaError {
+    fn from(e: ProtoError) -> CaError {
+        CaError::Protocol(e.to_string())
+    }
+}
+
+/// The per-stream result a FINISHED frame carries: every match of the
+/// stream (sorted, deduplicated) plus the full [`ExecStats`] — enough for
+/// a client to verify byte-identity against a local serial scan.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WireReport {
+    /// All matches of the stream, in position order.
+    pub events: Vec<MatchEvent>,
+    /// The stream's finalized activity counters.
+    pub exec: ExecStats,
+}
+
+/// Daemon-level counters a STATS_REPLY carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Generation counter of the currently-bound program (bumped by every
+    /// successful reload; generation 0 is the program the daemon started
+    /// with).
+    pub generation: u64,
+    /// Successful RELOADs since the daemon started.
+    pub reloads: u64,
+    /// Streams currently open on the *current* generation's pool.
+    pub live_streams: u64,
+    /// Connections currently accepted and not yet closed.
+    pub connections: u64,
+    /// Streams opened over the daemon's lifetime (all generations).
+    pub streams_served: u64,
+}
+
+/// One protocol frame, either direction.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Frame {
+    /// Open a new logical stream on the daemon's current generation.
+    OpenStream,
+    /// Feed the next chunk of stream `stream`.
+    FeedChunk {
+        /// Daemon-assigned stream id (from [`Frame::StreamOpened`]).
+        stream: u64,
+        /// The chunk bytes.
+        data: Vec<u8>,
+    },
+    /// Drain matches reported since the last poll of `stream`.
+    PollMatches {
+        /// Stream id.
+        stream: u64,
+    },
+    /// Close `stream` and request its final report.
+    Finish {
+        /// Stream id.
+        stream: u64,
+    },
+    /// Request daemon counters.
+    Stats,
+    /// Atomically swap in a newly compiled program. `rules` is the new
+    /// rule text (regex lines or ANML); empty means "recompile the rules
+    /// the daemon currently serves" — a generation bump to an identical
+    /// program, useful for drills and drain tests.
+    Reload {
+        /// Replacement rule text, or empty for same-rules reload.
+        rules: String,
+    },
+    /// Reply to [`Frame::OpenStream`].
+    StreamOpened {
+        /// Daemon-assigned stream id, unique per connection.
+        stream: u64,
+        /// Generation of the program the stream is bound to.
+        generation: u64,
+    },
+    /// Reply to [`Frame::FeedChunk`]: the chunk is queued (possibly after
+    /// a backpressure stall).
+    FeedAck {
+        /// Stream id.
+        stream: u64,
+        /// Bytes accepted (always the full chunk).
+        bytes: u64,
+    },
+    /// Reply to [`Frame::PollMatches`].
+    Matches {
+        /// Stream id.
+        stream: u64,
+        /// Events drained by this poll, in feed order.
+        events: Vec<MatchEvent>,
+    },
+    /// Reply to [`Frame::Finish`].
+    Finished {
+        /// Stream id.
+        stream: u64,
+        /// The stream's final report.
+        report: WireReport,
+    },
+    /// Reply to [`Frame::Stats`].
+    StatsReply(ServerStats),
+    /// Reply to a successful [`Frame::Reload`].
+    ReloadOk {
+        /// The new generation counter.
+        generation: u64,
+    },
+    /// Typed failure reply; `code` is the daemon-side [`CaError::code`].
+    Error {
+        /// [`CaError::code`] value of the failure.
+        code: u16,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+/// Maps a daemon-side error to its wire representation. Variants whose
+/// payload is a plain string send it bare (so [`error_from_wire`] is an
+/// exact inverse for them); structured payloads send their rendered form.
+pub fn error_to_wire(e: &CaError) -> Frame {
+    let message = match e {
+        CaError::Config(m) | CaError::Io(m) | CaError::Internal(m) | CaError::Protocol(m) => {
+            m.clone()
+        }
+        CaError::Remote { message, .. } => message.clone(),
+        other => other.to_string(),
+    };
+    Frame::Error { code: u16::from(e.code()), message }
+}
+
+/// Reconstructs a client-side [`CaError`] from an ERROR frame. Variants
+/// whose payload is a plain string come back as themselves; the rest
+/// (automata / compiler / artifact errors carry structured payloads that
+/// do not cross the wire) come back as [`CaError::Remote`] with the
+/// original code preserved.
+pub fn error_from_wire(code: u16, message: String) -> CaError {
+    match code {
+        2 => CaError::Config(message),
+        3 => CaError::Io(message),
+        7 => CaError::Internal(message),
+        8 => CaError::Protocol(message),
+        other => CaError::Remote { code: other.min(255) as u8, message },
+    }
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Cursor over a frame payload with typed underrun errors.
+struct Take<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Take<'a> {
+    fn bytes(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], ProtoError> {
+        if self.rest.len() < n {
+            return Err(ProtoError::Malformed(what));
+        }
+        let (head, tail) = self.rest.split_at(n);
+        self.rest = tail;
+        Ok(head)
+    }
+
+    fn u16(&mut self, what: &'static str) -> Result<u16, ProtoError> {
+        Ok(u16::from_le_bytes(self.bytes(2, what)?.try_into().expect("length checked")))
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.bytes(4, what)?.try_into().expect("length checked")))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.bytes(8, what)?.try_into().expect("length checked")))
+    }
+
+    fn utf8(&mut self, what: &'static str) -> Result<String, ProtoError> {
+        let bytes = std::mem::take(&mut self.rest);
+        String::from_utf8(bytes.to_vec()).map_err(|_| ProtoError::Malformed(what))
+    }
+
+    fn events(&mut self) -> Result<Vec<MatchEvent>, ProtoError> {
+        let count = self.u32("event count")? as usize;
+        // 12 bytes per event; reject counts the payload cannot hold
+        // before allocating.
+        if self.rest.len() / 12 < count {
+            return Err(ProtoError::Malformed("event count exceeds payload"));
+        }
+        let mut events = Vec::with_capacity(count);
+        for _ in 0..count {
+            let pos = self.u64("event position")?;
+            let code = self.u32("event code")?;
+            events.push(MatchEvent::new(pos, ReportCode(code)));
+        }
+        Ok(events)
+    }
+
+    fn done(self, what: &'static str) -> Result<(), ProtoError> {
+        if self.rest.is_empty() {
+            Ok(())
+        } else {
+            Err(ProtoError::Malformed(what))
+        }
+    }
+}
+
+fn put_events(buf: &mut Vec<u8>, events: &[MatchEvent]) {
+    put_u32(buf, events.len() as u32);
+    for ev in events {
+        put_u64(buf, ev.pos);
+        put_u32(buf, ev.code.0);
+    }
+}
+
+fn put_report(buf: &mut Vec<u8>, report: &WireReport) {
+    put_events(buf, &report.events);
+    let e = &report.exec;
+    for v in [
+        e.symbols,
+        e.cycles,
+        e.active_partition_cycles,
+        e.matched_total,
+        e.g1_signals,
+        e.g4_signals,
+        e.reports,
+        e.output_interrupts,
+        e.fifo_refills,
+    ] {
+        put_u64(buf, v);
+    }
+    put_u32(buf, e.per_partition_active.len() as u32);
+    for v in &e.per_partition_active {
+        put_u64(buf, *v);
+    }
+}
+
+fn take_report(t: &mut Take<'_>) -> Result<WireReport, ProtoError> {
+    let events = t.events()?;
+    let mut exec = ExecStats {
+        symbols: t.u64("exec symbols")?,
+        cycles: t.u64("exec cycles")?,
+        active_partition_cycles: t.u64("exec active partition cycles")?,
+        matched_total: t.u64("exec matched total")?,
+        g1_signals: t.u64("exec g1 signals")?,
+        g4_signals: t.u64("exec g4 signals")?,
+        reports: t.u64("exec reports")?,
+        output_interrupts: t.u64("exec output interrupts")?,
+        fifo_refills: t.u64("exec fifo refills")?,
+        per_partition_active: Vec::new(),
+    };
+    let partitions = t.u32("partition count")? as usize;
+    if t.rest.len() / 8 < partitions {
+        return Err(ProtoError::Malformed("partition count exceeds payload"));
+    }
+    exec.per_partition_active.reserve(partitions);
+    for _ in 0..partitions {
+        exec.per_partition_active.push(t.u64("partition activity")?);
+    }
+    Ok(WireReport { events, exec })
+}
+
+impl Frame {
+    fn kind(&self) -> u8 {
+        match self {
+            Frame::OpenStream => kind::OPEN_STREAM,
+            Frame::FeedChunk { .. } => kind::FEED_CHUNK,
+            Frame::PollMatches { .. } => kind::POLL_MATCHES,
+            Frame::Finish { .. } => kind::FINISH,
+            Frame::Stats => kind::STATS,
+            Frame::Reload { .. } => kind::RELOAD,
+            Frame::StreamOpened { .. } => kind::STREAM_OPENED,
+            Frame::FeedAck { .. } => kind::FEED_ACK,
+            Frame::Matches { .. } => kind::MATCHES,
+            Frame::Finished { .. } => kind::FINISHED,
+            Frame::StatsReply(_) => kind::STATS_REPLY,
+            Frame::ReloadOk { .. } => kind::RELOAD_OK,
+            Frame::Error { .. } => kind::ERROR,
+        }
+    }
+
+    /// Appends the complete encoded frame (header + payload) to `buf`.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        let header_at = buf.len();
+        put_u32(buf, 0); // payload length, patched below
+        buf.push(PROTO_VERSION);
+        buf.push(self.kind());
+        buf.extend_from_slice(&[0u8, 0u8]); // reserved
+        let payload_at = buf.len();
+        match self {
+            Frame::OpenStream | Frame::Stats => {}
+            Frame::FeedChunk { stream, data } => {
+                put_u64(buf, *stream);
+                buf.extend_from_slice(data);
+            }
+            Frame::PollMatches { stream } | Frame::Finish { stream } => put_u64(buf, *stream),
+            Frame::Reload { rules } => buf.extend_from_slice(rules.as_bytes()),
+            Frame::StreamOpened { stream, generation } => {
+                put_u64(buf, *stream);
+                put_u64(buf, *generation);
+            }
+            Frame::FeedAck { stream, bytes } => {
+                put_u64(buf, *stream);
+                put_u64(buf, *bytes);
+            }
+            Frame::Matches { stream, events } => {
+                put_u64(buf, *stream);
+                put_events(buf, events);
+            }
+            Frame::Finished { stream, report } => {
+                put_u64(buf, *stream);
+                put_report(buf, report);
+            }
+            Frame::StatsReply(s) => {
+                for v in [s.generation, s.reloads, s.live_streams, s.connections, s.streams_served]
+                {
+                    put_u64(buf, v);
+                }
+            }
+            Frame::ReloadOk { generation } => put_u64(buf, *generation),
+            Frame::Error { code, message } => {
+                buf.extend_from_slice(&code.to_le_bytes());
+                buf.extend_from_slice(message.as_bytes());
+            }
+        }
+        let payload_len = (buf.len() - payload_at) as u32;
+        buf[header_at..header_at + 4].copy_from_slice(&payload_len.to_le_bytes());
+    }
+
+    /// Encodes the frame into a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Decodes one frame from the front of `buf`.
+    ///
+    /// Returns `Ok(None)` when `buf` holds only a prefix of a frame (read
+    /// more bytes and retry), or `Ok(Some((frame, consumed)))` on success.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`ProtoError`]s for version mismatches, oversized lengths,
+    /// unknown kinds, and structurally invalid payloads. Errors are
+    /// authoritative the moment the header is complete — a garbage header
+    /// is rejected without waiting for its announced payload.
+    pub fn decode(buf: &[u8]) -> Result<Option<(Frame, usize)>, ProtoError> {
+        if buf.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let payload_len =
+            u32::from_le_bytes(buf[0..4].try_into().expect("length checked")) as usize;
+        let version = buf[4];
+        let kind_byte = buf[5];
+        if version != PROTO_VERSION {
+            return Err(ProtoError::Version { got: version });
+        }
+        if payload_len > MAX_FRAME_PAYLOAD {
+            return Err(ProtoError::Oversized { len: payload_len as u64 });
+        }
+        if buf[6] != 0 || buf[7] != 0 {
+            return Err(ProtoError::Malformed("reserved header bytes must be zero"));
+        }
+        if buf.len() < HEADER_LEN + payload_len {
+            return Ok(None);
+        }
+        let payload = &buf[HEADER_LEN..HEADER_LEN + payload_len];
+        let frame = Frame::decode_payload(kind_byte, payload)?;
+        Ok(Some((frame, HEADER_LEN + payload_len)))
+    }
+
+    fn decode_payload(kind_byte: u8, payload: &[u8]) -> Result<Frame, ProtoError> {
+        let mut t = Take { rest: payload };
+        let frame = match kind_byte {
+            kind::OPEN_STREAM => Frame::OpenStream,
+            kind::FEED_CHUNK => Frame::FeedChunk {
+                stream: t.u64("feed stream id")?,
+                data: std::mem::take(&mut t.rest).to_vec(),
+            },
+            kind::POLL_MATCHES => Frame::PollMatches { stream: t.u64("poll stream id")? },
+            kind::FINISH => Frame::Finish { stream: t.u64("finish stream id")? },
+            kind::STATS => Frame::Stats,
+            kind::RELOAD => Frame::Reload { rules: t.utf8("reload rules are not valid UTF-8")? },
+            kind::STREAM_OPENED => Frame::StreamOpened {
+                stream: t.u64("opened stream id")?,
+                generation: t.u64("opened generation")?,
+            },
+            kind::FEED_ACK => {
+                Frame::FeedAck { stream: t.u64("ack stream id")?, bytes: t.u64("ack bytes")? }
+            }
+            kind::MATCHES => {
+                Frame::Matches { stream: t.u64("matches stream id")?, events: t.events()? }
+            }
+            kind::FINISHED => {
+                let stream = t.u64("finished stream id")?;
+                let report = take_report(&mut t)?;
+                Frame::Finished { stream, report }
+            }
+            kind::STATS_REPLY => Frame::StatsReply(ServerStats {
+                generation: t.u64("stats generation")?,
+                reloads: t.u64("stats reloads")?,
+                live_streams: t.u64("stats live streams")?,
+                connections: t.u64("stats connections")?,
+                streams_served: t.u64("stats streams served")?,
+            }),
+            kind::RELOAD_OK => Frame::ReloadOk { generation: t.u64("reload generation")? },
+            kind::ERROR => {
+                let code = t.u16("error code")?;
+                let message = t.utf8("error message is not valid UTF-8")?;
+                Frame::Error { code, message }
+            }
+            other => return Err(ProtoError::UnknownKind(other)),
+        };
+        t.done("trailing bytes in frame payload")?;
+        Ok(frame)
+    }
+}
+
+/// Writes one frame to `w` (unbuffered; wrap `w` in a `BufWriter` and
+/// flush at request boundaries).
+///
+/// # Errors
+///
+/// [`CaError::Io`] on transport failure.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), CaError> {
+    let bytes = frame.encode();
+    w.write_all(&bytes).map_err(|e| CaError::Io(format!("writing frame: {e}")))
+}
+
+/// Reads one frame from `r`, blocking until it is complete.
+///
+/// Returns `Ok(None)` on a clean end-of-stream at a frame boundary.
+///
+/// # Errors
+///
+/// [`CaError::Protocol`] when the stream ends mid-frame
+/// ([`ProtoError::Truncated`]) or the frame is invalid;
+/// [`CaError::Io`] on transport failure.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, CaError> {
+    let mut header = [0u8; HEADER_LEN];
+    if !read_full(r, &mut header, true)? {
+        return Ok(None);
+    }
+    let payload_len = u32::from_le_bytes(header[0..4].try_into().expect("length checked")) as usize;
+    // Validate the header before allocating or reading the payload, so an
+    // oversized or alien frame is refused without consuming its bytes.
+    if header[4] != PROTO_VERSION {
+        return Err(ProtoError::Version { got: header[4] }.into());
+    }
+    if payload_len > MAX_FRAME_PAYLOAD {
+        return Err(ProtoError::Oversized { len: payload_len as u64 }.into());
+    }
+    if header[6] != 0 || header[7] != 0 {
+        return Err(ProtoError::Malformed("reserved header bytes must be zero").into());
+    }
+    let mut payload = vec![0u8; payload_len];
+    if !read_full(r, &mut payload, false)? {
+        return Err(ProtoError::Truncated.into());
+    }
+    Ok(Some(Frame::decode_payload(header[5], &payload)?))
+}
+
+/// Fills `buf` from `r`. Returns `Ok(false)` on EOF before the first byte
+/// when `eof_ok` (clean close), errors [`ProtoError::Truncated`] on EOF
+/// anywhere else.
+fn read_full(r: &mut impl Read, buf: &mut [u8], eof_ok: bool) -> Result<bool, CaError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 && eof_ok {
+                    return Ok(false);
+                }
+                return Err(ProtoError::Truncated.into());
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(CaError::Io(format!("reading frame: {e}"))),
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(frame: Frame) {
+        let bytes = frame.encode();
+        let (decoded, consumed) = Frame::decode(&bytes).expect("valid frame").expect("complete");
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(decoded, frame);
+        // and through the blocking reader
+        let mut cursor = std::io::Cursor::new(bytes);
+        assert_eq!(read_frame(&mut cursor).unwrap(), Some(frame));
+        assert_eq!(read_frame(&mut cursor).unwrap(), None, "clean EOF after the frame");
+    }
+
+    #[test]
+    fn all_frames_round_trip() {
+        round_trip(Frame::OpenStream);
+        round_trip(Frame::FeedChunk { stream: 7, data: b"abc\x00\xff".to_vec() });
+        round_trip(Frame::FeedChunk { stream: u64::MAX, data: Vec::new() });
+        round_trip(Frame::PollMatches { stream: 3 });
+        round_trip(Frame::Finish { stream: 0 });
+        round_trip(Frame::Stats);
+        round_trip(Frame::Reload { rules: String::new() });
+        round_trip(Frame::Reload { rules: "abc\nd[ef]g\n".into() });
+        round_trip(Frame::StreamOpened { stream: 1, generation: 2 });
+        round_trip(Frame::FeedAck { stream: 1, bytes: 4096 });
+        round_trip(Frame::Matches {
+            stream: 9,
+            events: vec![
+                MatchEvent::new(0, ReportCode(0)),
+                MatchEvent::new(u64::MAX, ReportCode(u32::MAX)),
+            ],
+        });
+        round_trip(Frame::Finished {
+            stream: 2,
+            report: WireReport {
+                events: vec![MatchEvent::new(5, ReportCode(1))],
+                exec: ExecStats {
+                    symbols: 10,
+                    cycles: 12,
+                    per_partition_active: vec![3, 0, 7],
+                    ..ExecStats::default()
+                },
+            },
+        });
+        round_trip(Frame::StatsReply(ServerStats {
+            generation: 3,
+            reloads: 3,
+            live_streams: 64,
+            connections: 8,
+            streams_served: 4096,
+        }));
+        round_trip(Frame::ReloadOk { generation: 17 });
+        round_trip(Frame::Error { code: 7, message: "worker panicked".into() });
+    }
+
+    #[test]
+    fn incomplete_prefixes_ask_for_more() {
+        let bytes = Frame::FeedChunk { stream: 1, data: b"hello".to_vec() }.encode();
+        for cut in 0..bytes.len() {
+            assert_eq!(Frame::decode(&bytes[..cut]).unwrap(), None, "prefix of {cut} bytes");
+        }
+    }
+
+    #[test]
+    fn truncated_stream_is_a_typed_error() {
+        let bytes = Frame::FeedChunk { stream: 1, data: b"hello".to_vec() }.encode();
+        for cut in 1..bytes.len() {
+            let mut cursor = std::io::Cursor::new(&bytes[..cut]);
+            let err = read_frame(&mut cursor).unwrap_err();
+            assert!(matches!(err, CaError::Protocol(_)), "cut at {cut}: {err}");
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut bytes = Frame::Stats.encode();
+        bytes[4] = PROTO_VERSION + 1;
+        assert_eq!(
+            Frame::decode(&bytes).unwrap_err(),
+            ProtoError::Version { got: PROTO_VERSION + 1 }
+        );
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_from_header_alone() {
+        let mut bytes = Frame::Stats.encode();
+        bytes[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        // only the 8 header bytes exist; the error must not wait for the
+        // announced 4 GiB payload
+        assert_eq!(
+            Frame::decode(&bytes[..HEADER_LEN]).unwrap_err(),
+            ProtoError::Oversized { len: u64::from(u32::MAX) }
+        );
+    }
+
+    #[test]
+    fn unknown_kind_and_reserved_bytes_are_rejected() {
+        let mut bytes = Frame::Stats.encode();
+        bytes[5] = 0x42;
+        assert_eq!(Frame::decode(&bytes).unwrap_err(), ProtoError::UnknownKind(0x42));
+        let mut bytes = Frame::Stats.encode();
+        bytes[6] = 1;
+        assert!(matches!(Frame::decode(&bytes).unwrap_err(), ProtoError::Malformed(_)));
+    }
+
+    #[test]
+    fn event_count_lying_about_payload_is_rejected() {
+        // MATCHES frame claiming 1000 events but carrying none.
+        let mut buf = Vec::new();
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 1);
+        put_u32(&mut payload, 1000);
+        put_u32(&mut buf, payload.len() as u32);
+        buf.push(PROTO_VERSION);
+        buf.push(kind::MATCHES);
+        buf.extend_from_slice(&[0, 0]);
+        buf.extend_from_slice(&payload);
+        assert!(matches!(Frame::decode(&buf).unwrap_err(), ProtoError::Malformed(_)));
+    }
+
+    #[test]
+    fn error_codes_round_trip_the_shared_table() {
+        for err in [
+            CaError::Config("bad".into()),
+            CaError::Io("gone".into()),
+            CaError::Internal("panic".into()),
+            CaError::Protocol("junk".into()),
+        ] {
+            let Frame::Error { code, message } = error_to_wire(&err) else {
+                panic!("error_to_wire must produce an Error frame");
+            };
+            let back = error_from_wire(code, message);
+            assert_eq!(back, err);
+            assert_eq!(back.code(), err.code());
+        }
+        // structured payloads come back as Remote with the code preserved
+        let err = CacheCompileProbe::err();
+        let Frame::Error { code, message } = error_to_wire(&err) else { unreachable!() };
+        let back = error_from_wire(code, message);
+        assert!(matches!(back, CaError::Remote { code: 5, .. }));
+        assert_eq!(back.code(), err.code());
+    }
+
+    /// Helper producing a compiler error without running the compiler.
+    struct CacheCompileProbe;
+    impl CacheCompileProbe {
+        fn err() -> CaError {
+            CaError::Compile(crate::CompileError::CapacityExceeded { needed: 2, available: 1 })
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! The unified streaming-session lifecycle.
+//!
+//! Three front-ends consume the same logical stream lifecycle — feed
+//! chunks, drain matches incrementally, finish for the final report:
+//!
+//! * [`Scanner`](crate::Scanner) — one dedicated fabric, in-process;
+//! * [`StreamHandle`](crate::StreamHandle) — a [`ScanPool`](crate::ScanPool)
+//!   stream multiplexed over shared workers;
+//! * the serving daemon ([`serve::daemon`](crate::serve::daemon)) — a
+//!   network stream mapped onto a pool stream.
+//!
+//! Historically `Scanner::feed` was infallible and returned the chunk's
+//! matches while `StreamHandle::feed` was fallible and queueing, so code
+//! generic over "a session" could not exist. [`Session`] ends that drift:
+//! `feed` is fallible (in-process scanners simply never fail),
+//! `poll_matches` is the one incremental delivery path (borrowing from a
+//! reusable buffer — no per-call allocation), and `finish` is fallible and
+//! returns the final [`RunReport`].
+//!
+//! # Examples
+//!
+//! Code written against the trait runs unchanged over a dedicated scanner
+//! or a pooled stream:
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use cache_automaton::{CacheAutomaton, PoolOptions, ScanPool, Session};
+//!
+//! fn drive(mut session: impl Session) -> Result<usize, cache_automaton::CaError> {
+//!     let mut seen = 0;
+//!     for chunk in [b"the rain in sp".as_slice(), b"ain"] {
+//!         session.feed(chunk)?;
+//!         seen += session.poll_matches().len();
+//!     }
+//!     let report = session.finish()?;
+//!     assert!(report.matches.len() >= seen);
+//!     Ok(report.matches.len())
+//! }
+//!
+//! let program = CacheAutomaton::new().compile_patterns(&["spain"])?;
+//! assert_eq!(drive(program.scanner())?, 1);
+//! let pool = ScanPool::new(&program, PoolOptions::default())?;
+//! assert_eq!(drive(pool.open_stream()?)?, 1);
+//! pool.shutdown()?;
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{CaError, MatchEvent, RunReport};
+
+/// One logical scan stream: feed chunks, poll matches, finish.
+///
+/// The contract every implementation upholds:
+///
+/// * **Chunking is invisible.** Feeding a stream in any segmentation
+///   yields the same matches (absolute stream offsets) and the same final
+///   [`RunReport`] as one monolithic scan.
+/// * **`poll_matches` delivers each event exactly once**, in feed order,
+///   borrowing from a buffer the session reuses across calls. Events not
+///   polled are still present — sorted and deduplicated — in the final
+///   report's `matches`.
+/// * **`finish` is the only way to observe the stream's report**; it
+///   waits for any queued work to drain first.
+///
+/// `feed` and `finish` are fallible because multiplexed implementations
+/// ([`StreamHandle`](crate::StreamHandle), network sessions) can fail
+/// mid-stream; the in-process [`Scanner`](crate::Scanner) never returns an
+/// error from either.
+pub trait Session {
+    /// Scans (or queues) the next chunk of the stream. Positions reported
+    /// for it are absolute within the logical stream. An empty chunk is a
+    /// no-op.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific; [`Scanner`](crate::Scanner) never fails,
+    /// pooled/network streams surface [`CaError`] once their backend is
+    /// lost or shut down.
+    fn feed(&mut self, chunk: &[u8]) -> Result<(), CaError>;
+
+    /// Matches reported since the previous call (or since the stream
+    /// opened), in feed order with absolute stream positions. Borrows from
+    /// a reusable internal buffer — polling an idle stream allocates
+    /// nothing.
+    fn poll_matches(&mut self) -> &[MatchEvent];
+
+    /// Ends the session: waits for queued work, renders the accumulated
+    /// activity, and returns the final report with *all* matches (sorted,
+    /// deduplicated) regardless of what was already polled.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific; see [`feed`](Session::feed).
+    fn finish(self) -> Result<RunReport, CaError>
+    where
+        Self: Sized;
+}

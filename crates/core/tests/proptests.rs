@@ -1,0 +1,186 @@
+//! Property tests for the serving wire protocol: every frame the
+//! encoder can produce must decode back to itself; every damaged input —
+//! truncated, oversized, version-skewed, bit-flipped, or outright garbage
+//! — must come back as a typed [`ProtoError`], never a panic and never a
+//! silently wrong frame.
+
+use cache_automaton::serve::proto::{read_frame, write_frame};
+use cache_automaton::{
+    CaError, Frame, MatchEvent, ProtoError, ReportCode, ServerStats, WireReport,
+};
+use proptest::prelude::*;
+
+fn event_strategy() -> impl Strategy<Value = MatchEvent> {
+    (any::<u64>(), any::<u32>()).prop_map(|(pos, code)| MatchEvent { pos, code: ReportCode(code) })
+}
+
+fn report_strategy() -> impl Strategy<Value = WireReport> {
+    (
+        prop::collection::vec(event_strategy(), 0..20),
+        prop::collection::vec(any::<u64>(), 0..6),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(|(events, per_partition_active, symbols, cycles)| {
+            let mut exec = cache_automaton::ExecStats {
+                symbols,
+                cycles,
+                per_partition_active,
+                ..Default::default()
+            };
+            exec.reports = events.len() as u64;
+            WireReport { events, exec }
+        })
+}
+
+/// Every wire frame, with arbitrary payloads.
+fn frame_strategy() -> impl Strategy<Value = Frame> {
+    let stats = (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+        |(generation, reloads, live_streams, connections, streams_served)| {
+            Frame::StatsReply(ServerStats {
+                generation,
+                reloads,
+                live_streams,
+                connections,
+                streams_served,
+            })
+        },
+    );
+    prop_oneof![
+        Just(Frame::OpenStream),
+        (any::<u64>(), prop::collection::vec(any::<u8>(), 0..300))
+            .prop_map(|(stream, data)| Frame::FeedChunk { stream, data }),
+        any::<u64>().prop_map(|stream| Frame::PollMatches { stream }),
+        any::<u64>().prop_map(|stream| Frame::Finish { stream }),
+        Just(Frame::Stats),
+        prop::collection::vec(any::<u8>(), 0..120)
+            .prop_map(|v| Frame::Reload { rules: String::from_utf8_lossy(&v).into_owned() }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(stream, generation)| Frame::StreamOpened { stream, generation }),
+        (any::<u64>(), any::<u64>()).prop_map(|(stream, bytes)| Frame::FeedAck { stream, bytes }),
+        (any::<u64>(), prop::collection::vec(event_strategy(), 0..50))
+            .prop_map(|(stream, events)| Frame::Matches { stream, events }),
+        (any::<u64>(), report_strategy())
+            .prop_map(|(stream, report)| Frame::Finished { stream, report }),
+        stats,
+        any::<u64>().prop_map(|generation| Frame::ReloadOk { generation }),
+        (any::<u16>(), prop::collection::vec(any::<u8>(), 0..80)).prop_map(|(code, v)| {
+            Frame::Error { code, message: String::from_utf8_lossy(&v).into_owned() }
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode → decode is the identity, consuming exactly the encoding.
+    #[test]
+    fn round_trip(frame in frame_strategy()) {
+        let bytes = frame.encode();
+        let (back, consumed) = Frame::decode(&bytes).unwrap().expect("complete frame");
+        prop_assert_eq!(consumed, bytes.len());
+        prop_assert_eq!(back, frame);
+    }
+
+    /// A decoder fed a partial frame asks for more bytes (`Ok(None)`)
+    /// at *every* split point — it never misparses a prefix.
+    #[test]
+    fn prefixes_are_incomplete_not_wrong(frame in frame_strategy(), cut in any::<u64>()) {
+        let bytes = frame.encode();
+        let cut = (cut as usize) % bytes.len().max(1);
+        prop_assert!(Frame::decode(&bytes[..cut]).unwrap().is_none());
+    }
+
+    /// Back-to-back frames decode in order from one buffer, each
+    /// reporting its own length.
+    #[test]
+    fn frames_are_self_delimiting(frames in prop::collection::vec(frame_strategy(), 1..5)) {
+        let mut buf = Vec::new();
+        for frame in &frames {
+            frame.encode_into(&mut buf);
+        }
+        let mut offset = 0;
+        for frame in &frames {
+            let (back, consumed) = Frame::decode(&buf[offset..]).unwrap().expect("complete");
+            prop_assert_eq!(&back, frame);
+            offset += consumed;
+        }
+        prop_assert_eq!(offset, buf.len());
+    }
+
+    /// A frame stamped with a foreign protocol version is rejected before
+    /// anything else about it is believed (even its length field).
+    #[test]
+    fn version_skew_is_rejected(frame in frame_strategy(), version in any::<u8>()) {
+        prop_assume!(version != cache_automaton::PROTO_VERSION);
+        let mut bytes = frame.encode();
+        bytes[4] = version;
+        prop_assert_eq!(Frame::decode(&bytes).unwrap_err(), ProtoError::Version { got: version });
+    }
+
+    /// Arbitrary garbage never panics the decoder: it either wants more
+    /// bytes, fails typed, or — if it happens to spell a valid frame —
+    /// consumes no more than it was given.
+    #[test]
+    fn garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        if let Ok(Some((_, consumed))) = Frame::decode(&bytes) {
+            prop_assert!(consumed <= bytes.len());
+        }
+    }
+
+    /// Flipping any single byte of a valid encoding never panics and
+    /// never yields a frame longer than the input.
+    #[test]
+    fn bit_flips_never_panic(frame in frame_strategy(), at in any::<u64>(), with in any::<u8>()) {
+        let mut bytes = frame.encode();
+        let at = (at as usize) % bytes.len();
+        bytes[at] ^= with;
+        if let Ok(Some((_, consumed))) = Frame::decode(&bytes) {
+            prop_assert!(consumed <= bytes.len());
+        }
+    }
+
+    /// The stream reader yields the exact frame sequence then a clean
+    /// end-of-stream; the same sequence cut mid-frame is a typed
+    /// protocol error, not a hang or a panic.
+    #[test]
+    fn stream_reader_round_trip_and_truncation(
+        frames in prop::collection::vec(frame_strategy(), 1..4),
+        cut in any::<u64>(),
+    ) {
+        let mut buf = Vec::new();
+        for frame in &frames {
+            write_frame(&mut buf, frame).unwrap();
+        }
+        let mut reader = &buf[..];
+        for frame in &frames {
+            prop_assert_eq!(&read_frame(&mut reader).unwrap().expect("frame"), frame);
+        }
+        prop_assert!(read_frame(&mut reader).unwrap().is_none(), "clean EOF at a boundary");
+
+        // Now truncate inside some frame and require a typed error.
+        let cut = (cut as usize) % buf.len();
+        let mut partial = &buf[..cut];
+        loop {
+            match read_frame(&mut partial) {
+                Ok(Some(_)) => continue, // frames wholly before the cut
+                Ok(None) => {
+                    // Only legal when the cut landed exactly on a frame
+                    // boundary.
+                    let mut boundary = 0;
+                    let mut offsets = vec![0];
+                    for frame in &frames {
+                        boundary += frame.encode().len();
+                        offsets.push(boundary);
+                    }
+                    prop_assert!(offsets.contains(&cut), "EOF mid-frame must be an error");
+                    break;
+                }
+                Err(e) => {
+                    prop_assert!(matches!(e, CaError::Protocol(_)), "{}", e);
+                    break;
+                }
+            }
+        }
+    }
+}

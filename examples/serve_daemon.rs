@@ -1,0 +1,60 @@
+//! Network serving: a [`Daemon`] answering the length-prefixed wire
+//! protocol on a TCP socket, a [`Client`] scanning streams over it, and a
+//! hot reload swapping the rule set under live traffic — the library form
+//! of `cactl serve` / `cactl connect`.
+//!
+//! Run with: `cargo run --release --example serve_daemon`
+
+use cache_automaton::{CacheAutomaton, Client, Daemon, DaemonOptions, PoolOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Bind on an ephemeral port; generation 0 serves these rules. In
+    // production this is one `cactl serve rules.txt --listen 0.0.0.0:7070`
+    // process and the clients are other machines.
+    let ca = CacheAutomaton::new();
+    let options = DaemonOptions { pool: PoolOptions { workers: 2, ..PoolOptions::default() } };
+    let daemon = Daemon::bind(&ca, "beacon[0-9]{4}\nexfil.*payload\n", "127.0.0.1:0", options)?;
+    println!("daemon listening on {}", daemon.local_addr());
+
+    let mut client = Client::connect(&daemon.local_addr())?;
+
+    // One logical stream, fed in chunks; a pattern spanning two chunks
+    // still matches because the daemon holds the automaton state.
+    let (stream, generation) = client.open_stream()?;
+    println!("opened stream {stream:#x} on generation {generation}");
+    client.feed(stream, b"....beac")?;
+    client.feed(stream, b"on1234....exfil==")?;
+    client.feed(stream, b"==payload....")?;
+    for ev in client.poll_matches(stream)? {
+        println!("  live: pattern {} at offset {}", ev.code.0, ev.pos);
+    }
+    let report = client.finish(stream)?;
+    println!(
+        "stream closed: {} match(es) over {} symbols, {} cycles simulated",
+        report.events.len(),
+        report.exec.symbols,
+        report.exec.cycles
+    );
+    assert_eq!(report.events.len(), 2);
+
+    // Hot reload: streams opened before the swap drain on the old rules;
+    // this one binds the new generation.
+    let generation = client.reload(Some("beacon[0-9]{4}\nransom(ware)?\n"))?;
+    println!("reloaded to generation {generation}");
+    let (stream, bound) = client.open_stream()?;
+    assert_eq!(bound, generation);
+    client.feed(stream, b"..ransomware..beacon0007..")?;
+    let report = client.finish(stream)?;
+    println!("new-generation stream: {} match(es)", report.events.len());
+    // `ransom(ware)?` reports at both "ransom" and "ransomware".
+    assert_eq!(report.events.len(), 3, "ransom, ransomware and beacon under the reloaded rules");
+
+    let stats = client.stats()?;
+    println!(
+        "daemon stats: generation {}, {} reload(s), {} stream(s) served",
+        stats.generation, stats.reloads, stats.streams_served
+    );
+    drop(client);
+    daemon.shutdown()?;
+    Ok(())
+}

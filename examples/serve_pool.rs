@@ -4,7 +4,22 @@
 //!
 //! Run with: `cargo run --release --example serve_pool`
 
-use cache_automaton::{CacheAutomaton, PoolOptions, ScanPool};
+use cache_automaton::{CaError, CacheAutomaton, PoolOptions, RunReport, ScanPool, Session};
+
+/// Drives one flow through any [`Session`] — here a pooled
+/// `StreamHandle`, but the identical function works over a serial
+/// [`Scanner`](cache_automaton::Scanner) or a daemon connection.
+fn pump(mut session: impl Session, flow: usize, chunks: &[&[u8]]) -> Result<RunReport, CaError> {
+    for chunk in chunks {
+        session.feed(chunk)?;
+        // Matches stream out as soon as a worker scans the chunk; a real
+        // server would forward them here.
+        for ev in session.poll_matches() {
+            println!("flow {flow}: pattern {} at offset {}", ev.code.0, ev.pos);
+        }
+    }
+    session.finish()
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = CacheAutomaton::builder()
@@ -32,18 +47,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .iter()
             .enumerate()
             .map(|(i, chunks)| {
-                let mut stream = pool.open_stream().expect("pool is running");
-                scope.spawn(move || {
-                    for chunk in *chunks {
-                        stream.feed(chunk).expect("pool accepts input while running");
-                        // Matches stream out as soon as a worker scans the
-                        // chunk; a real server would forward them here.
-                        for ev in stream.poll_matches() {
-                            println!("flow {i}: pattern {} at offset {}", ev.code.0, ev.pos);
-                        }
-                    }
-                    stream.finish().expect("stream drains cleanly")
-                })
+                let stream = pool.open_stream().expect("pool is running");
+                scope.spawn(move || pump(stream, i, chunks).expect("stream drains cleanly"))
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("feeder thread")).collect::<Vec<_>>()

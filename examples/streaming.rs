@@ -4,7 +4,20 @@
 //!
 //! Run with: `cargo run --release --example streaming`
 
-use cache_automaton::{CacheAutomaton, Design, Scanner};
+use cache_automaton::{CaError, CacheAutomaton, Design, Scanner, Session};
+
+/// Feeds chunks through *any* session — a serial [`Scanner`] here, but the
+/// same function drives a pooled `StreamHandle` or a network stream,
+/// because all of them implement [`Session`].
+fn pump(session: &mut impl Session, chunks: &[&[u8]]) -> Result<(), CaError> {
+    for chunk in chunks {
+        session.feed(chunk)?;
+        for ev in session.poll_matches() {
+            println!("  pattern {} at absolute offset {}", ev.code.0, ev.pos);
+        }
+    }
+    Ok(())
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = CacheAutomaton::builder()
@@ -17,11 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // calls, so a match spanning a chunk boundary is still found at its
     // absolute stream offset.
     let mut scanner = program.scanner();
-    for chunk in [b"....beac".as_slice(), b"on1234....exfil==", b"==payload...."] {
-        for ev in scanner.feed(chunk) {
-            println!("  pattern {} at absolute offset {}", ev.code.0, ev.pos);
-        }
-    }
+    pump(&mut scanner, &[b"....beac".as_slice(), b"on1234....exfil==", b"==payload...."])?;
 
     // --- suspend, persist, resume --------------------------------------
     // The suspend image is small: a symbol counter, the CBOX buffer

@@ -1,0 +1,266 @@
+//! Workspace-level tests for the serving daemon: a scan that travels the
+//! wire — chunked arbitrarily, multiplexed with dozens of concurrent
+//! connections, interrupted by hot reloads — must report exactly what a
+//! dedicated serial [`Scanner`](cache_automaton::Scanner) session reports
+//! over the same bytes, and a daemon must survive thousands of
+//! short-lived streams without leaking pool slots or dropping matches.
+
+use cache_automaton::{CacheAutomaton, Client, Daemon, DaemonOptions, PoolOptions, Program};
+
+const RULES: &str = "needle\nab\nrain|spain\n";
+
+fn reference_program() -> Program {
+    cache_automaton::serve::daemon::compile_rules(&CacheAutomaton::new(), RULES).unwrap()
+}
+
+/// A deterministic input salted per stream so match positions differ
+/// between streams.
+fn salted_input(salt: u64, len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    let mut state = salt.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    while out.len() < len {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        match state % 11 {
+            0 => out.extend_from_slice(b"needle"),
+            1 => out.extend_from_slice(b"ab"),
+            2 => out.extend_from_slice(b"the rain in spain"),
+            3 => out.extend_from_slice(b"nee"),
+            4 => out.extend_from_slice(b"dle"),
+            _ => out.push(b'a' + (state % 26) as u8),
+        }
+    }
+    out.truncate(len);
+    out
+}
+
+fn serial_reference(program: &Program, input: &[u8]) -> cache_automaton::RunReport {
+    let mut scanner = program.scanner();
+    scanner.feed(input);
+    scanner.finish()
+}
+
+fn daemon_on_tcp(workers: usize) -> Daemon {
+    let options = DaemonOptions { pool: PoolOptions { workers, ..PoolOptions::default() } };
+    Daemon::bind(&CacheAutomaton::new(), RULES, "127.0.0.1:0", options).unwrap()
+}
+
+/// The wire report must be *identical* to the serial scanner's — events
+/// and exec stats, bit for bit — whatever the chunking, because chunk
+/// boundaries are invisible to the automaton and the daemon adds none of
+/// its own.
+#[test]
+fn wire_report_is_identical_to_serial_for_any_chunking() {
+    let program = reference_program();
+    let input = salted_input(7, 3000);
+    let reference = serial_reference(&program, &input);
+    assert!(reference.matches.len() > 10, "input must actually contain matches");
+
+    let daemon = daemon_on_tcp(2);
+    let mut client = Client::connect(&daemon.local_addr()).unwrap();
+    for chunk_size in [1usize, 3, 7, 64, 129, 1000, input.len()] {
+        let (stream, _) = client.open_stream().unwrap();
+        let mut polled = Vec::new();
+        for chunk in input.chunks(chunk_size) {
+            client.feed(stream, chunk).unwrap();
+            // Interleave polls so incremental delivery is exercised too.
+            polled.extend(client.poll_matches(stream).unwrap());
+        }
+        let report = client.finish(stream).unwrap();
+        assert_eq!(report.events, reference.matches, "chunk size {chunk_size}");
+        assert_eq!(report.exec, reference.exec, "chunk size {chunk_size}: exec must be identical");
+        // Polled events are a prefix of the final ordered list: polling
+        // must never invent or double-deliver.
+        assert!(
+            polled.len() <= report.events.len(),
+            "chunk size {chunk_size}: polled {} of {}",
+            polled.len(),
+            report.events.len()
+        );
+        for event in &polled {
+            assert!(report.events.contains(event), "chunk size {chunk_size}");
+        }
+    }
+    drop(client);
+    daemon.shutdown().unwrap();
+}
+
+/// 64 concurrent connections, each with its own differently-salted
+/// stream and chunking, all multiplexed over 4 workers — every one must
+/// match its serial reference exactly.
+#[test]
+fn sixty_four_concurrent_connections_match_serial() {
+    let program = reference_program();
+    let daemon = daemon_on_tcp(4);
+    let addr = daemon.local_addr();
+
+    std::thread::scope(|scope| {
+        for salt in 0..64u64 {
+            let program = &program;
+            let addr = &addr;
+            scope.spawn(move || {
+                let input = salted_input(salt, 1500 + (salt as usize) * 13);
+                let reference = serial_reference(program, &input);
+                let mut client = Client::connect(addr).unwrap();
+                let (stream, _) = client.open_stream().unwrap();
+                let chunk = 1 + (salt as usize % 200);
+                for piece in input.chunks(chunk) {
+                    client.feed(stream, piece).unwrap();
+                }
+                let report = client.finish(stream).unwrap();
+                assert_eq!(report.events, reference.matches, "salt {salt}");
+                assert_eq!(report.exec, reference.exec, "salt {salt}");
+            });
+        }
+    });
+
+    let stats = daemon.stats();
+    assert_eq!(stats.streams_served, 64);
+    assert_eq!(stats.live_streams, 0, "every pool slot must be released");
+    daemon.shutdown().unwrap();
+}
+
+/// Hot reload under load: streams opened before the swap drain on the old
+/// generation with zero dropped matches; streams opened after bind the
+/// new one. Reloading to an *identical* program (empty RELOAD payload)
+/// must be observationally invisible apart from the generation bump.
+#[test]
+fn reload_under_load_drops_no_matches() {
+    let program = reference_program();
+    let daemon = daemon_on_tcp(2);
+    let addr = daemon.local_addr();
+    let input = salted_input(99, 4000);
+    let reference = serial_reference(&program, &input);
+    let half = input.len() / 2;
+
+    let mut feeder = Client::connect(&addr).unwrap();
+    let mut admin = Client::connect(&addr).unwrap();
+
+    // Phase 1: streams in flight on generation 0, half fed.
+    let mut in_flight = Vec::new();
+    for _ in 0..8 {
+        let (stream, generation) = feeder.open_stream().unwrap();
+        assert_eq!(generation, 0);
+        for chunk in input[..half].chunks(173) {
+            feeder.feed(stream, chunk).unwrap();
+        }
+        in_flight.push(stream);
+    }
+
+    // Reload to an identical program while they are mid-stream.
+    assert_eq!(admin.reload(None).unwrap(), 1);
+    assert_eq!(admin.stats().unwrap().generation, 1);
+
+    // Phase 2: the old streams keep feeding and must drain losslessly.
+    for &stream in &in_flight {
+        for chunk in input[half..].chunks(211) {
+            feeder.feed(stream, chunk).unwrap();
+        }
+    }
+    for stream in in_flight {
+        let report = feeder.finish(stream).unwrap();
+        assert_eq!(report.events, reference.matches, "stream spanning the reload");
+        assert_eq!(report.exec, reference.exec);
+    }
+
+    // Streams opened after the swap bind generation 1 and behave
+    // identically (the program is the same).
+    let (stream, generation) = feeder.open_stream().unwrap();
+    assert_eq!(generation, 1);
+    feeder.feed(stream, &input).unwrap();
+    let report = feeder.finish(stream).unwrap();
+    assert_eq!(report.events, reference.matches);
+
+    // Now a reload that *changes* the rules: old-generation stream keeps
+    // its old program to the end.
+    let (old_stream, old_gen) = feeder.open_stream().unwrap();
+    assert_eq!(old_gen, 1);
+    feeder.feed(old_stream, &input[..half]).unwrap();
+    assert_eq!(admin.reload(Some("zzzz9\n")).unwrap(), 2);
+    feeder.feed(old_stream, &input[half..]).unwrap();
+    let report = feeder.finish(old_stream).unwrap();
+    assert_eq!(report.events, reference.matches, "in-flight stream must keep its rule set");
+    let (new_stream, new_gen) = feeder.open_stream().unwrap();
+    assert_eq!(new_gen, 2);
+    feeder.feed(new_stream, &input).unwrap();
+    let report = feeder.finish(new_stream).unwrap();
+    assert!(report.events.is_empty(), "new rules match nothing in this input");
+
+    let stats = admin.stats().unwrap();
+    assert_eq!(stats.reloads, 2);
+    drop(feeder);
+    drop(admin);
+    daemon.shutdown().unwrap();
+}
+
+/// Soak: thousands of short-lived streams across a set of connections on
+/// a Unix socket. Exercises pool-slot recycling, per-connection stream
+/// maps, and generation refcounts at volume.
+#[test]
+fn soak_thousands_of_short_lived_streams() {
+    let program = reference_program();
+    let dir = std::env::temp_dir().join(format!("ca-daemon-soak-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let sock = dir.join("soak.sock");
+    let addr = format!("unix:{}", sock.display());
+    let options = DaemonOptions { pool: PoolOptions { workers: 4, ..PoolOptions::default() } };
+    let daemon = Daemon::bind(&CacheAutomaton::new(), RULES, &addr, options).unwrap();
+
+    const CONNECTIONS: u64 = 8;
+    const STREAMS_PER_CONNECTION: u64 = 300;
+    let expected: Vec<usize> = (0..4u64)
+        .map(|salt| serial_reference(&program, &salted_input(salt, 120)).matches.len())
+        .collect();
+
+    std::thread::scope(|scope| {
+        for conn in 0..CONNECTIONS {
+            let addr = &addr;
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for i in 0..STREAMS_PER_CONNECTION {
+                    let salt = (conn + i) % 4;
+                    let input = salted_input(salt, 120);
+                    let (stream, _) = client.open_stream().unwrap();
+                    client.feed(stream, &input).unwrap();
+                    let report = client.finish(stream).unwrap();
+                    assert_eq!(
+                        report.events.len(),
+                        expected[salt as usize],
+                        "conn {conn} stream {i}"
+                    );
+                }
+            });
+        }
+    });
+
+    let stats = daemon.stats();
+    assert_eq!(stats.streams_served, CONNECTIONS * STREAMS_PER_CONNECTION);
+    assert_eq!(stats.live_streams, 0, "no leaked pool slots after the soak");
+    daemon.shutdown().unwrap();
+    assert!(!sock.exists(), "socket file must be unlinked at shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Abandoning streams (dropping a connection without FINISH) must free
+/// their pool slots so later streams are not starved.
+#[test]
+fn abandoned_connections_release_their_streams() {
+    let daemon = daemon_on_tcp(1);
+    let addr = daemon.local_addr();
+    for _ in 0..20 {
+        let mut client = Client::connect(&addr).unwrap();
+        let (stream, _) = client.open_stream().unwrap();
+        client.feed(stream, b"needle").unwrap();
+        drop(client); // no FINISH
+    }
+    // If abandoned slots leaked, this would eventually block or fail.
+    let mut client = Client::connect(&addr).unwrap();
+    let (stream, _) = client.open_stream().unwrap();
+    client.feed(stream, b"needle").unwrap();
+    let report = client.finish(stream).unwrap();
+    assert_eq!(report.events.len(), 1);
+    drop(client);
+    daemon.shutdown().unwrap();
+}
