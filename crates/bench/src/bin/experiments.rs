@@ -6,7 +6,8 @@
 //! experiments <target> [--scale F] [--kib N] [--seed N]
 //!
 //! targets: all | table1 | table2 | table3 | table4 | table5
-//!        | fig7 | fig8 | fig9 | fig10 | serving | serving-daemon | summary
+//!        | fig7 | fig8 | fig9 | fig10 | serving | serving-daemon
+//!        | warm-start | summary
 //! ```
 //!
 //! `--scale 1.0` (default) builds the paper-sized automata; `--kib` sets
@@ -68,6 +69,7 @@ fn main() {
             sections.push(figures::scaling(&config));
             sections.push(ca_bench::serving::multistream(&config));
             sections.push(ca_bench::serving::daemon_throughput(&config));
+            sections.push(ca_bench::persist::warm_start(&config));
             sections.push(figures::summary(&results, &config));
         }
         "table1" => sections.push(tables::table1(&results)),
@@ -84,6 +86,7 @@ fn main() {
         "serving-daemon" | "daemon" => {
             sections.push(ca_bench::serving::daemon_throughput(&config));
         }
+        "warm-start" | "persist" => sections.push(ca_bench::persist::warm_start(&config)),
         "ablation" => {
             sections.push(ca_bench::ablation::ablation_packing(&config));
             sections.push(ca_bench::ablation::ablation_merging(&config));
@@ -94,7 +97,7 @@ fn main() {
         "summary" => sections.push(figures::summary(&results, &config)),
         other => {
             eprintln!(
-                "unknown target '{other}'; expected all|table1..table5|fig7..fig10|ablation|scaling|serving|serving-daemon|summary"
+                "unknown target '{other}'; expected all|table1..table5|fig7..fig10|ablation|scaling|serving|serving-daemon|warm-start|summary"
             );
             std::process::exit(2);
         }

@@ -30,7 +30,9 @@
 use crate::{CaError, CompiledAutomaton, MappingStats, Program};
 use ca_compiler::PassTimings;
 use ca_sim::{fnv1a_64, ArtifactError, Bitstream};
+use std::io::Write;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Magic bytes opening a program artifact.
 pub const PROGRAM_ARTIFACT_MAGIC: &[u8; 4] = b"CAPR";
@@ -40,6 +42,43 @@ pub const PROGRAM_ARTIFACT_MAGIC: &[u8; 4] = b"CAPR";
 /// Decoders reject other versions ([`ArtifactError::UnsupportedVersion`]);
 /// compatible extensions must bump this and keep decoding old versions.
 pub const PROGRAM_ARTIFACT_VERSION: u16 = 1;
+
+/// Monotonic discriminator for temp-file names, so concurrent writers in
+/// one process never collide.
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Durably writes `bytes` to `path`: the data lands in a uniquely named
+/// temp file *in the target directory* (rename across filesystems is not
+/// atomic), is flushed with `sync_all`, then atomically renamed into
+/// place. A crash at any point leaves either the old file or the new one —
+/// never a torn artifact. The temp file is cleaned up on failure.
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let name = path.file_name().ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "path has no file name")
+    })?;
+    let mut tmp_name = std::ffi::OsString::from(format!(
+        ".{}.{}.tmp-",
+        std::process::id(),
+        TEMP_SEQ.fetch_add(1, Ordering::Relaxed),
+    ));
+    tmp_name.push(name);
+    let tmp = match dir {
+        Some(dir) => dir.join(&tmp_name),
+        None => std::path::PathBuf::from(&tmp_name),
+    };
+    let result = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        std::fs::remove_file(&tmp).ok();
+    }
+    result
+}
 
 fn push_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -236,13 +275,16 @@ impl Program {
         decode_program(bytes).map_err(CaError::Artifact)
     }
 
-    /// Writes the program artifact to `path`.
+    /// Writes the program artifact to `path` durably: the bytes go to a
+    /// temp file in the target directory, are `sync_all`ed, and are then
+    /// atomically renamed into place — a crash mid-save can never leave a
+    /// torn `CAPR` file where readers expect a whole one.
     ///
     /// # Errors
     ///
     /// [`CaError::Io`] on filesystem failure.
     pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), CaError> {
-        std::fs::write(path, self.to_bytes())?;
+        write_atomic(path.as_ref(), &self.to_bytes())?;
         Ok(())
     }
 
@@ -293,6 +335,28 @@ mod tests {
         program.save(&path).unwrap();
         let loaded = Program::load(&path).unwrap();
         assert_eq!(loaded.compiled(), program.compiled());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_is_atomic_and_leaves_no_temp_litter() {
+        let dir = std::env::temp_dir().join("ca-artifact-atomic-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.capr");
+        // pre-existing garbage at the destination is replaced wholesale
+        std::fs::write(&path, b"torn garbage").unwrap();
+        let program = sample();
+        program.save(&path).unwrap();
+        let loaded = Program::load(&path).unwrap();
+        assert_eq!(loaded.compiled(), program.compiled());
+        // no temp files survive a successful save
+        let litter: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp-"))
+            .collect();
+        assert!(litter.is_empty(), "leftover temp files: {litter:?}");
         std::fs::remove_file(&path).ok();
     }
 

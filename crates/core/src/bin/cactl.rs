@@ -13,6 +13,7 @@
 //! cactl mux     --program <artifact> <input-file>... [--workers N] [--metrics OUT]
 //! cactl serve   <rules> --listen <addr> [--design P|S] [--workers N] [--metrics OUT]
 //! cactl connect --listen <addr> [<input-file>...] [--reload RULES] [--limit N]
+//! cactl cache   <stats|clear> [--cache-dir DIR]
 //! cactl checkmetrics <metrics.jsonl>
 //!
 //! <rules> is either an ANML document (*.anml) or a newline-separated
@@ -30,6 +31,13 @@
 //! `run --metrics OUT` streams telemetry (compile pass timings, scan
 //! stripe spans, fabric activity counters) to OUT as JSON lines;
 //! `checkmetrics` validates such a file against the schema.
+//!
+//! `--cache-dir DIR` (or the `CACHE_AUTOMATON_DIR` environment variable)
+//! attaches a persistent disk tier to the compilation cache: any command
+//! that compiles rules first looks for a previously stored artifact under
+//! DIR and, on a miss, stores what it compiled so the *next* process
+//! starts warm. `cache stats` summarizes what's on disk; `cache clear`
+//! empties it.
 //!
 //! `serve` compiles the rules and answers the wire protocol on `--listen`
 //! (`host:port` or `unix:<path>`) until killed; `connect` scans each
@@ -87,6 +95,7 @@ struct Options {
     workers: Option<usize>,
     listen: Option<String>,
     reload: Option<String>,
+    cache_dir: Option<String>,
     positional: Vec<String>,
 }
 
@@ -106,6 +115,7 @@ fn parse_args(args: Vec<String>) -> Result<(String, Options), CaError> {
         workers: None,
         listen: None,
         reload: None,
+        cache_dir: None,
         positional: Vec::new(),
     };
     let bad = |msg: &str| CaError::Config(msg.to_string());
@@ -173,6 +183,12 @@ fn parse_args(args: Vec<String>) -> Result<(String, Options), CaError> {
                 );
                 rest.drain(i..=i + 1);
             }
+            "--cache-dir" => {
+                opts.cache_dir = Some(
+                    rest.get(i + 1).ok_or_else(|| bad("--cache-dir needs a directory"))?.clone(),
+                );
+                rest.drain(i..=i + 1);
+            }
             "--reload" => {
                 opts.reload = Some(
                     rest.get(i + 1)
@@ -212,8 +228,8 @@ fn parse_args(args: Vec<String>) -> Result<(String, Options), CaError> {
     Ok((command, opts))
 }
 
-const USAGE: &str = "usage: cactl <compile|run|mux|serve|connect|inspect|anml|frompages|bench|\
-                     checkmetrics> <rules> [args] (see --help in the crate docs)";
+const USAGE: &str = "usage: cactl <compile|run|mux|serve|connect|cache|inspect|anml|frompages|\
+                     bench|checkmetrics> <rules> [args] (see --help in the crate docs)";
 
 fn load_rules_text(path: &str) -> Result<String, CaError> {
     std::fs::read_to_string(path).map_err(|e| io_err(path, e))
@@ -232,12 +248,21 @@ fn load_nfa(path: &str) -> Result<cache_automaton::HomNfa, CaError> {
 
 fn compile_program(opts: &Options, path: &str, telemetry: &Telemetry) -> Result<Program, CaError> {
     let nfa = load_nfa(path)?;
-    CacheAutomaton::builder()
+    configured_builder(opts, telemetry).build().compile_nfa(&nfa)
+}
+
+/// The builder every compiling command shares: design, slices, telemetry,
+/// and — when `--cache-dir` was given — the persistent disk tier. Without
+/// the flag the builder still honors `CACHE_AUTOMATON_DIR` on its own.
+fn configured_builder(opts: &Options, telemetry: &Telemetry) -> cache_automaton::Builder {
+    let builder = CacheAutomaton::builder()
         .design(opts.design)
         .slices(opts.slices)
-        .telemetry_handle(telemetry.clone())
-        .build()
-        .compile_nfa(&nfa)
+        .telemetry_handle(telemetry.clone());
+    match &opts.cache_dir {
+        Some(dir) => builder.disk_cache(dir),
+        None => builder,
+    }
 }
 
 /// Opens the `--metrics` sink if requested, else a disabled handle whose
@@ -472,11 +497,7 @@ fn run(args: Vec<String>) -> Result<String, CaError> {
             let workers = opts
                 .workers
                 .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
-            let ca = CacheAutomaton::builder()
-                .design(opts.design)
-                .slices(opts.slices)
-                .telemetry_handle(telemetry.clone())
-                .build();
+            let ca = configured_builder(&opts, &telemetry).build();
             let rules_text = load_rules_text(rules)?;
             let options = DaemonOptions { pool: PoolOptions { workers, ..PoolOptions::default() } };
             let daemon = Daemon::bind(&ca, &rules_text, addr, options)?;
@@ -641,6 +662,48 @@ fn run(args: Vec<String>) -> Result<String, CaError> {
             );
             for m in report.events.iter().take(opts.limit) {
                 let _ = writeln!(out, "  pattern {:>4} @ byte {}", m.code.0, m.pos);
+            }
+        }
+        "cache" => {
+            let action = match opts.positional.as_slice() {
+                [] => "stats",
+                [action] => action.as_str(),
+                _ => return Err(CaError::Config("cache takes one action: stats or clear".into())),
+            };
+            // Resolve the root exactly as the Builder would: explicit flag
+            // first, then the environment.
+            let dir = opts
+                .cache_dir
+                .clone()
+                .or_else(|| {
+                    std::env::var(cache_automaton::CACHE_DIR_ENV).ok().filter(|v| !v.is_empty())
+                })
+                .ok_or_else(|| {
+                    CaError::Config(format!(
+                        "cache needs --cache-dir DIR or {} set",
+                        cache_automaton::CACHE_DIR_ENV
+                    ))
+                })?;
+            let disk = cache_automaton::DiskCache::new(&dir);
+            match action {
+                "stats" => {
+                    let (entries, bytes) = disk.scan().map_err(|e| io_err(&dir, e))?;
+                    let _ = writeln!(out, "cache root : {dir}");
+                    let _ = writeln!(
+                        out,
+                        "artifacts  : {entries} ({:.3} MB)",
+                        bytes as f64 / (1024.0 * 1024.0)
+                    );
+                }
+                "clear" => {
+                    disk.clear().map_err(|e| io_err(&dir, e))?;
+                    let _ = writeln!(out, "cleared {dir}");
+                }
+                other => {
+                    return Err(CaError::Config(format!(
+                        "unknown cache action '{other}' (use stats or clear)"
+                    )))
+                }
             }
         }
         "checkmetrics" => {

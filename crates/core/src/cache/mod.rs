@@ -1,0 +1,720 @@
+//! The tiered artifact cache: memory → disk → remote.
+//!
+//! Compiling a large automaton takes seconds (graph partitioning dominates);
+//! services that repeatedly instantiate the same rule sets should not pay
+//! that more than once — and a fleet of serving processes should not pay it
+//! more than once *between* them. [`CacheAutomaton`](crate::CacheAutomaton)
+//! therefore consults a tiered [`ArtifactCache`] keyed by the canonical
+//! fingerprint of the input NFA plus every compiler option that affects the
+//! output:
+//!
+//! * **Tier 0 — memory.** The bounded in-process [`ProgramCache`]: a
+//!   `HashMap` index over an intrusive LRU list, with an LFU-style
+//!   admission filter in the spirit of W-TinyLFU. A compact count-min
+//!   sketch of 4-bit counters estimates how often each key has been seen,
+//!   and when the cache is full a new entry is only admitted if its
+//!   estimated frequency exceeds the LRU victim's — one-shot compilations
+//!   cannot wash out a popular working set. Counters are halved once the
+//!   sketch has absorbed a sample window of accesses, so the frequency
+//!   history ages.
+//! * **Tier 1 — disk.** A [`DiskCache`](disk::DiskCache) directory of
+//!   versioned `CAPR` artifacts shared by every process pointed at it,
+//!   written atomically and read with full corruption checking (a damaged
+//!   file is quarantined and treated as a miss, never an error).
+//! * **Tier 2 — remote.** A [`RemoteCache`](remote::RemoteCache) client
+//!   speaking CACHE_GET / CACHE_PUT frames of the serving wire protocol,
+//!   so a fleet can share one compilation through a cache peer.
+//!
+//! Lookups walk the tiers in order; a hit in a lower tier repopulates
+//! every tier above it on the way back, and a fresh compilation writes
+//! through to all of them. Persistent tiers are *never* load-bearing: any
+//! tier failure (I/O, corruption, a dead peer) degrades to a miss plus a
+//! telemetry counter, and the caller simply compiles.
+
+pub mod disk;
+pub mod remote;
+
+use crate::{Design, Program};
+use ca_automata::{Fingerprint, StableHasher};
+use ca_telemetry::Telemetry;
+use std::collections::HashMap;
+
+/// Everything that determines a compilation's output, in canonical form.
+///
+/// Two [`compile_nfa`](crate::CacheAutomaton::compile_nfa) calls with equal
+/// keys produce byte-identical bitstreams, so a cached [`Program`] is
+/// indistinguishable from a fresh compile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Canonical fingerprint of the *input* automaton (pre-optimization).
+    pub fingerprint: Fingerprint,
+    /// Target design point.
+    pub design: Design,
+    /// Slice count.
+    pub slices: usize,
+    /// Partitioner seed.
+    pub seed: u64,
+    /// Whether the space optimizer runs (the *resolved* policy, so
+    /// `Optimize::Auto` and an explicit equivalent choice key the same).
+    pub optimized: bool,
+}
+
+impl CacheKey {
+    /// Stable 64-bit hash of the key (drives the frequency sketch).
+    pub fn hash64(&self) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_bytes(&self.fingerprint.to_bytes());
+        h.write_u8(match self.design {
+            Design::Performance => 0,
+            Design::Space => 1,
+        });
+        // Canonical width: `slices` is hashed as u64 so the key is
+        // identical on 32- and 64-bit targets.
+        h.write_u64(self.slices as u64);
+        h.write_u64(self.seed);
+        h.write_u8(self.optimized as u8);
+        let fp = h.finish().0;
+        (fp as u64) ^ ((fp >> 64) as u64)
+    }
+}
+
+/// Counters describing memory-tier cache behaviour since construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that missed (a lower tier or a fresh compilation followed).
+    pub misses: u64,
+    /// Programs stored.
+    pub insertions: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Candidates the admission filter turned away (their estimated
+    /// frequency did not beat the LRU victim's).
+    pub rejected: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; 0 when no lookups have happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Counters describing one persistent tier's behaviour since construction.
+///
+/// Mirrored to telemetry as `cache.<tier>.*` counters (`cache.disk.*`,
+/// `cache.remote.*`), increment for increment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierStats {
+    /// Loads that produced a usable program.
+    pub hits: u64,
+    /// Clean lookups that found nothing stored.
+    pub misses: u64,
+    /// Artifacts stored.
+    pub writes: u64,
+    /// Stored artifacts that failed the checksum or decode and were
+    /// quarantined — each one degrades to a miss, never an error.
+    pub corrupt: u64,
+    /// Tier-internal failures (I/O errors, a dead peer). Also misses from
+    /// the caller's point of view.
+    pub errors: u64,
+}
+
+/// One persistent layer of the tiered cache (a disk directory, a remote
+/// peer). Implementations own their failure policy: every method is
+/// infallible from the caller's perspective — a broken tier reports
+/// misses and counts errors rather than surfacing them.
+pub trait CacheTier: Send {
+    /// Short stable tier name; also the telemetry infix (`cache.<name>.*`).
+    fn name(&self) -> &'static str;
+
+    /// Loads and fully validates the artifact stored under `key`.
+    /// Corrupt entries are quarantined internally and reported as `None`.
+    fn load(&mut self, key: &CacheKey) -> Option<Program>;
+
+    /// Stores `artifact` (canonical `CAPR` bytes of the program compiled
+    /// for `key`). Best-effort; failures are counted, not returned.
+    fn store(&mut self, key: &CacheKey, artifact: &[u8]);
+
+    /// Behaviour counters since construction.
+    fn stats(&self) -> TierStats;
+
+    /// Mirrors every [`TierStats`] increment to `telemetry` as a
+    /// `cache.<name>.*` counter.
+    fn set_telemetry(&mut self, telemetry: Telemetry);
+}
+
+/// Count-min sketch of 4-bit counters (the TinyLFU frequency filter).
+///
+/// Four hash functions index one table of packed counters; an item's
+/// estimate is the minimum of its four counters. After `sample_size`
+/// increments every counter is halved, aging out stale popularity.
+#[derive(Debug)]
+struct FrequencySketch {
+    /// Packed 4-bit counters, 16 per u64 word. Length is a power of two.
+    table: Vec<u64>,
+    /// Increments since the last halving.
+    ops: u32,
+    /// Halve after this many increments.
+    sample_size: u32,
+}
+
+impl FrequencySketch {
+    fn new(capacity: usize) -> FrequencySketch {
+        // ≥ 8 counters per cached entry, rounded to a power of two
+        let counters = (capacity * 8).next_power_of_two().max(64);
+        FrequencySketch {
+            table: vec![0u64; counters / 16],
+            ops: 0,
+            sample_size: (capacity as u32).saturating_mul(10).max(100),
+        }
+    }
+
+    /// The four counter slots for a key hash.
+    fn slots(&self, hash: u64) -> [usize; 4] {
+        let mask = self.table.len() * 16 - 1;
+        let mut slots = [0usize; 4];
+        let mut h = hash | 1;
+        for slot in &mut slots {
+            // mix per hash function (SplitMix64 finalizer)
+            h = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = h;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            *slot = (z ^ (z >> 31)) as usize & mask;
+        }
+        slots
+    }
+
+    fn get(&self, slot: usize) -> u8 {
+        ((self.table[slot / 16] >> ((slot % 16) * 4)) & 0xf) as u8
+    }
+
+    fn set(&mut self, slot: usize, value: u8) {
+        let shift = (slot % 16) * 4;
+        let word = &mut self.table[slot / 16];
+        *word = (*word & !(0xfu64 << shift)) | ((value as u64 & 0xf) << shift);
+    }
+
+    /// Estimated access frequency of `hash` (0..=15).
+    fn estimate(&self, hash: u64) -> u8 {
+        self.slots(hash).into_iter().map(|s| self.get(s)).min().unwrap_or(0)
+    }
+
+    /// Records one access.
+    fn record(&mut self, hash: u64) {
+        for slot in self.slots(hash) {
+            let v = self.get(slot);
+            if v < 15 {
+                self.set(slot, v + 1);
+            }
+        }
+        self.ops += 1;
+        if self.ops >= self.sample_size {
+            self.halve();
+        }
+    }
+
+    fn halve(&mut self) {
+        for word in &mut self.table {
+            // halve all 16 packed counters at once
+            *word = (*word >> 1) & 0x7777_7777_7777_7777;
+        }
+        self.ops /= 2;
+    }
+}
+
+/// Sentinel index for "no node" in the intrusive recency list.
+const NIL: usize = usize::MAX;
+
+/// One resident entry: the program plus its position in the LRU list.
+struct Node {
+    key: CacheKey,
+    program: Program,
+    /// Towards the MRU end (the entry used more recently than this one).
+    prev: usize,
+    /// Towards the LRU end (the entry used less recently than this one).
+    next: usize,
+}
+
+/// A bounded program cache with LRU eviction and TinyLFU admission.
+///
+/// Lookups and insertions are O(1): a `HashMap` indexes into a slab of
+/// entries threaded onto an intrusive doubly-linked recency list, so the
+/// tiered cache's extra lookups on every compile stay constant-time no
+/// matter the capacity.
+///
+/// Entry-count capacity (programs are a few KB to a few MB; callers that
+/// care about bytes should size conservatively). Not a public long-term
+/// API surface: reach it through
+/// [`CacheAutomaton`](crate::CacheAutomaton).
+pub struct ProgramCache {
+    /// Key → slot in `nodes`.
+    index: HashMap<CacheKey, usize>,
+    /// Slab of entries; freed slots are recycled via `free`.
+    nodes: Vec<Option<Node>>,
+    /// Recycled slab slots.
+    free: Vec<usize>,
+    /// Most-recently-used slot (NIL when empty).
+    head: usize,
+    /// Least-recently-used slot (NIL when empty); the eviction victim.
+    tail: usize,
+    capacity: usize,
+    sketch: FrequencySketch,
+    stats: CacheStats,
+    telemetry: Telemetry,
+}
+
+impl std::fmt::Debug for ProgramCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgramCache")
+            .field("len", &self.index.len())
+            .field("capacity", &self.capacity)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl ProgramCache {
+    /// A cache holding at most `capacity` programs (0 disables caching).
+    pub fn new(capacity: usize) -> ProgramCache {
+        ProgramCache {
+            index: HashMap::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            sketch: FrequencySketch::new(capacity.max(1)),
+            stats: CacheStats::default(),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Mirrors every [`CacheStats`] increment to `telemetry` as a
+    /// `cache.*` counter (`cache.hits`, `cache.misses`, `cache.insertions`,
+    /// `cache.evictions`, `cache.rejected`), so recorded totals always
+    /// equal [`stats`](ProgramCache::stats).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// Maximum entry count.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Behaviour counters since construction.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Unlinks `slot` from the recency list (it must be linked).
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = {
+            let node = self.nodes[slot].as_ref().expect("linked slot is occupied");
+            (node.prev, node.next)
+        };
+        match prev {
+            NIL => self.head = next,
+            p => self.nodes[p].as_mut().expect("prev slot is occupied").next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.nodes[n].as_mut().expect("next slot is occupied").prev = prev,
+        }
+    }
+
+    /// Links `slot` at the MRU end of the recency list.
+    fn link_front(&mut self, slot: usize) {
+        let old_head = self.head;
+        {
+            let node = self.nodes[slot].as_mut().expect("slot is occupied");
+            node.prev = NIL;
+            node.next = old_head;
+        }
+        match old_head {
+            NIL => self.tail = slot,
+            h => self.nodes[h].as_mut().expect("head slot is occupied").prev = slot,
+        }
+        self.head = slot;
+    }
+
+    /// Moves an already-resident `slot` to the MRU position.
+    fn touch(&mut self, slot: usize) {
+        if self.head != slot {
+            self.unlink(slot);
+            self.link_front(slot);
+        }
+    }
+
+    /// Looks up `key`, recording the access in the frequency sketch.
+    pub fn get(&mut self, key: &CacheKey) -> Option<Program> {
+        self.sketch.record(key.hash64());
+        match self.index.get(key).copied() {
+            Some(slot) => {
+                self.touch(slot);
+                self.stats.hits += 1;
+                self.telemetry.counter("cache.hits", 1);
+                let node = self.nodes[slot].as_ref().expect("indexed slot is occupied");
+                Some(node.program.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                self.telemetry.counter("cache.misses", 1);
+                None
+            }
+        }
+    }
+
+    /// Offers a freshly compiled program for caching.
+    ///
+    /// With free room the program is always stored. At capacity the
+    /// TinyLFU admission filter decides: the candidate must have a higher
+    /// estimated frequency than the LRU victim, otherwise it is rejected
+    /// and the cache is left unchanged.
+    pub fn insert(&mut self, key: CacheKey, program: Program) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(slot) = self.index.get(&key).copied() {
+            // racing compilations of the same key: keep the newer program
+            self.nodes[slot].as_mut().expect("indexed slot is occupied").program = program;
+            self.touch(slot);
+            return;
+        }
+        if self.index.len() >= self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL, "cache at capacity is non-empty");
+            let victim_key = self.nodes[victim].as_ref().expect("tail slot is occupied").key;
+            let candidate_freq = self.sketch.estimate(key.hash64());
+            let victim_freq = self.sketch.estimate(victim_key.hash64());
+            if candidate_freq <= victim_freq {
+                self.stats.rejected += 1;
+                self.telemetry.counter("cache.rejected", 1);
+                return;
+            }
+            self.unlink(victim);
+            self.nodes[victim] = None;
+            self.free.push(victim);
+            self.index.remove(&victim_key);
+            self.stats.evictions += 1;
+            self.telemetry.counter("cache.evictions", 1);
+        }
+        let node = Node { key, program, prev: NIL, next: NIL };
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot] = Some(node);
+                slot
+            }
+            None => {
+                self.nodes.push(Some(node));
+                self.nodes.len() - 1
+            }
+        };
+        self.link_front(slot);
+        self.index.insert(key, slot);
+        self.stats.insertions += 1;
+        self.telemetry.counter("cache.insertions", 1);
+    }
+}
+
+/// The tiered artifact cache behind
+/// [`CacheAutomaton`](crate::CacheAutomaton): the in-memory
+/// [`ProgramCache`] (tier 0) backed by any number of persistent
+/// [`CacheTier`]s consulted in order (disk, then remote, in the default
+/// wiring). See the [module docs](self) for the tier walk and failure
+/// policy.
+pub struct ArtifactCache {
+    memory: ProgramCache,
+    tiers: Vec<Box<dyn CacheTier>>,
+    telemetry: Telemetry,
+}
+
+impl std::fmt::Debug for ArtifactCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArtifactCache")
+            .field("memory", &self.memory)
+            .field("tiers", &self.tiers.iter().map(|t| t.name()).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl ArtifactCache {
+    /// A tiered cache with a memory tier of `capacity` entries (0 disables
+    /// in-memory storage — persistent tiers still serve) and no
+    /// persistent tiers yet.
+    pub fn new(capacity: usize) -> ArtifactCache {
+        ArtifactCache {
+            memory: ProgramCache::new(capacity),
+            tiers: Vec::new(),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Appends a persistent tier; lookups consult tiers in push order.
+    pub fn push_tier(&mut self, mut tier: Box<dyn CacheTier>) {
+        tier.set_telemetry(self.telemetry.clone());
+        self.tiers.push(tier);
+    }
+
+    /// Routes every tier's counters (`cache.*`, `cache.disk.*`, …) to
+    /// `telemetry`.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.memory.set_telemetry(telemetry.clone());
+        for tier in &mut self.tiers {
+            tier.set_telemetry(telemetry.clone());
+        }
+        self.telemetry = telemetry;
+    }
+
+    /// Memory-tier counters.
+    pub fn memory_stats(&self) -> CacheStats {
+        self.memory.stats()
+    }
+
+    /// `(name, stats)` for every persistent tier, in lookup order.
+    pub fn tier_stats(&self) -> Vec<(&'static str, TierStats)> {
+        self.tiers.iter().map(|t| (t.name(), t.stats())).collect()
+    }
+
+    /// Direct access to the memory tier (tests and diagnostics).
+    pub fn memory(&mut self) -> &mut ProgramCache {
+        &mut self.memory
+    }
+
+    /// Looks `key` up through the tiers: memory first, then each
+    /// persistent tier in order. A hit in tier *i* repopulates the memory
+    /// tier and writes through to every persistent tier above *i*, so the
+    /// next lookup short-circuits earlier.
+    pub fn get(&mut self, key: &CacheKey) -> Option<Program> {
+        if let Some(hit) = self.memory.get(key) {
+            return Some(hit);
+        }
+        for i in 0..self.tiers.len() {
+            let Some(program) = self.tiers[i].load(key) else { continue };
+            self.memory.insert(*key, program.clone());
+            if i > 0 {
+                // canonical encoding: re-serializing the loaded program
+                // yields the exact bytes the lower tier stored
+                let bytes = program.to_bytes();
+                for earlier in &mut self.tiers[..i] {
+                    earlier.store(key, &bytes);
+                }
+            }
+            return Some(program);
+        }
+        None
+    }
+
+    /// Stores a freshly compiled program in the memory tier (subject to
+    /// admission) and writes its artifact through to every persistent
+    /// tier unconditionally.
+    pub fn insert(&mut self, key: CacheKey, program: Program) {
+        if !self.tiers.is_empty() {
+            let bytes = program.to_bytes();
+            for tier in &mut self.tiers {
+                tier.store(&key, &bytes);
+            }
+        }
+        self.memory.insert(key, program);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CacheAutomaton;
+
+    fn key_for(tag: &str) -> (CacheKey, Program) {
+        let program = CacheAutomaton::new().compile_patterns(&[tag]).unwrap();
+        let nfa = ca_automata::regex::compile_patterns(&[tag]).unwrap();
+        let key = CacheKey {
+            fingerprint: nfa.fingerprint(),
+            design: Design::Performance,
+            slices: 8,
+            seed: 0xca,
+            optimized: false,
+        };
+        (key, program)
+    }
+
+    #[test]
+    fn hit_and_miss_counters() {
+        let mut cache = ProgramCache::new(4);
+        let (key, program) = key_for("counter");
+        assert!(cache.get(&key).is_none());
+        cache.insert(key, program);
+        assert!(cache.get(&key).is_some());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let mut cache = ProgramCache::new(0);
+        let (key, program) = key_for("nocache");
+        cache.insert(key, program);
+        assert!(cache.is_empty());
+        assert!(cache.get(&key).is_none());
+    }
+
+    #[test]
+    fn admission_filter_protects_hot_entries() {
+        let mut cache = ProgramCache::new(1);
+        let (hot_key, hot) = key_for("hot");
+        cache.insert(hot_key, hot);
+        // make the resident entry popular
+        for _ in 0..6 {
+            assert!(cache.get(&hot_key).is_some());
+        }
+        // a cold one-shot candidate must not displace it
+        let (cold_key, cold) = key_for("cold");
+        assert!(cache.get(&cold_key).is_none()); // records one access
+        cache.insert(cold_key, cold);
+        assert!(cache.get(&hot_key).is_some(), "hot entry survived");
+        assert_eq!(cache.stats().rejected, 1);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn frequent_candidate_evicts_lru_victim() {
+        let mut cache = ProgramCache::new(1);
+        let (a_key, a) = key_for("victim");
+        cache.insert(a_key, a);
+        let (b_key, b) = key_for("riser");
+        // the candidate becomes more popular than the resident
+        for _ in 0..8 {
+            let _ = cache.get(&b_key);
+        }
+        cache.insert(b_key, b);
+        assert!(cache.get(&b_key).is_some(), "popular candidate admitted");
+        assert!(cache.get(&a_key).is_none(), "victim evicted");
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn lru_order_tracks_every_use() {
+        // capacity 3 with a, b, c resident; touching a then b must leave c
+        // as the eviction victim even though it was inserted last.
+        let mut cache = ProgramCache::new(3);
+        let (a_key, a) = key_for("lru-a");
+        let (b_key, b) = key_for("lru-b");
+        let (c_key, c) = key_for("lru-c");
+        cache.insert(a_key, a);
+        cache.insert(b_key, b);
+        cache.insert(c_key, c);
+        assert!(cache.get(&a_key).is_some());
+        assert!(cache.get(&b_key).is_some());
+        // make the challenger frequent enough to pass admission
+        let (d_key, d) = key_for("lru-d");
+        for _ in 0..8 {
+            let _ = cache.get(&d_key);
+        }
+        cache.insert(d_key, d);
+        assert_eq!(cache.len(), 3);
+        assert!(cache.get(&c_key).is_none(), "stale entry evicted");
+        assert!(cache.get(&a_key).is_some());
+        assert!(cache.get(&b_key).is_some());
+        assert!(cache.get(&d_key).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn slab_slots_are_recycled() {
+        let mut cache = ProgramCache::new(2);
+        let mut keys = Vec::new();
+        for i in 0..6 {
+            let (key, program) = key_for(&format!("churn{i}"));
+            // strictly increasing popularity, so each new key beats the
+            // resident victim's estimate and admission always evicts
+            for _ in 0..(2 * i + 1) {
+                let _ = cache.get(&key);
+            }
+            cache.insert(key, program);
+            keys.push(key);
+        }
+        assert_eq!(cache.len(), 2);
+        // the slab never grows past capacity: every eviction frees a slot
+        assert!(cache.nodes.len() <= 2, "slab has {} slots", cache.nodes.len());
+        // and the survivors are exactly the two most recent insertions
+        assert!(cache.get(&keys[4]).is_some());
+        assert!(cache.get(&keys[5]).is_some());
+    }
+
+    #[test]
+    fn reinserting_a_resident_key_refreshes_recency() {
+        let mut cache = ProgramCache::new(2);
+        let (a_key, a) = key_for("fresh-a");
+        let (b_key, b) = key_for("fresh-b");
+        cache.insert(a_key, a.clone());
+        cache.insert(b_key, b);
+        // re-inserting `a` (a racing compile) must count as a use
+        cache.insert(a_key, a);
+        let (c_key, c) = key_for("fresh-c");
+        for _ in 0..8 {
+            let _ = cache.get(&c_key);
+        }
+        cache.insert(c_key, c);
+        assert!(cache.get(&a_key).is_some(), "refreshed entry survived");
+        assert!(cache.get(&b_key).is_none(), "stale entry was the victim");
+        // insertions counts only new entries, exactly as before
+        assert_eq!(cache.stats().insertions, 3);
+    }
+
+    #[test]
+    fn sketch_counters_saturate_and_halve() {
+        let mut sketch = FrequencySketch::new(4);
+        // stay below the sample window (100) so auto-halving doesn't fire
+        for _ in 0..50 {
+            sketch.record(42);
+        }
+        assert_eq!(sketch.estimate(42), 15, "counters saturate at 15");
+        sketch.halve();
+        assert!(sketch.estimate(42) <= 7);
+    }
+
+    #[test]
+    fn hash64_is_pinned() {
+        // Fixed synthetic key (no compiler involved) with a pinned digest:
+        // the sketch key must be identical across platforms and builds, or
+        // admission decisions would differ between 32- and 64-bit hosts.
+        let key = CacheKey {
+            fingerprint: ca_automata::Fingerprint(0x0011_2233_4455_6677_8899_aabb_ccdd_eeff),
+            design: Design::Performance,
+            slices: 8,
+            seed: 0xca,
+            optimized: true,
+        };
+        assert_eq!(key.hash64(), 0x66d6_b55c_a98d_575e);
+        let space = CacheKey { design: Design::Space, ..key };
+        assert_ne!(space.hash64(), key.hash64(), "design is part of the key");
+    }
+
+    #[test]
+    fn distinct_keys_hash_differently() {
+        let (a, _) = key_for("alpha");
+        let (b, _) = key_for("beta");
+        assert_ne!(a.hash64(), b.hash64());
+        let mut a2 = a;
+        a2.seed ^= 1;
+        assert_ne!(a.hash64(), a2.hash64(), "seed is part of the key");
+    }
+}

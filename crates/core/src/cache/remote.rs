@@ -1,0 +1,258 @@
+//! The remote artifact tier: a [`CacheTier`] over CACHE_GET / CACHE_PUT
+//! frames of the serving wire protocol.
+//!
+//! This is the client half of the protocol sketched in
+//! [`proto`](crate::serve::proto) — enough for a fleet to share one
+//! compilation through a cache peer once a serving loop answers these
+//! frames (a later revision; today's scan daemon refuses them with a
+//! typed error, which this tier treats as a permanent miss).
+//!
+//! Failure policy is the bluntest of all tiers, because a network peer
+//! is the least trustworthy dependency in the stack:
+//!
+//! * The connection is dialed lazily on first use, so merely configuring
+//!   a remote tier costs nothing until a compile actually happens.
+//! * *Any* failure — dial, transport, a peer-reported error — marks the
+//!   tier **broken**: every counter bump goes to `cache.remote.errors`
+//!   once, and all subsequent loads and stores short-circuit to misses
+//!   without touching the network. A flaky cache peer can slow one
+//!   compile, never every compile.
+//! * Returned artifacts are fully validated ([`Program::from_bytes`]
+//!   checks magic, version, and checksum) before use; a corrupt blob
+//!   counts under `cache.remote.corrupt` and degrades to a miss, exactly
+//!   like a damaged disk file.
+
+use super::{CacheKey, CacheTier, TierStats};
+use crate::serve::daemon::Client;
+use crate::Program;
+use ca_telemetry::Telemetry;
+
+/// The remote tier. See the [module docs](self) for the failure policy.
+pub struct RemoteCache {
+    addr: String,
+    client: Option<Client>,
+    /// Latched on the first failure; a broken tier never retries.
+    broken: bool,
+    stats: TierStats,
+    telemetry: Telemetry,
+}
+
+impl std::fmt::Debug for RemoteCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteCache")
+            .field("addr", &self.addr)
+            .field("connected", &self.client.is_some())
+            .field("broken", &self.broken)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl RemoteCache {
+    /// A remote tier speaking to the cache peer at `addr` (`host:port` or
+    /// `unix:<path>`). Nothing is dialed until the first load or store.
+    pub fn new<S: Into<String>>(addr: S) -> RemoteCache {
+        RemoteCache {
+            addr: addr.into(),
+            client: None,
+            broken: false,
+            stats: TierStats::default(),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// The peer address this tier was configured with.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Whether the tier has latched its broken state.
+    pub fn is_broken(&self) -> bool {
+        self.broken
+    }
+
+    fn bump(&mut self, field: fn(&mut TierStats) -> &mut u64, counter: &'static str) {
+        *field(&mut self.stats) += 1;
+        self.telemetry.counter(counter, 1);
+    }
+
+    /// Latches the broken state (dropping the connection) and counts the
+    /// failure.
+    fn mark_broken(&mut self) {
+        self.broken = true;
+        self.client = None;
+        self.bump(|s| &mut s.errors, "cache.remote.errors");
+    }
+
+    /// The live connection, dialing on first use. `None` once broken.
+    fn client(&mut self) -> Option<&mut Client> {
+        if self.broken {
+            return None;
+        }
+        if self.client.is_none() {
+            match Client::connect(&self.addr) {
+                Ok(client) => self.client = Some(client),
+                Err(_) => {
+                    self.mark_broken();
+                    return None;
+                }
+            }
+        }
+        self.client.as_mut()
+    }
+}
+
+impl CacheTier for RemoteCache {
+    fn name(&self) -> &'static str {
+        "remote"
+    }
+
+    fn load(&mut self, key: &CacheKey) -> Option<Program> {
+        let client = self.client()?;
+        match client.cache_get(key) {
+            Ok(Some(artifact)) => match Program::from_bytes(&artifact) {
+                Ok(program) => {
+                    self.bump(|s| &mut s.hits, "cache.remote.hits");
+                    Some(program)
+                }
+                Err(_) => {
+                    // the peer handed back garbage: count it, keep the
+                    // connection (the transport itself is fine)
+                    self.bump(|s| &mut s.corrupt, "cache.remote.corrupt");
+                    None
+                }
+            },
+            Ok(None) => {
+                self.bump(|s| &mut s.misses, "cache.remote.misses");
+                None
+            }
+            Err(_) => {
+                self.mark_broken();
+                None
+            }
+        }
+    }
+
+    fn store(&mut self, key: &CacheKey, artifact: &[u8]) {
+        let Some(client) = self.client() else { return };
+        match client.cache_put(key, artifact) {
+            Ok(()) => self.bump(|s| &mut s.writes, "cache.remote.writes"),
+            Err(_) => self.mark_broken(),
+        }
+    }
+
+    fn stats(&self) -> TierStats {
+        self.stats
+    }
+
+    fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::proto::{read_frame, write_frame, Frame};
+    use crate::{CacheAutomaton, Design};
+    use ca_automata::Fingerprint;
+    use std::collections::HashMap;
+    use std::io::{BufReader, BufWriter, Write};
+    use std::net::TcpListener;
+
+    fn key(fp: u128) -> CacheKey {
+        CacheKey {
+            fingerprint: Fingerprint(fp),
+            design: Design::Performance,
+            slices: 8,
+            seed: 0xca,
+            optimized: false,
+        }
+    }
+
+    /// A minimal in-memory cache peer: one connection at a time, a
+    /// HashMap store, speaking only the CACHE_* frames.
+    fn spawn_peer() -> (String, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || {
+            let mut store: HashMap<CacheKey, Vec<u8>> = HashMap::new();
+            // serve connections until the test closes the last one
+            while let Ok((conn, _)) = listener.accept() {
+                let mut reader = BufReader::new(conn.try_clone().unwrap());
+                let mut writer = BufWriter::new(conn);
+                while let Ok(Some(frame)) = read_frame(&mut reader) {
+                    let reply = match frame {
+                        Frame::CacheGet { key } => match store.get(&key) {
+                            Some(artifact) => Frame::CacheFound { artifact: artifact.clone() },
+                            None => Frame::CacheMiss,
+                        },
+                        Frame::CachePut { key, artifact } => {
+                            store.insert(key, artifact);
+                            Frame::CachePutOk
+                        }
+                        _ => Frame::Error { code: 8, message: "not a cache frame".into() },
+                    };
+                    if write_frame(&mut writer, &reply).is_err() || writer.flush().is_err() {
+                        break;
+                    }
+                }
+                if store.contains_key(&key(0xdead)) {
+                    // the shutdown sentinel was stored; stop accepting
+                    break;
+                }
+            }
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn round_trip_miss_corruption_and_shutdown() {
+        let (addr, peer) = spawn_peer();
+        let mut tier = RemoteCache::new(addr.clone());
+        let program = CacheAutomaton::new().compile_patterns(&["remote"]).unwrap();
+        let bytes = program.to_bytes();
+
+        // miss, then store, then hit with full validation
+        assert!(tier.load(&key(1)).is_none());
+        tier.store(&key(1), &bytes);
+        let loaded = tier.load(&key(1)).expect("stored artifact comes back");
+        assert_eq!(loaded.to_bytes(), bytes, "artifact survives the wire bit-identically");
+
+        // a corrupt blob from the peer is a counted miss, not an error
+        let mut torn = bytes.clone();
+        torn[30] ^= 0x10;
+        tier.store(&key(2), &torn);
+        assert!(tier.load(&key(2)).is_none(), "corrupt artifact is rejected");
+
+        let s = tier.stats();
+        assert_eq!((s.hits, s.misses, s.writes, s.corrupt, s.errors), (1, 1, 2, 1, 0));
+        assert!(!tier.is_broken());
+
+        // tell the peer to stop accepting, then drop the connection
+        tier.store(&key(0xdead), b"bye");
+        drop(tier);
+        peer.join().unwrap();
+
+        // a tier pointed at a dead peer breaks once and goes silent
+        let mut dead = RemoteCache::new(addr);
+        assert!(dead.load(&key(1)).is_none());
+        assert!(dead.is_broken());
+        dead.store(&key(1), &bytes);
+        assert!(dead.load(&key(1)).is_none());
+        assert_eq!(dead.stats().errors, 1, "exactly one error despite repeated use");
+    }
+
+    #[test]
+    fn scan_daemon_refusal_breaks_the_tier_quietly() {
+        let ca = CacheAutomaton::new();
+        let daemon =
+            crate::Daemon::bind(&ca, "needle\n", "127.0.0.1:0", crate::DaemonOptions::default())
+                .unwrap();
+        let mut tier = RemoteCache::new(daemon.local_addr());
+        assert!(tier.load(&key(1)).is_none(), "refusal is a miss");
+        assert!(tier.is_broken());
+        assert_eq!(tier.stats().errors, 1);
+        daemon.shutdown().unwrap();
+    }
+}

@@ -58,7 +58,9 @@ pub use ca_compiler::{
 pub use ca_sim::DesignKind as Design;
 pub use ca_sim::{ArtifactError, EnergyReport, ExecStats, PipelineTiming, Snapshot};
 pub use ca_telemetry::{JsonLinesWriter, MemoryRecorder, Telemetry, TelemetrySink};
-pub use cache::{CacheKey, CacheStats, ProgramCache};
+pub use cache::disk::DiskCache;
+pub use cache::remote::RemoteCache;
+pub use cache::{ArtifactCache, CacheKey, CacheStats, CacheTier, ProgramCache, TierStats};
 pub use scanner::Scanner;
 pub use serve::daemon::{Client, Daemon, DaemonOptions, ListenAddr};
 pub use serve::proto::{Frame, ProtoError, ServerStats, WireReport, PROTO_VERSION};
@@ -68,6 +70,12 @@ pub use shard::{Parallelism, ScanOptions};
 
 /// Default bound of the in-process program cache, in entries.
 pub const DEFAULT_CACHE_CAPACITY: usize = 32;
+
+/// Environment variable naming the disk-tier cache directory. When set
+/// (and non-empty), every instance built without an explicit
+/// [`Builder::disk_cache`]/[`Builder::no_disk_cache`] choice persists
+/// compiled artifacts there.
+pub const CACHE_DIR_ENV: &str = "CACHE_AUTOMATON_DIR";
 
 /// Largest LLC slice count the configuration accepts (well past any Xeon
 /// die; larger values are treated as configuration mistakes).
@@ -231,6 +239,10 @@ pub struct Builder {
     seed: Option<u64>,
     optimize: Optimize,
     cache_capacity: Option<usize>,
+    /// Outer `None` = undecided (consult [`CACHE_DIR_ENV`] at build time);
+    /// `Some(None)` = explicitly disabled; `Some(Some(path))` = explicit.
+    disk_cache: Option<Option<std::path::PathBuf>>,
+    remote_cache: Option<String>,
     telemetry: Telemetry,
 }
 
@@ -279,6 +291,36 @@ impl Builder {
         self
     }
 
+    /// Persists compiled artifacts in a [`DiskCache`] rooted at `path`,
+    /// shared by every process pointed at the same directory. Lookups go
+    /// memory → disk → compile, and compilations write through to both
+    /// tiers; see [`cache`] for the layout and corruption policy.
+    ///
+    /// Without an explicit choice, a non-empty [`CACHE_DIR_ENV`]
+    /// environment variable enables the disk tier at build time.
+    #[must_use]
+    pub fn disk_cache<P: Into<std::path::PathBuf>>(mut self, path: P) -> Builder {
+        self.disk_cache = Some(Some(path.into()));
+        self
+    }
+
+    /// Disables the disk tier even when [`CACHE_DIR_ENV`] is set.
+    #[must_use]
+    pub fn no_disk_cache(mut self) -> Builder {
+        self.disk_cache = Some(None);
+        self
+    }
+
+    /// Adds a [`RemoteCache`] tier speaking CACHE_GET / CACHE_PUT frames
+    /// to the cache peer at `addr` (`host:port` or `unix:<path>`),
+    /// consulted after the disk tier. Nothing is dialed until the first
+    /// compile; a failing peer degrades to misses, never errors.
+    #[must_use]
+    pub fn remote_cache<S: Into<String>>(mut self, addr: S) -> Builder {
+        self.remote_cache = Some(addr.into());
+        self
+    }
+
     /// Routes pipeline events (compile-pass spans, cache counters, fabric
     /// activity, scan-stripe timings) to `sink` — see the
     /// [`telemetry`] module for the sinks shipped in-tree and DESIGN.md §7
@@ -304,8 +346,21 @@ impl Builder {
     pub fn build(self) -> CacheAutomaton {
         let defaults = CompilerOptions::default();
         let capacity = self.cache_capacity.unwrap_or(DEFAULT_CACHE_CAPACITY);
-        let mut cache = ProgramCache::new(capacity);
+        let mut cache = ArtifactCache::new(capacity);
         cache.set_telemetry(self.telemetry.clone());
+        let disk_root = match self.disk_cache {
+            Some(choice) => choice,
+            // undecided: the environment may opt the process in
+            None => std::env::var_os(CACHE_DIR_ENV)
+                .filter(|v| !v.is_empty())
+                .map(std::path::PathBuf::from),
+        };
+        if let Some(root) = disk_root {
+            cache.push_tier(Box::new(DiskCache::new(root)));
+        }
+        if let Some(addr) = self.remote_cache {
+            cache.push_tier(Box::new(RemoteCache::new(addr)));
+        }
         CacheAutomaton {
             options: CompilerOptions {
                 design: self.design,
@@ -321,13 +376,15 @@ impl Builder {
 
 /// A configured Cache Automaton instance (design point + geometry).
 ///
-/// Cloning shares the program cache: clones of one instance (and the
-/// threads they live on) hit each other's compilations.
+/// Cloning shares the tiered artifact cache: clones of one instance (and
+/// the threads they live on) hit each other's compilations, and instances
+/// in *different processes* sharing a disk-cache directory (or a remote
+/// cache peer) hit each other's too.
 #[derive(Debug, Clone)]
 pub struct CacheAutomaton {
     options: CompilerOptions,
     optimize: Optimize,
-    cache: Arc<Mutex<ProgramCache>>,
+    cache: Arc<Mutex<ArtifactCache>>,
     telemetry: Telemetry,
 }
 
@@ -353,10 +410,21 @@ impl CacheAutomaton {
         &self.options
     }
 
-    /// Behaviour counters of the program cache (hits, misses, evictions,
-    /// admission rejections).
+    /// Behaviour counters of the in-memory cache tier (hits, misses,
+    /// evictions, admission rejections).
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.lock().expect("program cache poisoned").stats()
+        self.cache.lock().expect("program cache poisoned").memory_stats()
+    }
+
+    /// `(name, stats)` counters of every persistent cache tier, in lookup
+    /// order (empty when the instance has no disk or remote tier).
+    pub fn tier_stats(&self) -> Vec<(&'static str, TierStats)> {
+        self.cache.lock().expect("program cache poisoned").tier_stats()
+    }
+
+    /// Counters of the disk tier, if one is configured.
+    pub fn disk_cache_stats(&self) -> Option<TierStats> {
+        self.tier_stats().into_iter().find(|(name, _)| *name == "disk").map(|(_, s)| s)
     }
 
     /// Compiles a set of regex patterns; pattern `i` reports with code `i`.
@@ -393,6 +461,10 @@ impl CacheAutomaton {
     /// Results are cached: recompiling an NFA with the same canonical
     /// fingerprint under the same options returns the stored [`Program`]
     /// (byte-identical bitstream) without re-running the mapping pipeline.
+    /// With a disk tier configured ([`Builder::disk_cache`] /
+    /// [`CACHE_DIR_ENV`]) the lookup goes memory → disk → compile and a
+    /// fresh compilation writes through to every tier, so a *second
+    /// process* pointed at the same directory skips compilation too.
     /// Failures are never cached.
     ///
     /// # Errors

@@ -53,11 +53,13 @@
 
 use super::proto::{
     error_from_wire, error_to_wire, read_frame, write_frame, Frame, ServerStats, WireReport,
+    MAX_EVENTS_PER_MATCHES_FRAME,
 };
 use super::{PoolOptions, ScanPool, StreamHandle};
+use crate::cache::CacheKey;
 use crate::{CaError, CacheAutomaton, MatchEvent, Program};
 use ca_telemetry::Telemetry;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{TcpListener, TcpStream};
 #[cfg(unix)]
@@ -488,9 +490,22 @@ fn accept_loop(shared: &Arc<DaemonShared>, listener: Listener) {
 /// `Arc` that keeps its pool alive across reloads.
 struct ConnStream {
     handle: StreamHandle,
+    /// Matches drained from the pool but not yet shipped: a single poll
+    /// may surface more events than one MATCHES frame can carry, so the
+    /// surplus waits here for the client's next POLL_MATCHES.
+    pending: VecDeque<MatchEvent>,
     /// Never read — held purely so a retired generation's pool is not
     /// torn down while this stream still drains on it.
     _generation: Arc<Generation>,
+}
+
+/// Takes up to `cap` events off the front of `pending` (the next
+/// MATCHES-frame chunk). Factored out so the chunking is testable with a
+/// small cap — the real one is [`MAX_EVENTS_PER_MATCHES_FRAME`], ~1.4M
+/// events, impractical to exercise end-to-end.
+fn drain_capped(pending: &mut VecDeque<MatchEvent>, cap: usize) -> Vec<MatchEvent> {
+    let n = pending.len().min(cap);
+    pending.drain(..n).collect()
 }
 
 fn connection_loop(shared: &Arc<DaemonShared>, conn: Conn, conn_id: u64) {
@@ -528,7 +543,14 @@ fn serve_connection(shared: &Arc<DaemonShared>, conn: Conn, conn_id: u64) -> Res
         };
         shared.telemetry.counter("serve.conn.frames", 1);
         let reply = handle_frame(shared, &mut streams, &mut next_stream, frame);
-        write_frame(&mut writer, &reply)?;
+        match write_frame(&mut writer, &reply) {
+            Ok(()) => {}
+            // An encode-side refusal (the reply would exceed the frame
+            // cap) writes nothing — downgrade to a typed ERROR so the
+            // client gets a reply and the connection stays usable.
+            Err(e @ CaError::Protocol(_)) => write_frame(&mut writer, &error_to_wire(&e))?,
+            Err(e) => return Err(e),
+        }
         writer.flush().map_err(|e| CaError::Io(format!("flushing reply: {e}")))?;
     }
 }
@@ -565,7 +587,10 @@ fn try_handle_frame(
             let stream = *next_stream;
             *next_stream += 1;
             let gen_id = generation.id;
-            streams.insert(stream, ConnStream { handle, _generation: generation });
+            streams.insert(
+                stream,
+                ConnStream { handle, pending: VecDeque::new(), _generation: generation },
+            );
             shared.streams_served.fetch_add(1, Ordering::Relaxed);
             shared.telemetry.counter("serve.conn.streams", 1);
             Ok(Frame::StreamOpened { stream, generation: gen_id })
@@ -585,7 +610,10 @@ fn try_handle_frame(
         Frame::PollMatches { stream } => {
             lookup(streams, stream)?;
             let entry = streams.get_mut(&stream).expect("looked up above");
-            let events: Vec<MatchEvent> = entry.handle.poll_matches().to_vec();
+            entry.pending.extend(entry.handle.poll_matches().iter().copied());
+            // Chunk under the frame cap; the surplus stays queued for the
+            // client's next poll, so no MATCHES reply can be oversized.
+            let events = drain_capped(&mut entry.pending, MAX_EVENTS_PER_MATCHES_FRAME);
             Ok(Frame::Matches { stream, events })
         }
         Frame::Finish { stream } => {
@@ -607,6 +635,13 @@ fn try_handle_frame(
                 Err(e)
             }
         },
+        // Valid client frames this daemon does not serve (yet): the
+        // scan daemon is not a cache peer. The typed error lets a
+        // RemoteCache probe degrade to a permanent miss instead of
+        // poisoning the connection.
+        Frame::CacheGet { .. } | Frame::CachePut { .. } => {
+            Err(CaError::Config("this daemon does not serve cache frames".into()))
+        }
         // Server-to-client frames arriving at the server are a protocol
         // violation.
         other => Err(CaError::Protocol(format!(
@@ -734,6 +769,35 @@ impl Client {
             other => Err(unexpected_reply("RELOAD_OK", &other)),
         }
     }
+
+    /// Asks a cache peer for the artifact stored under `key`. `Ok(None)`
+    /// is a clean miss; the returned bytes are *unvalidated* — callers
+    /// decode (checksum included) before trusting them.
+    ///
+    /// # Errors
+    ///
+    /// Peer-reported errors (including a peer that does not serve cache
+    /// frames) or transport failures.
+    pub fn cache_get(&mut self, key: &CacheKey) -> Result<Option<Vec<u8>>, CaError> {
+        match self.request(&Frame::CacheGet { key: *key })? {
+            Frame::CacheFound { artifact } => Ok(Some(artifact)),
+            Frame::CacheMiss => Ok(None),
+            other => Err(unexpected_reply("CACHE_FOUND or CACHE_MISS", &other)),
+        }
+    }
+
+    /// Offers a cache peer the `CAPR` `artifact` compiled under `key`.
+    ///
+    /// # Errors
+    ///
+    /// Peer-reported errors or transport failures (an artifact over the
+    /// frame cap is refused client-side, before anything is written).
+    pub fn cache_put(&mut self, key: &CacheKey, artifact: &[u8]) -> Result<(), CaError> {
+        match self.request(&Frame::CachePut { key: *key, artifact: artifact.to_vec() })? {
+            Frame::CachePutOk => Ok(()),
+            other => Err(unexpected_reply("CACHE_PUT_OK", &other)),
+        }
+    }
 }
 
 fn unexpected_reply(wanted: &str, got: &Frame) -> CaError {
@@ -808,6 +872,46 @@ mod tests {
         assert_eq!(err.code(), 4, "regex parse error crosses the wire with its code");
         assert_eq!(client.stats().unwrap().generation, 1);
 
+        drop(client);
+        daemon.shutdown().unwrap();
+    }
+
+    #[test]
+    fn poll_chunking_preserves_order_and_surplus() {
+        let mut pending: VecDeque<MatchEvent> =
+            (0..10u64).map(|i| MatchEvent::new(i, ca_automata::ReportCode(7))).collect();
+        let first = drain_capped(&mut pending, 4);
+        assert_eq!(first.iter().map(|e| e.pos).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(pending.len(), 6, "surplus stays queued");
+        let second = drain_capped(&mut pending, 4);
+        assert_eq!(second.iter().map(|e| e.pos).collect::<Vec<_>>(), vec![4, 5, 6, 7]);
+        let rest = drain_capped(&mut pending, 4);
+        assert_eq!(rest.iter().map(|e| e.pos).collect::<Vec<_>>(), vec![8, 9]);
+        assert!(drain_capped(&mut pending, 4).is_empty());
+    }
+
+    #[test]
+    fn cache_frames_get_a_typed_refusal_and_the_connection_survives() {
+        let ca = CacheAutomaton::new();
+        let daemon =
+            Daemon::bind(&ca, "needle\n", "127.0.0.1:0", DaemonOptions::default()).unwrap();
+        let mut client = Client::connect(&daemon.local_addr()).unwrap();
+        let key = CacheKey {
+            fingerprint: ca_automata::Fingerprint(1),
+            design: crate::Design::Performance,
+            slices: 8,
+            seed: 0,
+            optimized: false,
+        };
+        let err = client.cache_get(&key).unwrap_err();
+        assert_eq!(err.code(), 2, "scan daemon refuses cache frames with a config error");
+        let err = client.cache_put(&key, b"CAPRjunk").unwrap_err();
+        assert_eq!(err.code(), 2);
+        // the connection is still good for scanning
+        let (stream, _) = client.open_stream().unwrap();
+        client.feed(stream, b"a needle").unwrap();
+        let report = client.finish(stream).unwrap();
+        assert_eq!(report.events.len(), 1);
         drop(client);
         daemon.shutdown().unwrap();
     }

@@ -22,6 +22,8 @@
 //!   FINISH       (0x04)  stream:u64
 //!   STATS        (0x05)  —
 //!   RELOAD       (0x06)  rules:utf8 (empty = recompile the current rules)
+//!   CACHE_GET    (0x07)  key (see below)
+//!   CACHE_PUT    (0x08)  key, artifact:bytes (a whole CAPR blob)
 //!
 //! server → client
 //!   STREAM_OPENED (0x81) stream:u64, generation:u64
@@ -31,8 +33,22 @@
 //!   STATS_REPLY   (0x85) generation:u64, reloads:u64, live_streams:u64,
 //!                        connections:u64, streams_served:u64
 //!   RELOAD_OK     (0x86) generation:u64
+//!   CACHE_FOUND   (0x87) artifact:bytes
+//!   CACHE_MISS    (0x88) —
+//!   CACHE_PUT_OK  (0x89) —
 //!   ERROR         (0xEE) code:u16, message:utf8
 //! ```
+//!
+//! A cache `key` on the wire is the 34-byte canonical encoding of a
+//! [`CacheKey`]: fingerprint (16 bytes, little-endian u128), design tag
+//! (u8: 0 performance, 1 space), slices (u64), seed (u64), optimized
+//! (u8: 0 or 1). The CACHE_* frames let a fleet share compiled artifacts
+//! through a cache peer — the client side ships in
+//! [`RemoteCache`](crate::cache::remote::RemoteCache); the serving loop
+//! answers them in a later revision (today's daemon replies with a typed
+//! ERROR, which the remote tier treats as a permanent miss). New kinds
+//! are additive: an old peer rejects them with UnknownKind/ERROR rather
+//! than misparsing, so PROTO_VERSION stays at 1.
 //!
 //! The protocol is strict request/reply per frame: every client frame
 //! elicits exactly one reply (the matching success frame or an ERROR).
@@ -45,9 +61,16 @@
 //! or trailing payload bytes, and invalid UTF-8 all surface as typed
 //! [`ProtoError`]s, never panics — the proptests in
 //! `crates/core/tests/proto.rs` hold this over arbitrary byte soup.
+//! Encoding enforces the same cap: a frame whose payload would exceed
+//! [`MAX_FRAME_PAYLOAD`] (or whose counts overflow their wire width)
+//! fails with [`ProtoError::Oversized`] instead of silently truncating,
+//! so a malformed frame can never be *emitted* either. Producers of
+//! unbounded event lists chunk under
+//! [`MAX_EVENTS_PER_MATCHES_FRAME`].
 
-use crate::{CaError, MatchEvent};
-use ca_automata::ReportCode;
+use crate::cache::CacheKey;
+use crate::{CaError, Design, MatchEvent};
+use ca_automata::{Fingerprint, ReportCode};
 use ca_sim::ExecStats;
 use std::io::{Read, Write};
 
@@ -63,6 +86,15 @@ pub const HEADER_LEN: usize = 8;
 /// prefix cannot balloon memory.
 pub const MAX_FRAME_PAYLOAD: usize = 16 << 20;
 
+/// Most events a single MATCHES frame can carry without its payload
+/// (stream id + count + 12 bytes per event) crossing
+/// [`MAX_FRAME_PAYLOAD`]. Producers draining unbounded match queues chunk
+/// their replies at this size.
+pub const MAX_EVENTS_PER_MATCHES_FRAME: usize = (MAX_FRAME_PAYLOAD - 8 - 4) / 12;
+
+/// Bytes of a [`CacheKey`]'s canonical wire encoding.
+const CACHE_KEY_LEN: usize = 16 + 1 + 8 + 8 + 1;
+
 /// Frame-kind bytes (see the module docs for the grammar).
 mod kind {
     pub const OPEN_STREAM: u8 = 0x01;
@@ -71,12 +103,17 @@ mod kind {
     pub const FINISH: u8 = 0x04;
     pub const STATS: u8 = 0x05;
     pub const RELOAD: u8 = 0x06;
+    pub const CACHE_GET: u8 = 0x07;
+    pub const CACHE_PUT: u8 = 0x08;
     pub const STREAM_OPENED: u8 = 0x81;
     pub const FEED_ACK: u8 = 0x82;
     pub const MATCHES: u8 = 0x83;
     pub const FINISHED: u8 = 0x84;
     pub const STATS_REPLY: u8 = 0x85;
     pub const RELOAD_OK: u8 = 0x86;
+    pub const CACHE_FOUND: u8 = 0x87;
+    pub const CACHE_MISS: u8 = 0x88;
+    pub const CACHE_PUT_OK: u8 = 0x89;
     pub const ERROR: u8 = 0xEE;
 }
 
@@ -87,9 +124,11 @@ mod kind {
 pub enum ProtoError {
     /// The byte stream ended inside a frame (header or payload).
     Truncated,
-    /// A header announced a payload larger than [`MAX_FRAME_PAYLOAD`].
+    /// A payload larger than [`MAX_FRAME_PAYLOAD`] — announced by a peer's
+    /// header on decode, or produced by a frame's own contents on encode
+    /// (encoding refuses to emit what decoding would refuse to accept).
     Oversized {
-        /// The announced payload length.
+        /// The announced (or would-be) payload length.
         len: u64,
     },
     /// The header's version byte does not match [`PROTO_VERSION`].
@@ -190,6 +229,19 @@ pub enum Frame {
         /// Replacement rule text, or empty for same-rules reload.
         rules: String,
     },
+    /// Ask a cache peer for the artifact compiled under `key`.
+    CacheGet {
+        /// The compilation's canonical cache key.
+        key: CacheKey,
+    },
+    /// Offer a cache peer the artifact compiled under `key`.
+    CachePut {
+        /// The compilation's canonical cache key.
+        key: CacheKey,
+        /// The complete `CAPR` artifact bytes (self-validating: magic,
+        /// version, and checksum travel inside).
+        artifact: Vec<u8>,
+    },
     /// Reply to [`Frame::OpenStream`].
     StreamOpened {
         /// Daemon-assigned stream id, unique per connection.
@@ -226,6 +278,16 @@ pub enum Frame {
         /// The new generation counter.
         generation: u64,
     },
+    /// Reply to [`Frame::CacheGet`]: the peer has the artifact.
+    CacheFound {
+        /// The stored `CAPR` artifact bytes. Receivers validate fully
+        /// (checksum and decode) before trusting them.
+        artifact: Vec<u8>,
+    },
+    /// Reply to [`Frame::CacheGet`]: the peer has nothing stored.
+    CacheMiss,
+    /// Reply to [`Frame::CachePut`]: the artifact was accepted.
+    CachePutOk,
     /// Typed failure reply; `code` is the daemon-side [`CaError::code`].
     Error {
         /// [`CaError::code`] value of the failure.
@@ -304,6 +366,26 @@ impl<'a> Take<'a> {
         String::from_utf8(bytes.to_vec()).map_err(|_| ProtoError::Malformed(what))
     }
 
+    fn cache_key(&mut self) -> Result<CacheKey, ProtoError> {
+        let fp =
+            u128::from_le_bytes(self.bytes(16, "cache key fingerprint")?.try_into().expect("16"));
+        let design = match self.bytes(1, "cache key design")?[0] {
+            0 => Design::Performance,
+            1 => Design::Space,
+            _ => return Err(ProtoError::Malformed("cache key design tag")),
+        };
+        let slices = self.u64("cache key slices")?;
+        let slices = usize::try_from(slices)
+            .map_err(|_| ProtoError::Malformed("cache key slices exceeds usize"))?;
+        let seed = self.u64("cache key seed")?;
+        let optimized = match self.bytes(1, "cache key optimized")?[0] {
+            0 => false,
+            1 => true,
+            _ => return Err(ProtoError::Malformed("cache key optimized flag")),
+        };
+        Ok(CacheKey { fingerprint: Fingerprint(fp), design, slices, seed, optimized })
+    }
+
     fn events(&mut self) -> Result<Vec<MatchEvent>, ProtoError> {
         let count = self.u32("event count")? as usize;
         // 12 bytes per event; reject counts the payload cannot hold
@@ -329,16 +411,40 @@ impl<'a> Take<'a> {
     }
 }
 
-fn put_events(buf: &mut Vec<u8>, events: &[MatchEvent]) {
-    put_u32(buf, events.len() as u32);
+fn put_cache_key(buf: &mut Vec<u8>, key: &CacheKey) {
+    let start = buf.len();
+    buf.extend_from_slice(&key.fingerprint.0.to_le_bytes());
+    buf.push(match key.design {
+        Design::Performance => 0,
+        Design::Space => 1,
+    });
+    put_u64(buf, key.slices as u64);
+    put_u64(buf, key.seed);
+    buf.push(key.optimized as u8);
+    debug_assert_eq!(buf.len() - start, CACHE_KEY_LEN);
+}
+
+/// Checked count prefix: a length that cannot be represented as u32 means
+/// the frame could never fit under [`MAX_FRAME_PAYLOAD`] anyway, so it is
+/// reported as [`ProtoError::Oversized`] instead of silently truncating.
+fn put_count(buf: &mut Vec<u8>, len: usize, item_bytes: u64) -> Result<(), ProtoError> {
+    let count = u32::try_from(len)
+        .map_err(|_| ProtoError::Oversized { len: (len as u64).saturating_mul(item_bytes) })?;
+    put_u32(buf, count);
+    Ok(())
+}
+
+fn put_events(buf: &mut Vec<u8>, events: &[MatchEvent]) -> Result<(), ProtoError> {
+    put_count(buf, events.len(), 12)?;
     for ev in events {
         put_u64(buf, ev.pos);
         put_u32(buf, ev.code.0);
     }
+    Ok(())
 }
 
-fn put_report(buf: &mut Vec<u8>, report: &WireReport) {
-    put_events(buf, &report.events);
+fn put_report(buf: &mut Vec<u8>, report: &WireReport) -> Result<(), ProtoError> {
+    put_events(buf, &report.events)?;
     let e = &report.exec;
     for v in [
         e.symbols,
@@ -353,10 +459,11 @@ fn put_report(buf: &mut Vec<u8>, report: &WireReport) {
     ] {
         put_u64(buf, v);
     }
-    put_u32(buf, e.per_partition_active.len() as u32);
+    put_count(buf, e.per_partition_active.len(), 8)?;
     for v in &e.per_partition_active {
         put_u64(buf, *v);
     }
+    Ok(())
 }
 
 fn take_report(t: &mut Take<'_>) -> Result<WireReport, ProtoError> {
@@ -393,69 +500,103 @@ impl Frame {
             Frame::Finish { .. } => kind::FINISH,
             Frame::Stats => kind::STATS,
             Frame::Reload { .. } => kind::RELOAD,
+            Frame::CacheGet { .. } => kind::CACHE_GET,
+            Frame::CachePut { .. } => kind::CACHE_PUT,
             Frame::StreamOpened { .. } => kind::STREAM_OPENED,
             Frame::FeedAck { .. } => kind::FEED_ACK,
             Frame::Matches { .. } => kind::MATCHES,
             Frame::Finished { .. } => kind::FINISHED,
             Frame::StatsReply(_) => kind::STATS_REPLY,
             Frame::ReloadOk { .. } => kind::RELOAD_OK,
+            Frame::CacheFound { .. } => kind::CACHE_FOUND,
+            Frame::CacheMiss => kind::CACHE_MISS,
+            Frame::CachePutOk => kind::CACHE_PUT_OK,
             Frame::Error { .. } => kind::ERROR,
         }
     }
 
     /// Appends the complete encoded frame (header + payload) to `buf`.
-    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Oversized`] when the payload would exceed
+    /// [`MAX_FRAME_PAYLOAD`] or a count would overflow its wire width —
+    /// the cap a decoder enforces is enforced here too, so a malformed
+    /// frame is never emitted. On error `buf` is restored to its original
+    /// length.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) -> Result<(), ProtoError> {
         let header_at = buf.len();
         put_u32(buf, 0); // payload length, patched below
         buf.push(PROTO_VERSION);
         buf.push(self.kind());
         buf.extend_from_slice(&[0u8, 0u8]); // reserved
         let payload_at = buf.len();
-        match self {
-            Frame::OpenStream | Frame::Stats => {}
-            Frame::FeedChunk { stream, data } => {
-                put_u64(buf, *stream);
-                buf.extend_from_slice(data);
-            }
-            Frame::PollMatches { stream } | Frame::Finish { stream } => put_u64(buf, *stream),
-            Frame::Reload { rules } => buf.extend_from_slice(rules.as_bytes()),
-            Frame::StreamOpened { stream, generation } => {
-                put_u64(buf, *stream);
-                put_u64(buf, *generation);
-            }
-            Frame::FeedAck { stream, bytes } => {
-                put_u64(buf, *stream);
-                put_u64(buf, *bytes);
-            }
-            Frame::Matches { stream, events } => {
-                put_u64(buf, *stream);
-                put_events(buf, events);
-            }
-            Frame::Finished { stream, report } => {
-                put_u64(buf, *stream);
-                put_report(buf, report);
-            }
-            Frame::StatsReply(s) => {
-                for v in [s.generation, s.reloads, s.live_streams, s.connections, s.streams_served]
-                {
-                    put_u64(buf, v);
+        let result = (|| {
+            match self {
+                Frame::OpenStream | Frame::Stats | Frame::CacheMiss | Frame::CachePutOk => {}
+                Frame::FeedChunk { stream, data } => {
+                    put_u64(buf, *stream);
+                    buf.extend_from_slice(data);
+                }
+                Frame::PollMatches { stream } | Frame::Finish { stream } => put_u64(buf, *stream),
+                Frame::Reload { rules } => buf.extend_from_slice(rules.as_bytes()),
+                Frame::CacheGet { key } => put_cache_key(buf, key),
+                Frame::CachePut { key, artifact } => {
+                    put_cache_key(buf, key);
+                    buf.extend_from_slice(artifact);
+                }
+                Frame::StreamOpened { stream, generation } => {
+                    put_u64(buf, *stream);
+                    put_u64(buf, *generation);
+                }
+                Frame::FeedAck { stream, bytes } => {
+                    put_u64(buf, *stream);
+                    put_u64(buf, *bytes);
+                }
+                Frame::Matches { stream, events } => {
+                    put_u64(buf, *stream);
+                    put_events(buf, events)?;
+                }
+                Frame::Finished { stream, report } => {
+                    put_u64(buf, *stream);
+                    put_report(buf, report)?;
+                }
+                Frame::StatsReply(s) => {
+                    for v in
+                        [s.generation, s.reloads, s.live_streams, s.connections, s.streams_served]
+                    {
+                        put_u64(buf, v);
+                    }
+                }
+                Frame::ReloadOk { generation } => put_u64(buf, *generation),
+                Frame::CacheFound { artifact } => buf.extend_from_slice(artifact),
+                Frame::Error { code, message } => {
+                    buf.extend_from_slice(&code.to_le_bytes());
+                    buf.extend_from_slice(message.as_bytes());
                 }
             }
-            Frame::ReloadOk { generation } => put_u64(buf, *generation),
-            Frame::Error { code, message } => {
-                buf.extend_from_slice(&code.to_le_bytes());
-                buf.extend_from_slice(message.as_bytes());
+            let payload_len = buf.len() - payload_at;
+            if payload_len > MAX_FRAME_PAYLOAD {
+                return Err(ProtoError::Oversized { len: payload_len as u64 });
             }
+            buf[header_at..header_at + 4].copy_from_slice(&(payload_len as u32).to_le_bytes());
+            Ok(())
+        })();
+        if result.is_err() {
+            buf.truncate(header_at);
         }
-        let payload_len = (buf.len() - payload_at) as u32;
-        buf[header_at..header_at + 4].copy_from_slice(&payload_len.to_le_bytes());
+        result
     }
 
     /// Encodes the frame into a fresh buffer.
-    pub fn encode(&self) -> Vec<u8> {
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Oversized`] — see [`Frame::encode_into`].
+    pub fn encode(&self) -> Result<Vec<u8>, ProtoError> {
         let mut buf = Vec::new();
-        self.encode_into(&mut buf);
-        buf
+        self.encode_into(&mut buf)?;
+        Ok(buf)
     }
 
     /// Decodes one frame from the front of `buf`.
@@ -506,6 +647,11 @@ impl Frame {
             kind::FINISH => Frame::Finish { stream: t.u64("finish stream id")? },
             kind::STATS => Frame::Stats,
             kind::RELOAD => Frame::Reload { rules: t.utf8("reload rules are not valid UTF-8")? },
+            kind::CACHE_GET => Frame::CacheGet { key: t.cache_key()? },
+            kind::CACHE_PUT => Frame::CachePut {
+                key: t.cache_key()?,
+                artifact: std::mem::take(&mut t.rest).to_vec(),
+            },
             kind::STREAM_OPENED => Frame::StreamOpened {
                 stream: t.u64("opened stream id")?,
                 generation: t.u64("opened generation")?,
@@ -529,6 +675,11 @@ impl Frame {
                 streams_served: t.u64("stats streams served")?,
             }),
             kind::RELOAD_OK => Frame::ReloadOk { generation: t.u64("reload generation")? },
+            kind::CACHE_FOUND => {
+                Frame::CacheFound { artifact: std::mem::take(&mut t.rest).to_vec() }
+            }
+            kind::CACHE_MISS => Frame::CacheMiss,
+            kind::CACHE_PUT_OK => Frame::CachePutOk,
             kind::ERROR => {
                 let code = t.u16("error code")?;
                 let message = t.utf8("error message is not valid UTF-8")?;
@@ -546,9 +697,10 @@ impl Frame {
 ///
 /// # Errors
 ///
-/// [`CaError::Io`] on transport failure.
+/// [`CaError::Protocol`] when the frame exceeds the payload cap (nothing
+/// is written); [`CaError::Io`] on transport failure.
 pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), CaError> {
-    let bytes = frame.encode();
+    let bytes = frame.encode()?;
     w.write_all(&bytes).map_err(|e| CaError::Io(format!("writing frame: {e}")))
 }
 
@@ -611,7 +763,7 @@ mod tests {
     use super::*;
 
     fn round_trip(frame: Frame) {
-        let bytes = frame.encode();
+        let bytes = frame.encode().expect("in-bounds frame encodes");
         let (decoded, consumed) = Frame::decode(&bytes).expect("valid frame").expect("complete");
         assert_eq!(consumed, bytes.len());
         assert_eq!(decoded, frame);
@@ -619,6 +771,16 @@ mod tests {
         let mut cursor = std::io::Cursor::new(bytes);
         assert_eq!(read_frame(&mut cursor).unwrap(), Some(frame));
         assert_eq!(read_frame(&mut cursor).unwrap(), None, "clean EOF after the frame");
+    }
+
+    fn sample_key() -> CacheKey {
+        CacheKey {
+            fingerprint: Fingerprint(0x0011_2233_4455_6677_8899_aabb_ccdd_eeff),
+            design: Design::Space,
+            slices: 16,
+            seed: 0xdead_beef,
+            optimized: true,
+        }
     }
 
     #[test]
@@ -660,12 +822,61 @@ mod tests {
             streams_served: 4096,
         }));
         round_trip(Frame::ReloadOk { generation: 17 });
+        round_trip(Frame::CacheGet { key: sample_key() });
+        round_trip(Frame::CachePut { key: sample_key(), artifact: b"CAPR\x01\x00junk".to_vec() });
+        round_trip(Frame::CacheFound { artifact: vec![0u8; 1024] });
+        round_trip(Frame::CacheFound { artifact: Vec::new() });
+        round_trip(Frame::CacheMiss);
+        round_trip(Frame::CachePutOk);
         round_trip(Frame::Error { code: 7, message: "worker panicked".into() });
     }
 
     #[test]
+    fn cache_key_wire_encoding_is_exact() {
+        let bytes = Frame::CacheGet { key: sample_key() }.encode().unwrap();
+        assert_eq!(bytes.len(), HEADER_LEN + CACHE_KEY_LEN);
+        // a mangled design tag is a typed malformed error, not a panic
+        let mut bad = bytes.clone();
+        bad[HEADER_LEN + 16] = 9;
+        assert!(matches!(Frame::decode(&bad).unwrap_err(), ProtoError::Malformed(_)));
+    }
+
+    #[test]
+    fn oversized_frames_refuse_to_encode() {
+        // a CACHE_FOUND artifact one byte over the cap must not be emitted
+        let frame = Frame::CacheFound { artifact: vec![0u8; MAX_FRAME_PAYLOAD + 1] };
+        assert_eq!(
+            frame.encode().unwrap_err(),
+            ProtoError::Oversized { len: MAX_FRAME_PAYLOAD as u64 + 1 }
+        );
+        // encode_into leaves the buffer untouched on failure
+        let mut buf = b"prefix".to_vec();
+        assert!(frame.encode_into(&mut buf).is_err());
+        assert_eq!(buf, b"prefix");
+        // and write_frame surfaces it as a protocol error, writing nothing
+        let mut sink = Vec::new();
+        let err = write_frame(&mut sink, &frame).unwrap_err();
+        assert!(matches!(err, CaError::Protocol(_)), "{err}");
+        assert!(sink.is_empty());
+        // exactly at the cap is fine
+        let frame = Frame::CacheFound { artifact: vec![0u8; MAX_FRAME_PAYLOAD] };
+        let bytes = frame.encode().unwrap();
+        assert_eq!(bytes.len(), HEADER_LEN + MAX_FRAME_PAYLOAD);
+        assert!(Frame::decode(&bytes).unwrap().is_some(), "cap-sized frame decodes");
+    }
+
+    #[test]
+    fn max_events_per_matches_frame_is_tight() {
+        // a MATCHES frame at the event cap encodes and stays under the
+        // payload cap; one more event would push it over
+        let payload = 8 + 4 + MAX_EVENTS_PER_MATCHES_FRAME * 12;
+        assert!(payload <= MAX_FRAME_PAYLOAD);
+        assert!(payload + 12 > MAX_FRAME_PAYLOAD);
+    }
+
+    #[test]
     fn incomplete_prefixes_ask_for_more() {
-        let bytes = Frame::FeedChunk { stream: 1, data: b"hello".to_vec() }.encode();
+        let bytes = Frame::FeedChunk { stream: 1, data: b"hello".to_vec() }.encode().unwrap();
         for cut in 0..bytes.len() {
             assert_eq!(Frame::decode(&bytes[..cut]).unwrap(), None, "prefix of {cut} bytes");
         }
@@ -673,7 +884,7 @@ mod tests {
 
     #[test]
     fn truncated_stream_is_a_typed_error() {
-        let bytes = Frame::FeedChunk { stream: 1, data: b"hello".to_vec() }.encode();
+        let bytes = Frame::FeedChunk { stream: 1, data: b"hello".to_vec() }.encode().unwrap();
         for cut in 1..bytes.len() {
             let mut cursor = std::io::Cursor::new(&bytes[..cut]);
             let err = read_frame(&mut cursor).unwrap_err();
@@ -683,7 +894,7 @@ mod tests {
 
     #[test]
     fn version_mismatch_is_rejected() {
-        let mut bytes = Frame::Stats.encode();
+        let mut bytes = Frame::Stats.encode().unwrap();
         bytes[4] = PROTO_VERSION + 1;
         assert_eq!(
             Frame::decode(&bytes).unwrap_err(),
@@ -693,7 +904,7 @@ mod tests {
 
     #[test]
     fn oversized_length_is_rejected_from_header_alone() {
-        let mut bytes = Frame::Stats.encode();
+        let mut bytes = Frame::Stats.encode().unwrap();
         bytes[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
         // only the 8 header bytes exist; the error must not wait for the
         // announced 4 GiB payload
@@ -705,10 +916,10 @@ mod tests {
 
     #[test]
     fn unknown_kind_and_reserved_bytes_are_rejected() {
-        let mut bytes = Frame::Stats.encode();
+        let mut bytes = Frame::Stats.encode().unwrap();
         bytes[5] = 0x42;
         assert_eq!(Frame::decode(&bytes).unwrap_err(), ProtoError::UnknownKind(0x42));
-        let mut bytes = Frame::Stats.encode();
+        let mut bytes = Frame::Stats.encode().unwrap();
         bytes[6] = 1;
         assert!(matches!(Frame::decode(&bytes).unwrap_err(), ProtoError::Malformed(_)));
     }

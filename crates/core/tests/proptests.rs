@@ -4,14 +4,29 @@
 //! — must come back as a typed [`ProtoError`], never a panic and never a
 //! silently wrong frame.
 
+use cache_automaton::cache::disk::relative_path;
 use cache_automaton::serve::proto::{read_frame, write_frame};
 use cache_automaton::{
-    CaError, Frame, MatchEvent, ProtoError, ReportCode, ServerStats, WireReport,
+    CaError, CacheKey, Design, Fingerprint, Frame, MatchEvent, ProtoError, ReportCode, ServerStats,
+    WireReport,
 };
 use proptest::prelude::*;
 
 fn event_strategy() -> impl Strategy<Value = MatchEvent> {
     (any::<u64>(), any::<u32>()).prop_map(|(pos, code)| MatchEvent { pos, code: ReportCode(code) })
+}
+
+fn cache_key_strategy() -> impl Strategy<Value = CacheKey> {
+    // u128 fingerprints assembled from two u64 halves
+    (any::<u64>(), any::<u64>(), any::<bool>(), 0usize..=64, any::<u64>(), any::<bool>()).prop_map(
+        |(hi, lo, space, slices, seed, optimized)| CacheKey {
+            fingerprint: Fingerprint(((hi as u128) << 64) | lo as u128),
+            design: if space { Design::Space } else { Design::Performance },
+            slices,
+            seed,
+            optimized,
+        },
+    )
 }
 
 fn report_strategy() -> impl Strategy<Value = WireReport> {
@@ -64,6 +79,13 @@ fn frame_strategy() -> impl Strategy<Value = Frame> {
             .prop_map(|(stream, report)| Frame::Finished { stream, report }),
         stats,
         any::<u64>().prop_map(|generation| Frame::ReloadOk { generation }),
+        cache_key_strategy().prop_map(|key| Frame::CacheGet { key }),
+        (cache_key_strategy(), prop::collection::vec(any::<u8>(), 0..200))
+            .prop_map(|(key, artifact)| Frame::CachePut { key, artifact }),
+        prop::collection::vec(any::<u8>(), 0..200)
+            .prop_map(|artifact| Frame::CacheFound { artifact }),
+        Just(Frame::CacheMiss),
+        Just(Frame::CachePutOk),
         (any::<u16>(), prop::collection::vec(any::<u8>(), 0..80)).prop_map(|(code, v)| {
             Frame::Error { code, message: String::from_utf8_lossy(&v).into_owned() }
         }),
@@ -76,7 +98,7 @@ proptest! {
     /// encode → decode is the identity, consuming exactly the encoding.
     #[test]
     fn round_trip(frame in frame_strategy()) {
-        let bytes = frame.encode();
+        let bytes = frame.encode().unwrap();
         let (back, consumed) = Frame::decode(&bytes).unwrap().expect("complete frame");
         prop_assert_eq!(consumed, bytes.len());
         prop_assert_eq!(back, frame);
@@ -86,7 +108,7 @@ proptest! {
     /// at *every* split point — it never misparses a prefix.
     #[test]
     fn prefixes_are_incomplete_not_wrong(frame in frame_strategy(), cut in any::<u64>()) {
-        let bytes = frame.encode();
+        let bytes = frame.encode().unwrap();
         let cut = (cut as usize) % bytes.len().max(1);
         prop_assert!(Frame::decode(&bytes[..cut]).unwrap().is_none());
     }
@@ -97,7 +119,7 @@ proptest! {
     fn frames_are_self_delimiting(frames in prop::collection::vec(frame_strategy(), 1..5)) {
         let mut buf = Vec::new();
         for frame in &frames {
-            frame.encode_into(&mut buf);
+            frame.encode_into(&mut buf).unwrap();
         }
         let mut offset = 0;
         for frame in &frames {
@@ -113,7 +135,7 @@ proptest! {
     #[test]
     fn version_skew_is_rejected(frame in frame_strategy(), version in any::<u8>()) {
         prop_assume!(version != cache_automaton::PROTO_VERSION);
-        let mut bytes = frame.encode();
+        let mut bytes = frame.encode().unwrap();
         bytes[4] = version;
         prop_assert_eq!(Frame::decode(&bytes).unwrap_err(), ProtoError::Version { got: version });
     }
@@ -132,7 +154,7 @@ proptest! {
     /// never yields a frame longer than the input.
     #[test]
     fn bit_flips_never_panic(frame in frame_strategy(), at in any::<u64>(), with in any::<u8>()) {
-        let mut bytes = frame.encode();
+        let mut bytes = frame.encode().unwrap();
         let at = (at as usize) % bytes.len();
         bytes[at] ^= with;
         if let Ok(Some((_, consumed))) = Frame::decode(&bytes) {
@@ -170,7 +192,7 @@ proptest! {
                     let mut boundary = 0;
                     let mut offsets = vec![0];
                     for frame in &frames {
-                        boundary += frame.encode().len();
+                        boundary += frame.encode().unwrap().len();
                         offsets.push(boundary);
                     }
                     prop_assert!(offsets.contains(&cut), "EOF mid-frame must be an error");
@@ -181,6 +203,40 @@ proptest! {
                     break;
                 }
             }
+        }
+    }
+
+    /// Every disk-cache path is relative, three components deep, and made
+    /// only of filesystem-safe characters — no separators, traversal, or
+    /// reserved names can be smuggled in through a hostile fingerprint.
+    #[test]
+    fn disk_paths_are_filesystem_safe(key in cache_key_strategy()) {
+        let path = relative_path(&key);
+        prop_assert!(path.is_relative());
+        let parts: Vec<String> = path
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy().into_owned())
+            .collect();
+        prop_assert_eq!(parts.len(), 3);
+        for part in &parts {
+            prop_assert!(!part.is_empty());
+            prop_assert!(part != ".." && part != ".");
+            prop_assert!(
+                part.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '.'),
+                "unsafe character in path component {:?}", part
+            );
+        }
+    }
+
+    /// The key → path encoding is injective: distinct keys never collide
+    /// on a file (a collision would serve one compilation's artifact for
+    /// another's options).
+    #[test]
+    fn disk_paths_never_collide(a in cache_key_strategy(), b in cache_key_strategy()) {
+        if a != b {
+            prop_assert_ne!(relative_path(&a), relative_path(&b));
+        } else {
+            prop_assert_eq!(relative_path(&a), relative_path(&b));
         }
     }
 }
