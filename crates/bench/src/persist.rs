@@ -14,12 +14,20 @@
 //! daemon whose memory tier is disabled (capacity 0) RELOADs its
 //! unchanged rules. The generation bumps, the program is bound through
 //! the disk tier, and the compile-pass counter stays flat.
+//!
+//! The fleet half goes one machine further: a [`CacheServer`] peer backs
+//! the remote tier, member A compiles once and pushes the artifact, and a
+//! machine-cold member B — fresh cache directory, fresh process state —
+//! warm-starts entirely over the wire with zero compiler passes and a
+//! bit-identical scan report, backfilling its own disk on the way.
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use ca_workloads::Benchmark;
-use cache_automaton::{CacheAutomaton, Client, Daemon, DaemonOptions, Design, Telemetry};
+use cache_automaton::{
+    CacheAutomaton, CacheServer, Client, Daemon, DaemonOptions, Design, Telemetry,
+};
 
 use crate::markdown::{fnum, Table};
 use crate::suite::RunConfig;
@@ -130,6 +138,71 @@ pub fn warm_start(config: &RunConfig) -> String {
     let disk_hits = recorder.counter("cache.disk.hits");
     let _ = std::fs::remove_dir_all(&dir);
 
+    // Fleet cache: the remote tier against a real peer. Member A pays the
+    // compile and pushes; a machine-cold member B (fresh directory — a
+    // different machine, not just a different process) warm-starts
+    // through the peer alone.
+    let mut fleet = Table::new([
+        "Benchmark",
+        "A compile+push (ms)",
+        "B fleet warm start (ms)",
+        "B compiler passes",
+        "Report parity",
+    ]);
+    let peer_dir = scratch_dir("peer");
+    let server = CacheServer::bind("127.0.0.1:0", &peer_dir).expect("cache peer binds locally");
+    for benchmark in [Benchmark::Snort, Benchmark::ClamAv] {
+        let w = benchmark.build(config.scale, config.seed);
+        let dir_a = scratch_dir(&format!("fleet-a-{}", benchmark.name()));
+        let dir_b = scratch_dir(&format!("fleet-b-{}", benchmark.name()));
+
+        let a = CacheAutomaton::builder()
+            .design(Design::Space)
+            .disk_cache(&dir_a)
+            .remote_cache(server.local_addr())
+            .build();
+        let started = Instant::now();
+        let Ok(program_a) = a.compile_nfa(&w.nfa) else {
+            let _ = std::fs::remove_dir_all(&dir_a);
+            let _ = std::fs::remove_dir_all(&dir_b);
+            continue;
+        };
+        let push_ms = started.elapsed().as_secs_f64() * 1e3;
+
+        let recorder = Arc::new(cache_automaton::telemetry::MemoryRecorder::new());
+        let b = CacheAutomaton::builder()
+            .design(Design::Space)
+            .disk_cache(&dir_b)
+            .remote_cache(server.local_addr())
+            .telemetry_handle(Telemetry::from_arc(recorder.clone()))
+            .build();
+        let started = Instant::now();
+        let program_b = b.compile_nfa(&w.nfa).expect("fleet warm start loads from the peer");
+        let fleet_ms = started.elapsed().as_secs_f64() * 1e3;
+        let b_compiles = recorder.counter("compile.compilations");
+        assert_eq!(b_compiles, 0, "fleet warm start must not reach the compiler");
+        assert_eq!(recorder.counter("cache.remote.hits"), 1, "the artifact came over the wire");
+
+        let input = w.input(input_bytes, config.seed ^ 0x9a51);
+        let report_a = program_a.run(&input);
+        let report_b = program_b.run(&input);
+        assert_eq!(report_a.matches, report_b.matches, "fleet match parity");
+        assert_eq!(report_a.exec, report_b.exec, "fleet accounting parity");
+
+        fleet.row([
+            benchmark.name().to_string(),
+            fnum(push_ms, 2),
+            fnum(fleet_ms, 2),
+            b_compiles.to_string(),
+            format!("{} matches, bit-identical", report_b.matches.len()),
+        ]);
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+    }
+    let peer_stats = server.stats();
+    server.shutdown().expect("cache peer joins cleanly");
+    let _ = std::fs::remove_dir_all(&peer_dir);
+
     format!(
         "## Persistence: warm starts from the disk artifact tier\n\n{}\nCold compiles the \
          rule set from scratch through the CA_S deployment flow (space optimizer + \
@@ -141,9 +214,20 @@ pub fn warm_start(config: &RunConfig) -> String {
          reports.\n\nDaemon fleet reload: a \
          daemon with its in-memory tier disabled RELOADed unchanged Snort rules in {} ms — \
          generation 0 → {generation}, {reload_compiles} compiler passes, {disk_hits} disk \
-         hit(s). A warm fleet rebinds a generation without compiling.\n",
+         hit(s). A warm fleet rebinds a generation without compiling.\n\n### Fleet cache: \
+         warm starts through a cache peer\n\n{}\nMember A compiles with its disk tier plus \
+         a remote tier pointed at a live `cactl cache-serve` peer; the artifact is pushed \
+         over CACHE_PUT. Member B is machine-cold — an empty, different cache directory — \
+         and resolves the same compile entirely over the wire: zero compiler passes, \
+         bit-identical scan reports, and the fetched artifact backfills B's own disk. Peer \
+         counters for the study: {} hits, {} misses, {} puts, {} bytes served.\n",
         t.render(),
         fnum(reload_ms, 2),
+        fleet.render(),
+        peer_stats.hits,
+        peer_stats.misses,
+        peer_stats.puts,
+        peer_stats.bytes_served,
     )
 }
 
@@ -161,5 +245,7 @@ mod tests {
         assert!(section.matches("\n|").count() >= 4);
         assert!(section.contains("generation 0 → 1"));
         assert!(section.contains("0 compiler passes"));
+        assert!(section.contains("### Fleet cache"));
+        assert!(section.contains("2 puts"), "both fleet benchmarks pushed to the peer");
     }
 }

@@ -13,7 +13,8 @@
 //! cactl mux     --program <artifact> <input-file>... [--workers N] [--metrics OUT]
 //! cactl serve   <rules> --listen <addr> [--design P|S] [--workers N] [--metrics OUT]
 //! cactl connect --listen <addr> [<input-file>...] [--reload RULES] [--limit N]
-//! cactl cache   <stats|clear> [--cache-dir DIR]
+//! cactl cache-serve --listen <addr> --cache-dir DIR [--metrics OUT]
+//! cactl cache   <stats|clear> [--cache-dir DIR] [--remote <addr>]
 //! cactl checkmetrics <metrics.jsonl>
 //!
 //! <rules> is either an ANML document (*.anml) or a newline-separated
@@ -39,6 +40,14 @@
 //! starts warm. `cache stats` summarizes what's on disk; `cache clear`
 //! empties it.
 //!
+//! `--remote-cache ADDR` (or `CACHE_AUTOMATON_REMOTE`) chains a fleet
+//! tier behind the disk tier: artifacts missing locally are fetched from
+//! the cache peer at ADDR, and fresh compiles are pushed to it.
+//! `cache-serve` runs that peer — a daemon answering CACHE_GET/CACHE_PUT
+//! over the same wire protocol, backed by its own `--cache-dir`; `cache
+//! stats --remote ADDR` asks a running peer for its request counters
+//! instead of scanning a local directory.
+//!
 //! `serve` compiles the rules and answers the wire protocol on `--listen`
 //! (`host:port` or `unix:<path>`) until killed; `connect` scans each
 //! input file as one stream of a running daemon (`--reload RULES` hot-
@@ -49,14 +58,15 @@
 //! Exit codes are [`CaError::code`], shared with the daemon's wire-level
 //! ERROR frames: 0 success, 2 usage/configuration, 3 i/o, 4 pattern or
 //! ANML front-end, 5 mapping compiler, 6 artifact decode, 7 internal
-//! (worker thread panic), 8 wire-protocol violation. An error reported by
-//! a remote daemon exits with the code the daemon sent.
+//! (worker thread panic), 8 wire-protocol violation, 9 unsupported
+//! request (e.g. cache frames sent to a scan daemon, or vice versa). An
+//! error reported by a remote daemon exits with the code the daemon sent.
 
 use ca_baselines::measure_cpu as ca_baselines_measure;
 use cache_automaton::serve::daemon::nfa_from_rules_text;
 use cache_automaton::{
-    CaError, CacheAutomaton, Client, Daemon, DaemonOptions, Design, JsonLinesWriter, Parallelism,
-    PoolOptions, Program, RunReport, ScanPool, Telemetry,
+    CaError, CacheAutomaton, CacheServer, Client, Daemon, DaemonOptions, Design, JsonLinesWriter,
+    Parallelism, PoolOptions, Program, RunReport, ScanPool, Telemetry,
 };
 use std::fmt::Write as _;
 use std::io::Read as _;
@@ -96,6 +106,8 @@ struct Options {
     listen: Option<String>,
     reload: Option<String>,
     cache_dir: Option<String>,
+    remote_cache: Option<String>,
+    remote: Option<String>,
     positional: Vec<String>,
 }
 
@@ -116,6 +128,8 @@ fn parse_args(args: Vec<String>) -> Result<(String, Options), CaError> {
         listen: None,
         reload: None,
         cache_dir: None,
+        remote_cache: None,
+        remote: None,
         positional: Vec::new(),
     };
     let bad = |msg: &str| CaError::Config(msg.to_string());
@@ -189,6 +203,22 @@ fn parse_args(args: Vec<String>) -> Result<(String, Options), CaError> {
                 );
                 rest.drain(i..=i + 1);
             }
+            "--remote-cache" => {
+                opts.remote_cache = Some(
+                    rest.get(i + 1)
+                        .ok_or_else(|| bad("--remote-cache needs host:port or unix:<path>"))?
+                        .clone(),
+                );
+                rest.drain(i..=i + 1);
+            }
+            "--remote" => {
+                opts.remote = Some(
+                    rest.get(i + 1)
+                        .ok_or_else(|| bad("--remote needs host:port or unix:<path>"))?
+                        .clone(),
+                );
+                rest.drain(i..=i + 1);
+            }
             "--reload" => {
                 opts.reload = Some(
                     rest.get(i + 1)
@@ -228,8 +258,8 @@ fn parse_args(args: Vec<String>) -> Result<(String, Options), CaError> {
     Ok((command, opts))
 }
 
-const USAGE: &str = "usage: cactl <compile|run|mux|serve|connect|cache|inspect|anml|frompages|\
-                     bench|checkmetrics> <rules> [args] (see --help in the crate docs)";
+const USAGE: &str = "usage: cactl <compile|run|mux|serve|connect|cache-serve|cache|inspect|anml|\
+                     frompages|bench|checkmetrics> <rules> [args] (see --help in the crate docs)";
 
 fn load_rules_text(path: &str) -> Result<String, CaError> {
     std::fs::read_to_string(path).map_err(|e| io_err(path, e))
@@ -252,17 +282,21 @@ fn compile_program(opts: &Options, path: &str, telemetry: &Telemetry) -> Result<
 }
 
 /// The builder every compiling command shares: design, slices, telemetry,
-/// and — when `--cache-dir` was given — the persistent disk tier. Without
-/// the flag the builder still honors `CACHE_AUTOMATON_DIR` on its own.
+/// and — when `--cache-dir` / `--remote-cache` were given — the
+/// persistent disk and fleet tiers. Without the flags the builder still
+/// honors `CACHE_AUTOMATON_DIR` and `CACHE_AUTOMATON_REMOTE` on its own.
 fn configured_builder(opts: &Options, telemetry: &Telemetry) -> cache_automaton::Builder {
-    let builder = CacheAutomaton::builder()
+    let mut builder = CacheAutomaton::builder()
         .design(opts.design)
         .slices(opts.slices)
         .telemetry_handle(telemetry.clone());
-    match &opts.cache_dir {
-        Some(dir) => builder.disk_cache(dir),
-        None => builder,
+    if let Some(dir) = &opts.cache_dir {
+        builder = builder.disk_cache(dir);
     }
+    if let Some(addr) = &opts.remote_cache {
+        builder = builder.remote_cache(addr);
+    }
+    builder
 }
 
 /// Opens the `--metrics` sink if requested, else a disabled handle whose
@@ -664,12 +698,69 @@ fn run(args: Vec<String>) -> Result<String, CaError> {
                 let _ = writeln!(out, "  pattern {:>4} @ byte {}", m.code.0, m.pos);
             }
         }
+        "cache-serve" => {
+            if !opts.positional.is_empty() {
+                return Err(CaError::Config("cache-serve takes no positional arguments".into()));
+            }
+            let addr = opts.listen.as_deref().ok_or_else(|| {
+                CaError::Config("cache-serve needs --listen host:port or unix:<path>".into())
+            })?;
+            let dir = opts
+                .cache_dir
+                .clone()
+                .or_else(|| {
+                    std::env::var(cache_automaton::CACHE_DIR_ENV).ok().filter(|v| !v.is_empty())
+                })
+                .ok_or_else(|| {
+                    CaError::Config(format!(
+                        "cache-serve needs --cache-dir DIR or {} set",
+                        cache_automaton::CACHE_DIR_ENV
+                    ))
+                })?;
+            let server = CacheServer::bind_with_telemetry(addr, &dir, telemetry.clone())?;
+            // Announce before blocking — scripts wait for this line to
+            // know the socket is ready.
+            println!("cache peer serving {dir} on {}", server.local_addr());
+            let _ = std::io::Write::flush(&mut std::io::stdout());
+            server.wait();
+        }
         "cache" => {
             let action = match opts.positional.as_slice() {
                 [] => "stats",
                 [action] => action.as_str(),
                 _ => return Err(CaError::Config("cache takes one action: stats or clear".into())),
             };
+            // `--remote` redirects `stats` at a running cache peer: the
+            // counters come back over a CACHE_STATS frame instead of a
+            // local directory scan.
+            if let Some(addr) = &opts.remote {
+                if action != "stats" {
+                    return Err(CaError::Config(
+                        "--remote only supports the stats action (clear is local-only)".into(),
+                    ));
+                }
+                let mut client = Client::connect(addr)?;
+                let s = client.cache_stats()?;
+                let _ = writeln!(out, "cache peer   : {addr}");
+                let _ = writeln!(
+                    out,
+                    "requests     : {} hits, {} misses, {} puts",
+                    s.hits, s.misses, s.puts
+                );
+                let _ = writeln!(out, "rejected puts: {}", s.rejected);
+                let _ = writeln!(
+                    out,
+                    "bytes        : {} served, {} stored",
+                    s.bytes_served, s.bytes_stored
+                );
+                let _ = writeln!(
+                    out,
+                    "artifacts    : {} ({:.3} MB on disk)",
+                    s.entries,
+                    s.disk_bytes as f64 / (1024.0 * 1024.0)
+                );
+                return Ok(out);
+            }
             // Resolve the root exactly as the Builder would: explicit flag
             // first, then the environment.
             let dir = opts

@@ -26,7 +26,10 @@
 //!   race skips the write: artifacts are canonical, so whatever the winner
 //!   writes is byte-identical to what the loser would have written. A lock
 //!   older than `LOCK_STALE_AFTER` (60 s) is presumed abandoned (a crashed
-//!   writer) and broken.
+//!   writer) and broken — by *renaming* it to a unique name first, so
+//!   when several writers judge the same lock stale simultaneously,
+//!   exactly one wins the rename and deletes only the file it renamed;
+//!   nobody can delete a fresh lock another writer just created.
 //! * **I/O errors** (permissions, a full disk): counted under
 //!   `cache.disk.errors` and reported as a miss / skipped write.
 
@@ -35,6 +38,7 @@ use crate::artifact::{write_atomic, PROGRAM_ARTIFACT_VERSION};
 use crate::{Design, Program};
 use ca_telemetry::Telemetry;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Locks older than this are presumed abandoned and broken. Generously
@@ -180,8 +184,44 @@ impl DiskCache {
                         .and_then(|mtime| mtime.elapsed().ok())
                         .is_some_and(|age| age > LOCK_STALE_AFTER);
                     if stale && attempt == 0 {
-                        // break the abandoned lock and retry once
-                        std::fs::remove_file(&lock_path).ok();
+                        // Break the abandoned lock by *claiming* it with a
+                        // rename to a unique name before deleting. Several
+                        // writers may judge the same lock stale, but only
+                        // one rename succeeds, and each contender deletes
+                        // only the file it renamed — a bare remove_file
+                        // here would let the slower contender delete the
+                        // fresh lock the faster one just created.
+                        static BREAK_SEQ: AtomicU64 = AtomicU64::new(0);
+                        let mut claimed = lock_path.as_os_str().to_owned();
+                        claimed.push(format!(
+                            ".broken-{}-{}",
+                            std::process::id(),
+                            BREAK_SEQ.fetch_add(1, Ordering::Relaxed)
+                        ));
+                        let claimed = PathBuf::from(claimed);
+                        if std::fs::rename(&lock_path, &claimed).is_ok() {
+                            // Re-judge on the claimed file: between the
+                            // staleness check and the rename, a faster
+                            // contender may have broken the old lock and
+                            // created a fresh one — which this rename just
+                            // stole. Fresh → put it back (link-then-unlink
+                            // restores without clobbering anything newer)
+                            // and treat the lock as contended.
+                            let still_stale = std::fs::metadata(&claimed)
+                                .and_then(|m| m.modified())
+                                .ok()
+                                .and_then(|mtime| mtime.elapsed().ok())
+                                .is_some_and(|age| age > LOCK_STALE_AFTER);
+                            if !still_stale {
+                                let _ = std::fs::hard_link(&claimed, &lock_path);
+                                std::fs::remove_file(&claimed).ok();
+                                self.telemetry.counter("cache.disk.lock_skipped", 1);
+                                return None;
+                            }
+                            std::fs::remove_file(&claimed).ok();
+                        }
+                        // The stale lock is gone — broken here or by a
+                        // faster contender; retry the exclusive create.
                         continue;
                     }
                     self.telemetry.counter("cache.disk.lock_skipped", 1);
@@ -194,6 +234,48 @@ impl DiskCache {
             }
         }
         None
+    }
+
+    /// The one read path: fetches `key`'s file, fully validates it
+    /// ([`Program::from_bytes`] checks magic, version, checksum and
+    /// structure), and applies the tier's failure policy — missing file
+    /// is a counted miss, unreadable file a counted error, corrupt file
+    /// quarantined. Returns the validated bytes together with the decoded
+    /// program so callers pick whichever form they need.
+    fn read_validated(&mut self, key: &CacheKey) -> Option<(Vec<u8>, Program)> {
+        let path = self.artifact_path(key);
+        let bytes = match std::fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                self.bump(|s| &mut s.misses, "cache.disk.misses");
+                return None;
+            }
+            Err(_) => {
+                self.bump(|s| &mut s.errors, "cache.disk.errors");
+                return None;
+            }
+        };
+        match Program::from_bytes(&bytes) {
+            Ok(program) => {
+                self.bump(|s| &mut s.hits, "cache.disk.hits");
+                Some((bytes, program))
+            }
+            Err(_) => {
+                // failed checksum/decode: quarantine and fall back to a
+                // recompile — a damaged cache entry is never an error
+                self.quarantine(&path);
+                None
+            }
+        }
+    }
+
+    /// Loads `key`'s artifact as validated raw bytes (the canonical
+    /// encoding, exactly as stored). Same counters, quarantine, and miss
+    /// semantics as the [`CacheTier::load`] path — this is what the cache
+    /// server serves over the wire, where re-encoding the decoded program
+    /// would be wasted work.
+    pub fn load_bytes(&mut self, key: &CacheKey) -> Option<Vec<u8>> {
+        self.read_validated(key).map(|(bytes, _)| bytes)
     }
 }
 
@@ -214,30 +296,7 @@ impl CacheTier for DiskCache {
     }
 
     fn load(&mut self, key: &CacheKey) -> Option<Program> {
-        let path = self.artifact_path(key);
-        let bytes = match std::fs::read(&path) {
-            Ok(bytes) => bytes,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                self.bump(|s| &mut s.misses, "cache.disk.misses");
-                return None;
-            }
-            Err(_) => {
-                self.bump(|s| &mut s.errors, "cache.disk.errors");
-                return None;
-            }
-        };
-        match Program::from_bytes(&bytes) {
-            Ok(program) => {
-                self.bump(|s| &mut s.hits, "cache.disk.hits");
-                Some(program)
-            }
-            Err(_) => {
-                // failed checksum/decode: quarantine and fall back to a
-                // recompile — a damaged cache entry is never an error
-                self.quarantine(&path);
-                None
-            }
-        }
+        self.read_validated(key).map(|(_, program)| program)
     }
 
     fn store(&mut self, key: &CacheKey, artifact: &[u8]) {
@@ -334,6 +393,62 @@ mod tests {
         drop(file);
         assert!(cache.try_lock(&target).is_some(), "stale lock is broken");
 
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Regression test for the stale-lock break race: two writers that
+    /// both judge one lock stale used to both `remove_file` it, so the
+    /// loser could delete the winner's *fresh* lock and end up with a
+    /// second guard on the same path (whose drop then deleted whichever
+    /// lock was current). Breaking via rename-to-unique means exactly one
+    /// contender ever wins the break.
+    #[test]
+    fn concurrent_stale_lock_break_elects_exactly_one_winner() {
+        let dir = std::env::temp_dir().join(format!(
+            "ca-disk-lock-race-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let target = dir.join("entry.capr");
+        let lock_path = dir.join("entry.capr.lock");
+        for round in 0..8 {
+            // plant an abandoned lock with an ancient mtime
+            std::fs::write(&lock_path, b"").unwrap();
+            let old = std::time::SystemTime::now() - Duration::from_secs(3600);
+            let file = std::fs::OpenOptions::new().write(true).open(&lock_path).unwrap();
+            file.set_modified(old).unwrap();
+            drop(file);
+
+            let barrier = std::sync::Arc::new(std::sync::Barrier::new(2));
+            let guards: Vec<_> = (0..2)
+                .map(|_| {
+                    let barrier = std::sync::Arc::clone(&barrier);
+                    let dir = dir.clone();
+                    let target = target.clone();
+                    std::thread::spawn(move || {
+                        let mut cache = DiskCache::new(&dir);
+                        barrier.wait();
+                        cache.try_lock(&target)
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect();
+            let winners = guards.iter().filter(|g| g.is_some()).count();
+            assert_eq!(winners, 1, "round {round}: exactly one contender re-takes the lock");
+            assert!(lock_path.exists(), "round {round}: the winner's fresh lock survived");
+            drop(guards);
+            assert!(!lock_path.exists(), "round {round}: the winner's guard cleaned up");
+            // no .broken-* residue from either contender
+            let residue: Vec<_> = std::fs::read_dir(&dir)
+                .unwrap()
+                .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+                .filter(|n| n.contains(".broken-"))
+                .collect();
+            assert!(residue.is_empty(), "round {round}: leftover break files {residue:?}");
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,35 +1,45 @@
 //! The remote artifact tier: a [`CacheTier`] over CACHE_GET / CACHE_PUT
 //! frames of the serving wire protocol.
 //!
-//! This is the client half of the protocol sketched in
-//! [`proto`](crate::serve::proto) — enough for a fleet to share one
-//! compilation through a cache peer once a serving loop answers these
-//! frames (a later revision; today's scan daemon refuses them with a
-//! typed error, which this tier treats as a permanent miss).
+//! This is the client half of the protocol in
+//! [`proto`](crate::serve::proto); the server half is
+//! [`CacheServer`](crate::serve::cache_server::CacheServer) (`cactl
+//! cache-serve`). A *scan* daemon refuses cache frames with a typed
+//! error (code 9, unsupported), which this tier treats as a permanent
+//! miss.
 //!
 //! Failure policy is the bluntest of all tiers, because a network peer
 //! is the least trustworthy dependency in the stack:
 //!
 //! * The connection is dialed lazily on first use, so merely configuring
 //!   a remote tier costs nothing until a compile actually happens.
-//! * *Any* failure — dial, transport, a peer-reported error — marks the
-//!   tier **broken**: every counter bump goes to `cache.remote.errors`
-//!   once, and all subsequent loads and stores short-circuit to misses
-//!   without touching the network. A flaky cache peer can slow one
-//!   compile, never every compile.
+//! * Every socket operation — dial, write, read — carries a deadline
+//!   ([`RemoteCache::DEFAULT_TIMEOUT`], 5 s, or
+//!   [`Builder::remote_cache_timeout`](crate::Builder::remote_cache_timeout)).
+//!   A peer that accepted the connection and went silent is
+//!   indistinguishable from a dead one past the deadline; the stall is
+//!   bounded and counts as a transport failure.
+//! * *Any* failure — dial, transport (a timeout included), a
+//!   peer-reported error — marks the tier **broken**: every counter bump
+//!   goes to `cache.remote.errors` once, and all subsequent loads and
+//!   stores short-circuit to misses without touching the network. A
+//!   flaky cache peer can slow one compile, never every compile.
 //! * Returned artifacts are fully validated ([`Program::from_bytes`]
 //!   checks magic, version, and checksum) before use; a corrupt blob
 //!   counts under `cache.remote.corrupt` and degrades to a miss, exactly
 //!   like a damaged disk file.
 
 use super::{CacheKey, CacheTier, TierStats};
-use crate::serve::daemon::Client;
+use crate::serve::daemon::{Client, ClientOptions};
 use crate::Program;
 use ca_telemetry::Telemetry;
+use std::time::Duration;
 
 /// The remote tier. See the [module docs](self) for the failure policy.
 pub struct RemoteCache {
     addr: String,
+    /// One deadline for connect, read, and write alike.
+    timeout: Duration,
     client: Option<Client>,
     /// Latched on the first failure; a broken tier never retries.
     broken: bool,
@@ -49,11 +59,16 @@ impl std::fmt::Debug for RemoteCache {
 }
 
 impl RemoteCache {
+    /// The default deadline for connect, read, and write, each: a cache
+    /// peer that cannot answer in 5 s is slower than recompiling.
+    pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(5);
+
     /// A remote tier speaking to the cache peer at `addr` (`host:port` or
     /// `unix:<path>`). Nothing is dialed until the first load or store.
     pub fn new<S: Into<String>>(addr: S) -> RemoteCache {
         RemoteCache {
             addr: addr.into(),
+            timeout: RemoteCache::DEFAULT_TIMEOUT,
             client: None,
             broken: false,
             stats: TierStats::default(),
@@ -64,6 +79,13 @@ impl RemoteCache {
     /// The peer address this tier was configured with.
     pub fn addr(&self) -> &str {
         &self.addr
+    }
+
+    /// Overrides [`DEFAULT_TIMEOUT`](RemoteCache::DEFAULT_TIMEOUT) for
+    /// connect, read, and write alike. Takes effect on the next dial, so
+    /// call it before the first load or store.
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
     }
 
     /// Whether the tier has latched its broken state.
@@ -90,7 +112,7 @@ impl RemoteCache {
             return None;
         }
         if self.client.is_none() {
-            match Client::connect(&self.addr) {
+            match Client::connect_with(&self.addr, ClientOptions::uniform(self.timeout)) {
                 Ok(client) => self.client = Some(client),
                 Err(_) => {
                     self.mark_broken();
@@ -249,10 +271,53 @@ mod tests {
         let daemon =
             crate::Daemon::bind(&ca, "needle\n", "127.0.0.1:0", crate::DaemonOptions::default())
                 .unwrap();
+
+        // the refusal itself is the *typed* unsupported error (stable
+        // code 9), not a generic config complaint — assert on the code a
+        // remote tier keys its permanent-miss decision on
+        let mut probe = Client::connect(&daemon.local_addr()).unwrap();
+        let err = probe.cache_get(&key(1)).expect_err("scan daemon refuses cache frames");
+        assert_eq!(err.code(), 9, "refusal carries the stable unsupported code");
+        drop(probe);
+
         let mut tier = RemoteCache::new(daemon.local_addr());
         assert!(tier.load(&key(1)).is_none(), "refusal is a miss");
         assert!(tier.is_broken());
         assert_eq!(tier.stats().errors, 1);
         daemon.shutdown().unwrap();
+    }
+
+    /// A peer that accepts the connection and then never replies must not
+    /// hang the compile: the read deadline trips, the tier latches broken
+    /// with exactly one counted error, and the load degrades to a miss in
+    /// bounded time.
+    #[test]
+    fn hung_peer_times_out_into_a_bounded_miss() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let hung = std::thread::spawn(move || {
+            // accept, hold the socket open, never read or write
+            let conn = listener.accept().map(|(conn, _)| conn);
+            std::thread::sleep(std::time::Duration::from_secs(2));
+            drop(conn);
+        });
+
+        let mut tier = RemoteCache::new(addr);
+        tier.set_timeout(Duration::from_millis(300));
+        let started = std::time::Instant::now();
+        assert!(tier.load(&key(1)).is_none(), "hung peer degrades to a miss");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "timeout bounds the stall, got {:?}",
+            started.elapsed()
+        );
+        assert!(tier.is_broken());
+        assert_eq!(tier.stats().errors, 1, "one latched error, not one per operation");
+
+        // subsequent traffic short-circuits without touching the socket
+        tier.store(&key(1), b"never sent");
+        assert!(tier.load(&key(1)).is_none());
+        assert_eq!(tier.stats().errors, 1);
+        hung.join().unwrap();
     }
 }

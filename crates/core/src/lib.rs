@@ -62,8 +62,11 @@ pub use cache::disk::DiskCache;
 pub use cache::remote::RemoteCache;
 pub use cache::{ArtifactCache, CacheKey, CacheStats, CacheTier, ProgramCache, TierStats};
 pub use scanner::Scanner;
-pub use serve::daemon::{Client, Daemon, DaemonOptions, ListenAddr};
-pub use serve::proto::{Frame, ProtoError, ServerStats, WireReport, PROTO_VERSION};
+pub use serve::cache_server::CacheServer;
+pub use serve::daemon::{Client, ClientOptions, Daemon, DaemonOptions, ListenAddr};
+pub use serve::proto::{
+    CacheServerStats, Frame, ProtoError, ServerStats, WireReport, PROTO_VERSION,
+};
 pub use serve::{PoolOptions, ScanPool, StreamHandle};
 pub use session::Session;
 pub use shard::{Parallelism, ScanOptions};
@@ -76,6 +79,13 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 32;
 /// [`Builder::disk_cache`]/[`Builder::no_disk_cache`] choice persists
 /// compiled artifacts there.
 pub const CACHE_DIR_ENV: &str = "CACHE_AUTOMATON_DIR";
+
+/// Environment variable naming a remote cache peer (`host:port` or
+/// `unix:<path>`, the address of a `cactl cache-serve` process). When set
+/// (and non-empty), every instance built without an explicit
+/// [`Builder::remote_cache`]/[`Builder::no_remote_cache`] choice consults
+/// that peer after the disk tier.
+pub const CACHE_REMOTE_ENV: &str = "CACHE_AUTOMATON_REMOTE";
 
 /// Largest LLC slice count the configuration accepts (well past any Xeon
 /// die; larger values are treated as configuration mistakes).
@@ -106,6 +116,15 @@ pub enum CaError {
     /// unsupported version, oversized or malformed payload). See
     /// [`serve::proto`].
     Protocol(String),
+    /// A well-formed, in-protocol request this server deliberately does
+    /// not serve — e.g. CACHE_GET sent to a scan daemon (only `cactl
+    /// cache-serve` answers cache frames), or a scan frame sent to a
+    /// cache peer. Distinct from [`CaError::Protocol`] (malformed
+    /// traffic): the connection stays healthy, the capability just is
+    /// not there, so clients may degrade gracefully — a
+    /// [`RemoteCache`] pointed at a scan daemon treats this code as a
+    /// permanent miss.
+    Unsupported(String),
     /// An error a serving daemon reported over the wire. `code` preserves
     /// the daemon-side [`CaError::code`] value for variants whose typed
     /// payload cannot cross a socket (automata, compiler, artifact
@@ -128,6 +147,7 @@ impl fmt::Display for CaError {
             CaError::Artifact(e) => write!(f, "artifact error: {e}"),
             CaError::Internal(msg) => write!(f, "internal error: {msg}"),
             CaError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            CaError::Unsupported(msg) => write!(f, "unsupported request: {msg}"),
             CaError::Remote { code, message } => {
                 write!(f, "remote error (code {code}): {message}")
             }
@@ -138,8 +158,8 @@ impl fmt::Display for CaError {
 impl CaError {
     /// Stable per-variant error code: 2 configuration, 3 i/o, 4 automata
     /// front-end, 5 mapping compiler, 6 artifact decode, 7 internal,
-    /// 8 wire-protocol violation. A [`CaError::Remote`] carries its
-    /// daemon-side code through unchanged.
+    /// 8 wire-protocol violation, 9 unsupported request. A
+    /// [`CaError::Remote`] carries its daemon-side code through unchanged.
     ///
     /// This is the **one** error-code table of the project: `cactl` uses
     /// it as its process exit code for every subcommand, and the serving
@@ -155,6 +175,7 @@ impl CaError {
             CaError::Artifact(_) => 6,
             CaError::Internal(_) => 7,
             CaError::Protocol(_) => 8,
+            CaError::Unsupported(_) => 9,
             CaError::Remote { code, .. } => *code,
         }
     }
@@ -170,6 +191,7 @@ impl std::error::Error for CaError {
             | CaError::Io(_)
             | CaError::Internal(_)
             | CaError::Protocol(_)
+            | CaError::Unsupported(_)
             | CaError::Remote { .. } => None,
         }
     }
@@ -242,7 +264,9 @@ pub struct Builder {
     /// Outer `None` = undecided (consult [`CACHE_DIR_ENV`] at build time);
     /// `Some(None)` = explicitly disabled; `Some(Some(path))` = explicit.
     disk_cache: Option<Option<std::path::PathBuf>>,
-    remote_cache: Option<String>,
+    /// Same tri-state as `disk_cache`, against [`CACHE_REMOTE_ENV`].
+    remote_cache: Option<Option<String>>,
+    remote_cache_timeout: Option<std::time::Duration>,
     telemetry: Telemetry,
 }
 
@@ -312,12 +336,33 @@ impl Builder {
     }
 
     /// Adds a [`RemoteCache`] tier speaking CACHE_GET / CACHE_PUT frames
-    /// to the cache peer at `addr` (`host:port` or `unix:<path>`),
-    /// consulted after the disk tier. Nothing is dialed until the first
-    /// compile; a failing peer degrades to misses, never errors.
+    /// to the cache peer at `addr` (`host:port` or `unix:<path>`, the
+    /// address of a `cactl cache-serve` process), consulted after the
+    /// disk tier. Nothing is dialed until the first compile; a failing
+    /// peer degrades to misses, never errors.
+    ///
+    /// Without an explicit choice, a non-empty [`CACHE_REMOTE_ENV`]
+    /// environment variable enables the remote tier at build time.
     #[must_use]
     pub fn remote_cache<S: Into<String>>(mut self, addr: S) -> Builder {
-        self.remote_cache = Some(addr.into());
+        self.remote_cache = Some(Some(addr.into()));
+        self
+    }
+
+    /// Disables the remote tier even when [`CACHE_REMOTE_ENV`] is set.
+    #[must_use]
+    pub fn no_remote_cache(mut self) -> Builder {
+        self.remote_cache = Some(None);
+        self
+    }
+
+    /// Socket budget of the remote tier: connect, read, and write each
+    /// get this deadline (default [`RemoteCache::DEFAULT_TIMEOUT`], 5 s).
+    /// A peer that stalls past it is a transport error, which latches the
+    /// tier broken — a hung peer costs one bounded stall, never a hang.
+    #[must_use]
+    pub fn remote_cache_timeout(mut self, timeout: std::time::Duration) -> Builder {
+        self.remote_cache_timeout = Some(timeout);
         self
     }
 
@@ -358,8 +403,17 @@ impl Builder {
         if let Some(root) = disk_root {
             cache.push_tier(Box::new(DiskCache::new(root)));
         }
-        if let Some(addr) = self.remote_cache {
-            cache.push_tier(Box::new(RemoteCache::new(addr)));
+        let remote_addr = match self.remote_cache {
+            Some(choice) => choice,
+            // undecided: the environment may opt the process in
+            None => std::env::var(CACHE_REMOTE_ENV).ok().filter(|v| !v.is_empty()),
+        };
+        if let Some(addr) = remote_addr {
+            let mut remote = RemoteCache::new(addr);
+            if let Some(timeout) = self.remote_cache_timeout {
+                remote.set_timeout(timeout);
+            }
+            cache.push_tier(Box::new(remote));
         }
         CacheAutomaton {
             options: CompilerOptions {

@@ -1,0 +1,437 @@
+//! The remote cache tier's server half: `cactl cache-serve` as a library.
+//!
+//! A [`CacheServer`] answers CACHE_GET / CACHE_PUT / CACHE_STATS frames
+//! of the [wire protocol](super::proto) over the same TCP/Unix accept
+//! machinery as the scan [`Daemon`](super::daemon::Daemon) (both are
+//! built on [`NetServer`]), backed by a [`DiskCache`] — so the fleet
+//! tier inherits the disk tier's semantics wholesale:
+//!
+//! * **Lookups** go through the disk tier's validated read path: a
+//!   stored artifact that fails checksum or decode is quarantined
+//!   server-side and answered as a MISS, never shipped.
+//! * **Stores** are validated before anything touches disk:
+//!   [`Program::from_bytes`] must fully decode the inbound artifact, or
+//!   the CACHE_PUT is refused with a typed artifact error (code 6) and
+//!   counted under `cache.serve.rejected` — one buggy client cannot
+//!   poison the fleet. Accepted artifacts are written atomically under
+//!   the tier's advisory locking.
+//! * **Scan frames are refused** with the typed Unsupported error
+//!   (code 9), mirroring the scan daemon refusing cache frames: each
+//!   server refuses the other's vocabulary against a stable code.
+//!
+//! Request counters surface as `cache.serve.*` telemetry and through
+//! CACHE_STATS (`cactl cache stats --remote <addr>`).
+//!
+//! # Examples
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use cache_automaton::{CacheAutomaton, CacheServer};
+//!
+//! let dir = std::env::temp_dir().join(format!("ca-peer-doc-{}", std::process::id()));
+//! let server = CacheServer::bind("127.0.0.1:0", &dir)?;
+//!
+//! // a fleet member pointed at the peer: compile once here...
+//! let a = CacheAutomaton::builder().remote_cache(server.local_addr()).build();
+//! a.compile_patterns(&["spain"])?;
+//!
+//! // ...and a different process (fresh instance, no shared memory or
+//! // disk) warm-starts through the peer.
+//! let b = CacheAutomaton::builder().remote_cache(server.local_addr()).build();
+//! b.compile_patterns(&["spain"])?;
+//! assert_eq!(server.stats().hits, 1);
+//!
+//! server.shutdown()?;
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok(())
+//! # }
+//! ```
+
+use super::net::NetServer;
+use super::proto::{error_to_wire, read_frame, write_frame, CacheServerStats, Frame};
+use crate::cache::disk::DiskCache;
+use crate::cache::{CacheKey, CacheTier};
+use crate::{CaError, Program};
+use ca_telemetry::Telemetry;
+use std::io::{BufReader, BufWriter, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+struct CacheServerShared {
+    /// The disk tier all connections share; the mutex serializes request
+    /// handling against it (artifact I/O is milliseconds — contention is
+    /// not a concern at cache-peer request rates).
+    disk: Mutex<DiskCache>,
+    telemetry: Telemetry,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    puts: AtomicU64,
+    rejected: AtomicU64,
+    bytes_served: AtomicU64,
+    bytes_stored: AtomicU64,
+}
+
+impl CacheServerShared {
+    fn bump(&self, counter: &AtomicU64, name: &'static str, by: u64) {
+        counter.fetch_add(by, Ordering::Relaxed);
+        self.telemetry.counter(name, by);
+    }
+
+    fn stats(&self) -> CacheServerStats {
+        let (entries, disk_bytes) =
+            self.disk.lock().expect("disk cache lock").scan().unwrap_or((0, 0));
+        CacheServerStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            bytes_served: self.bytes_served.load(Ordering::Relaxed),
+            bytes_stored: self.bytes_stored.load(Ordering::Relaxed),
+            entries,
+            disk_bytes,
+        }
+    }
+
+    fn cache_get(&self, key: &CacheKey) -> Frame {
+        match self.disk.lock().expect("disk cache lock").load_bytes(key) {
+            Some(artifact) => {
+                self.bump(&self.hits, "cache.serve.hits", 1);
+                self.bump(&self.bytes_served, "cache.serve.bytes_served", artifact.len() as u64);
+                Frame::CacheFound { artifact }
+            }
+            None => {
+                self.bump(&self.misses, "cache.serve.misses", 1);
+                Frame::CacheMiss
+            }
+        }
+    }
+
+    fn cache_put(&self, key: &CacheKey, artifact: &[u8]) -> Result<Frame, CaError> {
+        // Full validation before anything is persisted: magic, version,
+        // checksum, and a structural decode. A peer cannot be poisoned by
+        // one buggy (or hostile) client.
+        if let Err(e) = Program::from_bytes(artifact) {
+            self.bump(&self.rejected, "cache.serve.rejected", 1);
+            return Err(e);
+        }
+        self.disk.lock().expect("disk cache lock").store(key, artifact);
+        self.bump(&self.puts, "cache.serve.puts", 1);
+        self.bump(&self.bytes_stored, "cache.serve.bytes_stored", artifact.len() as u64);
+        Ok(Frame::CachePutOk)
+    }
+
+    fn handle_frame(&self, frame: Frame) -> Frame {
+        let result = match frame {
+            Frame::CacheGet { key } => Ok(self.cache_get(&key)),
+            Frame::CachePut { key, artifact } => self.cache_put(&key, &artifact),
+            Frame::CacheStats => Ok(Frame::CacheStatsReply(self.stats())),
+            // The mirror image of the scan daemon refusing cache frames:
+            // a cache peer does not scan. Same stable code (9), so a
+            // misdirected client degrades predictably either way.
+            Frame::OpenStream
+            | Frame::FeedChunk { .. }
+            | Frame::PollMatches { .. }
+            | Frame::Finish { .. }
+            | Frame::Stats
+            | Frame::Reload { .. } => {
+                Err(CaError::Unsupported("this cache peer does not serve scan frames".into()))
+            }
+            // Server-to-client frames arriving at the server are a
+            // protocol violation.
+            other => Err(CaError::Protocol(format!(
+                "unexpected frame kind {:?} from a client",
+                std::mem::discriminant(&other)
+            ))),
+        };
+        match result {
+            Ok(reply) => reply,
+            Err(e) => error_to_wire(&e),
+        }
+    }
+}
+
+/// A cache peer bound to a socket, accepting connections on a background
+/// thread. See the [module docs](self) for semantics.
+pub struct CacheServer {
+    shared: Arc<CacheServerShared>,
+    server: NetServer,
+}
+
+impl std::fmt::Debug for CacheServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheServer")
+            .field("addr", self.server.local_addr())
+            .field("stats", &self.shared.stats())
+            .finish()
+    }
+}
+
+impl CacheServer {
+    /// Binds a cache peer on `addr` (see
+    /// [`ListenAddr::parse`](super::net::ListenAddr::parse)) serving the
+    /// [`DiskCache`] rooted at `cache_dir` (created lazily on the first
+    /// store, exactly like a local disk tier).
+    ///
+    /// # Errors
+    ///
+    /// Invalid addresses or socket bind errors.
+    pub fn bind<P: Into<PathBuf>>(addr: &str, cache_dir: P) -> Result<CacheServer, CaError> {
+        CacheServer::bind_with_telemetry(addr, cache_dir, Telemetry::disabled())
+    }
+
+    /// Like [`bind`](CacheServer::bind), routing `cache.serve.*` and the
+    /// underlying tier's `cache.disk.*` events to `telemetry`.
+    ///
+    /// # Errors
+    ///
+    /// As [`bind`](CacheServer::bind).
+    pub fn bind_with_telemetry<P: Into<PathBuf>>(
+        addr: &str,
+        cache_dir: P,
+        telemetry: Telemetry,
+    ) -> Result<CacheServer, CaError> {
+        let mut disk = DiskCache::new(cache_dir);
+        disk.set_telemetry(telemetry.clone());
+        let shared = Arc::new(CacheServerShared {
+            disk: Mutex::new(disk),
+            telemetry,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            puts: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            bytes_served: AtomicU64::new(0),
+            bytes_stored: AtomicU64::new(0),
+        });
+        let conn_shared = Arc::clone(&shared);
+        let server = NetServer::bind(addr, move |conn, _id| {
+            let result = serve_connection(&conn_shared, conn);
+            conn_shared.telemetry.flush();
+            // A connection failing is that connection's problem; the peer
+            // keeps serving (the error was reported inline if possible).
+            drop(result);
+        })?;
+        Ok(CacheServer { shared, server })
+    }
+
+    /// The address the peer actually listens on — with an ephemeral TCP
+    /// port resolved, in a form clients and
+    /// [`Builder::remote_cache`](crate::Builder::remote_cache) accept.
+    pub fn local_addr(&self) -> String {
+        self.server.local_addr().to_string()
+    }
+
+    /// Current request counters plus disk inventory (the same numbers a
+    /// CACHE_STATS frame returns).
+    pub fn stats(&self) -> CacheServerStats {
+        self.shared.stats()
+    }
+
+    /// Stops accepting and joins connection threads (which exit when
+    /// their clients disconnect — close clients first).
+    ///
+    /// # Errors
+    ///
+    /// [`CaError::Internal`] if a server thread panicked.
+    pub fn shutdown(mut self) -> Result<(), CaError> {
+        self.shutdown_inner()
+    }
+
+    fn shutdown_inner(&mut self) -> Result<(), CaError> {
+        let result = self.server.shutdown();
+        self.shared.telemetry.flush();
+        result
+    }
+
+    /// Blocks until the server shuts down (for a foreground `cactl
+    /// cache-serve`, that is "forever" — until the process is killed).
+    pub fn wait(mut self) {
+        self.server.wait();
+    }
+}
+
+impl Drop for CacheServer {
+    fn drop(&mut self) {
+        if !self.server.is_down() {
+            let _ = self.shutdown_inner();
+        }
+    }
+}
+
+fn serve_connection(
+    shared: &Arc<CacheServerShared>,
+    conn: super::net::Conn,
+) -> Result<(), CaError> {
+    let reader_conn = conn.try_clone().map_err(|e| CaError::Io(format!("clone socket: {e}")))?;
+    let mut reader = BufReader::new(reader_conn);
+    let mut writer = BufWriter::new(conn);
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return Ok(()), // clean disconnect
+            Err(e) => {
+                let _ = write_frame(&mut writer, &error_to_wire(&e));
+                let _ = writer.flush();
+                return Err(e);
+            }
+        };
+        let reply = shared.handle_frame(frame);
+        match write_frame(&mut writer, &reply) {
+            Ok(()) => {}
+            // An encode-side refusal writes nothing — downgrade to a
+            // typed ERROR so the client gets a reply and the connection
+            // stays usable.
+            Err(e @ CaError::Protocol(_)) => write_frame(&mut writer, &error_to_wire(&e))?,
+            Err(e) => return Err(e),
+        }
+        writer.flush().map_err(|e| CaError::Io(format!("flushing reply: {e}")))?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::daemon::Client;
+    use crate::{CacheAutomaton, Design};
+    use ca_automata::Fingerprint;
+
+    fn key(fp: u128) -> CacheKey {
+        CacheKey {
+            fingerprint: Fingerprint(fp),
+            design: Design::Performance,
+            slices: 8,
+            seed: 0xca,
+            optimized: false,
+        }
+    }
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ca-cacheserver-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn get_put_stats_round_trip_over_the_wire() {
+        let dir = scratch("roundtrip");
+        let server = CacheServer::bind("127.0.0.1:0", &dir).unwrap();
+        let mut client = Client::connect(&server.local_addr()).unwrap();
+
+        let program = CacheAutomaton::new().compile_patterns(&["peer"]).unwrap();
+        let bytes = program.to_bytes();
+
+        assert_eq!(client.cache_get(&key(1)).unwrap(), None, "cold peer misses");
+        client.cache_put(&key(1), &bytes).unwrap();
+        let served = client.cache_get(&key(1)).unwrap().expect("stored artifact comes back");
+        assert_eq!(served, bytes, "artifact survives the peer bit-identically");
+
+        // a second connection sees the same store (it is on disk)
+        let mut other = Client::connect(&server.local_addr()).unwrap();
+        assert!(other.cache_get(&key(1)).unwrap().is_some());
+
+        let stats = client.cache_stats().unwrap();
+        assert_eq!((stats.hits, stats.misses, stats.puts, stats.rejected), (2, 1, 1, 0));
+        assert_eq!(stats.bytes_served, 2 * bytes.len() as u64);
+        assert_eq!(stats.bytes_stored, bytes.len() as u64);
+        assert_eq!(stats.entries, 1);
+        assert!(stats.disk_bytes >= bytes.len() as u64);
+        assert_eq!(stats, server.stats(), "wire stats equal in-process stats");
+
+        drop(client);
+        drop(other);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn invalid_puts_are_rejected_and_never_persisted() {
+        let dir = scratch("poison");
+        let server = CacheServer::bind("127.0.0.1:0", &dir).unwrap();
+        let mut client = Client::connect(&server.local_addr()).unwrap();
+
+        let program = CacheAutomaton::new().compile_patterns(&["x"]).unwrap();
+        let mut torn = program.to_bytes();
+        let mid = torn.len() / 2;
+        torn[mid] ^= 0xff;
+
+        for garbage in [&b"not an artifact"[..], &torn] {
+            let err = client.cache_put(&key(7), garbage).unwrap_err();
+            assert_eq!(err.code(), 6, "refused with the artifact code: {err}");
+        }
+        assert_eq!(client.cache_get(&key(7)).unwrap(), None, "nothing was persisted");
+        let stats = client.cache_stats().unwrap();
+        assert_eq!(stats.rejected, 2);
+        assert_eq!((stats.puts, stats.entries), (0, 0));
+        // the connection survived every refusal
+        client.cache_put(&key(7), &program.to_bytes()).unwrap();
+        assert!(client.cache_get(&key(7)).unwrap().is_some());
+
+        drop(client);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn scan_frames_get_the_unsupported_refusal() {
+        let dir = scratch("refusal");
+        let server = CacheServer::bind("127.0.0.1:0", &dir).unwrap();
+        let mut client = Client::connect(&server.local_addr()).unwrap();
+        let err = client.open_stream().unwrap_err();
+        assert_eq!(err.code(), 9, "cache peer refuses scan frames: {err}");
+        assert!(matches!(err, CaError::Unsupported(_)));
+        let err = client.stats().unwrap_err();
+        assert_eq!(err.code(), 9);
+        // the connection is still good for cache traffic
+        assert_eq!(client.cache_get(&key(3)).unwrap(), None);
+        drop(client);
+        server.shutdown().unwrap();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn serves_on_a_unix_socket() {
+        let dir = scratch("unix");
+        let sock = std::env::temp_dir().join(format!(
+            "ca-peer-{}-{:?}.sock",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let server = CacheServer::bind(&format!("unix:{}", sock.display()), &dir).unwrap();
+        let mut client = Client::connect(&server.local_addr()).unwrap();
+        assert_eq!(client.cache_get(&key(1)).unwrap(), None);
+        drop(client);
+        server.shutdown().unwrap();
+        assert!(!sock.exists(), "socket file unlinked at shutdown");
+    }
+
+    /// A quarantined (corrupted-on-disk) artifact is answered as a miss
+    /// and never shipped — the server half of the disk tier's corruption
+    /// policy.
+    #[test]
+    fn corrupt_stored_artifact_is_quarantined_and_missed() {
+        let dir = scratch("quarantine");
+        let server = CacheServer::bind("127.0.0.1:0", &dir).unwrap();
+        let mut client = Client::connect(&server.local_addr()).unwrap();
+        let program = CacheAutomaton::new().compile_patterns(&["q"]).unwrap();
+        client.cache_put(&key(2), &program.to_bytes()).unwrap();
+
+        // flip a byte on disk behind the server's back
+        let path = DiskCache::new(&dir).artifact_path(&key(2));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        assert_eq!(client.cache_get(&key(2)).unwrap(), None, "corrupt entry is a miss");
+        assert!(!path.exists(), "entry left the lookup path");
+        let quarantined = path.with_extension("capr.corrupt");
+        assert!(quarantined.exists(), "entry preserved for post-mortems");
+        let stats = client.cache_stats().unwrap();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 1, 0));
+
+        drop(client);
+        server.shutdown().unwrap();
+    }
+}

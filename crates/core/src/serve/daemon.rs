@@ -51,74 +51,21 @@
 //! # }
 //! ```
 
+pub use super::net::ListenAddr;
+use super::net::{dial, Conn, NetServer};
 use super::proto::{
-    error_from_wire, error_to_wire, read_frame, write_frame, Frame, ServerStats, WireReport,
-    MAX_EVENTS_PER_MATCHES_FRAME,
+    error_from_wire, error_to_wire, read_frame, write_frame, CacheServerStats, Frame, ServerStats,
+    WireReport, MAX_EVENTS_PER_MATCHES_FRAME,
 };
 use super::{PoolOptions, ScanPool, StreamHandle};
 use crate::cache::CacheKey;
 use crate::{CaError, CacheAutomaton, MatchEvent, Program};
 use ca_telemetry::Telemetry;
 use std::collections::{HashMap, VecDeque};
-use std::io::{BufReader, BufWriter, Read, Write};
-use std::net::{TcpListener, TcpStream};
-#[cfg(unix)]
-use std::os::unix::net::{UnixListener, UnixStream};
-use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::io::{BufReader, BufWriter, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-
-/// Where a daemon listens (or a client connects).
-///
-/// Parsed from the `--listen` string: `unix:<path>` (or any string
-/// containing `/`) selects a Unix-domain socket, `host:port` selects TCP.
-/// Port `0` binds an ephemeral port — read it back with
-/// [`Daemon::local_addr`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ListenAddr {
-    /// A TCP endpoint, `host:port`.
-    Tcp(String),
-    /// A Unix-domain socket path.
-    Unix(PathBuf),
-}
-
-impl ListenAddr {
-    /// Parses an address string (see the type docs for the grammar).
-    ///
-    /// # Errors
-    ///
-    /// [`CaError::Config`] when the string is neither form, or names a
-    /// Unix socket on a platform without them.
-    pub fn parse(s: &str) -> Result<ListenAddr, CaError> {
-        let unix = |path: &str| {
-            if cfg!(unix) {
-                Ok(ListenAddr::Unix(PathBuf::from(path)))
-            } else {
-                Err(CaError::Config("unix sockets are not available on this platform".into()))
-            }
-        };
-        if let Some(path) = s.strip_prefix("unix:") {
-            unix(path)
-        } else if s.contains('/') {
-            unix(s)
-        } else if s.contains(':') {
-            Ok(ListenAddr::Tcp(s.to_string()))
-        } else {
-            Err(CaError::Config(format!(
-                "listen address '{s}' is neither host:port nor unix:<path>"
-            )))
-        }
-    }
-}
-
-impl std::fmt::Display for ListenAddr {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ListenAddr::Tcp(addr) => write!(f, "{addr}"),
-            ListenAddr::Unix(path) => write!(f, "unix:{}", path.display()),
-        }
-    }
-}
+use std::time::Duration;
 
 /// Configuration of a [`Daemon`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -147,13 +94,10 @@ struct DaemonShared {
     current: Mutex<Arc<Generation>>,
     pool_options: PoolOptions,
     telemetry: Telemetry,
-    shutdown: AtomicBool,
     reloads: AtomicU64,
     next_generation: AtomicU64,
     connections_live: AtomicU64,
     streams_served: AtomicU64,
-    /// Connection-thread handles, joined at shutdown.
-    conn_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl DaemonShared {
@@ -232,109 +176,19 @@ pub fn compile_rules(ca: &CacheAutomaton, text: &str) -> Result<Program, CaError
     ca.compile_nfa(&nfa_from_rules_text(text)?)
 }
 
-enum Listener {
-    Tcp(TcpListener),
-    #[cfg(unix)]
-    Unix(UnixListener),
-}
-
-impl Listener {
-    fn accept(&self) -> std::io::Result<Conn> {
-        match self {
-            Listener::Tcp(l) => {
-                let (stream, _) = l.accept()?;
-                stream.set_nodelay(true).ok();
-                Ok(Conn::Tcp(stream))
-            }
-            #[cfg(unix)]
-            Listener::Unix(l) => {
-                let (stream, _) = l.accept()?;
-                Ok(Conn::Unix(stream))
-            }
-        }
-    }
-}
-
-/// One accepted or dialed connection, either transport.
-enum Conn {
-    Tcp(TcpStream),
-    #[cfg(unix)]
-    Unix(UnixStream),
-}
-
-impl Conn {
-    fn try_clone(&self) -> std::io::Result<Conn> {
-        match self {
-            Conn::Tcp(s) => Ok(Conn::Tcp(s.try_clone()?)),
-            #[cfg(unix)]
-            Conn::Unix(s) => Ok(Conn::Unix(s.try_clone()?)),
-        }
-    }
-}
-
-impl Read for Conn {
-    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-        match self {
-            Conn::Tcp(s) => s.read(buf),
-            #[cfg(unix)]
-            Conn::Unix(s) => s.read(buf),
-        }
-    }
-}
-
-impl Write for Conn {
-    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-        match self {
-            Conn::Tcp(s) => s.write(buf),
-            #[cfg(unix)]
-            Conn::Unix(s) => s.write(buf),
-        }
-    }
-
-    fn flush(&mut self) -> std::io::Result<()> {
-        match self {
-            Conn::Tcp(s) => s.flush(),
-            #[cfg(unix)]
-            Conn::Unix(s) => s.flush(),
-        }
-    }
-}
-
-fn dial(addr: &ListenAddr) -> Result<Conn, CaError> {
-    match addr {
-        ListenAddr::Tcp(a) => {
-            let stream =
-                TcpStream::connect(a).map_err(|e| CaError::Io(format!("connect {a}: {e}")))?;
-            stream.set_nodelay(true).ok();
-            Ok(Conn::Tcp(stream))
-        }
-        #[cfg(unix)]
-        ListenAddr::Unix(path) => Ok(Conn::Unix(
-            UnixStream::connect(path)
-                .map_err(|e| CaError::Io(format!("connect unix:{}: {e}", path.display())))?,
-        )),
-        #[cfg(not(unix))]
-        ListenAddr::Unix(_) => {
-            Err(CaError::Config("unix sockets are not available on this platform".into()))
-        }
-    }
-}
-
 /// A serving daemon bound to a socket, accepting connections on a
-/// background thread. See the [module docs](self) for the protocol,
-/// backpressure, and reload semantics.
+/// background thread (the transport lives in [`NetServer`]). See the
+/// [module docs](self) for the protocol, backpressure, and reload
+/// semantics.
 pub struct Daemon {
     shared: Arc<DaemonShared>,
-    local_addr: ListenAddr,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
-    /// Unix-socket path to unlink on shutdown.
-    unlink_on_drop: Option<PathBuf>,
+    server: NetServer,
 }
 
 impl std::fmt::Debug for Daemon {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Daemon")
-            .field("addr", &self.local_addr)
+            .field("addr", self.server.local_addr())
             .field("stats", &self.shared.stats())
             .finish()
     }
@@ -353,54 +207,30 @@ impl Daemon {
         addr: &str,
         options: DaemonOptions,
     ) -> Result<Daemon, CaError> {
-        let addr = ListenAddr::parse(addr)?;
         let program = compile_rules(ca, rules)?;
         let telemetry = program.telemetry();
         let pool = ScanPool::new(&program, options.pool)?;
-        let (listener, local_addr, unlink_on_drop) = match &addr {
-            ListenAddr::Tcp(a) => {
-                let listener =
-                    TcpListener::bind(a).map_err(|e| CaError::Io(format!("bind {a}: {e}")))?;
-                let local = listener
-                    .local_addr()
-                    .map_err(|e| CaError::Io(format!("local_addr: {e}")))?
-                    .to_string();
-                (Listener::Tcp(listener), ListenAddr::Tcp(local), None)
-            }
-            #[cfg(unix)]
-            ListenAddr::Unix(path) => {
-                // A stale socket file from a previous daemon refuses the
-                // bind; replace it.
-                let _ = std::fs::remove_file(path);
-                let listener = UnixListener::bind(path)
-                    .map_err(|e| CaError::Io(format!("bind unix:{}: {e}", path.display())))?;
-                (Listener::Unix(listener), addr.clone(), Some(path.clone()))
-            }
-            #[cfg(not(unix))]
-            ListenAddr::Unix(_) => unreachable!("rejected by ListenAddr::parse"),
-        };
         let shared = Arc::new(DaemonShared {
             compiler: ca.clone(),
             rules: Mutex::new(rules.to_string()),
             current: Mutex::new(Arc::new(Generation { id: 0, pool })),
             pool_options: options.pool,
             telemetry,
-            shutdown: AtomicBool::new(false),
             reloads: AtomicU64::new(0),
             next_generation: AtomicU64::new(1),
             connections_live: AtomicU64::new(0),
             streams_served: AtomicU64::new(0),
-            conn_threads: Mutex::new(Vec::new()),
         });
-        let accept_shared = Arc::clone(&shared);
-        let accept_thread = std::thread::spawn(move || accept_loop(&accept_shared, listener));
-        Ok(Daemon { shared, local_addr, accept_thread: Some(accept_thread), unlink_on_drop })
+        let conn_shared = Arc::clone(&shared);
+        let server =
+            NetServer::bind(addr, move |conn, id| connection_loop(&conn_shared, conn, id))?;
+        Ok(Daemon { shared, server })
     }
 
     /// The address the daemon actually listens on — with an ephemeral TCP
     /// port resolved, in a form [`Client::connect`] accepts.
     pub fn local_addr(&self) -> String {
-        self.local_addr.to_string()
+        self.server.local_addr().to_string()
     }
 
     /// Current daemon counters (the same numbers a STATS frame returns).
@@ -421,67 +251,22 @@ impl Daemon {
     }
 
     fn shutdown_inner(&mut self) -> Result<(), CaError> {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Wake the blocking accept with a throwaway connection.
-        let _ = dial(&self.local_addr);
-        let mut failed = 0usize;
-        if let Some(handle) = self.accept_thread.take() {
-            failed += usize::from(handle.join().is_err());
-        }
-        let threads = std::mem::take(&mut *self.shared.conn_threads.lock().expect("thread list"));
-        for handle in threads {
-            failed += usize::from(handle.join().is_err());
-        }
-        if let Some(path) = self.unlink_on_drop.take() {
-            let _ = std::fs::remove_file(path);
-        }
+        let result = self.server.shutdown();
         self.shared.telemetry.flush();
-        if failed > 0 {
-            return Err(CaError::Internal(format!("{failed} daemon thread(s) panicked")));
-        }
-        Ok(())
+        result
     }
 
     /// Blocks until the daemon shuts down (for a foreground `cactl
     /// serve`, that is "forever" — until the process is killed).
     pub fn wait(mut self) {
-        if let Some(handle) = self.accept_thread.take() {
-            let _ = handle.join();
-        }
+        self.server.wait();
     }
 }
 
 impl Drop for Daemon {
     fn drop(&mut self) {
-        if self.accept_thread.is_some() {
+        if !self.server.is_down() {
             let _ = self.shutdown_inner();
-        }
-    }
-}
-
-fn accept_loop(shared: &Arc<DaemonShared>, listener: Listener) {
-    let mut next_conn = 0u64;
-    loop {
-        let conn = listener.accept();
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        match conn {
-            Ok(conn) => {
-                let id = next_conn;
-                next_conn += 1;
-                shared.telemetry.counter("serve.conn.accepted", 1);
-                let live = shared.connections_live.fetch_add(1, Ordering::Relaxed) + 1;
-                shared.telemetry.gauge("serve.conn.live", 0, live as f64);
-                let conn_shared = Arc::clone(shared);
-                let handle = std::thread::spawn(move || connection_loop(&conn_shared, conn, id));
-                shared.conn_threads.lock().expect("thread list").push(handle);
-            }
-            Err(_) => {
-                // Transient accept failure (e.g. a client aborting its
-                // connect); keep serving.
-                continue;
-            }
         }
     }
 }
@@ -509,6 +294,9 @@ fn drain_capped(pending: &mut VecDeque<MatchEvent>, cap: usize) -> Vec<MatchEven
 }
 
 fn connection_loop(shared: &Arc<DaemonShared>, conn: Conn, conn_id: u64) {
+    shared.telemetry.counter("serve.conn.accepted", 1);
+    let live = shared.connections_live.fetch_add(1, Ordering::Relaxed) + 1;
+    shared.telemetry.gauge("serve.conn.live", 0, live as f64);
     let result = serve_connection(shared, conn, conn_id);
     shared.connections_live.fetch_sub(1, Ordering::Relaxed);
     shared.telemetry.counter("serve.conn.closed", 1);
@@ -635,12 +423,13 @@ fn try_handle_frame(
                 Err(e)
             }
         },
-        // Valid client frames this daemon does not serve (yet): the
-        // scan daemon is not a cache peer. The typed error lets a
-        // RemoteCache probe degrade to a permanent miss instead of
-        // poisoning the connection.
-        Frame::CacheGet { .. } | Frame::CachePut { .. } => {
-            Err(CaError::Config("this daemon does not serve cache frames".into()))
+        // Valid client frames this daemon does not serve: the scan
+        // daemon is not a cache peer (`cactl cache-serve` is). The typed
+        // Unsupported code lets a RemoteCache probe degrade to a
+        // permanent miss instead of poisoning the connection — and lets
+        // it assert that behavior against a stable code, not a string.
+        Frame::CacheGet { .. } | Frame::CachePut { .. } | Frame::CacheStats => {
+            Err(CaError::Unsupported("this daemon does not serve cache frames".into()))
         }
         // Server-to-client frames arriving at the server are a protocol
         // violation.
@@ -648,6 +437,51 @@ fn try_handle_frame(
             "unexpected frame kind {:?} from a client",
             std::mem::discriminant(&other)
         ))),
+    }
+}
+
+/// Socket deadlines for a [`Client`].
+///
+/// Every limit is a kernel-level timeout: a dial, read, or write blocked
+/// past its deadline fails with a transport [`CaError::Io`] instead of
+/// hanging the caller forever on a peer that accepted the connection and
+/// then went silent. `None` disables that deadline.
+///
+/// The defaults — 5 s to connect, 30 s per read/write — are tuned for
+/// scan traffic: a FEED_ACK legitimately stalls while the daemon's
+/// bounded stream queue drains under backpressure, so the I/O deadlines
+/// are generous. The [`RemoteCache`](crate::cache::RemoteCache) tier
+/// overrides them with its own much tighter budget (a cache peer answers
+/// in milliseconds or is treated as broken).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientOptions {
+    /// Deadline for the TCP connect (Unix-socket connects are immediate).
+    pub connect_timeout: Option<Duration>,
+    /// Deadline for each blocking read of a reply.
+    pub read_timeout: Option<Duration>,
+    /// Deadline for each blocking write of a request.
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for ClientOptions {
+    fn default() -> ClientOptions {
+        ClientOptions {
+            connect_timeout: Some(Duration::from_secs(5)),
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+impl ClientOptions {
+    /// One deadline for connect, read, and write alike — the shape cache
+    /// tiers want: any stall past `timeout` is a transport error.
+    pub fn uniform(timeout: Duration) -> ClientOptions {
+        ClientOptions {
+            connect_timeout: Some(timeout),
+            read_timeout: Some(timeout),
+            write_timeout: Some(timeout),
+        }
     }
 }
 
@@ -667,15 +501,27 @@ impl std::fmt::Debug for Client {
 }
 
 impl Client {
-    /// Connects to a daemon at `addr` (`host:port` or `unix:<path>`).
+    /// Connects to a daemon at `addr` (`host:port` or `unix:<path>`)
+    /// with the default [`ClientOptions`] deadlines.
     ///
     /// # Errors
     ///
     /// [`CaError::Config`] for an unparsable address, [`CaError::Io`] for
-    /// connection failures.
+    /// connection failures (including a connect past its deadline).
     pub fn connect(addr: &str) -> Result<Client, CaError> {
+        Client::connect_with(addr, ClientOptions::default())
+    }
+
+    /// Connects with explicit socket deadlines.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::connect`].
+    pub fn connect_with(addr: &str, options: ClientOptions) -> Result<Client, CaError> {
         let addr = ListenAddr::parse(addr)?;
-        let conn = dial(&addr)?;
+        let conn = dial(&addr, options.connect_timeout)?;
+        conn.set_timeouts(options.read_timeout, options.write_timeout)
+            .map_err(|e| CaError::Io(format!("set socket timeouts: {e}")))?;
         let reader_conn =
             conn.try_clone().map_err(|e| CaError::Io(format!("clone socket: {e}")))?;
         Ok(Client { reader: BufReader::new(reader_conn), writer: BufWriter::new(conn) })
@@ -798,6 +644,20 @@ impl Client {
             other => Err(unexpected_reply("CACHE_PUT_OK", &other)),
         }
     }
+
+    /// Fetches a cache peer's counters (the `cache.serve.*` numbers plus
+    /// its disk inventory).
+    ///
+    /// # Errors
+    ///
+    /// Peer-reported errors (a scan daemon refuses with the Unsupported
+    /// code) or transport failures.
+    pub fn cache_stats(&mut self) -> Result<CacheServerStats, CaError> {
+        match self.request(&Frame::CacheStats)? {
+            Frame::CacheStatsReply(stats) => Ok(stats),
+            other => Err(unexpected_reply("CACHE_STATS_REPLY", &other)),
+        }
+    }
 }
 
 fn unexpected_reply(wanted: &str, got: &Frame) -> CaError {
@@ -807,24 +667,6 @@ fn unexpected_reply(wanted: &str, got: &Frame) -> CaError {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn listen_addr_grammar() {
-        assert_eq!(
-            ListenAddr::parse("127.0.0.1:7070").unwrap(),
-            ListenAddr::Tcp("127.0.0.1:7070".into())
-        );
-        assert_eq!(
-            ListenAddr::parse("unix:/tmp/ca.sock").unwrap(),
-            ListenAddr::Unix(PathBuf::from("/tmp/ca.sock"))
-        );
-        assert_eq!(
-            ListenAddr::parse("/tmp/ca.sock").unwrap(),
-            ListenAddr::Unix(PathBuf::from("/tmp/ca.sock"))
-        );
-        assert!(matches!(ListenAddr::parse("nonsense").unwrap_err(), CaError::Config(_)));
-        assert_eq!(ListenAddr::parse("unix:/a/b.sock").unwrap().to_string(), "unix:/a/b.sock");
-    }
 
     #[test]
     fn rules_text_front_end() {
@@ -904,9 +746,12 @@ mod tests {
             optimized: false,
         };
         let err = client.cache_get(&key).unwrap_err();
-        assert_eq!(err.code(), 2, "scan daemon refuses cache frames with a config error");
+        assert_eq!(err.code(), 9, "scan daemon refuses cache frames with the Unsupported code");
+        assert!(matches!(err, CaError::Unsupported(_)), "{err}");
         let err = client.cache_put(&key, b"CAPRjunk").unwrap_err();
-        assert_eq!(err.code(), 2);
+        assert_eq!(err.code(), 9);
+        let err = client.cache_stats().unwrap_err();
+        assert_eq!(err.code(), 9, "the stats frame is refused with the same code");
         // the connection is still good for scanning
         let (stream, _) = client.open_stream().unwrap();
         client.feed(stream, b"a needle").unwrap();

@@ -50,7 +50,9 @@
 //! # }
 //! ```
 
+pub mod cache_server;
 pub mod daemon;
+pub(crate) mod net;
 pub mod proto;
 
 use crate::scanner::finalize_session_stats;

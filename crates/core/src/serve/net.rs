@@ -1,0 +1,433 @@
+//! Shared network plumbing for every wire-protocol server and client:
+//! address grammar, the TCP/Unix connection abstraction, dialing with a
+//! connect timeout, and the generic accept loop both the scan daemon
+//! ([`Daemon`](super::daemon::Daemon)) and the cache peer
+//! ([`CacheServer`](super::cache_server::CacheServer)) are built on.
+//!
+//! A [`NetServer`] owns exactly the transport concerns — bind, accept,
+//! one thread per connection, wake-and-join shutdown, Unix-socket
+//! unlinking — and delegates everything protocol-shaped to a per-server
+//! connection handler. That keeps the scan daemon and the cache server
+//! byte-for-byte identical at the transport layer: both inherit the same
+//! ephemeral-port resolution, the same stale-socket replacement, and the
+//! same panic accounting at shutdown.
+
+use crate::CaError;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Where a server listens (or a client connects).
+///
+/// Parsed from the `--listen` string: `unix:<path>` (or any string
+/// containing `/`) selects a Unix-domain socket, `host:port` selects TCP.
+/// Port `0` binds an ephemeral port — read it back with
+/// [`NetServer::local_addr`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ListenAddr {
+    /// A TCP endpoint, `host:port`.
+    Tcp(String),
+    /// A Unix-domain socket path.
+    Unix(PathBuf),
+}
+
+impl ListenAddr {
+    /// Parses an address string (see the type docs for the grammar).
+    ///
+    /// # Errors
+    ///
+    /// [`CaError::Config`] when the string is neither form, or names a
+    /// Unix socket on a platform without them.
+    pub fn parse(s: &str) -> Result<ListenAddr, CaError> {
+        let unix = |path: &str| {
+            if cfg!(unix) {
+                Ok(ListenAddr::Unix(PathBuf::from(path)))
+            } else {
+                Err(CaError::Config("unix sockets are not available on this platform".into()))
+            }
+        };
+        if let Some(path) = s.strip_prefix("unix:") {
+            unix(path)
+        } else if s.contains('/') {
+            unix(s)
+        } else if s.contains(':') {
+            Ok(ListenAddr::Tcp(s.to_string()))
+        } else {
+            Err(CaError::Config(format!(
+                "listen address '{s}' is neither host:port nor unix:<path>"
+            )))
+        }
+    }
+}
+
+impl std::fmt::Display for ListenAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ListenAddr::Tcp(addr) => write!(f, "{addr}"),
+            ListenAddr::Unix(path) => write!(f, "unix:{}", path.display()),
+        }
+    }
+}
+
+pub(crate) enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl Listener {
+    fn accept(&self) -> std::io::Result<Conn> {
+        match self {
+            Listener::Tcp(l) => {
+                let (stream, _) = l.accept()?;
+                stream.set_nodelay(true).ok();
+                Ok(Conn::Tcp(stream))
+            }
+            #[cfg(unix)]
+            Listener::Unix(l) => {
+                let (stream, _) = l.accept()?;
+                Ok(Conn::Unix(stream))
+            }
+        }
+    }
+}
+
+/// One accepted or dialed connection, either transport.
+pub(crate) enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Conn {
+    pub(crate) fn try_clone(&self) -> std::io::Result<Conn> {
+        match self {
+            Conn::Tcp(s) => Ok(Conn::Tcp(s.try_clone()?)),
+            #[cfg(unix)]
+            Conn::Unix(s) => Ok(Conn::Unix(s.try_clone()?)),
+        }
+    }
+
+    /// Severs the socket in both directions: a peer (or handler thread)
+    /// blocked in a read sees EOF immediately. Used by
+    /// [`NetServer::shutdown`] to unblock connection threads whose
+    /// clients are still attached.
+    pub(crate) fn shutdown_both(&self) {
+        match self {
+            Conn::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            #[cfg(unix)]
+            Conn::Unix(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+
+    /// Installs kernel-level read/write deadlines on the socket. `None`
+    /// means "block forever" (the pre-timeout behaviour). A blocked read
+    /// or write past its deadline fails with `WouldBlock`/`TimedOut`,
+    /// which the framing layer surfaces as a transport [`CaError::Io`].
+    pub(crate) fn set_timeouts(
+        &self,
+        read: Option<Duration>,
+        write: Option<Duration>,
+    ) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => {
+                s.set_read_timeout(read)?;
+                s.set_write_timeout(write)
+            }
+            #[cfg(unix)]
+            Conn::Unix(s) => {
+                s.set_read_timeout(read)?;
+                s.set_write_timeout(write)
+            }
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// Dials `addr`, bounding the TCP connect by `connect_timeout` when one
+/// is given. (Unix-socket connects complete or fail immediately in the
+/// kernel, so no deadline is needed there.)
+pub(crate) fn dial(addr: &ListenAddr, connect_timeout: Option<Duration>) -> Result<Conn, CaError> {
+    match addr {
+        ListenAddr::Tcp(a) => {
+            let stream = match connect_timeout {
+                None => {
+                    TcpStream::connect(a).map_err(|e| CaError::Io(format!("connect {a}: {e}")))?
+                }
+                Some(timeout) => {
+                    // connect_timeout needs resolved addresses; try each in
+                    // turn so a multi-homed name behaves like connect().
+                    let addrs: Vec<_> = a
+                        .to_socket_addrs()
+                        .map_err(|e| CaError::Io(format!("resolve {a}: {e}")))?
+                        .collect();
+                    let mut last = None;
+                    let mut connected = None;
+                    for sa in &addrs {
+                        match TcpStream::connect_timeout(sa, timeout) {
+                            Ok(s) => {
+                                connected = Some(s);
+                                break;
+                            }
+                            Err(e) => last = Some(e),
+                        }
+                    }
+                    connected.ok_or_else(|| {
+                        CaError::Io(format!(
+                            "connect {a}: {}",
+                            last.map_or_else(
+                                || "no addresses resolved".to_string(),
+                                |e| e.to_string()
+                            )
+                        ))
+                    })?
+                }
+            };
+            stream.set_nodelay(true).ok();
+            Ok(Conn::Tcp(stream))
+        }
+        #[cfg(unix)]
+        ListenAddr::Unix(path) => Ok(Conn::Unix(
+            UnixStream::connect(path)
+                .map_err(|e| CaError::Io(format!("connect unix:{}: {e}", path.display())))?,
+        )),
+        #[cfg(not(unix))]
+        ListenAddr::Unix(_) => {
+            Err(CaError::Config("unix sockets are not available on this platform".into()))
+        }
+    }
+}
+
+/// The generic accept half of a wire-protocol server: binds a socket,
+/// accepts on a background thread, and runs one handler thread per
+/// connection. Protocol behaviour lives entirely in the handler.
+pub(crate) struct NetServer {
+    local_addr: ListenAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    /// A severing handle per accepted connection, so shutdown can force
+    /// EOF on handlers whose clients are still attached.
+    live_conns: Arc<Mutex<Vec<Conn>>>,
+    /// Unix-socket path to unlink on shutdown.
+    unlink_on_drop: Option<PathBuf>,
+}
+
+impl NetServer {
+    /// Binds `addr` (see [`ListenAddr::parse`]) and starts accepting.
+    /// Each accepted connection runs `handler(conn, connection_id)` on
+    /// its own thread; connection ids are unique per server.
+    ///
+    /// # Errors
+    ///
+    /// Invalid addresses or socket bind errors.
+    pub(crate) fn bind<H>(addr: &str, handler: H) -> Result<NetServer, CaError>
+    where
+        H: Fn(Conn, u64) + Send + Sync + 'static,
+    {
+        let addr = ListenAddr::parse(addr)?;
+        let (listener, local_addr, unlink_on_drop) = match &addr {
+            ListenAddr::Tcp(a) => {
+                let listener =
+                    TcpListener::bind(a).map_err(|e| CaError::Io(format!("bind {a}: {e}")))?;
+                let local = listener
+                    .local_addr()
+                    .map_err(|e| CaError::Io(format!("local_addr: {e}")))?
+                    .to_string();
+                (Listener::Tcp(listener), ListenAddr::Tcp(local), None)
+            }
+            #[cfg(unix)]
+            ListenAddr::Unix(path) => {
+                // A stale socket file from a previous server refuses the
+                // bind; replace it.
+                let _ = std::fs::remove_file(path);
+                let listener = UnixListener::bind(path)
+                    .map_err(|e| CaError::Io(format!("bind unix:{}: {e}", path.display())))?;
+                (Listener::Unix(listener), addr.clone(), Some(path.clone()))
+            }
+            #[cfg(not(unix))]
+            ListenAddr::Unix(_) => unreachable!("rejected by ListenAddr::parse"),
+        };
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conn_threads = Arc::new(Mutex::new(Vec::new()));
+        let live_conns: Arc<Mutex<Vec<Conn>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_threads = Arc::clone(&conn_threads);
+        let accept_conns = Arc::clone(&live_conns);
+        let handler = Arc::new(handler);
+        let accept_thread = std::thread::spawn(move || {
+            let mut next_conn = 0u64;
+            loop {
+                let conn = listener.accept();
+                if accept_shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                match conn {
+                    Ok(conn) => {
+                        let id = next_conn;
+                        next_conn += 1;
+                        if let Ok(watcher) = conn.try_clone() {
+                            accept_conns.lock().expect("conn list").push(watcher);
+                        }
+                        let conn_handler = Arc::clone(&handler);
+                        let handle = std::thread::spawn(move || conn_handler(conn, id));
+                        accept_threads.lock().expect("thread list").push(handle);
+                    }
+                    Err(_) => {
+                        // Transient accept failure (e.g. a client aborting
+                        // its connect); keep serving.
+                        continue;
+                    }
+                }
+            }
+        });
+        Ok(NetServer {
+            local_addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            conn_threads,
+            live_conns,
+            unlink_on_drop,
+        })
+    }
+
+    /// The address the server actually listens on — with an ephemeral TCP
+    /// port resolved, in a form `ListenAddr::parse` round-trips.
+    pub(crate) fn local_addr(&self) -> &ListenAddr {
+        &self.local_addr
+    }
+
+    /// Whether [`shutdown`](NetServer::shutdown) has already run.
+    pub(crate) fn is_down(&self) -> bool {
+        self.accept_thread.is_none()
+    }
+
+    /// Stops accepting, severs any connections whose clients are still
+    /// attached (their handlers see EOF), and joins the accept +
+    /// connection threads.
+    ///
+    /// # Errors
+    ///
+    /// [`CaError::Internal`] if the accept or a connection thread
+    /// panicked.
+    pub(crate) fn shutdown(&mut self) -> Result<(), CaError> {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = dial(&self.local_addr, Some(Duration::from_secs(1)));
+        let mut failed = 0usize;
+        if let Some(handle) = self.accept_thread.take() {
+            failed += usize::from(handle.join().is_err());
+        }
+        // With accept stopped the conn list is final; force EOF on every
+        // still-open connection so blocked handler reads return.
+        for conn in self.live_conns.lock().expect("conn list").drain(..) {
+            conn.shutdown_both();
+        }
+        let threads = std::mem::take(&mut *self.conn_threads.lock().expect("thread list"));
+        for handle in threads {
+            failed += usize::from(handle.join().is_err());
+        }
+        if let Some(path) = self.unlink_on_drop.take() {
+            let _ = std::fs::remove_file(path);
+        }
+        if failed > 0 {
+            return Err(CaError::Internal(format!("{failed} server thread(s) panicked")));
+        }
+        Ok(())
+    }
+
+    /// Blocks until the server shuts down (for a foreground `cactl serve`
+    /// or `cache-serve`, that is "forever" — until the process is killed).
+    pub(crate) fn wait(&mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listen_addr_grammar() {
+        assert_eq!(
+            ListenAddr::parse("127.0.0.1:7070").unwrap(),
+            ListenAddr::Tcp("127.0.0.1:7070".into())
+        );
+        assert_eq!(
+            ListenAddr::parse("unix:/tmp/ca.sock").unwrap(),
+            ListenAddr::Unix(PathBuf::from("/tmp/ca.sock"))
+        );
+        assert_eq!(
+            ListenAddr::parse("/tmp/ca.sock").unwrap(),
+            ListenAddr::Unix(PathBuf::from("/tmp/ca.sock"))
+        );
+        assert!(matches!(ListenAddr::parse("nonsense").unwrap_err(), CaError::Config(_)));
+        assert_eq!(ListenAddr::parse("unix:/a/b.sock").unwrap().to_string(), "unix:/a/b.sock");
+    }
+
+    #[test]
+    fn net_server_accepts_and_joins() {
+        use std::sync::atomic::AtomicU64;
+        let served = Arc::new(AtomicU64::new(0));
+        let seen = Arc::clone(&served);
+        let mut server = NetServer::bind("127.0.0.1:0", move |mut conn, id| {
+            let mut buf = [0u8; 1];
+            let _ = conn.read(&mut buf);
+            seen.fetch_add(id + 1, Ordering::Relaxed);
+        })
+        .unwrap();
+        let addr = server.local_addr().clone();
+        for _ in 0..2 {
+            let conn = dial(&addr, Some(Duration::from_secs(5))).unwrap();
+            drop(conn); // EOF wakes the handler's read
+        }
+        // connection ids are 0 and 1 → 1 + 2 once both handlers ran
+        for _ in 0..100 {
+            if served.load(Ordering::Relaxed) == 3 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(served.load(Ordering::Relaxed), 3);
+        server.shutdown().unwrap();
+        assert!(server.is_down());
+    }
+}

@@ -24,6 +24,7 @@
 //!   RELOAD       (0x06)  rules:utf8 (empty = recompile the current rules)
 //!   CACHE_GET    (0x07)  key (see below)
 //!   CACHE_PUT    (0x08)  key, artifact:bytes (a whole CAPR blob)
+//!   CACHE_STATS  (0x09)  —
 //!
 //! server → client
 //!   STREAM_OPENED (0x81) stream:u64, generation:u64
@@ -36,6 +37,9 @@
 //!   CACHE_FOUND   (0x87) artifact:bytes
 //!   CACHE_MISS    (0x88) —
 //!   CACHE_PUT_OK  (0x89) —
+//!   CACHE_STATS_REPLY (0x8A) hits:u64, misses:u64, puts:u64, rejected:u64,
+//!                        bytes_served:u64, bytes_stored:u64,
+//!                        entries:u64, disk_bytes:u64
 //!   ERROR         (0xEE) code:u16, message:utf8
 //! ```
 //!
@@ -44,11 +48,12 @@
 //! (u8: 0 performance, 1 space), slices (u64), seed (u64), optimized
 //! (u8: 0 or 1). The CACHE_* frames let a fleet share compiled artifacts
 //! through a cache peer — the client side ships in
-//! [`RemoteCache`](crate::cache::remote::RemoteCache); the serving loop
-//! answers them in a later revision (today's daemon replies with a typed
-//! ERROR, which the remote tier treats as a permanent miss). New kinds
-//! are additive: an old peer rejects them with UnknownKind/ERROR rather
-//! than misparsing, so PROTO_VERSION stays at 1.
+//! [`RemoteCache`](crate::cache::remote::RemoteCache), and the server
+//! side in [`CacheServer`](crate::serve::cache_server::CacheServer)
+//! (`cactl cache-serve`). A scan daemon still refuses them with a typed
+//! ERROR (code 9, unsupported), which the remote tier treats as a
+//! permanent miss. New kinds are additive: an old peer rejects them with
+//! UnknownKind/ERROR rather than misparsing, so PROTO_VERSION stays at 1.
 //!
 //! The protocol is strict request/reply per frame: every client frame
 //! elicits exactly one reply (the matching success frame or an ERROR).
@@ -105,6 +110,7 @@ mod kind {
     pub const RELOAD: u8 = 0x06;
     pub const CACHE_GET: u8 = 0x07;
     pub const CACHE_PUT: u8 = 0x08;
+    pub const CACHE_STATS: u8 = 0x09;
     pub const STREAM_OPENED: u8 = 0x81;
     pub const FEED_ACK: u8 = 0x82;
     pub const MATCHES: u8 = 0x83;
@@ -114,6 +120,7 @@ mod kind {
     pub const CACHE_FOUND: u8 = 0x87;
     pub const CACHE_MISS: u8 = 0x88;
     pub const CACHE_PUT_OK: u8 = 0x89;
+    pub const CACHE_STATS_REPLY: u8 = 0x8A;
     pub const ERROR: u8 = 0xEE;
 }
 
@@ -196,6 +203,28 @@ pub struct ServerStats {
     pub streams_served: u64,
 }
 
+/// Cache-peer counters a CACHE_STATS_REPLY carries: the request-serving
+/// half (`cache.serve.*` telemetry) plus the peer's disk inventory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheServerStats {
+    /// CACHE_GETs answered with an artifact.
+    pub hits: u64,
+    /// CACHE_GETs answered with a miss (including quarantined artifacts).
+    pub misses: u64,
+    /// CACHE_PUTs validated and persisted.
+    pub puts: u64,
+    /// CACHE_PUTs refused (artifact failed validation).
+    pub rejected: u64,
+    /// Artifact bytes shipped in CACHE_FOUND replies.
+    pub bytes_served: u64,
+    /// Artifact bytes accepted from CACHE_PUTs.
+    pub bytes_stored: u64,
+    /// Artifacts currently on the peer's disk.
+    pub entries: u64,
+    /// Bytes those artifacts occupy.
+    pub disk_bytes: u64,
+}
+
 /// One protocol frame, either direction.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -242,6 +271,8 @@ pub enum Frame {
         /// version, and checksum travel inside).
         artifact: Vec<u8>,
     },
+    /// Request a cache peer's counters.
+    CacheStats,
     /// Reply to [`Frame::OpenStream`].
     StreamOpened {
         /// Daemon-assigned stream id, unique per connection.
@@ -288,6 +319,8 @@ pub enum Frame {
     CacheMiss,
     /// Reply to [`Frame::CachePut`]: the artifact was accepted.
     CachePutOk,
+    /// Reply to [`Frame::CacheStats`].
+    CacheStatsReply(CacheServerStats),
     /// Typed failure reply; `code` is the daemon-side [`CaError::code`].
     Error {
         /// [`CaError::code`] value of the failure.
@@ -302,9 +335,11 @@ pub enum Frame {
 /// exact inverse for them); structured payloads send their rendered form.
 pub fn error_to_wire(e: &CaError) -> Frame {
     let message = match e {
-        CaError::Config(m) | CaError::Io(m) | CaError::Internal(m) | CaError::Protocol(m) => {
-            m.clone()
-        }
+        CaError::Config(m)
+        | CaError::Io(m)
+        | CaError::Internal(m)
+        | CaError::Protocol(m)
+        | CaError::Unsupported(m) => m.clone(),
         CaError::Remote { message, .. } => message.clone(),
         other => other.to_string(),
     };
@@ -322,6 +357,7 @@ pub fn error_from_wire(code: u16, message: String) -> CaError {
         3 => CaError::Io(message),
         7 => CaError::Internal(message),
         8 => CaError::Protocol(message),
+        9 => CaError::Unsupported(message),
         other => CaError::Remote { code: other.min(255) as u8, message },
     }
 }
@@ -502,6 +538,7 @@ impl Frame {
             Frame::Reload { .. } => kind::RELOAD,
             Frame::CacheGet { .. } => kind::CACHE_GET,
             Frame::CachePut { .. } => kind::CACHE_PUT,
+            Frame::CacheStats => kind::CACHE_STATS,
             Frame::StreamOpened { .. } => kind::STREAM_OPENED,
             Frame::FeedAck { .. } => kind::FEED_ACK,
             Frame::Matches { .. } => kind::MATCHES,
@@ -511,6 +548,7 @@ impl Frame {
             Frame::CacheFound { .. } => kind::CACHE_FOUND,
             Frame::CacheMiss => kind::CACHE_MISS,
             Frame::CachePutOk => kind::CACHE_PUT_OK,
+            Frame::CacheStatsReply(_) => kind::CACHE_STATS_REPLY,
             Frame::Error { .. } => kind::ERROR,
         }
     }
@@ -533,7 +571,11 @@ impl Frame {
         let payload_at = buf.len();
         let result = (|| {
             match self {
-                Frame::OpenStream | Frame::Stats | Frame::CacheMiss | Frame::CachePutOk => {}
+                Frame::OpenStream
+                | Frame::Stats
+                | Frame::CacheMiss
+                | Frame::CachePutOk
+                | Frame::CacheStats => {}
                 Frame::FeedChunk { stream, data } => {
                     put_u64(buf, *stream);
                     buf.extend_from_slice(data);
@@ -570,6 +612,20 @@ impl Frame {
                 }
                 Frame::ReloadOk { generation } => put_u64(buf, *generation),
                 Frame::CacheFound { artifact } => buf.extend_from_slice(artifact),
+                Frame::CacheStatsReply(s) => {
+                    for v in [
+                        s.hits,
+                        s.misses,
+                        s.puts,
+                        s.rejected,
+                        s.bytes_served,
+                        s.bytes_stored,
+                        s.entries,
+                        s.disk_bytes,
+                    ] {
+                        put_u64(buf, v);
+                    }
+                }
                 Frame::Error { code, message } => {
                     buf.extend_from_slice(&code.to_le_bytes());
                     buf.extend_from_slice(message.as_bytes());
@@ -652,6 +708,7 @@ impl Frame {
                 key: t.cache_key()?,
                 artifact: std::mem::take(&mut t.rest).to_vec(),
             },
+            kind::CACHE_STATS => Frame::CacheStats,
             kind::STREAM_OPENED => Frame::StreamOpened {
                 stream: t.u64("opened stream id")?,
                 generation: t.u64("opened generation")?,
@@ -680,6 +737,16 @@ impl Frame {
             }
             kind::CACHE_MISS => Frame::CacheMiss,
             kind::CACHE_PUT_OK => Frame::CachePutOk,
+            kind::CACHE_STATS_REPLY => Frame::CacheStatsReply(CacheServerStats {
+                hits: t.u64("cache stats hits")?,
+                misses: t.u64("cache stats misses")?,
+                puts: t.u64("cache stats puts")?,
+                rejected: t.u64("cache stats rejected")?,
+                bytes_served: t.u64("cache stats bytes served")?,
+                bytes_stored: t.u64("cache stats bytes stored")?,
+                entries: t.u64("cache stats entries")?,
+                disk_bytes: t.u64("cache stats disk bytes")?,
+            }),
             kind::ERROR => {
                 let code = t.u16("error code")?;
                 let message = t.utf8("error message is not valid UTF-8")?;
@@ -828,6 +895,17 @@ mod tests {
         round_trip(Frame::CacheFound { artifact: Vec::new() });
         round_trip(Frame::CacheMiss);
         round_trip(Frame::CachePutOk);
+        round_trip(Frame::CacheStats);
+        round_trip(Frame::CacheStatsReply(CacheServerStats {
+            hits: 1,
+            misses: 2,
+            puts: 3,
+            rejected: 4,
+            bytes_served: u64::MAX,
+            bytes_stored: 6,
+            entries: 7,
+            disk_bytes: 8,
+        }));
         round_trip(Frame::Error { code: 7, message: "worker panicked".into() });
     }
 
@@ -946,6 +1024,7 @@ mod tests {
             CaError::Io("gone".into()),
             CaError::Internal("panic".into()),
             CaError::Protocol("junk".into()),
+            CaError::Unsupported("not a cache peer".into()),
         ] {
             let Frame::Error { code, message } = error_to_wire(&err) else {
                 panic!("error_to_wire must produce an Error frame");

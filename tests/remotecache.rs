@@ -1,0 +1,194 @@
+//! End-to-end tests for the three-tier artifact cache: memory → disk →
+//! remote, with the remote tier served by a real [`CacheServer`] over the
+//! wire protocol.
+//!
+//! The fleet claim under test: one member compiles a rule set once and
+//! pushes the artifact to the peer; every other member — even with a
+//! machine-cold disk cache — warm-starts through the peer without a
+//! single compiler pass, backfilling its own disk on the way so the
+//! *next* start doesn't even need the network. A hostile peer that hands
+//! back a corrupt artifact degrades to a counted recompile without
+//! breaking the transport.
+
+use cache_automaton::serve::proto::{read_frame, write_frame};
+use cache_automaton::{CacheAutomaton, CacheServer, Frame, Telemetry};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A unique scratch directory per test, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "ca-remotecache-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        Scratch(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+fn fleet_member(
+    disk: &Path,
+    peer: &str,
+    recorder: &Arc<cache_automaton::MemoryRecorder>,
+) -> CacheAutomaton {
+    CacheAutomaton::builder()
+        .disk_cache(disk)
+        .remote_cache(peer)
+        .telemetry_handle(Telemetry::from_arc(recorder.clone()))
+        .build()
+}
+
+fn remote_stats(ca: &CacheAutomaton) -> cache_automaton::TierStats {
+    ca.tier_stats()
+        .into_iter()
+        .find(|(name, _)| *name == "remote")
+        .map(|(_, stats)| stats)
+        .expect("a remote tier is configured")
+}
+
+#[test]
+fn cold_fleet_member_warm_starts_through_the_peer() {
+    let peer_dir = Scratch::new("peer");
+    let disk_a = Scratch::new("member-a");
+    let disk_b = Scratch::new("member-b");
+    let server = CacheServer::bind("127.0.0.1:0", peer_dir.path()).unwrap();
+    let addr = server.local_addr();
+    let patterns = ["fleet.?wide", "warm[0-9]start"];
+
+    // Member A: machine-cold everything. Compiles once, writes through to
+    // its disk *and* the peer.
+    let rec_a = Arc::new(cache_automaton::MemoryRecorder::new());
+    let a = fleet_member(disk_a.path(), &addr, &rec_a);
+    let reference = a.compile_patterns(&patterns).unwrap().to_bytes();
+    assert_eq!(rec_a.counter("compile.compilations"), 1, "A pays the one compile");
+    assert_eq!(remote_stats(&a).writes, 1, "A pushes the artifact to the peer");
+    assert_eq!(server.stats().puts, 1);
+
+    // Member B: a different "machine" — fresh instance, empty disk dir,
+    // no shared memory tier. The artifact arrives over the wire; the
+    // compiler never runs.
+    let rec_b = Arc::new(cache_automaton::MemoryRecorder::new());
+    let b = fleet_member(disk_b.path(), &addr, &rec_b);
+    let warm = b.compile_patterns(&patterns).unwrap().to_bytes();
+    assert_eq!(warm, reference, "peer round-trip is bit-identical");
+    assert_eq!(rec_b.counter("compile.compilations"), 0, "B never compiles");
+    assert_eq!(remote_stats(&b).hits, 1);
+    assert_eq!(server.stats().hits, 1);
+
+    // ...and B backfilled its own disk: a third start on B's machine
+    // needs neither the compiler nor the network.
+    drop(b);
+    let rec_b2 = Arc::new(cache_automaton::MemoryRecorder::new());
+    let b2 = CacheAutomaton::builder()
+        .disk_cache(disk_b.path())
+        .no_remote_cache()
+        .telemetry_handle(Telemetry::from_arc(rec_b2.clone()))
+        .build();
+    assert_eq!(b2.compile_patterns(&patterns).unwrap().to_bytes(), reference);
+    assert_eq!(rec_b2.counter("compile.compilations"), 0, "disk backfill made B self-sufficient");
+    assert_eq!(rec_b2.counter("cache.disk.hits"), 1);
+
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn scan_results_identical_with_and_without_the_fleet_tier() {
+    let peer_dir = Scratch::new("peer-scan");
+    let disk = Scratch::new("member-scan");
+    let server = CacheServer::bind("127.0.0.1:0", peer_dir.path()).unwrap();
+    let patterns = ["ab?c", "x[yz]+"];
+    let input = b"abc xyzzy ac xz abxc";
+
+    let plain = CacheAutomaton::new().compile_patterns(&patterns).unwrap().run(input);
+
+    let rec = Arc::new(cache_automaton::MemoryRecorder::new());
+    let seeded = fleet_member(disk.path(), &server.local_addr(), &rec);
+    let _ = seeded.compile_patterns(&patterns).unwrap();
+    drop(seeded);
+
+    // A cold member loads the program over the wire and must report the
+    // exact same matches as a locally compiled one.
+    let rec_cold = Arc::new(cache_automaton::MemoryRecorder::new());
+    let cold_disk = Scratch::new("member-scan-cold");
+    let cold = fleet_member(cold_disk.path(), &server.local_addr(), &rec_cold);
+    let fetched = cold.compile_patterns(&patterns).unwrap().run(input);
+    assert_eq!(rec_cold.counter("compile.compilations"), 0);
+    assert_eq!(fetched.matches, plain.matches);
+
+    server.shutdown().unwrap();
+}
+
+/// A peer that answers every CACHE_GET with the same artifact bytes —
+/// honest framing, attacker-controlled payload.
+fn spawn_hostile_peer(artifact: Vec<u8>) -> (String, std::thread::JoinHandle<()>) {
+    use std::io::Write as _;
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let handle = std::thread::spawn(move || {
+        if let Ok((conn, _)) = listener.accept() {
+            let mut reader = std::io::BufReader::new(conn.try_clone().unwrap());
+            let mut writer = std::io::BufWriter::new(conn);
+            while let Ok(Some(frame)) = read_frame(&mut reader) {
+                let reply = match frame {
+                    Frame::CacheGet { .. } => Frame::CacheFound { artifact: artifact.clone() },
+                    Frame::CachePut { .. } => Frame::CachePutOk,
+                    _ => Frame::Error { code: 8, message: "unexpected frame".into() },
+                };
+                if write_frame(&mut writer, &reply).is_err() || writer.flush().is_err() {
+                    break;
+                }
+            }
+        }
+    });
+    (addr, handle)
+}
+
+#[test]
+fn hostile_peer_corrupt_artifact_degrades_to_recompile_without_breaking_transport() {
+    // A structurally valid artifact with one flipped byte: survives
+    // framing, fails validation.
+    let mut torn = CacheAutomaton::new().compile_patterns(&["hostile"]).unwrap().to_bytes();
+    let mid = torn.len() / 2;
+    torn[mid] ^= 0x40;
+    let (addr, peer) = spawn_hostile_peer(torn);
+
+    let rec = Arc::new(cache_automaton::MemoryRecorder::new());
+    let ca = CacheAutomaton::builder()
+        .remote_cache(&addr)
+        .telemetry_handle(Telemetry::from_arc(rec.clone()))
+        .build();
+
+    // The poisoned fetch is quarantined client-side (validation rejects
+    // it before it can ever be executed or written through) and the
+    // compile falls back to a local pass.
+    let program = ca.compile_patterns(&["hostile"]).unwrap();
+    assert_eq!(program.run(b"a hostile peer").matches.len(), 1, "recompiled program works");
+    assert_eq!(rec.counter("cache.remote.corrupt"), 1, "the bad artifact is counted");
+    assert_eq!(rec.counter("compile.compilations"), 1, "one local compile covers the loss");
+
+    // The transport survives: the tier is not broken, and the write-back
+    // of the recompiled program still reaches the peer.
+    let remote = remote_stats(&ca);
+    assert_eq!(remote.errors, 0, "a corrupt payload is not a transport error");
+    assert_eq!(remote.corrupt, 1);
+    assert_eq!(remote.writes, 1, "the recompiled artifact is still pushed");
+
+    drop(ca);
+    peer.join().unwrap();
+}
